@@ -1,0 +1,277 @@
+//! Shared machinery for the baseline backtracking matchers: input
+//! validation, budget bookkeeping, and a generic depth-first driver.
+
+use std::ops::ControlFlow;
+use std::time::Instant;
+
+use cfl_graph::{is_connected, Graph, VertexId};
+use cfl_match::{Budget, Error, MatchOutcome, MatchReport, MatchStats};
+
+/// Sentinel for unmapped query vertices.
+pub const UNMAPPED: VertexId = VertexId::MAX;
+
+/// Validates the shared preconditions of every matcher.
+pub fn validate(q: &Graph, g: &Graph) -> Result<(), Error> {
+    if q.num_vertices() == 0 {
+        return Err(Error::EmptyQuery);
+    }
+    if !is_connected(q) {
+        return Err(Error::DisconnectedQuery);
+    }
+    if q.num_vertices() > g.num_vertices() {
+        return Err(Error::QueryLargerThanData {
+            query_vertices: q.num_vertices(),
+            data_vertices: g.num_vertices(),
+        });
+    }
+    Ok(())
+}
+
+/// Signal to abort the whole search (budget exhausted or sink stop).
+pub struct Stop;
+
+/// Budget bookkeeping shared by the baseline searches.
+pub struct Ctl<'s> {
+    /// The per-run sink.
+    pub sink: &'s mut dyn FnMut(&[VertexId]) -> bool,
+    /// Embeddings emitted so far.
+    pub emitted: u64,
+    /// Search-tree nodes expanded.
+    pub nodes: u64,
+    max_embeddings: u64,
+    deadline: Option<Instant>,
+    timed_out: bool,
+}
+
+impl<'s> Ctl<'s> {
+    /// Initializes bookkeeping from a budget.
+    pub fn new(budget: Budget, sink: &'s mut dyn FnMut(&[VertexId]) -> bool) -> Self {
+        Ctl {
+            sink,
+            emitted: 0,
+            nodes: 0,
+            max_embeddings: budget.max_embeddings.unwrap_or(u64::MAX),
+            deadline: budget.time_limit.map(|d| Instant::now() + d),
+            timed_out: false,
+        }
+    }
+
+    /// Registers one search node; breaks on deadline.
+    #[inline]
+    pub fn bump(&mut self) -> ControlFlow<Stop> {
+        self.nodes += 1;
+        if self.nodes.is_multiple_of(4096) {
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    self.timed_out = true;
+                    return ControlFlow::Break(Stop);
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Emits one embedding; breaks when the budget is used up.
+    pub fn emit(&mut self, mapping: &[VertexId]) -> ControlFlow<Stop> {
+        self.emitted += 1;
+        if !(self.sink)(mapping) || self.emitted >= self.max_embeddings {
+            return ControlFlow::Break(Stop);
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Converts the final control state into a report.
+    pub fn into_report(self, flow: ControlFlow<Stop>, enum_time: std::time::Duration) -> MatchReport {
+        let outcome = match flow {
+            ControlFlow::Continue(()) => MatchOutcome::Complete,
+            ControlFlow::Break(Stop) if self.timed_out => MatchOutcome::TimedOut,
+            ControlFlow::Break(Stop) => MatchOutcome::LimitReached,
+        };
+        MatchReport {
+            outcome,
+            embeddings: self.emitted,
+            stats: MatchStats {
+                enumeration_time: enum_time,
+                search_nodes: self.nodes,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Whether the budget allows any output at all.
+    pub fn exhausted_before_start(&self) -> bool {
+        self.max_embeddings == 0
+    }
+}
+
+/// A generic connected-order backtracking search used by QuickSI-style
+/// matchers: `order[i]` is matched by scanning data neighbors of the mapped
+/// `parents[i]` (`None` ⇒ scan `seeds`), subject to label, degree,
+/// injectivity, and edges to all earlier mapped query neighbors.
+pub struct OrderedSearch<'a> {
+    /// The query.
+    pub q: &'a Graph,
+    /// The data graph.
+    pub g: &'a Graph,
+    /// Matching order of query vertices.
+    pub order: &'a [VertexId],
+    /// Index into `order` of each vertex's tree parent (`None` for first).
+    pub parents: &'a [Option<usize>],
+    /// For each order position, the earlier order positions that must be
+    /// adjacent in `g` (all non-parent earlier query neighbors).
+    pub checks: &'a [Vec<usize>],
+    /// Candidates for the first order vertex.
+    pub seeds: &'a [VertexId],
+}
+
+impl<'a> OrderedSearch<'a> {
+    /// Runs the search to completion under `ctl`.
+    pub fn run(&self, ctl: &mut Ctl<'_>) -> ControlFlow<Stop> {
+        let mut mapping = vec![UNMAPPED; self.q.num_vertices()];
+        let mut images = vec![UNMAPPED; self.order.len()];
+        let mut visited = vec![false; self.g.num_vertices()];
+        self.extend(ctl, 0, &mut mapping, &mut images, &mut visited)
+    }
+
+    fn extend(
+        &self,
+        ctl: &mut Ctl<'_>,
+        depth: usize,
+        mapping: &mut [VertexId],
+        images: &mut [VertexId],
+        visited: &mut [bool],
+    ) -> ControlFlow<Stop> {
+        if depth == self.order.len() {
+            return ctl.emit(mapping);
+        }
+        let u = self.order[depth];
+        let lu = self.q.label(u);
+        let du = self.q.degree(u);
+        let try_v = |this: &Self,
+                     ctl: &mut Ctl<'_>,
+                     v: VertexId,
+                     mapping: &mut [VertexId],
+                     images: &mut [VertexId],
+                     visited: &mut [bool]|
+         -> ControlFlow<Stop> {
+            ctl.bump()?;
+            if visited[v as usize]
+                || this.g.label(v) != lu
+                || this.g.degree(v) < du
+            {
+                return ControlFlow::Continue(());
+            }
+            for &j in &this.checks[depth] {
+                if !this.g.has_edge(images[j], v) {
+                    return ControlFlow::Continue(());
+                }
+            }
+            visited[v as usize] = true;
+            mapping[u as usize] = v;
+            images[depth] = v;
+            let r = this.extend(ctl, depth + 1, mapping, images, visited);
+            visited[v as usize] = false;
+            mapping[u as usize] = UNMAPPED;
+            r
+        };
+        match self.parents[depth] {
+            None => {
+                for &v in self.seeds {
+                    try_v(self, ctl, v, mapping, images, visited)?;
+                }
+            }
+            Some(pj) => {
+                let pv = images[pj];
+                for &v in self.g.neighbors(pv) {
+                    try_v(self, ctl, v, mapping, images, visited)?;
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Builds, for each order position, the list of earlier positions holding
+/// query neighbors other than the parent (the `checks` input of
+/// [`OrderedSearch`]).
+pub fn build_checks(
+    q: &Graph,
+    order: &[VertexId],
+    parents: &[Option<usize>],
+) -> Vec<Vec<usize>> {
+    let mut pos = vec![usize::MAX; q.num_vertices()];
+    for (i, &u) in order.iter().enumerate() {
+        pos[u as usize] = i;
+    }
+    order
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| {
+            q.neighbors(u)
+                .iter()
+                .filter_map(|&w| {
+                    let j = pos[w as usize];
+                    (j < i && parents[i] != Some(j)).then_some(j)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfl_graph::graph_from_edges;
+
+    #[test]
+    fn ordered_search_triangle() {
+        let q = graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let g = graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let order = [0u32, 1, 2];
+        let parents = [None, Some(0), Some(1)];
+        let checks = build_checks(&q, &order, &parents);
+        assert_eq!(checks, vec![vec![], vec![], vec![0]]);
+        let seeds: Vec<u32> = (0..3).collect();
+        let search = OrderedSearch {
+            q: &q,
+            g: &g,
+            order: &order,
+            parents: &parents,
+            checks: &checks,
+            seeds: &seeds,
+        };
+        let mut count = 0;
+        let mut sink = |_: &[VertexId]| {
+            count += 1;
+            true
+        };
+        let mut ctl = Ctl::new(cfl_match::Budget::UNLIMITED, &mut sink);
+        let flow = search.run(&mut ctl);
+        assert!(matches!(flow, ControlFlow::Continue(())));
+        assert_eq!(count, 6); // 3! automorphisms of an unlabeled triangle
+    }
+
+    #[test]
+    fn ctl_budget_stops() {
+        let mut sink = |_: &[VertexId]| true;
+        let mut ctl = Ctl::new(cfl_match::Budget::first(2), &mut sink);
+        assert!(matches!(ctl.emit(&[0]), ControlFlow::Continue(())));
+        assert!(matches!(ctl.emit(&[0]), ControlFlow::Break(_)));
+        assert_eq!(ctl.emitted, 2);
+    }
+
+    #[test]
+    fn validate_rejects_bad_queries() {
+        let g = graph_from_edges(&[0, 0], &[(0, 1)]).unwrap();
+        let empty = graph_from_edges(&[], &[]).unwrap();
+        assert!(matches!(validate(&empty, &g), Err(Error::EmptyQuery)));
+        let disc = graph_from_edges(&[0, 0, 0], &[(0, 1)]).unwrap();
+        assert!(matches!(validate(&disc, &g), Err(Error::DisconnectedQuery)));
+        let big = graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2)]).unwrap();
+        assert!(matches!(
+            validate(&big, &g),
+            Err(Error::QueryLargerThanData { .. })
+        ));
+        assert!(validate(&g, &g).is_ok());
+    }
+}

@@ -1,0 +1,111 @@
+//! # cfl-baselines
+//!
+//! Clean-room Rust implementations of every comparator algorithm in the
+//! CFL-Match evaluation (§6), plus the classic algorithms the related-work
+//! section builds on:
+//!
+//! * [`ullmann`] — Ullmann's 1976 backtracking algorithm with candidate-
+//!   matrix refinement;
+//! * [`vf2`] — VF2 (Cordella et al., TPAMI 2004) with frontier-based pair
+//!   selection and lookahead;
+//! * [`graphql`] — GraphQL (He & Singh, SIGMOD 2008) with profile
+//!   filtering and bipartite pseudo-isomorphism refinement;
+//! * [`quicksi`] — QuickSI (Shang et al., VLDB 2008) with the
+//!   infrequent-edge-first QI-sequence;
+//! * [`spath`] — SPath (Zhao & Han, VLDB 2010) with 2-hop neighborhood
+//!   signatures and infrequent-paths-first ordering;
+//! * [`turboiso`] — TurboISO (Han et al., SIGMOD 2013) with NEC-aware query
+//!   trees, candidate-region exploration, and materialized path embeddings
+//!   for region-cardinality ordering (the structure whose worst-case
+//!   exponential size motivates the CPI, §A.3);
+//! * [`boost`] — the data-graph compression of Ren & Wang (PVLDB 2015):
+//!   merge NEC-equivalent data vertices and match with capacities, used by
+//!   `TurboISO-Boost` / `CFL-Match-Boost` (Figure 13, Figure 21).
+//!
+//! All matchers implement [`Matcher`], sharing the budget/outcome types of
+//! the `cfl-match` crate so the benchmark harness can treat every algorithm
+//! uniformly.
+
+pub mod boost;
+pub mod common;
+pub mod graphql;
+pub mod quicksi;
+pub mod spath;
+pub mod turboiso;
+pub mod ullmann;
+pub mod vf2;
+
+use cfl_graph::{Graph, VertexId};
+use cfl_match::{Budget, Error, MatchConfig, MatchReport};
+
+/// A subgraph-matching algorithm: enumerates embeddings of `q` in `g` under
+/// a budget, streaming each mapping (indexed by query vertex) to `sink`.
+pub trait Matcher {
+    /// Display name used by the benchmark harness.
+    fn name(&self) -> &'static str;
+
+    /// Runs the algorithm. Returning `false` from the sink stops the search.
+    fn find(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        budget: Budget,
+        sink: &mut dyn FnMut(&[VertexId]) -> bool,
+    ) -> Result<MatchReport, Error>;
+
+    /// Counts embeddings (default: enumerate and discard).
+    fn count(&self, q: &Graph, g: &Graph, budget: Budget) -> Result<MatchReport, Error> {
+        self.find(q, g, budget, &mut |_| true)
+    }
+}
+
+/// The CFL-Match engine behind the [`Matcher`] trait, so the harness can
+/// run it alongside the baselines. Wraps any [`MatchConfig`] variant.
+pub struct CflMatcher {
+    /// Engine configuration (variant + CPI mode); the budget field is
+    /// overridden per call.
+    pub config: MatchConfig,
+    name: &'static str,
+}
+
+impl CflMatcher {
+    /// The full CFL-Match algorithm.
+    pub fn full() -> Self {
+        Self::with_config("CFL-Match", MatchConfig::exhaustive())
+    }
+
+    /// Any engine variant under a display name (`CF-Match`, `Match`, …).
+    pub fn with_config(name: &'static str, config: MatchConfig) -> Self {
+        CflMatcher { config, name }
+    }
+}
+
+impl Matcher for CflMatcher {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn find(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        budget: Budget,
+        sink: &mut dyn FnMut(&[VertexId]) -> bool,
+    ) -> Result<MatchReport, Error> {
+        let cfg = self.config.with_budget(budget);
+        cfl_match::find_embeddings(q, g, &cfg, sink)
+    }
+
+    fn count(&self, q: &Graph, g: &Graph, budget: Budget) -> Result<MatchReport, Error> {
+        let cfg = self.config.with_budget(budget);
+        cfl_match::count_embeddings(q, g, &cfg)
+    }
+}
+
+pub use boost::{compress, BoostedMatcher, CompressedGraph};
+pub use graphql::GraphQl;
+pub use spath::SPath;
+pub use quicksi::QuickSi;
+pub use turboiso::TurboIso;
+pub use ullmann::Ullmann;
+pub use vf2::Vf2;

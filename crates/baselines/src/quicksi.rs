@@ -1,0 +1,191 @@
+//! QuickSI (Shang, Zhang, Lin, Yu — VLDB 2008).
+//!
+//! QuickSI matches along a *QI-sequence*: a spanning entry of the query
+//! ordered so that infrequent vertices and edges (measured against the data
+//! graph) come first. We weight each query edge by the number of data edges
+//! carrying its label pair and each vertex by its label frequency, build a
+//! minimum spanning tree with Prim's algorithm seeded at the cheapest edge,
+//! and order vertices by insertion. Extra (non-tree) edges are verified as
+//! soon as both endpoints are mapped — the connected-order discipline the
+//! CFL paper credits QuickSI for (§2.1).
+
+use std::ops::ControlFlow;
+use std::time::Instant;
+
+use cfl_graph::{Graph, VertexId};
+use cfl_match::{Budget, Error, MatchReport};
+
+use crate::common::{build_checks, validate, Ctl, OrderedSearch, Stop};
+use crate::Matcher;
+
+/// The QuickSI algorithm.
+#[derive(Default)]
+pub struct QuickSi;
+
+impl Matcher for QuickSi {
+    fn name(&self) -> &'static str {
+        "QuickSI"
+    }
+
+    fn find(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        budget: Budget,
+        sink: &mut dyn FnMut(&[VertexId]) -> bool,
+    ) -> Result<MatchReport, Error> {
+        validate(q, g)?;
+        let start = Instant::now();
+        let mut ctl = Ctl::new(budget, sink);
+        if ctl.exhausted_before_start() {
+            return Ok(ctl.into_report(ControlFlow::Break(Stop), start.elapsed()));
+        }
+
+        let (order, parents) = qi_sequence(q, g);
+        let checks = build_checks(q, &order, &parents);
+        let first = order[0];
+        let seeds: Vec<VertexId> = g
+            .vertices()
+            .filter(|&v| g.label(v) == q.label(first) && g.degree(v) >= q.degree(first))
+            .collect();
+        let search = OrderedSearch {
+            q,
+            g,
+            order: &order,
+            parents: &parents,
+            checks: &checks,
+            seeds: &seeds,
+        };
+        let flow = search.run(&mut ctl);
+        Ok(ctl.into_report(flow, start.elapsed()))
+    }
+}
+
+/// Builds the QI-sequence: matching order + spanning-tree parents
+/// (as indices into the order).
+pub fn qi_sequence(q: &Graph, g: &Graph) -> (Vec<VertexId>, Vec<Option<usize>>) {
+    let nq = q.num_vertices();
+    // Label frequencies and label-pair edge frequencies in G.
+    let nl = g.num_labels().max(q.num_labels());
+    let mut vertex_freq = vec![0u64; nl];
+    for v in g.vertices() {
+        vertex_freq[g.label(v).index()] += 1;
+    }
+    let mut edge_freq = std::collections::HashMap::<(u32, u32), u64>::new();
+    for (a, b) in g.edges() {
+        let (la, lb) = (g.label(a).0, g.label(b).0);
+        let key = if la <= lb { (la, lb) } else { (lb, la) };
+        *edge_freq.entry(key).or_insert(0) += 1;
+    }
+    let edge_weight = |u: VertexId, w: VertexId| -> u64 {
+        let (la, lb) = (q.label(u).0, q.label(w).0);
+        let key = if la <= lb { (la, lb) } else { (lb, la) };
+        edge_freq.get(&key).copied().unwrap_or(0)
+    };
+    let vfreq = |u: VertexId| -> u64 {
+        vertex_freq.get(q.label(u).index()).copied().unwrap_or(0)
+    };
+
+    if nq == 1 {
+        return (vec![0], vec![None]);
+    }
+
+    // Seed: the query edge with minimum (edge weight, endpoint frequencies).
+    let (su, sv) = q
+        .edges()
+        .min_by_key(|&(u, w)| (edge_weight(u, w), vfreq(u).min(vfreq(w))))
+        .expect("connected query with ≥2 vertices has an edge");
+    let (first, second) = if vfreq(su) <= vfreq(sv) {
+        (su, sv)
+    } else {
+        (sv, su)
+    };
+
+    // Prim's algorithm growing from the seed edge, always taking the
+    // cheapest frontier edge (infrequent-edge-first).
+    let mut order = vec![first, second];
+    let mut parents: Vec<Option<usize>> = vec![None, Some(0)];
+    let mut in_tree = vec![false; nq];
+    in_tree[first as usize] = true;
+    in_tree[second as usize] = true;
+    while order.len() < nq {
+        let mut best: Option<(u64, u64, VertexId, usize)> = None;
+        for (i, &t) in order.iter().enumerate() {
+            for &w in q.neighbors(t) {
+                if in_tree[w as usize] {
+                    continue;
+                }
+                let key = (edge_weight(t, w), vfreq(w));
+                if best.is_none_or(|(bw, bf, _, _)| (key.0, key.1) < (bw, bf)) {
+                    best = Some((key.0, key.1, w, i));
+                }
+            }
+        }
+        let (_, _, w, pi) = best.expect("query is connected");
+        in_tree[w as usize] = true;
+        order.push(w);
+        parents.push(Some(pi));
+    }
+    (order, parents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfl_match::Budget;
+    use cfl_graph::graph_from_edges;
+
+    #[test]
+    fn qi_sequence_is_connected() {
+        let q = graph_from_edges(&[0, 1, 2, 3], &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let g = graph_from_edges(&[0, 1, 2, 3], &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let (order, parents) = qi_sequence(&q, &g);
+        assert_eq!(order.len(), 4);
+        assert!(parents[0].is_none());
+        for i in 1..4 {
+            let p = parents[i].unwrap();
+            assert!(p < i);
+            assert!(q.has_edge(order[i], order[p]));
+        }
+    }
+
+    #[test]
+    fn infrequent_edge_first() {
+        // Query path A-B-C. Data: many A-B edges, one B-C edge → order
+        // should start from the B-C side.
+        let q = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2)]).unwrap();
+        let g = graph_from_edges(
+            &[0, 0, 0, 1, 2],
+            &[(0, 3), (1, 3), (2, 3), (3, 4)],
+        )
+        .unwrap();
+        let (order, _) = qi_sequence(&q, &g);
+        // First two vertices must be the B-C edge endpoints {1, 2}.
+        let mut first_two = vec![order[0], order[1]];
+        first_two.sort_unstable();
+        assert_eq!(first_two, vec![1, 2]);
+    }
+
+    #[test]
+    fn finds_embeddings_with_extra_edges() {
+        // Square query with a diagonal (extra edge check path).
+        let q = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+            .unwrap();
+        let g = graph_from_edges(
+            &[0, 0, 0, 0],
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
+        )
+        .unwrap();
+        let r = QuickSi.count(&q, &g, Budget::UNLIMITED).unwrap();
+        // Automorphisms of the diamond: 4 (identity, swap 1/3, swap 0/2, both).
+        assert_eq!(r.embeddings, 4);
+    }
+
+    #[test]
+    fn single_vertex_query() {
+        let q = graph_from_edges(&[1], &[]).unwrap();
+        let g = graph_from_edges(&[1, 0, 1], &[(0, 1), (1, 2)]).unwrap();
+        let r = QuickSi.count(&q, &g, Budget::UNLIMITED).unwrap();
+        assert_eq!(r.embeddings, 2);
+    }
+}

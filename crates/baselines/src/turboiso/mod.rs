@@ -1,0 +1,338 @@
+//! TurboISO (Han, Lee, Lee — SIGMOD 2013).
+//!
+//! The state-of-the-art comparator of the CFL-Match evaluation. Structure:
+//!
+//! 1. **Start-vertex selection**: the query vertex minimizing
+//!    `freq(G, l(u)) / d(u)`.
+//! 2. **Candidate-region exploration** (`ExploreCR`): for every data vertex
+//!    the start vertex can map to, DFS down the query's BFS tree
+//!    materializing per-(tree node, parent data vertex) candidate lists;
+//!    subtree feasibility is memoized within the region.
+//! 3. **Cardinality-based matching order**: root-to-leaf query paths are
+//!    ranked by the number of their *path embeddings inside the region*,
+//!    obtained by depth-first materialization capped at `k` embeddings —
+//!    the heuristic §A.3 of the CFL paper analyzes (and whose worst case is
+//!    exponential; the cap keeps the reproduction laptop-safe while
+//!    preserving the time cost of materialization).
+//! 4. **Subgraph search**: backtracking along the merged path order, with
+//!    candidates drawn from the region and non-tree edges verified against
+//!    `G`.
+//!
+//! Fidelity note (documented in DESIGN.md): query NEC merging is not
+//! applied — Table 4 of the CFL paper measures that NEC rarely compresses
+//! randomly generated queries, and the CFL comparison does not rely on it.
+
+mod region;
+
+use std::ops::ControlFlow;
+use std::time::{Duration, Instant};
+
+use cfl_graph::{BfsTree, Graph, LabelIndex, NlfIndex, VertexId};
+use cfl_match::{Budget, Error, MatchOutcome, MatchReport};
+
+use crate::common::{validate, Ctl, Stop, UNMAPPED};
+use crate::Matcher;
+
+use region::Region;
+
+/// Cap on materialized path embeddings per root-to-leaf path when computing
+/// the matching order (TurboISO materializes `k` = #requested embeddings;
+/// unbounded requests are clamped to this).
+const PATH_MATERIALIZATION_CAP: u64 = 10_000;
+
+/// The TurboISO algorithm.
+#[derive(Default)]
+pub struct TurboIso;
+
+impl Matcher for TurboIso {
+    fn name(&self) -> &'static str {
+        "TurboISO"
+    }
+
+    fn find(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        budget: Budget,
+        sink: &mut dyn FnMut(&[VertexId]) -> bool,
+    ) -> Result<MatchReport, Error> {
+        validate(q, g)?;
+        let total_start = Instant::now();
+        let mut ctl = Ctl::new(budget, sink);
+        if ctl.exhausted_before_start() {
+            return Ok(ctl.into_report(ControlFlow::Break(Stop), total_start.elapsed()));
+        }
+
+        let g_labels = LabelIndex::build(g);
+        let g_nlf = NlfIndex::build(g);
+        let q_nlf = NlfIndex::build(q);
+
+        // Start-vertex selection: argmin freq(l(u)) / d(u).
+        let us = q
+            .vertices()
+            .min_by(|&a, &b| {
+                let fa = g_labels.frequency(q.label(a)) as f64 / q.degree(a).max(1) as f64;
+                let fb = g_labels.frequency(q.label(b)) as f64 / q.degree(b).max(1) as f64;
+                fa.total_cmp(&fb).then(a.cmp(&b))
+            })
+            .expect("non-empty query");
+        let tree = BfsTree::new(q, us);
+        let order_template = OrderTemplate::new(q, &tree);
+
+        let k = budget
+            .max_embeddings
+            .unwrap_or(PATH_MATERIALIZATION_CAP)
+            .min(PATH_MATERIALIZATION_CAP);
+
+        let mut ordering_time = Duration::ZERO;
+        let mut flow = ControlFlow::Continue(());
+        let mut seeds: Vec<VertexId> = g_labels.vertices_with_label(q.label(us)).to_vec();
+        seeds.retain(|&v| {
+            g.degree(v) >= q.degree(us)
+                && NlfIndex::dominates(g_nlf.signature(v), q_nlf.signature(us))
+        });
+
+        'regions: for vs in seeds {
+            // Explore the candidate region rooted at (us → vs).
+            let ord_start = Instant::now();
+            let Some(region) = Region::explore(q, g, &tree, us, vs) else {
+                ordering_time += ord_start.elapsed();
+                continue;
+            };
+            // Rank root-to-leaf paths by materialized path-embedding counts.
+            let order = order_template.order_for_region(&region, k);
+            ordering_time += ord_start.elapsed();
+
+            // Subgraph search inside the region.
+            let mut search = Search {
+                g,
+                tree: &tree,
+                region: &region,
+                order: &order,
+                mapping: vec![UNMAPPED; q.num_vertices()],
+                visited: vec![false; g.num_vertices()],
+            };
+            search.mapping[us as usize] = vs;
+            search.visited[vs as usize] = true;
+            match search.extend(1, &mut ctl) {
+                ControlFlow::Continue(()) => {}
+                ControlFlow::Break(Stop) => {
+                    flow = ControlFlow::Break(Stop);
+                    break 'regions;
+                }
+            }
+        }
+
+        let mut report = ctl.into_report(flow, total_start.elapsed() - ordering_time);
+        report.stats.ordering_time = ordering_time;
+        Ok(report)
+    }
+}
+
+/// Precomputed path structure of the query BFS tree, shared by all regions.
+struct OrderTemplate {
+    /// Root-to-leaf paths (each starts at the BFS root).
+    paths: Vec<Vec<VertexId>>,
+    /// Non-tree edges per query vertex: earlier-mapped neighbors are
+    /// verified during the search (computed per final order).
+    q_edges: Vec<Vec<VertexId>>,
+}
+
+impl OrderTemplate {
+    fn new(q: &Graph, tree: &BfsTree) -> Self {
+        let mut paths = Vec::new();
+        let mut stack = vec![(tree.root(), vec![tree.root()])];
+        while let Some((v, path)) = stack.pop() {
+            if tree.children(v).is_empty() {
+                paths.push(path);
+            } else {
+                for &c in tree.children(v) {
+                    let mut p = path.clone();
+                    p.push(c);
+                    stack.push((c, p));
+                }
+            }
+        }
+        let q_edges = q
+            .vertices()
+            .map(|u| q.neighbors(u).to_vec())
+            .collect();
+        OrderTemplate { paths, q_edges }
+    }
+
+    /// Orders paths ascending by region path-embedding count and merges
+    /// them into one matching order with checks.
+    fn order_for_region(&self, region: &Region, k: u64) -> Vec<OrderedVertex> {
+        let mut ranked: Vec<(u64, usize)> = self
+            .paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (region.materialize_path_embeddings(p, k), i))
+            .collect();
+        ranked.sort_unstable();
+
+        let nq = self.q_edges.len();
+        let mut in_seq = vec![false; nq];
+        let mut seq: Vec<VertexId> = Vec::with_capacity(nq);
+        for &(_, pi) in &ranked {
+            for &v in &self.paths[pi] {
+                if !in_seq[v as usize] {
+                    in_seq[v as usize] = true;
+                    seq.push(v);
+                }
+            }
+        }
+        debug_assert_eq!(seq.len(), nq);
+
+        let mut pos = vec![usize::MAX; nq];
+        for (i, &u) in seq.iter().enumerate() {
+            pos[u as usize] = i;
+        }
+        seq.iter()
+            .enumerate()
+            .map(|(i, &u)| {
+                let checks = self.q_edges[u as usize]
+                    .iter()
+                    .copied()
+                    .filter(|&w| pos[w as usize] < i)
+                    .collect();
+                OrderedVertex { vertex: u, checks }
+            })
+            .collect()
+    }
+}
+
+struct OrderedVertex {
+    vertex: VertexId,
+    /// Earlier-ordered query neighbors (tree parent included — the region
+    /// already encodes tree adjacency, but re-checking is harmless and the
+    /// non-tree edges are mandatory).
+    checks: Vec<VertexId>,
+}
+
+struct Search<'a> {
+    g: &'a Graph,
+    tree: &'a BfsTree,
+    region: &'a Region,
+    order: &'a [OrderedVertex],
+    mapping: Vec<VertexId>,
+    visited: Vec<bool>,
+}
+
+impl Search<'_> {
+    fn extend(&mut self, depth: usize, ctl: &mut Ctl<'_>) -> ControlFlow<Stop> {
+        if depth == self.order.len() {
+            return ctl.emit(&self.mapping);
+        }
+        let u = self.order[depth].vertex;
+        let parent = self.tree.parent(u).expect("only the root has no parent");
+        let pv = self.mapping[parent as usize];
+        debug_assert_ne!(pv, UNMAPPED, "order keeps tree parents first");
+        let cands = self.region.candidates(u, pv).to_vec();
+        for v in cands {
+            ctl.bump()?;
+            if self.visited[v as usize] {
+                continue;
+            }
+            let ok = self.order[depth].checks.iter().all(|&w| {
+                let mw = self.mapping[w as usize];
+                mw != UNMAPPED && (mw == pv && w == parent || self.g.has_edge(mw, v))
+            });
+            if !ok {
+                continue;
+            }
+            self.mapping[u as usize] = v;
+            self.visited[v as usize] = true;
+            let r = self.extend(depth + 1, ctl);
+            self.visited[v as usize] = false;
+            self.mapping[u as usize] = UNMAPPED;
+            r?;
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Whether a report corresponds to the paper's "INF" plot points.
+pub fn outcome_is_inf(report: &MatchReport) -> bool {
+    report.outcome == MatchOutcome::TimedOut
+}
+
+/// Measures the §A.3 structure costs of TurboISO on `(q, g)`: for the
+/// first feasible candidate region, the maximum number of path embeddings
+/// materialized for any root-to-leaf query path (capped at `cap`) and the
+/// total candidate entries of the region. Returns `None` when no region is
+/// feasible.
+pub fn materialization_cost(q: &Graph, g: &Graph, cap: u64) -> Option<(u64, usize)> {
+    let g_labels = LabelIndex::build(g);
+    let us = q
+        .vertices()
+        .min_by(|&a, &b| {
+            let fa = g_labels.frequency(q.label(a)) as f64 / q.degree(a).max(1) as f64;
+            let fb = g_labels.frequency(q.label(b)) as f64 / q.degree(b).max(1) as f64;
+            fa.total_cmp(&fb).then(a.cmp(&b))
+        })
+        .expect("non-empty query");
+    let tree = BfsTree::new(q, us);
+    let template = OrderTemplate::new(q, &tree);
+    for &vs in g_labels.vertices_with_label(q.label(us)) {
+        if g.degree(vs) < q.degree(us) {
+            continue;
+        }
+        let Some(region) = Region::explore(q, g, &tree, us, vs) else {
+            continue;
+        };
+        let max_paths = template
+            .paths
+            .iter()
+            .map(|p| region.materialize_path_embeddings(p, cap))
+            .max()
+            .unwrap_or(0);
+        return Some((max_paths, region.size()));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfl_graph::graph_from_edges;
+
+    #[test]
+    fn triangle_count() {
+        let q = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let g = graph_from_edges(
+            &[0, 1, 2, 0, 1, 2],
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 4)],
+        )
+        .unwrap();
+        let r = TurboIso.count(&q, &g, Budget::UNLIMITED).unwrap();
+        assert_eq!(r.embeddings, 2);
+    }
+
+    #[test]
+    fn path_query_across_regions() {
+        let q = graph_from_edges(&[0, 1, 0], &[(0, 1), (1, 2)]).unwrap();
+        let g = graph_from_edges(&[0, 1, 0, 0], &[(0, 1), (1, 2), (1, 3)]).unwrap();
+        let r = TurboIso.count(&q, &g, Budget::UNLIMITED).unwrap();
+        // Query A-B-A: B→1, ends from {0,2,3} ordered pairs: 3·2 = 6.
+        assert_eq!(r.embeddings, 6);
+    }
+
+    #[test]
+    fn budget_limit() {
+        let q = graph_from_edges(&[0, 0], &[(0, 1)]).unwrap();
+        let g = graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let r = TurboIso.count(&q, &g, Budget::first(3)).unwrap();
+        assert_eq!(r.embeddings, 3);
+        assert_eq!(r.outcome, MatchOutcome::LimitReached);
+    }
+
+    #[test]
+    fn no_region_when_label_missing() {
+        let q = graph_from_edges(&[0, 7], &[(0, 1)]).unwrap();
+        let g = graph_from_edges(&[0, 1], &[(0, 1)]).unwrap();
+        let r = TurboIso.count(&q, &g, Budget::UNLIMITED).unwrap();
+        assert_eq!(r.embeddings, 0);
+        assert!(r.outcome.is_complete());
+    }
+}

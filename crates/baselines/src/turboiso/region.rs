@@ -1,0 +1,181 @@
+//! Candidate-region exploration (`ExploreCR`) and path-embedding
+//! materialization for TurboISO.
+
+use std::collections::HashMap;
+
+use cfl_graph::{BfsTree, Graph, VertexId};
+
+/// A candidate region rooted at one (start query vertex → start data
+/// vertex) pair: for each non-root query tree node `u` and each data vertex
+/// `v` that its tree parent can map to, the list of candidates of `u` under
+/// `v` (`CR(u, v)` in the TurboISO paper).
+pub(super) struct Region {
+    start: VertexId,
+    cr: HashMap<(VertexId, VertexId), Vec<VertexId>>,
+}
+
+impl Region {
+    /// Explores the region for `us → vs`; `None` when some query subtree is
+    /// unsatisfiable from `vs` (the region is pruned).
+    pub(super) fn explore(
+        q: &Graph,
+        g: &Graph,
+        tree: &BfsTree,
+        us: VertexId,
+        vs: VertexId,
+    ) -> Option<Region> {
+        let mut builder = RegionBuilder {
+            q,
+            g,
+            tree,
+            cr: HashMap::new(),
+            memo: HashMap::new(),
+        };
+        if builder.feasible(us, vs) {
+            Some(Region {
+                start: vs,
+                cr: builder.cr,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Candidates of query tree node `u` when its parent maps to `pv`.
+    pub(super) fn candidates(&self, u: VertexId, pv: VertexId) -> &[VertexId] {
+        self.cr.get(&(u, pv)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of candidate entries across the region (its size).
+    pub(super) fn size(&self) -> usize {
+        self.cr.values().map(Vec::len).sum()
+    }
+
+    /// Counts the *path embeddings* of a root-to-leaf query path inside the
+    /// region by depth-first materialization, stopping at `cap` — the
+    /// cardinality TurboISO ranks paths by. Injectivity is enforced along
+    /// the path, matching materialized path embeddings.
+    pub(super) fn materialize_path_embeddings(&self, path: &[VertexId], cap: u64) -> u64 {
+        let mut stack: Vec<VertexId> = vec![self.start];
+        let mut count = 0u64;
+        self.dfs_paths(path, 1, &mut stack, &mut count, cap);
+        count
+    }
+
+    fn dfs_paths(
+        &self,
+        path: &[VertexId],
+        depth: usize,
+        images: &mut Vec<VertexId>,
+        count: &mut u64,
+        cap: u64,
+    ) {
+        if *count >= cap {
+            return;
+        }
+        if depth == path.len() {
+            *count += 1;
+            return;
+        }
+        let parent_image = *images.last().expect("root image present");
+        for &v in self.candidates(path[depth], parent_image) {
+            if images.contains(&v) {
+                continue;
+            }
+            images.push(v);
+            self.dfs_paths(path, depth + 1, images, count, cap);
+            images.pop();
+            if *count >= cap {
+                return;
+            }
+        }
+    }
+}
+
+struct RegionBuilder<'a> {
+    q: &'a Graph,
+    g: &'a Graph,
+    tree: &'a BfsTree,
+    cr: HashMap<(VertexId, VertexId), Vec<VertexId>>,
+    memo: HashMap<(VertexId, VertexId), bool>,
+}
+
+impl RegionBuilder<'_> {
+    /// Whether the query subtree rooted at `u` can embed when `u ↦ v`,
+    /// materializing `CR(child, v)` lists along the way. Memoized per
+    /// (query node, data vertex).
+    fn feasible(&mut self, u: VertexId, v: VertexId) -> bool {
+        if let Some(&r) = self.memo.get(&(u, v)) {
+            return r;
+        }
+        // Optimistically mark feasible to cut cycles in the memo recursion;
+        // the query tree is acyclic so (u, v) cannot recursively depend on
+        // itself, but children sharing data vertices re-enter the memo.
+        self.memo.insert((u, v), true);
+        let mut ok = true;
+        for &c in self.tree.children(u) {
+            if self.cr.contains_key(&(c, v)) {
+                // Already explored for another parent branch.
+                if self.cr[&(c, v)].is_empty() {
+                    ok = false;
+                    break;
+                }
+                continue;
+            }
+            let lc = self.q.label(c);
+            let dc = self.q.degree(c);
+            let mut cands = Vec::new();
+            for &w in self.g.neighbors(v) {
+                if self.g.label(w) == lc && self.g.degree(w) >= dc && self.feasible(c, w) {
+                    cands.push(w);
+                }
+            }
+            let empty = cands.is_empty();
+            self.cr.insert((c, v), cands);
+            if empty {
+                ok = false;
+                break;
+            }
+        }
+        self.memo.insert((u, v), ok);
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfl_graph::graph_from_edges;
+
+    #[test]
+    fn region_prunes_infeasible_start() {
+        // Query path A-B-C; data A-B with no C.
+        let q = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2)]).unwrap();
+        let g = graph_from_edges(&[0, 1], &[(0, 1)]).unwrap();
+        let tree = BfsTree::new(&q, 0);
+        assert!(Region::explore(&q, &g, &tree, 0, 0).is_none());
+    }
+
+    #[test]
+    fn region_candidates_and_path_counts() {
+        // Query path A-B; data star: A hub with 3 B spokes.
+        let q = graph_from_edges(&[0, 1], &[(0, 1)]).unwrap();
+        let g = graph_from_edges(&[0, 1, 1, 1], &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let tree = BfsTree::new(&q, 0);
+        let r = Region::explore(&q, &g, &tree, 0, 0).unwrap();
+        assert_eq!(r.candidates(1, 0), &[1, 2, 3]);
+        assert_eq!(r.size(), 3);
+        assert_eq!(r.materialize_path_embeddings(&[0, 1], 100), 3);
+        assert_eq!(r.materialize_path_embeddings(&[0, 1], 2), 2, "cap respected");
+    }
+
+    #[test]
+    fn path_materialization_is_injective() {
+        // Query A-A path: candidates overlap with the start vertex.
+        let q = graph_from_edges(&[0, 0], &[(0, 1)]).unwrap();
+        let g = graph_from_edges(&[0, 0], &[(0, 1)]).unwrap();
+        let tree = BfsTree::new(&q, 0);
+        let r = Region::explore(&q, &g, &tree, 0, 0).unwrap();
+        assert_eq!(r.materialize_path_embeddings(&[0, 1], 100), 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Ullmann's algorithm (J. ACM 1976).
+//!
+//! The original backtracking formulation: a boolean candidate matrix
+//! `M[u][v]` seeded by label/degree compatibility, iteratively *refined*
+//! (a candidate survives only if every query neighbor has a surviving
+//! candidate among its data neighbors), then a depth-first search in plain
+//! query-vertex order with injectivity and full edge verification. The
+//! paper's related-work section positions every later algorithm against
+//! this baseline; it also serves as the correctness oracle in our
+//! cross-validation tests.
+
+use std::ops::ControlFlow;
+use std::time::Instant;
+
+use cfl_graph::{Graph, VertexId};
+use cfl_match::{Budget, Error, MatchReport};
+
+use crate::common::{validate, Ctl, Stop, UNMAPPED};
+use crate::Matcher;
+
+/// Ullmann's algorithm.
+#[derive(Default)]
+pub struct Ullmann;
+
+impl Matcher for Ullmann {
+    fn name(&self) -> &'static str {
+        "Ullmann"
+    }
+
+    fn find(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        budget: Budget,
+        sink: &mut dyn FnMut(&[VertexId]) -> bool,
+    ) -> Result<MatchReport, Error> {
+        validate(q, g)?;
+        let start = Instant::now();
+        let mut ctl = Ctl::new(budget, sink);
+        if ctl.exhausted_before_start() {
+            return Ok(ctl.into_report(ControlFlow::Break(Stop), start.elapsed()));
+        }
+
+        let nq = q.num_vertices();
+        let ng = g.num_vertices();
+        // Candidate matrix seeded by label + degree.
+        let mut m: Vec<Vec<bool>> = (0..nq as VertexId)
+            .map(|u| {
+                (0..ng as VertexId)
+                    .map(|v| g.label(v) == q.label(u) && g.degree(v) >= q.degree(u))
+                    .collect()
+            })
+            .collect();
+        refine(q, g, &mut m);
+
+        let mut mapping = vec![UNMAPPED; nq];
+        let mut visited = vec![false; ng];
+        let flow = search(q, g, &m, 0, &mut mapping, &mut visited, &mut ctl);
+        Ok(ctl.into_report(flow, start.elapsed()))
+    }
+}
+
+/// Ullmann's refinement: delete `M[u][v]` when some neighbor of `u` has no
+/// surviving candidate adjacent to `v`; iterate to a fixpoint.
+fn refine(q: &Graph, g: &Graph, m: &mut [Vec<bool>]) {
+    loop {
+        let mut changed = false;
+        for u in q.vertices() {
+            for v in g.vertices() {
+                if !m[u as usize][v as usize] {
+                    continue;
+                }
+                let ok = q.neighbors(u).iter().all(|&uq| {
+                    g.neighbors(v)
+                        .iter()
+                        .any(|&vg| m[uq as usize][vg as usize])
+                });
+                if !ok {
+                    m[u as usize][v as usize] = false;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+fn search(
+    q: &Graph,
+    g: &Graph,
+    m: &[Vec<bool>],
+    u: usize,
+    mapping: &mut [VertexId],
+    visited: &mut [bool],
+    ctl: &mut Ctl<'_>,
+) -> ControlFlow<Stop> {
+    if u == q.num_vertices() {
+        return ctl.emit(mapping);
+    }
+    for v in 0..g.num_vertices() as VertexId {
+        ctl.bump()?;
+        if !m[u][v as usize] || visited[v as usize] {
+            continue;
+        }
+        // Verify every edge to already-mapped query vertices.
+        let consistent = q.neighbors(u as VertexId).iter().all(|&w| {
+            let mv = mapping[w as usize];
+            mv == UNMAPPED || g.has_edge(mv, v)
+        });
+        if !consistent {
+            continue;
+        }
+        mapping[u] = v;
+        visited[v as usize] = true;
+        let r = search(q, g, m, u + 1, mapping, visited, ctl);
+        visited[v as usize] = false;
+        mapping[u] = UNMAPPED;
+        r?;
+    }
+    ControlFlow::Continue(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfl_graph::graph_from_edges;
+    use cfl_match::Budget;
+
+    #[test]
+    fn triangle_in_two_triangles() {
+        let q = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let g = graph_from_edges(
+            &[0, 1, 2, 0, 1, 2],
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
+        )
+        .unwrap();
+        let r = Ullmann.count(&q, &g, Budget::UNLIMITED).unwrap();
+        assert_eq!(r.embeddings, 2);
+        assert!(r.outcome.is_complete());
+    }
+
+    #[test]
+    fn refinement_removes_unsupported_candidates() {
+        let q = graph_from_edges(&[0, 1], &[(0, 1)]).unwrap();
+        // Two label-0 vertices, only one adjacent to a label-1 vertex.
+        let g = graph_from_edges(&[0, 0, 1], &[(1, 2)]).unwrap();
+        let mut m = vec![vec![true, true, false], vec![false, false, true]];
+        refine(&q, &g, &mut m);
+        assert_eq!(m[0], vec![false, true, false]);
+    }
+
+    #[test]
+    fn budget_respected() {
+        let q = graph_from_edges(&[0], &[]).unwrap();
+        let g = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let r = Ullmann.count(&q, &g, Budget::first(2)).unwrap();
+        assert_eq!(r.embeddings, 2);
+        assert!(!r.outcome.is_complete());
+    }
+}

@@ -1,0 +1,246 @@
+//! VF2 (Cordella, Foggia, Sansone, Vento — TPAMI 2004), specialized to
+//! subgraph isomorphism on undirected vertex-labeled graphs.
+//!
+//! VF2 grows the mapping along the *frontier*: the next query vertex is the
+//! first unmapped vertex adjacent to the mapped region (a connected order),
+//! and candidate data vertices are restricted to neighbors of mapped data
+//! vertices. Feasibility combines the core consistency rule (every mapped
+//! query neighbor must map to a data neighbor) with the classic 1-lookahead
+//! cut: the candidate must have at least as many frontier/unexplored
+//! neighbors as the query vertex.
+
+use std::ops::ControlFlow;
+use std::time::Instant;
+
+use cfl_graph::{Graph, VertexId};
+use cfl_match::{Budget, Error, MatchReport};
+
+use crate::common::{validate, Ctl, Stop, UNMAPPED};
+use crate::Matcher;
+
+/// The VF2 algorithm.
+#[derive(Default)]
+pub struct Vf2;
+
+impl Matcher for Vf2 {
+    fn name(&self) -> &'static str {
+        "VF2"
+    }
+
+    fn find(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        budget: Budget,
+        sink: &mut dyn FnMut(&[VertexId]) -> bool,
+    ) -> Result<MatchReport, Error> {
+        validate(q, g)?;
+        let start = Instant::now();
+        let mut ctl = Ctl::new(budget, sink);
+        if ctl.exhausted_before_start() {
+            return Ok(ctl.into_report(ControlFlow::Break(Stop), start.elapsed()));
+        }
+
+        // Connected query order: BFS from the vertex with the rarest label.
+        let mut label_freq = vec![0u32; g.num_labels().max(q.num_labels())];
+        for v in g.vertices() {
+            label_freq[g.label(v).index()] += 1;
+        }
+        let start_vertex = q
+            .vertices()
+            .min_by_key(|&u| {
+                (
+                    label_freq
+                        .get(q.label(u).index())
+                        .copied()
+                        .unwrap_or(0),
+                    std::cmp::Reverse(q.degree(u)),
+                )
+            })
+            .expect("non-empty query");
+        let tree = cfl_graph::BfsTree::new(q, start_vertex);
+        let order: Vec<VertexId> = tree.order().collect();
+        let parent_of: Vec<Option<VertexId>> = order.iter().map(|&u| tree.parent(u)).collect();
+
+        let mut state = State {
+            q,
+            g,
+            order: &order,
+            parents: &parent_of,
+            mapping: vec![UNMAPPED; q.num_vertices()],
+            visited: vec![false; g.num_vertices()],
+            // Number of mapped neighbors of each data vertex (frontier depth
+            // counters for the lookahead).
+            g_frontier: vec![0u32; g.num_vertices()],
+            q_frontier: vec![0u32; q.num_vertices()],
+        };
+        // Seed query frontier counters are computed incrementally.
+        let flow = state.search(0, &mut ctl);
+        Ok(ctl.into_report(flow, start.elapsed()))
+    }
+}
+
+struct State<'a> {
+    q: &'a Graph,
+    g: &'a Graph,
+    order: &'a [VertexId],
+    parents: &'a [Option<VertexId>],
+    mapping: Vec<VertexId>,
+    visited: Vec<bool>,
+    g_frontier: Vec<u32>,
+    q_frontier: Vec<u32>,
+}
+
+impl State<'_> {
+    fn search(&mut self, depth: usize, ctl: &mut Ctl<'_>) -> ControlFlow<Stop> {
+        if depth == self.order.len() {
+            return ctl.emit(&self.mapping);
+        }
+        let u = self.order[depth];
+        match self.parents[depth] {
+            None => {
+                for v in 0..self.g.num_vertices() as VertexId {
+                    ctl.bump()?;
+                    self.try_pair(depth, u, v, ctl)?;
+                }
+            }
+            Some(p) => {
+                // Candidates: data neighbors of the mapped parent.
+                let pv = self.mapping[p as usize];
+                let nbrs: &[VertexId] = self.g.neighbors(pv);
+                // The borrow of `self.g` ends before the mutable calls
+                // because neighbor slices point into the graph, not self.
+                let nbrs_ptr = nbrs.to_vec();
+                for v in nbrs_ptr {
+                    ctl.bump()?;
+                    self.try_pair(depth, u, v, ctl)?;
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    fn try_pair(
+        &mut self,
+        depth: usize,
+        u: VertexId,
+        v: VertexId,
+        ctl: &mut Ctl<'_>,
+    ) -> ControlFlow<Stop> {
+        if !self.feasible(u, v) {
+            return ControlFlow::Continue(());
+        }
+        self.mapping[u as usize] = v;
+        self.visited[v as usize] = true;
+        for &w in self.g.neighbors(v) {
+            self.g_frontier[w as usize] += 1;
+        }
+        for &w in self.q.neighbors(u) {
+            self.q_frontier[w as usize] += 1;
+        }
+        let r = self.search(depth + 1, ctl);
+        for &w in self.q.neighbors(u) {
+            self.q_frontier[w as usize] -= 1;
+        }
+        for &w in self.g.neighbors(v) {
+            self.g_frontier[w as usize] -= 1;
+        }
+        self.visited[v as usize] = false;
+        self.mapping[u as usize] = UNMAPPED;
+        r
+    }
+
+    /// VF2 feasibility rules for the candidate pair `(u, v)`.
+    fn feasible(&self, u: VertexId, v: VertexId) -> bool {
+        if self.visited[v as usize]
+            || self.g.label(v) != self.q.label(u)
+            || self.g.degree(v) < self.q.degree(u)
+        {
+            return false;
+        }
+        // Core rule: every mapped query neighbor maps to a data neighbor.
+        let mut q_term = 0u32; // unmapped frontier query neighbors
+        let mut q_new = 0u32; // unmapped non-frontier query neighbors
+        for &w in self.q.neighbors(u) {
+            let mw = self.mapping[w as usize];
+            if mw != UNMAPPED {
+                if !self.g.has_edge(mw, v) {
+                    return false;
+                }
+            } else if self.q_frontier[w as usize] > 0 {
+                q_term += 1;
+            } else {
+                q_new += 1;
+            }
+        }
+        // 1-lookahead: v must offer at least as many frontier / fresh
+        // neighbors as u requires.
+        let mut g_term = 0u32;
+        let mut g_new = 0u32;
+        for &w in self.g.neighbors(v) {
+            if self.visited[w as usize] {
+                continue;
+            }
+            if self.g_frontier[w as usize] > 0 {
+                g_term += 1;
+            } else {
+                g_new += 1;
+            }
+        }
+        // Subgraph (not induced) isomorphism: data may have extra edges, so
+        // frontier neighbors can also serve "new" requirements.
+        g_term >= q_term && g_term + g_new >= q_term + q_new
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfl_graph::graph_from_edges;
+    use cfl_match::Budget;
+
+    #[test]
+    fn square_in_cube() {
+        // Query: 4-cycle, all label 0. Data: cube graph (Q3), all label 0.
+        let q = graph_from_edges(&[0; 4], &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let g = graph_from_edges(
+            &[0; 8],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+                (0, 4),
+                (1, 5),
+                (2, 6),
+                (3, 7),
+            ],
+        )
+        .unwrap();
+        let r = Vf2.count(&q, &g, Budget::UNLIMITED).unwrap();
+        // The cube has 6 faces; each 4-cycle has 8 automorphisms.
+        assert_eq!(r.embeddings, 48);
+    }
+
+    #[test]
+    fn labels_constrain_matches() {
+        let q = graph_from_edges(&[0, 1], &[(0, 1)]).unwrap();
+        let g = graph_from_edges(&[0, 1, 1, 0], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let r = Vf2.count(&q, &g, Budget::UNLIMITED).unwrap();
+        // (0→0,1→1), (0→3,1→2).
+        assert_eq!(r.embeddings, 2);
+    }
+
+    #[test]
+    fn no_match_reports_complete_zero() {
+        let q = graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let g = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let r = Vf2.count(&q, &g, Budget::UNLIMITED).unwrap();
+        assert_eq!(r.embeddings, 0);
+        assert!(r.outcome.is_complete());
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion micro-bench behind Figures 8/9: per-algorithm matching time
+//! on the default query sets of a Yeast-scale graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cfl_baselines::{CflMatcher, Matcher, QuickSi, TurboIso, Ullmann, Vf2};
+use cfl_datasets::{Dataset, QuerySetSpec};
+use cfl_graph::QueryDensity;
+use cfl_match::Budget;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let g = Dataset::Yeast.build_scaled(10);
+    let queries = QuerySetSpec {
+        size: 8,
+        density: QueryDensity::Sparse,
+        count: 4,
+        seed: 42,
+    }
+    .generate(&g);
+    assert!(!queries.is_empty());
+
+    let budget = Budget::first(10_000);
+    let matchers: Vec<Box<dyn Matcher>> = vec![
+        Box::new(CflMatcher::full()),
+        Box::new(TurboIso),
+        Box::new(QuickSi),
+        Box::new(Vf2),
+        Box::new(Ullmann),
+    ];
+
+    let mut group = c.benchmark_group("fig8_total_time");
+    for m in &matchers {
+        group.bench_with_input(BenchmarkId::from_parameter(m.name()), &queries, |b, qs| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for q in qs {
+                    total += m.count(q, &g, budget).unwrap().embeddings;
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_algorithms
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion micro-bench behind Figures 10/15: CPI construction cost per
+//! mode (naive / top-down / top-down + bottom-up refinement).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cfl_datasets::{Dataset, QuerySetSpec};
+use cfl_graph::QueryDensity;
+use cfl_match::{Cpi, CpiMode, FilterContext, GraphStats};
+
+fn bench_cpi(c: &mut Criterion) {
+    let g = Dataset::Hprd.build_scaled(10);
+    let queries = QuerySetSpec {
+        size: 12,
+        density: QueryDensity::Sparse,
+        count: 3,
+        seed: 7,
+    }
+    .generate(&g);
+    let g_stats = GraphStats::build(&g);
+
+    let mut group = c.benchmark_group("fig15_cpi_construction");
+    for mode in [CpiMode::Naive, CpiMode::TopDown, CpiMode::TopDownRefined] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &queries,
+            |b, qs| {
+                b.iter(|| {
+                    let mut total = 0u64;
+                    for q in qs {
+                        let q_stats = GraphStats::build(q);
+                        let ctx = FilterContext::new(q, &g, &q_stats, &g_stats);
+                        let core = cfl_graph::two_core(q);
+                        let eligible: Vec<u32> = if core.iter().any(|&b| b) {
+                            (0..q.num_vertices() as u32)
+                                .filter(|&v| core[v as usize])
+                                .collect()
+                        } else {
+                            (0..q.num_vertices() as u32).collect()
+                        };
+                        let root = cfl_match::select_root(&ctx, &eligible);
+                        let cpi = Cpi::build(&ctx, root, mode);
+                        total += cpi.total_candidates();
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cpi
+}
+criterion_main!(benches);

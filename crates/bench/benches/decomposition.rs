@@ -1,0 +1,45 @@
+//! Criterion micro-bench for the structural substrates: 2-core peeling,
+//! CFL decomposition, and NEC partitioning (behind Table 4 and §3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cfl_datasets::{Dataset, QuerySetSpec};
+use cfl_graph::{nec_partition, two_core, QueryDensity};
+use cfl_match::{CflDecomposition, DecompositionMode};
+
+fn bench_decomposition(c: &mut Criterion) {
+    let g = Dataset::Hprd.build_scaled(10);
+    let queries = QuerySetSpec {
+        size: 20,
+        density: QueryDensity::NonSparse,
+        count: 5,
+        seed: 33,
+    }
+    .generate(&g);
+
+    c.bench_function("two_core_data_graph", |b| b.iter(|| two_core(&g)));
+
+    let mut group = c.benchmark_group("cfl_decompose");
+    group.bench_with_input(BenchmarkId::from_parameter("queries"), &queries, |b, qs| {
+        b.iter(|| {
+            let mut parts = 0usize;
+            for q in qs {
+                let core = two_core(q);
+                let root = core.iter().position(|&x| x).unwrap_or(0) as u32;
+                let d = CflDecomposition::compute(q, root, DecompositionMode::CoreForestLeaf);
+                parts += d.core.len() + d.forest.len() + d.leaves.len();
+            }
+            parts
+        })
+    });
+    group.finish();
+
+    c.bench_function("nec_partition_data_graph", |b| b.iter(|| nec_partition(&g)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_decomposition
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion micro-bench behind Figure 14: the decomposition-framework
+//! ablation (Match vs CF-Match vs CFL-Match).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cfl_datasets::{Dataset, QuerySetSpec};
+use cfl_graph::QueryDensity;
+use cfl_match::{count_embeddings, Budget, MatchConfig};
+
+fn bench_framework(c: &mut Criterion) {
+    let g = Dataset::Yeast.build_scaled(8);
+    let queries = QuerySetSpec {
+        size: 10,
+        density: QueryDensity::Sparse,
+        count: 4,
+        seed: 21,
+    }
+    .generate(&g);
+
+    let variants: Vec<(&str, MatchConfig)> = vec![
+        ("Match", MatchConfig::variant_match()),
+        ("CF-Match", MatchConfig::variant_cf_match()),
+        ("CFL-Match", MatchConfig::default()),
+    ];
+
+    let mut group = c.benchmark_group("fig14_framework");
+    for (name, cfg) in variants {
+        let cfg = cfg.with_budget(Budget::first(10_000));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &queries, |b, qs| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for q in qs {
+                    total += count_embeddings(q, &g, &cfg).unwrap().embeddings;
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_framework
+}
+criterion_main!(benches);

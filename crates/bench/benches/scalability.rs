@@ -1,0 +1,81 @@
+//! Criterion micro-bench behind Figure 16: CFL-Match scalability in
+//! |V(G)|, d(G), and |Σ| on the synthetic family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cfl_graph::{synthetic_graph, Graph, QueryDensity, SyntheticConfig};
+use cfl_match::{count_embeddings, Budget, MatchConfig};
+
+fn queries_for(g: &Graph) -> Vec<Graph> {
+    cfl_graph::query_set(g, 8, QueryDensity::Sparse, 3, 5)
+}
+
+fn run_all(g: &Graph, queries: &[Graph], cfg: &MatchConfig) -> u64 {
+    queries
+        .iter()
+        .map(|q| count_embeddings(q, g, cfg).unwrap().embeddings)
+        .sum()
+}
+
+fn bench_scalability(c: &mut Criterion) {
+    let cfg = MatchConfig::default().with_budget(Budget::first(10_000));
+
+    let mut group = c.benchmark_group("fig16a_vary_vertices");
+    for n in [5_000usize, 10_000, 20_000] {
+        let g = synthetic_graph(&SyntheticConfig {
+            num_vertices: n,
+            avg_degree: 8.0,
+            num_labels: 50,
+            label_exponent: 1.0,
+            twin_fraction: 0.0,
+            seed: 1,
+        });
+        let queries = queries_for(&g);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &queries, |b, qs| {
+            b.iter(|| run_all(&g, qs, &cfg))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig16b_vary_degree");
+    for d in [4.0f64, 8.0, 16.0] {
+        let g = synthetic_graph(&SyntheticConfig {
+            num_vertices: 5_000,
+            avg_degree: d,
+            num_labels: 50,
+            label_exponent: 1.0,
+            twin_fraction: 0.0,
+            seed: 2,
+        });
+        let queries = queries_for(&g);
+        group.bench_with_input(BenchmarkId::from_parameter(d as u64), &queries, |b, qs| {
+            b.iter(|| run_all(&g, qs, &cfg))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig16c_vary_labels");
+    for labels in [25usize, 50, 100, 200] {
+        let g = synthetic_graph(&SyntheticConfig {
+            num_vertices: 5_000,
+            avg_degree: 8.0,
+            num_labels: labels,
+            label_exponent: 1.0,
+            twin_fraction: 0.0,
+            seed: 3,
+        });
+        let queries = queries_for(&g);
+        group.bench_with_input(BenchmarkId::from_parameter(labels), &queries, |b, qs| {
+            b.iter(|| run_all(&g, qs, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scalability
+}
+criterion_main!(benches);

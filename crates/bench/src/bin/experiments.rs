@@ -1,0 +1,97 @@
+//! Experiment driver: regenerates every table and figure of the CFL-Match
+//! evaluation.
+//!
+//! ```text
+//! experiments [ids…] [--scale N] [--qscale N] [--queries N]
+//!             [--time-limit SECS] [--max-embeddings N]
+//!
+//!   ids               experiment ids (fig8 … fig22, tab4) or `all`
+//!   --scale N         divide dataset sizes by N        (default 20)
+//!   --qscale N        divide query sizes by N          (default 5)
+//!   --queries N       queries per set                  (default 5)
+//!   --time-limit S    per-query time limit, seconds    (default 2)
+//!   --max-embeddings  per-query embedding cap          (default 100000)
+//! ```
+//!
+//! `--scale 1 --qscale 1 --queries 100 --time-limit 180` approaches the
+//! paper's full setup (requires hours).
+
+use std::time::Duration;
+
+use cfl_bench::{run_experiment, Scale, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::default();
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale.graph_factor = parse_next(&args, &mut i, "scale");
+            }
+            "--qscale" => {
+                scale.query_factor = parse_next(&args, &mut i, "qscale");
+            }
+            "--queries" => {
+                scale.queries_per_set = parse_next(&args, &mut i, "queries");
+            }
+            "--time-limit" => {
+                let secs: u64 = parse_next(&args, &mut i, "time-limit");
+                scale.time_limit = Duration::from_secs(secs);
+            }
+            "--max-embeddings" => {
+                scale.max_embeddings = parse_next(&args, &mut i, "max-embeddings");
+            }
+            "--help" | "-h" => {
+                print_help();
+                return;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                print_help();
+                std::process::exit(2);
+            }
+            id => ids.push(id.to_string()),
+        }
+        i += 1;
+    }
+
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    println!(
+        "(scale: graphs ÷{}, queries ÷{}, {} queries/set, {:?} limit, {} embeddings cap)\n",
+        scale.graph_factor,
+        scale.query_factor,
+        scale.queries_per_set,
+        scale.time_limit,
+        scale.max_embeddings
+    );
+
+    for id in &ids {
+        if !run_experiment(id, &scale) {
+            eprintln!("unknown experiment id {id:?}; known: {ALL_EXPERIMENTS:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_next<T: std::str::FromStr>(args: &[String], i: &mut usize, name: &str) -> T {
+    *i += 1;
+    args.get(*i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("--{name} needs a numeric argument");
+            std::process::exit(2);
+        })
+}
+
+fn print_help() {
+    println!(
+        "usage: experiments [ids…|all] [--scale N] [--qscale N] [--queries N] \
+         [--time-limit SECS] [--max-embeddings N]\nids: {ALL_EXPERIMENTS:?}"
+    );
+}

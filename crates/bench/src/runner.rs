@@ -1,0 +1,154 @@
+//! Query-set runners: execute one algorithm over a set of queries and
+//! aggregate the metrics the paper reports.
+
+use std::time::{Duration, Instant};
+
+use cfl_baselines::Matcher;
+use cfl_graph::Graph;
+use cfl_match::{Budget, MatchOutcome};
+
+/// Options shared by all experiment runs.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Per-query embedding limit (paper default `10^5`).
+    pub max_embeddings: u64,
+    /// Per-query wall-clock limit; queries over it count as INF.
+    pub time_limit: Duration,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            max_embeddings: 100_000,
+            time_limit: Duration::from_secs(5),
+        }
+    }
+}
+
+impl RunOptions {
+    /// The corresponding per-query budget.
+    pub fn budget(&self) -> Budget {
+        Budget::first(self.max_embeddings).with_time_limit(self.time_limit)
+    }
+}
+
+/// Aggregated result of running one algorithm over one query set.
+#[derive(Clone, Debug, Default)]
+pub struct AlgoResult {
+    /// Queries attempted.
+    pub queries: usize,
+    /// Queries that hit the time limit.
+    pub timeouts: usize,
+    /// Mean total wall time per *completed* query, milliseconds.
+    pub avg_total_ms: f64,
+    /// Mean enumeration time per completed query, milliseconds.
+    pub avg_enum_ms: f64,
+    /// Mean ordering (preprocessing) time per completed query, ms.
+    pub avg_order_ms: f64,
+    /// Mean embeddings found per completed query.
+    pub avg_embeddings: f64,
+    /// Mean CPI candidate entries (CFL variants only; 0 otherwise).
+    pub avg_index_entries: f64,
+    /// Mean CPI bytes (CFL variants only; 0 otherwise).
+    pub avg_index_bytes: f64,
+}
+
+impl AlgoResult {
+    /// Whether every query timed out (the paper's "INF" marker).
+    pub fn is_inf(&self) -> bool {
+        self.queries > 0 && self.timeouts == self.queries
+    }
+
+    /// Formats the average total time the way the harness prints series:
+    /// `INF` when nothing completed.
+    pub fn display_total(&self) -> String {
+        if self.is_inf() {
+            "INF".to_owned()
+        } else {
+            format!("{:.2}", self.avg_total_ms)
+        }
+    }
+}
+
+/// Runs `matcher` over every query in `queries` against `g` and aggregates.
+pub fn run_query_set(
+    matcher: &dyn Matcher,
+    g: &Graph,
+    queries: &[Graph],
+    opts: &RunOptions,
+) -> AlgoResult {
+    let mut out = AlgoResult {
+        queries: queries.len(),
+        ..Default::default()
+    };
+    let mut completed = 0usize;
+    for q in queries {
+        let start = Instant::now();
+        let report = match matcher.count(q, g, opts.budget()) {
+            Ok(r) => r,
+            Err(_) => continue,
+        };
+        let total = start.elapsed();
+        if report.outcome == MatchOutcome::TimedOut {
+            out.timeouts += 1;
+            continue;
+        }
+        completed += 1;
+        out.avg_total_ms += total.as_secs_f64() * 1e3;
+        out.avg_enum_ms += report.stats.enumeration_time.as_secs_f64() * 1e3;
+        out.avg_order_ms += report.stats.total_ordering_time().as_secs_f64() * 1e3;
+        out.avg_embeddings += report.embeddings as f64;
+        out.avg_index_entries += (report.stats.cpi_candidates + report.stats.cpi_edges) as f64;
+        out.avg_index_bytes += report.stats.cpi_bytes as f64;
+    }
+    if completed > 0 {
+        let n = completed as f64;
+        out.avg_total_ms /= n;
+        out.avg_enum_ms /= n;
+        out.avg_order_ms /= n;
+        out.avg_embeddings /= n;
+        out.avg_index_entries /= n;
+        out.avg_index_bytes /= n;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfl_baselines::CflMatcher;
+    use cfl_graph::graph_from_edges;
+
+    #[test]
+    fn runner_aggregates() {
+        let g = graph_from_edges(
+            &[0, 1, 2, 0, 1, 2],
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
+        )
+        .unwrap();
+        let q = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let queries = vec![q.clone(), q];
+        let res = run_query_set(
+            &CflMatcher::full(),
+            &g,
+            &queries,
+            &RunOptions::default(),
+        );
+        assert_eq!(res.queries, 2);
+        assert_eq!(res.timeouts, 0);
+        assert!((res.avg_embeddings - 2.0).abs() < 1e-9);
+        assert!(!res.is_inf());
+        assert!(res.display_total().parse::<f64>().is_ok());
+    }
+
+    #[test]
+    fn inf_display() {
+        let r = AlgoResult {
+            queries: 3,
+            timeouts: 3,
+            ..Default::default()
+        };
+        assert!(r.is_inf());
+        assert_eq!(r.display_total(), "INF");
+    }
+}

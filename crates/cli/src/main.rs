@@ -1,0 +1,344 @@
+//! `cfl` — command-line interface to the CFL-Match subgraph-matching
+//! library.
+//!
+//! ```text
+//! cfl generate --vertices N [--degree D] [--labels L] [--seed S] -o G.graph
+//! cfl dataset  <hprd|yeast|human|dblp|wordnet|synthetic> [--scale N] -o G.graph
+//! cfl query    <data.graph> --size N [--density sparse|dense]
+//!              [--count K] [--seed S] -o PREFIX       # writes PREFIX-<i>.graph
+//! cfl match    <query.graph> <data.graph> [--algorithm NAME] [--limit N]
+//!              [--time-limit SECS] [--print] [--count-only]
+//! cfl stats    <graph>
+//! ```
+
+use std::process::exit;
+use std::time::{Duration, Instant};
+
+use cfl_baselines::{BoostedMatcher, CflMatcher, Matcher, QuickSi, TurboIso, Ullmann, Vf2};
+use cfl_datasets::Dataset;
+use cfl_graph::{
+    query_set, read_graph_file, synthetic_graph, write_graph_file, QueryDensity,
+    SyntheticConfig,
+};
+use cfl_match::Budget;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        exit(2);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "generate" => cmd_generate(rest),
+        "dataset" => cmd_dataset(rest),
+        "query" => cmd_query(rest),
+        "match" => cmd_match(rest),
+        "stats" => cmd_stats(rest),
+        "workload" => cmd_workload(rest),
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("unknown command {other:?}");
+            usage();
+            exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "cfl — CFL-Match subgraph matching\n\
+         commands:\n  \
+         generate --vertices N [--degree D] [--labels L] [--seed S] -o FILE\n  \
+         dataset <hprd|yeast|human|dblp|wordnet|synthetic> [--scale N] -o FILE\n  \
+         query <data> --size N [--density sparse|dense] [--count K] [--seed S] -o PREFIX\n  \
+         match <query> <data> [--algorithm cfl|quicksi|turboiso|vf2|ullmann|graphql|spath|boost]\n        \
+               [--limit N] [--time-limit SECS] [--print] [--count-only]\n  \
+         stats <graph> [--top N]\n  \
+         workload <hprd|yeast|human|dblp|wordnet|synthetic> [--scale N] [--queries N] -o DIR"
+    );
+}
+
+struct Flags {
+    positional: Vec<String>,
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String], valued: &[&str]) -> Flags {
+        let mut f = Flags {
+            positional: Vec::new(),
+            pairs: Vec::new(),
+            switches: Vec::new(),
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+                if valued.contains(&name) {
+                    i += 1;
+                    let Some(v) = args.get(i) else {
+                        eprintln!("flag --{name} needs a value");
+                        exit(2);
+                    };
+                    f.pairs.push((name.to_string(), v.clone()));
+                } else {
+                    f.switches.push(name.to_string());
+                }
+            } else {
+                f.positional.push(a.clone());
+            }
+            i += 1;
+        }
+        f
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for --{name}: {v:?}");
+                exit(2)
+            }),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn require_output(f: &Flags) -> &str {
+    f.get("o").or_else(|| f.get("output")).unwrap_or_else(|| {
+        eprintln!("missing -o FILE");
+        exit(2)
+    })
+}
+
+fn cmd_generate(args: &[String]) {
+    let f = Flags::parse(args, &["vertices", "degree", "labels", "seed", "o", "output"]);
+    let cfg = SyntheticConfig {
+        num_vertices: f.get_parse("vertices", 10_000usize),
+        avg_degree: f.get_parse("degree", 8.0f64),
+        num_labels: f.get_parse("labels", 50usize),
+        label_exponent: 1.0,
+        twin_fraction: 0.0,
+        seed: f.get_parse("seed", 1u64),
+    };
+    let g = synthetic_graph(&cfg);
+    let out = require_output(&f);
+    write_graph_file(&g, out).unwrap_or_else(die);
+    println!(
+        "wrote {out}: {} vertices, {} edges, {} labels",
+        g.num_vertices(),
+        g.num_edges(),
+        g.num_labels()
+    );
+}
+
+fn cmd_dataset(args: &[String]) {
+    let f = Flags::parse(args, &["scale", "o", "output"]);
+    let Some(name) = f.positional.first() else {
+        eprintln!("dataset name required");
+        exit(2);
+    };
+    let d = match name.to_lowercase().as_str() {
+        "hprd" => Dataset::Hprd,
+        "yeast" => Dataset::Yeast,
+        "human" => Dataset::Human,
+        "dblp" => Dataset::Dblp,
+        "wordnet" => Dataset::WordNet,
+        "synthetic" => Dataset::SyntheticDefault,
+        other => {
+            eprintln!("unknown dataset {other:?}");
+            exit(2);
+        }
+    };
+    let scale = f.get_parse("scale", 1usize);
+    let g = d.build_scaled(scale);
+    let out = require_output(&f);
+    write_graph_file(&g, out).unwrap_or_else(die);
+    println!(
+        "wrote {out} ({} ÷{scale}): {} vertices, {} edges",
+        d.name(),
+        g.num_vertices(),
+        g.num_edges()
+    );
+}
+
+fn cmd_query(args: &[String]) {
+    let f = Flags::parse(args, &["size", "density", "count", "seed", "o", "output"]);
+    let Some(path) = f.positional.first() else {
+        eprintln!("data graph path required");
+        exit(2);
+    };
+    let g = read_graph_file(path).unwrap_or_else(die);
+    let density = match f.get("density").unwrap_or("sparse") {
+        "sparse" | "s" => QueryDensity::Sparse,
+        "dense" | "nonsparse" | "n" => QueryDensity::NonSparse,
+        other => {
+            eprintln!("unknown density {other:?} (sparse|dense)");
+            exit(2);
+        }
+    };
+    let size = f.get_parse("size", 10usize);
+    let count = f.get_parse("count", 1usize);
+    let seed = f.get_parse("seed", 1u64);
+    let prefix = require_output(&f);
+    let queries = query_set(&g, size, density, count, seed);
+    if queries.len() < count {
+        eprintln!(
+            "warning: only {} of {count} queries could be extracted",
+            queries.len()
+        );
+    }
+    for (i, q) in queries.iter().enumerate() {
+        let path = format!("{prefix}-{i}.graph");
+        write_graph_file(q, &path).unwrap_or_else(die);
+        println!("wrote {path}: {} vertices, {} edges", q.num_vertices(), q.num_edges());
+    }
+}
+
+fn cmd_match(args: &[String]) {
+    let f = Flags::parse(args, &["algorithm", "limit", "time-limit"]);
+    if f.positional.len() != 2 {
+        eprintln!("usage: cfl match <query.graph> <data.graph> [flags]");
+        exit(2);
+    }
+    let q = read_graph_file(&f.positional[0]).unwrap_or_else(die);
+    let g = read_graph_file(&f.positional[1]).unwrap_or_else(die);
+
+    let algo: Box<dyn Matcher> = match f.get("algorithm").unwrap_or("cfl") {
+        "cfl" | "cfl-match" => Box::new(CflMatcher::full()),
+        "quicksi" => Box::new(QuickSi),
+        "turboiso" => Box::new(TurboIso),
+        "vf2" => Box::new(Vf2),
+        "ullmann" => Box::new(Ullmann),
+        "graphql" => Box::new(cfl_baselines::GraphQl),
+        "spath" => Box::new(cfl_baselines::SPath),
+        "boost" => Box::new(BoostedMatcher::default()),
+        other => {
+            eprintln!("unknown algorithm {other:?}");
+            exit(2);
+        }
+    };
+
+    let mut budget = Budget::first(f.get_parse("limit", 100_000u64));
+    if let Some(tl) = f.get("time-limit") {
+        let secs: u64 = tl.parse().unwrap_or_else(|_| {
+            eprintln!("bad --time-limit");
+            exit(2)
+        });
+        budget = budget.with_time_limit(Duration::from_secs(secs));
+    }
+
+    let print_embeddings = f.has("print");
+    let start = Instant::now();
+    let report = if f.has("count-only") {
+        algo.count(&q, &g, budget)
+    } else {
+        algo.find(&q, &g, budget, &mut |m| {
+            if print_embeddings {
+                println!("{m:?}");
+            }
+            true
+        })
+    }
+    .unwrap_or_else(die);
+    let elapsed = start.elapsed();
+
+    println!(
+        "{}: {} embeddings ({:?}) in {:.3} ms [{} search nodes]",
+        algo.name(),
+        report.embeddings,
+        report.outcome,
+        elapsed.as_secs_f64() * 1e3,
+        report.stats.search_nodes
+    );
+}
+
+fn cmd_stats(args: &[String]) {
+    let f = Flags::parse(args, &["top"]);
+    let Some(path) = f.positional.first() else {
+        eprintln!("graph path required");
+        exit(2);
+    };
+    let g = read_graph_file(path).unwrap_or_else(die);
+    let summary = cfl_graph::GraphSummary::compute(&g);
+    println!("{summary}");
+    println!("connected       {}", cfl_graph::is_connected(&g));
+    let compressed = cfl_baselines::compress(&g);
+    println!(
+        "NEC compression {:.1}%",
+        compressed.compression_ratio(&g) * 100.0
+    );
+    let top: usize = f.get_parse("top", 5);
+    if top > 0 {
+        println!("degree histogram (top {top} buckets by count):");
+        let mut rows = summary.degree_histogram.clone();
+        rows.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        for (d, c) in rows.into_iter().take(top) {
+            println!("  degree {d:>5}: {c} vertices");
+        }
+    }
+}
+
+fn cmd_workload(args: &[String]) {
+    let f = Flags::parse(args, &["scale", "queries", "o", "output"]);
+    let Some(name) = f.positional.first() else {
+        eprintln!("dataset name required");
+        exit(2);
+    };
+    let d = match name.to_lowercase().as_str() {
+        "hprd" => cfl_datasets::Dataset::Hprd,
+        "yeast" => cfl_datasets::Dataset::Yeast,
+        "human" => cfl_datasets::Dataset::Human,
+        "dblp" => cfl_datasets::Dataset::Dblp,
+        "wordnet" => cfl_datasets::Dataset::WordNet,
+        "synthetic" => cfl_datasets::Dataset::SyntheticDefault,
+        other => {
+            eprintln!("unknown dataset {other:?}");
+            exit(2);
+        }
+    };
+    let scale = f.get_parse("scale", 1usize);
+    let count = f.get_parse("queries", 100usize);
+    let out_dir = require_output(&f);
+    let g = d.build_scaled(scale);
+    write_graph_file(&g, std::path::Path::new(out_dir).join("data.graph"))
+        .unwrap_or_else(die);
+    let w = cfl_datasets::Workload::for_dataset(d);
+    let sizes = w.scaled_sizes(scale.max(1));
+    for (i, &size) in sizes.iter().enumerate() {
+        for (j, density) in [QueryDensity::Sparse, QueryDensity::NonSparse]
+            .into_iter()
+            .enumerate()
+        {
+            let spec = cfl_datasets::QuerySetSpec {
+                size,
+                density,
+                count,
+                seed: 0x9e37 + (i * 2 + j) as u64 * 104_729,
+            };
+            let queries = spec.generate(&g);
+            let paths = cfl_datasets::save_query_set(out_dir, &spec.name(), &queries)
+                .unwrap_or_else(die);
+            println!("{}: {} queries -> {out_dir}/{}", spec.name(), paths.len(), spec.name());
+        }
+    }
+    println!("data graph -> {out_dir}/data.graph");
+}
+
+fn die<E: std::fmt::Display, T>(e: E) -> T {
+    eprintln!("error: {e}");
+    exit(1)
+}

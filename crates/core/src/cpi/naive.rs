@@ -1,0 +1,72 @@
+//! Naive CPI construction (§4.1).
+//!
+//! `u.C` is simply every data vertex with label `l_q(u)`; adjacency lists
+//! are all data edges between parent and child candidates. Sound but full
+//! of false positives — this is the `CFL-Match-Naive` baseline of the CPI
+//! ablation (Figure 15).
+
+use cfl_graph::{BfsTree, VertexId};
+
+use super::{Cpi, CpiScaffold};
+use crate::filters::FilterContext;
+
+/// Builds the naive CPI.
+pub fn build_naive(ctx: &FilterContext<'_>, root: VertexId) -> Cpi {
+    let q = ctx.q;
+    let g = ctx.g;
+    let n = q.num_vertices();
+    let tree = BfsTree::new(q, root);
+    let mut s = CpiScaffold::new(tree, n);
+
+    for u in 0..n as VertexId {
+        s.candidates[u as usize] = ctx
+            .g_stats
+            .label_index
+            .vertices_with_label(q.label(u))
+            .to_vec();
+        s.alive[u as usize] = vec![true; s.candidates[u as usize].len()];
+    }
+
+    for u in 0..n as VertexId {
+        let Some(p) = s.tree.parent(u) else { continue };
+        let lu = q.label(u);
+        let rows: Vec<Vec<VertexId>> = s.candidates[p as usize]
+            .iter()
+            .map(|&vp| {
+                g.neighbors(vp)
+                    .iter()
+                    .copied()
+                    .filter(|&v| g.label(v) == lu)
+                    .collect()
+            })
+            .collect();
+        s.rows[u as usize] = rows;
+    }
+
+    s.finalize(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::CpiMode;
+    use crate::cpi::Cpi;
+    use crate::filters::{FilterContext, GraphStats};
+    use cfl_graph::graph_from_edges;
+
+    #[test]
+    fn naive_keeps_all_label_matches() {
+        let q = graph_from_edges(&[0, 1], &[(0, 1)]).unwrap();
+        // Three label-0 vertices, only one connected to a label-1 vertex.
+        let g = graph_from_edges(&[0, 0, 0, 1], &[(0, 3), (1, 2)]).unwrap();
+        let qs = GraphStats::build(&q);
+        let gs = GraphStats::build(&g);
+        let ctx = FilterContext::new(&q, &g, &qs, &gs);
+        let cpi = Cpi::build(&ctx, 0, CpiMode::Naive);
+        assert_eq!(cpi.candidates(0), &[0, 1, 2]);
+        assert_eq!(cpi.candidates(1), &[3]);
+        // Rows: vertex 0 connects to 3; vertices 1, 2 have empty rows.
+        assert_eq!(cpi.row(1, 0), &[0]);
+        assert!(cpi.row(1, 1).is_empty());
+        assert!(cpi.row(1, 2).is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! Bottom-up CPI refinement — Algorithm 4.
+//!
+//! The top-down pass only exploits ancestors, so a candidate may lack any
+//! neighbor among the candidates of its children (downward tree edges and
+//! downward C-NTEs, Table 2). This pass walks the BFS tree bottom-up and
+//! prunes such candidates; adjacency-list pruning (lines 8–11) is realized
+//! by [`CpiScaffold::finalize`](super::CpiScaffold::finalize), which drops
+//! every entry touching a dead candidate.
+
+use cfl_graph::VertexId;
+
+use super::CpiScaffold;
+use crate::filters::FilterContext;
+
+/// Runs Algorithm 4 over a top-down scaffold, flipping alive flags.
+pub(crate) fn bottom_up(ctx: &FilterContext<'_>, s: &mut CpiScaffold) {
+    let q = ctx.q;
+    let g = ctx.g;
+    let mut cnt = vec![0u32; g.num_vertices()];
+    let mut touched: Vec<VertexId> = Vec::new();
+
+    for lev in (1..=s.tree.num_levels()).rev() {
+        let vlev: Vec<VertexId> = s.tree.level_vertices(lev).to_vec();
+        for &u in &vlev {
+            // Lower-level neighbors: tree children and downward C-NTEs.
+            let lower: Vec<VertexId> = q
+                .neighbors(u)
+                .iter()
+                .copied()
+                .filter(|&w| s.tree.level(w) > s.tree.level(u))
+                .collect();
+            if lower.is_empty() {
+                continue;
+            }
+
+            let lu = q.label(u);
+            let du = q.degree(u);
+            let mut target = 0u32;
+            for &w in &lower {
+                // Counter pass of Lemma 5.1 over the *alive* candidates of w.
+                let lower_cands: Vec<VertexId> = s.alive_candidates(w).collect();
+                for &vw in &lower_cands {
+                    for &v in g.neighbors(vw) {
+                        if g.label(v) == lu && g.degree(v) >= du && cnt[v as usize] == target {
+                            if target == 0 {
+                                touched.push(v);
+                            }
+                            cnt[v as usize] += 1;
+                        }
+                    }
+                }
+                target += 1;
+            }
+
+            let ui = u as usize;
+            for i in 0..s.candidates[ui].len() {
+                if s.alive[ui][i] && cnt[s.candidates[ui][i] as usize] != target {
+                    s.alive[ui][i] = false;
+                }
+            }
+            for &v in &touched {
+                cnt[v as usize] = 0;
+            }
+            touched.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::CpiMode;
+    use crate::cpi::Cpi;
+    use crate::filters::{FilterContext, GraphStats};
+    use cfl_graph::{graph_from_edges, Graph};
+
+    fn build(q: &Graph, g: &Graph, root: u32, mode: CpiMode) -> Cpi {
+        let qs = GraphStats::build(q);
+        let gs = GraphStats::build(g);
+        let ctx = FilterContext::new(q, g, &qs, &gs);
+        Cpi::build(&ctx, root, mode)
+    }
+
+    #[test]
+    fn refinement_prunes_candidates_without_child_support() {
+        // Query path: u0(A) – u1(B) – u2(C) – u3(D). The failure must sit
+        // two hops below the candidate, because the 1-hop NLF filter of the
+        // top-down pass already removes direct neighborhood mismatches.
+        let q = graph_from_edges(&[0, 1, 2, 3], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        // Data: A(0)–B(1)–C(2)–D(3) chain plus B(4)–C(5) hanging off A(0),
+        // where C(5) has no D neighbor. B(4) passes every local filter (it
+        // has A and C neighbors, degree 2, MND 2) so top-down keeps it;
+        // bottom-up prunes it because its only C neighbor is not in u2.C.
+        let g = graph_from_edges(&[0, 1, 2, 3, 1, 2], &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5)])
+            .unwrap();
+        let td = build(&q, &g, 0, CpiMode::TopDown);
+        assert_eq!(td.candidates(1), &[1, 4], "top-down keeps the impostor B");
+        let refined = build(&q, &g, 0, CpiMode::TopDownRefined);
+        assert_eq!(refined.candidates(1), &[1]);
+        assert_eq!(refined.candidates(0), &[0]);
+        assert_eq!(refined.candidates(2), &[2]);
+        assert_eq!(refined.candidates(3), &[3]);
+    }
+
+    #[test]
+    fn refinement_prunes_dangling_adjacency_entries() {
+        // Same shape, but A(0) also neighbors the doomed B(4): the row of
+        // A(0) initially lists both B(1) and B(4); after refinement it must
+        // list only B(1).
+        let q = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2)]).unwrap();
+        let g = graph_from_edges(&[0, 1, 2, 1], &[(0, 1), (1, 2), (0, 3)]).unwrap();
+        let refined = build(&q, &g, 0, CpiMode::TopDownRefined);
+        assert_eq!(refined.candidates(0), &[0]);
+        assert_eq!(refined.candidates(1), &[1]);
+        let row = refined.row(1, 0);
+        let verts: Vec<u32> = row
+            .iter()
+            .map(|&p| refined.candidates(1)[p as usize])
+            .collect();
+        assert_eq!(verts, vec![1]);
+    }
+
+    #[test]
+    fn refinement_preserves_soundness() {
+        // Two disjoint triangles in G, both must survive refinement.
+        let q = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let g = graph_from_edges(
+            &[0, 1, 2, 0, 1, 2],
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
+        )
+        .unwrap();
+        let cpi = build(&q, &g, 0, CpiMode::TopDownRefined);
+        assert_eq!(cpi.candidates(0), &[0, 3]);
+        assert_eq!(cpi.candidates(1), &[1, 4]);
+        assert_eq!(cpi.candidates(2), &[2, 5]);
+    }
+
+    #[test]
+    fn downward_cntes_prune() {
+        // Query: u0(A) with children u1(B), and u1 child u2(C); plus C-NTE
+        // u0–u2. Data has an A–B–C path where A lacks the direct A–C edge:
+        // top-down already handles upward C-NTE for u2 (u0 visited), so make
+        // the failure on the *downward* side: A(3)'s chain B(4)-C(5) exists
+        // but A(3)–C(5) edge missing → u2 candidate C(5) pruned top-down
+        // (C-NTE up), then B(4) pruned bottom-up, then A(3).
+        let q = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let g = graph_from_edges(
+            &[0, 1, 2, 0, 1, 2],
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5)],
+        )
+        .unwrap();
+        let cpi = build(&q, &g, 0, CpiMode::TopDownRefined);
+        assert_eq!(cpi.candidates(0), &[0]);
+        assert_eq!(cpi.candidates(1), &[1]);
+        assert_eq!(cpi.candidates(2), &[2]);
+    }
+}

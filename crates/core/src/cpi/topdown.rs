@@ -1,0 +1,261 @@
+//! Top-down CPI construction — Algorithm 3.
+//!
+//! Query vertices are processed level-by-level down the BFS tree. For each
+//! level: (1) *forward candidate generation* intersects, for every vertex
+//! `u`, the label/degree-filtered neighborhoods of the candidate sets of
+//! `u`'s already-visited query neighbors (tree parents, upper C-NTE
+//! endpoints, and earlier same-level S-NTE endpoints), via the counter
+//! scheme of Lemma 5.1; (2) *backward candidate pruning* re-applies the
+//! counters against the later same-level S-NTE endpoints in reverse order;
+//! (3) *adjacency list construction* materializes `N_u^{u.p}(v)` for the
+//! tree edge to the parent. Total time `O(|E(G)| · |E(q)|)` (Theorem 5.1).
+
+use cfl_graph::{BfsTree, Graph, VertexId};
+
+use super::CpiScaffold;
+use crate::filters::FilterContext;
+
+/// Counter pass of Lemma 5.1 (Algorithm 3, lines 11–13): for every data
+/// vertex `v` with label `l_q(u)` and degree ≥ `d_q(u)` adjacent to some
+/// candidate in `parent_cands`, increment `cnt[v]` iff `cnt[v] == target`.
+/// Vertices touched at target 0 are recorded so counters can be reset in
+/// time proportional to the touched set.
+fn count_pass(
+    g: &Graph,
+    q: &Graph,
+    u: VertexId,
+    parent_cands: &[VertexId],
+    cnt: &mut [u32],
+    touched: &mut Vec<VertexId>,
+    target: u32,
+) {
+    let lu = q.label(u);
+    let du = q.degree(u);
+    for &vp in parent_cands {
+        for &v in g.neighbors(vp) {
+            if g.label(v) == lu && g.degree(v) >= du && cnt[v as usize] == target {
+                if target == 0 {
+                    touched.push(v);
+                }
+                cnt[v as usize] += 1;
+            }
+        }
+    }
+}
+
+#[inline]
+fn reset(cnt: &mut [u32], touched: &mut Vec<VertexId>) {
+    for &v in touched.iter() {
+        cnt[v as usize] = 0;
+    }
+    touched.clear();
+}
+
+/// Runs Algorithm 3, producing a scaffold whose candidates are all alive.
+pub(crate) fn top_down(ctx: &FilterContext<'_>, root: VertexId) -> CpiScaffold {
+    let q = ctx.q;
+    let g = ctx.g;
+    let n = q.num_vertices();
+    let tree = BfsTree::new(q, root);
+    debug_assert_eq!(tree.num_reached(), n, "query must be connected");
+    let mut s = CpiScaffold::new(tree, n);
+
+    // Root candidates (lines 1–2).
+    for v in ctx.light_candidates(root) {
+        if ctx.cand_verify(v, root) {
+            s.candidates[root as usize].push(v);
+        }
+    }
+
+    let mut visited = vec![false; n];
+    visited[root as usize] = true;
+    let mut cnt = vec![0u32; g.num_vertices()];
+    let mut touched: Vec<VertexId> = Vec::new();
+    let mut member = vec![false; g.num_vertices()];
+
+    let num_levels = s.tree.num_levels();
+    for lev in 2..=num_levels {
+        let vlev: Vec<VertexId> = s.tree.level_vertices(lev).to_vec();
+
+        // --- Forward candidate generation (lines 5–17) ---
+        let mut un: Vec<Vec<VertexId>> = vec![Vec::new(); vlev.len()];
+        for (idx, &u) in vlev.iter().enumerate() {
+            let mut target = 0u32;
+            for &w in q.neighbors(u) {
+                if visited[w as usize] {
+                    count_pass(g, q, u, &s.candidates[w as usize], &mut cnt, &mut touched, target);
+                    target += 1;
+                } else if s.tree.level(w) == s.tree.level(u) {
+                    // Unvisited same-level neighbor: S-NTE, deferred to the
+                    // backward pass.
+                    un[idx].push(w);
+                }
+                // Unvisited lower-level neighbors (tree children / downward
+                // C-NTEs) are exploited by the bottom-up refinement.
+            }
+            debug_assert!(target >= 1, "every non-root vertex has a visited BFS parent");
+            for &v in &touched {
+                if cnt[v as usize] == target && ctx.cand_verify(v, u) {
+                    s.candidates[u as usize].push(v);
+                }
+            }
+            reset(&mut cnt, &mut touched);
+            visited[u as usize] = true;
+        }
+
+        // --- Backward candidate pruning (lines 18–23) ---
+        for (idx, &u) in vlev.iter().enumerate().rev() {
+            if un[idx].is_empty() {
+                continue;
+            }
+            let mut target = 0u32;
+            for &w in &un[idx] {
+                count_pass(g, q, u, &s.candidates[w as usize], &mut cnt, &mut touched, target);
+                target += 1;
+            }
+            s.candidates[u as usize].retain(|&v| cnt[v as usize] == target);
+            reset(&mut cnt, &mut touched);
+        }
+
+        // --- Adjacency list construction (lines 24–28) ---
+        for &u in &vlev {
+            let p = s.tree.parent(u).expect("non-root") as usize;
+            for &v in &s.candidates[u as usize] {
+                member[v as usize] = true;
+            }
+            let lu = q.label(u);
+            let mut rows = Vec::with_capacity(s.candidates[p].len());
+            for &vp in &s.candidates[p] {
+                let row: Vec<VertexId> = g
+                    .neighbors(vp)
+                    .iter()
+                    .copied()
+                    .filter(|&v| g.label(v) == lu && member[v as usize])
+                    .collect();
+                rows.push(row);
+            }
+            s.rows[u as usize] = rows;
+            for &v in &s.candidates[u as usize] {
+                member[v as usize] = false;
+            }
+        }
+    }
+
+    for u in 0..n {
+        s.alive[u] = vec![true; s.candidates[u].len()];
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::CpiMode;
+    use crate::cpi::Cpi;
+    use crate::filters::{FilterContext, GraphStats};
+    use cfl_graph::{graph_from_edges, Graph};
+
+    fn build_td(q: &Graph, g: &Graph, root: u32) -> Cpi {
+        let qs = GraphStats::build(q);
+        let gs = GraphStats::build(g);
+        let ctx = FilterContext::new(q, g, &qs, &gs);
+        Cpi::build(&ctx, root, CpiMode::TopDown)
+    }
+
+    /// Example 5.1 (Figure 7). Query: u0(A)–u1(B), u0–u2(C), u1–u2 (S-NTE),
+    /// u1–u3(D), u2–u3 (C-NTE). Data graph of Figure 7(c), re-indexed from 0:
+    /// v1..v15 → 0..14.
+    fn figure7_graphs() -> (Graph, Graph) {
+        let q = graph_from_edges(&[0, 1, 2, 3], &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]).unwrap();
+        // Labels: A=0 B=1 C=2 D=3.
+        // v1(0):A v2(1):A v3(2):B v4(3):C v5(4):B v6(5):C v7(6):B v8(7):C
+        // v9(8):B v10(9):B v11(10):C v12(11):D v13(12):D v14(13):D v15(14):D
+        // Edges chosen to realize Example 5.1's candidate sets:
+        //   u0.C = {v1, v2}
+        //   u1.C forward = {v3, v5, v7, v9}; v9 pruned backward (no nbr in u2.C)
+        //   u2.C forward = {v4, v6, v8}; v10 fails CandVerify (no D neighbor)
+        //   u3.C = {v11, v12} (=ids 11,12? no — v11 is C) … u3.C = {v12, v13}
+        let g = graph_from_edges(
+            &[0, 0, 1, 2, 1, 2, 1, 2, 1, 1, 2, 3, 3, 3, 3],
+            &[
+                // A–B edges: v1–v3, v1–v5, v1–v7, v2–v7, v2–v9
+                (0, 2),
+                (0, 4),
+                (0, 6),
+                (1, 6),
+                (1, 8),
+                // A–C edges: v1–v4, v1–v6, v2–v8, v2–v10(label B? no v10=9 is B)
+                (0, 3),
+                (0, 5),
+                (1, 7),
+                // B–C edges (u1–u2 S-NTE support): v3–v4, v5–v6, v7–v8
+                (2, 3),
+                (4, 5),
+                (6, 7),
+                // B–D edges (u1–u3): v3–v12, v5–v12, v7–v13
+                (2, 11),
+                (4, 11),
+                (6, 12),
+                // C–D edges (u2–u3): v4–v12, v6–v12, v8–v13
+                (3, 11),
+                (5, 11),
+                (7, 12),
+                // v10(9, label B) attached to v2 and to a C (v11=10) that has
+                // no D neighbor, so v10 survives label/degree but its C
+                // partner v11 never helps; v9(8) attached only to v2 with a
+                // C? give v9 a C neighbor with no D: v9–v11.
+                (1, 9),
+                (8, 10),
+                (9, 10),
+            ],
+        )
+        .unwrap();
+        (q, g)
+    }
+
+    #[test]
+    fn example51_candidate_sets() {
+        let (q, g) = figure7_graphs();
+        let cpi = build_td(&q, &g, 0);
+        assert_eq!(cpi.candidates(0), &[0, 1]); // u0.C = {v1, v2}
+        // u1.C: forward gives B-neighbors of {v1,v2} = {v3,v5,v7,v9,v10};
+        // NLF (CandVerify) requires a C and a D neighbor: v9(8) has C nbr
+        // v11(10) but no D ⇒ NLF on D fails; v10(9) likewise.
+        assert_eq!(cpi.candidates(1), &[2, 4, 6]);
+        // u2.C: C-neighbors of u0.C ∩ C-neighbors of u1.C with D nbr.
+        assert_eq!(cpi.candidates(2), &[3, 5, 7]);
+        // u3.C: D vertices adjacent to a u1 candidate and a u2 candidate.
+        assert_eq!(cpi.candidates(3), &[11, 12]);
+    }
+
+    #[test]
+    fn rows_follow_tree_edges() {
+        let (q, g) = figure7_graphs();
+        let cpi = build_td(&q, &g, 0);
+        // Parent of u1 is u0. Row of v1 (pos 0 in u0.C) must list u1
+        // candidates adjacent to v1: v3(2), v5(4), v7(6) → positions 0,1,2.
+        let row = cpi.row(1, 0);
+        let verts: Vec<u32> = row.iter().map(|&p| cpi.candidates(1)[p as usize]).collect();
+        assert_eq!(verts, vec![2, 4, 6]);
+        // Row of v2 (pos 1): only v7(6).
+        let row = cpi.row(1, 1);
+        let verts: Vec<u32> = row.iter().map(|&p| cpi.candidates(1)[p as usize]).collect();
+        assert_eq!(verts, vec![6]);
+    }
+
+    #[test]
+    fn soundness_on_small_graph() {
+        // Build a query that embeds at a known place and check every mapped
+        // vertex is a candidate (Lemma 5.2).
+        let q = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let g = graph_from_edges(
+            &[0, 1, 2, 0, 1, 2],
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+        )
+        .unwrap();
+        let cpi = build_td(&q, &g, 0);
+        // Embeddings: (0,1,2) and (3,4,5).
+        assert!(cpi.candidates(0).contains(&0) && cpi.candidates(0).contains(&3));
+        assert!(cpi.candidates(1).contains(&1) && cpi.candidates(1).contains(&4));
+        assert!(cpi.candidates(2).contains(&2) && cpi.candidates(2).contains(&5));
+    }
+}

@@ -1,0 +1,393 @@
+//! Core-forest-leaf (CFL) decomposition of a query graph (Section 3).
+//!
+//! * The **core-structure** is the minimal connected subgraph containing all
+//!   non-tree edges of every spanning tree — exactly the 2-core of `q`
+//!   (Lemma 3.1), computed by iteratively peeling degree-one vertices. When
+//!   `q` is a tree (empty 2-core) the core degenerates to the chosen root
+//!   vertex.
+//! * The **forest-structure** is what remains: a set of trees, each sharing
+//!   exactly one *connection vertex* with the core.
+//! * The **leaf-set** `V_I` contains the degree-one vertices of those trees
+//!   (rooted at their connection vertices); §A.5 shows this is the maximal
+//!   independent set obtainable from the forest.
+//!
+//! The macro matching order is then `(V_C, V_T, V_I)`.
+
+use cfl_graph::{two_core, Graph, VertexId};
+
+use crate::config::DecompositionMode;
+
+/// Which part of the decomposition a query vertex belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Member of the core-set `V_C`.
+    Core,
+    /// Member of the forest-set `V_T`.
+    Forest,
+    /// Member of the leaf-set `V_I`.
+    Leaf,
+}
+
+/// One connected tree of the forest-structure.
+#[derive(Clone, Debug)]
+pub struct ForestTree {
+    /// The core vertex the tree hangs off ("connection vertex"). Belongs to
+    /// `V_C`, not to the tree's member list.
+    pub connection: VertexId,
+    /// Tree vertices excluding the connection vertex, in BFS order from the
+    /// connection.
+    pub members: Vec<VertexId>,
+}
+
+/// The core-forest-leaf decomposition of a query.
+#[derive(Clone, Debug)]
+pub struct CflDecomposition {
+    /// Role of each query vertex.
+    pub roles: Vec<Role>,
+    /// The core-set `V_C`.
+    pub core: Vec<VertexId>,
+    /// The forest-set `V_T`.
+    pub forest: Vec<VertexId>,
+    /// The leaf-set `V_I`.
+    pub leaves: Vec<VertexId>,
+    /// Connected trees of the forest-structure (members include both forest
+    /// and leaf vertices).
+    pub trees: Vec<ForestTree>,
+}
+
+impl CflDecomposition {
+    /// Decomposes `q` under the given mode.
+    ///
+    /// `root` is the vertex selected by root selection (§A.6); it seeds the
+    /// degenerate core when `q` is a tree. When the 2-core is non-empty,
+    /// `root` must belong to it (callers select the root from the core).
+    ///
+    /// Mode semantics:
+    /// * [`DecompositionMode::None`] — every vertex is `Core` (the `Match`
+    ///   variant applies core-match to the whole query);
+    /// * [`DecompositionMode::CoreForest`] — leaves stay in the forest-set
+    ///   (`CF-Match`);
+    /// * [`DecompositionMode::CoreForestLeaf`] — the full decomposition.
+    pub fn compute(q: &Graph, root: VertexId, mode: DecompositionMode) -> Self {
+        let n = q.num_vertices();
+        assert!(n > 0, "query must be non-empty");
+
+        if mode == DecompositionMode::None {
+            return CflDecomposition {
+                roles: vec![Role::Core; n],
+                core: (0..n as VertexId).collect(),
+                forest: Vec::new(),
+                leaves: Vec::new(),
+                trees: Vec::new(),
+            };
+        }
+
+        let mut in_core = two_core(q);
+        if in_core.iter().all(|&b| !b) {
+            // q is a tree: the core degenerates to the root vertex.
+            in_core[root as usize] = true;
+        }
+        debug_assert!(
+            in_core[root as usize],
+            "root must be selected from the core"
+        );
+
+        let mut roles: Vec<Role> = in_core
+            .iter()
+            .map(|&c| if c { Role::Core } else { Role::Forest })
+            .collect();
+
+        // Discover forest trees. Each connected component of q ∖ V_C is
+        // attached to exactly one core vertex by exactly one edge (otherwise
+        // a cycle through the component would have pulled it into the
+        // 2-core); all components sharing a connection vertex form one tree
+        // of the forest-structure, rooted at that connection vertex
+        // (Figure 4(c)).
+        let mut trees: Vec<ForestTree> = Vec::new();
+        let mut seen = vec![false; n];
+        for c in 0..n as VertexId {
+            if !in_core[c as usize] {
+                continue;
+            }
+            let mut members: Vec<VertexId> = Vec::new();
+            // BFS simultaneously into every non-core branch of c, so the
+            // member list is in BFS order from the connection vertex.
+            for &w in q.neighbors(c) {
+                if !in_core[w as usize] && !seen[w as usize] {
+                    seen[w as usize] = true;
+                    members.push(w);
+                }
+            }
+            let mut head = 0;
+            while head < members.len() {
+                let v = members[head];
+                head += 1;
+                for &x in q.neighbors(v) {
+                    if !in_core[x as usize] && !seen[x as usize] {
+                        seen[x as usize] = true;
+                        members.push(x);
+                    }
+                }
+            }
+            if !members.is_empty() {
+                trees.push(ForestTree {
+                    connection: c,
+                    members,
+                });
+            }
+        }
+
+        // Leaf classification: degree-one vertices of q inside trees.
+        if mode == DecompositionMode::CoreForestLeaf {
+            for t in &trees {
+                for &v in &t.members {
+                    if q.degree(v) == 1 {
+                        roles[v as usize] = Role::Leaf;
+                    }
+                }
+            }
+        }
+
+        let mut core = Vec::new();
+        let mut forest = Vec::new();
+        let mut leaves = Vec::new();
+        for v in 0..n as VertexId {
+            match roles[v as usize] {
+                Role::Core => core.push(v),
+                Role::Forest => forest.push(v),
+                Role::Leaf => leaves.push(v),
+            }
+        }
+
+        CflDecomposition {
+            roles,
+            core,
+            forest,
+            leaves,
+            trees,
+        }
+    }
+
+    /// Whether `v` is a core vertex.
+    #[inline]
+    pub fn is_core(&self, v: VertexId) -> bool {
+        self.roles[v as usize] == Role::Core
+    }
+
+    /// Whether `v` is a leaf vertex.
+    #[inline]
+    pub fn is_leaf(&self, v: VertexId) -> bool {
+        self.roles[v as usize] == Role::Leaf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfl_graph::graph_from_edges;
+
+    /// Figure 4(a): triangle core {0,1,2}; trees under 1 and 2; leaves 7–10.
+    fn figure4_query() -> Graph {
+        graph_from_edges(
+            &[0; 11],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (2, 5),
+                (2, 6),
+                (3, 7),
+                (4, 8),
+                (5, 9),
+                (6, 10),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure4_decomposition() {
+        let q = figure4_query();
+        let d = CflDecomposition::compute(&q, 0, DecompositionMode::CoreForestLeaf);
+        assert_eq!(d.core, vec![0, 1, 2]);
+        assert_eq!(d.forest, vec![3, 4, 5, 6]);
+        assert_eq!(d.leaves, vec![7, 8, 9, 10]);
+        assert_eq!(d.trees.len(), 2);
+        let t1 = d.trees.iter().find(|t| t.connection == 1).unwrap();
+        let mut m = t1.members.clone();
+        m.sort_unstable();
+        assert_eq!(m, vec![3, 4, 7, 8]);
+    }
+
+    #[test]
+    fn cf_mode_keeps_leaves_in_forest() {
+        let q = figure4_query();
+        let d = CflDecomposition::compute(&q, 0, DecompositionMode::CoreForest);
+        assert!(d.leaves.is_empty());
+        assert_eq!(d.forest, vec![3, 4, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn none_mode_puts_everything_in_core() {
+        let q = figure4_query();
+        let d = CflDecomposition::compute(&q, 0, DecompositionMode::None);
+        assert_eq!(d.core.len(), 11);
+        assert!(d.forest.is_empty() && d.leaves.is_empty() && d.trees.is_empty());
+    }
+
+    #[test]
+    fn tree_query_core_is_root() {
+        // Path 0-1-2-3.
+        let q = graph_from_edges(&[0; 4], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let d = CflDecomposition::compute(&q, 1, DecompositionMode::CoreForestLeaf);
+        assert_eq!(d.core, vec![1]);
+        assert_eq!(d.leaves, vec![0, 3]); // degree-one endpoints
+        assert_eq!(d.forest, vec![2]);
+        assert_eq!(d.trees.len(), 1, "both branches share connection vertex 1");
+    }
+
+    #[test]
+    fn single_vertex_query() {
+        let q = graph_from_edges(&[0], &[]).unwrap();
+        let d = CflDecomposition::compute(&q, 0, DecompositionMode::CoreForestLeaf);
+        assert_eq!(d.core, vec![0]);
+        assert!(d.forest.is_empty() && d.leaves.is_empty());
+    }
+
+    #[test]
+    fn single_edge_query() {
+        let q = graph_from_edges(&[0, 1], &[(0, 1)]).unwrap();
+        let d = CflDecomposition::compute(&q, 0, DecompositionMode::CoreForestLeaf);
+        assert_eq!(d.core, vec![0]);
+        assert_eq!(d.leaves, vec![1]);
+        assert!(d.forest.is_empty());
+    }
+
+    #[test]
+    fn whole_query_can_be_core() {
+        // A 4-cycle: every vertex is in the 2-core.
+        let q = graph_from_edges(&[0; 4], &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let d = CflDecomposition::compute(&q, 0, DecompositionMode::CoreForestLeaf);
+        assert_eq!(d.core.len(), 4);
+        assert!(d.trees.is_empty());
+    }
+
+    #[test]
+    fn star_query_all_leaves() {
+        // Star center 0 with 4 spokes: tree query, core = {0}, leaves = spokes.
+        let q = graph_from_edges(&[0; 5], &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let d = CflDecomposition::compute(&q, 0, DecompositionMode::CoreForestLeaf);
+        assert_eq!(d.core, vec![0]);
+        assert!(d.forest.is_empty());
+        assert_eq!(d.leaves, vec![1, 2, 3, 4]);
+        assert_eq!(d.trees.len(), 1, "one tree rooted at the star center");
+    }
+
+    #[test]
+    fn roles_partition_all_vertices() {
+        let q = figure4_query();
+        let d = CflDecomposition::compute(&q, 0, DecompositionMode::CoreForestLeaf);
+        assert_eq!(
+            d.core.len() + d.forest.len() + d.leaves.len(),
+            q.num_vertices()
+        );
+        assert!(d.is_core(0) && !d.is_core(3));
+        assert!(d.is_leaf(7) && !d.is_leaf(3));
+    }
+
+    #[test]
+    fn challenge1_query_decomposition() {
+        // Figure 1(a): u1..u6 = 0..5; edges: (0,1),(1,2),(2,3),(0,4),(4,5),(1,4).
+        // Core = {0,1,4} (cycle); forest = {2}; leaves = {3,5}.
+        let q = graph_from_edges(
+            &[0, 1, 2, 3, 4, 5],
+            &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (1, 4)],
+        )
+        .unwrap();
+        let d = CflDecomposition::compute(&q, 0, DecompositionMode::CoreForestLeaf);
+        assert_eq!(d.core, vec![0, 1, 4]);
+        assert_eq!(d.forest, vec![2]);
+        assert_eq!(d.leaves, vec![3, 5]);
+    }
+}
+
+/// §A.5: the forest-IS generalization. Computes the connected minimum
+/// vertex cover (cMVC) of each forest tree — the smallest vertex set that
+/// covers every tree edge, contains the connection vertex, and stays
+/// connected — whose complement is the largest independent set usable in
+/// place of the leaf-set.
+///
+/// The appendix proves the cMVC of a tree rooted at its connection vertex
+/// is exactly {connection} ∪ {vertices of degree ≥ 2}, so the complementary
+/// independent set *is* the leaf-set `V_I`; this function exists to verify
+/// that maximality claim programmatically (see the property tests).
+pub fn forest_independent_set(q: &Graph, decomp: &CflDecomposition) -> Vec<VertexId> {
+    let mut is = Vec::new();
+    for t in &decomp.trees {
+        for &m in &t.members {
+            // Degree-one vertices of q inside the tree form the IS.
+            if q.degree(m) == 1 {
+                is.push(m);
+            }
+        }
+    }
+    is.sort_unstable();
+    is
+}
+
+/// Checks that `set` is an independent set of `q` (no two members
+/// adjacent).
+pub fn is_independent_set(q: &Graph, set: &[VertexId]) -> bool {
+    for (i, &u) in set.iter().enumerate() {
+        for &v in &set[i + 1..] {
+            if q.has_edge(u, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod is_tests {
+    use super::*;
+    use cfl_graph::graph_from_edges;
+
+    #[test]
+    fn forest_is_equals_leaf_set() {
+        // Figure 4 query: the leaf-set and the forest independent set must
+        // coincide (§A.5's maximality claim).
+        let q = graph_from_edges(
+            &[0; 11],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (2, 5),
+                (2, 6),
+                (3, 7),
+                (4, 8),
+                (5, 9),
+                (6, 10),
+            ],
+        )
+        .unwrap();
+        let d = CflDecomposition::compute(&q, 0, DecompositionMode::CoreForestLeaf);
+        let is = forest_independent_set(&q, &d);
+        assert_eq!(is, d.leaves);
+        assert!(is_independent_set(&q, &is));
+    }
+
+    #[test]
+    fn independent_set_checker() {
+        let q = graph_from_edges(&[0; 4], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(is_independent_set(&q, &[0, 2]));
+        assert!(is_independent_set(&q, &[0, 3]));
+        assert!(!is_independent_set(&q, &[0, 1]));
+        assert!(is_independent_set(&q, &[]));
+    }
+}

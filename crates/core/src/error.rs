@@ -1,0 +1,55 @@
+//! Error type for matching runs.
+
+/// Errors a matching run can report before enumeration starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The query graph is empty.
+    EmptyQuery,
+    /// The query graph is not connected (the problem statement assumes a
+    /// connected query; disconnected queries would require a Cartesian
+    /// product of per-component results).
+    DisconnectedQuery,
+    /// The query has more vertices than the data graph, so no injective
+    /// mapping exists. Reported as an error rather than "0 embeddings" to
+    /// catch swapped arguments early.
+    QueryLargerThanData {
+        /// |V(q)|
+        query_vertices: usize,
+        /// |V(G)|
+        data_vertices: usize,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::EmptyQuery => write!(f, "query graph has no vertices"),
+            Error::DisconnectedQuery => write!(f, "query graph must be connected"),
+            Error::QueryLargerThanData {
+                query_vertices,
+                data_vertices,
+            } => write!(
+                f,
+                "query has {query_vertices} vertices but data graph has only {data_vertices}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(Error::EmptyQuery.to_string().contains("no vertices"));
+        assert!(Error::DisconnectedQuery.to_string().contains("connected"));
+        let e = Error::QueryLargerThanData {
+            query_vertices: 9,
+            data_vertices: 4,
+        };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+    }
+}

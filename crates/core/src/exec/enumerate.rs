@@ -1,0 +1,257 @@
+//! Core- and forest-match enumeration (§4.2.2 Algorithm 5, §4.3).
+//!
+//! Walks the matching order depth-first. Candidates for the root come from
+//! its CPI candidate set; candidates for every other vertex come from the
+//! CPI adjacency row of its already-mapped BFS parent (so the data graph is
+//! never scanned for tree edges). Non-tree edges — present only among core
+//! vertices — are validated by probing `G` (`ValidateNT`), exactly as
+//! Theorem 4.1 prescribes. Once all core and forest vertices are mapped the
+//! leaf phase (§4.4) completes the embedding.
+
+use std::ops::ControlFlow;
+use std::time::Instant;
+
+use cfl_graph::{Graph, VertexId};
+
+use super::leaf::LeafPhase;
+use crate::config::Budget;
+use crate::cpi::Cpi;
+use crate::order::OrderPlan;
+use crate::result::MatchOutcome;
+
+/// Sentinel for unmapped query vertices.
+pub(crate) const UNMAPPED: VertexId = VertexId::MAX;
+
+/// How many search nodes between deadline checks.
+const DEADLINE_STRIDE: u64 = 4096;
+
+pub(crate) struct Enumerator<'a, 's> {
+    q: &'a Graph,
+    g: &'a Graph,
+    cpi: &'a Cpi,
+    plan: &'a OrderPlan,
+    sink: super::SinkRef<'s>,
+    leaf: LeafPhase,
+
+    /// mapping[u] = data vertex for query vertex u, or UNMAPPED.
+    pub mapping: Vec<VertexId>,
+    /// pos[u] = position of mapping[u] within `cpi.candidates(u)`.
+    pub pos: Vec<u32>,
+    /// visited[v] = data vertex already used by the partial embedding.
+    pub visited: Vec<bool>,
+
+    pub emitted: u64,
+    pub nodes: u64,
+    pub nt_checks: u64,
+
+    max_embeddings: u64,
+    deadline: Option<Instant>,
+    timed_out: bool,
+}
+
+/// Inner control signal: stop the whole search.
+pub(crate) struct Stop;
+
+impl<'a, 's> Enumerator<'a, 's> {
+    pub(crate) fn new(
+        q: &'a Graph,
+        g: &'a Graph,
+        cpi: &'a Cpi,
+        plan: &'a OrderPlan,
+        budget: Budget,
+        sink: super::SinkRef<'s>,
+    ) -> Self {
+        let deadline = budget.time_limit.map(|d| Instant::now() + d);
+        Enumerator {
+            q,
+            g,
+            cpi,
+            plan,
+            sink,
+            leaf: LeafPhase::new(q.num_vertices()),
+            mapping: vec![UNMAPPED; q.num_vertices()],
+            pos: vec![0; q.num_vertices()],
+            visited: vec![false; g.num_vertices()],
+            emitted: 0,
+            nodes: 0,
+            nt_checks: 0,
+            max_embeddings: budget.max_embeddings.unwrap_or(u64::MAX),
+            deadline,
+            timed_out: false,
+        }
+    }
+
+    /// Runs the search to completion (or budget exhaustion).
+    pub(crate) fn run(&mut self) -> MatchOutcome {
+        if self.max_embeddings == 0 {
+            return MatchOutcome::LimitReached;
+        }
+        match self.extend(0) {
+            ControlFlow::Continue(()) => MatchOutcome::Complete,
+            ControlFlow::Break(Stop) => {
+                if self.timed_out {
+                    MatchOutcome::TimedOut
+                } else {
+                    MatchOutcome::LimitReached
+                }
+            }
+        }
+    }
+
+    /// Like [`run`](Self::run), but restricted to the given positions of
+    /// the root's candidate set — the work-partitioning hook for parallel
+    /// enumeration (each worker owns a disjoint slice of root candidates).
+    pub(crate) fn run_roots(&mut self, roots: &[u32]) -> MatchOutcome {
+        if self.max_embeddings == 0 {
+            return MatchOutcome::LimitReached;
+        }
+        debug_assert!(self
+            .plan
+            .vertices
+            .first()
+            .is_none_or(|ov| ov.parent.is_none()));
+        for &pos in roots {
+            match self.try_candidate(0, pos) {
+                ControlFlow::Continue(()) => {}
+                ControlFlow::Break(Stop) => {
+                    return if self.timed_out {
+                        MatchOutcome::TimedOut
+                    } else {
+                        MatchOutcome::LimitReached
+                    };
+                }
+            }
+        }
+        MatchOutcome::Complete
+    }
+
+    fn out_of_time(&mut self) -> bool {
+        if self.nodes.is_multiple_of(DEADLINE_STRIDE) {
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    self.timed_out = true;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn extend(&mut self, depth: usize) -> ControlFlow<Stop> {
+        if depth == self.plan.vertices.len() {
+            return self.complete();
+        }
+        let cpi = self.cpi;
+        let ov = &self.plan.vertices[depth];
+        let u = ov.vertex;
+        match ov.parent {
+            None => {
+                // The root: iterate its full candidate set.
+                for i in 0..cpi.candidates(u).len() {
+                    self.try_candidate(depth, i as u32)?;
+                }
+            }
+            Some(p) => {
+                let row = cpi.row(u, self.pos[p as usize] as usize);
+                for &cand_pos in row {
+                    self.try_candidate(depth, cand_pos)?;
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    #[inline]
+    fn try_candidate(&mut self, depth: usize, cand_pos: u32) -> ControlFlow<Stop> {
+        self.nodes += 1;
+        if self.out_of_time() {
+            return ControlFlow::Break(Stop);
+        }
+        let ov = &self.plan.vertices[depth];
+        let u = ov.vertex;
+        let v = self.cpi.candidates(u)[cand_pos as usize];
+        if self.visited[v as usize] {
+            return ControlFlow::Continue(());
+        }
+        // ValidateNT: probe G for every non-tree edge to earlier vertices.
+        for &w in &ov.checks {
+            self.nt_checks += 1;
+            if !self.g.has_edge(self.mapping[w as usize], v) {
+                return ControlFlow::Continue(());
+            }
+        }
+        self.mapping[u as usize] = v;
+        self.pos[u as usize] = cand_pos;
+        self.visited[v as usize] = true;
+        let r = self.extend(depth + 1);
+        self.visited[v as usize] = false;
+        self.mapping[u as usize] = UNMAPPED;
+        r
+    }
+
+    /// All core + forest vertices are mapped: run the leaf phase (or emit
+    /// directly when there are no leaves).
+    fn complete(&mut self) -> ControlFlow<Stop> {
+        if self.plan.leaves.is_empty() {
+            return self.emit();
+        }
+        let mut leaf = std::mem::replace(&mut self.leaf, LeafPhase::new(0));
+        let r = leaf.run(self);
+        self.leaf = leaf;
+        r
+    }
+
+    /// Emits the current full mapping. Called by the leaf phase too.
+    pub(crate) fn emit(&mut self) -> ControlFlow<Stop> {
+        debug_assert!(self.mapping.iter().all(|&v| v != UNMAPPED));
+        self.emitted += 1;
+        let keep_going = match self.sink.as_mut() {
+            Some(sink) => sink(&self.mapping),
+            None => true,
+        };
+        if !keep_going || self.emitted >= self.max_embeddings {
+            return ControlFlow::Break(Stop);
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Counting shortcut used by the leaf phase when no sink is installed:
+    /// bump the emitted counter by `n` embeddings at once.
+    pub(crate) fn emit_bulk(&mut self, n: u64) -> ControlFlow<Stop> {
+        debug_assert!(self.sink.is_none());
+        self.emitted = self.emitted.saturating_add(n);
+        if self.emitted >= self.max_embeddings {
+            self.emitted = self.emitted.min(self.max_embeddings);
+            return ControlFlow::Break(Stop);
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Whether embeddings are materialized (sink present) or only counted.
+    pub(crate) fn counting_only(&self) -> bool {
+        self.sink.is_none()
+    }
+
+    pub(crate) fn bump_node(&mut self) -> ControlFlow<Stop> {
+        self.nodes += 1;
+        if self.out_of_time() {
+            return ControlFlow::Break(Stop);
+        }
+        ControlFlow::Continue(())
+    }
+
+    pub(crate) fn query(&self) -> &'a Graph {
+        self.q
+    }
+
+    pub(crate) fn cpi(&self) -> &'a Cpi {
+        self.cpi
+    }
+
+    pub(crate) fn plan(&self) -> &'a OrderPlan {
+        self.plan
+    }
+}
+
+// Allow `?` on ControlFlow<Stop> inside this module (stable since 1.55 via
+// the Try impl for ControlFlow).

@@ -1,0 +1,227 @@
+//! Leaf-match (§4.4).
+//!
+//! Given an embedding of the core and forest vertices, the remaining query
+//! vertices are the leaf-set `V_I`. For each leaf `u` the candidate set is
+//! `C(u) = N_u^{u.p}(M(u.p)) ∖ (M_C ∪ M_T)`. Leaves with the same parent
+//! and label form an **NEC unit** (identical candidate sets); leaves are
+//! partitioned by label into **label classes**, whose candidate sets are
+//! pairwise disjoint (Lemma 4.3), so the embeddings of `V_I` are the
+//! Cartesian product of per-class embeddings.
+//!
+//! Enumeration walks units sorted by `(label, |C|)` ascending; because
+//! cross-class units can never conflict, marking data vertices in the
+//! shared visited array makes the sequential walk produce exactly the
+//! class-wise Cartesian product. In counting mode each NEC unit contributes
+//! *combinations* multiplied by `k!`, so counts are obtained without
+//! expanding permutations — the compression the paper introduces to avoid
+//! redundant Cartesian products among leaves.
+
+use std::ops::ControlFlow;
+
+use cfl_graph::{Label, VertexId};
+
+use super::enumerate::{Enumerator, Stop, UNMAPPED};
+
+/// One NEC unit: leaves sharing a parent and a label.
+struct Unit {
+    members: Vec<VertexId>,
+    cands: Vec<VertexId>,
+    label: Label,
+    parent: VertexId,
+}
+
+impl Unit {
+    fn empty() -> Self {
+        Unit {
+            members: Vec::new(),
+            cands: Vec::new(),
+            label: Label(0),
+            parent: 0,
+        }
+    }
+}
+
+/// Reusable leaf-phase machinery (scratch buffers persist across the many
+/// core/forest embeddings of one run).
+pub(crate) struct LeafPhase {
+    units: Vec<Unit>,
+    pool: Vec<Unit>,
+}
+
+impl LeafPhase {
+    pub(crate) fn new(_query_size: usize) -> Self {
+        LeafPhase {
+            units: Vec::new(),
+            pool: Vec::new(),
+        }
+    }
+
+    /// Runs the leaf phase for the current core+forest embedding in `en`.
+    pub(crate) fn run(&mut self, en: &mut Enumerator<'_, '_>) -> ControlFlow<Stop> {
+        if !self.build_units(en) {
+            self.recycle();
+            return ControlFlow::Continue(());
+        }
+        let r = if en.counting_only() {
+            match self.count_all(en, 0) {
+                ControlFlow::Continue(count) => en.emit_bulk(count),
+                ControlFlow::Break(stop) => ControlFlow::Break(stop),
+            }
+        } else {
+            self.assign(en, 0, 0)
+        };
+        self.recycle();
+        r
+    }
+
+    fn recycle(&mut self) {
+        for mut u in self.units.drain(..) {
+            u.members.clear();
+            u.cands.clear();
+            self.pool.push(u);
+        }
+    }
+
+    /// Computes `C(u)` for every leaf and groups leaves into NEC units;
+    /// returns `false` when some unit cannot be satisfied.
+    fn build_units(&mut self, en: &mut Enumerator<'_, '_>) -> bool {
+        let cpi = en.cpi();
+        let q = en.query();
+        debug_assert!(self.units.is_empty());
+
+        for i in 0..en.plan().leaves.len() {
+            let u = en.plan().leaves[i];
+            let p = cpi.parent(u).expect("leaves are never the root");
+            let label = q.label(u);
+            // NEC: same parent + same label ⇒ identical candidate set.
+            if let Some(unit) = self
+                .units
+                .iter_mut()
+                .find(|un| un.parent == p && un.label == label)
+            {
+                unit.members.push(u);
+                continue;
+            }
+            let mut unit = self.pool.pop().unwrap_or_else(Unit::empty);
+            unit.parent = p;
+            unit.label = label;
+            unit.members.push(u);
+            let parent_pos = en.pos[p as usize] as usize;
+            for &cand_pos in cpi.row(u, parent_pos) {
+                let v = cpi.candidates(u)[cand_pos as usize];
+                if !en.visited[v as usize] {
+                    unit.cands.push(v);
+                }
+            }
+            self.units.push(unit);
+        }
+
+        // Feasibility: each unit needs at least |members| candidates.
+        if self
+            .units
+            .iter()
+            .any(|un| un.cands.len() < un.members.len())
+        {
+            return false;
+        }
+
+        // Sort by (label, |C|): groups label classes together and applies
+        // the paper's fewest-candidates-first heuristic within each class.
+        self.units
+            .sort_by_key(|a| (a.label, a.cands.len()));
+        true
+    }
+
+    /// Enumeration mode: assign member `mi` of unit `ui`, then recurse.
+    fn assign(&self, en: &mut Enumerator<'_, '_>, ui: usize, mi: usize) -> ControlFlow<Stop> {
+        if ui == self.units.len() {
+            return en.emit();
+        }
+        let unit = &self.units[ui];
+        let member = unit.members[mi];
+        let (next_ui, next_mi) = if mi + 1 < unit.members.len() {
+            (ui, mi + 1)
+        } else {
+            (ui + 1, 0)
+        };
+        for &v in &unit.cands {
+            if en.visited[v as usize] {
+                continue;
+            }
+            en.bump_node()?;
+            en.visited[v as usize] = true;
+            en.mapping[member as usize] = v;
+            let r = self.assign(en, next_ui, next_mi);
+            en.visited[v as usize] = false;
+            en.mapping[member as usize] = UNMAPPED;
+            r?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Counting mode: number of leaf assignments for units `ui..`, using
+    /// combination enumeration × `k!` per NEC unit.
+    ///
+    /// Units of different labels never conflict, so this product could be
+    /// factorized per label class; the visited-marking recursion realizes
+    /// the same result because cross-class choices never block each other.
+    fn count_all(&self, en: &mut Enumerator<'_, '_>, ui: usize) -> ControlFlow<Stop, u64> {
+        if ui == self.units.len() {
+            return ControlFlow::Continue(1);
+        }
+        let unit = &self.units[ui];
+        let k = unit.members.len();
+        let sub = self.count_combinations(en, ui, 0, k)?;
+        ControlFlow::Continue(sub.saturating_mul(factorial(k)))
+    }
+
+    /// Chooses `remaining` distinct candidates for unit `ui` with indices
+    /// starting at `start` (combinations, not permutations), then recurses
+    /// into the next unit.
+    fn count_combinations(
+        &self,
+        en: &mut Enumerator<'_, '_>,
+        ui: usize,
+        start: usize,
+        remaining: usize,
+    ) -> ControlFlow<Stop, u64> {
+        if remaining == 0 {
+            return self.count_all(en, ui + 1);
+        }
+        let unit = &self.units[ui];
+        let mut total: u64 = 0;
+        // Not enough candidates left to fill the unit → prune.
+        if unit.cands.len() < start + remaining {
+            return ControlFlow::Continue(0);
+        }
+        for i in start..=unit.cands.len() - remaining {
+            let v = unit.cands[i];
+            if en.visited[v as usize] {
+                continue;
+            }
+            en.bump_node()?;
+            en.visited[v as usize] = true;
+            let r = self.count_combinations(en, ui, i + 1, remaining - 1);
+            en.visited[v as usize] = false;
+            total = total.saturating_add(r?);
+        }
+        ControlFlow::Continue(total)
+    }
+}
+
+fn factorial(k: usize) -> u64 {
+    (2..=k as u64).product::<u64>().max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::factorial;
+
+    #[test]
+    fn factorial_values() {
+        assert_eq!(factorial(0), 1);
+        assert_eq!(factorial(1), 1);
+        assert_eq!(factorial(2), 2);
+        assert_eq!(factorial(5), 120);
+    }
+}

@@ -1,0 +1,250 @@
+//! Parallel enumeration: partition the root candidate set across worker
+//! threads, each running an independent enumerator over the shared CPI.
+//!
+//! The CPI and matching order are query-global and immutable after
+//! preparation, so workers share them read-only; each worker owns its own
+//! mapping/visited state. This extension is not part of the paper (which
+//! evaluates single-threaded depth-first matching), but the root-candidate
+//! partitioning falls directly out of the CPI structure: the subtrees of
+//! search rooted at distinct root candidates are disjoint.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use cfl_graph::{Graph, VertexId};
+
+use crate::config::MatchConfig;
+use crate::error::Error;
+use crate::result::{Embedding, MatchOutcome, MatchReport, MatchStats};
+
+use super::enumerate::Enumerator;
+use super::{prepare, Prepared};
+
+/// Counts embeddings of `q` in `g` using up to `num_threads` workers.
+///
+/// The count is exact and deterministic; only the internal work order
+/// varies between runs. The embedding budget is enforced cooperatively
+/// (workers stop once the global count passes the cap, so slightly more
+/// work than the cap may be expended, never less).
+pub fn count_embeddings_parallel(
+    q: &Graph,
+    g: &Graph,
+    config: &MatchConfig,
+    num_threads: usize,
+) -> Result<MatchReport, Error> {
+    let prepared = prepare(q, g, config)?;
+    if prepared.provably_empty() {
+        return Ok(MatchReport::empty(prepared.stats));
+    }
+    let Prepared {
+        cpi,
+        plan,
+        mut stats,
+        ..
+    } = prepared;
+
+    let root = cpi.root();
+    let num_roots = cpi.candidates(root).len();
+    let workers = num_threads.clamp(1, num_roots.max(1));
+    let max = config.budget.max_embeddings.unwrap_or(u64::MAX);
+
+    // Counting mode passes no sink, so each worker keeps the combinatorial
+    // leaf-count shortcut (§4.4); the per-worker embedding cap bounds total
+    // work at workers × max in the capped case.
+    let enum_start = std::time::Instant::now();
+    let results: Vec<(MatchOutcome, u64, u64, u64)> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let cpi = &cpi;
+            let plan = &plan;
+            let budget = config.budget;
+            handles.push(scope.spawn(move || {
+                // Strided partition keeps per-worker load balanced when
+                // candidate hardness correlates with position.
+                let roots: Vec<u32> = (w..num_roots).step_by(workers).map(|i| i as u32).collect();
+                let mut en = Enumerator::new(q, g, cpi, plan, budget, None);
+                let outcome = en.run_roots(&roots);
+                (outcome, en.emitted, en.nodes, en.nt_checks)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    stats.enumeration_time = enum_start.elapsed();
+
+    merge_reports(results, max, false, stats)
+}
+
+/// Collects embeddings in parallel (order nondeterministic), up to the
+/// budget.
+pub fn collect_embeddings_parallel(
+    q: &Graph,
+    g: &Graph,
+    config: &MatchConfig,
+    num_threads: usize,
+) -> Result<(Vec<Embedding>, MatchReport), Error> {
+    let prepared = prepare(q, g, config)?;
+    if prepared.provably_empty() {
+        return Ok((Vec::new(), MatchReport::empty(prepared.stats)));
+    }
+    let Prepared {
+        cpi,
+        plan,
+        mut stats,
+        ..
+    } = prepared;
+
+    let root = cpi.root();
+    let num_roots = cpi.candidates(root).len();
+    let workers = num_threads.clamp(1, num_roots.max(1));
+    let max = config.budget.max_embeddings.unwrap_or(u64::MAX);
+
+    let cancelled = AtomicBool::new(false);
+    let (tx, rx) = crossbeam::channel::unbounded::<Vec<VertexId>>();
+
+    let enum_start = std::time::Instant::now();
+    let (mut collected, results) = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let cpi = &cpi;
+            let plan = &plan;
+            let cancelled = &cancelled;
+            let tx = tx.clone();
+            let budget = config.budget;
+            handles.push(scope.spawn(move || {
+                let roots: Vec<u32> = (w..num_roots).step_by(workers).map(|i| i as u32).collect();
+                let mut sink = |m: &[VertexId]| {
+                    tx.send(m.to_vec()).is_ok() && !cancelled.load(Ordering::Relaxed)
+                };
+                let mut en = Enumerator::new(q, g, cpi, plan, budget, Some(&mut sink));
+                let outcome = en.run_roots(&roots);
+                (outcome, en.emitted, en.nodes, en.nt_checks)
+            }));
+        }
+        drop(tx);
+
+        // Drain on this thread, enforcing the global cap.
+        let mut collected: Vec<Embedding> = Vec::new();
+        for mapping in rx.iter() {
+            if (collected.len() as u64) < max {
+                collected.push(Embedding { mapping });
+            }
+            if collected.len() as u64 >= max {
+                cancelled.store(true, Ordering::Relaxed);
+            }
+        }
+        let results: Vec<(MatchOutcome, u64, u64, u64)> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect();
+        (collected, results)
+    });
+    stats.enumeration_time = enum_start.elapsed();
+
+    collected.truncate(max.min(usize::MAX as u64) as usize);
+    let count = collected.len() as u64;
+    let mut report = merge_reports(results, max, cancelled.into_inner(), stats)?;
+    report.embeddings = count;
+    Ok((collected, report))
+}
+
+fn merge_reports(
+    results: Vec<(MatchOutcome, u64, u64, u64)>,
+    max: u64,
+    cancelled: bool,
+    mut stats: MatchStats,
+) -> Result<MatchReport, Error> {
+    let mut total = 0u64;
+    let mut timed_out = false;
+    let mut limited = cancelled;
+    for (outcome, emitted, nodes, nt) in results {
+        total = total.saturating_add(emitted);
+        stats.search_nodes += nodes;
+        stats.nt_checks += nt;
+        match outcome {
+            MatchOutcome::TimedOut => timed_out = true,
+            MatchOutcome::LimitReached => limited = true,
+            MatchOutcome::Complete => {}
+        }
+    }
+    let outcome = if timed_out {
+        MatchOutcome::TimedOut
+    } else if limited || total > max {
+        MatchOutcome::LimitReached
+    } else {
+        MatchOutcome::Complete
+    };
+    Ok(MatchReport {
+        outcome,
+        embeddings: total.min(max),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Budget, MatchConfig};
+    use cfl_graph::{graph_from_edges, synthetic_graph, SyntheticConfig};
+
+    fn big_graph() -> Graph {
+        synthetic_graph(&SyntheticConfig {
+            num_vertices: 300,
+            avg_degree: 6.0,
+            num_labels: 3,
+            label_exponent: 1.0,
+            twin_fraction: 0.0,
+            seed: 77,
+        })
+    }
+
+    #[test]
+    fn parallel_count_matches_serial() {
+        let g = big_graph();
+        let q = graph_from_edges(&[0, 1, 2, 0], &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let serial = crate::exec::count_embeddings(&q, &g, &MatchConfig::exhaustive())
+            .unwrap()
+            .embeddings;
+        for threads in [1, 2, 4, 8] {
+            let parallel =
+                count_embeddings_parallel(&q, &g, &MatchConfig::exhaustive(), threads)
+                    .unwrap();
+            assert_eq!(parallel.embeddings, serial, "threads = {threads}");
+            assert!(parallel.outcome.is_complete());
+        }
+    }
+
+    #[test]
+    fn parallel_collect_matches_serial_set() {
+        let g = big_graph();
+        let q = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let (serial, _) =
+            crate::exec::collect_embeddings(&q, &g, &MatchConfig::exhaustive()).unwrap();
+        let (parallel, report) =
+            collect_embeddings_parallel(&q, &g, &MatchConfig::exhaustive(), 4).unwrap();
+        let mut a: Vec<_> = serial.into_iter().map(|e| e.mapping).collect();
+        let mut b: Vec<_> = parallel.into_iter().map(|e| e.mapping).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(report.embeddings, a.len() as u64);
+    }
+
+    #[test]
+    fn parallel_budget_respected() {
+        let g = big_graph();
+        let q = graph_from_edges(&[0, 1], &[(0, 1)]).unwrap();
+        let cfg = MatchConfig::default().with_budget(Budget::first(10));
+        let (embs, report) = collect_embeddings_parallel(&q, &g, &cfg, 4).unwrap();
+        assert_eq!(embs.len(), 10);
+        assert_eq!(report.embeddings, 10);
+        assert_eq!(report.outcome, MatchOutcome::LimitReached);
+    }
+
+    #[test]
+    fn parallel_empty_result() {
+        let g = big_graph();
+        let q = graph_from_edges(&[9, 9], &[(0, 1)]).unwrap();
+        let r = count_embeddings_parallel(&q, &g, &MatchConfig::exhaustive(), 4).unwrap();
+        assert_eq!(r.embeddings, 0);
+        assert!(r.outcome.is_complete());
+    }
+}

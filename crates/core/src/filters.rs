@@ -1,0 +1,231 @@
+//! Candidate filtering (paper §A.6, Algorithm 6).
+//!
+//! A data vertex `v` can be a candidate of query vertex `u` only if
+//!
+//! 1. `l_G(v) = l_q(u)` (label filter, Ullmann),
+//! 2. `d_G(v) ≥ d_q(u)` (degree filter, Ullmann),
+//! 3. `mnd_G(v) ≥ mnd_q(u)` (maximum-neighbor-degree filter — the paper's
+//!    new constant-time filter, Lemma A.1),
+//! 4. for every label `l`, `d(v, l) ≥ d(u, l)` (NLF filter, SAPPER \[24\]).
+//!
+//! `CandVerify` checks the cheap MND filter before the `O(|L_N(u)|)` NLF
+//! filter.
+
+use cfl_graph::{max_neighbor_degrees, Graph, Label, LabelIndex, NlfIndex, VertexId};
+
+/// Precomputed filter statistics for one graph (query or data side).
+pub struct GraphStats {
+    /// Per-label sorted vertex lists.
+    pub label_index: LabelIndex,
+    /// Per-vertex neighborhood label frequencies.
+    pub nlf: NlfIndex,
+    /// Per-vertex maximum neighbor degree.
+    pub mnd: Vec<u32>,
+}
+
+impl GraphStats {
+    /// Builds all statistics in `O(|V| + |E|)`.
+    pub fn build(g: &Graph) -> Self {
+        GraphStats {
+            label_index: LabelIndex::build(g),
+            nlf: NlfIndex::build(g),
+            mnd: max_neighbor_degrees(g),
+        }
+    }
+}
+
+/// Which optional candidate filters `CandVerify` applies (the §A.6
+/// design-choice knobs; the label and degree filters are always on).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FilterOptions {
+    /// Apply the maximum-neighbor-degree filter (Lemma A.1).
+    pub use_mnd: bool,
+    /// Apply the neighborhood-label-frequency filter (SAPPER \[24\]).
+    pub use_nlf: bool,
+}
+
+impl Default for FilterOptions {
+    /// Both filters on — the paper's configuration.
+    fn default() -> Self {
+        FilterOptions {
+            use_mnd: true,
+            use_nlf: true,
+        }
+    }
+}
+
+/// Candidate verification context binding a query to a data graph.
+pub struct FilterContext<'a> {
+    /// The query graph.
+    pub q: &'a Graph,
+    /// The data graph.
+    pub g: &'a Graph,
+    /// Query-side statistics.
+    pub q_stats: &'a GraphStats,
+    /// Data-side statistics.
+    pub g_stats: &'a GraphStats,
+    /// Enabled optional filters.
+    pub options: FilterOptions,
+}
+
+impl<'a> FilterContext<'a> {
+    /// Binds the four pieces together with the default (full) filters.
+    pub fn new(q: &'a Graph, g: &'a Graph, q_stats: &'a GraphStats, g_stats: &'a GraphStats) -> Self {
+        Self::with_options(q, g, q_stats, g_stats, FilterOptions::default())
+    }
+
+    /// Binds with explicit filter options (for ablations).
+    pub fn with_options(
+        q: &'a Graph,
+        g: &'a Graph,
+        q_stats: &'a GraphStats,
+        g_stats: &'a GraphStats,
+        options: FilterOptions,
+    ) -> Self {
+        FilterContext {
+            q,
+            g,
+            q_stats,
+            g_stats,
+            options,
+        }
+    }
+
+    /// The label + degree pre-filter the construction loops apply inline
+    /// (Algorithm 3, lines 1 and 12).
+    #[inline]
+    pub fn label_degree_ok(&self, v: VertexId, u: VertexId) -> bool {
+        self.g.label(v) == self.q.label(u) && self.g.degree(v) >= self.q.degree(u)
+    }
+
+    /// `CandVerify` (Algorithm 6): MND filter then NLF filter. Assumes the
+    /// label + degree pre-filter already passed.
+    pub fn cand_verify(&self, v: VertexId, u: VertexId) -> bool {
+        if self.options.use_mnd && self.g_stats.mnd[v as usize] < self.q_stats.mnd[u as usize] {
+            return false;
+        }
+        !self.options.use_nlf
+            || NlfIndex::dominates(self.g_stats.nlf.signature(v), self.q_stats.nlf.signature(u))
+    }
+
+    /// Full candidate test: label, degree, MND, NLF.
+    pub fn is_candidate(&self, v: VertexId, u: VertexId) -> bool {
+        self.label_degree_ok(v, u) && self.cand_verify(v, u)
+    }
+
+    /// The light-weight candidate count used in root selection: vertices of
+    /// `G` with label `l_q(u)` and degree at least `d_q(u)`.
+    pub fn light_candidates(&self, u: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        let du = self.q.degree(u);
+        self.g_stats
+            .label_index
+            .vertices_with_label(self.q.label(u))
+            .iter()
+            .copied()
+            .filter(move |&v| self.g.degree(v) >= du)
+    }
+
+    /// Label frequency of `l` in the data graph.
+    pub fn label_frequency(&self, l: Label) -> usize {
+        self.g_stats.label_index.frequency(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfl_graph::graph_from_edges;
+
+    fn ctx_graphs() -> (Graph, Graph) {
+        // Query: triangle A-B-C (0,1,2 labels 0,1,2).
+        let q = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        // Data: triangle A-B-C (0,1,2) plus a pendant A (3) attached to 1,
+        // and an isolated-ish A (4) attached only to a B (5) of degree 1.
+        let g = graph_from_edges(
+            &[0, 1, 2, 0, 0, 1],
+            &[(0, 1), (1, 2), (2, 0), (1, 3), (4, 5)],
+        )
+        .unwrap();
+        (q, g)
+    }
+
+    #[test]
+    fn filter_options_disable_pruning() {
+        let (q, g) = ctx_graphs();
+        let qs = GraphStats::build(&q);
+        let gs = GraphStats::build(&g);
+        let off = FilterOptions {
+            use_mnd: false,
+            use_nlf: false,
+        };
+        let ctx = FilterContext::with_options(&q, &g, &qs, &gs, off);
+        // With both optional filters off, CandVerify accepts anything that
+        // passed label+degree.
+        for v in g.vertices() {
+            for u in q.vertices() {
+                assert!(ctx.cand_verify(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn filters_accept_true_candidate() {
+        let (q, g) = ctx_graphs();
+        let qs = GraphStats::build(&q);
+        let gs = GraphStats::build(&g);
+        let ctx = FilterContext::new(&q, &g, &qs, &gs);
+        assert!(ctx.is_candidate(0, 0)); // data A in triangle maps query A
+        assert!(ctx.is_candidate(1, 1));
+        assert!(ctx.is_candidate(2, 2));
+    }
+
+    #[test]
+    fn degree_filter_rejects() {
+        let (q, g) = ctx_graphs();
+        let qs = GraphStats::build(&q);
+        let gs = GraphStats::build(&g);
+        let ctx = FilterContext::new(&q, &g, &qs, &gs);
+        // Data vertex 3 (label A) has degree 1 < d_q(0)=2.
+        assert!(!ctx.is_candidate(3, 0));
+    }
+
+    #[test]
+    fn nlf_filter_rejects() {
+        // Query A with neighbors {B, C}; data A (vertex 4) with neighbor {B}
+        // of sufficient degree would pass label/degree if degrees matched,
+        // but NLF requires a C neighbor.
+        let q = graph_from_edges(&[0, 1, 2], &[(0, 1), (0, 2)]).unwrap();
+        let g = graph_from_edges(&[0, 1, 1], &[(0, 1), (0, 2)]).unwrap();
+        let qs = GraphStats::build(&q);
+        let gs = GraphStats::build(&g);
+        let ctx = FilterContext::new(&q, &g, &qs, &gs);
+        assert!(ctx.label_degree_ok(0, 0));
+        assert!(!ctx.cand_verify(0, 0)); // no C-labeled neighbor
+    }
+
+    #[test]
+    fn mnd_filter_rejects() {
+        // Query: path B(1)-A(0)-B(2), plus B(1) has 2 more neighbors → query
+        // A has a neighbor of degree 3, mnd_q(A) = 3.
+        let q = graph_from_edges(&[0, 1, 1, 2, 2], &[(0, 1), (0, 2), (1, 3), (1, 4)]).unwrap();
+        // Data: A whose B-neighbors have degree ≤ 2 → MND too small.
+        let g = graph_from_edges(&[0, 1, 1, 2], &[(0, 1), (0, 2), (1, 3)]).unwrap();
+        let qs = GraphStats::build(&q);
+        let gs = GraphStats::build(&g);
+        let ctx = FilterContext::new(&q, &g, &qs, &gs);
+        assert!(gs.mnd[0] < qs.mnd[0]);
+        assert!(!ctx.cand_verify(0, 0));
+    }
+
+    #[test]
+    fn light_candidates_filter_by_label_and_degree() {
+        let (q, g) = ctx_graphs();
+        let qs = GraphStats::build(&q);
+        let gs = GraphStats::build(&g);
+        let ctx = FilterContext::new(&q, &g, &qs, &gs);
+        let c: Vec<_> = ctx.light_candidates(0).collect();
+        // Label-A vertices: {0, 3, 4}; degree ≥ 2 keeps only 0.
+        assert_eq!(c, vec![0]);
+        assert_eq!(ctx.label_frequency(Label(0)), 3);
+    }
+}

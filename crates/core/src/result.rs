@@ -1,0 +1,128 @@
+//! Results and instrumentation of a matching run.
+
+use std::time::Duration;
+
+use cfl_graph::VertexId;
+
+/// One subgraph-isomorphic embedding: `mapping[u]` is the data vertex that
+/// query vertex `u` maps to (Definition 2.1).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Embedding {
+    /// Indexed by query vertex id.
+    pub mapping: Vec<VertexId>,
+}
+
+impl Embedding {
+    /// The data vertex mapped by query vertex `u`.
+    #[inline]
+    pub fn map(&self, u: VertexId) -> VertexId {
+        self.mapping[u as usize]
+    }
+}
+
+/// Why a matching run stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatchOutcome {
+    /// Every embedding was enumerated.
+    Complete,
+    /// The `max_embeddings` budget was reached.
+    LimitReached,
+    /// The wall-clock budget was exceeded (the paper's "INF" points).
+    TimedOut,
+}
+
+impl MatchOutcome {
+    /// Whether the reported count is exhaustive.
+    pub fn is_complete(self) -> bool {
+        matches!(self, MatchOutcome::Complete)
+    }
+}
+
+/// Counters and phase timings for one matching run.
+///
+/// The evaluation splits total time into *query vertex ordering time* (CPI
+/// construction + Algorithm 2) and *embedding enumeration time* (Figures 9
+/// and 10); these fields support that split.
+#[derive(Clone, Debug, Default)]
+pub struct MatchStats {
+    /// Time spent building the auxiliary structure (CPI).
+    pub build_time: Duration,
+    /// Time spent computing the matching order.
+    pub ordering_time: Duration,
+    /// Time spent enumerating embeddings.
+    pub enumeration_time: Duration,
+    /// Total candidate entries over all query vertices (CPI size proxy,
+    /// Figure 16(d)).
+    pub cpi_candidates: u64,
+    /// Total adjacency-list entries in the CPI (the edge part of its size).
+    pub cpi_edges: u64,
+    /// Estimated CPI memory in bytes (Figure 16(d) y-axis).
+    pub cpi_bytes: u64,
+    /// Number of partial-mapping extensions attempted (search tree nodes).
+    pub search_nodes: u64,
+    /// Number of non-tree edge checks probed against `G`.
+    pub nt_checks: u64,
+}
+
+impl MatchStats {
+    /// Ordering + build time: what Figure 10 calls "query vertex ordering
+    /// time" ("the time to compute the matching order and other auxiliary
+    /// data structures that are required for computing the matching order").
+    pub fn total_ordering_time(&self) -> Duration {
+        self.build_time + self.ordering_time
+    }
+}
+
+/// Summary of one matching run.
+#[derive(Clone, Debug)]
+pub struct MatchReport {
+    /// Why the run stopped.
+    pub outcome: MatchOutcome,
+    /// Number of embeddings emitted (≤ budget).
+    pub embeddings: u64,
+    /// Instrumentation.
+    pub stats: MatchStats,
+}
+
+impl MatchReport {
+    /// A report for a run that proved emptiness before enumeration (e.g. an
+    /// empty candidate set).
+    pub fn empty(stats: MatchStats) -> Self {
+        MatchReport {
+            outcome: MatchOutcome::Complete,
+            embeddings: 0,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedding_accessor() {
+        let e = Embedding {
+            mapping: vec![5, 3, 9],
+        };
+        assert_eq!(e.map(0), 5);
+        assert_eq!(e.map(2), 9);
+    }
+
+    #[test]
+    fn outcome_flags() {
+        assert!(MatchOutcome::Complete.is_complete());
+        assert!(!MatchOutcome::LimitReached.is_complete());
+        assert!(!MatchOutcome::TimedOut.is_complete());
+    }
+
+    #[test]
+    fn ordering_time_sums_build_and_order() {
+        let stats = MatchStats {
+            build_time: Duration::from_millis(3),
+            ordering_time: Duration::from_millis(4),
+            ..Default::default()
+        };
+        assert_eq!(stats.total_ordering_time(), Duration::from_millis(7));
+    }
+}

@@ -1,0 +1,94 @@
+//! Root vertex selection for the CPI's BFS tree (paper §A.6).
+//!
+//! The root is chosen as `argmin_u |C(u)| / d_q(u)`: few candidates (few
+//! partial embeddings) and high degree (early pruning). To keep selection
+//! cheap, a light-weight label+degree candidate count ranks all eligible
+//! vertices, the top-3 are re-scored with the full `CandVerify` filter, and
+//! the best of those wins. When the query has a non-empty 2-core the root is
+//! restricted to core vertices, because core vertices open the matching
+//! order (§3).
+
+use cfl_graph::VertexId;
+
+use crate::filters::FilterContext;
+
+/// Selects the BFS root among `eligible` query vertices (non-empty).
+pub fn select_root(ctx: &FilterContext<'_>, eligible: &[VertexId]) -> VertexId {
+    assert!(!eligible.is_empty(), "root selection needs candidates");
+
+    // Rank by the light-weight score.
+    let mut scored: Vec<(f64, VertexId)> = eligible
+        .iter()
+        .map(|&u| {
+            let cnt = ctx.light_candidates(u).count();
+            (score(cnt, ctx.q.degree(u)), u)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    // Refine the top-3 with CandVerify.
+    let mut best: Option<(f64, VertexId)> = None;
+    for &(_, u) in scored.iter().take(3) {
+        let refined = ctx
+            .light_candidates(u)
+            .filter(|&v| ctx.cand_verify(v, u))
+            .count();
+        let s = score(refined, ctx.q.degree(u));
+        if best.is_none_or(|(bs, bu)| s < bs || (s == bs && u < bu)) {
+            best = Some((s, u));
+        }
+    }
+    best.expect("top-3 non-empty").1
+}
+
+#[inline]
+fn score(candidates: usize, degree: usize) -> f64 {
+    candidates as f64 / degree.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filters::GraphStats;
+    use cfl_graph::graph_from_edges;
+
+    #[test]
+    fn prefers_rare_high_degree_vertex() {
+        // Query: center 0 (label 9, degree 3) with leaves of label 1.
+        let q = graph_from_edges(&[9, 1, 1, 1], &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        // Data: one label-9 hub with three label-1 spokes plus many extra
+        // label-1 vertices.
+        let g = graph_from_edges(
+            &[9, 1, 1, 1, 1, 1, 1],
+            &[(0, 1), (0, 2), (0, 3), (4, 5), (5, 6)],
+        )
+        .unwrap();
+        let qs = GraphStats::build(&q);
+        let gs = GraphStats::build(&g);
+        let ctx = FilterContext::new(&q, &g, &qs, &gs);
+        let all: Vec<VertexId> = (0..4).collect();
+        assert_eq!(select_root(&ctx, &all), 0);
+    }
+
+    #[test]
+    fn respects_eligible_restriction() {
+        let q = graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2)]).unwrap();
+        let g = graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2)]).unwrap();
+        let qs = GraphStats::build(&q);
+        let gs = GraphStats::build(&g);
+        let ctx = FilterContext::new(&q, &g, &qs, &gs);
+        // Restrict eligibility to vertex 2 only.
+        assert_eq!(select_root(&ctx, &[2]), 2);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        // Symmetric query/data: ties broken toward the smaller id.
+        let q = graph_from_edges(&[0, 0], &[(0, 1)]).unwrap();
+        let g = graph_from_edges(&[0, 0], &[(0, 1)]).unwrap();
+        let qs = GraphStats::build(&q);
+        let gs = GraphStats::build(&g);
+        let ctx = FilterContext::new(&q, &g, &qs, &gs);
+        assert_eq!(select_root(&ctx, &[0, 1]), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Pull-based embedding streams.
+//!
+//! [`find_embeddings`](crate::find_embeddings) pushes results into a sink;
+//! an [`EmbeddingStream`] inverts the control flow into a standard
+//! `Iterator`, running the search on a worker thread with a bounded
+//! channel. Dropping the stream early cancels the search (the worker's
+//! next send fails and the enumerator unwinds), so `stream.take(5)` does
+//! only slightly more than 5 embeddings' worth of work.
+
+use std::thread::JoinHandle;
+
+use cfl_graph::Graph;
+
+use crate::config::MatchConfig;
+use crate::error::Error;
+use crate::result::{Embedding, MatchOutcome};
+
+/// An iterator over the embeddings of a query, produced concurrently.
+///
+/// Construction validates the inputs eagerly (so errors surface before the
+/// first `next()`); the search itself runs on a dedicated worker thread.
+pub struct EmbeddingStream {
+    rx: Option<crossbeam::channel::Receiver<Embedding>>,
+    worker: Option<JoinHandle<MatchOutcome>>,
+}
+
+impl EmbeddingStream {
+    /// Starts the search. The graphs are owned (or cheaply cloned) so the
+    /// stream is `'static` and can outlive the call site.
+    pub fn start(q: Graph, g: Graph, config: MatchConfig) -> Result<EmbeddingStream, Error> {
+        // Validate eagerly on the calling thread.
+        if q.num_vertices() == 0 {
+            return Err(Error::EmptyQuery);
+        }
+        if !cfl_graph::is_connected(&q) {
+            return Err(Error::DisconnectedQuery);
+        }
+        if q.num_vertices() > g.num_vertices() {
+            return Err(Error::QueryLargerThanData {
+                query_vertices: q.num_vertices(),
+                data_vertices: g.num_vertices(),
+            });
+        }
+
+        let (tx, rx) = crossbeam::channel::bounded::<Embedding>(256);
+        let worker = std::thread::spawn(move || {
+            let report = crate::exec::find_embeddings(&q, &g, &config, |mapping| {
+                tx.send(Embedding {
+                    mapping: mapping.to_vec(),
+                })
+                .is_ok()
+            });
+            report.map(|r| r.outcome).unwrap_or(MatchOutcome::Complete)
+        });
+        Ok(EmbeddingStream {
+            rx: Some(rx),
+            worker: Some(worker),
+        })
+    }
+
+    /// Consumes the rest of the stream and reports why the search stopped.
+    /// [`MatchOutcome::LimitReached`] is also returned when the stream was
+    /// abandoned early (the worker observed a closed channel).
+    pub fn finish(mut self) -> MatchOutcome {
+        drop(self.rx.take());
+        self.worker
+            .take()
+            .expect("finish called once")
+            .join()
+            .expect("search worker panicked")
+    }
+}
+
+impl Iterator for EmbeddingStream {
+    type Item = Embedding;
+
+    fn next(&mut self) -> Option<Embedding> {
+        self.rx.as_ref()?.recv().ok()
+    }
+}
+
+impl Drop for EmbeddingStream {
+    fn drop(&mut self) {
+        drop(self.rx.take());
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MatchConfig;
+    use cfl_graph::graph_from_edges;
+
+    fn graphs() -> (Graph, Graph) {
+        let q = graph_from_edges(&[0, 1], &[(0, 1)]).unwrap();
+        let g = graph_from_edges(
+            &[0, 1, 1, 1, 0],
+            &[(0, 1), (0, 2), (0, 3), (4, 1), (4, 2)],
+        )
+        .unwrap();
+        (q, g)
+    }
+
+    #[test]
+    fn stream_yields_all_embeddings() {
+        let (q, g) = graphs();
+        let expected = crate::exec::count_embeddings(&q, &g, &MatchConfig::exhaustive())
+            .unwrap()
+            .embeddings;
+        let stream = EmbeddingStream::start(q, g, MatchConfig::exhaustive()).unwrap();
+        let all: Vec<Embedding> = stream.collect();
+        assert_eq!(all.len() as u64, expected);
+        for e in &all {
+            assert_eq!(e.mapping.len(), 2);
+        }
+    }
+
+    #[test]
+    fn early_drop_cancels_search() {
+        let (q, g) = graphs();
+        let mut stream = EmbeddingStream::start(q, g, MatchConfig::exhaustive()).unwrap();
+        let first = stream.next();
+        assert!(first.is_some());
+        drop(stream); // must not hang
+    }
+
+    #[test]
+    fn finish_reports_outcome() {
+        let (q, g) = graphs();
+        let stream = EmbeddingStream::start(q.clone(), g.clone(), MatchConfig::exhaustive())
+            .unwrap();
+        let outcome = stream.finish();
+        // Abandoned immediately: worker sees the closed channel.
+        assert!(matches!(
+            outcome,
+            MatchOutcome::LimitReached | MatchOutcome::Complete
+        ));
+
+        let mut stream = EmbeddingStream::start(q, g, MatchConfig::exhaustive()).unwrap();
+        let _all: Vec<_> = stream.by_ref().collect();
+        assert_eq!(stream.finish(), MatchOutcome::Complete);
+    }
+
+    #[test]
+    fn invalid_inputs_fail_eagerly() {
+        let empty = graph_from_edges(&[], &[]).unwrap();
+        let g = graph_from_edges(&[0], &[]).unwrap();
+        assert!(matches!(
+            EmbeddingStream::start(empty, g, MatchConfig::default()),
+            Err(Error::EmptyQuery)
+        ));
+    }
+}

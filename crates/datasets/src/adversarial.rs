@@ -1,0 +1,195 @@
+//! Adversarial instances from the paper's motivating analyses.
+//!
+//! * [`challenge1`] — Figure 1: the dissimilar-vertex Cartesian-product
+//!   trap that motivates the CFL decomposition (§1, Challenge 1).
+//! * [`near_clique_pathology`] — Figures 17/18 (§A.3): the near-clique
+//!   instance on which TurboISO's materialized path embeddings explode
+//!   exponentially (the authors report the original implementation
+//!   *crashes*), while the CPI stays `O(|E(G)|·|V(q)|)`.
+
+use cfl_graph::{Graph, GraphBuilder, Label};
+
+/// Labels used by the constructions.
+const A: Label = Label(0);
+const B: Label = Label(1);
+const C: Label = Label(2);
+const D: Label = Label(3);
+const E: Label = Label(4);
+const F: Label = Label(5);
+
+/// The Figure 1 instance, parameterized by the branch widths (the paper
+/// uses 100 C–D chains and 1000 E branches).
+///
+/// Query: `u1(A)–u2(B)–u3(C)–u4(D)` chain, `u1–u5(E)–u6(F)` chain, and the
+/// non-tree edge `(u2, u5)`. Data: one A–B pair; `num_cd` C–D chains on the
+/// B; `num_e` E vertices on the A of which only the first also connects to
+/// the B and carries the F.
+pub fn challenge1(num_cd: u32, num_e: u32) -> (Graph, Graph) {
+    let q = cfl_graph::graph_from_edges(
+        &[0, 1, 2, 3, 4, 5],
+        &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (1, 4)],
+    )
+    .expect("static query");
+
+    let mut b = GraphBuilder::new();
+    let va = b.add_vertex(A);
+    let vb = b.add_vertex(B);
+    b.add_edge(va, vb);
+    for _ in 0..num_cd {
+        let c = b.add_vertex(C);
+        let d = b.add_vertex(D);
+        b.add_edge(vb, c);
+        b.add_edge(c, d);
+    }
+    for i in 0..num_e {
+        let e = b.add_vertex(E);
+        b.add_edge(va, e);
+        if i == 0 {
+            b.add_edge(vb, e);
+            let f = b.add_vertex(F);
+            b.add_edge(e, f);
+        }
+    }
+    (q, b.build().expect("static data graph"))
+}
+
+/// The §A.3 near-clique instance (Figures 17/18).
+///
+/// Data graph: `n_clique` A-labeled vertices forming a near-clique — every
+/// pair adjacent except consecutive pairs `(v_i, v_{i+1})` and the wrap
+/// pair `(v_0, v_{n-1})` — plus a B and a C vertex attached to `v_0`.
+///
+/// Query: a chain of `chain_len` A vertices whose head carries a B leaf and
+/// a C leaf, plus (when `with_nt_edge`) a non-tree edge between the second
+/// and last chain vertices. The A-chain admits `∏_{j=1..len−1}(n−j−2)` path
+/// embeddings from `v_0` — exponential in the chain length — which is
+/// exactly what TurboISO materializes to rank paths (§A.3), while the CPI
+/// stores only per-edge candidate adjacency.
+pub fn near_clique_pathology(
+    n_clique: u32,
+    chain_len: u32,
+    with_nt_edge: bool,
+) -> (Graph, Graph) {
+    assert!(n_clique >= 5 && chain_len >= 3);
+    // Data graph.
+    let mut b = GraphBuilder::new();
+    for _ in 0..n_clique {
+        b.add_vertex(A);
+    }
+    for i in 0..n_clique {
+        for j in (i + 1)..n_clique {
+            let consecutive = j == i + 1 || (i == 0 && j == n_clique - 1);
+            if !consecutive {
+                b.add_edge(i, j);
+            }
+        }
+    }
+    let vb = b.add_vertex(B);
+    let vc = b.add_vertex(C);
+    b.add_edge(0, vb);
+    b.add_edge(0, vc);
+    let g = b.build().expect("static data graph");
+
+    // Query: chain u0(A) … u_{chain_len-1}(A); head u0 also has B, C leaves.
+    let mut qb = GraphBuilder::new();
+    for _ in 0..chain_len {
+        qb.add_vertex(A);
+    }
+    let ub = qb.add_vertex(B);
+    let uc = qb.add_vertex(C);
+    for i in 0..chain_len - 1 {
+        qb.add_edge(i, i + 1);
+    }
+    qb.add_edge(0, ub);
+    qb.add_edge(0, uc);
+    if with_nt_edge {
+        // Figure 18(c): a non-tree edge between the second chain vertex and
+        // the tail, checked only after the whole chain is materialized.
+        qb.add_edge(1, chain_len - 1);
+    }
+    (qb.build().expect("static query"), g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn challenge1_shapes() {
+        let (q, g) = challenge1(10, 50);
+        assert_eq!(q.num_vertices(), 6);
+        assert_eq!(g.num_vertices(), 2 + 20 + 50 + 1);
+        // Exactly one E vertex carries an F and links back to B.
+        let f_count = g.vertices().filter(|&v| g.label(v) == F).count();
+        assert_eq!(f_count, 1);
+    }
+
+    #[test]
+    fn near_clique_structure() {
+        let (q, g) = near_clique_pathology(8, 4, true);
+        // Near-clique: C(8,2) − 8 missing consecutive pairs.
+        let clique_edges = 8 * 7 / 2 - 8;
+        assert_eq!(g.num_edges(), clique_edges + 2);
+        // Query: chain (3 edges) + 2 leaves + 1 NT edge.
+        assert_eq!(q.num_edges(), 3 + 2 + 1);
+        assert_eq!(q.num_vertices(), 6);
+        let (q2, _) = near_clique_pathology(8, 4, false);
+        assert_eq!(q2.num_edges(), 5);
+    }
+
+    #[test]
+    fn pathology_instances_have_embeddings() {
+        use cfl_baselines_check::count_ullmann;
+        let (q, g) = near_clique_pathology(8, 3, false);
+        assert!(count_ullmann(&q, &g) > 0);
+        // The NT-edge variant stays satisfiable on a near-clique (it is the
+        // *materialization volume*, not emptiness, that §A.3 analyzes).
+        let (q2, g2) = near_clique_pathology(8, 4, true);
+        assert!(count_ullmann(&q2, &g2) > 0);
+    }
+
+    /// Minimal local oracle to avoid a dev-dependency cycle with
+    /// `cfl-baselines` (which depends on `cfl-match`, not on this crate —
+    /// but keeping datasets leaf-level keeps build graphs simple).
+    mod cfl_baselines_check {
+        use cfl_graph::Graph;
+
+        pub fn count_ullmann(q: &Graph, g: &Graph) -> usize {
+            let mut count = 0;
+            let mut mapping = vec![u32::MAX; q.num_vertices()];
+            let mut used = vec![false; g.num_vertices()];
+            search(q, g, 0, &mut mapping, &mut used, &mut count);
+            count
+        }
+
+        fn search(
+            q: &Graph,
+            g: &Graph,
+            u: usize,
+            mapping: &mut [u32],
+            used: &mut [bool],
+            count: &mut usize,
+        ) {
+            if u == q.num_vertices() {
+                *count += 1;
+                return;
+            }
+            for v in g.vertices() {
+                if used[v as usize] || g.label(v) != q.label(u as u32) {
+                    continue;
+                }
+                let ok = q.neighbors(u as u32).iter().all(|&w| {
+                    mapping[w as usize] == u32::MAX || g.has_edge(mapping[w as usize], v)
+                });
+                if !ok {
+                    continue;
+                }
+                mapping[u] = v;
+                used[v as usize] = true;
+                search(q, g, u + 1, mapping, used, count);
+                used[v as usize] = false;
+                mapping[u] = u32::MAX;
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # cfl-datasets
+//!
+//! Datasets and query workloads reproducing the CFL-Match evaluation (§6).
+//!
+//! The paper evaluates on real protein-interaction networks (HPRD, Yeast,
+//! Human), two large real graphs (DBLP, WordNet, §A.8), and a parameterized
+//! synthetic family. The real downloads are unavailable offline, so this
+//! crate generates **synthetic stand-ins matching each dataset's published
+//! summary statistics** (vertex count, edge count, average degree, label
+//! count) with power-law labels — the drivers of candidate-set sizes and
+//! Cartesian-product behavior that the evaluation measures. Each stand-in
+//! also has a `scaled(f)` form for laptop-budget runs.
+
+pub mod adversarial;
+pub mod persist;
+pub mod registry;
+pub mod workloads;
+
+pub use adversarial::{challenge1, near_clique_pathology};
+pub use persist::{load_query_set, save_query_set};
+pub use registry::{Dataset, DatasetSpec};
+pub use workloads::{QuerySetSpec, Workload};

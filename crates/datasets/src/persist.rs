@@ -1,0 +1,82 @@
+//! Workload persistence: save and reload query sets so experiments can be
+//! re-run bit-identically across machines and sessions.
+//!
+//! Layout: `<dir>/<set>/q-<i>.graph` plus a `manifest.txt` listing the
+//! files in order.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use cfl_graph::{read_graph_file, write_graph_file, Graph, IoError};
+
+/// Saves `queries` as `<dir>/<name>/q-<i>.graph` with a manifest; returns
+/// the written paths.
+pub fn save_query_set(
+    dir: impl AsRef<Path>,
+    name: &str,
+    queries: &[Graph],
+) -> Result<Vec<PathBuf>, IoError> {
+    let set_dir = dir.as_ref().join(name);
+    std::fs::create_dir_all(&set_dir)?;
+    let mut paths = Vec::with_capacity(queries.len());
+    let mut manifest = std::fs::File::create(set_dir.join("manifest.txt"))?;
+    for (i, q) in queries.iter().enumerate() {
+        let file = format!("q-{i}.graph");
+        let path = set_dir.join(&file);
+        write_graph_file(q, &path)?;
+        writeln!(manifest, "{file}")?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// Loads a query set saved by [`save_query_set`], in manifest order.
+pub fn load_query_set(dir: impl AsRef<Path>, name: &str) -> Result<Vec<Graph>, IoError> {
+    let set_dir = dir.as_ref().join(name);
+    let manifest = std::fs::File::open(set_dir.join("manifest.txt"))?;
+    let mut queries = Vec::new();
+    for line in BufReader::new(manifest).lines() {
+        let file = line?;
+        let file = file.trim();
+        if file.is_empty() {
+            continue;
+        }
+        queries.push(read_graph_file(set_dir.join(file))?);
+    }
+    Ok(queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dataset, QuerySetSpec};
+    use cfl_graph::QueryDensity;
+
+    #[test]
+    fn roundtrip() {
+        let g = Dataset::Yeast.build_scaled(25);
+        let spec = QuerySetSpec {
+            size: 6,
+            density: QueryDensity::Sparse,
+            count: 3,
+            seed: 9,
+        };
+        let queries = spec.generate(&g);
+        let dir = std::env::temp_dir().join(format!("cfl-persist-{}", std::process::id()));
+        let paths = save_query_set(&dir, &spec.name(), &queries).unwrap();
+        assert_eq!(paths.len(), queries.len());
+        let loaded = load_query_set(&dir, &spec.name()).unwrap();
+        assert_eq!(loaded.len(), queries.len());
+        for (a, b) in queries.iter().zip(&loaded) {
+            assert_eq!(a.labels(), b.labels());
+            assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_set_errors() {
+        let dir = std::env::temp_dir().join("cfl-persist-missing");
+        assert!(load_query_set(&dir, "nope").is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! BFS spanning trees.
+//!
+//! The CPI of Section 4.1 is defined with respect to a *BFS tree* `q_T` of
+//! the query rooted at a chosen root vertex: vertices are partitioned into
+//! BFS levels, and every non-tree edge is either *same-level* (S-NTE) or
+//! *cross-level* (C-NTE, spanning exactly one level; Definition 5.1).
+
+use crate::graph::{Graph, VertexId};
+
+/// Sentinel parent for the root (and unreachable vertices).
+pub const NO_PARENT: VertexId = VertexId::MAX;
+
+/// A rooted BFS spanning tree over (a connected subgraph of) a graph.
+#[derive(Clone, Debug)]
+pub struct BfsTree {
+    root: VertexId,
+    /// Parent of each vertex in the tree; `NO_PARENT` for the root and for
+    /// vertices not reached by the traversal.
+    parent: Vec<VertexId>,
+    /// 1-based BFS level (root is level 1, per the paper); 0 = unreached.
+    level: Vec<u32>,
+    /// Vertices of each level, in visitation order.
+    levels: Vec<Vec<VertexId>>,
+    /// Children of each vertex in the tree.
+    children: Vec<Vec<VertexId>>,
+}
+
+impl BfsTree {
+    /// Runs BFS from `root` over the whole graph.
+    pub fn new(g: &Graph, root: VertexId) -> Self {
+        Self::new_restricted(g, root, |_| true)
+    }
+
+    /// Runs BFS from `root`, visiting only vertices for which `keep` holds.
+    ///
+    /// Used to build the BFS tree of the core-structure: the traversal is
+    /// restricted to core vertices.
+    pub fn new_restricted(g: &Graph, root: VertexId, keep: impl Fn(VertexId) -> bool) -> Self {
+        let n = g.num_vertices();
+        let mut parent = vec![NO_PARENT; n];
+        let mut level = vec![0u32; n];
+        let mut children = vec![Vec::new(); n];
+        let mut levels: Vec<Vec<VertexId>> = Vec::new();
+
+        debug_assert!(keep(root), "root must satisfy the restriction");
+        level[root as usize] = 1;
+        let mut frontier = vec![root];
+        while !frontier.is_empty() {
+            let cur_level = levels.len() as u32 + 1;
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &w in g.neighbors(v) {
+                    if level[w as usize] == 0 && keep(w) {
+                        level[w as usize] = cur_level + 1;
+                        parent[w as usize] = v;
+                        children[v as usize].push(w);
+                        next.push(w);
+                    }
+                }
+            }
+            levels.push(frontier);
+            frontier = next;
+        }
+
+        Self {
+            root,
+            parent,
+            level,
+            levels,
+            children,
+        }
+    }
+
+    /// The root vertex.
+    #[inline]
+    pub fn root(&self) -> VertexId {
+        self.root
+    }
+
+    /// Tree parent of `v`, `None` for the root or unreached vertices.
+    #[inline]
+    pub fn parent(&self, v: VertexId) -> Option<VertexId> {
+        let p = self.parent[v as usize];
+        (p != NO_PARENT).then_some(p)
+    }
+
+    /// 1-based BFS level of `v`; `None` if unreached.
+    #[inline]
+    pub fn level(&self, v: VertexId) -> Option<u32> {
+        let l = self.level[v as usize];
+        (l != 0).then_some(l)
+    }
+
+    /// Whether `v` was reached by the traversal.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.level[v as usize] != 0
+    }
+
+    /// Tree children of `v` in visitation order.
+    #[inline]
+    pub fn children(&self, v: VertexId) -> &[VertexId] {
+        &self.children[v as usize]
+    }
+
+    /// Number of levels (the height of the tree).
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Vertices at 1-based `level`.
+    #[inline]
+    pub fn level_vertices(&self, level: usize) -> &[VertexId] {
+        &self.levels[level - 1]
+    }
+
+    /// All reached vertices in BFS (level) order.
+    pub fn order(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.levels.iter().flat_map(|l| l.iter().copied())
+    }
+
+    /// Number of reached vertices.
+    pub fn num_reached(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Whether `(u, v)` is an edge of the tree.
+    pub fn is_tree_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.parent(u) == Some(v) || self.parent(v) == Some(u)
+    }
+
+    /// Leaves of the tree (reached vertices with no children).
+    pub fn leaves(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.order().filter(|&v| self.children[v as usize].is_empty())
+    }
+
+    /// The root-to-`v` path, root first. `v` must be reached.
+    pub fn path_from_root(&self, v: VertexId) -> Vec<VertexId> {
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// Classification of a query edge relative to a BFS tree (Definition 5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Edge of the BFS tree itself.
+    Tree,
+    /// Same-level non-tree edge.
+    SameLevelNonTree,
+    /// Cross-level non-tree edge (levels differ by exactly one in a BFS tree).
+    CrossLevelNonTree,
+}
+
+/// Classifies edge `(u, v)` relative to `tree`. Both endpoints must be
+/// reached by the tree.
+pub fn classify_edge(tree: &BfsTree, u: VertexId, v: VertexId) -> EdgeKind {
+    if tree.is_tree_edge(u, v) {
+        EdgeKind::Tree
+    } else if tree.level(u) == tree.level(v) {
+        EdgeKind::SameLevelNonTree
+    } else {
+        EdgeKind::CrossLevelNonTree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    fn square_with_diagonal() -> Graph {
+        // 0-1, 1-2, 2-3, 3-0, 0-2
+        graph_from_edges(&[0, 1, 2, 3], &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap()
+    }
+
+    #[test]
+    fn levels_and_parents() {
+        let g = square_with_diagonal();
+        let t = BfsTree::new(&g, 0);
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.level(0), Some(1));
+        assert_eq!(t.level(1), Some(2));
+        assert_eq!(t.level(2), Some(2));
+        assert_eq!(t.level(3), Some(2));
+        assert_eq!(t.parent(0), None);
+        assert_eq!(t.parent(1), Some(0));
+        assert_eq!(t.num_levels(), 2);
+        assert_eq!(t.num_reached(), 4);
+    }
+
+    #[test]
+    fn edge_classification() {
+        let g = square_with_diagonal();
+        let t = BfsTree::new(&g, 0);
+        assert_eq!(classify_edge(&t, 0, 1), EdgeKind::Tree);
+        assert_eq!(classify_edge(&t, 0, 2), EdgeKind::Tree);
+        assert_eq!(classify_edge(&t, 0, 3), EdgeKind::Tree);
+        // 1-2 and 2-3 connect level-2 vertices.
+        assert_eq!(classify_edge(&t, 1, 2), EdgeKind::SameLevelNonTree);
+        assert_eq!(classify_edge(&t, 2, 3), EdgeKind::SameLevelNonTree);
+    }
+
+    #[test]
+    fn cross_level_non_tree_edge() {
+        // 0-1, 0-2, 1-3, 2-3: from root 0, vertex 3 is level 3 child of 1;
+        // edge (2,3) is a C-NTE.
+        let g = graph_from_edges(&[0, 1, 2, 3], &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let t = BfsTree::new(&g, 0);
+        let kind = classify_edge(&t, 2, 3);
+        // Which of (1,3)/(2,3) becomes the tree edge depends on visitation
+        // order (1 before 2), so (2,3) is the non-tree edge.
+        assert_eq!(kind, EdgeKind::CrossLevelNonTree);
+    }
+
+    #[test]
+    fn restricted_bfs() {
+        let g = square_with_diagonal();
+        // Keep only {0, 1, 2}: vertex 3 must be unreachable.
+        let t = BfsTree::new_restricted(&g, 0, |v| v != 3);
+        assert!(t.contains(1) && t.contains(2));
+        assert!(!t.contains(3));
+        assert_eq!(t.num_reached(), 3);
+    }
+
+    #[test]
+    fn path_from_root_and_leaves() {
+        let g = graph_from_edges(&[0, 1, 2, 3], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let t = BfsTree::new(&g, 0);
+        assert_eq!(t.path_from_root(3), vec![0, 1, 2, 3]);
+        assert_eq!(t.leaves().collect::<Vec<_>>(), vec![3]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Mutable construction of [`Graph`]s.
+
+use crate::graph::{Graph, VertexId};
+use crate::label::Label;
+
+/// Errors reported while assembling a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// An edge endpoint refers to a vertex id that was never added.
+    UnknownVertex { vertex: VertexId, num_vertices: usize },
+    /// The graph would exceed `u32` vertex ids.
+    TooManyVertices,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnknownVertex { vertex, num_vertices } => write!(
+                f,
+                "edge endpoint {vertex} out of range (graph has {num_vertices} vertices)"
+            ),
+            BuildError::TooManyVertices => write!(f, "more than u32::MAX vertices"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Accumulates vertices and edges, then produces a validated CSR [`Graph`].
+///
+/// Self-loops and duplicate edges are silently dropped so that callers
+/// (generators, file loaders) do not need to pre-deduplicate.
+#[derive(Default, Clone, Debug)]
+pub struct GraphBuilder {
+    labels: Vec<Label>,
+    edges: Vec<(VertexId, VertexId)>,
+    max_label: u32,
+}
+
+impl GraphBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A builder pre-sized for `vertices` vertices and `edges` edges.
+    pub fn with_capacity(vertices: usize, edges: usize) -> Self {
+        Self {
+            labels: Vec::with_capacity(vertices),
+            edges: Vec::with_capacity(edges),
+            max_label: 0,
+        }
+    }
+
+    /// Adds a vertex with the given label and returns its id.
+    pub fn add_vertex(&mut self, label: Label) -> VertexId {
+        let id = self.labels.len() as VertexId;
+        self.labels.push(label);
+        self.max_label = self.max_label.max(label.0);
+        id
+    }
+
+    /// Adds all labels from `labels` in order.
+    pub fn add_vertices(&mut self, labels: impl IntoIterator<Item = Label>) {
+        for l in labels {
+            self.add_vertex(l);
+        }
+    }
+
+    /// Records an undirected edge. Endpoint validation happens in
+    /// [`build`](Self::build); self-loops are dropped there.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        self.edges.push((u, v));
+    }
+
+    /// Number of vertices added so far.
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the (unvalidated) edge list already contains `(u, v)`.
+    ///
+    /// Linear scan; intended for generators that add few edges per vertex.
+    pub fn has_edge_slow(&self, u: VertexId, v: VertexId) -> bool {
+        self.edges
+            .iter()
+            .any(|&(a, b)| (a == u && b == v) || (a == v && b == u))
+    }
+
+    /// Validates and freezes into a CSR [`Graph`].
+    pub fn build(self) -> Result<Graph, BuildError> {
+        let n = self.labels.len();
+        if n > u32::MAX as usize - 1 {
+            return Err(BuildError::TooManyVertices);
+        }
+        for &(u, v) in &self.edges {
+            for w in [u, v] {
+                if w as usize >= n {
+                    return Err(BuildError::UnknownVertex {
+                        vertex: w,
+                        num_vertices: n,
+                    });
+                }
+            }
+        }
+
+        // Count directed degrees (each undirected edge contributes twice),
+        // dropping self-loops.
+        let mut degrees = vec![0u32; n];
+        for &(u, v) in &self.edges {
+            if u != v {
+                degrees[u as usize] += 1;
+                degrees[v as usize] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut adjacency = vec![0 as VertexId; acc as usize];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for &(u, v) in &self.edges {
+            if u == v {
+                continue;
+            }
+            adjacency[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            adjacency[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+
+        // Sort each neighbor list and deduplicate in place.
+        let mut dedup_adjacency = Vec::with_capacity(adjacency.len());
+        let mut new_offsets = Vec::with_capacity(n + 1);
+        new_offsets.push(0u32);
+        for v in 0..n {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            let list = &mut adjacency[lo..hi];
+            list.sort_unstable();
+            let start = dedup_adjacency.len();
+            for &w in list.iter() {
+                if dedup_adjacency.len() == start || *dedup_adjacency.last().unwrap() != w {
+                    dedup_adjacency.push(w);
+                }
+            }
+            new_offsets.push(dedup_adjacency.len() as u32);
+        }
+
+        Ok(Graph {
+            labels: self.labels,
+            offsets: new_offsets,
+            adjacency: dedup_adjacency,
+            num_labels: self.max_label + 1,
+        })
+    }
+}
+
+/// Convenience constructor used pervasively in tests and examples: builds a
+/// graph from per-vertex labels and an undirected edge list.
+pub fn graph_from_edges(
+    labels: &[u32],
+    edges: &[(VertexId, VertexId)],
+) -> Result<Graph, BuildError> {
+    let mut b = GraphBuilder::with_capacity(labels.len(), edges.len());
+    b.add_vertices(labels.iter().map(|&l| Label(l)));
+    for &(u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loop_removal() {
+        let g = graph_from_edges(&[0, 1], &[(0, 1), (1, 0), (0, 1), (0, 0)]).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn unknown_vertex_rejected() {
+        let err = graph_from_edges(&[0, 1], &[(0, 2)]).unwrap_err();
+        assert!(matches!(err, BuildError::UnknownVertex { vertex: 2, .. }));
+    }
+
+    #[test]
+    fn neighbor_lists_sorted() {
+        let g = graph_from_edges(&[0, 0, 0, 0], &[(3, 0), (1, 0), (2, 0)]).unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = graph_from_edges(&[], &[]).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!((g.average_degree() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = graph_from_edges(&[0, 1, 2], &[]).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.degree(1), 0);
+        assert!(g.neighbors(1).is_empty());
+    }
+
+    #[test]
+    fn num_labels_tracks_max() {
+        let g = graph_from_edges(&[0, 5, 2], &[]).unwrap();
+        assert_eq!(g.num_labels(), 6);
+    }
+}

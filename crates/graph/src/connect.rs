@@ -1,0 +1,119 @@
+//! Connectivity utilities and induced subgraphs.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, VertexId};
+
+/// Whether `g` is connected (the paper assumes both `q` and `G` are).
+/// Empty graphs count as connected.
+pub fn is_connected(g: &Graph) -> bool {
+    let n = g.num_vertices();
+    if n <= 1 {
+        return true;
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![0 as VertexId];
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(v) = stack.pop() {
+        for &w in g.neighbors(v) {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                count += 1;
+                stack.push(w);
+            }
+        }
+    }
+    count == n
+}
+
+/// Connected component id for every vertex, ids dense from 0.
+pub fn components(g: &Graph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut stack = Vec::new();
+    for s in 0..n as VertexId {
+        if comp[s as usize] != u32::MAX {
+            continue;
+        }
+        comp[s as usize] = next;
+        stack.push(s);
+        while let Some(v) = stack.pop() {
+            for &w in g.neighbors(v) {
+                if comp[w as usize] == u32::MAX {
+                    comp[w as usize] = next;
+                    stack.push(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// The subgraph of `g` induced by `keep` (`g[V_s]`, Section 2), together
+/// with the mapping from new vertex ids back to the original ids.
+pub fn induced_subgraph(g: &Graph, keep: &[bool]) -> (Graph, Vec<VertexId>) {
+    assert_eq!(keep.len(), g.num_vertices());
+    let mut old_of_new: Vec<VertexId> = Vec::new();
+    let mut new_of_old: Vec<u32> = vec![u32::MAX; g.num_vertices()];
+    for v in g.vertices() {
+        if keep[v as usize] {
+            new_of_old[v as usize] = old_of_new.len() as u32;
+            old_of_new.push(v);
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(old_of_new.len(), 0);
+    for &v in &old_of_new {
+        b.add_vertex(g.label(v));
+    }
+    for &v in &old_of_new {
+        for &w in g.neighbors(v) {
+            if keep[w as usize] && v < w {
+                b.add_edge(new_of_old[v as usize], new_of_old[w as usize]);
+            }
+        }
+    }
+    (b.build().expect("induced subgraph endpoints valid"), old_of_new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::label::Label;
+
+    #[test]
+    fn connectivity() {
+        let g = graph_from_edges(&[0, 0, 0], &[(0, 1)]).unwrap();
+        assert!(!is_connected(&g));
+        let g2 = graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2)]).unwrap();
+        assert!(is_connected(&g2));
+        let empty = graph_from_edges(&[], &[]).unwrap();
+        assert!(is_connected(&empty));
+        let single = graph_from_edges(&[0], &[]).unwrap();
+        assert!(is_connected(&single));
+    }
+
+    #[test]
+    fn component_ids() {
+        let g = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (2, 3)]).unwrap();
+        let c = components(&g);
+        assert_eq!(c[0], c[1]);
+        assert_eq!(c[2], c[3]);
+        assert_ne!(c[0], c[2]);
+    }
+
+    #[test]
+    fn induced_keeps_labels_and_edges() {
+        let g = graph_from_edges(&[5, 6, 7, 8], &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let keep = vec![true, true, true, false];
+        let (sub, old) = induced_subgraph(&g, &keep);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 2); // (0,1), (1,2); edge to 3 dropped
+        assert_eq!(old, vec![0, 1, 2]);
+        assert_eq!(sub.label(0), Label(5));
+        assert_eq!(sub.label(2), Label(7));
+        assert!(sub.has_edge(0, 1) && sub.has_edge(1, 2) && !sub.has_edge(0, 2));
+    }
+}

@@ -1,0 +1,332 @@
+//! Synthetic data-graph generation (paper §6, "Synthetic Graphs").
+//!
+//! The paper's synthetic family: "first randomly generate a spanning tree
+//! and then randomly add edges to the spanning tree, while vertex labels are
+//! added following the power-law distribution". Defaults there are
+//! `|V(G)| = 100k`, `d(G) = 8`, `|Σ| = 50`.
+
+pub mod query;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, VertexId};
+use crate::label::Label;
+
+/// Parameters of the synthetic generator.
+#[derive(Clone, Debug)]
+pub struct SyntheticConfig {
+    /// Number of vertices `|V(G)|`.
+    pub num_vertices: usize,
+    /// Target average degree `d(G)`; the generator emits
+    /// `⌈num_vertices · avg_degree / 2⌉` edges (spanning tree included).
+    pub avg_degree: f64,
+    /// Number of distinct labels `|Σ|`.
+    pub num_labels: usize,
+    /// Zipf exponent of the power-law label distribution (1.0 in the paper's
+    /// spirit; larger = more skew).
+    pub label_exponent: f64,
+    /// Fraction of vertices generated as *twins* of existing vertices (same
+    /// label, same neighborhood). Real protein-interaction networks contain
+    /// many such duplicates — the Human dataset compresses ~40% under NEC
+    /// merging (paper Figure 13) — while a plain random generator produces
+    /// none. 0.0 disables twinning.
+    pub twin_fraction: f64,
+    /// RNG seed (experiments are reproducible).
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    /// The paper's default synthetic graph: 100k vertices, d = 8, 50 labels.
+    fn default() -> Self {
+        Self {
+            num_vertices: 100_000,
+            avg_degree: 8.0,
+            num_labels: 50,
+            label_exponent: 1.0,
+            twin_fraction: 0.0,
+            seed: 0x5f1_6ca7,
+        }
+    }
+}
+
+/// Draws labels 0..k with probability ∝ `1/(rank+1)^s` (power law).
+pub struct PowerLawLabels {
+    cumulative: Vec<f64>,
+}
+
+impl PowerLawLabels {
+    /// Precomputes the CDF for `k` labels with exponent `s`.
+    pub fn new(k: usize, s: f64) -> Self {
+        assert!(k > 0, "need at least one label");
+        let mut cumulative = Vec::with_capacity(k);
+        let mut acc = 0.0;
+        for rank in 0..k {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Self { cumulative }
+    }
+
+    /// Samples one label.
+    pub fn sample(&self, rng: &mut impl Rng) -> Label {
+        let x: f64 = rng.gen();
+        let i = self
+            .cumulative
+            .partition_point(|&c| c < x)
+            .min(self.cumulative.len() - 1);
+        Label(i as u32)
+    }
+}
+
+/// Generates a connected synthetic graph per [`SyntheticConfig`].
+pub fn synthetic_graph(cfg: &SyntheticConfig) -> Graph {
+    let n = cfg.num_vertices;
+    assert!(n >= 1);
+    let twin_fraction = cfg.twin_fraction.clamp(0.0, 0.9);
+    if twin_fraction > 0.0 && n >= 4 {
+        return synthetic_with_twins(cfg, twin_fraction);
+    }
+    base_graph(cfg, n, ((n as f64 * cfg.avg_degree) / 2.0).ceil() as usize)
+}
+
+/// Twin-free random graph: random recursive spanning tree + random extra
+/// edges, power-law labels.
+fn base_graph(cfg: &SyntheticConfig, n: usize, target_edges: usize) -> Graph {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let labels = PowerLawLabels::new(cfg.num_labels.max(1), cfg.label_exponent);
+
+    let mut b = GraphBuilder::with_capacity(n, target_edges);
+    for _ in 0..n {
+        let l = labels.sample(&mut rng);
+        b.add_vertex(l);
+    }
+
+    // Random spanning tree: each vertex i >= 1 attaches to a uniform earlier
+    // vertex. This yields a random recursive tree, connected by construction.
+    let mut edge_set = std::collections::HashSet::with_capacity(target_edges * 2);
+    for i in 1..n as VertexId {
+        let p = rng.gen_range(0..i);
+        b.add_edge(p, i);
+        edge_set.insert(key(p, i));
+    }
+
+    // Random extra edges up to the target count.
+    let mut added = n.saturating_sub(1);
+    let mut attempts = 0usize;
+    let max_attempts = target_edges.saturating_mul(20) + 1000;
+    while added < target_edges && attempts < max_attempts && n >= 2 {
+        attempts += 1;
+        let u = rng.gen_range(0..n as VertexId);
+        let v = rng.gen_range(0..n as VertexId);
+        if u == v {
+            continue;
+        }
+        if edge_set.insert(key(u, v)) {
+            b.add_edge(u, v);
+            added += 1;
+        }
+    }
+
+    b.build().expect("generator produces valid endpoints")
+}
+
+/// Generates a graph where a fraction of vertices are exact twins
+/// (NEC-equivalent copies) of base vertices, emulating the redundancy of
+/// real protein-interaction networks.
+///
+/// The construction is a *blow-up*: a smaller base graph is generated, each
+/// base vertex `v` receives a multiplicity `k_v >= 1`, and copies of
+/// adjacent base vertices are fully interconnected while copies of the same
+/// vertex stay non-adjacent. Every copy of `v` then has exactly the same
+/// final neighborhood, so NEC merging recovers the base graph.
+fn synthetic_with_twins(cfg: &SyntheticConfig, twin_fraction: f64) -> Graph {
+    let n = cfg.num_vertices;
+    let num_twins = ((n as f64) * twin_fraction).round() as usize;
+    let n_base = (n - num_twins).max(2);
+    let num_twins = n - n_base;
+
+    // Blow-up multiplies each base edge by k_u*k_v, which averages about
+    // (1 + T/n_b)^2; shrink the base edge budget accordingly.
+    let expand = 1.0 + num_twins as f64 / n_base as f64;
+    let target_total = (n as f64 * cfg.avg_degree) / 2.0;
+    let base_edges = (target_total / (expand * expand)).ceil() as usize;
+    let base = base_graph(cfg, n_base, base_edges.max(n_base.saturating_sub(1)));
+
+    // Assign multiplicities: each twin picks a uniform base template.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7717);
+    let mut multiplicity = vec![1u32; n_base];
+    for _ in 0..num_twins {
+        multiplicity[rng.gen_range(0..n_base)] += 1;
+    }
+
+    let mut copies: Vec<Vec<VertexId>> = Vec::with_capacity(n_base);
+    let mut b = GraphBuilder::with_capacity(n, base.num_edges() * 2);
+    for v in base.vertices() {
+        let ids: Vec<VertexId> = (0..multiplicity[v as usize])
+            .map(|_| b.add_vertex(base.label(v)))
+            .collect();
+        copies.push(ids);
+    }
+    for (u, v) in base.edges() {
+        for &a in &copies[u as usize] {
+            for &c in &copies[v as usize] {
+                b.add_edge(a, c);
+            }
+        }
+    }
+    b.build().expect("twin endpoints valid")
+}
+
+#[inline]
+fn key(u: VertexId, v: VertexId) -> u64 {
+    let (a, b) = if u < v { (u, v) } else { (v, u) };
+    ((a as u64) << 32) | b as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connect::is_connected;
+
+    fn small_cfg(seed: u64) -> SyntheticConfig {
+        SyntheticConfig {
+            num_vertices: 500,
+            avg_degree: 6.0,
+            num_labels: 10,
+            label_exponent: 1.0,
+            twin_fraction: 0.0,
+            seed,
+        }
+    }
+
+    #[test]
+    fn generated_graph_is_connected() {
+        let g = synthetic_graph(&small_cfg(1));
+        assert!(is_connected(&g));
+        assert_eq!(g.num_vertices(), 500);
+    }
+
+    #[test]
+    fn average_degree_close_to_target() {
+        let g = synthetic_graph(&small_cfg(2));
+        let d = g.average_degree();
+        assert!((d - 6.0).abs() < 0.5, "avg degree {d}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g1 = synthetic_graph(&small_cfg(7));
+        let g2 = synthetic_graph(&small_cfg(7));
+        assert_eq!(g1.labels(), g2.labels());
+        assert_eq!(g1.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+        let g3 = synthetic_graph(&small_cfg(8));
+        assert_ne!(g1.edges().collect::<Vec<_>>(), g3.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn power_law_skews_labels() {
+        let g = synthetic_graph(&SyntheticConfig {
+            num_vertices: 5000,
+            avg_degree: 4.0,
+            num_labels: 10,
+            label_exponent: 1.5,
+            twin_fraction: 0.0,
+            seed: 3,
+        });
+        let mut counts = [0usize; 10];
+        for &l in g.labels() {
+            counts[l.index()] += 1;
+        }
+        assert!(
+            counts[0] > counts[9] * 2,
+            "label 0 ({}) should dominate label 9 ({})",
+            counts[0],
+            counts[9]
+        );
+    }
+
+    #[test]
+    fn labels_within_alphabet() {
+        let g = synthetic_graph(&small_cfg(4));
+        assert!(g.labels().iter().all(|l| l.index() < 10));
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = synthetic_graph(&SyntheticConfig {
+            num_vertices: 1,
+            avg_degree: 0.0,
+            num_labels: 3,
+            label_exponent: 1.0,
+            twin_fraction: 0.0,
+            seed: 0,
+        });
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn power_law_sampler_covers_all_labels() {
+        let pl = PowerLawLabels::new(5, 1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..10_000 {
+            seen[pl.sample(&mut rng).index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
+
+#[cfg(test)]
+mod twin_tests {
+    use super::*;
+    use crate::connect::is_connected;
+    use crate::nec::nec_partition;
+
+    fn twin_cfg(fraction: f64) -> SyntheticConfig {
+        SyntheticConfig {
+            num_vertices: 400,
+            avg_degree: 8.0,
+            num_labels: 10,
+            label_exponent: 1.0,
+            twin_fraction: fraction,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn twin_fraction_controls_nec_compression() {
+        let plain = synthetic_graph(&twin_cfg(0.0));
+        let twinned = synthetic_graph(&twin_cfg(0.4));
+        let ratio = |g: &Graph| {
+            let p = nec_partition(g);
+            p.vertices_reduced() as f64 / g.num_vertices() as f64
+        };
+        assert!(ratio(&plain) < 0.05, "plain ratio {}", ratio(&plain));
+        assert!(ratio(&twinned) > 0.25, "twinned ratio {}", ratio(&twinned));
+    }
+
+    #[test]
+    fn twinned_graph_is_connected_and_sized() {
+        let g = synthetic_graph(&twin_cfg(0.4));
+        assert_eq!(g.num_vertices(), 400);
+        assert!(is_connected(&g));
+        // Average degree within 25% of target (twins copy whole neighbor
+        // lists, so the split is approximate).
+        assert!((g.average_degree() - 8.0).abs() < 2.0, "{}", g.average_degree());
+    }
+
+    #[test]
+    fn twinned_graph_deterministic() {
+        let a = synthetic_graph(&twin_cfg(0.3));
+        let b = synthetic_graph(&twin_cfg(0.3));
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,271 @@
+//! Query workload generation (paper §6, "Query Graphs").
+//!
+//! "A query graph is generated as a connected subgraph of the data graph, by
+//! conducting random walk on the data graph." Query sets come in two
+//! densities: *sparse* (`q_iS`, average degree ≤ 3) and *non-sparse*
+//! (`q_iN`, average degree > 3).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::connect::{induced_subgraph, is_connected};
+use crate::graph::{Graph, VertexId};
+
+/// Density class of a generated query set (Table 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryDensity {
+    /// Average degree ≤ 3 (`q_iS`).
+    Sparse,
+    /// Average degree > 3 (`q_iN`).
+    NonSparse,
+}
+
+/// Parameters for extracting one query graph.
+#[derive(Clone, Debug)]
+pub struct QueryGenConfig {
+    /// Number of query vertices `|V(q)|`.
+    pub num_vertices: usize,
+    /// Sparse or non-sparse target.
+    pub density: QueryDensity,
+    /// RNG seed.
+    pub seed: u64,
+    /// How many random-walk restarts to attempt before accepting the best
+    /// effort (relevant for very sparse data graphs).
+    pub max_attempts: usize,
+}
+
+impl QueryGenConfig {
+    /// A query of `num_vertices` vertices with the given density.
+    pub fn new(num_vertices: usize, density: QueryDensity, seed: u64) -> Self {
+        Self {
+            num_vertices,
+            density,
+            seed,
+            max_attempts: 50,
+        }
+    }
+}
+
+/// Extracts one connected query graph from `g` by random walk.
+///
+/// Returns `None` when the data graph has fewer vertices than requested or
+/// no walk can collect enough vertices (e.g. a tiny component).
+pub fn random_walk_query(g: &Graph, cfg: &QueryGenConfig) -> Option<Graph> {
+    if cfg.num_vertices == 0 || g.num_vertices() < cfg.num_vertices {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut best: Option<(Graph, f64)> = None;
+
+    for _ in 0..cfg.max_attempts.max(1) {
+        let Some(vertices) = walk_collect(g, cfg.num_vertices, &mut rng) else {
+            continue;
+        };
+        let mut keep = vec![false; g.num_vertices()];
+        for &v in &vertices {
+            keep[v as usize] = true;
+        }
+        let (induced, _) = induced_subgraph(g, &keep);
+        debug_assert!(is_connected(&induced));
+        let q = shape_density(&induced, cfg.density, &mut rng);
+        let d = q.average_degree();
+        let ok = match cfg.density {
+            QueryDensity::Sparse => d <= 3.0,
+            QueryDensity::NonSparse => d > 3.0,
+        };
+        if ok {
+            return Some(q);
+        }
+        // Track the densest/sparsest best effort to fall back on.
+        let score = match cfg.density {
+            QueryDensity::Sparse => -d,
+            QueryDensity::NonSparse => d,
+        };
+        if best.as_ref().is_none_or(|(_, s)| score > *s) {
+            best = Some((q, score));
+        }
+    }
+    best.map(|(g, _)| g)
+}
+
+/// Random walk with jumps back to already-collected vertices when stuck,
+/// collecting `target` distinct vertices.
+fn walk_collect(g: &Graph, target: usize, rng: &mut StdRng) -> Option<Vec<VertexId>> {
+    let start = rng.gen_range(0..g.num_vertices() as VertexId);
+    let mut collected = vec![start];
+    let mut in_set = std::collections::HashSet::from([start]);
+    let mut current = start;
+    let mut stall = 0usize;
+    let stall_limit = target * 50 + 100;
+    while collected.len() < target {
+        let nbrs = g.neighbors(current);
+        if nbrs.is_empty() {
+            return None;
+        }
+        let next = nbrs[rng.gen_range(0..nbrs.len())];
+        if in_set.insert(next) {
+            collected.push(next);
+            stall = 0;
+        } else {
+            stall += 1;
+            if stall > stall_limit {
+                // The walk is trapped (component exhausted).
+                return None;
+            }
+        }
+        // Occasionally teleport to a random collected vertex so the walk
+        // explores all frontier branches.
+        current = if rng.gen_bool(0.2) {
+            *collected.choose(rng).expect("non-empty")
+        } else {
+            next
+        };
+    }
+    Some(collected)
+}
+
+/// Thins a connected induced subgraph to the sparse target, or returns it
+/// unchanged for the non-sparse target.
+///
+/// Sparse shaping keeps a random spanning tree (guaranteeing connectivity)
+/// plus a random subset of the remaining edges up to average degree 3.
+fn shape_density(q: &Graph, density: QueryDensity, rng: &mut StdRng) -> Graph {
+    match density {
+        QueryDensity::NonSparse => q.clone(),
+        QueryDensity::Sparse => {
+            let n = q.num_vertices();
+            let max_edges = (n as f64 * 3.0 / 2.0).floor() as usize;
+            if q.num_edges() <= max_edges {
+                return q.clone();
+            }
+            // Random spanning tree via randomized DFS.
+            let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+            order.shuffle(rng);
+            let mut seen = vec![false; n];
+            let mut tree_edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n - 1);
+            let mut stack = vec![order[0]];
+            seen[order[0] as usize] = true;
+            while let Some(v) = stack.pop() {
+                let mut nbrs: Vec<VertexId> = q.neighbors(v).to_vec();
+                nbrs.shuffle(rng);
+                for w in nbrs {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        tree_edges.push((v, w));
+                        stack.push(v); // revisit v for remaining neighbors
+                        stack.push(w);
+                        break;
+                    }
+                }
+            }
+            let mut extra: Vec<(VertexId, VertexId)> = q
+                .edges()
+                .filter(|&(u, v)| {
+                    !tree_edges
+                        .iter()
+                        .any(|&(a, b)| (a == u && b == v) || (a == v && b == u))
+                })
+                .collect();
+            extra.shuffle(rng);
+            let budget = max_edges.saturating_sub(tree_edges.len());
+            let mut b = GraphBuilder::with_capacity(n, max_edges);
+            for v in q.vertices() {
+                b.add_vertex(q.label(v));
+            }
+            for &(u, v) in &tree_edges {
+                b.add_edge(u, v);
+            }
+            for &(u, v) in extra.iter().take(budget) {
+                b.add_edge(u, v);
+            }
+            b.build().expect("valid endpoints")
+        }
+    }
+}
+
+/// Generates a full query set (the paper uses 100 queries per set).
+pub fn query_set(g: &Graph, size: usize, density: QueryDensity, count: usize, seed: u64) -> Vec<Graph> {
+    (0..count)
+        .filter_map(|i| {
+            random_walk_query(
+                g,
+                &QueryGenConfig::new(size, density, seed.wrapping_add(i as u64 * 7919)),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{synthetic_graph, SyntheticConfig};
+
+    fn data_graph() -> Graph {
+        synthetic_graph(&SyntheticConfig {
+            num_vertices: 2000,
+            avg_degree: 8.0,
+            num_labels: 10,
+            label_exponent: 1.0,
+            twin_fraction: 0.0,
+            seed: 42,
+        })
+    }
+
+    #[test]
+    fn queries_are_connected_and_sized() {
+        let g = data_graph();
+        for density in [QueryDensity::Sparse, QueryDensity::NonSparse] {
+            let q = random_walk_query(&g, &QueryGenConfig::new(20, density, 1)).unwrap();
+            assert_eq!(q.num_vertices(), 20);
+            assert!(is_connected(&q));
+        }
+    }
+
+    #[test]
+    fn sparse_queries_respect_degree_bound() {
+        let g = data_graph();
+        for seed in 0..5 {
+            let q = random_walk_query(&g, &QueryGenConfig::new(25, QueryDensity::Sparse, seed))
+                .unwrap();
+            assert!(q.average_degree() <= 3.0 + 1e-9, "d = {}", q.average_degree());
+        }
+    }
+
+    #[test]
+    fn query_edges_are_data_edges_for_nonsparse() {
+        // Non-sparse queries are induced subgraphs: every query embeds
+        // trivially at its own extraction site, so all edges must exist in G.
+        let g = data_graph();
+        let q = random_walk_query(&g, &QueryGenConfig::new(10, QueryDensity::NonSparse, 3)).unwrap();
+        // Labels of q must be a multiset drawn from G's alphabet.
+        assert!(q.labels().iter().all(|l| l.index() < 10));
+    }
+
+    #[test]
+    fn too_large_request_returns_none() {
+        let g = crate::builder::graph_from_edges(&[0, 0], &[(0, 1)]).unwrap();
+        assert!(random_walk_query(&g, &QueryGenConfig::new(5, QueryDensity::Sparse, 0)).is_none());
+        assert!(random_walk_query(&g, &QueryGenConfig::new(0, QueryDensity::Sparse, 0)).is_none());
+    }
+
+    #[test]
+    fn query_set_count() {
+        let g = data_graph();
+        let qs = query_set(&g, 8, QueryDensity::Sparse, 5, 99);
+        assert_eq!(qs.len(), 5);
+        for q in &qs {
+            assert_eq!(q.num_vertices(), 8);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let g = data_graph();
+        let a = random_walk_query(&g, &QueryGenConfig::new(12, QueryDensity::Sparse, 5)).unwrap();
+        let b = random_walk_query(&g, &QueryGenConfig::new(12, QueryDensity::Sparse, 5)).unwrap();
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+        assert_eq!(a.labels(), b.labels());
+    }
+}

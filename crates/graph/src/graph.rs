@@ -1,0 +1,194 @@
+//! Compressed sparse row (CSR) representation of a vertex-labeled undirected
+//! graph.
+//!
+//! This is the substrate every algorithm in the workspace operates on. The
+//! representation is immutable after construction (see
+//! [`GraphBuilder`](crate::builder::GraphBuilder)): vertex ids are dense
+//! `u32`s, neighbor lists are sorted slices of one flat array, and edge
+//! membership tests are `O(log d)` binary searches — the "probe `G` for
+//! non-tree edge checkings" operation of the paper (Theorem 4.1).
+
+use crate::label::Label;
+
+/// Dense vertex identifier: an index into the CSR arrays.
+pub type VertexId = u32;
+
+/// An immutable vertex-labeled undirected graph in CSR form.
+///
+/// Invariants (established by [`GraphBuilder`](crate::builder::GraphBuilder)):
+///
+/// * neighbor lists are sorted ascending and contain no duplicates;
+/// * the graph has no self-loops;
+/// * adjacency is symmetric: `u ∈ N(v)` iff `v ∈ N(u)`.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Graph {
+    pub(crate) labels: Vec<Label>,
+    /// CSR offsets: neighbors of `v` are `adjacency[offsets[v]..offsets[v+1]]`.
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) adjacency: Vec<VertexId>,
+    pub(crate) num_labels: u32,
+}
+
+impl Graph {
+    /// Number of vertices `|V(g)|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of undirected edges `|E(g)|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.len() / 2
+    }
+
+    /// Number of distinct labels that may appear in the graph (`|Σ|`).
+    ///
+    /// This is an upper bound on used labels: a label alphabet can be larger
+    /// than the set of labels actually used.
+    #[inline]
+    pub fn num_labels(&self) -> usize {
+        self.num_labels as usize
+    }
+
+    /// Label of vertex `v` (`l_g(v)` in the paper).
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Label {
+        self.labels[v as usize]
+    }
+
+    /// All vertex labels, indexed by vertex id.
+    #[inline]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Sorted neighbor list of `v` (`N_g(v)` in the paper).
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.adjacency[lo..hi]
+    }
+
+    /// Degree of `v` (`d_g(v)` in the paper).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Whether the undirected edge `(u, v)` exists. `O(log min(d(u), d(v)))`.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        // Search the shorter adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all vertex ids.
+    #[inline]
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.labels.len() as VertexId
+    }
+
+    /// Iterator over all undirected edges, each reported once as `(u, v)`
+    /// with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Average degree `2|E| / |V|`.
+    pub fn average_degree(&self) -> f64 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            self.adjacency.len() as f64 / self.labels.len() as f64
+        }
+    }
+
+    /// Maximum degree over all vertices.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Estimated heap size of the CSR arrays in bytes (used by the
+    /// index-size experiment of Figure 16(d)).
+    pub fn memory_bytes(&self) -> usize {
+        self.labels.len() * std::mem::size_of::<Label>()
+            + self.offsets.len() * std::mem::size_of::<u32>()
+            + self.adjacency.len() * std::mem::size_of::<VertexId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::label::Label;
+
+    fn triangle_plus_tail() -> super::Graph {
+        // 0-1, 1-2, 2-0 triangle; 2-3 tail.
+        let mut b = GraphBuilder::new();
+        for l in [0u32, 1, 2, 0] {
+            b.add_vertex(Label(l));
+        }
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.add_edge(2, 3);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.label(1), Label(1));
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn has_edge_symmetric() {
+        let g = triangle_plus_tail();
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (2, 3)] {
+            assert!(g.has_edge(u, v), "({u},{v})");
+            assert!(g.has_edge(v, u), "({v},{u})");
+        }
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(1, 3));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn edges_reported_once() {
+        let g = triangle_plus_tail();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn average_and_max_degree() {
+        let g = triangle_plus_tail();
+        assert!((g.average_degree() - 2.0).abs() < 1e-9);
+        assert_eq!(g.max_degree(), 3);
+    }
+}

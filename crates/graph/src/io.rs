@@ -1,0 +1,207 @@
+//! Plain-text graph serialization.
+//!
+//! The format follows the convention of the subgraph-matching literature
+//! (used by the datasets the paper evaluates on):
+//!
+//! ```text
+//! t <num_vertices> <num_edges>
+//! v <id> <label> [degree]        # one per vertex, ids dense from 0
+//! e <u> <v>                      # one per undirected edge
+//! ```
+//!
+//! Lines starting with `#` and blank lines are ignored. The optional degree
+//! column on `v` lines is accepted and ignored (several public datasets
+//! carry it).
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, VertexId};
+use crate::label::Label;
+
+/// Errors arising while parsing the text format.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying reader/writer failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based number and a description.
+    Parse { line: usize, message: String },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Reads a graph in the text format from `reader`.
+pub fn read_graph<R: Read>(reader: R) -> Result<Graph, IoError> {
+    let reader = BufReader::new(reader);
+    let mut builder = GraphBuilder::new();
+    let mut expected_vertices: Option<usize> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        match parts.next() {
+            Some("t") => {
+                let n: usize = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "t line missing vertex count"))?
+                    .parse()
+                    .map_err(|e| parse_err(lineno, format!("bad vertex count: {e}")))?;
+                expected_vertices = Some(n);
+            }
+            Some("v") => {
+                let id: VertexId = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "v line missing id"))?
+                    .parse()
+                    .map_err(|e| parse_err(lineno, format!("bad vertex id: {e}")))?;
+                let label: u32 = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "v line missing label"))?
+                    .parse()
+                    .map_err(|e| parse_err(lineno, format!("bad label: {e}")))?;
+                if id as usize != builder.num_vertices() {
+                    return Err(parse_err(
+                        lineno,
+                        format!(
+                            "vertex ids must be dense and in order; expected {}, got {id}",
+                            builder.num_vertices()
+                        ),
+                    ));
+                }
+                builder.add_vertex(Label(label));
+            }
+            Some("e") => {
+                let u: VertexId = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "e line missing endpoint"))?
+                    .parse()
+                    .map_err(|e| parse_err(lineno, format!("bad endpoint: {e}")))?;
+                let v: VertexId = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "e line missing endpoint"))?
+                    .parse()
+                    .map_err(|e| parse_err(lineno, format!("bad endpoint: {e}")))?;
+                builder.add_edge(u, v);
+            }
+            Some(other) => {
+                return Err(parse_err(lineno, format!("unknown record type {other:?}")));
+            }
+            None => unreachable!("blank lines filtered above"),
+        }
+    }
+    if let Some(n) = expected_vertices {
+        if n != builder.num_vertices() {
+            return Err(parse_err(
+                0,
+                format!("header declared {n} vertices, file had {}", builder.num_vertices()),
+            ));
+        }
+    }
+    builder
+        .build()
+        .map_err(|e| parse_err(0, format!("invalid graph: {e}")))
+}
+
+/// Writes `g` in the text format to `writer`.
+pub fn write_graph<W: Write>(g: &Graph, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "t {} {}", g.num_vertices(), g.num_edges())?;
+    for v in g.vertices() {
+        writeln!(w, "v {} {}", v, g.label(v).0)?;
+    }
+    for (u, v) in g.edges() {
+        writeln!(w, "e {u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph from a file path.
+pub fn read_graph_file(path: impl AsRef<std::path::Path>) -> Result<Graph, IoError> {
+    read_graph(std::fs::File::open(path)?)
+}
+
+/// Writes a graph to a file path.
+pub fn write_graph_file(g: &Graph, path: impl AsRef<std::path::Path>) -> Result<(), IoError> {
+    write_graph(g, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn roundtrip() {
+        let g = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2)]).unwrap();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_vertices(), 3);
+        assert_eq!(g2.num_edges(), 2);
+        assert_eq!(g2.labels(), g.labels());
+        assert!(g2.has_edge(0, 1) && g2.has_edge(1, 2) && !g2.has_edge(0, 2));
+    }
+
+    #[test]
+    fn comments_blanks_and_degree_column() {
+        let text = "# a comment\n\nt 2 1\nv 0 7 1\nv 1 8 1\ne 0 1\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.label(0).0, 7);
+    }
+
+    #[test]
+    fn rejects_sparse_vertex_ids() {
+        let text = "v 0 1\nv 2 1\n";
+        assert!(matches!(
+            read_graph(text.as_bytes()),
+            Err(IoError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_record() {
+        let text = "x 0 1\n";
+        assert!(read_graph(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_header_mismatch() {
+        let text = "t 3 0\nv 0 1\n";
+        assert!(read_graph(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        assert!(read_graph("v zero 1\n".as_bytes()).is_err());
+        assert!(read_graph("v 0\n".as_bytes()).is_err());
+        assert!(read_graph("e 0\n".as_bytes()).is_err());
+    }
+}

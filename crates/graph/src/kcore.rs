@@ -1,0 +1,183 @@
+//! k-core decomposition by iterative peeling.
+//!
+//! Lemma 3.1 of the paper shows that the core-structure of a query — the
+//! minimal connected subgraph containing all non-tree edges of every
+//! spanning tree — is exactly its **2-core**: the maximal subgraph in which
+//! every vertex has at least two neighbors. The 2-core is computed by
+//! iteratively removing degree-one vertices, in `O(|E(q)|)` time [Batagelj &
+//! Zaversnik]. The general k-core peeling here also supports the paper's
+//! stated future work (hierarchical core decomposition).
+
+use crate::graph::{Graph, VertexId};
+
+/// Vertices of the 2-core of `g`: what remains after iteratively deleting
+/// degree-≤1 vertices. Returns a membership bitmap indexed by vertex.
+///
+/// May be empty (e.g. when `g` is a tree).
+pub fn two_core(g: &Graph) -> Vec<bool> {
+    let n = g.num_vertices();
+    let mut degree: Vec<u32> = (0..n as VertexId).map(|v| g.degree(v) as u32).collect();
+    let mut removed = vec![false; n];
+    let mut queue: Vec<VertexId> = (0..n as VertexId)
+        .filter(|&v| degree[v as usize] <= 1)
+        .collect();
+    while let Some(v) = queue.pop() {
+        if removed[v as usize] {
+            continue;
+        }
+        removed[v as usize] = true;
+        for &w in g.neighbors(v) {
+            if !removed[w as usize] {
+                degree[w as usize] -= 1;
+                if degree[w as usize] <= 1 {
+                    queue.push(w);
+                }
+            }
+        }
+    }
+    removed.iter().map(|&r| !r).collect()
+}
+
+/// Core number of every vertex (the largest `k` such that the vertex
+/// belongs to the k-core), via the linear bucket-peeling algorithm of
+/// Batagelj & Zaversnik.
+pub fn core_numbers(g: &Graph) -> Vec<u32> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<u32> = (0..n as VertexId).map(|v| g.degree(v) as u32).collect();
+    let max_deg = *degree.iter().max().unwrap() as usize;
+
+    // Bucket sort vertices by degree.
+    let mut bin = vec![0u32; max_deg + 2];
+    for &d in &degree {
+        bin[d as usize] += 1;
+    }
+    let mut start = 0u32;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0u32; n];
+    let mut order = vec![0 as VertexId; n];
+    for v in 0..n {
+        let d = degree[v] as usize;
+        pos[v] = bin[d];
+        order[bin[d] as usize] = v as VertexId;
+        bin[d] += 1;
+    }
+    // Restore bin starts.
+    for d in (1..=max_deg + 1).rev() {
+        bin[d] = bin[d - 1];
+    }
+    bin[0] = 0;
+
+    let mut core = degree.clone();
+    for i in 0..n {
+        let v = order[i];
+        for j in 0..g.neighbors(v).len() {
+            let u = g.neighbors(v)[j];
+            if degree[u as usize] > degree[v as usize] {
+                let du = degree[u as usize] as usize;
+                let pu = pos[u as usize];
+                let pw = bin[du];
+                let w = order[pw as usize];
+                if u != w {
+                    order.swap(pu as usize, pw as usize);
+                    pos[u as usize] = pw;
+                    pos[w as usize] = pu;
+                }
+                bin[du] += 1;
+                degree[u as usize] -= 1;
+            }
+        }
+        core[v as usize] = degree[v as usize];
+    }
+    core
+}
+
+/// Membership bitmap of the k-core derived from [`core_numbers`].
+pub fn k_core(g: &Graph, k: u32) -> Vec<bool> {
+    core_numbers(g).into_iter().map(|c| c >= k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn tree_has_empty_two_core() {
+        let g = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (1, 2), (1, 3)]).unwrap();
+        assert!(two_core(&g).iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        let g = graph_from_edges(&[0, 0, 0, 0, 0], &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+            .unwrap();
+        let core = two_core(&g);
+        assert_eq!(core, vec![true, true, true, false, false]);
+    }
+
+    #[test]
+    fn paper_figure4_example() {
+        // Figure 4(a): core {u0,u1,u2} triangle; trees hanging off u1 and u2.
+        // u1-u3, u1-u4, u3-u7, u3-u8 (wait figure: u3..u6 level, u7..u10 leaves)
+        let edges = [
+            (0, 1),
+            (0, 2),
+            (1, 2), // core triangle
+            (1, 3),
+            (1, 4), // tree under u1
+            (2, 5),
+            (2, 6), // tree under u2
+            (3, 7),
+            (4, 8),
+            (5, 9),
+            (6, 10),
+        ];
+        let g = graph_from_edges(&[0; 11], &edges).unwrap();
+        let core = two_core(&g);
+        let members: Vec<usize> = core
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect();
+        assert_eq!(members, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn core_numbers_clique() {
+        // K4: all vertices have core number 3.
+        let g = graph_from_edges(
+            &[0; 4],
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        )
+        .unwrap();
+        assert_eq!(core_numbers(&g), vec![3, 3, 3, 3]);
+        assert!(k_core(&g, 3).iter().all(|&b| b));
+        assert!(k_core(&g, 4).iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn core_numbers_match_two_core() {
+        let g = graph_from_edges(
+            &[0; 7],
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (4, 6)],
+        )
+        .unwrap();
+        let via_peel = two_core(&g);
+        let via_core: Vec<bool> = core_numbers(&g).into_iter().map(|c| c >= 2).collect();
+        assert_eq!(via_peel, via_core);
+    }
+
+    #[test]
+    fn empty_graph_core_numbers() {
+        let g = graph_from_edges(&[], &[]).unwrap();
+        assert!(core_numbers(&g).is_empty());
+        assert!(two_core(&g).is_empty());
+    }
+}

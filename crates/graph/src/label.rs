@@ -1,0 +1,127 @@
+//! Interned vertex labels.
+//!
+//! The paper works with vertex-labeled undirected graphs `g = (V, E, l, Σ)`
+//! where `l` assigns each vertex a label from a finite alphabet `Σ`
+//! (Section 2). Labels are interned to dense `u32` ids so that every hot
+//! path compares integers; the original names are kept for IO and display.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense, interned vertex label id.
+///
+/// `Label(0)` is the first label registered with a [`LabelMap`]. Labels are
+/// plain integers so candidate filtering compares and indexes without
+/// hashing.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Label(pub u32);
+
+impl Label {
+    /// The label id as a `usize`, for direct indexing into per-label tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Label {
+    fn from(v: u32) -> Self {
+        Label(v)
+    }
+}
+
+/// Bidirectional map between human-readable label names and interned
+/// [`Label`] ids.
+///
+/// Graphs generated synthetically use numeric labels directly; graphs loaded
+/// from text files intern their label strings through this map.
+#[derive(Default, Clone, Debug)]
+pub struct LabelMap {
+    names: Vec<String>,
+    by_name: HashMap<String, Label>,
+}
+
+impl LabelMap {
+    /// An empty label map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing id when already present.
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.by_name.get(name) {
+            return l;
+        }
+        let l = Label(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), l);
+        l
+    }
+
+    /// Looks up a previously interned name.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name for `label`, if it was interned through this map.
+    pub fn name(&self, label: Label) -> Option<&str> {
+        self.names.get(label.index()).map(String::as_str)
+    }
+
+    /// Number of distinct labels interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no labels have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut m = LabelMap::new();
+        let a = m.intern("A");
+        let b = m.intern("B");
+        assert_eq!(m.intern("A"), a);
+        assert_ne!(a, b);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.name(a), Some("A"));
+        assert_eq!(m.get("B"), Some(b));
+        assert_eq!(m.get("C"), None);
+    }
+
+    #[test]
+    fn label_index_roundtrip() {
+        let l = Label(7);
+        assert_eq!(l.index(), 7);
+        assert_eq!(Label::from(7u32), l);
+        assert_eq!(format!("{l}"), "7");
+        assert_eq!(format!("{l:?}"), "L7");
+    }
+
+    #[test]
+    fn empty_map() {
+        let m = LabelMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.name(Label(0)), None);
+    }
+}

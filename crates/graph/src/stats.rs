@@ -1,0 +1,199 @@
+//! Per-vertex statistics used by candidate filtering (paper §A.6).
+//!
+//! * the **label index**: for each label, the sorted list of data vertices
+//!   carrying it (drives the initial candidate retrieval);
+//! * **NLF** (neighborhood label frequency, from SAPPER \[24\]): for each
+//!   vertex, how many neighbors carry each label;
+//! * **MND** (maximum neighbor degree, Definition A.1): the light-weight
+//!   constant-time filter the paper introduces to cut NLF invocations.
+
+use crate::graph::{Graph, VertexId};
+use crate::label::Label;
+
+/// Sorted per-label vertex lists over a graph.
+#[derive(Clone, Debug)]
+pub struct LabelIndex {
+    offsets: Vec<u32>,
+    vertices: Vec<VertexId>,
+}
+
+impl LabelIndex {
+    /// Builds the index in `O(|V|)`.
+    pub fn build(g: &Graph) -> Self {
+        let nl = g.num_labels();
+        let mut counts = vec![0u32; nl];
+        for &l in g.labels() {
+            counts[l.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(nl + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut vertices = vec![0 as VertexId; g.num_vertices()];
+        let mut cursor: Vec<u32> = offsets[..nl].to_vec();
+        for v in g.vertices() {
+            let l = g.label(v).index();
+            vertices[cursor[l] as usize] = v;
+            cursor[l] += 1;
+        }
+        Self { offsets, vertices }
+    }
+
+    /// Sorted vertices carrying `label`; empty for out-of-range labels.
+    #[inline]
+    pub fn vertices_with_label(&self, label: Label) -> &[VertexId] {
+        let i = label.index();
+        if i + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.vertices[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Number of vertices carrying `label` (label frequency).
+    #[inline]
+    pub fn frequency(&self, label: Label) -> usize {
+        self.vertices_with_label(label).len()
+    }
+}
+
+/// Neighborhood label frequency signatures for every vertex.
+///
+/// Stored as a flat array of `(label, count)` pairs sorted by label per
+/// vertex, so containment tests between a query vertex's signature and a
+/// data vertex's signature are merge scans.
+#[derive(Clone, Debug)]
+pub struct NlfIndex {
+    offsets: Vec<u32>,
+    entries: Vec<(Label, u32)>,
+}
+
+impl NlfIndex {
+    /// Builds NLF signatures in `O(Σ_v d(v))` using a scratch counter array.
+    pub fn build(g: &Graph) -> Self {
+        let nl = g.num_labels();
+        let mut scratch = vec![0u32; nl];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut offsets = Vec::with_capacity(g.num_vertices() + 1);
+        let mut entries = Vec::new();
+        offsets.push(0u32);
+        for v in g.vertices() {
+            for &w in g.neighbors(v) {
+                let l = g.label(w).0;
+                if scratch[l as usize] == 0 {
+                    touched.push(l);
+                }
+                scratch[l as usize] += 1;
+            }
+            touched.sort_unstable();
+            for &l in &touched {
+                entries.push((Label(l), scratch[l as usize]));
+                scratch[l as usize] = 0;
+            }
+            touched.clear();
+            offsets.push(entries.len() as u32);
+        }
+        Self { offsets, entries }
+    }
+
+    /// The `(label, count)` signature of `v`, sorted by label.
+    #[inline]
+    pub fn signature(&self, v: VertexId) -> &[(Label, u32)] {
+        &self.entries[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// `d(v, l)`: number of neighbors of `v` with label `l` (paper §A.6).
+    pub fn count(&self, v: VertexId, l: Label) -> u32 {
+        let sig = self.signature(v);
+        match sig.binary_search_by_key(&l, |&(lab, _)| lab) {
+            Ok(i) => sig[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// NLF containment: `true` iff for every label `l` in the signature of
+    /// query vertex (given as `query_sig`), `d(data_v, l) >= d(query_u, l)`.
+    ///
+    /// Both signatures must be sorted by label (as produced by this index).
+    pub fn dominates(data_sig: &[(Label, u32)], query_sig: &[(Label, u32)]) -> bool {
+        let mut di = 0;
+        for &(ql, qc) in query_sig {
+            while di < data_sig.len() && data_sig[di].0 < ql {
+                di += 1;
+            }
+            if di >= data_sig.len() || data_sig[di].0 != ql || data_sig[di].1 < qc {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Maximum neighbor degree per vertex (Definition A.1):
+/// `mnd_g(u) = max_{u' ∈ N(u)} d_g(u')`, or 0 for isolated vertices.
+pub fn max_neighbor_degrees(g: &Graph) -> Vec<u32> {
+    let mut mnd = vec![0u32; g.num_vertices()];
+    for v in g.vertices() {
+        let m = g
+            .neighbors(v)
+            .iter()
+            .map(|&w| g.degree(w) as u32)
+            .max()
+            .unwrap_or(0);
+        mnd[v as usize] = m;
+    }
+    mnd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    fn star() -> Graph {
+        // center 0 (label 0), leaves 1..=3 labels 1,1,2
+        graph_from_edges(&[0, 1, 1, 2], &[(0, 1), (0, 2), (0, 3)]).unwrap()
+    }
+
+    #[test]
+    fn label_index_groups() {
+        let g = star();
+        let idx = LabelIndex::build(&g);
+        assert_eq!(idx.vertices_with_label(Label(0)), &[0]);
+        assert_eq!(idx.vertices_with_label(Label(1)), &[1, 2]);
+        assert_eq!(idx.frequency(Label(2)), 1);
+        assert_eq!(idx.frequency(Label(9)), 0);
+    }
+
+    #[test]
+    fn nlf_signatures() {
+        let g = star();
+        let nlf = NlfIndex::build(&g);
+        assert_eq!(nlf.signature(0), &[(Label(1), 2), (Label(2), 1)]);
+        assert_eq!(nlf.signature(1), &[(Label(0), 1)]);
+        assert_eq!(nlf.count(0, Label(1)), 2);
+        assert_eq!(nlf.count(0, Label(3)), 0);
+    }
+
+    #[test]
+    fn nlf_dominates() {
+        let data = [(Label(1), 2), (Label(2), 1)];
+        assert!(NlfIndex::dominates(&data, &[(Label(1), 1)]));
+        assert!(NlfIndex::dominates(&data, &data));
+        assert!(!NlfIndex::dominates(&data, &[(Label(1), 3)]));
+        assert!(!NlfIndex::dominates(&data, &[(Label(3), 1)]));
+        assert!(NlfIndex::dominates(&data, &[]));
+        assert!(!NlfIndex::dominates(&[], &[(Label(0), 1)]));
+    }
+
+    #[test]
+    fn mnd_values() {
+        let g = star();
+        let mnd = max_neighbor_degrees(&g);
+        assert_eq!(mnd, vec![1, 3, 3, 3]);
+        let lonely = graph_from_edges(&[0], &[]).unwrap();
+        assert_eq!(max_neighbor_degrees(&lonely), vec![0]);
+    }
+}

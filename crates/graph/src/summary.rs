@@ -1,0 +1,123 @@
+//! Aggregate graph summaries: the numbers dataset descriptions report
+//! (§6 "Datasets") and the CLI's `stats` command prints.
+
+use crate::graph::Graph;
+use crate::kcore::core_numbers;
+
+/// Descriptive statistics of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphSummary {
+    /// `|V|`.
+    pub vertices: usize,
+    /// `|E|`.
+    pub edges: usize,
+    /// Number of labels actually used (≤ the alphabet size).
+    pub used_labels: usize,
+    /// Average degree `2|E|/|V|`.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Degeneracy (maximum core number).
+    pub degeneracy: u32,
+    /// Number of vertices in the 2-core.
+    pub two_core_size: usize,
+    /// Degree histogram as (degree, count), ascending, only non-zero rows.
+    pub degree_histogram: Vec<(usize, usize)>,
+    /// Label frequency of the most common label.
+    pub max_label_frequency: usize,
+}
+
+impl GraphSummary {
+    /// Computes the summary in `O(|V| + |E|)` (core numbers included).
+    pub fn compute(g: &Graph) -> GraphSummary {
+        let n = g.num_vertices();
+        let mut degree_counts: Vec<usize> = Vec::new();
+        for v in g.vertices() {
+            let d = g.degree(v);
+            if d >= degree_counts.len() {
+                degree_counts.resize(d + 1, 0);
+            }
+            degree_counts[d] += 1;
+        }
+        let degree_histogram: Vec<(usize, usize)> = degree_counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, c)| *c > 0)
+            .map(|(d, &c)| (d, c))
+            .collect();
+
+        let mut label_counts = vec![0usize; g.num_labels()];
+        for &l in g.labels() {
+            label_counts[l.index()] += 1;
+        }
+        let used_labels = label_counts.iter().filter(|&&c| c > 0).count();
+        let max_label_frequency = label_counts.iter().copied().max().unwrap_or(0);
+
+        let cores = core_numbers(g);
+        let degeneracy = cores.iter().copied().max().unwrap_or(0);
+        let two_core_size = cores.iter().filter(|&&c| c >= 2).count();
+
+        GraphSummary {
+            vertices: n,
+            edges: g.num_edges(),
+            used_labels,
+            avg_degree: g.average_degree(),
+            max_degree: g.max_degree(),
+            degeneracy,
+            two_core_size,
+            degree_histogram,
+            max_label_frequency,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "vertices        {}", self.vertices)?;
+        writeln!(f, "edges           {}", self.edges)?;
+        writeln!(f, "used labels     {}", self.used_labels)?;
+        writeln!(f, "avg degree      {:.2}", self.avg_degree)?;
+        writeln!(f, "max degree      {}", self.max_degree)?;
+        writeln!(f, "degeneracy      {}", self.degeneracy)?;
+        writeln!(f, "2-core size     {}", self.two_core_size)?;
+        write!(f, "max label freq  {}", self.max_label_frequency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn summary_of_triangle_with_tail() {
+        let g = graph_from_edges(&[0, 0, 1, 1], &[(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+        let s = GraphSummary::compute(&g);
+        assert_eq!(s.vertices, 4);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.used_labels, 2);
+        assert_eq!(s.max_degree, 3);
+        assert_eq!(s.degeneracy, 2);
+        assert_eq!(s.two_core_size, 3);
+        assert_eq!(s.degree_histogram, vec![(1, 1), (2, 2), (3, 1)]);
+        assert_eq!(s.max_label_frequency, 2);
+    }
+
+    #[test]
+    fn summary_display_renders() {
+        let g = graph_from_edges(&[0, 1], &[(0, 1)]).unwrap();
+        let s = GraphSummary::compute(&g);
+        let text = s.to_string();
+        assert!(text.contains("vertices        2"));
+        assert!(text.contains("degeneracy      1"));
+    }
+
+    #[test]
+    fn empty_graph_summary() {
+        let g = graph_from_edges(&[], &[]).unwrap();
+        let s = GraphSummary::compute(&g);
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.degeneracy, 0);
+        assert!(s.degree_histogram.is_empty());
+    }
+}

@@ -1,0 +1,222 @@
+//! Edge-labeled and directed graphs via reduction (paper §2: "our
+//! techniques can be readily extended to handle edge-labeled and directed
+//! graphs").
+//!
+//! The reduction subdivides every edge with marker vertices whose labels
+//! live in a reserved region above the vertex-label alphabet:
+//!
+//! * **undirected edge-labeled** `u —l— v` becomes `u — m — v` where `m`
+//!   carries the encoded edge label;
+//! * **directed** `u →l→ v` becomes `u — m_out — m_in — v`, with distinct
+//!   "out" and "in" marker labels encoding the orientation.
+//!
+//! Matching the transformed query in the transformed data graph is
+//! equivalent to edge-labeled/directed matching of the originals: marker
+//! labels are disjoint from vertex labels, so original query vertices can
+//! only map to original data vertices, and each original embedding extends
+//! uniquely over markers (simple graphs have one marker chain per edge).
+//! Both sides must be encoded against the same [`EncodingSpace`].
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, VertexId};
+use crate::label::Label;
+
+/// An edge of an [`EdgeListGraph`]; `label` may be `Label(0)` when edge
+/// labels are unused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LabeledEdge {
+    /// Source (tail for directed graphs).
+    pub from: VertexId,
+    /// Target (head for directed graphs).
+    pub to: VertexId,
+    /// Edge label.
+    pub label: Label,
+}
+
+/// A (possibly directed, possibly edge-labeled) graph in edge-list form —
+/// the input model of the reduction.
+#[derive(Clone, Debug)]
+pub struct EdgeListGraph {
+    /// Per-vertex labels.
+    pub vertex_labels: Vec<Label>,
+    /// The edges.
+    pub edges: Vec<LabeledEdge>,
+}
+
+impl EdgeListGraph {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_labels.len()
+    }
+}
+
+/// The shared label-space layout query and data graph must agree on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EncodingSpace {
+    /// Size of the vertex-label alphabet (vertex labels are `< vertex_labels`).
+    pub vertex_labels: u32,
+    /// Size of the edge-label alphabet (edge labels are `< edge_labels`).
+    pub edge_labels: u32,
+    /// Whether edges are directed.
+    pub directed: bool,
+}
+
+impl EncodingSpace {
+    /// Derives a space that covers both graphs (max label + 1 each).
+    pub fn covering(a: &EdgeListGraph, b: &EdgeListGraph, directed: bool) -> EncodingSpace {
+        let vl = a
+            .vertex_labels
+            .iter()
+            .chain(&b.vertex_labels)
+            .map(|l| l.0 + 1)
+            .max()
+            .unwrap_or(1);
+        let el = a
+            .edges
+            .iter()
+            .chain(&b.edges)
+            .map(|e| e.label.0 + 1)
+            .max()
+            .unwrap_or(1);
+        EncodingSpace {
+            vertex_labels: vl,
+            edge_labels: el,
+            directed,
+        }
+    }
+
+    /// Marker label for an undirected edge label / the "out" half of a
+    /// directed edge.
+    fn out_marker(&self, l: Label) -> Label {
+        debug_assert!(l.0 < self.edge_labels);
+        Label(self.vertex_labels + l.0)
+    }
+
+    /// Marker label for the "in" half of a directed edge.
+    fn in_marker(&self, l: Label) -> Label {
+        debug_assert!(self.directed);
+        Label(self.vertex_labels + self.edge_labels + l.0)
+    }
+}
+
+/// Result of encoding: a plain vertex-labeled graph plus projection info.
+#[derive(Clone, Debug)]
+pub struct Encoded {
+    /// The transformed vertex-labeled undirected graph.
+    pub graph: Graph,
+    /// The first `original_vertices` vertex ids of `graph` are the original
+    /// vertices, in order; the rest are edge markers.
+    pub original_vertices: usize,
+}
+
+impl Encoded {
+    /// Projects a mapping over the transformed query down to the original
+    /// query vertices.
+    pub fn project<'m>(&self, mapping: &'m [VertexId]) -> &'m [VertexId] {
+        &mapping[..self.original_vertices]
+    }
+}
+
+/// Encodes `g` against `space`.
+pub fn encode(g: &EdgeListGraph, space: &EncodingSpace) -> Encoded {
+    let n = g.num_vertices();
+    let markers_per_edge = if space.directed { 2 } else { 1 };
+    let mut b = GraphBuilder::with_capacity(
+        n + g.edges.len() * markers_per_edge,
+        g.edges.len() * (markers_per_edge + 1),
+    );
+    for &l in &g.vertex_labels {
+        debug_assert!(l.0 < space.vertex_labels, "vertex label out of space");
+        b.add_vertex(l);
+    }
+    for e in &g.edges {
+        if space.directed {
+            let m_out = b.add_vertex(space.out_marker(e.label));
+            let m_in = b.add_vertex(space.in_marker(e.label));
+            b.add_edge(e.from, m_out);
+            b.add_edge(m_out, m_in);
+            b.add_edge(m_in, e.to);
+        } else {
+            let m = b.add_vertex(space.out_marker(e.label));
+            b.add_edge(e.from, m);
+            b.add_edge(m, e.to);
+        }
+    }
+    Encoded {
+        graph: b.build().expect("encoded endpoints valid"),
+        original_vertices: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(labels: &[u32], edges: &[(u32, u32, u32)]) -> EdgeListGraph {
+        EdgeListGraph {
+            vertex_labels: labels.iter().map(|&l| Label(l)).collect(),
+            edges: edges
+                .iter()
+                .map(|&(from, to, label)| LabeledEdge {
+                    from,
+                    to,
+                    label: Label(label),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn undirected_encoding_subdivides() {
+        let g = graph(&[0, 1], &[(0, 1, 2)]);
+        let space = EncodingSpace {
+            vertex_labels: 2,
+            edge_labels: 3,
+            directed: false,
+        };
+        let enc = encode(&g, &space);
+        assert_eq!(enc.graph.num_vertices(), 3);
+        assert_eq!(enc.graph.num_edges(), 2);
+        // Marker label = vertex_labels + edge label = 2 + 2.
+        assert_eq!(enc.graph.label(2), Label(4));
+        assert!(enc.graph.has_edge(0, 2) && enc.graph.has_edge(2, 1));
+        assert!(!enc.graph.has_edge(0, 1));
+    }
+
+    #[test]
+    fn directed_encoding_orients() {
+        let g = graph(&[0, 0], &[(0, 1, 0)]);
+        let space = EncodingSpace {
+            vertex_labels: 1,
+            edge_labels: 1,
+            directed: true,
+        };
+        let enc = encode(&g, &space);
+        assert_eq!(enc.graph.num_vertices(), 4);
+        // out marker label 1, in marker label 2.
+        assert_eq!(enc.graph.label(2), Label(1));
+        assert_eq!(enc.graph.label(3), Label(2));
+        // Chain 0 - out - in - 1.
+        assert!(enc.graph.has_edge(0, 2));
+        assert!(enc.graph.has_edge(2, 3));
+        assert!(enc.graph.has_edge(3, 1));
+    }
+
+    #[test]
+    fn covering_space() {
+        let a = graph(&[0, 5], &[(0, 1, 2)]);
+        let b = graph(&[3], &[]);
+        let s = EncodingSpace::covering(&a, &b, false);
+        assert_eq!(s.vertex_labels, 6);
+        assert_eq!(s.edge_labels, 3);
+    }
+
+    #[test]
+    fn projection_truncates() {
+        let enc = Encoded {
+            graph: crate::builder::graph_from_edges(&[0, 1, 9], &[(0, 2), (2, 1)]).unwrap(),
+            original_vertices: 2,
+        };
+        assert_eq!(enc.project(&[7, 8, 9]), &[7, 8]);
+    }
+}

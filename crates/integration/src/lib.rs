@@ -1,0 +1,8 @@
+//! Host crate for the workspace-level integration tests (`/tests`) and
+//! runnable examples (`/examples`). It re-exports the public crates so the
+//! tests and examples read naturally.
+
+pub use cfl_baselines as baselines;
+pub use cfl_datasets as datasets;
+pub use cfl_graph as graph;
+pub use cfl_match as engine;

@@ -1,0 +1,116 @@
+//! Lower-level API tour: inspect the CFL decomposition, the CPI under each
+//! construction mode, and the matching order the engine would use.
+//!
+//! ```text
+//! cargo run --release -p cfl-integration --example index_inspection
+//! ```
+
+use cfl_graph::{graph_from_edges, synthetic_graph, SyntheticConfig};
+use cfl_match::{prepare, CpiMode, MatchConfig, Role};
+
+fn main() {
+    // A query with all three decomposition parts: a 4-cycle core, a forest
+    // chain, and three leaves.
+    let query = graph_from_edges(
+        &[0, 1, 0, 1, 2, 3, 3, 2],
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 0), // core 4-cycle
+            (1, 4), // forest vertex
+            (4, 5),
+            (4, 6), // two leaves under the forest vertex
+            (2, 7), // one leaf directly on the core
+        ],
+    )
+    .unwrap();
+    let data = synthetic_graph(&SyntheticConfig {
+        num_vertices: 5_000,
+        avg_degree: 8.0,
+        num_labels: 4,
+        label_exponent: 1.0,
+        twin_fraction: 0.0,
+        seed: 42,
+    });
+
+    println!("== CFL decomposition ==");
+    let prepared = prepare(&query, &data, &MatchConfig::exhaustive()).expect("valid inputs");
+    let d = &prepared.decomposition;
+    let names = |vs: &[u32]| -> String {
+        vs.iter().map(|v| format!("u{v}")).collect::<Vec<_>>().join(", ")
+    };
+    println!("  core   V_C = {{{}}}", names(&d.core));
+    println!("  forest V_T = {{{}}}", names(&d.forest));
+    println!("  leaf   V_I = {{{}}}", names(&d.leaves));
+    for t in &d.trees {
+        println!(
+            "  tree at connection u{}: members {{{}}}",
+            t.connection,
+            names(&t.members)
+        );
+    }
+    for v in query.vertices() {
+        let role = match d.roles[v as usize] {
+            Role::Core => "core",
+            Role::Forest => "forest",
+            Role::Leaf => "leaf",
+        };
+        println!("  u{v}: label {}, role {role}", query.label(v));
+    }
+
+    println!("\n== CPI candidate sets per construction mode ==");
+    println!(
+        "  {:<6} {:>8} {:>8} {:>8}",
+        "vertex", "naive", "top-down", "refined"
+    );
+    let build = |mode: CpiMode| {
+        let cfg = MatchConfig {
+            cpi: mode,
+            ..MatchConfig::exhaustive()
+        };
+        prepare(&query, &data, &cfg).expect("valid inputs")
+    };
+    let naive = build(CpiMode::Naive);
+    let td = build(CpiMode::TopDown);
+    let full = build(CpiMode::TopDownRefined);
+    for v in query.vertices() {
+        println!(
+            "  u{:<5} {:>8} {:>8} {:>8}",
+            v,
+            naive.cpi.candidates(v).len(),
+            td.cpi.candidates(v).len(),
+            full.cpi.candidates(v).len()
+        );
+    }
+    println!(
+        "  total  {:>8} {:>8} {:>8}   (entries; bytes: {} / {} / {})",
+        naive.cpi.total_candidates(),
+        td.cpi.total_candidates(),
+        full.cpi.total_candidates(),
+        naive.cpi.memory_bytes(),
+        td.cpi.memory_bytes(),
+        full.cpi.memory_bytes()
+    );
+
+    println!("\n== matching order (refined CPI) ==");
+    for (i, ov) in prepared.plan.vertices.iter().enumerate() {
+        let phase = if i < prepared.plan.core_len { "core" } else { "forest" };
+        let checks: Vec<String> = ov.checks.iter().map(|c| format!("u{c}")).collect();
+        println!(
+            "  {:>2}. u{} [{phase}] parent={} checks=[{}]",
+            i,
+            ov.vertex,
+            ov.parent.map(|p| format!("u{p}")).unwrap_or_else(|| "-".into()),
+            checks.join(", ")
+        );
+    }
+    println!("  then leaves: {{{}}}", names(&prepared.plan.leaves));
+
+    let report = cfl_match::count_embeddings(&query, &data, &MatchConfig::exhaustive())
+        .expect("valid inputs");
+    println!(
+        "\n{} embeddings; {} search nodes; {} non-tree-edge probes",
+        report.embeddings, report.stats.search_nodes, report.stats.nt_checks
+    );
+}

@@ -1,0 +1,62 @@
+//! Quickstart: build a labeled query and data graph, enumerate embeddings.
+//!
+//! ```text
+//! cargo run --release -p cfl-integration --example quickstart
+//! ```
+
+use cfl_graph::graph_from_edges;
+use cfl_match::{collect_embeddings, MatchConfig};
+
+fn main() {
+    // Query: a labeled triangle A-B-C with a D leaf on A.
+    //
+    //      A(0) --- B(1)
+    //       | \      |
+    //      D(3) \    |
+    //            C(2)
+    let query = graph_from_edges(&[0, 1, 2, 3], &[(0, 1), (1, 2), (2, 0), (0, 3)])
+        .expect("valid query");
+
+    // Data graph: two A-B-C triangles; only the first A has D neighbors
+    // (two of them).
+    let data = graph_from_edges(
+        &[0, 1, 2, 3, 3, 0, 1, 2],
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 0), // first triangle
+            (0, 3),
+            (0, 4), // two D leaves on its A
+            (5, 6),
+            (6, 7),
+            (7, 5), // second triangle, no D
+        ],
+    )
+    .expect("valid data graph");
+
+    let (embeddings, report) =
+        collect_embeddings(&query, &data, &MatchConfig::exhaustive()).expect("valid inputs");
+
+    println!(
+        "query: {} vertices, {} edges",
+        query.num_vertices(),
+        query.num_edges()
+    );
+    println!(
+        "data : {} vertices, {} edges",
+        data.num_vertices(),
+        data.num_edges()
+    );
+    println!(
+        "found {} embeddings ({:?}) — CPI: {} candidates, {} edges",
+        report.embeddings, report.outcome, report.stats.cpi_candidates, report.stats.cpi_edges,
+    );
+    for (i, e) in embeddings.iter().enumerate() {
+        let pairs: Vec<String> = (0..query.num_vertices() as u32)
+            .map(|u| format!("u{u}→v{}", e.map(u)))
+            .collect();
+        println!("  #{i}: {}", pairs.join(", "));
+    }
+
+    assert_eq!(embeddings.len(), 2, "the D leaf can map to v3 or v4");
+}

@@ -1,0 +1,176 @@
+//! CPI soundness (Lemmas 5.2 / 5.3) and size bounds (§4.1), checked
+//! end-to-end against an exhaustive oracle.
+
+use cfl_baselines::{Matcher, Ullmann};
+use cfl_graph::{
+    random_walk_query, synthetic_graph, two_core, Graph, QueryDensity, QueryGenConfig,
+    SyntheticConfig,
+};
+use cfl_match::{Budget, Cpi, CpiMode, FilterContext, GraphStats};
+
+fn build_cpi(q: &Graph, g: &Graph, mode: CpiMode) -> Cpi {
+    let qs = GraphStats::build(q);
+    let gs = GraphStats::build(g);
+    let ctx = FilterContext::new(q, g, &qs, &gs);
+    // Root from the core when non-empty (mirrors the engine).
+    let core = two_core(q);
+    let eligible: Vec<u32> = if core.iter().any(|&b| b) {
+        (0..q.num_vertices() as u32)
+            .filter(|&v| core[v as usize])
+            .collect()
+    } else {
+        (0..q.num_vertices() as u32).collect()
+    };
+    let root = cfl_match::select_root(&ctx, &eligible);
+    Cpi::build(&ctx, root, mode)
+}
+
+fn oracle_embeddings(q: &Graph, g: &Graph) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    Ullmann
+        .find(q, g, Budget::UNLIMITED, &mut |m| {
+            out.push(m.to_vec());
+            true
+        })
+        .unwrap();
+    out
+}
+
+#[test]
+fn every_embedding_is_covered_by_candidates() {
+    // The soundness requirement of §4.1: if an embedding maps u to v, then
+    // v ∈ u.C — for every construction mode.
+    for seed in 0..8 {
+        let g = synthetic_graph(&SyntheticConfig {
+            num_vertices: 60,
+            avg_degree: 5.0,
+            num_labels: 3,
+            label_exponent: 1.0,
+            twin_fraction: 0.0,
+            seed: 100 + seed,
+        });
+        let Some(q) = random_walk_query(&g, &QueryGenConfig::new(5, QueryDensity::Sparse, seed))
+        else {
+            continue;
+        };
+        let embeddings = oracle_embeddings(&q, &g);
+        for mode in [CpiMode::Naive, CpiMode::TopDown, CpiMode::TopDownRefined] {
+            let cpi = build_cpi(&q, &g, mode);
+            for m in &embeddings {
+                for u in q.vertices() {
+                    assert!(
+                        cpi.candidates(u).contains(&m[u as usize]),
+                        "seed {seed}, mode {mode:?}: embedding {m:?} maps u{u} to \
+                         {} but candidates are {:?}",
+                        m[u as usize],
+                        cpi.candidates(u)
+                    );
+                }
+                // Tree-edge coverage: the child's row under the parent's
+                // mapped position must contain the child's mapped vertex.
+                for u in q.vertices() {
+                    let Some(p) = cpi.parent(u) else { continue };
+                    let ppos = cpi
+                        .candidates(p)
+                        .binary_search(&m[p as usize])
+                        .expect("parent candidate present");
+                    let row = cpi.row(u, ppos);
+                    let target = cpi
+                        .candidates(u)
+                        .binary_search(&m[u as usize])
+                        .expect("child candidate present") as u32;
+                    assert!(
+                        row.contains(&target),
+                        "seed {seed}, mode {mode:?}: row of u{u} misses the mapping"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cpi_size_is_within_polynomial_bound() {
+    // §4.1: candidates ≤ |V(q)|·|V(G)| and adjacency entries ≤
+    // (|V(q)|−1)·2|E(G)| (each data edge appears at most twice per pair of
+    // parent-child query vertices).
+    for seed in 0..5 {
+        let g = synthetic_graph(&SyntheticConfig {
+            num_vertices: 200,
+            avg_degree: 6.0,
+            num_labels: 4,
+            label_exponent: 1.0,
+            twin_fraction: 0.0,
+            seed: 200 + seed,
+        });
+        let Some(q) =
+            random_walk_query(&g, &QueryGenConfig::new(8, QueryDensity::Sparse, seed))
+        else {
+            continue;
+        };
+        let cpi = build_cpi(&q, &g, CpiMode::TopDownRefined);
+        let nv_q = q.num_vertices() as u64;
+        assert!(cpi.total_candidates() <= nv_q * g.num_vertices() as u64);
+        assert!(cpi.total_edges() <= (nv_q - 1) * 2 * g.num_edges() as u64);
+    }
+}
+
+#[test]
+fn refinement_never_increases_candidates() {
+    for seed in 0..6 {
+        let g = synthetic_graph(&SyntheticConfig {
+            num_vertices: 80,
+            avg_degree: 5.0,
+            num_labels: 3,
+            label_exponent: 1.0,
+            twin_fraction: 0.0,
+            seed: 300 + seed,
+        });
+        let Some(q) =
+            random_walk_query(&g, &QueryGenConfig::new(6, QueryDensity::Sparse, seed))
+        else {
+            continue;
+        };
+        let naive = build_cpi(&q, &g, CpiMode::Naive);
+        let td = build_cpi(&q, &g, CpiMode::TopDown);
+        let full = build_cpi(&q, &g, CpiMode::TopDownRefined);
+        assert!(td.total_candidates() <= naive.total_candidates(), "seed {seed}");
+        assert!(full.total_candidates() <= td.total_candidates(), "seed {seed}");
+        for u in q.vertices() {
+            for v in full.candidates(u) {
+                assert!(td.candidates(u).contains(v), "seed {seed}");
+            }
+            for v in td.candidates(u) {
+                assert!(naive.candidates(u).contains(v), "seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn cpi_rows_only_contain_real_edges() {
+    // No false edges: every adjacency entry corresponds to a data edge
+    // (soundness's dual direction, Theorem 4.1's "no false positives").
+    let g = synthetic_graph(&SyntheticConfig {
+        num_vertices: 100,
+        avg_degree: 6.0,
+        num_labels: 3,
+        label_exponent: 1.0,
+        twin_fraction: 0.0,
+        seed: 400,
+    });
+    let q = random_walk_query(&g, &QueryGenConfig::new(7, QueryDensity::NonSparse, 1)).unwrap();
+    for mode in [CpiMode::Naive, CpiMode::TopDown, CpiMode::TopDownRefined] {
+        let cpi = build_cpi(&q, &g, mode);
+        for u in q.vertices() {
+            let Some(p) = cpi.parent(u) else { continue };
+            for (i, &vp) in cpi.candidates(p).iter().enumerate() {
+                for &pos in cpi.row(u, i) {
+                    let vc = cpi.candidates(u)[pos as usize];
+                    assert!(g.has_edge(vp, vc), "mode {mode:?}");
+                    assert_eq!(g.label(vc), q.label(u), "mode {mode:?}");
+                }
+            }
+        }
+    }
+}

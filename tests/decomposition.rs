@@ -1,0 +1,145 @@
+//! End-to-end invariants of the CFL decomposition (§3) on generated
+//! queries.
+
+use cfl_graph::{
+    random_walk_query, synthetic_graph, two_core, QueryDensity, QueryGenConfig, SyntheticConfig,
+};
+use cfl_match::{CflDecomposition, DecompositionMode, Role};
+
+fn data_graph(seed: u64) -> cfl_graph::Graph {
+    synthetic_graph(&SyntheticConfig {
+        num_vertices: 500,
+        avg_degree: 6.0,
+        num_labels: 8,
+        label_exponent: 1.0,
+        twin_fraction: 0.0,
+        seed,
+    })
+}
+
+#[test]
+fn decomposition_invariants_on_random_queries() {
+    let g = data_graph(1);
+    for seed in 0..20 {
+        let density = if seed % 2 == 0 {
+            QueryDensity::Sparse
+        } else {
+            QueryDensity::NonSparse
+        };
+        let q = random_walk_query(&g, &QueryGenConfig::new(15, density, seed)).unwrap();
+        let core_bitmap = two_core(&q);
+        let root = core_bitmap.iter().position(|&b| b).unwrap_or(0) as u32;
+        let d = CflDecomposition::compute(&q, root, DecompositionMode::CoreForestLeaf);
+
+        // 1. The three sets partition V(q).
+        assert_eq!(
+            d.core.len() + d.forest.len() + d.leaves.len(),
+            q.num_vertices(),
+            "seed {seed}"
+        );
+
+        // 2. Core equals the 2-core (or the root alone for tree queries).
+        let has_core = core_bitmap.iter().any(|&b| b);
+        for v in q.vertices() {
+            if has_core {
+                assert_eq!(d.is_core(v), core_bitmap[v as usize], "seed {seed}, v{v}");
+            }
+        }
+        if !has_core {
+            assert_eq!(d.core, vec![root]);
+        }
+
+        // 3. Leaves have degree one and are never adjacent to each other
+        //    (V_I is an independent set, §A.5).
+        for &l in &d.leaves {
+            assert_eq!(q.degree(l), 1, "seed {seed}");
+            let nbr = q.neighbors(l)[0];
+            assert_ne!(d.roles[nbr as usize], Role::Leaf, "seed {seed}");
+        }
+
+        // 4. Forest vertices have degree ≥ 2 and are outside the 2-core.
+        for &f in &d.forest {
+            assert!(q.degree(f) >= 2, "seed {seed}");
+            assert!(!core_bitmap[f as usize] || !has_core, "seed {seed}");
+        }
+
+        // 5. Trees: connection vertex is core; members are non-core; the
+        //    members plus their connection induce a connected tree.
+        for t in &d.trees {
+            assert!(d.is_core(t.connection), "seed {seed}");
+            for &m in &t.members {
+                assert!(!d.is_core(m), "seed {seed}");
+            }
+            let mut keep = vec![false; q.num_vertices()];
+            keep[t.connection as usize] = true;
+            for &m in &t.members {
+                keep[m as usize] = true;
+            }
+            let (sub, _) = cfl_graph::induced_subgraph(&q, &keep);
+            assert!(cfl_graph::is_connected(&sub), "seed {seed}");
+            assert_eq!(sub.num_edges(), sub.num_vertices() - 1, "seed {seed}");
+        }
+
+        // 6. Every non-core vertex belongs to exactly one tree.
+        let mut owner = vec![0u32; q.num_vertices()];
+        for t in &d.trees {
+            for &m in &t.members {
+                owner[m as usize] += 1;
+            }
+        }
+        for v in q.vertices() {
+            let expected = u32::from(!d.is_core(v));
+            assert_eq!(owner[v as usize], expected, "seed {seed}, v{v}");
+        }
+    }
+}
+
+#[test]
+fn macro_order_is_respected_by_engine_plan() {
+    // The engine's matching order must place all core vertices before all
+    // forest vertices, with leaves last.
+    let g = data_graph(2);
+    for seed in 0..10 {
+        let q =
+            random_walk_query(&g, &QueryGenConfig::new(12, QueryDensity::Sparse, seed)).unwrap();
+        let prepared = cfl_match::prepare(&q, &g, &cfl_match::MatchConfig::exhaustive()).unwrap();
+        if prepared.provably_empty() {
+            continue;
+        }
+        let d = &prepared.decomposition;
+        let plan = &prepared.plan;
+        assert_eq!(
+            plan.vertices.len() + plan.leaves.len(),
+            q.num_vertices(),
+            "seed {seed}"
+        );
+        for (i, ov) in plan.vertices.iter().enumerate() {
+            let role = d.roles[ov.vertex as usize];
+            if i < plan.core_len {
+                assert_eq!(role, Role::Core, "seed {seed}, pos {i}");
+            } else {
+                assert_eq!(role, Role::Forest, "seed {seed}, pos {i}");
+            }
+        }
+        for &l in &plan.leaves {
+            assert_eq!(d.roles[l as usize], Role::Leaf, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn cf_mode_and_none_mode_cover_all_vertices_in_plan() {
+    let g = data_graph(3);
+    let q = random_walk_query(&g, &QueryGenConfig::new(10, QueryDensity::Sparse, 5)).unwrap();
+    for cfg in [
+        cfl_match::MatchConfig::variant_cf_match(),
+        cfl_match::MatchConfig::variant_match(),
+    ] {
+        let prepared = cfl_match::prepare(&q, &g, &cfg).unwrap();
+        if prepared.provably_empty() {
+            continue;
+        }
+        assert!(prepared.plan.leaves.is_empty(), "{cfg:?}");
+        assert_eq!(prepared.plan.vertices.len(), q.num_vertices(), "{cfg:?}");
+    }
+}
