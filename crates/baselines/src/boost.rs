@@ -67,7 +67,9 @@ pub fn compress(g: &Graph) -> CompressedGraph {
         .map(|class| class.len() >= 2 && g.has_edge(class[0], class[1]))
         .collect();
     CompressedGraph {
-        quotient: b.build().expect("quotient endpoints valid"),
+        quotient: b
+            .build()
+            .unwrap_or_else(|_| unreachable!("quotient endpoints valid")),
         members: part.classes,
         clique,
     }

@@ -81,7 +81,11 @@ impl<'s> Ctl<'s> {
     }
 
     /// Converts the final control state into a report.
-    pub fn into_report(self, flow: ControlFlow<Stop>, enum_time: std::time::Duration) -> MatchReport {
+    pub fn into_report(
+        self,
+        flow: ControlFlow<Stop>,
+        enum_time: std::time::Duration,
+    ) -> MatchReport {
         let outcome = match flow {
             ControlFlow::Continue(()) => MatchOutcome::Complete,
             ControlFlow::Break(Stop) if self.timed_out => MatchOutcome::TimedOut,
@@ -155,10 +159,7 @@ impl<'a> OrderedSearch<'a> {
                      visited: &mut [bool]|
          -> ControlFlow<Stop> {
             ctl.bump()?;
-            if visited[v as usize]
-                || this.g.label(v) != lu
-                || this.g.degree(v) < du
-            {
+            if visited[v as usize] || this.g.label(v) != lu || this.g.degree(v) < du {
                 return ControlFlow::Continue(());
             }
             for &j in &this.checks[depth] {
@@ -194,11 +195,7 @@ impl<'a> OrderedSearch<'a> {
 /// Builds, for each order position, the list of earlier positions holding
 /// query neighbors other than the parent (the `checks` input of
 /// [`OrderedSearch`]).
-pub fn build_checks(
-    q: &Graph,
-    order: &[VertexId],
-    parents: &[Option<usize>],
-) -> Vec<Vec<usize>> {
+pub fn build_checks(q: &Graph, order: &[VertexId], parents: &[Option<usize>]) -> Vec<Vec<usize>> {
     let mut pos = vec![usize::MAX; q.num_vertices()];
     for (i, &u) in order.iter().enumerate() {
         pos[u as usize] = i;

@@ -186,7 +186,7 @@ fn augment(
             continue;
         }
         seen[r] = true;
-        if match_right[r].is_none() || augment(match_right[r].unwrap(), adj, match_right, seen) {
+        if match_right[r].is_none_or(|m| augment(m, adj, match_right, seen)) {
             match_right[r] = Some(l);
             return true;
         }
@@ -200,19 +200,18 @@ fn search_order(q: &Graph, candidates: &[Vec<VertexId>]) -> Vec<VertexId> {
     let n = q.num_vertices();
     let mut order = Vec::with_capacity(n);
     let mut placed = vec![false; n];
-    let start = (0..n as VertexId)
-        .min_by_key(|&u| (candidates[u as usize].len(), u))
-        .expect("non-empty query");
+    let Some(start) = (0..n as VertexId).min_by_key(|&u| (candidates[u as usize].len(), u)) else {
+        return order; // empty query
+    };
     order.push(start);
     placed[start as usize] = true;
     while order.len() < n {
-        let next = (0..n as VertexId)
-            .filter(|&u| {
-                !placed[u as usize]
-                    && q.neighbors(u).iter().any(|&w| placed[w as usize])
-            })
+        let Some(next) = (0..n as VertexId)
+            .filter(|&u| !placed[u as usize] && q.neighbors(u).iter().any(|&w| placed[w as usize]))
             .min_by_key(|&u| (candidates[u as usize].len(), u))
-            .expect("query is connected");
+        else {
+            unreachable!("query is connected");
+        };
         placed[next as usize] = true;
         order.push(next);
     }
@@ -284,11 +283,7 @@ mod tests {
         // semi-perfect matching even though labels/degree would let a naive
         // filter keep it when degrees are padded with a C).
         let q = graph_from_edges(&[0, 1, 1], &[(0, 1), (0, 2)]).unwrap();
-        let g = graph_from_edges(
-            &[0, 1, 1, 0, 1, 2],
-            &[(0, 1), (0, 2), (3, 4), (3, 5)],
-        )
-        .unwrap();
+        let g = graph_from_edges(&[0, 1, 1, 0, 1, 2], &[(0, 1), (0, 2), (3, 4), (3, 5)]).unwrap();
         let c = build_candidates(&q, &g);
         assert_eq!(c[0], vec![0], "A(3) lacks a second B neighbor");
     }

@@ -26,6 +26,7 @@
 //! the `cfl-match` crate so the benchmark harness can treat every algorithm
 //! uniformly.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod boost;
 pub mod common;
 pub mod graphql;
@@ -104,8 +105,8 @@ impl Matcher for CflMatcher {
 
 pub use boost::{compress, BoostedMatcher, CompressedGraph};
 pub use graphql::GraphQl;
-pub use spath::SPath;
 pub use quicksi::QuickSi;
+pub use spath::SPath;
 pub use turboiso::TurboIso;
 pub use ullmann::Ullmann;
 pub use vf2::Vf2;

@@ -82,19 +82,19 @@ pub fn qi_sequence(q: &Graph, g: &Graph) -> (Vec<VertexId>, Vec<Option<usize>>) 
         let key = if la <= lb { (la, lb) } else { (lb, la) };
         edge_freq.get(&key).copied().unwrap_or(0)
     };
-    let vfreq = |u: VertexId| -> u64 {
-        vertex_freq.get(q.label(u).index()).copied().unwrap_or(0)
-    };
+    let vfreq = |u: VertexId| -> u64 { vertex_freq.get(q.label(u).index()).copied().unwrap_or(0) };
 
     if nq == 1 {
         return (vec![0], vec![None]);
     }
 
     // Seed: the query edge with minimum (edge weight, endpoint frequencies).
-    let (su, sv) = q
+    let Some((su, sv)) = q
         .edges()
         .min_by_key(|&(u, w)| (edge_weight(u, w), vfreq(u).min(vfreq(w))))
-        .expect("connected query with ≥2 vertices has an edge");
+    else {
+        unreachable!("connected query with ≥2 vertices has an edge");
+    };
     let (first, second) = if vfreq(su) <= vfreq(sv) {
         (su, sv)
     } else {
@@ -121,7 +121,9 @@ pub fn qi_sequence(q: &Graph, g: &Graph) -> (Vec<VertexId>, Vec<Option<usize>>) 
                 }
             }
         }
-        let (_, _, w, pi) = best.expect("query is connected");
+        let Some((_, _, w, pi)) = best else {
+            unreachable!("query is connected");
+        };
         in_tree[w as usize] = true;
         order.push(w);
         parents.push(Some(pi));
@@ -132,8 +134,8 @@ pub fn qi_sequence(q: &Graph, g: &Graph) -> (Vec<VertexId>, Vec<Option<usize>>) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cfl_match::Budget;
     use cfl_graph::graph_from_edges;
+    use cfl_match::Budget;
 
     #[test]
     fn qi_sequence_is_connected() {
@@ -154,11 +156,7 @@ mod tests {
         // Query path A-B-C. Data: many A-B edges, one B-C edge → order
         // should start from the B-C side.
         let q = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2)]).unwrap();
-        let g = graph_from_edges(
-            &[0, 0, 0, 1, 2],
-            &[(0, 3), (1, 3), (2, 3), (3, 4)],
-        )
-        .unwrap();
+        let g = graph_from_edges(&[0, 0, 0, 1, 2], &[(0, 3), (1, 3), (2, 3), (3, 4)]).unwrap();
         let (order, _) = qi_sequence(&q, &g);
         // First two vertices must be the B-C edge endpoints {1, 2}.
         let mut first_two = vec![order[0], order[1]];
@@ -169,13 +167,8 @@ mod tests {
     #[test]
     fn finds_embeddings_with_extra_edges() {
         // Square query with a diagonal (extra edge check path).
-        let q = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
-            .unwrap();
-        let g = graph_from_edges(
-            &[0, 0, 0, 0],
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
-        )
-        .unwrap();
+        let q = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let g = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
         let r = QuickSi.count(&q, &g, Budget::UNLIMITED).unwrap();
         // Automorphisms of the diamond: 4 (identity, swap 1/3, swap 0/2, both).
         assert_eq!(r.embeddings, 4);

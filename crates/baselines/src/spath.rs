@@ -106,8 +106,14 @@ fn dominates(data: &[(Label, u32)], query: &[(Label, u32)]) -> bool {
 
 /// Distance-1 and distance-2 signature filtering.
 fn signature_filter(q: &Graph, g: &Graph) -> Vec<Vec<VertexId>> {
-    let g_sig1: Vec<_> = g.vertices().map(|v| neighborhood_signature(g, v, false)).collect();
-    let g_sig2: Vec<_> = g.vertices().map(|v| neighborhood_signature(g, v, true)).collect();
+    let g_sig1: Vec<_> = g
+        .vertices()
+        .map(|v| neighborhood_signature(g, v, false))
+        .collect();
+    let g_sig2: Vec<_> = g
+        .vertices()
+        .map(|v| neighborhood_signature(g, v, true))
+        .collect();
     q.vertices()
         .map(|u| {
             let q1 = neighborhood_signature(q, u, false);
@@ -130,9 +136,9 @@ fn signature_filter(q: &Graph, g: &Graph) -> Vec<Vec<VertexId>> {
 fn path_order(q: &Graph, candidates: &[Vec<VertexId>]) -> (Vec<VertexId>, Vec<Option<usize>>) {
     let n = q.num_vertices();
     // Extract maximal chains along a DFS spanning tree.
-    let start = (0..n as VertexId)
-        .min_by_key(|&u| (candidates[u as usize].len(), u))
-        .expect("non-empty");
+    let Some(start) = (0..n as VertexId).min_by_key(|&u| (candidates[u as usize].len(), u)) else {
+        return (Vec::new(), Vec::new()); // empty query
+    };
     let mut visited = vec![false; n];
     let mut paths: Vec<Vec<VertexId>> = Vec::new();
     let mut stack = vec![start];
@@ -196,10 +202,12 @@ fn path_order(q: &Graph, candidates: &[Vec<VertexId>]) -> (Vec<VertexId>, Vec<Op
         }
     }
     while order.len() < n {
-        let idx = remaining
+        let Some(idx) = remaining
             .iter()
             .position(|p| p.iter().any(|&v| placed[v as usize]))
-            .expect("query is connected");
+        else {
+            unreachable!("query is connected");
+        };
         let path = remaining.remove(idx);
         for &v in &path {
             if !placed[v as usize] {
@@ -263,11 +271,8 @@ mod tests {
 
     #[test]
     fn path_order_covers_and_connects() {
-        let q = graph_from_edges(
-            &[0, 0, 0, 0, 0],
-            &[(0, 1), (1, 2), (1, 3), (3, 4), (0, 4)],
-        )
-        .unwrap();
+        let q =
+            graph_from_edges(&[0, 0, 0, 0, 0], &[(0, 1), (1, 2), (1, 3), (3, 4), (0, 4)]).unwrap();
         let candidates: Vec<Vec<VertexId>> = (0..5).map(|_| vec![0, 1, 2]).collect();
         let (order, parents) = path_order(&q, &candidates);
         assert_eq!(order.len(), 5);

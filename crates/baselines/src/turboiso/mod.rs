@@ -68,14 +68,13 @@ impl Matcher for TurboIso {
         let q_nlf = NlfIndex::build(q);
 
         // Start-vertex selection: argmin freq(l(u)) / d(u).
-        let us = q
-            .vertices()
-            .min_by(|&a, &b| {
-                let fa = g_labels.frequency(q.label(a)) as f64 / q.degree(a).max(1) as f64;
-                let fb = g_labels.frequency(q.label(b)) as f64 / q.degree(b).max(1) as f64;
-                fa.total_cmp(&fb).then(a.cmp(&b))
-            })
-            .expect("non-empty query");
+        let Some(us) = q.vertices().min_by(|&a, &b| {
+            let fa = g_labels.frequency(q.label(a)) as f64 / q.degree(a).max(1) as f64;
+            let fb = g_labels.frequency(q.label(b)) as f64 / q.degree(b).max(1) as f64;
+            fa.total_cmp(&fb).then(a.cmp(&b))
+        }) else {
+            unreachable!("non-empty query");
+        };
         let tree = BfsTree::new(q, us);
         let order_template = OrderTemplate::new(q, &tree);
 
@@ -153,10 +152,7 @@ impl OrderTemplate {
                 }
             }
         }
-        let q_edges = q
-            .vertices()
-            .map(|u| q.neighbors(u).to_vec())
-            .collect();
+        let q_edges = q.vertices().map(|u| q.neighbors(u).to_vec()).collect();
         OrderTemplate { paths, q_edges }
     }
 
@@ -225,7 +221,9 @@ impl Search<'_> {
             return ctl.emit(&self.mapping);
         }
         let u = self.order[depth].vertex;
-        let parent = self.tree.parent(u).expect("only the root has no parent");
+        let Some(parent) = self.tree.parent(u) else {
+            unreachable!("only the root has no parent");
+        };
         let pv = self.mapping[parent as usize];
         debug_assert_ne!(pv, UNMAPPED, "order keeps tree parents first");
         let cands = self.region.candidates(u, pv).to_vec();
@@ -264,14 +262,11 @@ pub fn outcome_is_inf(report: &MatchReport) -> bool {
 /// feasible.
 pub fn materialization_cost(q: &Graph, g: &Graph, cap: u64) -> Option<(u64, usize)> {
     let g_labels = LabelIndex::build(g);
-    let us = q
-        .vertices()
-        .min_by(|&a, &b| {
-            let fa = g_labels.frequency(q.label(a)) as f64 / q.degree(a).max(1) as f64;
-            let fb = g_labels.frequency(q.label(b)) as f64 / q.degree(b).max(1) as f64;
-            fa.total_cmp(&fb).then(a.cmp(&b))
-        })
-        .expect("non-empty query");
+    let us = q.vertices().min_by(|&a, &b| {
+        let fa = g_labels.frequency(q.label(a)) as f64 / q.degree(a).max(1) as f64;
+        let fb = g_labels.frequency(q.label(b)) as f64 / q.degree(b).max(1) as f64;
+        fa.total_cmp(&fb).then(a.cmp(&b))
+    })?;
     let tree = BfsTree::new(q, us);
     let template = OrderTemplate::new(q, &tree);
     for &vs in g_labels.vertices_with_label(q.label(us)) {

@@ -43,7 +43,7 @@ impl Region {
 
     /// Candidates of query tree node `u` when its parent maps to `pv`.
     pub(super) fn candidates(&self, u: VertexId, pv: VertexId) -> &[VertexId] {
-        self.cr.get(&(u, pv)).map(Vec::as_slice).unwrap_or(&[])
+        self.cr.get(&(u, pv)).map_or(&[], Vec::as_slice)
     }
 
     /// Total number of candidate entries across the region (its size).
@@ -77,7 +77,9 @@ impl Region {
             *count += 1;
             return;
         }
-        let parent_image = *images.last().expect("root image present");
+        let Some(&parent_image) = images.last() else {
+            unreachable!("root image present");
+        };
         for &v in self.candidates(path[depth], parent_image) {
             if images.contains(&v) {
                 continue;
@@ -166,7 +168,11 @@ mod tests {
         assert_eq!(r.candidates(1, 0), &[1, 2, 3]);
         assert_eq!(r.size(), 3);
         assert_eq!(r.materialize_path_embeddings(&[0, 1], 100), 3);
-        assert_eq!(r.materialize_path_embeddings(&[0, 1], 2), 2, "cap respected");
+        assert_eq!(
+            r.materialize_path_embeddings(&[0, 1], 2),
+            2,
+            "cap respected"
+        );
     }
 
     #[test]

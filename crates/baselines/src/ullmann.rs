@@ -70,11 +70,10 @@ fn refine(q: &Graph, g: &Graph, m: &mut [Vec<bool>]) {
                 if !m[u as usize][v as usize] {
                     continue;
                 }
-                let ok = q.neighbors(u).iter().all(|&uq| {
-                    g.neighbors(v)
-                        .iter()
-                        .any(|&vg| m[uq as usize][vg as usize])
-                });
+                let ok = q
+                    .neighbors(u)
+                    .iter()
+                    .all(|&uq| g.neighbors(v).iter().any(|&vg| m[uq as usize][vg as usize]));
                 if !ok {
                     m[u as usize][v as usize] = false;
                     changed = true;

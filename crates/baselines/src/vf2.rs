@@ -46,18 +46,14 @@ impl Matcher for Vf2 {
         for v in g.vertices() {
             label_freq[g.label(v).index()] += 1;
         }
-        let start_vertex = q
-            .vertices()
-            .min_by_key(|&u| {
-                (
-                    label_freq
-                        .get(q.label(u).index())
-                        .copied()
-                        .unwrap_or(0),
-                    std::cmp::Reverse(q.degree(u)),
-                )
-            })
-            .expect("non-empty query");
+        let Some(start_vertex) = q.vertices().min_by_key(|&u| {
+            (
+                label_freq.get(q.label(u).index()).copied().unwrap_or(0),
+                std::cmp::Reverse(q.degree(u)),
+            )
+        }) else {
+            unreachable!("non-empty query");
+        };
         let tree = cfl_graph::BfsTree::new(q, start_vertex);
         let order: Vec<VertexId> = tree.order().collect();
         let parent_of: Vec<Option<VertexId>> = order.iter().map(|&u| tree.parent(u)).collect();

@@ -37,7 +37,7 @@ fn bench_algorithms(c: &mut Criterion) {
                     total += m.count(q, &g, budget).unwrap().embeddings;
                 }
                 total
-            })
+            });
         });
     }
     group.finish();

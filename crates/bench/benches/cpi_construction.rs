@@ -42,7 +42,7 @@ fn bench_cpi(c: &mut Criterion) {
                         total += cpi.total_candidates();
                     }
                     total
-                })
+                });
             },
         );
     }

@@ -30,7 +30,7 @@ fn bench_decomposition(c: &mut Criterion) {
                 parts += d.core.len() + d.forest.len() + d.leaves.len();
             }
             parts
-        })
+        });
     });
     group.finish();
 

@@ -33,7 +33,7 @@ fn bench_framework(c: &mut Criterion) {
                     total += count_embeddings(q, &g, &cfg).unwrap().embeddings;
                 }
                 total
-            })
+            });
         });
     }
     group.finish();

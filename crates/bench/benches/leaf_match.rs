@@ -33,7 +33,7 @@ fn bench_leaf_match(c: &mut Criterion) {
     let cfg = MatchConfig::exhaustive();
 
     c.bench_function("leaf_count_combinatorial", |b| {
-        b.iter(|| count_embeddings(&q, &g, &cfg).unwrap().embeddings)
+        b.iter(|| count_embeddings(&q, &g, &cfg).unwrap().embeddings);
     });
 
     c.bench_function("leaf_enumerate_full", |b| {
@@ -41,7 +41,7 @@ fn bench_leaf_match(c: &mut Criterion) {
             collect_embeddings(&q, &g, &cfg)
                 .map(|(embs, _)| embs.len())
                 .unwrap()
-        })
+        });
     });
 }
 

@@ -33,7 +33,7 @@ fn bench_scalability(c: &mut Criterion) {
         let queries = queries_for(&g);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &queries, |b, qs| {
-            b.iter(|| run_all(&g, qs, &cfg))
+            b.iter(|| run_all(&g, qs, &cfg));
         });
     }
     group.finish();
@@ -50,7 +50,7 @@ fn bench_scalability(c: &mut Criterion) {
         });
         let queries = queries_for(&g);
         group.bench_with_input(BenchmarkId::from_parameter(d as u64), &queries, |b, qs| {
-            b.iter(|| run_all(&g, qs, &cfg))
+            b.iter(|| run_all(&g, qs, &cfg));
         });
     }
     group.finish();
@@ -67,7 +67,7 @@ fn bench_scalability(c: &mut Criterion) {
         });
         let queries = queries_for(&g);
         group.bench_with_input(BenchmarkId::from_parameter(labels), &queries, |b, qs| {
-            b.iter(|| run_all(&g, qs, &cfg))
+            b.iter(|| run_all(&g, qs, &cfg));
         });
     }
     group.finish();

@@ -59,7 +59,10 @@ fn main() {
     }
 
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
-        ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+        ids = ALL_EXPERIMENTS
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
     }
 
     println!(

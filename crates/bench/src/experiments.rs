@@ -74,11 +74,7 @@ impl Scale {
                     count: self.queries_per_set,
                     seed: 0x9e37 + (i * 2 + j) as u64 * 104_729,
                 };
-                let name = format!(
-                    "q{}{}",
-                    w.sizes[i],
-                    if j == 0 { "S" } else { "N" }
-                );
+                let name = format!("q{}{}", w.sizes[i], if j == 0 { "S" } else { "N" });
                 out.push((name, spec.generate(g)));
             }
         }
@@ -117,7 +113,11 @@ fn print_series(
         let mut row = vec![name.clone()];
         for m in matchers {
             let res = run_query_set(m.as_ref(), g, queries, opts);
-            row.push(if res.is_inf() { "INF".into() } else { metric(&res) });
+            row.push(if res.is_inf() {
+                "INF".into()
+            } else {
+                metric(&res)
+            });
         }
         t.row(row);
     }
@@ -152,7 +152,12 @@ pub fn fig8(scale: &Scale) {
         let w = Workload::for_dataset(d);
         let sets = scale.query_sets(&g, &w);
         print_series(
-            &format!("{} (|V|={}, |E|={})", d.name(), g.num_vertices(), g.num_edges()),
+            &format!(
+                "{} (|V|={}, |E|={})",
+                d.name(),
+                g.num_vertices(),
+                g.num_edges()
+            ),
             &sets,
             &g,
             &comparison_matchers(),
@@ -184,13 +189,19 @@ pub fn fig9(scale: &Scale) {
 /// region exploration + path ranking).
 pub fn fig10(scale: &Scale) {
     println!("# Figure 10 — ordering time (ms/query), vary |V(q)|\n");
-    let matchers: Vec<Box<dyn Matcher>> =
-        vec![Box::new(TurboIso), Box::new(CflMatcher::full())];
+    let matchers: Vec<Box<dyn Matcher>> = vec![Box::new(TurboIso), Box::new(CflMatcher::full())];
     for d in [Dataset::Hprd, Dataset::SyntheticDefault] {
         let g = d.build_scaled(scale.graph_factor);
         let w = Workload::for_dataset(d);
         let sets = scale.query_sets(&g, &w);
-        print_series(d.name(), &sets, &g, &matchers, &scale.options(), order_metric);
+        print_series(
+            d.name(),
+            &sets,
+            &g,
+            &matchers,
+            &scale.options(),
+            order_metric,
+        );
     }
 }
 
@@ -298,7 +309,10 @@ pub fn fig13(scale: &Scale) {
 pub fn fig14(scale: &Scale) {
     println!("# Figure 14 — framework ablation (ms/query)\n");
     let matchers: Vec<Box<dyn Matcher>> = vec![
-        Box::new(CflMatcher::with_config("Match", MatchConfig::variant_match())),
+        Box::new(CflMatcher::with_config(
+            "Match",
+            MatchConfig::variant_match(),
+        )),
         Box::new(CflMatcher::with_config(
             "CF-Match",
             MatchConfig::variant_cf_match(),
@@ -309,7 +323,14 @@ pub fn fig14(scale: &Scale) {
         let g = d.build_scaled(scale.graph_factor);
         let w = Workload::for_dataset(d);
         let sets = scale.default_sets(&g, &w);
-        print_series(d.name(), &sets, &g, &matchers, &scale.options(), total_metric);
+        print_series(
+            d.name(),
+            &sets,
+            &g,
+            &matchers,
+            &scale.options(),
+            total_metric,
+        );
     }
 }
 
@@ -331,7 +352,14 @@ pub fn fig15(scale: &Scale) {
         let g = d.build_scaled(scale.graph_factor);
         let w = Workload::for_dataset(d);
         let sets = scale.default_sets(&g, &w);
-        print_series(d.name(), &sets, &g, &matchers, &scale.options(), total_metric);
+        print_series(
+            d.name(),
+            &sets,
+            &g,
+            &matchers,
+            &scale.options(),
+            total_metric,
+        );
     }
 }
 
@@ -451,8 +479,7 @@ pub fn tab4(scale: &Scale) {
 /// Figure 20: enumeration/ordering time split vs #embeddings.
 pub fn fig20(scale: &Scale) {
     println!("# Figure 20 — enumeration vs ordering time, vary #embeddings\n");
-    let matchers: Vec<Box<dyn Matcher>> =
-        vec![Box::new(TurboIso), Box::new(CflMatcher::full())];
+    let matchers: Vec<Box<dyn Matcher>> = vec![Box::new(TurboIso), Box::new(CflMatcher::full())];
     let limits = [1_000u64, 10_000, 100_000];
     for d in [Dataset::Hprd, Dataset::SyntheticDefault] {
         let g = d.build_scaled(scale.graph_factor);
@@ -526,8 +553,7 @@ pub fn fig21(scale: &Scale) {
 /// Figure 22: frequent vs infrequent queries (§A.8).
 pub fn fig22(scale: &Scale) {
     println!("# Figure 22 — frequent vs infrequent queries (ms/query)\n");
-    let matchers: Vec<Box<dyn Matcher>> =
-        vec![Box::new(TurboIso), Box::new(CflMatcher::full())];
+    let matchers: Vec<Box<dyn Matcher>> = vec![Box::new(TurboIso), Box::new(CflMatcher::full())];
     for d in [Dataset::Dblp, Dataset::WordNet] {
         let g = d.build_scaled(scale.graph_factor * 2);
         let w = Workload::for_dataset(d);
@@ -542,7 +568,7 @@ pub fn fig22(scale: &Scale) {
         let cfl = CflMatcher::full();
         let mut frequent = Vec::new();
         let mut infrequent = Vec::new();
-        for q in pool.iter() {
+        for q in &pool {
             match cfl.count(q, &g, classify_budget) {
                 Ok(r) if r.embeddings >= threshold => frequent.push(q.clone()),
                 Ok(_) => infrequent.push(q.clone()),
@@ -591,7 +617,9 @@ pub fn patho(scale: &Scale) {
         let (q, g) = cfl_datasets::near_clique_pathology(n_clique, chain, true);
         let (paths, region) =
             cfl_baselines::turboiso::materialization_cost(&q, &g, cap).unwrap_or((0, 0));
-        let prep = cfl_match::prepare(&q, &g, &MatchConfig::default()).expect("valid instance");
+        let Ok(prep) = cfl_match::prepare(&q, &g, &MatchConfig::default()) else {
+            continue; // generated instance is always valid
+        };
         let cpi_entries = prep.stats.cpi_candidates + prep.stats.cpi_edges;
         let opts = scale.options();
         let turbo = run_query_set(&TurboIso, &g, std::slice::from_ref(&q), &opts);
@@ -655,7 +683,14 @@ pub fn filters(scale: &Scale) {
         let g = d.build_scaled(scale.graph_factor);
         let w = Workload::for_dataset(d);
         let sets = scale.default_sets(&g, &w);
-        print_series(d.name(), &sets, &g, &matchers, &scale.options(), total_metric);
+        print_series(
+            d.name(),
+            &sets,
+            &g,
+            &matchers,
+            &scale.options(),
+            total_metric,
+        );
     }
 }
 
@@ -664,11 +699,13 @@ pub fn filters(scale: &Scale) {
 pub fn hier(scale: &Scale) {
     println!("# Ordering ablation — Algorithm 2 vs arbitrary vs core-hierarchy\n");
     let matchers: Vec<Box<dyn Matcher>> = vec![
-        Box::new(CflMatcher::with_config("CFL-Arbitrary", {
-            let mut c = MatchConfig::default();
-            c.order = cfl_match::OrderStrategy::Arbitrary;
-            c
-        })),
+        Box::new(CflMatcher::with_config(
+            "CFL-Arbitrary",
+            MatchConfig {
+                order: cfl_match::OrderStrategy::Arbitrary,
+                ..Default::default()
+            },
+        )),
         Box::new(CflMatcher::full()),
         Box::new(CflMatcher::with_config(
             "CFL-Hierarchy",
@@ -679,7 +716,14 @@ pub fn hier(scale: &Scale) {
         let g = d.build_scaled(scale.graph_factor);
         let w = Workload::for_dataset(d);
         let sets = scale.query_sets(&g, &w);
-        print_series(d.name(), &sets, &g, &matchers, &scale.options(), total_metric);
+        print_series(
+            d.name(),
+            &sets,
+            &g,
+            &matchers,
+            &scale.options(),
+            total_metric,
+        );
     }
 }
 
@@ -702,14 +746,21 @@ pub fn related(scale: &Scale) {
         let g = d.build_scaled(scale.graph_factor);
         let w = Workload::for_dataset(d);
         let sets = scale.default_sets(&g, &w);
-        print_series(d.name(), &sets, &g, &matchers, &scale.options(), total_metric);
+        print_series(
+            d.name(),
+            &sets,
+            &g,
+            &matchers,
+            &scale.options(),
+            total_metric,
+        );
     }
 }
 
 /// All experiment ids in run order.
 pub const ALL_EXPERIMENTS: [&str; 17] = [
-    "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "tab4",
-    "fig20", "fig21", "fig22", "patho", "filters", "hier", "related",
+    "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "tab4", "fig20",
+    "fig21", "fig22", "patho", "filters", "hier", "related",
 ];
 
 /// Dispatches one experiment by id; returns false for unknown ids.
@@ -757,9 +808,23 @@ mod tests {
             assert!(
                 matches!(
                     id,
-                    "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "fig13" | "fig14"
-                        | "fig15" | "fig16" | "tab4" | "fig20" | "fig21" | "fig22"
-                        | "patho" | "filters" | "hier" | "related"
+                    "fig8"
+                        | "fig9"
+                        | "fig10"
+                        | "fig11"
+                        | "fig12"
+                        | "fig13"
+                        | "fig14"
+                        | "fig15"
+                        | "fig16"
+                        | "tab4"
+                        | "fig20"
+                        | "fig21"
+                        | "fig22"
+                        | "patho"
+                        | "filters"
+                        | "hier"
+                        | "related"
                 ),
                 "{id}"
             );

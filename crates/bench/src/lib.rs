@@ -6,6 +6,7 @@
 //! experiment prints the same rows/series the paper reports and flags
 //! timeouts as `INF`, mirroring the paper's plots.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod experiments;
 pub mod runner;
 pub mod table;

@@ -84,9 +84,8 @@ pub fn run_query_set(
     let mut completed = 0usize;
     for q in queries {
         let start = Instant::now();
-        let report = match matcher.count(q, g, opts.budget()) {
-            Ok(r) => r,
-            Err(_) => continue,
+        let Ok(report) = matcher.count(q, g, opts.budget()) else {
+            continue;
         };
         let total = start.elapsed();
         if report.outcome == MatchOutcome::TimedOut {
@@ -128,12 +127,7 @@ mod tests {
         .unwrap();
         let q = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]).unwrap();
         let queries = vec![q.clone(), q];
-        let res = run_query_set(
-            &CflMatcher::full(),
-            &g,
-            &queries,
-            &RunOptions::default(),
-        );
+        let res = run_query_set(&CflMatcher::full(), &g, &queries, &RunOptions::default());
         assert_eq!(res.queries, 2);
         assert_eq!(res.timeouts, 0);
         assert!((res.avg_embeddings - 2.0).abs() < 1e-9);

@@ -10,7 +10,10 @@ impl TablePrinter {
     /// A table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
         TablePrinter {
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows: Vec::new(),
         }
     }

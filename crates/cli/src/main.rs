@@ -17,8 +17,7 @@ use std::time::{Duration, Instant};
 use cfl_baselines::{BoostedMatcher, CflMatcher, Matcher, QuickSi, TurboIso, Ullmann, Vf2};
 use cfl_datasets::Dataset;
 use cfl_graph::{
-    query_set, read_graph_file, synthetic_graph, write_graph_file, QueryDensity,
-    SyntheticConfig,
+    query_set, read_graph_file, synthetic_graph, write_graph_file, QueryDensity, SyntheticConfig,
 };
 use cfl_match::Budget;
 
@@ -36,6 +35,7 @@ fn main() {
         "match" => cmd_match(rest),
         "stats" => cmd_stats(rest),
         "workload" => cmd_workload(rest),
+        "verify" => cmd_verify(rest),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command {other:?}");
@@ -55,7 +55,9 @@ fn usage() {
          match <query> <data> [--algorithm cfl|quicksi|turboiso|vf2|ullmann|graphql|spath|boost]\n        \
                [--limit N] [--time-limit SECS] [--print] [--count-only]\n  \
          stats <graph> [--top N]\n  \
-         workload <hprd|yeast|human|dblp|wordnet|synthetic> [--scale N] [--queries N] -o DIR"
+         workload <hprd|yeast|human|dblp|wordnet|synthetic> [--scale N] [--queries N] -o DIR\n  \
+         verify [<query> <data>] [--scale N] [--labels L] [--size N] [--seed S]\n        \
+               [--variant cfl|cf|match|naive|topdown]"
     );
 }
 
@@ -125,7 +127,10 @@ fn require_output(f: &Flags) -> &str {
 }
 
 fn cmd_generate(args: &[String]) {
-    let f = Flags::parse(args, &["vertices", "degree", "labels", "seed", "o", "output"]);
+    let f = Flags::parse(
+        args,
+        &["vertices", "degree", "labels", "seed", "o", "output"],
+    );
     let cfg = SyntheticConfig {
         num_vertices: f.get_parse("vertices", 10_000usize),
         avg_degree: f.get_parse("degree", 8.0f64),
@@ -204,7 +209,11 @@ fn cmd_query(args: &[String]) {
     for (i, q) in queries.iter().enumerate() {
         let path = format!("{prefix}-{i}.graph");
         write_graph_file(q, &path).unwrap_or_else(die);
-        println!("wrote {path}: {} vertices, {} edges", q.num_vertices(), q.num_edges());
+        println!(
+            "wrote {path}: {} vertices, {} edges",
+            q.num_vertices(),
+            q.num_edges()
+        );
     }
 }
 
@@ -314,8 +323,7 @@ fn cmd_workload(args: &[String]) {
     let count = f.get_parse("queries", 100usize);
     let out_dir = require_output(&f);
     let g = d.build_scaled(scale);
-    write_graph_file(&g, std::path::Path::new(out_dir).join("data.graph"))
-        .unwrap_or_else(die);
+    write_graph_file(&g, std::path::Path::new(out_dir).join("data.graph")).unwrap_or_else(die);
     let w = cfl_datasets::Workload::for_dataset(d);
     let sizes = w.scaled_sizes(scale.max(1));
     for (i, &size) in sizes.iter().enumerate() {
@@ -330,12 +338,119 @@ fn cmd_workload(args: &[String]) {
                 seed: 0x9e37 + (i * 2 + j) as u64 * 104_729,
             };
             let queries = spec.generate(&g);
-            let paths = cfl_datasets::save_query_set(out_dir, &spec.name(), &queries)
-                .unwrap_or_else(die);
-            println!("{}: {} queries -> {out_dir}/{}", spec.name(), paths.len(), spec.name());
+            let paths =
+                cfl_datasets::save_query_set(out_dir, &spec.name(), &queries).unwrap_or_else(die);
+            println!(
+                "{}: {} queries -> {out_dir}/{}",
+                spec.name(),
+                paths.len(),
+                spec.name()
+            );
         }
     }
     println!("data graph -> {out_dir}/data.graph");
+}
+
+/// `cfl verify`: builds the full matching pipeline for a (query, data)
+/// pair — read from files, or generated synthetically when no paths are
+/// given — and runs every `cfl-verify` invariant checker over the prepared
+/// structures, reporting violations with vertex-level diagnostics.
+fn cmd_verify(args: &[String]) {
+    let f = Flags::parse(
+        args,
+        &["scale", "labels", "size", "seed", "density", "variant"],
+    );
+    let (q, g) = match f.positional.len() {
+        2 => (
+            read_graph_file(&f.positional[0]).unwrap_or_else(die),
+            read_graph_file(&f.positional[1]).unwrap_or_else(die),
+        ),
+        0 => {
+            // Synthetic pair: `--scale N` divides the paper's default 100k
+            // vertices (mirroring `dataset --scale`).
+            let scale = f.get_parse("scale", 8usize).max(1);
+            let size = f.get_parse("size", 12usize);
+            let seed = f.get_parse("seed", 1u64);
+            let cfg = SyntheticConfig {
+                num_vertices: (100_000 / scale).max(4 * size),
+                avg_degree: 8.0,
+                num_labels: f.get_parse("labels", 8usize),
+                label_exponent: 1.0,
+                twin_fraction: 0.0,
+                seed,
+            };
+            let g = synthetic_graph(&cfg);
+            let density = match f.get("density").unwrap_or("sparse") {
+                "sparse" | "s" => QueryDensity::Sparse,
+                "dense" | "nonsparse" | "n" => QueryDensity::NonSparse,
+                other => {
+                    eprintln!("unknown density {other:?} (sparse|dense)");
+                    exit(2);
+                }
+            };
+            let Some(q) = query_set(&g, size, density, 1, seed).into_iter().next() else {
+                eprintln!("could not extract a {size}-vertex query from the generated graph");
+                exit(1);
+            };
+            (q, g)
+        }
+        _ => {
+            eprintln!("usage: cfl verify [<query.graph> <data.graph>] [flags]");
+            exit(2);
+        }
+    };
+
+    let config = match f.get("variant").unwrap_or("cfl") {
+        "cfl" => cfl_match::MatchConfig::default(),
+        "cf" => cfl_match::MatchConfig::variant_cf_match(),
+        "match" => cfl_match::MatchConfig::variant_match(),
+        "naive" => cfl_match::MatchConfig::variant_naive_cpi(),
+        "topdown" => cfl_match::MatchConfig::variant_topdown_cpi(),
+        other => {
+            eprintln!("unknown variant {other:?} (cfl|cf|match|naive|topdown)");
+            exit(2);
+        }
+    };
+
+    println!(
+        "data graph: {} vertices, {} edges, {} labels",
+        g.num_vertices(),
+        g.num_edges(),
+        g.num_labels()
+    );
+    println!(
+        "query:      {} vertices, {} edges",
+        q.num_vertices(),
+        q.num_edges()
+    );
+
+    let prepared = cfl_match::prepare(&q, &g, &config).unwrap_or_else(die);
+    let d = &prepared.decomposition;
+    println!(
+        "decomposition: {} core, {} forest, {} leaf vertices",
+        d.core.len(),
+        d.forest.len(),
+        d.leaves.len()
+    );
+    println!(
+        "CPI: {} candidates, {} edges, {} bytes{}",
+        prepared.cpi.total_candidates(),
+        prepared.cpi.total_edges(),
+        prepared.cpi.memory_bytes(),
+        if prepared.provably_empty() {
+            " (provably empty — zero embeddings)"
+        } else {
+            ""
+        }
+    );
+
+    let report = cfl_match::verify_prepared(&q, &g, &prepared, &config);
+    if report.is_clean() {
+        println!("verify: no violations (graph, decomposition, CPI and order checks)");
+    } else {
+        println!("verify: {report}");
+        exit(1);
+    }
 }
 
 fn die<E: std::fmt::Display, T>(e: E) -> T {

@@ -36,7 +36,11 @@ fn full_pipeline() {
         .arg(&data)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // Extract two queries.
     let out = cfl()
@@ -46,7 +50,11 @@ fn full_pipeline() {
         .arg(&prefix)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let q0 = dir.join("q-0.graph");
     assert!(q0.exists());
 
@@ -59,7 +67,11 @@ fn full_pipeline() {
             .args(["--algorithm", algo, "--count-only", "--limit", "100000"])
             .output()
             .unwrap();
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         let stdout = String::from_utf8_lossy(&out.stdout);
         // "<name>: N embeddings (...)"
         stdout
@@ -90,7 +102,11 @@ fn dataset_command() {
         .arg(&path)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(path.exists());
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -111,7 +127,11 @@ fn workload_command_writes_sets() {
         .arg(&dir)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(dir.join("data.graph").exists());
     // Sparse default set must exist with a manifest.
     let some_set = std::fs::read_dir(&dir)

@@ -192,7 +192,10 @@ mod tests {
 
     #[test]
     fn variants_differ_only_where_expected() {
-        assert_eq!(MatchConfig::variant_match().decomposition, DecompositionMode::None);
+        assert_eq!(
+            MatchConfig::variant_match().decomposition,
+            DecompositionMode::None
+        );
         assert_eq!(
             MatchConfig::variant_cf_match().decomposition,
             DecompositionMode::CoreForest

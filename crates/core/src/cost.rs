@@ -46,7 +46,9 @@ pub fn evaluate_cost(
 
     for i in 1..order.len() {
         let ui = order[i];
-        let pi = parents[i].expect("non-first vertices have parents");
+        let Some(pi) = parents[i] else {
+            unreachable!("non-first vertices have parents");
+        };
         debug_assert!(q.has_edge(ui, order[pi]), "parent must be a q-neighbor");
         // r_i: non-tree edges from u_i to earlier order vertices.
         let earlier: Vec<usize> = (0..i)
@@ -84,10 +86,7 @@ pub fn evaluate_cost(
         partials = next;
     }
 
-    Some(CostBreakdown {
-        total,
-        breadths,
-    })
+    Some(CostBreakdown { total, breadths })
 }
 
 /// Output of [`evaluate_cost`].

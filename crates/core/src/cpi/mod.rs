@@ -42,12 +42,14 @@ impl Cpi {
         match mode {
             CpiMode::Naive => naive::build_naive(ctx, root),
             CpiMode::TopDown => {
-                let scaffold = topdown::top_down(ctx, root);
+                let mut scaffold = topdown::top_down(ctx, root);
+                scaffold.prune_unreachable();
                 scaffold.finalize(ctx.q)
             }
             CpiMode::TopDownRefined => {
                 let mut scaffold = topdown::top_down(ctx, root);
                 refine::bottom_up(ctx, &mut scaffold);
+                scaffold.prune_unreachable();
                 scaffold.finalize(ctx.q)
             }
         }
@@ -117,6 +119,64 @@ impl Cpi {
     }
 }
 
+/// Test-only corruption hooks, compiled only with the `validate` feature.
+///
+/// Each mutator plants one precise structural defect while keeping the
+/// index mechanically navigable, so tests can assert that the `cfl-verify`
+/// checkers detect exactly the planted violation.
+#[cfg(feature = "validate")]
+impl Cpi {
+    /// Injects `v` into `u.C` (keeping sort order) without linking it to
+    /// any adjacency row. Detected as `cand-orphan`, plus a filter
+    /// violation when `v` fails the candidate filters. Children's row
+    /// offsets gain an empty row so the structure stays navigable.
+    pub fn corrupt_inject_candidate(&mut self, u: VertexId, v: VertexId) {
+        let Err(pos) = self.candidates[u as usize].binary_search(&v) else {
+            return; // already a candidate; nothing to inject
+        };
+        self.candidates[u as usize].insert(pos, v);
+        for p in &mut self.row_data[u as usize] {
+            if *p as usize >= pos {
+                *p += 1;
+            }
+        }
+        let children: Vec<VertexId> = self.tree.children(u).to_vec();
+        for c in children {
+            let offs = &mut self.row_offsets[c as usize];
+            let at = offs[pos];
+            offs.insert(pos + 1, at);
+        }
+    }
+
+    /// Overwrites the first entry of `u`'s adjacency row for `parent_pos`
+    /// with an out-of-range position. Detected as `row-position`.
+    ///
+    /// # Panics
+    /// When the targeted row is empty.
+    pub fn corrupt_row_position(&mut self, u: VertexId, parent_pos: usize) {
+        let offs = &self.row_offsets[u as usize];
+        let (start, end) = (offs[parent_pos] as usize, offs[parent_pos + 1] as usize);
+        assert!(start < end, "row must be non-empty to corrupt");
+        self.row_data[u as usize][start] = self.candidates[u as usize].len() as u32;
+    }
+
+    /// Deletes the last entry of `u`'s adjacency row for `parent_pos`,
+    /// silently dropping one CPI edge. Detected as `row-complete`, plus
+    /// `cand-orphan` when no other row references the candidate.
+    ///
+    /// # Panics
+    /// When the targeted row is empty.
+    pub fn corrupt_drop_row_entry(&mut self, u: VertexId, parent_pos: usize) {
+        let offs = &self.row_offsets[u as usize];
+        let (start, end) = (offs[parent_pos] as usize, offs[parent_pos + 1] as usize);
+        assert!(start < end, "row must be non-empty to corrupt");
+        self.row_data[u as usize].remove(end - 1);
+        for o in &mut self.row_offsets[u as usize][parent_pos + 1..] {
+            *o -= 1;
+        }
+    }
+}
+
 /// Mutable CPI under construction: candidates carry alive flags and
 /// adjacency rows store raw vertex ids. [`CpiScaffold::finalize`] compacts
 /// to the position-based representation, dropping pruned candidates and
@@ -144,11 +204,55 @@ impl CpiScaffold {
     }
 
     /// Iterator over the alive candidates of `u`.
-    pub(crate) fn alive_candidates<'a>(&'a self, u: VertexId) -> impl Iterator<Item = VertexId> + 'a {
+    pub(crate) fn alive_candidates<'a>(
+        &'a self,
+        u: VertexId,
+    ) -> impl Iterator<Item = VertexId> + 'a {
         self.candidates[u as usize]
             .iter()
             .zip(&self.alive[u as usize])
             .filter_map(|(&v, &a)| a.then_some(v))
+    }
+
+    /// Algorithm 4's top-down adjacency-list pruning (lines 8–11): kills
+    /// every non-root candidate that no surviving parent candidate links
+    /// to. A single bottom-up pass can leave such *orphans* behind — a
+    /// candidate's referencing parent candidates may all die for reasons in
+    /// sibling subtrees after the candidate itself was processed. Orphans
+    /// are unreachable during enumeration (candidates are only ever entered
+    /// through parent adjacency rows), so removing them shrinks the index
+    /// without changing results. Processing in BFS order cascades the
+    /// pruning down the tree.
+    ///
+    /// Safety of the sweep: a candidate kept here is referenced by an alive
+    /// parent candidate, so removing orphans never deletes the downward
+    /// support (Lemma 5.1) of any surviving candidate along tree edges.
+    pub(crate) fn prune_unreachable(&mut self) {
+        let order: Vec<VertexId> = self.tree.order().collect();
+        for &u in &order {
+            let Some(p) = self.tree.parent(u) else {
+                continue;
+            };
+            // Data vertices referenced by some alive parent candidate's row.
+            let mut referenced: Vec<VertexId> = Vec::new();
+            for (i, &alive) in self.alive[p as usize].iter().enumerate() {
+                if !alive {
+                    continue;
+                }
+                if let Some(row) = self.rows[u as usize].get(i) {
+                    referenced.extend_from_slice(row);
+                }
+            }
+            referenced.sort_unstable();
+            referenced.dedup();
+            let cands = &self.candidates[u as usize];
+            let alive_u = &mut self.alive[u as usize];
+            for (j, &v) in cands.iter().enumerate() {
+                if alive_u[j] && referenced.binary_search(&v).is_err() {
+                    alive_u[j] = false;
+                }
+            }
+        }
     }
 
     /// Compacts into the final position-based [`Cpi`].
@@ -171,13 +275,13 @@ impl CpiScaffold {
         let mut row_offsets: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut row_data: Vec<Vec<u32>> = vec![Vec::new(); n];
         for u in 0..n as VertexId {
-            let Some(_) = self.tree.parent(u) else {
+            let Some(parent) = self.tree.parent(u) else {
                 continue;
             };
+            let parent = parent as usize;
             let child_c = &final_cands[u as usize];
             // Rows are indexed by the *original* parent candidate order;
             // re-emit them in the final (sorted, alive-only) parent order.
-            let parent = self.tree.parent(u).unwrap() as usize;
             let orig_parent = &self.candidates[parent];
             let parent_alive = &self.alive[parent];
             // Map original parent index -> row, then emit in sorted order of

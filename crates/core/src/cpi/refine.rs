@@ -16,6 +16,13 @@ use crate::filters::FilterContext;
 pub(crate) fn bottom_up(ctx: &FilterContext<'_>, s: &mut CpiScaffold) {
     let q = ctx.q;
     let g = ctx.g;
+    // The alive bitmaps must stay parallel to the candidate arrays — the
+    // flips below index both by the same position.
+    debug_assert!(s
+        .alive
+        .iter()
+        .zip(&s.candidates)
+        .all(|(a, c)| a.len() == c.len()));
     let mut cnt = vec![0u32; g.num_vertices()];
     let mut touched: Vec<VertexId> = Vec::new();
 
@@ -90,8 +97,11 @@ mod tests {
         // where C(5) has no D neighbor. B(4) passes every local filter (it
         // has A and C neighbors, degree 2, MND 2) so top-down keeps it;
         // bottom-up prunes it because its only C neighbor is not in u2.C.
-        let g = graph_from_edges(&[0, 1, 2, 3, 1, 2], &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5)])
-            .unwrap();
+        let g = graph_from_edges(
+            &[0, 1, 2, 3, 1, 2],
+            &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5)],
+        )
+        .unwrap();
         let td = build(&q, &g, 0, CpiMode::TopDown);
         assert_eq!(td.candidates(1), &[1, 4], "top-down keeps the impostor B");
         let refined = build(&q, &g, 0, CpiMode::TopDownRefined);

@@ -83,7 +83,15 @@ pub(crate) fn top_down(ctx: &FilterContext<'_>, root: VertexId) -> CpiScaffold {
             let mut target = 0u32;
             for &w in q.neighbors(u) {
                 if visited[w as usize] {
-                    count_pass(g, q, u, &s.candidates[w as usize], &mut cnt, &mut touched, target);
+                    count_pass(
+                        g,
+                        q,
+                        u,
+                        &s.candidates[w as usize],
+                        &mut cnt,
+                        &mut touched,
+                        target,
+                    );
                     target += 1;
                 } else if s.tree.level(w) == s.tree.level(u) {
                     // Unvisited same-level neighbor: S-NTE, deferred to the
@@ -93,7 +101,10 @@ pub(crate) fn top_down(ctx: &FilterContext<'_>, root: VertexId) -> CpiScaffold {
                 // Unvisited lower-level neighbors (tree children / downward
                 // C-NTEs) are exploited by the bottom-up refinement.
             }
-            debug_assert!(target >= 1, "every non-root vertex has a visited BFS parent");
+            debug_assert!(
+                target >= 1,
+                "every non-root vertex has a visited BFS parent"
+            );
             for &v in &touched {
                 if cnt[v as usize] == target && ctx.cand_verify(v, u) {
                     s.candidates[u as usize].push(v);
@@ -110,7 +121,15 @@ pub(crate) fn top_down(ctx: &FilterContext<'_>, root: VertexId) -> CpiScaffold {
             }
             let mut target = 0u32;
             for &w in &un[idx] {
-                count_pass(g, q, u, &s.candidates[w as usize], &mut cnt, &mut touched, target);
+                count_pass(
+                    g,
+                    q,
+                    u,
+                    &s.candidates[w as usize],
+                    &mut cnt,
+                    &mut touched,
+                    target,
+                );
                 target += 1;
             }
             s.candidates[u as usize].retain(|&v| cnt[v as usize] == target);
@@ -119,7 +138,10 @@ pub(crate) fn top_down(ctx: &FilterContext<'_>, root: VertexId) -> CpiScaffold {
 
         // --- Adjacency list construction (lines 24–28) ---
         for &u in &vlev {
-            let p = s.tree.parent(u).expect("non-root") as usize;
+            let Some(p) = s.tree.parent(u) else {
+                unreachable!("level ≥ 2 vertices are never the root");
+            };
+            let p = p as usize;
             for &v in &s.candidates[u as usize] {
                 member[v as usize] = true;
             }
@@ -144,6 +166,12 @@ pub(crate) fn top_down(ctx: &FilterContext<'_>, root: VertexId) -> CpiScaffold {
     for u in 0..n {
         s.alive[u] = vec![true; s.candidates[u].len()];
     }
+    // Every surviving candidate passes the full local filter battery
+    // (label, degree, MND, NLF) — the cheap half of the checks cfl-verify
+    // replays in full.
+    debug_assert!((0..n).all(|u| s.candidates[u]
+        .iter()
+        .all(|&v| ctx.is_candidate(v, u as VertexId))));
     s
 }
 
@@ -217,9 +245,9 @@ mod tests {
         let (q, g) = figure7_graphs();
         let cpi = build_td(&q, &g, 0);
         assert_eq!(cpi.candidates(0), &[0, 1]); // u0.C = {v1, v2}
-        // u1.C: forward gives B-neighbors of {v1,v2} = {v3,v5,v7,v9,v10};
-        // NLF (CandVerify) requires a C and a D neighbor: v9(8) has C nbr
-        // v11(10) but no D ⇒ NLF on D fails; v10(9) likewise.
+                                                // u1.C: forward gives B-neighbors of {v1,v2} = {v3,v5,v7,v9,v10};
+                                                // NLF (CandVerify) requires a C and a D neighbor: v9(8) has C nbr
+                                                // v11(10) but no D ⇒ NLF on D fails; v10(9) likewise.
         assert_eq!(cpi.candidates(1), &[2, 4, 6]);
         // u2.C: C-neighbors of u0.C ∩ C-neighbors of u1.C with D nbr.
         assert_eq!(cpi.candidates(2), &[3, 5, 7]);

@@ -2,6 +2,7 @@
 
 /// Errors a matching run can report before enumeration starts.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use = "a matching error identifies an invalid input and should be handled"]
 pub enum Error {
     /// The query graph is empty.
     EmptyQuery,
@@ -41,6 +42,9 @@ impl std::error::Error for Error {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::MatchConfig;
+    use crate::exec::prepare;
+    use cfl_graph::graph_from_edges;
 
     #[test]
     fn display_messages() {
@@ -51,5 +55,48 @@ mod tests {
             data_vertices: 4,
         };
         assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn empty_query_is_reported() {
+        let q = graph_from_edges(&[], &[]).unwrap();
+        let g = graph_from_edges(&[0, 1], &[(0, 1)]).unwrap();
+        let Err(err) = prepare(&q, &g, &MatchConfig::default()) else {
+            panic!("expected an error");
+        };
+        assert_eq!(err, Error::EmptyQuery);
+    }
+
+    #[test]
+    fn disconnected_query_is_reported() {
+        let q = graph_from_edges(&[0, 1, 2], &[(0, 1)]).unwrap();
+        let g = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2)]).unwrap();
+        let Err(err) = prepare(&q, &g, &MatchConfig::default()) else {
+            panic!("expected an error");
+        };
+        assert_eq!(err, Error::DisconnectedQuery);
+    }
+
+    #[test]
+    fn oversized_query_is_reported_with_sizes() {
+        let q = graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2)]).unwrap();
+        let g = graph_from_edges(&[0, 0], &[(0, 1)]).unwrap();
+        let Err(err) = prepare(&q, &g, &MatchConfig::default()) else {
+            panic!("expected an error");
+        };
+        assert_eq!(
+            err,
+            Error::QueryLargerThanData {
+                query_vertices: 3,
+                data_vertices: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn error_trait_object_roundtrip() {
+        let boxed: Box<dyn std::error::Error> = Box::new(Error::DisconnectedQuery);
+        assert!(boxed.source().is_none());
+        assert_eq!(boxed.to_string(), Error::DisconnectedQuery.to_string());
     }
 }

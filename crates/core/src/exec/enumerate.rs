@@ -170,6 +170,13 @@ impl<'a, 's> Enumerator<'a, 's> {
         let ov = &self.plan.vertices[depth];
         let u = ov.vertex;
         let v = self.cpi.candidates(u)[cand_pos as usize];
+        // Cheap invariant probes (§4.1): every CPI candidate carries the
+        // query vertex's label, and every adjacency-row entry is a real
+        // data edge to the mapped parent.
+        debug_assert_eq!(self.g.label(v), self.q.label(u));
+        debug_assert!(ov
+            .parent
+            .is_none_or(|p| self.g.has_edge(self.mapping[p as usize], v)));
         if self.visited[v as usize] {
             return ControlFlow::Continue(());
         }
@@ -242,6 +249,11 @@ impl<'a, 's> Enumerator<'a, 's> {
 
     pub(crate) fn query(&self) -> &'a Graph {
         self.q
+    }
+
+    /// The data graph (used by leaf-match debug probes).
+    pub(crate) fn data(&self) -> &'a Graph {
+        self.g
     }
 
     pub(crate) fn cpi(&self) -> &'a Cpi {

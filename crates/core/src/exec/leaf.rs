@@ -91,7 +91,9 @@ impl LeafPhase {
 
         for i in 0..en.plan().leaves.len() {
             let u = en.plan().leaves[i];
-            let p = cpi.parent(u).expect("leaves are never the root");
+            let Some(p) = cpi.parent(u) else {
+                unreachable!("leaves are never the root");
+            };
             let label = q.label(u);
             // NEC: same parent + same label ⇒ identical candidate set.
             if let Some(unit) = self
@@ -109,6 +111,9 @@ impl LeafPhase {
             let parent_pos = en.pos[p as usize] as usize;
             for &cand_pos in cpi.row(u, parent_pos) {
                 let v = cpi.candidates(u)[cand_pos as usize];
+                // Cheap invariant probe: `C(u) = N_u^{u.p}(M(u.p)) ∖ …`, so
+                // every unit candidate is adjacent to the mapped parent.
+                debug_assert!(en.data().has_edge(en.mapping[p as usize], v));
                 if !en.visited[v as usize] {
                     unit.cands.push(v);
                 }
@@ -127,8 +132,7 @@ impl LeafPhase {
 
         // Sort by (label, |C|): groups label classes together and applies
         // the paper's fewest-candidates-first heuristic within each class.
-        self.units
-            .sort_by_key(|a| (a.label, a.cands.len()));
+        self.units.sort_by_key(|a| (a.label, a.cands.len()));
         true
     }
 

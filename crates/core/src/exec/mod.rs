@@ -108,15 +108,14 @@ pub fn prepare(q: &Graph, g: &Graph, config: &MatchConfig) -> Result<Prepared, E
 
     // Root selection (§A.6): from the core when it exists, else anywhere.
     let core_bitmap = cfl_graph::two_core(q);
-    let eligible: Vec<VertexId> = if core_bitmap.iter().any(|&b| b)
-        && config.decomposition != DecompositionMode::None
-    {
-        (0..q.num_vertices() as VertexId)
-            .filter(|&v| core_bitmap[v as usize])
-            .collect()
-    } else {
-        (0..q.num_vertices() as VertexId).collect()
-    };
+    let eligible: Vec<VertexId> =
+        if core_bitmap.iter().any(|&b| b) && config.decomposition != DecompositionMode::None {
+            (0..q.num_vertices() as VertexId)
+                .filter(|&v| core_bitmap[v as usize])
+                .collect()
+        } else {
+            (0..q.num_vertices() as VertexId).collect()
+        };
     let root = select_root(&ctx, &eligible);
 
     let decomposition = CflDecomposition::compute(q, root, config.decomposition);
@@ -132,7 +131,7 @@ pub fn prepare(q: &Graph, g: &Graph, config: &MatchConfig) -> Result<Prepared, E
     };
 
     if cpi.has_empty_candidate_set() {
-        return Ok(Prepared {
+        let prepared = Prepared {
             decomposition,
             cpi,
             plan: OrderPlan {
@@ -141,19 +140,25 @@ pub fn prepare(q: &Graph, g: &Graph, config: &MatchConfig) -> Result<Prepared, E
                 leaves: Vec::new(),
             },
             stats,
-        });
+        };
+        #[cfg(feature = "validate")]
+        crate::validate::assert_valid(q, g, &prepared, config);
+        return Ok(prepared);
     }
 
     let order_start = Instant::now();
     let plan = compute_order_with(q, &cpi, &decomposition, config.order);
     stats.ordering_time = order_start.elapsed();
 
-    Ok(Prepared {
+    let prepared = Prepared {
         decomposition,
         cpi,
         plan,
         stats,
-    })
+    };
+    #[cfg(feature = "validate")]
+    crate::validate::assert_valid(q, g, &prepared, config);
+    Ok(prepared)
 }
 
 fn run(
@@ -210,8 +215,8 @@ mod tests {
     fn figure3() -> (Graph, Graph) {
         // Paper Figure 3: query q (A,B,C,D,E = 0..4) and data graph G.
         // q: u1(A)-u2(B), u1-u3(C), u2-u4(D), u3-u5(E), u2-u3.
-        let q = graph_from_edges(&[0, 1, 2, 3, 4], &[(0, 1), (0, 2), (1, 3), (2, 4), (1, 2)])
-            .unwrap();
+        let q =
+            graph_from_edges(&[0, 1, 2, 3, 4], &[(0, 1), (0, 2), (1, 3), (2, 4), (1, 2)]).unwrap();
         // G (v0..v6): v0(A); v1(C),v2(B),v3(C); v4(E),v5(D),v6(E);
         // edges: v0-v1, v0-v2, v0-v3, v2-v1, v2-v3, v1-v4, v1-v5? ...
         // Use the paper's stated embeddings: (v0,v2,v1,v5,v4), (v0,v2,v1,v5,v6),
@@ -311,7 +316,20 @@ mod tests {
             find_embeddings(&disconnected, &g, &MatchConfig::default(), |_| true),
             Err(Error::DisconnectedQuery)
         ));
-        let big_q = graph_from_edges(&[0; 9], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8)]).unwrap();
+        let big_q = graph_from_edges(
+            &[0; 9],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+            ],
+        )
+        .unwrap();
         let tiny_g = graph_from_edges(&[0, 0], &[(0, 1)]).unwrap();
         assert!(matches!(
             find_embeddings(&big_q, &tiny_g, &MatchConfig::default(), |_| true),
@@ -328,5 +346,4 @@ mod tests {
         assert!(embs.is_empty());
         assert!(report.outcome.is_complete());
     }
-
 }

@@ -66,7 +66,10 @@ pub fn count_embeddings_parallel(
                 (outcome, en.emitted, en.nodes, en.nt_checks)
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
     });
     stats.enumeration_time = enum_start.elapsed();
 
@@ -123,7 +126,7 @@ pub fn collect_embeddings_parallel(
 
         // Drain on this thread, enforcing the global cap.
         let mut collected: Vec<Embedding> = Vec::new();
-        for mapping in rx.iter() {
+        for mapping in &rx {
             if (collected.len() as u64) < max {
                 collected.push(Embedding { mapping });
             }
@@ -133,7 +136,7 @@ pub fn collect_embeddings_parallel(
         }
         let results: Vec<(MatchOutcome, u64, u64, u64)> = handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect();
         (collected, results)
     });
@@ -205,8 +208,7 @@ mod tests {
             .embeddings;
         for threads in [1, 2, 4, 8] {
             let parallel =
-                count_embeddings_parallel(&q, &g, &MatchConfig::exhaustive(), threads)
-                    .unwrap();
+                count_embeddings_parallel(&q, &g, &MatchConfig::exhaustive(), threads).unwrap();
             assert_eq!(parallel.embeddings, serial, "threads = {threads}");
             assert!(parallel.outcome.is_complete());
         }

@@ -70,7 +70,12 @@ pub struct FilterContext<'a> {
 
 impl<'a> FilterContext<'a> {
     /// Binds the four pieces together with the default (full) filters.
-    pub fn new(q: &'a Graph, g: &'a Graph, q_stats: &'a GraphStats, g_stats: &'a GraphStats) -> Self {
+    pub fn new(
+        q: &'a Graph,
+        g: &'a Graph,
+        q_stats: &'a GraphStats,
+        g_stats: &'a GraphStats,
+    ) -> Self {
         Self::with_options(q, g, q_stats, g_stats, FilterOptions::default())
     }
 

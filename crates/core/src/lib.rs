@@ -38,6 +38,7 @@
 //! assert!(report.outcome.is_complete());
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod config;
 pub mod cost;
 pub mod cpi;
@@ -51,6 +52,8 @@ pub mod result;
 pub mod root;
 pub mod session;
 pub mod stream;
+#[cfg(feature = "validate")]
+pub mod validate;
 
 pub use config::{Budget, CpiMode, DecompositionMode, MatchConfig, OrderStrategy};
 pub use cost::{evaluate_cost, CostBreakdown};
@@ -59,14 +62,16 @@ pub use decompose::{
     forest_independent_set, is_independent_set, CflDecomposition, ForestTree, Role,
 };
 pub use error::Error;
-pub use extended::{collect_embeddings_extended, find_embeddings_extended};
 pub use exec::{
-    collect_embeddings, collect_embeddings_parallel, count_embeddings,
-    count_embeddings_parallel, find_embeddings, prepare, Prepared,
+    collect_embeddings, collect_embeddings_parallel, count_embeddings, count_embeddings_parallel,
+    find_embeddings, prepare, Prepared,
 };
+pub use extended::{collect_embeddings_extended, find_embeddings_extended};
 pub use filters::{FilterContext, FilterOptions, GraphStats};
 pub use order::{compute_order, compute_order_with, OrderPlan, OrderedVertex};
 pub use result::{Embedding, MatchOutcome, MatchReport, MatchStats};
 pub use root::select_root;
 pub use session::DataGraph;
 pub use stream::EmbeddingStream;
+#[cfg(feature = "validate")]
+pub use validate::verify_prepared;

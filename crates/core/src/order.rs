@@ -86,7 +86,15 @@ pub fn compute_order_with(
     if arbitrary {
         append_paths_arbitrary(core_paths, &mut seq, &mut in_seq);
     } else {
-        order_paths_with(q, cpi, core_paths, true, coreness.as_deref(), &mut seq, &mut in_seq);
+        order_paths_with(
+            q,
+            cpi,
+            core_paths,
+            true,
+            coreness.as_deref(),
+            &mut seq,
+            &mut in_seq,
+        );
     }
     let core_len = seq.len();
     debug_assert_eq!(core_len, decomp.core.len());
@@ -160,6 +168,10 @@ pub fn compute_order_with(
         });
     }
 
+    // Plan steps plus leaves partition V(q) — checked in full (duplicates,
+    // ranges, phases) by cfl-verify's order checks.
+    debug_assert_eq!(vertices.len() + decomp.leaves.len(), n);
+
     OrderPlan {
         vertices,
         core_len,
@@ -169,11 +181,7 @@ pub fn compute_order_with(
 
 /// Appends paths in discovery order without any ranking — the
 /// [`OrderStrategy::Arbitrary`] ablation baseline.
-fn append_paths_arbitrary(
-    paths: Vec<Vec<VertexId>>,
-    seq: &mut Vec<VertexId>,
-    in_seq: &mut [bool],
-) {
+fn append_paths_arbitrary(paths: Vec<Vec<VertexId>>, seq: &mut Vec<VertexId>, in_seq: &mut [bool]) {
     for path in paths {
         for v in path {
             if !in_seq[v as usize] {
@@ -267,7 +275,7 @@ fn order_paths(
     seq: &mut Vec<VertexId>,
     in_seq: &mut [bool],
 ) {
-    order_paths_with(q, cpi, paths, use_nt_discount, None, seq, in_seq)
+    order_paths_with(q, cpi, paths, use_nt_discount, None, seq, in_seq);
 }
 
 fn order_paths_with(
@@ -300,13 +308,13 @@ fn order_paths_with(
                 };
                 // Hierarchical tiebreak: deeper-core paths first. Depth is
                 // negated so the min-selection prefers larger core numbers.
-                let depth = coreness
-                    .map(|cn| paths[pi].iter().map(|&v| cn[v as usize]).max().unwrap_or(0))
-                    .unwrap_or(0) as f64;
+                let depth = coreness.map_or(0, |cn| {
+                    paths[pi].iter().map(|&v| cn[v as usize]).max().unwrap_or(0)
+                }) as f64;
                 (ri, (-depth, c / nt))
             })
             .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0).then(a.1 .1.total_cmp(&b.1 .1)))
-            .expect("non-empty");
+            .unwrap_or_else(|| unreachable!("paths is non-empty"));
         let pi = remaining.swap_remove(best_idx);
         for &v in &paths[pi] {
             if !in_seq[v as usize] {
@@ -322,10 +330,9 @@ fn order_paths_with(
             let path = &paths[pi];
             // Connection vertex: last path vertex already in the sequence
             // (paths share a prefix with it). Position j.
-            let j = path
-                .iter()
-                .rposition(|&v| in_seq[v as usize])
-                .expect("paths share at least the subtree root with seq");
+            let Some(j) = path.iter().rposition(|&v| in_seq[v as usize]) else {
+                unreachable!("paths share at least the subtree root with seq");
+            };
             if j == path.len() - 1 {
                 // Entire path already placed (can happen when paths overlap).
                 if best.as_ref().is_none_or(|&(_, s)| 0.0 < s) {
@@ -339,7 +346,9 @@ fn order_paths_with(
                 best = Some((ri, score));
             }
         }
-        let (ri, _) = best.expect("remaining non-empty");
+        let Some((ri, _)) = best else {
+            unreachable!("remaining is non-empty");
+        };
         let pi = remaining.swap_remove(ri);
         for &v in &paths[pi] {
             if !in_seq[v as usize] {

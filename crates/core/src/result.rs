@@ -15,6 +15,7 @@ pub struct Embedding {
 impl Embedding {
     /// The data vertex mapped by query vertex `u`.
     #[inline]
+    #[must_use]
     pub fn map(&self, u: VertexId) -> VertexId {
         self.mapping[u as usize]
     }
@@ -22,6 +23,7 @@ impl Embedding {
 
 /// Why a matching run stopped.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[must_use = "an outcome distinguishes exhaustive from truncated counts"]
 pub enum MatchOutcome {
     /// Every embedding was enumerated.
     Complete,
@@ -33,6 +35,7 @@ pub enum MatchOutcome {
 
 impl MatchOutcome {
     /// Whether the reported count is exhaustive.
+    #[must_use]
     pub fn is_complete(self) -> bool {
         matches!(self, MatchOutcome::Complete)
     }
@@ -68,6 +71,7 @@ impl MatchStats {
     /// Ordering + build time: what Figure 10 calls "query vertex ordering
     /// time" ("the time to compute the matching order and other auxiliary
     /// data structures that are required for computing the matching order").
+    #[must_use]
     pub fn total_ordering_time(&self) -> Duration {
         self.build_time + self.ordering_time
     }
@@ -75,6 +79,7 @@ impl MatchStats {
 
 /// Summary of one matching run.
 #[derive(Clone, Debug)]
+#[must_use = "a report carries the outcome; dropping it loses completeness information"]
 pub struct MatchReport {
     /// Why the run stopped.
     pub outcome: MatchOutcome,
@@ -114,6 +119,18 @@ mod tests {
         assert!(MatchOutcome::Complete.is_complete());
         assert!(!MatchOutcome::LimitReached.is_complete());
         assert!(!MatchOutcome::TimedOut.is_complete());
+    }
+
+    #[test]
+    fn empty_report_is_complete_with_zero_embeddings() {
+        let stats = MatchStats {
+            cpi_candidates: 7,
+            ..Default::default()
+        };
+        let r = MatchReport::empty(stats);
+        assert!(r.outcome.is_complete());
+        assert_eq!(r.embeddings, 0);
+        assert_eq!(r.stats.cpi_candidates, 7, "stats are preserved");
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub fn select_root(ctx: &FilterContext<'_>, eligible: &[VertexId]) -> VertexId {
             best = Some((s, u));
         }
     }
-    best.expect("top-3 non-empty").1
+    let Some((_, root)) = best else {
+        unreachable!("eligible set is non-empty");
+    };
+    root
 }
 
 #[inline]

@@ -69,15 +69,14 @@ impl<'g> DataGraph<'g> {
         let ctx = FilterContext::with_options(q, self.graph, &q_stats, &self.stats, config.filters);
 
         let core_bitmap = cfl_graph::two_core(q);
-        let eligible: Vec<VertexId> = if core_bitmap.iter().any(|&b| b)
-            && config.decomposition != DecompositionMode::None
-        {
-            (0..q.num_vertices() as VertexId)
-                .filter(|&v| core_bitmap[v as usize])
-                .collect()
-        } else {
-            (0..q.num_vertices() as VertexId).collect()
-        };
+        let eligible: Vec<VertexId> =
+            if core_bitmap.iter().any(|&b| b) && config.decomposition != DecompositionMode::None {
+                (0..q.num_vertices() as VertexId)
+                    .filter(|&v| core_bitmap[v as usize])
+                    .collect()
+            } else {
+                (0..q.num_vertices() as VertexId).collect()
+            };
         let root = select_root(&ctx, &eligible);
 
         let decomposition = CflDecomposition::compute(q, root, config.decomposition);
@@ -166,8 +165,8 @@ impl<'g> DataGraph<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cfl_graph::graph_from_edges;
     use crate::config::MatchConfig;
+    use cfl_graph::graph_from_edges;
 
     #[test]
     fn session_matches_one_shot_api() {
@@ -198,11 +197,7 @@ mod tests {
 
     #[test]
     fn session_count_matches_enumeration() {
-        let g = graph_from_edges(
-            &[0, 1, 1, 1, 0],
-            &[(0, 1), (0, 2), (0, 3), (4, 1)],
-        )
-        .unwrap();
+        let g = graph_from_edges(&[0, 1, 1, 1, 0], &[(0, 1), (0, 2), (0, 3), (4, 1)]).unwrap();
         let session = DataGraph::new(&g);
         let q = graph_from_edges(&[0, 1, 1], &[(0, 1), (0, 2)]).unwrap();
         let count = session

@@ -50,7 +50,7 @@ impl EmbeddingStream {
                 })
                 .is_ok()
             });
-            report.map(|r| r.outcome).unwrap_or(MatchOutcome::Complete)
+            report.map_or(MatchOutcome::Complete, |r| r.outcome)
         });
         Ok(EmbeddingStream {
             rx: Some(rx),
@@ -63,11 +63,12 @@ impl EmbeddingStream {
     /// abandoned early (the worker observed a closed channel).
     pub fn finish(mut self) -> MatchOutcome {
         drop(self.rx.take());
-        self.worker
-            .take()
-            .expect("finish called once")
+        let Some(worker) = self.worker.take() else {
+            unreachable!("finish consumes the stream, so the worker is present");
+        };
+        worker
             .join()
-            .expect("search worker panicked")
+            .unwrap_or_else(|e| std::panic::resume_unwind(e))
     }
 }
 
@@ -96,11 +97,8 @@ mod tests {
 
     fn graphs() -> (Graph, Graph) {
         let q = graph_from_edges(&[0, 1], &[(0, 1)]).unwrap();
-        let g = graph_from_edges(
-            &[0, 1, 1, 1, 0],
-            &[(0, 1), (0, 2), (0, 3), (4, 1), (4, 2)],
-        )
-        .unwrap();
+        let g =
+            graph_from_edges(&[0, 1, 1, 1, 0], &[(0, 1), (0, 2), (0, 3), (4, 1), (4, 2)]).unwrap();
         (q, g)
     }
 
@@ -130,8 +128,8 @@ mod tests {
     #[test]
     fn finish_reports_outcome() {
         let (q, g) = graphs();
-        let stream = EmbeddingStream::start(q.clone(), g.clone(), MatchConfig::exhaustive())
-            .unwrap();
+        let stream =
+            EmbeddingStream::start(q.clone(), g.clone(), MatchConfig::exhaustive()).unwrap();
         let outcome = stream.finish();
         // Abandoned immediately: worker sees the closed channel.
         assert!(matches!(

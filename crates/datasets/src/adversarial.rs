@@ -29,7 +29,7 @@ pub fn challenge1(num_cd: u32, num_e: u32) -> (Graph, Graph) {
         &[0, 1, 2, 3, 4, 5],
         &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (1, 4)],
     )
-    .expect("static query");
+    .unwrap_or_else(|_| unreachable!("static query"));
 
     let mut b = GraphBuilder::new();
     let va = b.add_vertex(A);
@@ -50,7 +50,11 @@ pub fn challenge1(num_cd: u32, num_e: u32) -> (Graph, Graph) {
             b.add_edge(e, f);
         }
     }
-    (q, b.build().expect("static data graph"))
+    (
+        q,
+        b.build()
+            .unwrap_or_else(|_| unreachable!("static data graph")),
+    )
 }
 
 /// The §A.3 near-clique instance (Figures 17/18).
@@ -65,11 +69,7 @@ pub fn challenge1(num_cd: u32, num_e: u32) -> (Graph, Graph) {
 /// embeddings from `v_0` — exponential in the chain length — which is
 /// exactly what TurboISO materializes to rank paths (§A.3), while the CPI
 /// stores only per-edge candidate adjacency.
-pub fn near_clique_pathology(
-    n_clique: u32,
-    chain_len: u32,
-    with_nt_edge: bool,
-) -> (Graph, Graph) {
+pub fn near_clique_pathology(n_clique: u32, chain_len: u32, with_nt_edge: bool) -> (Graph, Graph) {
     assert!(n_clique >= 5 && chain_len >= 3);
     // Data graph.
     let mut b = GraphBuilder::new();
@@ -88,7 +88,9 @@ pub fn near_clique_pathology(
     let vc = b.add_vertex(C);
     b.add_edge(0, vb);
     b.add_edge(0, vc);
-    let g = b.build().expect("static data graph");
+    let g = b
+        .build()
+        .unwrap_or_else(|_| unreachable!("static data graph"));
 
     // Query: chain u0(A) … u_{chain_len-1}(A); head u0 also has B, C leaves.
     let mut qb = GraphBuilder::new();
@@ -107,7 +109,10 @@ pub fn near_clique_pathology(
         // the tail, checked only after the whole chain is materialized.
         qb.add_edge(1, chain_len - 1);
     }
-    (qb.build().expect("static query"), g)
+    (
+        qb.build().unwrap_or_else(|_| unreachable!("static query")),
+        g,
+    )
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 //! Cartesian-product behavior that the evaluation measures. Each stand-in
 //! also has a `scaled(f)` form for laptop-budget runs.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod adversarial;
 pub mod persist;
 pub mod registry;

@@ -127,8 +127,14 @@ mod tests {
 
     #[test]
     fn workload_sizes_follow_table3() {
-        assert_eq!(Workload::for_dataset(Dataset::Hprd).sizes, [25, 50, 100, 200]);
-        assert_eq!(Workload::for_dataset(Dataset::Human).sizes, [10, 15, 20, 25]);
+        assert_eq!(
+            Workload::for_dataset(Dataset::Hprd).sizes,
+            [25, 50, 100, 200]
+        );
+        assert_eq!(
+            Workload::for_dataset(Dataset::Human).sizes,
+            [10, 15, 20, 25]
+        );
         assert_eq!(Workload::for_dataset(Dataset::Human).default_size, 15);
         assert_eq!(Workload::for_dataset(Dataset::Yeast).default_size, 50);
     }

@@ -132,7 +132,8 @@ impl BfsTree {
 
     /// Leaves of the tree (reached vertices with no children).
     pub fn leaves(&self) -> impl Iterator<Item = VertexId> + '_ {
-        self.order().filter(|&v| self.children[v as usize].is_empty())
+        self.order()
+            .filter(|&v| self.children[v as usize].is_empty())
     }
 
     /// The root-to-`v` path, root first. `v` must be reached.

@@ -7,7 +7,10 @@ use crate::label::Label;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BuildError {
     /// An edge endpoint refers to a vertex id that was never added.
-    UnknownVertex { vertex: VertexId, num_vertices: usize },
+    UnknownVertex {
+        vertex: VertexId,
+        num_vertices: usize,
+    },
     /// The graph would exceed `u32` vertex ids.
     TooManyVertices,
 }
@@ -15,7 +18,10 @@ pub enum BuildError {
 impl std::fmt::Display for BuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BuildError::UnknownVertex { vertex, num_vertices } => write!(
+            BuildError::UnknownVertex {
+                vertex,
+                num_vertices,
+            } => write!(
                 f,
                 "edge endpoint {vertex} out of range (graph has {num_vertices} vertices)"
             ),
@@ -143,7 +149,8 @@ impl GraphBuilder {
             list.sort_unstable();
             let start = dedup_adjacency.len();
             for &w in list.iter() {
-                if dedup_adjacency.len() == start || *dedup_adjacency.last().unwrap() != w {
+                if dedup_adjacency.len() == start || dedup_adjacency[dedup_adjacency.len() - 1] != w
+                {
                     dedup_adjacency.push(w);
                 }
             }

@@ -74,7 +74,10 @@ pub fn induced_subgraph(g: &Graph, keep: &[bool]) -> (Graph, Vec<VertexId>) {
             }
         }
     }
-    (b.build().expect("induced subgraph endpoints valid"), old_of_new)
+    let sub = b
+        .build()
+        .unwrap_or_else(|_| unreachable!("induced subgraph endpoints valid"));
+    (sub, old_of_new)
 }
 
 #[cfg(test)]

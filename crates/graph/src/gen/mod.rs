@@ -133,7 +133,8 @@ fn base_graph(cfg: &SyntheticConfig, n: usize, target_edges: usize) -> Graph {
         }
     }
 
-    b.build().expect("generator produces valid endpoints")
+    b.build()
+        .unwrap_or_else(|_| unreachable!("generator produces valid endpoints"))
 }
 
 /// Generates a graph where a fraction of vertices are exact twins
@@ -180,7 +181,8 @@ fn synthetic_with_twins(cfg: &SyntheticConfig, twin_fraction: f64) -> Graph {
             }
         }
     }
-    b.build().expect("twin endpoints valid")
+    b.build()
+        .unwrap_or_else(|_| unreachable!("twin endpoints valid"))
 }
 
 #[inline]
@@ -224,9 +226,15 @@ mod tests {
         let g1 = synthetic_graph(&small_cfg(7));
         let g2 = synthetic_graph(&small_cfg(7));
         assert_eq!(g1.labels(), g2.labels());
-        assert_eq!(g1.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+        assert_eq!(
+            g1.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
         let g3 = synthetic_graph(&small_cfg(8));
-        assert_ne!(g1.edges().collect::<Vec<_>>(), g3.edges().collect::<Vec<_>>());
+        assert_ne!(
+            g1.edges().collect::<Vec<_>>(),
+            g3.edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -319,7 +327,11 @@ mod twin_tests {
         assert!(is_connected(&g));
         // Average degree within 25% of target (twins copy whole neighbor
         // lists, so the split is approximate).
-        assert!((g.average_degree() - 8.0).abs() < 2.0, "{}", g.average_degree());
+        assert!(
+            (g.average_degree() - 8.0).abs() < 2.0,
+            "{}",
+            g.average_degree()
+        );
     }
 
     #[test]

@@ -118,7 +118,8 @@ fn walk_collect(g: &Graph, target: usize, rng: &mut StdRng) -> Option<Vec<Vertex
         // Occasionally teleport to a random collected vertex so the walk
         // explores all frontier branches.
         current = if rng.gen_bool(0.2) {
-            *collected.choose(rng).expect("non-empty")
+            // `collected` always holds at least the start vertex.
+            collected.choose(rng).copied().unwrap_or(next)
         } else {
             next
         };
@@ -180,13 +181,20 @@ fn shape_density(q: &Graph, density: QueryDensity, rng: &mut StdRng) -> Graph {
             for &(u, v) in extra.iter().take(budget) {
                 b.add_edge(u, v);
             }
-            b.build().expect("valid endpoints")
+            b.build()
+                .unwrap_or_else(|_| unreachable!("valid endpoints"))
         }
     }
 }
 
 /// Generates a full query set (the paper uses 100 queries per set).
-pub fn query_set(g: &Graph, size: usize, density: QueryDensity, count: usize, seed: u64) -> Vec<Graph> {
+pub fn query_set(
+    g: &Graph,
+    size: usize,
+    density: QueryDensity,
+    count: usize,
+    seed: u64,
+) -> Vec<Graph> {
     (0..count)
         .filter_map(|i| {
             random_walk_query(
@@ -229,7 +237,11 @@ mod tests {
         for seed in 0..5 {
             let q = random_walk_query(&g, &QueryGenConfig::new(25, QueryDensity::Sparse, seed))
                 .unwrap();
-            assert!(q.average_degree() <= 3.0 + 1e-9, "d = {}", q.average_degree());
+            assert!(
+                q.average_degree() <= 3.0 + 1e-9,
+                "d = {}",
+                q.average_degree()
+            );
         }
     }
 
@@ -238,7 +250,8 @@ mod tests {
         // Non-sparse queries are induced subgraphs: every query embeds
         // trivially at its own extraction site, so all edges must exist in G.
         let g = data_graph();
-        let q = random_walk_query(&g, &QueryGenConfig::new(10, QueryDensity::NonSparse, 3)).unwrap();
+        let q =
+            random_walk_query(&g, &QueryGenConfig::new(10, QueryDensity::NonSparse, 3)).unwrap();
         // Labels of q must be a multiset drawn from G's alphabet.
         assert!(q.labels().iter().all(|l| l.index() < 10));
     }

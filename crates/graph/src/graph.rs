@@ -21,7 +21,6 @@ pub type VertexId = u32;
 /// * the graph has no self-loops;
 /// * adjacency is symmetric: `u ∈ N(v)` iff `v ∈ N(u)`.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Graph {
     pub(crate) labels: Vec<Label>,
     /// CSR offsets: neighbors of `v` are `adjacency[offsets[v]..offsets[v+1]]`.

@@ -119,7 +119,10 @@ pub fn read_graph<R: Read>(reader: R) -> Result<Graph, IoError> {
         if n != builder.num_vertices() {
             return Err(parse_err(
                 0,
-                format!("header declared {n} vertices, file had {}", builder.num_vertices()),
+                format!(
+                    "header declared {n} vertices, file had {}",
+                    builder.num_vertices()
+                ),
             ));
         }
     }

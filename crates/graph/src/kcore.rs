@@ -47,7 +47,7 @@ pub fn core_numbers(g: &Graph) -> Vec<u32> {
         return Vec::new();
     }
     let mut degree: Vec<u32> = (0..n as VertexId).map(|v| g.degree(v) as u32).collect();
-    let max_deg = *degree.iter().max().unwrap() as usize;
+    let max_deg = degree.iter().max().copied().unwrap_or(0) as usize;
 
     // Bucket sort vertices by degree.
     let mut bin = vec![0u32; max_deg + 2];
@@ -55,7 +55,7 @@ pub fn core_numbers(g: &Graph) -> Vec<u32> {
         bin[d as usize] += 1;
     }
     let mut start = 0u32;
-    for b in bin.iter_mut() {
+    for b in &mut bin {
         let count = *b;
         *b = start;
         start += count;
@@ -116,8 +116,8 @@ mod tests {
 
     #[test]
     fn triangle_with_tail() {
-        let g = graph_from_edges(&[0, 0, 0, 0, 0], &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
-            .unwrap();
+        let g =
+            graph_from_edges(&[0, 0, 0, 0, 0], &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]).unwrap();
         let core = two_core(&g);
         assert_eq!(core, vec![true, true, true, false, false]);
     }
@@ -152,11 +152,8 @@ mod tests {
     #[test]
     fn core_numbers_clique() {
         // K4: all vertices have core number 3.
-        let g = graph_from_edges(
-            &[0; 4],
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        )
-        .unwrap();
+        let g =
+            graph_from_edges(&[0; 4], &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
         assert_eq!(core_numbers(&g), vec![3, 3, 3, 3]);
         assert!(k_core(&g, 3).iter().all(|&b| b));
         assert!(k_core(&g, 4).iter().all(|&b| !b));

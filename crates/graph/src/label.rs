@@ -14,7 +14,6 @@ use std::fmt;
 /// plain integers so candidate filtering compares and indexes without
 /// hashing.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Label(pub u32);
 
 impl Label {

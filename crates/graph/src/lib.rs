@@ -18,6 +18,7 @@
 //! assert_eq!(bfs.level(3), Some(3));
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod bfs;
 pub mod builder;
 pub mod connect;

@@ -143,7 +143,9 @@ pub fn encode(g: &EdgeListGraph, space: &EncodingSpace) -> Encoded {
         }
     }
     Encoded {
-        graph: b.build().expect("encoded endpoints valid"),
+        graph: b
+            .build()
+            .unwrap_or_else(|_| unreachable!("encoded endpoints valid")),
         original_vertices: n,
     }
 }

@@ -1,0 +1,466 @@
+//! CPI structural invariants (paper §4.1, Algorithms 3–4, §A.2).
+//!
+//! The compact path-index mirrors a BFS tree of the query: every query
+//! vertex `u` carries a candidate set `u.C`, and every tree edge `(u.p, u)`
+//! carries per-parent-candidate adjacency rows storing *positions* into the
+//! child's candidate array. These checkers re-derive, straight from the
+//! query and data graphs, every property the enumeration phase assumes:
+//!
+//! * candidates pass the label / degree / MND / NLF filters (§A.6);
+//! * candidate arrays are strictly sorted (binary-search invariant);
+//! * every row entry is an in-range position whose underlying pair of data
+//!   vertices is a real edge of `G`;
+//! * rows are *complete*: `N_u^{u.p}(v)` holds exactly the candidates of
+//!   `u` adjacent to `v` — no data edge between candidate sets is dropped;
+//! * no candidate is orphaned — unreachable from every surviving parent
+//!   candidate (Algorithm 4 lines 8–11, the top-down adjacency pruning);
+//! * after bottom-up refinement (Algorithm 4 lines 1–7), every candidate
+//!   retains at least one child candidate along every CPI tree edge
+//!   (Lemma 5.1 applied downward).
+
+use cfl_graph::{max_neighbor_degrees, BfsTree, Graph, NlfIndex, VertexId};
+
+use crate::report::Report;
+
+/// Read-only view of a compact path-index.
+///
+/// `cfl-match` implements this for its `Cpi` under the `validate` feature;
+/// tests may implement it for hand-built fixtures.
+pub trait CpiView {
+    /// The BFS tree of the query the index mirrors.
+    fn tree(&self) -> &BfsTree;
+    /// Candidate set `u.C`, expected in ascending vertex order.
+    fn candidates(&self, u: VertexId) -> &[VertexId];
+    /// Adjacency row `N_u^{u.p}(v)` for the parent candidate at
+    /// `parent_pos`; entries are positions into `candidates(u)`.
+    fn row(&self, u: VertexId, parent_pos: usize) -> &[u32];
+}
+
+/// Which optional invariants to enforce, mirroring the construction mode
+/// and filter configuration the index was built under.
+#[derive(Clone, Copy, Debug)]
+pub struct CpiCheckOptions {
+    /// Candidates were filtered by query degree (Ullmann; off only for the
+    /// naive label-only construction of the Figure 15 ablation).
+    pub use_degree: bool,
+    /// Candidates were filtered by neighborhood label frequency (§A.6).
+    pub use_nlf: bool,
+    /// Candidates were filtered by maximum neighbor degree (Definition A.1).
+    pub use_mnd: bool,
+    /// Top-down adjacency pruning ran (`TopDown` / `TopDownRefined` modes):
+    /// no candidate may be orphaned.
+    pub expect_reachable: bool,
+    /// Bottom-up refinement ran (`TopDownRefined` mode): every candidate
+    /// must keep downward support along every CPI tree edge.
+    pub expect_refined: bool,
+}
+
+impl Default for CpiCheckOptions {
+    fn default() -> Self {
+        CpiCheckOptions {
+            use_degree: true,
+            use_nlf: true,
+            use_mnd: true,
+            expect_reachable: true,
+            expect_refined: true,
+        }
+    }
+}
+
+/// Runs every CPI check, appending violations to `report`.
+///
+/// Cost: `O(index size · d_max(G))` — each candidate is touched a constant
+/// number of times plus one adjacency scan per (parent candidate, child)
+/// pair for row completeness.
+pub fn check_cpi<C: CpiView + ?Sized>(
+    q: &Graph,
+    g: &Graph,
+    cpi: &C,
+    opts: &CpiCheckOptions,
+    report: &mut Report,
+) {
+    check_tree(q, cpi, report);
+    check_candidates(q, g, cpi, opts, report);
+    check_rows(q, g, cpi, opts, report);
+}
+
+/// The mirrored BFS tree spans the query and only uses real query edges at
+/// consecutive levels.
+fn check_tree<C: CpiView + ?Sized>(q: &Graph, cpi: &C, report: &mut Report) {
+    let tree = cpi.tree();
+    if tree.num_reached() != q.num_vertices() {
+        report.violation(
+            "tree-span",
+            Some(tree.root()),
+            None,
+            format!(
+                "BFS tree reaches {} of {} query vertices",
+                tree.num_reached(),
+                q.num_vertices()
+            ),
+        );
+    }
+    for u in q.vertices() {
+        let Some(p) = tree.parent(u) else { continue };
+        if !q.has_edge(p, u) {
+            report.violation(
+                "tree-edge",
+                Some(u),
+                None,
+                format!("tree edge ({p},{u}) is not a query edge"),
+            );
+        }
+        match (tree.level(p), tree.level(u)) {
+            (Some(lp), Some(lu)) if lu == lp + 1 => {}
+            (lp, lu) => report.violation(
+                "tree-level",
+                Some(u),
+                None,
+                format!("levels {lp:?} -> {lu:?} not consecutive"),
+            ),
+        }
+    }
+}
+
+/// Every candidate passes the (configured) §A.6 filters, and candidate
+/// arrays are strictly sorted.
+fn check_candidates<C: CpiView + ?Sized>(
+    q: &Graph,
+    g: &Graph,
+    cpi: &C,
+    opts: &CpiCheckOptions,
+    report: &mut Report,
+) {
+    let q_nlf = NlfIndex::build(q);
+    let g_nlf = NlfIndex::build(g);
+    let mnd_q = max_neighbor_degrees(q);
+    let mnd_g = max_neighbor_degrees(g);
+    let n_g = g.num_vertices() as u64;
+
+    for u in q.vertices() {
+        let cands = cpi.candidates(u);
+        let q_sig = q_nlf.signature(u);
+        for (i, &v) in cands.iter().enumerate() {
+            if i > 0 && cands[i - 1] >= v {
+                report.violation(
+                    "cand-sorted",
+                    Some(u),
+                    Some(v),
+                    format!(
+                        "candidates not strictly increasing at {} >= {v}",
+                        cands[i - 1]
+                    ),
+                );
+            }
+            if u64::from(v) >= n_g {
+                report.violation(
+                    "cand-range",
+                    Some(u),
+                    Some(v),
+                    format!("candidate out of range (|V(G)| = {n_g})"),
+                );
+                continue;
+            }
+            if g.label(v) != q.label(u) {
+                report.violation(
+                    "cand-label",
+                    Some(u),
+                    Some(v),
+                    format!(
+                        "label {} does not match query label {}",
+                        g.label(v).index(),
+                        q.label(u).index()
+                    ),
+                );
+            }
+            if opts.use_degree && g.degree(v) < q.degree(u) {
+                report.violation(
+                    "cand-degree",
+                    Some(u),
+                    Some(v),
+                    format!("degree {} < query degree {}", g.degree(v), q.degree(u)),
+                );
+            }
+            if opts.use_mnd && mnd_g[v as usize] < mnd_q[u as usize] {
+                report.violation(
+                    "cand-mnd",
+                    Some(u),
+                    Some(v),
+                    format!(
+                        "max neighbor degree {} < query's {}",
+                        mnd_g[v as usize], mnd_q[u as usize]
+                    ),
+                );
+            }
+            if opts.use_nlf && !NlfIndex::dominates(g_nlf.signature(v), q_sig) {
+                report.violation(
+                    "cand-nlf",
+                    Some(u),
+                    Some(v),
+                    "neighborhood label frequency does not dominate the query's".into(),
+                );
+            }
+        }
+    }
+}
+
+/// Row invariants: in-range positions, real data edges, completeness,
+/// no orphans, and (refined mode) downward support.
+fn check_rows<C: CpiView + ?Sized>(
+    q: &Graph,
+    g: &Graph,
+    cpi: &C,
+    opts: &CpiCheckOptions,
+    report: &mut Report,
+) {
+    let tree = cpi.tree();
+    // Scratch position lookup: data vertex -> position in the current
+    // child's candidate array (one shared allocation, reset per child).
+    let mut pos_of: Vec<u32> = vec![u32::MAX; g.num_vertices()];
+    // Scratch row-membership stamps, indexed by child candidate position.
+    let mut stamp: Vec<u64> = Vec::new();
+    let mut round: u64 = 0;
+
+    for u in q.vertices() {
+        let Some(p) = tree.parent(u) else { continue };
+        let child_c = cpi.candidates(u);
+        let parent_c = cpi.candidates(p);
+        for (pos, &v) in child_c.iter().enumerate() {
+            if (v as usize) < pos_of.len() {
+                pos_of[v as usize] = pos as u32;
+            }
+        }
+        if stamp.len() < child_c.len() {
+            stamp.resize(child_c.len(), 0);
+        }
+        let mut referenced = vec![false; child_c.len()];
+
+        for (parent_pos, &pv) in parent_c.iter().enumerate() {
+            let row = cpi.row(u, parent_pos);
+            round += 1;
+            for &pos in row {
+                let Some(&cv) = child_c.get(pos as usize) else {
+                    report.violation(
+                        "row-position",
+                        Some(u),
+                        Some(pv),
+                        format!("row position {pos} out of range (|C| = {})", child_c.len()),
+                    );
+                    continue;
+                };
+                if stamp[pos as usize] == round {
+                    report.violation(
+                        "row-duplicate",
+                        Some(u),
+                        Some(cv),
+                        format!("position {pos} listed twice for parent candidate {pv}"),
+                    );
+                }
+                stamp[pos as usize] = round;
+                referenced[pos as usize] = true;
+                if !g.has_edge(pv, cv) {
+                    report.violation(
+                        "row-edge",
+                        Some(u),
+                        Some(cv),
+                        format!("CPI edge ({pv},{cv}) is not a data edge"),
+                    );
+                }
+            }
+            // Completeness: every data neighbor of the parent candidate that
+            // is a candidate of `u` must appear in the row.
+            if (pv as usize) < pos_of.len() {
+                for &w in g.neighbors(pv) {
+                    let pos = pos_of[w as usize];
+                    if pos != u32::MAX && stamp[pos as usize] != round {
+                        report.violation(
+                            "row-complete",
+                            Some(u),
+                            Some(w),
+                            format!("candidate adjacent to parent candidate {pv} missing from row"),
+                        );
+                    }
+                }
+            }
+            if opts.expect_refined && row.is_empty() {
+                // Downward support (Lemma 5.1 applied along the tree edge):
+                // after refinement plus adjacency pruning, every surviving
+                // parent candidate keeps at least one child candidate.
+                report.violation(
+                    "row-support",
+                    Some(p),
+                    Some(pv),
+                    format!("no surviving candidate of u{u} adjacent after refinement"),
+                );
+            }
+        }
+
+        if opts.expect_reachable {
+            for (pos, &r) in referenced.iter().enumerate() {
+                if !r {
+                    report.violation(
+                        "cand-orphan",
+                        Some(u),
+                        Some(child_c[pos]),
+                        format!("candidate referenced by no parent row (parent u{p})"),
+                    );
+                }
+            }
+        }
+
+        for &v in child_c {
+            if (v as usize) < pos_of.len() {
+                pos_of[v as usize] = u32::MAX;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-built CPI fixture for checker tests.
+    struct MockCpi {
+        tree: BfsTree,
+        cands: Vec<Vec<VertexId>>,
+        /// `rows[u][parent_pos]` = positions into `cands[u]`.
+        rows: Vec<Vec<Vec<u32>>>,
+    }
+
+    impl CpiView for MockCpi {
+        fn tree(&self) -> &BfsTree {
+            &self.tree
+        }
+        fn candidates(&self, u: VertexId) -> &[VertexId] {
+            &self.cands[u as usize]
+        }
+        fn row(&self, u: VertexId, parent_pos: usize) -> &[u32] {
+            &self.rows[u as usize][parent_pos]
+        }
+    }
+
+    /// Query: edge 0(A)-1(B). Data: 0(A)-1(B), 0-2(B), plus 3(B)-4(A)
+    /// disconnected from vertex 0.
+    fn fixture() -> (Graph, Graph, MockCpi) {
+        let q = cfl_graph::graph_from_edges(&[0, 1], &[(0, 1)]).unwrap();
+        let g = cfl_graph::graph_from_edges(&[0, 1, 1, 1, 0], &[(0, 1), (0, 2), (3, 4)]).unwrap();
+        let tree = BfsTree::new(&q, 0);
+        let cpi = MockCpi {
+            tree,
+            cands: vec![vec![0], vec![1, 2]],
+            rows: vec![vec![], vec![vec![0, 1]]],
+        };
+        (q, g, cpi)
+    }
+
+    fn run(q: &Graph, g: &Graph, cpi: &MockCpi) -> Report {
+        let mut report = Report::new();
+        check_cpi(q, g, cpi, &CpiCheckOptions::default(), &mut report);
+        report
+    }
+
+    #[test]
+    fn correct_cpi_is_clean() {
+        let (q, g, cpi) = fixture();
+        let report = run(&q, &g, &cpi);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn wrong_label_candidate_is_flagged() {
+        let (q, g, mut cpi) = fixture();
+        // Vertex 4 has label A, not B; it is also not adjacent to 0.
+        cpi.cands[1] = vec![1, 2, 4];
+        cpi.rows[1] = vec![vec![0, 1]];
+        let report = run(&q, &g, &cpi);
+        assert!(report.has_check("cand-label"), "{report}");
+        assert!(report.has_check("cand-orphan"), "{report}");
+    }
+
+    #[test]
+    fn unsorted_candidates_are_flagged() {
+        let (q, g, mut cpi) = fixture();
+        cpi.cands[1] = vec![2, 1];
+        cpi.rows[1] = vec![vec![0, 1]];
+        let report = run(&q, &g, &cpi);
+        assert!(report.has_check("cand-sorted"), "{report}");
+    }
+
+    #[test]
+    fn out_of_range_row_position_is_flagged() {
+        let (q, g, mut cpi) = fixture();
+        cpi.rows[1] = vec![vec![0, 9]];
+        let report = run(&q, &g, &cpi);
+        assert!(report.has_check("row-position"), "{report}");
+    }
+
+    #[test]
+    fn non_edge_row_entry_is_flagged() {
+        let (q, g, mut cpi) = fixture();
+        // Candidate 3 carries label B and has degree 1, but (0,3) is no edge.
+        cpi.cands[1] = vec![1, 2, 3];
+        cpi.rows[1] = vec![vec![0, 1, 2]];
+        let report = run(&q, &g, &cpi);
+        assert!(report.has_check("row-edge"), "{report}");
+    }
+
+    #[test]
+    fn dropped_row_entry_is_flagged_incomplete_and_orphaned() {
+        let (q, g, mut cpi) = fixture();
+        cpi.rows[1] = vec![vec![0]];
+        let report = run(&q, &g, &cpi);
+        assert!(report.has_check("row-complete"), "{report}");
+        assert!(report.has_check("cand-orphan"), "{report}");
+    }
+
+    #[test]
+    fn duplicate_row_entry_is_flagged() {
+        let (q, g, mut cpi) = fixture();
+        cpi.rows[1] = vec![vec![0, 0, 1]];
+        let report = run(&q, &g, &cpi);
+        assert!(report.has_check("row-duplicate"), "{report}");
+    }
+
+    #[test]
+    fn empty_row_is_flagged_only_in_refined_mode() {
+        let (q, g, mut cpi) = fixture();
+        // Parent candidate 0 keeps no children at all.
+        cpi.cands[1] = vec![];
+        cpi.rows[1] = vec![vec![]];
+        let mut refined = Report::new();
+        check_cpi(&q, &g, &cpi, &CpiCheckOptions::default(), &mut refined);
+        assert!(refined.has_check("row-support"), "{refined}");
+        let mut unrefined = Report::new();
+        check_cpi(
+            &q,
+            &g,
+            &cpi,
+            &CpiCheckOptions {
+                expect_refined: false,
+                ..CpiCheckOptions::default()
+            },
+            &mut unrefined,
+        );
+        assert!(unrefined.is_clean(), "{unrefined}");
+    }
+
+    #[test]
+    fn orphan_check_can_be_disabled() {
+        let (q, g, mut cpi) = fixture();
+        cpi.rows[1] = vec![vec![0]];
+        let mut report = Report::new();
+        check_cpi(
+            &q,
+            &g,
+            &cpi,
+            &CpiCheckOptions {
+                expect_reachable: false,
+                ..CpiCheckOptions::default()
+            },
+            &mut report,
+        );
+        assert!(!report.has_check("cand-orphan"), "{report}");
+        assert!(report.has_check("row-complete"), "{report}");
+    }
+}

@@ -1,0 +1,404 @@
+//! Core-forest-leaf decomposition invariants (paper §3, Lemma 3.1, §A.5).
+//!
+//! The decomposition splits the query into its 2-core (the *core-structure*,
+//! Lemma 3.1), the trees hanging off it (the *forest-structure*, each
+//! attached to exactly one core vertex), and the degree-one tree vertices
+//! (the *leaf-set*). These checkers recompute the 2-core independently and
+//! verify the partition, tree attachment, and leaf classification.
+
+use cfl_graph::{two_core, Graph, VertexId};
+
+use crate::report::Report;
+
+/// Which part of the decomposition a query vertex was assigned to
+/// (mirror of the engine's `Role`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartClass {
+    /// Core-set `V_C`.
+    Core,
+    /// Forest-set `V_T`.
+    Forest,
+    /// Leaf-set `V_I`.
+    Leaf,
+}
+
+/// One forest tree (mirror of the engine's `ForestTree`).
+#[derive(Clone, Debug)]
+pub struct TreeSpec {
+    /// The core vertex the tree hangs off.
+    pub connection: VertexId,
+    /// Tree members, excluding the connection vertex.
+    pub members: Vec<VertexId>,
+}
+
+/// A decomposition to verify, as reported by the engine.
+#[derive(Clone, Debug)]
+pub struct DecompSpec {
+    /// Per-vertex part assignment (`roles[v]`).
+    pub roles: Vec<PartClass>,
+    /// The forest trees.
+    pub trees: Vec<TreeSpec>,
+    /// The root vertex selected by root selection (seeds the degenerate
+    /// single-vertex core when the query is a tree).
+    pub root: VertexId,
+    /// Whether the whole query was kept as core (`DecompositionMode::None`).
+    pub whole_core: bool,
+    /// Whether degree-one tree vertices were classified as leaves
+    /// (`DecompositionMode::CoreForestLeaf`).
+    pub leaves_extracted: bool,
+}
+
+/// Runs every decomposition check, appending violations to `report`.
+///
+/// Cost: `O(|V(q)| + |E(q)|)`.
+pub fn check_decomposition(q: &Graph, spec: &DecompSpec, report: &mut Report) {
+    let n = q.num_vertices();
+    if spec.roles.len() != n {
+        report.violation(
+            "decomp-arity",
+            None,
+            None,
+            format!("{} roles for {n} query vertices", spec.roles.len()),
+        );
+        return;
+    }
+
+    check_core_membership(q, spec, report);
+    check_leaf_classification(q, spec, report);
+    check_trees(q, spec, report);
+}
+
+/// The core-set is exactly the 2-core of `q` (Lemma 3.1), degenerating to
+/// `{root}` for tree queries, or all of `V(q)` when decomposition is off.
+fn check_core_membership(q: &Graph, spec: &DecompSpec, report: &mut Report) {
+    let expected: Vec<bool> = if spec.whole_core {
+        vec![true; q.num_vertices()]
+    } else {
+        let mut in_core = two_core(q);
+        if in_core.iter().all(|&b| !b) {
+            if (spec.root as usize) < in_core.len() {
+                in_core[spec.root as usize] = true;
+            } else {
+                report.violation(
+                    "core-root",
+                    Some(spec.root),
+                    None,
+                    "root out of range".into(),
+                );
+            }
+        }
+        in_core
+    };
+    for u in q.vertices() {
+        let is_core = spec.roles[u as usize] == PartClass::Core;
+        if is_core != expected[u as usize] {
+            report.violation(
+                "core-membership",
+                Some(u),
+                None,
+                if expected[u as usize] {
+                    "2-core vertex not classified as core".into()
+                } else {
+                    "classified as core but outside the 2-core".into()
+                },
+            );
+        }
+    }
+    if !spec.whole_core && spec.roles.get(spec.root as usize) != Some(&PartClass::Core) {
+        report.violation(
+            "core-root",
+            Some(spec.root),
+            None,
+            "root vertex is not a core vertex".into(),
+        );
+    }
+}
+
+/// Leaf ⇔ non-core vertex of query degree one (when leaf extraction is on);
+/// no leaves otherwise.
+fn check_leaf_classification(q: &Graph, spec: &DecompSpec, report: &mut Report) {
+    for u in q.vertices() {
+        let role = spec.roles[u as usize];
+        if !spec.leaves_extracted {
+            if role == PartClass::Leaf {
+                report.violation(
+                    "leaf-mode",
+                    Some(u),
+                    None,
+                    "leaf classified although leaf extraction is off".into(),
+                );
+            }
+            continue;
+        }
+        match role {
+            PartClass::Leaf if q.degree(u) != 1 => report.violation(
+                "leaf-degree",
+                Some(u),
+                None,
+                format!("leaf with query degree {}", q.degree(u)),
+            ),
+            PartClass::Forest if q.degree(u) == 1 => report.violation(
+                "leaf-missed",
+                Some(u),
+                None,
+                "degree-one forest vertex not classified as leaf".into(),
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// Forest trees partition the non-core vertices; each tree attaches to the
+/// core at exactly its connection vertex and is connected through it.
+fn check_trees(q: &Graph, spec: &DecompSpec, report: &mut Report) {
+    let n = q.num_vertices();
+    let is_core = |v: VertexId| spec.roles[v as usize] == PartClass::Core;
+    let mut owner: Vec<Option<usize>> = vec![None; n];
+
+    for (ti, tree) in spec.trees.iter().enumerate() {
+        if !is_core(tree.connection) {
+            report.violation(
+                "tree-connection",
+                Some(tree.connection),
+                None,
+                "connection vertex is not a core vertex".into(),
+            );
+        }
+        for &m in &tree.members {
+            if (m as usize) >= n {
+                report.violation("tree-member", Some(m), None, "member out of range".into());
+                continue;
+            }
+            if is_core(m) {
+                report.violation(
+                    "tree-member",
+                    Some(m),
+                    None,
+                    "core vertex listed as a tree member".into(),
+                );
+            }
+            if let Some(prev) = owner[m as usize] {
+                report.violation(
+                    "tree-disjoint",
+                    Some(m),
+                    None,
+                    format!("member of trees {prev} and {ti}"),
+                );
+            }
+            owner[m as usize] = Some(ti);
+            // Each non-core vertex touches the core only at its tree's
+            // connection vertex — otherwise a cycle through the member
+            // would have pulled it into the 2-core (§3).
+            for &w in q.neighbors(m) {
+                if is_core(w) && w != tree.connection {
+                    report.violation(
+                        "tree-attachment",
+                        Some(m),
+                        None,
+                        format!(
+                            "adjacent to core vertex {w} outside connection {}",
+                            tree.connection
+                        ),
+                    );
+                }
+            }
+        }
+        check_tree_connectivity(q, tree, report);
+    }
+
+    // Coverage: every non-core vertex belongs to some tree.
+    for u in q.vertices() {
+        if !is_core(u) && owner[u as usize].is_none() {
+            report.violation(
+                "tree-coverage",
+                Some(u),
+                None,
+                "non-core vertex belongs to no forest tree".into(),
+            );
+        }
+    }
+}
+
+/// Every member is reachable from the connection vertex through non-core
+/// members of the same tree.
+fn check_tree_connectivity(q: &Graph, tree: &TreeSpec, report: &mut Report) {
+    let n = q.num_vertices();
+    let mut in_tree = vec![false; n];
+    for &m in &tree.members {
+        if (m as usize) < n {
+            in_tree[m as usize] = true;
+        }
+    }
+    let mut queue: Vec<VertexId> = Vec::new();
+    let mut seen = vec![false; n];
+    if (tree.connection as usize) < n {
+        for &w in q.neighbors(tree.connection) {
+            if in_tree[w as usize] && !seen[w as usize] {
+                seen[w as usize] = true;
+                queue.push(w);
+            }
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        for &w in q.neighbors(v) {
+            if in_tree[w as usize] && !seen[w as usize] {
+                seen[w as usize] = true;
+                queue.push(w);
+            }
+        }
+    }
+    for &m in &tree.members {
+        if (m as usize) < n && !seen[m as usize] {
+            report.violation(
+                "tree-connected",
+                Some(m),
+                None,
+                format!("unreachable from connection vertex {}", tree.connection),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfl_graph::graph_from_edges;
+
+    /// Figure 4(a) query: triangle core {0,1,2}, trees under 1 and 2,
+    /// leaves 7–10.
+    fn figure4() -> Graph {
+        graph_from_edges(
+            &[0; 11],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (2, 5),
+                (2, 6),
+                (3, 7),
+                (4, 8),
+                (5, 9),
+                (6, 10),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn figure4_spec() -> DecompSpec {
+        use PartClass::{Core, Forest, Leaf};
+        DecompSpec {
+            roles: vec![
+                Core, Core, Core, Forest, Forest, Forest, Forest, Leaf, Leaf, Leaf, Leaf,
+            ],
+            trees: vec![
+                TreeSpec {
+                    connection: 1,
+                    members: vec![3, 4, 7, 8],
+                },
+                TreeSpec {
+                    connection: 2,
+                    members: vec![5, 6, 9, 10],
+                },
+            ],
+            root: 0,
+            whole_core: false,
+            leaves_extracted: true,
+        }
+    }
+
+    fn run(q: &Graph, spec: &DecompSpec) -> Report {
+        let mut report = Report::new();
+        check_decomposition(q, spec, &mut report);
+        report
+    }
+
+    #[test]
+    fn figure4_decomposition_is_clean() {
+        let report = run(&figure4(), &figure4_spec());
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn misclassified_core_vertex_is_flagged() {
+        let mut spec = figure4_spec();
+        spec.roles[1] = PartClass::Forest;
+        let report = run(&figure4(), &spec);
+        assert!(report.has_check("core-membership"), "{report}");
+    }
+
+    #[test]
+    fn high_degree_leaf_is_flagged() {
+        let mut spec = figure4_spec();
+        spec.roles[3] = PartClass::Leaf; // degree 2
+        let report = run(&figure4(), &spec);
+        assert!(report.has_check("leaf-degree"), "{report}");
+    }
+
+    #[test]
+    fn missed_leaf_is_flagged() {
+        let mut spec = figure4_spec();
+        spec.roles[7] = PartClass::Forest; // degree 1
+        let report = run(&figure4(), &spec);
+        assert!(report.has_check("leaf-missed"), "{report}");
+    }
+
+    #[test]
+    fn uncovered_member_is_flagged() {
+        let mut spec = figure4_spec();
+        spec.trees[0].members.retain(|&m| m != 7);
+        let report = run(&figure4(), &spec);
+        assert!(report.has_check("tree-coverage"), "{report}");
+    }
+
+    #[test]
+    fn member_in_wrong_tree_is_flagged() {
+        let mut spec = figure4_spec();
+        // Vertex 5 hangs off connection 2, not 1; it is also unreachable
+        // from 1 through tree-0 members.
+        spec.trees[0].members.push(5);
+        spec.trees[1].members.retain(|&m| m != 5);
+        let report = run(&figure4(), &spec);
+        assert!(
+            report.has_check("tree-attachment") || report.has_check("tree-connected"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn tree_query_degenerate_core_is_clean() {
+        // Path 0-1-2-3 rooted at 1: core {1}, forest {2}, leaves {0,3}.
+        let q = graph_from_edges(&[0; 4], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        use PartClass::{Core, Forest, Leaf};
+        let spec = DecompSpec {
+            roles: vec![Leaf, Core, Forest, Leaf],
+            trees: vec![TreeSpec {
+                connection: 1,
+                members: vec![0, 2, 3],
+            }],
+            root: 1,
+            whole_core: false,
+            leaves_extracted: true,
+        };
+        let report = run(&q, &spec);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn whole_core_mode_is_clean() {
+        let q = figure4();
+        let spec = DecompSpec {
+            roles: vec![PartClass::Core; 11],
+            trees: vec![],
+            root: 0,
+            whole_core: true,
+            leaves_extracted: false,
+        };
+        let report = run(&q, &spec);
+        assert!(report.is_clean(), "{report}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Structural invariants of the CSR graph representation itself.
+//!
+//! Everything downstream (filters, CPI, enumeration) assumes the adjacency
+//! structure is an undirected simple graph in canonical form: per-vertex
+//! neighbor lists strictly sorted, symmetric, self-loop free, with labels in
+//! range and the label index partitioning the vertex set.
+
+use cfl_graph::{Graph, LabelIndex};
+
+use crate::report::Report;
+
+/// Runs every graph-representation check, appending violations to `report`.
+///
+/// Cost: `O(|V| + |E| log d_max)` (the symmetry probe binary-searches the
+/// reverse adjacency list).
+pub fn check_graph(g: &Graph, report: &mut Report) {
+    check_adjacency(g, report);
+    check_labels(g, report);
+    check_label_index(g, report);
+    check_edge_count(g, report);
+}
+
+/// Neighbor lists are strictly increasing (sorted, duplicate free), contain
+/// no self-loops, stay in range, and are symmetric.
+fn check_adjacency(g: &Graph, report: &mut Report) {
+    let n = g.num_vertices() as u64;
+    for v in g.vertices() {
+        let nbrs = g.neighbors(v);
+        for (i, &w) in nbrs.iter().enumerate() {
+            if u64::from(w) >= n {
+                report.violation(
+                    "adj-range",
+                    None,
+                    Some(v),
+                    format!("neighbor {w} out of range (|V| = {n})"),
+                );
+                continue;
+            }
+            if w == v {
+                report.violation("adj-self-loop", None, Some(v), "self-loop".into());
+            }
+            if i > 0 && nbrs[i - 1] >= w {
+                report.violation(
+                    "adj-sorted",
+                    None,
+                    Some(v),
+                    format!(
+                        "neighbors not strictly increasing at {} >= {w}",
+                        nbrs[i - 1]
+                    ),
+                );
+            }
+            if g.neighbors(w).binary_search(&v).is_err() {
+                report.violation(
+                    "adj-symmetry",
+                    None,
+                    Some(v),
+                    format!("edge ({v},{w}) stored but ({w},{v}) missing"),
+                );
+            }
+        }
+    }
+}
+
+/// Every vertex label is below `num_labels`.
+fn check_labels(g: &Graph, report: &mut Report) {
+    let nl = g.num_labels();
+    for v in g.vertices() {
+        let l = g.label(v);
+        if l.index() >= nl {
+            report.violation(
+                "label-range",
+                None,
+                Some(v),
+                format!("label {} out of range (|Σ| = {nl})", l.index()),
+            );
+        }
+    }
+}
+
+/// A freshly built [`LabelIndex`] agrees with the per-vertex labels: each
+/// bucket is sorted, holds exactly the vertices carrying that label, and the
+/// buckets partition `V(G)`.
+fn check_label_index(g: &Graph, report: &mut Report) {
+    let idx = LabelIndex::build(g);
+    let mut covered = 0usize;
+    for l in 0..g.num_labels() {
+        let label = cfl_graph::Label(l as u32);
+        let bucket = idx.vertices_with_label(label);
+        covered += bucket.len();
+        for (i, &v) in bucket.iter().enumerate() {
+            if g.label(v) != label {
+                report.violation(
+                    "label-index",
+                    None,
+                    Some(v),
+                    format!("listed under label {l} but carries {}", g.label(v).index()),
+                );
+            }
+            if i > 0 && bucket[i - 1] >= v {
+                report.violation(
+                    "label-index-sorted",
+                    None,
+                    Some(v),
+                    format!("label {l} bucket not strictly increasing"),
+                );
+            }
+        }
+        if idx.frequency(label) != bucket.len() {
+            report.violation(
+                "label-index",
+                None,
+                None,
+                format!("frequency({l}) disagrees with bucket length"),
+            );
+        }
+    }
+    if covered != g.num_vertices() {
+        report.violation(
+            "label-index-partition",
+            None,
+            None,
+            format!(
+                "label buckets cover {covered} vertices, expected {}",
+                g.num_vertices()
+            ),
+        );
+    }
+}
+
+/// The handshake identity: degrees sum to `2 |E|`.
+fn check_edge_count(g: &Graph, report: &mut Report) {
+    let degree_sum: u64 = g.vertices().map(|v| g.degree(v) as u64).sum();
+    if degree_sum != 2 * g.num_edges() as u64 {
+        report.violation(
+            "edge-count",
+            None,
+            None,
+            format!(
+                "degree sum {degree_sum} != 2 * num_edges ({})",
+                2 * g.num_edges()
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfl_graph::{graph_from_edges, synthetic_graph, SyntheticConfig};
+
+    #[test]
+    fn well_formed_graph_is_clean() {
+        let g = graph_from_edges(&[0, 1, 2, 0], &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let mut report = Report::new();
+        check_graph(&g, &mut report);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn synthetic_graph_is_clean() {
+        let g = synthetic_graph(&SyntheticConfig {
+            num_vertices: 300,
+            avg_degree: 6.0,
+            num_labels: 8,
+            seed: 7,
+            ..SyntheticConfig::default()
+        });
+        let mut report = Report::new();
+        check_graph(&g, &mut report);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn single_vertex_graph_is_clean() {
+        let g = graph_from_edges(&[0], &[]).unwrap();
+        let mut report = Report::new();
+        check_graph(&g, &mut report);
+        assert!(report.is_clean(), "{report}");
+    }
+}

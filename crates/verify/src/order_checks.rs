@@ -1,0 +1,334 @@
+//! Matching-order invariants (paper §4.2.1, Algorithm 2).
+//!
+//! Whatever greedy path ordering produced it, a matching order is only
+//! usable by the enumeration phase if it is a *connected prefix* order
+//! (every vertex after the first extends the already-matched subgraph
+//! through its CPI parent), covers the query exactly once together with the
+//! leaf-set, carries exact non-tree check lists, and respects the macro
+//! order core → forest → leaf (§3).
+
+use cfl_graph::{Graph, VertexId};
+
+use crate::decomp_checks::PartClass;
+use crate::report::Report;
+
+/// One position of the matching order (mirror of the engine's
+/// `OrderedVertex`).
+#[derive(Clone, Debug)]
+pub struct OrderStep {
+    /// The query vertex matched at this position.
+    pub vertex: VertexId,
+    /// Its CPI parent; `None` only at position 0.
+    pub parent: Option<VertexId>,
+    /// Earlier-ordered query neighbors other than `parent` (the non-tree
+    /// edges validated during enumeration).
+    pub checks: Vec<VertexId>,
+}
+
+/// A matching plan to verify, as reported by the engine.
+#[derive(Clone, Debug)]
+pub struct OrderSpec {
+    /// Core then forest vertices, in matching order.
+    pub steps: Vec<OrderStep>,
+    /// How many leading steps are core vertices.
+    pub core_len: usize,
+    /// Leaf vertices, matched last by leaf-match.
+    pub leaves: Vec<VertexId>,
+}
+
+/// Runs every matching-order check, appending violations to `report`.
+///
+/// `roles` is the per-vertex part assignment the order must respect.
+/// Cost: `O(|V(q)| + |E(q)|)`.
+pub fn check_order(q: &Graph, roles: &[PartClass], spec: &OrderSpec, report: &mut Report) {
+    let n = q.num_vertices();
+    if roles.len() != n {
+        report.violation(
+            "order-arity",
+            None,
+            None,
+            format!("{} roles for {n} query vertices", roles.len()),
+        );
+        return;
+    }
+    if spec.core_len > spec.steps.len() {
+        report.violation(
+            "order-core-len",
+            None,
+            None,
+            format!(
+                "core_len {} exceeds {} steps",
+                spec.core_len,
+                spec.steps.len()
+            ),
+        );
+    }
+
+    check_partition(q, spec, report);
+    check_connected_prefix(q, spec, report);
+    check_phases(roles, spec, report);
+}
+
+/// Steps plus leaves visit every query vertex exactly once.
+fn check_partition(q: &Graph, spec: &OrderSpec, report: &mut Report) {
+    let n = q.num_vertices();
+    let mut seen = vec![false; n];
+    let all = spec
+        .steps
+        .iter()
+        .map(|s| s.vertex)
+        .chain(spec.leaves.iter().copied());
+    for v in all {
+        if (v as usize) >= n {
+            report.violation("order-range", Some(v), None, "vertex out of range".into());
+            continue;
+        }
+        if seen[v as usize] {
+            report.violation(
+                "order-duplicate",
+                Some(v),
+                None,
+                "vertex ordered more than once".into(),
+            );
+        }
+        seen[v as usize] = true;
+    }
+    for u in q.vertices() {
+        if !seen[u as usize] {
+            report.violation(
+                "order-coverage",
+                Some(u),
+                None,
+                "query vertex missing from the matching order".into(),
+            );
+        }
+    }
+}
+
+/// Every step after the first extends the matched prefix through an
+/// earlier-ordered query neighbor, and its check list is exactly the set of
+/// other earlier-ordered neighbors.
+fn check_connected_prefix(q: &Graph, spec: &OrderSpec, report: &mut Report) {
+    let n = q.num_vertices();
+    // position[v] = index of v in the step sequence.
+    let mut position = vec![usize::MAX; n];
+    for (i, s) in spec.steps.iter().enumerate() {
+        if (s.vertex as usize) < n {
+            position[s.vertex as usize] = i;
+        }
+    }
+
+    for (i, s) in spec.steps.iter().enumerate() {
+        let u = s.vertex;
+        if (u as usize) >= n {
+            continue;
+        }
+        match s.parent {
+            None if i > 0 => report.violation(
+                "order-parent",
+                Some(u),
+                None,
+                format!("step {i} has no parent (only the root may)"),
+            ),
+            Some(p) if i == 0 => report.violation(
+                "order-parent",
+                Some(u),
+                None,
+                format!("root step carries parent u{p}"),
+            ),
+            Some(p) => {
+                if (p as usize) >= n || position[p as usize] >= i {
+                    report.violation(
+                        "order-connected",
+                        Some(u),
+                        None,
+                        format!("parent u{p} is not ordered before step {i}"),
+                    );
+                } else if !q.has_edge(p, u) {
+                    report.violation(
+                        "order-connected",
+                        Some(u),
+                        None,
+                        format!("parent u{p} is not a query neighbor"),
+                    );
+                }
+            }
+            None => {}
+        }
+
+        // Exact check-list: earlier-ordered neighbors minus the parent.
+        let mut expected: Vec<VertexId> = q
+            .neighbors(u)
+            .iter()
+            .copied()
+            .filter(|&w| position[w as usize] < i && Some(w) != s.parent)
+            .collect();
+        expected.sort_unstable();
+        let mut got = s.checks.clone();
+        got.sort_unstable();
+        if got != expected {
+            report.violation(
+                "order-checks",
+                Some(u),
+                None,
+                format!("check list {got:?} != earlier neighbors {expected:?}"),
+            );
+        }
+    }
+}
+
+/// Macro order: core steps first (`core_len` of them), then forest steps,
+/// with every leaf-class vertex in the leaf list and vice versa.
+fn check_phases(roles: &[PartClass], spec: &OrderSpec, report: &mut Report) {
+    for (i, s) in spec.steps.iter().enumerate() {
+        let Some(&role) = roles.get(s.vertex as usize) else {
+            continue;
+        };
+        let expected_core = i < spec.core_len;
+        match role {
+            PartClass::Core if !expected_core => report.violation(
+                "order-phase",
+                Some(s.vertex),
+                None,
+                format!("core vertex ordered at forest position {i}"),
+            ),
+            PartClass::Forest if expected_core => report.violation(
+                "order-phase",
+                Some(s.vertex),
+                None,
+                format!("forest vertex ordered at core position {i}"),
+            ),
+            PartClass::Leaf => report.violation(
+                "order-phase",
+                Some(s.vertex),
+                None,
+                "leaf vertex ordered as a step instead of by leaf-match".into(),
+            ),
+            _ => {}
+        }
+    }
+    for &l in &spec.leaves {
+        if roles.get(l as usize).copied() != Some(PartClass::Leaf) {
+            report.violation(
+                "order-phase",
+                Some(l),
+                None,
+                "non-leaf vertex listed in the leaf set".into(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfl_graph::graph_from_edges;
+
+    /// Figure 1(a)-style query: core {0,1,4} (triangle), forest {2},
+    /// leaves {3,5}.
+    fn query() -> (Graph, Vec<PartClass>) {
+        let q = graph_from_edges(
+            &[0, 1, 2, 3, 4, 5],
+            &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (1, 4)],
+        )
+        .unwrap();
+        use PartClass::{Core, Forest, Leaf};
+        (q, vec![Core, Core, Forest, Leaf, Core, Leaf])
+    }
+
+    fn good_spec() -> OrderSpec {
+        OrderSpec {
+            steps: vec![
+                OrderStep {
+                    vertex: 0,
+                    parent: None,
+                    checks: vec![],
+                },
+                OrderStep {
+                    vertex: 1,
+                    parent: Some(0),
+                    checks: vec![],
+                },
+                OrderStep {
+                    vertex: 4,
+                    parent: Some(0),
+                    checks: vec![1],
+                },
+                OrderStep {
+                    vertex: 2,
+                    parent: Some(1),
+                    checks: vec![],
+                },
+            ],
+            core_len: 3,
+            leaves: vec![3, 5],
+        }
+    }
+
+    fn run(spec: &OrderSpec) -> Report {
+        let (q, roles) = query();
+        let mut report = Report::new();
+        check_order(&q, &roles, spec, &mut report);
+        report
+    }
+
+    #[test]
+    fn valid_order_is_clean() {
+        let report = run(&good_spec());
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn disconnected_prefix_is_flagged() {
+        let mut spec = good_spec();
+        // Order vertex 2 before its parent 1.
+        spec.steps.swap(1, 3);
+        let report = run(&spec);
+        assert!(report.has_check("order-connected"), "{report}");
+    }
+
+    #[test]
+    fn missing_vertex_is_flagged() {
+        let mut spec = good_spec();
+        spec.leaves.pop();
+        let report = run(&spec);
+        assert!(report.has_check("order-coverage"), "{report}");
+    }
+
+    #[test]
+    fn duplicate_vertex_is_flagged() {
+        let mut spec = good_spec();
+        spec.leaves.push(3);
+        let report = run(&spec);
+        assert!(report.has_check("order-duplicate"), "{report}");
+    }
+
+    #[test]
+    fn wrong_check_list_is_flagged() {
+        let mut spec = good_spec();
+        spec.steps[2].checks = vec![];
+        let report = run(&spec);
+        assert!(report.has_check("order-checks"), "{report}");
+    }
+
+    #[test]
+    fn forest_before_core_is_flagged() {
+        let mut spec = good_spec();
+        spec.core_len = 4; // claims the forest vertex 2 is a core step
+        let report = run(&spec);
+        assert!(report.has_check("order-phase"), "{report}");
+    }
+
+    #[test]
+    fn leaf_in_steps_is_flagged() {
+        let mut spec = good_spec();
+        spec.leaves.retain(|&l| l != 3);
+        spec.steps.push(OrderStep {
+            vertex: 3,
+            parent: Some(2),
+            checks: vec![],
+        });
+        let report = run(&spec);
+        assert!(report.has_check("order-phase"), "{report}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Violation records and the report type every checker appends to.
+
+use std::fmt;
+
+use cfl_graph::VertexId;
+
+/// One invariant violation with vertex-level context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable kebab-case identifier of the violated invariant
+    /// (e.g. `"cand-label"`, `"row-edge"`, `"core-membership"`).
+    pub check: &'static str,
+    /// The query vertex involved, when the invariant is per-query-vertex.
+    pub query_vertex: Option<VertexId>,
+    /// The data vertex involved, when the invariant is per-data-vertex.
+    pub data_vertex: Option<VertexId>,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.check)?;
+        if let Some(u) = self.query_vertex {
+            write!(f, " u{u}")?;
+        }
+        if let Some(v) = self.data_vertex {
+            write!(f, " v{v}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Upper bound on stored violations; beyond it only the count is kept, so a
+/// badly corrupted index cannot blow up memory or terminal output.
+const STORED_CAP: usize = 256;
+
+/// Accumulated verification outcome across any number of checkers.
+#[derive(Debug, Default)]
+pub struct Report {
+    violations: Vec<Violation>,
+    /// Total violations observed, including ones dropped past [`STORED_CAP`].
+    total: usize,
+}
+
+impl Report {
+    /// An empty (clean) report.
+    #[must_use]
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Records a violation.
+    pub fn push(&mut self, violation: Violation) {
+        self.total += 1;
+        if self.violations.len() < STORED_CAP {
+            self.violations.push(violation);
+        }
+    }
+
+    /// Convenience constructor + push.
+    pub fn violation(
+        &mut self,
+        check: &'static str,
+        query_vertex: Option<VertexId>,
+        data_vertex: Option<VertexId>,
+        message: String,
+    ) {
+        self.push(Violation {
+            check,
+            query_vertex,
+            data_vertex,
+            message,
+        });
+    }
+
+    /// `true` when no checker recorded any violation.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Total number of violations observed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the report is empty (same as [`Report::is_clean`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The stored violations (at most an internal cap; see [`Report::len`]
+    /// for the true total).
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Whether some violation of the named check was recorded.
+    #[must_use]
+    pub fn has_check(&self, check: &str) -> bool {
+        self.violations.iter().any(|v| v.check == check)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "no violations");
+        }
+        writeln!(f, "{} violation(s):", self.total)?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        if self.total > self.violations.len() {
+            writeln!(
+                f,
+                "  ... {} more omitted",
+                self.total - self.violations.len()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report() {
+        let r = Report::new();
+        assert!(r.is_clean() && r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.to_string(), "no violations");
+    }
+
+    #[test]
+    fn records_and_formats_violations() {
+        let mut r = Report::new();
+        r.violation("cand-label", Some(3), Some(17), "label mismatch".into());
+        assert!(!r.is_clean());
+        assert!(r.has_check("cand-label"));
+        assert!(!r.has_check("row-edge"));
+        let s = r.to_string();
+        assert!(s.contains("[cand-label] u3 v17: label mismatch"), "{s}");
+    }
+
+    #[test]
+    fn caps_stored_violations_but_counts_all() {
+        let mut r = Report::new();
+        for i in 0..400u32 {
+            r.violation("row-edge", Some(i), None, "x".into());
+        }
+        assert_eq!(r.len(), 400);
+        assert!(r.violations().len() < 400);
+        assert!(r.to_string().contains("more omitted"));
+    }
+}

@@ -38,7 +38,10 @@ fn main() {
     let prepared = prepare(&query, &data, &MatchConfig::exhaustive()).expect("valid inputs");
     let d = &prepared.decomposition;
     let names = |vs: &[u32]| -> String {
-        vs.iter().map(|v| format!("u{v}")).collect::<Vec<_>>().join(", ")
+        vs.iter()
+            .map(|v| format!("u{v}"))
+            .collect::<Vec<_>>()
+            .join(", ")
     };
     println!("  core   V_C = {{{}}}", names(&d.core));
     println!("  forest V_T = {{{}}}", names(&d.forest));
@@ -95,13 +98,17 @@ fn main() {
 
     println!("\n== matching order (refined CPI) ==");
     for (i, ov) in prepared.plan.vertices.iter().enumerate() {
-        let phase = if i < prepared.plan.core_len { "core" } else { "forest" };
+        let phase = if i < prepared.plan.core_len {
+            "core"
+        } else {
+            "forest"
+        };
         let checks: Vec<String> = ov.checks.iter().map(|c| format!("u{c}")).collect();
         println!(
             "  {:>2}. u{} [{phase}] parent={} checks=[{}]",
             i,
             ov.vertex,
-            ov.parent.map(|p| format!("u{p}")).unwrap_or_else(|| "-".into()),
+            ov.parent.map_or_else(|| "-".into(), |p| format!("u{p}")),
             checks.join(", ")
         );
     }

@@ -38,9 +38,7 @@ fn kg(labels: &[u32], triples: &[(u32, u32, u32)]) -> EdgeListGraph {
 
 fn main() {
     // Entities: alice(P) bob(P) carol(P) acme(C) globex(C) berlin(Ci) tokyo(Ci)
-    let names = [
-        "alice", "bob", "carol", "acme", "globex", "berlin", "tokyo",
-    ];
+    let names = ["alice", "bob", "carol", "acme", "globex", "berlin", "tokyo"];
     let data = kg(
         &[PERSON, PERSON, PERSON, COMPANY, COMPANY, CITY, CITY],
         &[
@@ -80,7 +78,9 @@ fn main() {
     for m in &matches {
         println!(
             "  person={}, company={}, city={}",
-            names[m.mapping[0] as usize], names[m.mapping[1] as usize], names[m.mapping[2] as usize]
+            names[m.mapping[0] as usize],
+            names[m.mapping[1] as usize],
+            names[m.mapping[2] as usize]
         );
     }
 
@@ -98,9 +98,11 @@ fn main() {
             (0, LIVES_IN, 2),
         ],
     );
-    let (none, _) =
-        collect_embeddings_extended(&reversed, &data, true, &MatchConfig::exhaustive())
-            .expect("valid pattern");
-    println!("reversed-edge pattern matches: {} (direction enforced)", none.len());
+    let (none, _) = collect_embeddings_extended(&reversed, &data, true, &MatchConfig::exhaustive())
+        .expect("valid pattern");
+    println!(
+        "reversed-edge pattern matches: {} (direction enforced)",
+        none.len()
+    );
     assert!(none.is_empty());
 }

@@ -14,8 +14,8 @@ fn main() {
     //       | \      |
     //      D(3) \    |
     //            C(2)
-    let query = graph_from_edges(&[0, 1, 2, 3], &[(0, 1), (1, 2), (2, 0), (0, 3)])
-        .expect("valid query");
+    let query =
+        graph_from_edges(&[0, 1, 2, 3], &[(0, 1), (1, 2), (2, 0), (0, 3)]).expect("valid query");
 
     // Data graph: two A-B-C triangles; only the first A has D neighbors
     // (two of them).

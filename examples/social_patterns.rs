@@ -42,9 +42,8 @@ fn main() {
 
     // Production-style budget: first 1000 occurrences or 2 seconds,
     // whichever comes first.
-    let config = MatchConfig::default().with_budget(
-        Budget::first(1000).with_time_limit(Duration::from_secs(2)),
-    );
+    let config = MatchConfig::default()
+        .with_budget(Budget::first(1000).with_time_limit(Duration::from_secs(2)));
 
     let mut first_three = Vec::new();
     let report = find_embeddings(&pattern, &social, &config, |mapping| {
@@ -64,10 +63,9 @@ fn main() {
             "stopped at the {}-occurrence cap (more exist)",
             report.embeddings
         ),
-        MatchOutcome::TimedOut => println!(
-            "time limit hit after {} occurrences",
-            report.embeddings
-        ),
+        MatchOutcome::TimedOut => {
+            println!("time limit hit after {} occurrences", report.embeddings);
+        }
     }
     println!(
         "index built in {:?}, ordered in {:?}, searched in {:?}",

@@ -27,12 +27,13 @@ fn build_cpi(q: &Graph, g: &Graph, mode: CpiMode) -> Cpi {
 
 fn oracle_embeddings(q: &Graph, g: &Graph) -> Vec<Vec<u32>> {
     let mut out = Vec::new();
-    Ullmann
+    let report = Ullmann
         .find(q, g, Budget::UNLIMITED, &mut |m| {
             out.push(m.to_vec());
             true
         })
         .unwrap();
+    assert!(report.outcome.is_complete());
     out
 }
 
@@ -103,8 +104,7 @@ fn cpi_size_is_within_polynomial_bound() {
             twin_fraction: 0.0,
             seed: 200 + seed,
         });
-        let Some(q) =
-            random_walk_query(&g, &QueryGenConfig::new(8, QueryDensity::Sparse, seed))
+        let Some(q) = random_walk_query(&g, &QueryGenConfig::new(8, QueryDensity::Sparse, seed))
         else {
             continue;
         };
@@ -126,16 +126,21 @@ fn refinement_never_increases_candidates() {
             twin_fraction: 0.0,
             seed: 300 + seed,
         });
-        let Some(q) =
-            random_walk_query(&g, &QueryGenConfig::new(6, QueryDensity::Sparse, seed))
+        let Some(q) = random_walk_query(&g, &QueryGenConfig::new(6, QueryDensity::Sparse, seed))
         else {
             continue;
         };
         let naive = build_cpi(&q, &g, CpiMode::Naive);
         let td = build_cpi(&q, &g, CpiMode::TopDown);
         let full = build_cpi(&q, &g, CpiMode::TopDownRefined);
-        assert!(td.total_candidates() <= naive.total_candidates(), "seed {seed}");
-        assert!(full.total_candidates() <= td.total_candidates(), "seed {seed}");
+        assert!(
+            td.total_candidates() <= naive.total_candidates(),
+            "seed {seed}"
+        );
+        assert!(
+            full.total_candidates() <= td.total_candidates(),
+            "seed {seed}"
+        );
         for u in q.vertices() {
             for v in full.candidates(u) {
                 assert!(td.candidates(u).contains(v), "seed {seed}");

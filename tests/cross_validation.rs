@@ -41,11 +41,13 @@ fn all_matchers() -> Vec<Box<dyn Matcher>> {
 
 fn embeddings_of(m: &dyn Matcher, q: &Graph, g: &Graph) -> Vec<Vec<u32>> {
     let mut out: Vec<Vec<u32>> = Vec::new();
-    m.find(q, g, Budget::UNLIMITED, &mut |mapping| {
-        out.push(mapping.to_vec());
-        true
-    })
-    .unwrap();
+    let report = m
+        .find(q, g, Budget::UNLIMITED, &mut |mapping| {
+            out.push(mapping.to_vec());
+            true
+        })
+        .unwrap();
+    assert!(report.outcome.is_complete());
     out.sort();
     out.dedup_by(|a, b| a == b);
     out
@@ -153,13 +155,15 @@ fn agreement_on_queries_with_leaves_and_forest() {
 fn agreement_on_tree_queries() {
     use cfl_graph::graph_from_edges;
     // Star, path, and caterpillar tree queries (core degenerates to root).
-    let queries = [graph_from_edges(&[0, 1, 1, 2], &[(0, 1), (0, 2), (0, 3)]).unwrap(),
+    let queries = [
+        graph_from_edges(&[0, 1, 1, 2], &[(0, 1), (0, 2), (0, 3)]).unwrap(),
         graph_from_edges(&[0, 1, 2, 1, 0], &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap(),
         graph_from_edges(
             &[0, 1, 0, 1, 2, 2],
             &[(0, 1), (1, 2), (2, 3), (1, 4), (2, 5)],
         )
-        .unwrap()];
+        .unwrap(),
+    ];
     for (i, q) in queries.iter().enumerate() {
         let g = synthetic_graph(&SyntheticConfig {
             num_vertices: 70,
@@ -205,7 +209,9 @@ fn counting_matches_enumeration_for_all_cfl_variants() {
         MatchConfig::variant_match().with_budget(Budget::UNLIMITED),
         MatchConfig::variant_cf_match().with_budget(Budget::UNLIMITED),
     ] {
-        let counted = cfl_match::count_embeddings(&q, &g, &cfg).unwrap().embeddings;
+        let counted = cfl_match::count_embeddings(&q, &g, &cfg)
+            .unwrap()
+            .embeddings;
         let (embs, _) = cfl_match::collect_embeddings(&q, &g, &cfg).unwrap();
         assert_eq!(counted, embs.len() as u64, "config {cfg:?}");
     }

@@ -17,11 +17,8 @@ fn connected_graph(
     n_range.prop_flat_map(move |n| {
         let labels = proptest::collection::vec(0..num_labels, n);
         // Random spanning tree: parent[i] < i; plus random extra edges.
-        let parents: Vec<BoxedStrategy<u32>> = (1..n)
-            .map(|i| (0..i as u32).boxed())
-            .collect();
-        let extras =
-            proptest::collection::vec((0..n as u32, 0..n as u32), 0..=extra_edges);
+        let parents: Vec<BoxedStrategy<u32>> = (1..n).map(|i| (0..i as u32).boxed()).collect();
+        let extras = proptest::collection::vec((0..n as u32, 0..n as u32), 0..=extra_edges);
         (labels, parents, extras).prop_map(move |(labels, parents, extras)| {
             let mut edges: Vec<(VertexId, VertexId)> = parents
                 .iter()
@@ -79,11 +76,13 @@ proptest! {
         let mut cfl: Vec<Vec<u32>> = embs.into_iter().map(|e| e.mapping).collect();
         cfl.sort();
         let mut vf2 = Vec::new();
-        Vf2.find(&q, &g, Budget::UNLIMITED, &mut |m| {
-            vf2.push(m.to_vec());
-            true
-        })
-        .unwrap();
+        let vf2_report = Vf2
+            .find(&q, &g, Budget::UNLIMITED, &mut |m| {
+                vf2.push(m.to_vec());
+                true
+            })
+            .unwrap();
+        prop_assert!(vf2_report.outcome.is_complete());
         vf2.sort();
         prop_assert_eq!(cfl, vf2);
     }

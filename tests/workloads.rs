@@ -190,7 +190,10 @@ fn engine_times_out_gracefully() {
         .with_budget(Budget::UNLIMITED.with_time_limit(Duration::from_millis(50)));
     let report = cfl_match::count_embeddings(&q, &g, &cfg).unwrap();
     assert_eq!(report.outcome, cfl_match::MatchOutcome::TimedOut);
-    assert!(report.embeddings > 0, "made some progress before timing out");
+    assert!(
+        report.embeddings > 0,
+        "made some progress before timing out"
+    );
 }
 
 #[test]
@@ -230,10 +233,9 @@ fn parallel_agrees_with_serial_on_workload() {
         let serial = cfl_match::count_embeddings(&q, &g, &MatchConfig::exhaustive())
             .unwrap()
             .embeddings;
-        let parallel =
-            cfl_match::count_embeddings_parallel(&q, &g, &MatchConfig::exhaustive(), 4)
-                .unwrap()
-                .embeddings;
+        let parallel = cfl_match::count_embeddings_parallel(&q, &g, &MatchConfig::exhaustive(), 4)
+            .unwrap()
+            .embeddings;
         assert_eq!(serial, parallel);
     }
 }
