@@ -78,8 +78,10 @@ impl Matcher for GraphQl {
 
 /// Profile filter + pseudo-isomorphism refinement.
 fn build_candidates(q: &Graph, g: &Graph) -> Vec<Vec<VertexId>> {
-    let q_nlf = NlfIndex::build(q);
-    let g_nlf = NlfIndex::build(g);
+    let q_tables = q.stat_tables();
+    let g_tables = g.stat_tables();
+    let q_nlf = &q_tables.nlf;
+    let g_nlf = &g_tables.nlf;
 
     // Seed: label + degree + profile (NLF) domination.
     let mut candidates: Vec<Vec<VertexId>> = q

@@ -63,9 +63,13 @@ impl Matcher for TurboIso {
             return Ok(ctl.into_report(ControlFlow::Break(Stop), total_start.elapsed()));
         }
 
-        let g_labels = LabelIndex::build(g);
-        let g_nlf = NlfIndex::build(g);
-        let q_nlf = NlfIndex::build(q);
+        // Shared memoized tables: repeated queries against the same data
+        // graph reuse the label index and NLF signatures.
+        let g_tables = g.stat_tables();
+        let q_tables = q.stat_tables();
+        let g_labels = &g_tables.label_index;
+        let g_nlf = &g_tables.nlf;
+        let q_nlf = &q_tables.nlf;
 
         // Start-vertex selection: argmin freq(l(u)) / d(u).
         let Some(us) = q.vertices().min_by(|&a, &b| {

@@ -1,0 +1,177 @@
+//! Tracked hot-path benchmark driver: runs the [`cfl_bench::hotpath`]
+//! suite and writes the results as JSON, optionally merging a previously
+//! recorded baseline and computing per-benchmark speedups.
+//!
+//! ```text
+//! hotpath [--quick] [--out FILE] [--baseline FILE]
+//!
+//!   --quick           CI smoke mode: tiny workload, few reps
+//!   --out FILE        write JSON here (default: stdout)
+//!   --baseline FILE   a previous --out file; its "current" section is
+//!                     embedded as "baseline" and speedups are computed
+//! ```
+
+use std::fmt::Write as _;
+
+use cfl_bench::hotpath::{run_suite, Measurement};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned();
+            }
+            "--baseline" => {
+                i += 1;
+                baseline = args.get(i).cloned();
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let results = run_suite(quick);
+    for (name, m) in &results {
+        eprintln!(
+            "{name:<22} min {:>12} ns   mean {:>12} ns   checksum {}",
+            m.min_ns, m.mean_ns, m.checksum
+        );
+    }
+
+    let baseline_json = baseline.map(|path| {
+        std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"))
+    });
+    let json = render(quick, &results, baseline_json.as_deref());
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+/// Renders the results (plus the optional baseline's "current" section and
+/// min-time speedups) as a stable, human-diffable JSON document.
+fn render(quick: bool, results: &[(&'static str, Measurement)], baseline: Option<&str>) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"suite\": \"hotpath\",");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(
+        s,
+        "  \"workload\": \"cached synthetic graph (see cfl_bench::hotpath::HotpathWorkload::standard); min-of-reps wall clock\","
+    );
+
+    let base = baseline.map(parse_current);
+    if let Some(base) = &base {
+        s.push_str("  \"baseline\": {\n");
+        for (i, (name, m)) in base.iter().enumerate() {
+            let comma = if i + 1 < base.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    \"{name}\": {{ \"min_ns\": {}, \"mean_ns\": {}, \"checksum\": {} }}{comma}",
+                m.min_ns, m.mean_ns, m.checksum
+            );
+        }
+        s.push_str("  },\n");
+    }
+
+    s.push_str("  \"current\": {\n");
+    for (i, (name, m)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    \"{name}\": {{ \"min_ns\": {}, \"mean_ns\": {}, \"checksum\": {} }}{comma}",
+            m.min_ns, m.mean_ns, m.checksum
+        );
+    }
+    if let Some(base) = &base {
+        s.push_str("  },\n");
+        s.push_str("  \"speedup_min\": {\n");
+        let pairs: Vec<(&str, f64)> = results
+            .iter()
+            .filter_map(|(name, m)| {
+                base.iter()
+                    .find(|(bn, _)| bn == name)
+                    .map(|(_, bm)| (*name, bm.min_ns as f64 / m.min_ns.max(1) as f64))
+            })
+            .collect();
+        for (i, (name, sp)) in pairs.iter().enumerate() {
+            let comma = if i + 1 < pairs.len() { "," } else { "" };
+            let _ = writeln!(s, "    \"{name}\": {sp:.3}{comma}");
+        }
+        s.push_str("  }\n");
+    } else {
+        s.push_str("  }\n");
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Extracts the `"current"` section of a previous run's JSON. Handwritten
+/// because the workspace carries no JSON dependency; the format is exactly
+/// what [`render`] emits.
+fn parse_current(json: &str) -> Vec<(String, Measurement)> {
+    let Some(start) = json.find("\"current\"") else {
+        return Vec::new();
+    };
+    let section = &json[start..];
+    let end = section.find('}').map_or(section.len(), |_| {
+        // The section ends at the first `}` that closes the object opened
+        // after "current": entries are one-line objects, so scan lines.
+        section.len()
+    });
+    let mut out = Vec::new();
+    for line in section[..end].lines().skip(1) {
+        let line = line.trim();
+        if line.starts_with('}') {
+            break;
+        }
+        let Some((name, rest)) = parse_entry(line) else {
+            continue;
+        };
+        out.push((name, rest));
+    }
+    out
+}
+
+/// Parses one `"name": { "min_ns": A, "mean_ns": B, "checksum": C }` line.
+fn parse_entry(line: &str) -> Option<(String, Measurement)> {
+    let rest = line.strip_prefix('"')?;
+    let (name, rest) = rest.split_once('"')?;
+    let min_ns = field(rest, "min_ns")?;
+    let mean_ns = field(rest, "mean_ns")?;
+    let checksum = field(rest, "checksum")?;
+    Some((
+        name.to_string(),
+        Measurement {
+            min_ns,
+            mean_ns,
+            checksum,
+        },
+    ))
+}
+
+fn field(s: &str, key: &str) -> Option<u64> {
+    let at = s.find(&format!("\"{key}\""))?;
+    let tail = &s[at..];
+    let colon = tail.find(':')?;
+    let digits: String = tail[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}

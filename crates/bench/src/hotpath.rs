@@ -1,0 +1,201 @@
+//! Tracked hot-path microbenchmarks.
+//!
+//! One fixed, cached workload (see [`HotpathWorkload::standard`]) drives
+//! four measurements — CPI construction, core-heavy matching, leaf-heavy
+//! matching, and end-to-end comparisons against the VF2 and TurboISO
+//! baselines — that every perf-sensitive PR records into a `BENCH_*.json`
+//! file at the repo root. The `hotpath` binary (and the criterion bench of
+//! the same name) both run these functions, so the tracked JSON numbers and
+//! the interactive bench agree by construction.
+//!
+//! The data graph and query sets are cached through
+//! [`cfl_datasets::cached_synthetic`] keyed by generator params + seed, so
+//! repeated runs skip regeneration and measure against bit-identical
+//! inputs.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use cfl_baselines::{Matcher, TurboIso, Vf2};
+use cfl_datasets::cached_synthetic;
+use cfl_graph::{query_set, Graph, QueryDensity, SyntheticConfig};
+use cfl_match::{count_embeddings, Budget, Cpi, CpiMode, FilterContext, GraphStats, MatchConfig};
+
+/// The fixed benchmark inputs: one cached synthetic data graph plus dense
+/// (core-heavy) and sparse (leaf-heavy) query sets extracted from it.
+pub struct HotpathWorkload {
+    /// The data graph.
+    pub g: Graph,
+    /// Non-sparse queries exercising core-match (non-tree-edge checks).
+    pub dense: Vec<Graph>,
+    /// Sparse queries exercising forest- and leaf-match.
+    pub sparse: Vec<Graph>,
+}
+
+/// Where generated benchmark graphs are cached between runs.
+pub fn cache_dir() -> PathBuf {
+    // target/ sits next to the workspace Cargo.toml two levels up from this
+    // crate; fall back to the system temp dir if the layout ever changes.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let target = manifest.join("../../target");
+    if target.is_dir() {
+        target.join("bench-cache")
+    } else {
+        std::env::temp_dir().join("cfl-bench-cache")
+    }
+}
+
+impl HotpathWorkload {
+    /// The standard tracked workload. `quick` shrinks everything (~20×) for
+    /// CI smoke runs; tracked numbers always use `quick = false`.
+    pub fn standard(quick: bool) -> Self {
+        let cfg = if quick {
+            SyntheticConfig {
+                num_vertices: 2_000,
+                avg_degree: 8.0,
+                num_labels: 12,
+                label_exponent: 1.0,
+                twin_fraction: 0.1,
+                seed: 4242,
+            }
+        } else {
+            SyntheticConfig {
+                num_vertices: 30_000,
+                avg_degree: 8.0,
+                num_labels: 24,
+                label_exponent: 1.0,
+                twin_fraction: 0.1,
+                seed: 4242,
+            }
+        };
+        let g = cached_synthetic(cache_dir(), &cfg).unwrap_or_else(|_| {
+            // Cache directory unavailable (read-only checkout): generate.
+            cfl_graph::synthetic_graph(&cfg)
+        });
+        let n = if quick { 2 } else { 5 };
+        let dense = query_set(&g, 10, QueryDensity::NonSparse, n, 7);
+        let sparse = query_set(&g, 12, QueryDensity::Sparse, n, 11);
+        HotpathWorkload { g, dense, sparse }
+    }
+}
+
+/// One pass of the CPI-build measurement: constructs the refined CPI for
+/// every dense query and returns the total candidate count (as a sink the
+/// optimizer cannot remove).
+pub fn cpi_build_once(w: &HotpathWorkload, g_stats: &GraphStats) -> u64 {
+    let mut total = 0u64;
+    for q in w.dense.iter().chain(&w.sparse) {
+        let q_stats = GraphStats::build(q);
+        let ctx = FilterContext::new(q, &w.g, &q_stats, g_stats);
+        let core = cfl_graph::two_core(q);
+        let eligible: Vec<u32> = if core.contains(&true) {
+            (0..q.num_vertices() as u32)
+                .filter(|&v| core[v as usize])
+                .collect()
+        } else {
+            (0..q.num_vertices() as u32).collect()
+        };
+        let root = cfl_match::select_root(&ctx, &eligible);
+        let cpi = Cpi::build(&ctx, root, CpiMode::TopDownRefined);
+        total = total.wrapping_add(cpi.total_candidates());
+    }
+    total
+}
+
+/// One pass of the core-match measurement: counts embeddings of every dense
+/// query (capped), exercising row walks, visited checks, and non-tree-edge
+/// validation.
+pub fn core_match_once(w: &HotpathWorkload, cap: u64) -> u64 {
+    let cfg = MatchConfig::exhaustive().with_budget(Budget::first(cap));
+    let mut total = 0u64;
+    for q in &w.dense {
+        total = total.wrapping_add(count_embeddings(q, &w.g, &cfg).map_or(0, |r| r.embeddings));
+    }
+    total
+}
+
+/// One pass of the leaf-match measurement: counts embeddings of every
+/// sparse query (capped), exercising forest-match and the combinatorial
+/// leaf phase.
+pub fn leaf_match_once(w: &HotpathWorkload, cap: u64) -> u64 {
+    let cfg = MatchConfig::exhaustive().with_budget(Budget::first(cap));
+    let mut total = 0u64;
+    for q in &w.sparse {
+        total = total.wrapping_add(count_embeddings(q, &w.g, &cfg).map_or(0, |r| r.embeddings));
+    }
+    total
+}
+
+/// One pass of an end-to-end baseline comparison (capped count over the
+/// sparse queries) for a named matcher.
+pub fn end_to_end_once(w: &HotpathWorkload, matcher: &dyn Matcher, cap: u64) -> u64 {
+    let mut total = 0u64;
+    for q in &w.sparse {
+        total = total.wrapping_add(
+            matcher
+                .count(q, &w.g, Budget::first(cap))
+                .map_or(0, |r| r.embeddings),
+        );
+    }
+    total
+}
+
+/// The result of one timed measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Best (minimum) wall-clock nanoseconds per pass over `reps` passes —
+    /// the noise-robust statistic tracked in `BENCH_*.json`.
+    pub min_ns: u64,
+    /// Mean nanoseconds per pass.
+    pub mean_ns: u64,
+    /// Checksum of the measured computation (guards against the workload
+    /// silently changing between commits).
+    pub checksum: u64,
+}
+
+/// Times `f` for `reps` passes after one warm-up pass.
+pub fn measure(reps: usize, mut f: impl FnMut() -> u64) -> Measurement {
+    let checksum = std::hint::black_box(f()); // warm-up
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        samples.push(start.elapsed().as_nanos() as u64);
+    }
+    let min_ns = samples.iter().copied().min().unwrap_or(0);
+    let mean_ns = samples.iter().copied().sum::<u64>() / samples.len() as u64;
+    Measurement {
+        min_ns,
+        mean_ns,
+        checksum,
+    }
+}
+
+/// A full suite run: every tracked measurement, by name.
+pub fn run_suite(quick: bool) -> Vec<(&'static str, Measurement)> {
+    let w = HotpathWorkload::standard(quick);
+    let g_stats = GraphStats::build(&w.g);
+    let reps = if quick { 3 } else { 7 };
+    let cap = if quick { 20_000 } else { 200_000 };
+    let vf2 = Vf2;
+    let turbo = TurboIso;
+    vec![
+        ("cpi_build", measure(reps, || cpi_build_once(&w, &g_stats))),
+        ("core_match", measure(reps, || core_match_once(&w, cap))),
+        ("leaf_match", measure(reps, || leaf_match_once(&w, cap))),
+        (
+            "end_to_end_cfl",
+            measure(reps, || {
+                leaf_match_once(&w, cap).wrapping_add(core_match_once(&w, cap))
+            }),
+        ),
+        (
+            "end_to_end_vf2",
+            measure(reps, || end_to_end_once(&w, &vf2, cap)),
+        ),
+        (
+            "end_to_end_turboiso",
+            measure(reps, || end_to_end_once(&w, &turbo, cap)),
+        ),
+    ]
+}

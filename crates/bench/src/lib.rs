@@ -8,6 +8,7 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod experiments;
+pub mod hotpath;
 pub mod runner;
 pub mod table;
 

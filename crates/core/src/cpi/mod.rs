@@ -10,6 +10,25 @@
 //! the structure with no hashing. Total size is `O(|E(G)| · |V(q)|)`
 //! (Section 4.1) — the paper's replacement for TurboISO's worst-case
 //! exponential materialized path embeddings.
+//!
+//! # Memory layout
+//!
+//! The finalized index is four flat arenas in CSR style — no nested `Vec`s,
+//! no per-row allocations, no pointer chasing on the enumeration hot path:
+//!
+//! ```text
+//! cand_data:    [ u0.C … | u1.C … | u2.C … ]          candidate arena
+//! cand_offsets: [ 0, |u0.C|, |u0.C|+|u1.C|, … ]        n+1 entries
+//! row_data:     [ rows of u1 … | rows of u2 … ]        adjacency arena
+//! row_offsets:  [ block(u1) | block(u2) | … ]          absolute offsets
+//! row_starts:   [ start of each vertex's block ]       n+1 entries
+//! ```
+//!
+//! For a non-root `u` with parent `p`, `u`'s *offset block* is
+//! `row_offsets[row_starts[u] .. row_starts[u+1]]` and has `|p.C| + 1`
+//! entries; consecutive entries delimit `row_data` slices holding
+//! `N_u^{u.p}(v)` for each parent candidate `v` in order. The root's block
+//! is empty. All four arenas are built once in [`CpiBuilder::freeze`].
 
 mod naive;
 mod refine;
@@ -22,17 +41,24 @@ use cfl_graph::{BfsTree, Graph, VertexId};
 use crate::config::CpiMode;
 use crate::filters::FilterContext;
 
-/// The finalized, immutable compact path-index.
+/// The finalized, immutable compact path-index (flat arena layout; see the
+/// module docs for the exact shape).
 pub struct Cpi {
     /// The BFS tree of the query the index mirrors.
     pub tree: BfsTree,
-    /// `candidates[u]` = the candidate set `u.C`, in ascending vertex order.
-    candidates: Vec<Vec<VertexId>>,
-    /// For non-root `u` with parent `p`: `row_offsets[u]` has length
-    /// `|p.C| + 1`, delimiting `row_data[u]` slices per parent candidate.
-    row_offsets: Vec<Vec<u32>>,
-    /// Positions into `candidates[u]`.
-    row_data: Vec<Vec<u32>>,
+    /// Candidate arena: `u.C` slices back to back, ascending vertex order
+    /// within each slice.
+    cand_data: Vec<VertexId>,
+    /// `cand_data` CSR offsets, one entry per query vertex plus a sentinel.
+    cand_offsets: Vec<u32>,
+    /// Adjacency arena: positions into the owning child's candidate slice.
+    row_data: Vec<u32>,
+    /// Concatenated per-vertex offset blocks; entries are absolute offsets
+    /// into `row_data`.
+    row_offsets: Vec<u32>,
+    /// `row_offsets[row_starts[u]..row_starts[u+1]]` is `u`'s offset block
+    /// (`|p.C| + 1` entries for non-root `u`, empty for the root).
+    row_starts: Vec<u32>,
 }
 
 impl Cpi {
@@ -42,15 +68,15 @@ impl Cpi {
         match mode {
             CpiMode::Naive => naive::build_naive(ctx, root),
             CpiMode::TopDown => {
-                let mut scaffold = topdown::top_down(ctx, root);
-                scaffold.prune_unreachable();
-                scaffold.finalize(ctx.q)
+                let mut builder = topdown::top_down(ctx, root);
+                builder.prune_unreachable();
+                builder.freeze(ctx.q, ctx.g)
             }
             CpiMode::TopDownRefined => {
-                let mut scaffold = topdown::top_down(ctx, root);
-                refine::bottom_up(ctx, &mut scaffold);
-                scaffold.prune_unreachable();
-                scaffold.finalize(ctx.q)
+                let mut builder = topdown::top_down(ctx, root);
+                refine::bottom_up(ctx, &mut builder);
+                builder.prune_unreachable();
+                builder.freeze(ctx.q, ctx.g)
             }
         }
     }
@@ -58,15 +84,24 @@ impl Cpi {
     /// Candidate set of query vertex `u`.
     #[inline]
     pub fn candidates(&self, u: VertexId) -> &[VertexId] {
-        &self.candidates[u as usize]
+        let u = u as usize;
+        let lo = self.cand_offsets[u] as usize;
+        let hi = self.cand_offsets[u + 1] as usize;
+        &self.cand_data[lo..hi]
     }
 
     /// Adjacency list `N_u^{u.p}(v)` where `v` is the parent candidate at
     /// `parent_pos`; entries are positions into `candidates(u)`.
+    ///
+    /// The offset block of `u` is contiguous in `row_offsets`, so the two
+    /// bounds come from one cache line in the common case and the arena
+    /// slice needs no per-row indirection.
     #[inline]
     pub fn row(&self, u: VertexId, parent_pos: usize) -> &[u32] {
-        let offs = &self.row_offsets[u as usize];
-        &self.row_data[u as usize][offs[parent_pos] as usize..offs[parent_pos + 1] as usize]
+        let base = self.row_starts[u as usize] as usize + parent_pos;
+        let lo = self.row_offsets[base] as usize;
+        let hi = self.row_offsets[base + 1] as usize;
+        &self.row_data[lo..hi]
     }
 
     /// CPI tree parent of `u` (`None` for the root).
@@ -84,38 +119,32 @@ impl Cpi {
     /// Whether some query vertex ended up with an empty candidate set
     /// (which proves zero embeddings by soundness).
     pub fn has_empty_candidate_set(&self) -> bool {
-        self.candidates.iter().any(Vec::is_empty)
+        self.cand_offsets.windows(2).any(|w| w[0] == w[1])
     }
 
     /// Total number of candidate entries over all query vertices.
     pub fn total_candidates(&self) -> u64 {
-        self.candidates.iter().map(|c| c.len() as u64).sum()
+        self.cand_data.len() as u64
     }
 
     /// Total number of adjacency-list entries.
     pub fn total_edges(&self) -> u64 {
-        self.row_data.iter().map(|r| r.len() as u64).sum()
+        self.row_data.len() as u64
+    }
+
+    /// Arena lengths `(candidates, row entries)` straight from the flat
+    /// storage — cross-checked by `cfl-verify` against the per-vertex views.
+    pub fn arena_totals(&self) -> (u64, u64) {
+        (self.cand_data.len() as u64, self.row_data.len() as u64)
     }
 
     /// Estimated heap footprint in bytes (the index-size metric of
     /// Figure 16(d)).
     pub fn memory_bytes(&self) -> u64 {
-        let cand: u64 = self
-            .candidates
-            .iter()
-            .map(|c| (c.len() * std::mem::size_of::<VertexId>()) as u64)
-            .sum();
-        let offs: u64 = self
-            .row_offsets
-            .iter()
-            .map(|o| (o.len() * std::mem::size_of::<u32>()) as u64)
-            .sum();
-        let rows: u64 = self
-            .row_data
-            .iter()
-            .map(|r| (r.len() * std::mem::size_of::<u32>()) as u64)
-            .sum();
-        cand + offs + rows
+        ((self.cand_data.len() * std::mem::size_of::<VertexId>())
+            + (self.cand_offsets.len() + self.row_data.len() + self.row_offsets.len())
+                * std::mem::size_of::<u32>()
+            + self.row_starts.len() * std::mem::size_of::<u32>()) as u64
     }
 }
 
@@ -123,28 +152,49 @@ impl Cpi {
 ///
 /// Each mutator plants one precise structural defect while keeping the
 /// index mechanically navigable, so tests can assert that the `cfl-verify`
-/// checkers detect exactly the planted violation.
+/// checkers detect exactly the planted violation. The mutators operate
+/// directly on the flat arenas, shifting offsets to keep every other slice
+/// intact.
 #[cfg(feature = "validate")]
 impl Cpi {
     /// Injects `v` into `u.C` (keeping sort order) without linking it to
     /// any adjacency row. Detected as `cand-orphan`, plus a filter
-    /// violation when `v` fails the candidate filters. Children's row
-    /// offsets gain an empty row so the structure stays navigable.
+    /// violation when `v` fails the candidate filters. Children's offset
+    /// blocks gain an empty row so the structure stays navigable.
     pub fn corrupt_inject_candidate(&mut self, u: VertexId, v: VertexId) {
-        let Err(pos) = self.candidates[u as usize].binary_search(&v) else {
+        let Err(pos) = self.candidates(u).binary_search(&v) else {
             return; // already a candidate; nothing to inject
         };
-        self.candidates[u as usize].insert(pos, v);
-        for p in &mut self.row_data[u as usize] {
-            if *p as usize >= pos {
-                *p += 1;
+        let ui = u as usize;
+        // Re-point u's own rows at the soon-to-be-shifted positions. Non-root
+        // blocks end one entry before the next block starts, so the data span
+        // is delimited by the block's first and last offsets.
+        let block_lo = self.row_starts[ui] as usize;
+        let block_hi = self.row_starts[ui + 1] as usize;
+        if block_lo < block_hi {
+            let lo = self.row_offsets[block_lo] as usize;
+            let hi = self.row_offsets[block_hi - 1] as usize;
+            for p in &mut self.row_data[lo..hi] {
+                if *p as usize >= pos {
+                    *p += 1;
+                }
             }
         }
+        let at = self.cand_offsets[ui] as usize + pos;
+        self.cand_data.insert(at, v);
+        for o in &mut self.cand_offsets[ui + 1..] {
+            *o += 1;
+        }
+        // Each child's offset block grows by one empty row at `pos + 1`.
         let children: Vec<VertexId> = self.tree.children(u).to_vec();
         for c in children {
-            let offs = &mut self.row_offsets[c as usize];
-            let at = offs[pos];
-            offs.insert(pos + 1, at);
+            let ci = c as usize;
+            let block = self.row_starts[ci] as usize;
+            let dup = self.row_offsets[block + pos];
+            self.row_offsets.insert(block + pos + 1, dup);
+            for s in &mut self.row_starts[ci + 1..] {
+                *s += 1;
+            }
         }
     }
 
@@ -154,10 +204,14 @@ impl Cpi {
     /// # Panics
     /// When the targeted row is empty.
     pub fn corrupt_row_position(&mut self, u: VertexId, parent_pos: usize) {
-        let offs = &self.row_offsets[u as usize];
-        let (start, end) = (offs[parent_pos] as usize, offs[parent_pos + 1] as usize);
+        let base = self.row_starts[u as usize] as usize + parent_pos;
+        let (start, end) = (
+            self.row_offsets[base] as usize,
+            self.row_offsets[base + 1] as usize,
+        );
         assert!(start < end, "row must be non-empty to corrupt");
-        self.row_data[u as usize][start] = self.candidates[u as usize].len() as u32;
+        let bad = self.candidates(u).len() as u32;
+        self.row_data[start] = bad;
     }
 
     /// Deletes the last entry of `u`'s adjacency row for `parent_pos`,
@@ -167,24 +221,31 @@ impl Cpi {
     /// # Panics
     /// When the targeted row is empty.
     pub fn corrupt_drop_row_entry(&mut self, u: VertexId, parent_pos: usize) {
-        let offs = &self.row_offsets[u as usize];
-        let (start, end) = (offs[parent_pos] as usize, offs[parent_pos + 1] as usize);
+        let base = self.row_starts[u as usize] as usize + parent_pos;
+        let (start, end) = (
+            self.row_offsets[base] as usize,
+            self.row_offsets[base + 1] as usize,
+        );
         assert!(start < end, "row must be non-empty to corrupt");
-        self.row_data[u as usize].remove(end - 1);
-        for o in &mut self.row_offsets[u as usize][parent_pos + 1..] {
-            *o -= 1;
+        self.row_data.remove(end - 1);
+        // Offsets are absolute into the shared arena: every offset past the
+        // removed entry shifts down by one, across all blocks.
+        for o in &mut self.row_offsets {
+            if *o as usize >= end {
+                *o -= 1;
+            }
         }
     }
 }
 
 /// Mutable CPI under construction: candidates carry alive flags and
-/// adjacency rows store raw vertex ids. [`CpiScaffold::finalize`] compacts
-/// to the position-based representation, dropping pruned candidates and
-/// dangling adjacency entries.
-pub(crate) struct CpiScaffold {
+/// adjacency rows store raw vertex ids. [`CpiBuilder::freeze`] compacts
+/// everything into the flat arena representation, dropping pruned
+/// candidates and dangling adjacency entries.
+pub(crate) struct CpiBuilder {
     pub tree: BfsTree,
     /// Per query vertex: candidate vertex ids (construction order; sorted at
-    /// finalize time).
+    /// freeze time).
     pub candidates: Vec<Vec<VertexId>>,
     /// Parallel alive flags (bottom-up refinement prunes by flipping these).
     pub alive: Vec<Vec<bool>>,
@@ -193,9 +254,9 @@ pub(crate) struct CpiScaffold {
     pub rows: Vec<Vec<Vec<VertexId>>>,
 }
 
-impl CpiScaffold {
+impl CpiBuilder {
     pub(crate) fn new(tree: BfsTree, n: usize) -> Self {
-        CpiScaffold {
+        CpiBuilder {
             tree,
             candidates: vec![Vec::new(); n],
             alive: vec![Vec::new(); n],
@@ -255,12 +316,110 @@ impl CpiScaffold {
         }
     }
 
-    /// Compacts into the final position-based [`Cpi`].
-    pub(crate) fn finalize(self, q: &Graph) -> Cpi {
+    /// Freezes the builder into the final flat-arena [`Cpi`].
+    ///
+    /// Single pass per query vertex: sort the surviving candidates, build a
+    /// data-vertex → position lookup in a shared `|V(G)|`-sized scratch
+    /// array (replacing the per-entry binary searches of the nested
+    /// builder), then append every adjacency row to the `row_data` arena in
+    /// final parent order. All allocations are amortized: four arenas total
+    /// instead of `O(|V(q)| · |p.C|)` row vectors.
+    pub(crate) fn freeze(self, q: &Graph, g: &Graph) -> Cpi {
         let n = q.num_vertices();
-        // Sort alive candidates per vertex and build per-data-vertex position
-        // lookups lazily with a scratch map (queries are processed one vertex
-        // at a time, so one scratch map suffices).
+        let mut cand_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut cand_data: Vec<VertexId> = Vec::new();
+        cand_offsets.push(0);
+        for u in 0..n {
+            cand_data.extend(
+                self.candidates[u]
+                    .iter()
+                    .zip(&self.alive[u])
+                    .filter_map(|(&v, &a)| a.then_some(v)),
+            );
+            let lo = cand_offsets[u] as usize;
+            cand_data[lo..].sort_unstable();
+            cand_offsets.push(cand_data.len() as u32);
+        }
+
+        // Scratch: data vertex -> final position within the current child's
+        // candidate slice (u32::MAX = not a candidate). One allocation for
+        // the whole freeze; reset per child by walking the child's slice.
+        let mut pos_of: Vec<u32> = vec![u32::MAX; g.num_vertices()];
+
+        let mut row_starts: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut row_offsets: Vec<u32> = Vec::new();
+        let mut row_data: Vec<u32> = Vec::new();
+        row_starts.push(0);
+        // Scratch: final parent order (original indices of alive parent
+        // candidates sorted by vertex id), rebuilt per vertex.
+        let mut order: Vec<u32> = Vec::new();
+        for u in 0..n as VertexId {
+            let Some(parent) = self.tree.parent(u) else {
+                row_starts.push(row_offsets.len() as u32);
+                continue;
+            };
+            let parent = parent as usize;
+            let ui = u as usize;
+            let child_lo = cand_offsets[ui] as usize;
+            let child_hi = cand_offsets[ui + 1] as usize;
+            for (pos, &v) in cand_data[child_lo..child_hi].iter().enumerate() {
+                pos_of[v as usize] = pos as u32;
+            }
+
+            // Rows are indexed by the *original* parent candidate order;
+            // emit them in the final (sorted, alive-only) parent order.
+            let orig_parent = &self.candidates[parent];
+            let parent_alive = &self.alive[parent];
+            order.clear();
+            order.extend((0..orig_parent.len() as u32).filter(|&i| parent_alive[i as usize]));
+            order.sort_unstable_by_key(|&i| orig_parent[i as usize]);
+            debug_assert_eq!(
+                order.len(),
+                (cand_offsets[parent + 1] - cand_offsets[parent]) as usize
+            );
+
+            row_offsets.push(row_data.len() as u32);
+            for &i in &order {
+                if let Some(row) = self.rows[ui].get(i as usize) {
+                    for &v in row {
+                        let pos = pos_of[v as usize];
+                        if pos != u32::MAX {
+                            row_data.push(pos);
+                        }
+                    }
+                }
+                row_offsets.push(row_data.len() as u32);
+            }
+            row_starts.push(row_offsets.len() as u32);
+
+            for &v in &cand_data[child_lo..child_hi] {
+                pos_of[v as usize] = u32::MAX;
+            }
+        }
+
+        Cpi {
+            tree: self.tree,
+            cand_data,
+            cand_offsets,
+            row_data,
+            row_offsets,
+            row_starts,
+        }
+    }
+
+    /// Reference freeze producing the pre-arena nested representation:
+    /// per-vertex candidate vectors, per-vertex offset vectors (relative to
+    /// that vertex's own row data), and per-vertex row-data vectors.
+    ///
+    /// Kept as the differential oracle for the flat layout: tests assert
+    /// [`CpiBuilder::freeze`] output is element-for-element equal.
+    #[cfg(test)]
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn freeze_nested(
+        &self,
+        q: &Graph,
+    ) -> (Vec<Vec<VertexId>>, Vec<Vec<u32>>, Vec<Vec<u32>>) {
+        let n = q.num_vertices();
         let mut final_cands: Vec<Vec<VertexId>> = Vec::with_capacity(n);
         for u in 0..n {
             let mut c: Vec<VertexId> = self.candidates[u]
@@ -280,17 +439,12 @@ impl CpiScaffold {
             };
             let parent = parent as usize;
             let child_c = &final_cands[u as usize];
-            // Rows are indexed by the *original* parent candidate order;
-            // re-emit them in the final (sorted, alive-only) parent order.
             let orig_parent = &self.candidates[parent];
             let parent_alive = &self.alive[parent];
-            // Map original parent index -> row, then emit in sorted order of
-            // alive parent candidates.
             let mut order: Vec<usize> = (0..orig_parent.len())
                 .filter(|&i| parent_alive[i])
                 .collect();
             order.sort_unstable_by_key(|&i| orig_parent[i]);
-            debug_assert_eq!(order.len(), final_cands[parent].len());
 
             let mut offsets = Vec::with_capacity(order.len() + 1);
             let mut data: Vec<u32> = Vec::new();
@@ -309,12 +463,7 @@ impl CpiScaffold {
             row_data[u as usize] = data;
         }
 
-        Cpi {
-            tree: self.tree,
-            candidates: final_cands,
-            row_offsets,
-            row_data,
-        }
+        (final_cands, row_offsets, row_data)
     }
 }
 
@@ -324,6 +473,7 @@ mod tests {
     use crate::config::CpiMode;
     use crate::filters::{FilterContext, GraphStats};
     use cfl_graph::graph_from_edges;
+    use proptest::prelude::*;
 
     /// Paper Figure 7: query 0(A)-1(B), 0-2(C), 1-2, 1-3(D), 2-3 over the
     /// Figure 7(c) data graph.
@@ -419,6 +569,9 @@ mod tests {
         assert!(cpi.total_candidates() > 0);
         assert!(cpi.memory_bytes() >= cpi.total_candidates() * 4);
         assert!(!cpi.has_empty_candidate_set());
+        let (cands, edges) = cpi.arena_totals();
+        assert_eq!(cands, cpi.total_candidates());
+        assert_eq!(edges, cpi.total_edges());
     }
 
     #[test]
@@ -428,5 +581,80 @@ mod tests {
         let g = graph_from_edges(&[0, 1], &[(0, 1)]).unwrap();
         let cpi = build(&q, &g, CpiMode::TopDownRefined);
         assert!(cpi.has_empty_candidate_set());
+    }
+
+    /// Nested reference representation: per-vertex candidates, offsets, rows.
+    type Nested = (Vec<Vec<VertexId>>, Vec<Vec<u32>>, Vec<Vec<u32>>);
+
+    /// Asserts that `cpi` (flat arenas) is element-for-element equal to the
+    /// nested reference output `(cands, offsets, rows)`.
+    fn assert_matches_nested(q: &Graph, cpi: &Cpi, nested: &Nested) {
+        let (cands, offsets, rows) = nested;
+        for u in q.vertices() {
+            assert_eq!(cpi.candidates(u), cands[u as usize].as_slice(), "u{u}.C");
+            let Some(p) = cpi.parent(u) else {
+                continue;
+            };
+            let offs = &offsets[u as usize];
+            let data = &rows[u as usize];
+            assert_eq!(offs.len(), cands[p as usize].len() + 1, "u{u} block len");
+            for i in 0..cands[p as usize].len() {
+                let expect = &data[offs[i] as usize..offs[i + 1] as usize];
+                assert_eq!(cpi.row(u, i), expect, "u{u} row {i}");
+            }
+        }
+    }
+
+    /// Random connected labeled graph strategy (spanning tree + extras).
+    fn connected_graph(
+        n_range: std::ops::Range<usize>,
+        num_labels: u32,
+        extra_edges: usize,
+    ) -> impl Strategy<Value = Graph> {
+        n_range.prop_flat_map(move |n| {
+            let labels = proptest::collection::vec(0..num_labels, n);
+            let parents: Vec<BoxedStrategy<u32>> = (1..n).map(|i| (0..i as u32).boxed()).collect();
+            let extras = proptest::collection::vec((0..n as u32, 0..n as u32), 0..=extra_edges);
+            (labels, parents, extras).prop_map(move |(labels, parents, extras)| {
+                let mut edges: Vec<(VertexId, VertexId)> = parents
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| (p, (i + 1) as u32))
+                    .collect();
+                for (a, b) in extras {
+                    if a != b {
+                        edges.push((a, b));
+                    }
+                }
+                graph_from_edges(&labels, &edges).expect("valid endpoints")
+            })
+        })
+    }
+
+    proptest! {
+        /// The flat arena freeze is element-for-element equal to the naive
+        /// nested reference freeze, across modes and random graph pairs.
+        #[test]
+        fn flat_freeze_equals_nested_reference(
+            q in connected_graph(2..7, 3, 4),
+            g in connected_graph(7..20, 3, 14),
+        ) {
+            let qs = GraphStats::build(&q);
+            let gs = GraphStats::build(&g);
+            let ctx = FilterContext::new(&q, &g, &qs, &gs);
+            for refined in [false, true] {
+                let mut builder = topdown::top_down(&ctx, 0);
+                if refined {
+                    refine::bottom_up(&ctx, &mut builder);
+                }
+                builder.prune_unreachable();
+                let nested = builder.freeze_nested(&q);
+                let cpi = builder.freeze(&q, &g);
+                assert_matches_nested(&q, &cpi, &nested);
+                let (cands, edges) = cpi.arena_totals();
+                prop_assert_eq!(cands, cpi.total_candidates());
+                prop_assert_eq!(edges, cpi.total_edges());
+            }
+        }
     }
 }

@@ -7,7 +7,7 @@
 
 use cfl_graph::{BfsTree, VertexId};
 
-use super::{Cpi, CpiScaffold};
+use super::{Cpi, CpiBuilder};
 use crate::filters::FilterContext;
 
 /// Builds the naive CPI.
@@ -16,7 +16,7 @@ pub fn build_naive(ctx: &FilterContext<'_>, root: VertexId) -> Cpi {
     let g = ctx.g;
     let n = q.num_vertices();
     let tree = BfsTree::new(q, root);
-    let mut s = CpiScaffold::new(tree, n);
+    let mut s = CpiBuilder::new(tree, n);
 
     for u in 0..n as VertexId {
         s.candidates[u as usize] = ctx
@@ -43,7 +43,7 @@ pub fn build_naive(ctx: &FilterContext<'_>, root: VertexId) -> Cpi {
         s.rows[u as usize] = rows;
     }
 
-    s.finalize(q)
+    s.freeze(q, g)
 }
 
 #[cfg(test)]

@@ -4,16 +4,17 @@
 //! neighbor among the candidates of its children (downward tree edges and
 //! downward C-NTEs, Table 2). This pass walks the BFS tree bottom-up and
 //! prunes such candidates; adjacency-list pruning (lines 8–11) is realized
-//! by [`CpiScaffold::finalize`](super::CpiScaffold::finalize), which drops
-//! every entry touching a dead candidate.
+//! by [`CpiBuilder::prune_unreachable`](super::CpiBuilder::prune_unreachable)
+//! plus [`CpiBuilder::freeze`](super::CpiBuilder::freeze), which drops every
+//! entry touching a dead candidate.
 
 use cfl_graph::VertexId;
 
-use super::CpiScaffold;
+use super::CpiBuilder;
 use crate::filters::FilterContext;
 
-/// Runs Algorithm 4 over a top-down scaffold, flipping alive flags.
-pub(crate) fn bottom_up(ctx: &FilterContext<'_>, s: &mut CpiScaffold) {
+/// Runs Algorithm 4 over a top-down builder, flipping alive flags.
+pub(crate) fn bottom_up(ctx: &FilterContext<'_>, s: &mut CpiBuilder) {
     let q = ctx.q;
     let g = ctx.g;
     // The alive bitmaps must stay parallel to the candidate arrays — the

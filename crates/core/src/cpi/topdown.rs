@@ -12,7 +12,7 @@
 
 use cfl_graph::{BfsTree, Graph, VertexId};
 
-use super::CpiScaffold;
+use super::CpiBuilder;
 use crate::filters::FilterContext;
 
 /// Counter pass of Lemma 5.1 (Algorithm 3, lines 11–13): for every data
@@ -51,14 +51,14 @@ fn reset(cnt: &mut [u32], touched: &mut Vec<VertexId>) {
     touched.clear();
 }
 
-/// Runs Algorithm 3, producing a scaffold whose candidates are all alive.
-pub(crate) fn top_down(ctx: &FilterContext<'_>, root: VertexId) -> CpiScaffold {
+/// Runs Algorithm 3, producing a builder whose candidates are all alive.
+pub(crate) fn top_down(ctx: &FilterContext<'_>, root: VertexId) -> CpiBuilder {
     let q = ctx.q;
     let g = ctx.g;
     let n = q.num_vertices();
     let tree = BfsTree::new(q, root);
     debug_assert_eq!(tree.num_reached(), n, "query must be connected");
-    let mut s = CpiScaffold::new(tree, n);
+    let mut s = CpiBuilder::new(tree, n);
 
     // Root candidates (lines 1–2).
     for v in ctx.light_candidates(root) {

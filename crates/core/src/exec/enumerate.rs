@@ -11,7 +11,7 @@
 use std::ops::ControlFlow;
 use std::time::Instant;
 
-use cfl_graph::{Graph, VertexId};
+use cfl_graph::{FixedBitSet, Graph, VertexId};
 
 use super::leaf::LeafPhase;
 use crate::config::Budget;
@@ -37,8 +37,18 @@ pub(crate) struct Enumerator<'a, 's> {
     pub mapping: Vec<VertexId>,
     /// pos[u] = position of mapping[u] within `cpi.candidates(u)`.
     pub pos: Vec<u32>,
-    /// visited[v] = data vertex already used by the partial embedding.
-    pub visited: Vec<bool>,
+    /// Data vertices already used by the partial embedding. Word-packed so
+    /// the per-candidate membership test is one load + mask instead of a
+    /// byte access over a `|V(G)|`-sized `Vec<bool>`.
+    pub visited: FixedBitSet,
+    /// Whether query vertex `u` is the source of some `ValidateNT` check
+    /// (appears in a later order step's `checks` list).
+    is_check_source: Vec<bool>,
+    /// For each check source `u`: the data-graph neighborhood of `mapping[u]`
+    /// as a bitset, maintained while `u` is mapped. Turns every non-tree
+    /// edge probe from an `O(log d)` adjacency binary search into an O(1)
+    /// bit test. Non-sources carry zero-capacity (unallocated) sets.
+    nt_mask: Vec<FixedBitSet>,
 
     pub emitted: u64,
     pub nodes: u64,
@@ -62,6 +72,16 @@ impl<'a, 's> Enumerator<'a, 's> {
         sink: super::SinkRef<'s>,
     ) -> Self {
         let deadline = budget.time_limit.map(|d| Instant::now() + d);
+        let mut is_check_source = vec![false; q.num_vertices()];
+        for ov in &plan.vertices {
+            for &w in &ov.checks {
+                is_check_source[w as usize] = true;
+            }
+        }
+        let nt_mask = is_check_source
+            .iter()
+            .map(|&src| FixedBitSet::new(if src { g.num_vertices() } else { 0 }))
+            .collect();
         Enumerator {
             q,
             g,
@@ -71,7 +91,9 @@ impl<'a, 's> Enumerator<'a, 's> {
             leaf: LeafPhase::new(q.num_vertices()),
             mapping: vec![UNMAPPED; q.num_vertices()],
             pos: vec![0; q.num_vertices()],
-            visited: vec![false; g.num_vertices()],
+            visited: FixedBitSet::new(g.num_vertices()),
+            is_check_source,
+            nt_mask,
             emitted: 0,
             nodes: 0,
             nt_checks: 0,
@@ -98,10 +120,18 @@ impl<'a, 's> Enumerator<'a, 's> {
         }
     }
 
-    /// Like [`run`](Self::run), but restricted to the given positions of
-    /// the root's candidate set — the work-partitioning hook for parallel
-    /// enumeration (each worker owns a disjoint slice of root candidates).
-    pub(crate) fn run_roots(&mut self, roots: &[u32]) -> MatchOutcome {
+    /// Like [`run`](Self::run), but pulling root-candidate positions from a
+    /// shared atomic cursor — the work-stealing hook for parallel
+    /// enumeration. Each `fetch_add` claims the next unexplored root
+    /// candidate, so workers that finish cheap subtrees immediately steal
+    /// the next one instead of idling behind a static partition; the search
+    /// subtrees rooted at distinct root candidates are disjoint, so no
+    /// other coordination is needed.
+    pub(crate) fn run_stealing(
+        &mut self,
+        cursor: &std::sync::atomic::AtomicU64,
+        num_roots: usize,
+    ) -> MatchOutcome {
         if self.max_embeddings == 0 {
             return MatchOutcome::LimitReached;
         }
@@ -110,8 +140,12 @@ impl<'a, 's> Enumerator<'a, 's> {
             .vertices
             .first()
             .is_none_or(|ov| ov.parent.is_none()));
-        for &pos in roots {
-            match self.try_candidate(0, pos) {
+        loop {
+            let pos = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if pos >= num_roots as u64 {
+                return MatchOutcome::Complete;
+            }
+            match self.try_candidate(0, pos as u32) {
                 ControlFlow::Continue(()) => {}
                 ControlFlow::Break(Stop) => {
                     return if self.timed_out {
@@ -122,7 +156,6 @@ impl<'a, 's> Enumerator<'a, 's> {
                 }
             }
         }
-        MatchOutcome::Complete
     }
 
     fn out_of_time(&mut self) -> bool {
@@ -177,21 +210,34 @@ impl<'a, 's> Enumerator<'a, 's> {
         debug_assert!(ov
             .parent
             .is_none_or(|p| self.g.has_edge(self.mapping[p as usize], v)));
-        if self.visited[v as usize] {
+        if self.visited.contains(v) {
             return ControlFlow::Continue(());
         }
-        // ValidateNT: probe G for every non-tree edge to earlier vertices.
+        // ValidateNT: probe the maintained neighborhood bitset of every
+        // earlier non-tree endpoint — one bit test per check instead of a
+        // binary search over the mapped vertex's adjacency list.
         for &w in &ov.checks {
             self.nt_checks += 1;
-            if !self.g.has_edge(self.mapping[w as usize], v) {
+            debug_assert_eq!(
+                self.nt_mask[w as usize].contains(v),
+                self.g.has_edge(self.mapping[w as usize], v)
+            );
+            if !self.nt_mask[w as usize].contains(v) {
                 return ControlFlow::Continue(());
             }
         }
         self.mapping[u as usize] = v;
         self.pos[u as usize] = cand_pos;
-        self.visited[v as usize] = true;
+        self.visited.insert(v);
+        let check_source = self.is_check_source[u as usize];
+        if check_source {
+            self.nt_mask[u as usize].insert_all(self.g.neighbors(v));
+        }
         let r = self.extend(depth + 1);
-        self.visited[v as usize] = false;
+        if check_source {
+            self.nt_mask[u as usize].remove_all(self.g.neighbors(v));
+        }
+        self.visited.remove(v);
         self.mapping[u as usize] = UNMAPPED;
         r
     }

@@ -114,7 +114,7 @@ impl LeafPhase {
                 // Cheap invariant probe: `C(u) = N_u^{u.p}(M(u.p)) ∖ …`, so
                 // every unit candidate is adjacent to the mapped parent.
                 debug_assert!(en.data().has_edge(en.mapping[p as usize], v));
-                if !en.visited[v as usize] {
+                if !en.visited.contains(v) {
                     unit.cands.push(v);
                 }
             }
@@ -149,14 +149,14 @@ impl LeafPhase {
             (ui + 1, 0)
         };
         for &v in &unit.cands {
-            if en.visited[v as usize] {
+            if en.visited.contains(v) {
                 continue;
             }
             en.bump_node()?;
-            en.visited[v as usize] = true;
+            en.visited.insert(v);
             en.mapping[member as usize] = v;
             let r = self.assign(en, next_ui, next_mi);
-            en.visited[v as usize] = false;
+            en.visited.remove(v);
             en.mapping[member as usize] = UNMAPPED;
             r?;
         }
@@ -200,13 +200,13 @@ impl LeafPhase {
         }
         for i in start..=unit.cands.len() - remaining {
             let v = unit.cands[i];
-            if en.visited[v as usize] {
+            if en.visited.contains(v) {
                 continue;
             }
             en.bump_node()?;
-            en.visited[v as usize] = true;
+            en.visited.insert(v);
             let r = self.count_combinations(en, ui, i + 1, remaining - 1);
-            en.visited[v as usize] = false;
+            en.visited.remove(v);
             total = total.saturating_add(r?);
         }
         ControlFlow::Continue(total)

@@ -1,14 +1,20 @@
-//! Parallel enumeration: partition the root candidate set across worker
-//! threads, each running an independent enumerator over the shared CPI.
+//! Parallel enumeration: workers steal root candidates from a shared
+//! atomic cursor, each running an independent enumerator over the shared
+//! CPI.
 //!
 //! The CPI and matching order are query-global and immutable after
 //! preparation, so workers share them read-only; each worker owns its own
 //! mapping/visited state. This extension is not part of the paper (which
 //! evaluates single-threaded depth-first matching), but the root-candidate
-//! partitioning falls directly out of the CPI structure: the subtrees of
-//! search rooted at distinct root candidates are disjoint.
+//! decomposition falls directly out of the CPI structure: the subtrees of
+//! search rooted at distinct root candidates are disjoint. A single
+//! `fetch_add` cursor over the root candidate array replaces static
+//! partitioning — per-root subtree costs are wildly skewed (a hub root
+//! candidate can dominate the whole search), and with stealing a worker
+//! that drew cheap subtrees immediately claims the next root instead of
+//! idling behind a fixed stride.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use cfl_graph::{Graph, VertexId};
 
@@ -19,12 +25,23 @@ use crate::result::{Embedding, MatchOutcome, MatchReport, MatchStats};
 use super::enumerate::Enumerator;
 use super::{prepare, Prepared};
 
-/// Counts embeddings of `q` in `g` using up to `num_threads` workers.
+/// Counts embeddings of `q` in `g` using `num_threads` workers pulling
+/// root candidates from a shared work-stealing cursor.
 ///
 /// The count is exact and deterministic; only the internal work order
-/// varies between runs. The embedding budget is enforced cooperatively
-/// (workers stop once the global count passes the cap, so slightly more
-/// work than the cap may be expended, never less).
+/// varies between runs. `num_threads` is taken as given (workers beyond
+/// the number of root candidates simply find the cursor exhausted and exit
+/// at startup cost only).
+///
+/// # Budget overshoot bound
+///
+/// The embedding budget is enforced *cooperatively*: each worker stops as
+/// soon as its own emitted count reaches `max_embeddings`, and the final
+/// tally is clamped to the cap. Workers do not observe each other's
+/// counters, so between them they may enumerate up to
+/// `num_threads × max_embeddings` embeddings before every worker has
+/// stopped — that product bounds the extra work in the capped case, and
+/// the reported count is never affected. Uncapped runs are unaffected.
 pub fn count_embeddings_parallel(
     q: &Graph,
     g: &Graph,
@@ -44,25 +61,24 @@ pub fn count_embeddings_parallel(
 
     let root = cpi.root();
     let num_roots = cpi.candidates(root).len();
-    let workers = num_threads.clamp(1, num_roots.max(1));
+    let workers = num_threads.max(1);
     let max = config.budget.max_embeddings.unwrap_or(u64::MAX);
+    let cursor = AtomicU64::new(0);
 
     // Counting mode passes no sink, so each worker keeps the combinatorial
-    // leaf-count shortcut (§4.4); the per-worker embedding cap bounds total
-    // work at workers × max in the capped case.
+    // leaf-count shortcut (§4.4); see the doc comment for the cooperative
+    // budget's `workers × max` overshoot bound.
     let enum_start = std::time::Instant::now();
     let results: Vec<(MatchOutcome, u64, u64, u64)> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
+        for _ in 0..workers {
             let cpi = &cpi;
             let plan = &plan;
+            let cursor = &cursor;
             let budget = config.budget;
             handles.push(scope.spawn(move || {
-                // Strided partition keeps per-worker load balanced when
-                // candidate hardness correlates with position.
-                let roots: Vec<u32> = (w..num_roots).step_by(workers).map(|i| i as u32).collect();
                 let mut en = Enumerator::new(q, g, cpi, plan, budget, None);
-                let outcome = en.run_roots(&roots);
+                let outcome = en.run_stealing(cursor, num_roots);
                 (outcome, en.emitted, en.nodes, en.nt_checks)
             }));
         }
@@ -78,6 +94,13 @@ pub fn count_embeddings_parallel(
 
 /// Collects embeddings in parallel (order nondeterministic), up to the
 /// budget.
+///
+/// Work is distributed by the same root-candidate stealing cursor as
+/// [`count_embeddings_parallel`], and the budget is enforced centrally by
+/// the draining thread: workers are cancelled once the global collection
+/// reaches the cap, so at most `num_threads × max_embeddings` embeddings
+/// are *produced* in the worst case while exactly `max_embeddings` are
+/// returned.
 pub fn collect_embeddings_parallel(
     q: &Graph,
     g: &Graph,
@@ -97,8 +120,9 @@ pub fn collect_embeddings_parallel(
 
     let root = cpi.root();
     let num_roots = cpi.candidates(root).len();
-    let workers = num_threads.clamp(1, num_roots.max(1));
+    let workers = num_threads.max(1);
     let max = config.budget.max_embeddings.unwrap_or(u64::MAX);
+    let cursor = AtomicU64::new(0);
 
     let cancelled = AtomicBool::new(false);
     let (tx, rx) = crossbeam::channel::unbounded::<Vec<VertexId>>();
@@ -106,19 +130,19 @@ pub fn collect_embeddings_parallel(
     let enum_start = std::time::Instant::now();
     let (mut collected, results) = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
+        for _ in 0..workers {
             let cpi = &cpi;
             let plan = &plan;
+            let cursor = &cursor;
             let cancelled = &cancelled;
             let tx = tx.clone();
             let budget = config.budget;
             handles.push(scope.spawn(move || {
-                let roots: Vec<u32> = (w..num_roots).step_by(workers).map(|i| i as u32).collect();
                 let mut sink = |m: &[VertexId]| {
                     tx.send(m.to_vec()).is_ok() && !cancelled.load(Ordering::Relaxed)
                 };
                 let mut en = Enumerator::new(q, g, cpi, plan, budget, Some(&mut sink));
-                let outcome = en.run_roots(&roots);
+                let outcome = en.run_stealing(cursor, num_roots);
                 (outcome, en.emitted, en.nodes, en.nt_checks)
             }));
         }
@@ -239,6 +263,25 @@ mod tests {
         assert_eq!(embs.len(), 10);
         assert_eq!(report.embeddings, 10);
         assert_eq!(report.outcome, MatchOutcome::LimitReached);
+    }
+
+    #[test]
+    fn more_workers_than_roots_is_exact() {
+        // Tiny data graph: the root candidate set is far smaller than the
+        // worker count; surplus workers must drain the cursor and exit
+        // without disturbing the count.
+        let g = graph_from_edges(
+            &[0, 1, 2, 0, 1, 2],
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
+        )
+        .unwrap();
+        let q = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let serial = crate::exec::count_embeddings(&q, &g, &MatchConfig::exhaustive())
+            .unwrap()
+            .embeddings;
+        let parallel = count_embeddings_parallel(&q, &g, &MatchConfig::exhaustive(), 16).unwrap();
+        assert_eq!(parallel.embeddings, serial);
+        assert!(parallel.outcome.is_complete());
     }
 
     #[test]

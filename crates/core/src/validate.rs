@@ -30,6 +30,9 @@ impl CpiView for Cpi {
     fn row(&self, u: VertexId, parent_pos: usize) -> &[u32] {
         Cpi::row(self, u, parent_pos)
     }
+    fn arena_totals(&self) -> Option<(u64, u64)> {
+        Some(Cpi::arena_totals(self))
+    }
 }
 
 fn part_class(role: Role) -> PartClass {

@@ -18,6 +18,6 @@ pub mod registry;
 pub mod workloads;
 
 pub use adversarial::{challenge1, near_clique_pathology};
-pub use persist::{load_query_set, save_query_set};
+pub use persist::{cached_synthetic, load_query_set, save_query_set, synthetic_cache_key};
 pub use registry::{Dataset, DatasetSpec};
 pub use workloads::{QuerySetSpec, Workload};

@@ -1,13 +1,17 @@
-//! Workload persistence: save and reload query sets so experiments can be
-//! re-run bit-identically across machines and sessions.
+//! Workload persistence: save and reload query sets and generated data
+//! graphs so experiments can be re-run bit-identically across machines and
+//! sessions.
 //!
 //! Layout: `<dir>/<set>/q-<i>.graph` plus a `manifest.txt` listing the
-//! files in order.
+//! files in order; cached data graphs live at `<dir>/g-<key>.graph` where
+//! `<key>` encodes every generator parameter plus the seed.
 
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 
-use cfl_graph::{read_graph_file, write_graph_file, Graph, IoError};
+use cfl_graph::{
+    read_graph_file, synthetic_graph, write_graph_file, Graph, IoError, SyntheticConfig,
+};
 
 /// Saves `queries` as `<dir>/<name>/q-<i>.graph` with a manifest; returns
 /// the written paths.
@@ -28,6 +32,50 @@ pub fn save_query_set(
         paths.push(path);
     }
     Ok(paths)
+}
+
+/// Filename-safe cache key covering every generator parameter and the
+/// seed, so two configs collide iff they generate the same graph.
+///
+/// Floats are rendered through their full `Debug` form (`6.0`, `0.25`,
+/// `1e-7`) with `.` and `-` mapped to `_`, keeping the key stable and
+/// filesystem-portable.
+pub fn synthetic_cache_key(cfg: &SyntheticConfig) -> String {
+    let f = |x: f64| format!("{x:?}").replace('.', "_").replace('-', "m");
+    format!(
+        "v{}-d{}-l{}-e{}-t{}-s{}",
+        cfg.num_vertices,
+        f(cfg.avg_degree),
+        cfg.num_labels,
+        f(cfg.label_exponent),
+        f(cfg.twin_fraction),
+        cfg.seed
+    )
+}
+
+/// Returns the synthetic graph for `cfg`, generating and caching it under
+/// `dir` on first use and reloading the cached file afterwards.
+///
+/// The cache is keyed by [`synthetic_cache_key`] (generator params + seed),
+/// so repeated benchmark runs skip regeneration and observe bit-identical
+/// graphs. A partially written file is never observed: the graph is written
+/// to a temporary sibling first and atomically renamed into place.
+pub fn cached_synthetic(dir: impl AsRef<Path>, cfg: &SyntheticConfig) -> Result<Graph, IoError> {
+    let dir = dir.as_ref();
+    let path = dir.join(format!("g-{}.graph", synthetic_cache_key(cfg)));
+    if path.is_file() {
+        return read_graph_file(&path);
+    }
+    let g = synthetic_graph(cfg);
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!(
+        "g-{}.graph.tmp-{}",
+        synthetic_cache_key(cfg),
+        std::process::id()
+    ));
+    write_graph_file(&g, &tmp)?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(g)
 }
 
 /// Loads a query set saved by [`save_query_set`], in manifest order.
@@ -78,5 +126,32 @@ mod tests {
     fn load_missing_set_errors() {
         let dir = std::env::temp_dir().join("cfl-persist-missing");
         assert!(load_query_set(&dir, "nope").is_err());
+    }
+
+    #[test]
+    fn cached_synthetic_is_bit_identical_and_reused() {
+        let cfg = cfl_graph::SyntheticConfig {
+            num_vertices: 120,
+            avg_degree: 4.0,
+            num_labels: 6,
+            label_exponent: 1.0,
+            twin_fraction: 0.1,
+            seed: 31,
+        };
+        let dir = std::env::temp_dir().join(format!("cfl-gcache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let fresh = cached_synthetic(&dir, &cfg).unwrap();
+        let key_path = dir.join(format!("g-{}.graph", synthetic_cache_key(&cfg)));
+        assert!(key_path.is_file(), "cache file written");
+        let reloaded = cached_synthetic(&dir, &cfg).unwrap();
+        assert_eq!(fresh.labels(), reloaded.labels());
+        assert_eq!(
+            fresh.edges().collect::<Vec<_>>(),
+            reloaded.edges().collect::<Vec<_>>()
+        );
+        // A different seed maps to a different cache entry.
+        let other = cfl_graph::SyntheticConfig { seed: 32, ..cfg };
+        assert_ne!(synthetic_cache_key(&cfg), synthetic_cache_key(&other));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

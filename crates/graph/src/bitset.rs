@@ -1,0 +1,140 @@
+//! Fixed-capacity bitset over `u64` words.
+//!
+//! The enumeration hot loop tests "is this data vertex already mapped?"
+//! and "is this data vertex adjacent to that mapped vertex?" once per
+//! candidate considered. A word-packed bitset answers both with one load,
+//! one shift and one mask — no bounds-dependent branch chain, an order of
+//! magnitude less memory traffic than a `Vec<bool>`, and O(1) instead of
+//! the `O(log d)` adjacency binary search.
+//!
+//! Capacity is fixed at construction (the data graph's vertex count);
+//! membership updates are explicit `insert`/`remove` pairs, so a backtrack
+//! undoes its own insertions in time proportional to what it inserted —
+//! never a full-set clear.
+
+/// A fixed-capacity set of `u32` keys packed 64 per word.
+#[derive(Clone, Debug)]
+pub struct FixedBitSet {
+    words: Vec<u64>,
+}
+
+impl FixedBitSet {
+    /// Creates an empty set able to hold keys `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        FixedBitSet {
+            words: vec![0; capacity.div_ceil(64)],
+        }
+    }
+
+    /// Number of keys the set can hold (a multiple of 64).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.words.len() * 64
+    }
+
+    /// Whether `key` is in the set.
+    #[inline]
+    pub fn contains(&self, key: u32) -> bool {
+        let w = (key / 64) as usize;
+        (self.words[w] >> (key % 64)) & 1 != 0
+    }
+
+    /// Adds `key` to the set.
+    #[inline]
+    pub fn insert(&mut self, key: u32) {
+        let w = (key / 64) as usize;
+        self.words[w] |= 1u64 << (key % 64);
+    }
+
+    /// Removes `key` from the set.
+    #[inline]
+    pub fn remove(&mut self, key: u32) {
+        let w = (key / 64) as usize;
+        self.words[w] &= !(1u64 << (key % 64));
+    }
+
+    /// Adds every key in `keys` (e.g. an adjacency slice).
+    #[inline]
+    pub fn insert_all(&mut self, keys: &[u32]) {
+        for &k in keys {
+            self.insert(k);
+        }
+    }
+
+    /// Removes every key in `keys` — the O(|keys|) backtracking inverse of
+    /// [`insert_all`](Self::insert_all).
+    #[inline]
+    pub fn remove_all(&mut self, keys: &[u32]) {
+        for &k in keys {
+            self.remove(k);
+        }
+    }
+
+    /// Empties the set in `O(capacity / 64)`.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of keys currently in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = FixedBitSet::new(130);
+        assert!(s.is_empty());
+        for k in [0u32, 63, 64, 65, 129] {
+            assert!(!s.contains(k));
+            s.insert(k);
+            assert!(s.contains(k));
+        }
+        assert_eq!(s.len(), 5);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert!(s.contains(63) && s.contains(65));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn bulk_ops_and_clear() {
+        let mut s = FixedBitSet::new(200);
+        let keys = [3u32, 77, 128, 199];
+        s.insert_all(&keys);
+        assert!(keys.iter().all(|&k| s.contains(k)));
+        s.remove_all(&keys[..2]);
+        assert!(!s.contains(3) && !s.contains(77));
+        assert!(s.contains(128) && s.contains(199));
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_words() {
+        assert_eq!(FixedBitSet::new(1).capacity(), 64);
+        assert_eq!(FixedBitSet::new(64).capacity(), 64);
+        assert_eq!(FixedBitSet::new(65).capacity(), 128);
+        assert_eq!(FixedBitSet::new(0).capacity(), 0);
+    }
+
+    #[test]
+    fn double_insert_is_idempotent() {
+        let mut s = FixedBitSet::new(64);
+        s.insert(7);
+        s.insert(7);
+        assert_eq!(s.len(), 1);
+        s.remove(7);
+        assert!(!s.contains(7));
+        assert!(s.is_empty());
+    }
+}

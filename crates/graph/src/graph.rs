@@ -8,7 +8,10 @@
 //! membership tests are `O(log d)` binary searches — the "probe `G` for
 //! non-tree edge checkings" operation of the paper (Theorem 4.1).
 
+use std::sync::{Arc, OnceLock};
+
 use crate::label::Label;
+use crate::stats::StatTables;
 
 /// Dense vertex identifier: an index into the CSR arrays.
 pub type VertexId = u32;
@@ -27,6 +30,9 @@ pub struct Graph {
     pub(crate) offsets: Vec<u32>,
     pub(crate) adjacency: Vec<VertexId>,
     pub(crate) num_labels: u32,
+    /// Lazily built, shared filter tables (see [`Graph::stat_tables`]).
+    /// Cloning the graph shares the already-built tables.
+    pub(crate) stats: OnceLock<Arc<StatTables>>,
 }
 
 impl Graph {
@@ -125,6 +131,21 @@ impl Graph {
             .map(|v| self.degree(v))
             .max()
             .unwrap_or(0)
+    }
+
+    /// The filter statistics tables of this graph (label index, NLF, MND),
+    /// built on first use and memoized for the graph's lifetime.
+    ///
+    /// The CSR representation is immutable after construction, so the
+    /// tables are derived data that never go stale; memoizing them here
+    /// means repeated one-shot matching calls against the same data graph
+    /// pay the `O(|V| + |E|)` statistics build exactly once instead of per
+    /// query. The returned handle is shared (`Arc`), so callers can hold it
+    /// independently of the graph's borrow.
+    pub fn stat_tables(&self) -> Arc<StatTables> {
+        self.stats
+            .get_or_init(|| Arc::new(StatTables::build(self)))
+            .clone()
     }
 
     /// Estimated heap size of the CSR arrays in bytes (used by the

@@ -20,6 +20,7 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod bfs;
+pub mod bitset;
 pub mod builder;
 pub mod connect;
 pub mod gen;
@@ -33,6 +34,7 @@ pub mod summary;
 pub mod transform;
 
 pub use bfs::{classify_edge, BfsTree, EdgeKind, NO_PARENT};
+pub use bitset::FixedBitSet;
 pub use builder::{graph_from_edges, BuildError, GraphBuilder};
 pub use connect::{components, induced_subgraph, is_connected};
 pub use gen::query::{query_set, random_walk_query, QueryDensity, QueryGenConfig};
@@ -42,5 +44,5 @@ pub use io::{read_graph, read_graph_file, write_graph, write_graph_file, IoError
 pub use kcore::{core_numbers, k_core, two_core};
 pub use label::{Label, LabelMap};
 pub use nec::{nec_equivalent, nec_partition, NecPartition};
-pub use stats::{max_neighbor_degrees, LabelIndex, NlfIndex};
+pub use stats::{max_neighbor_degrees, LabelIndex, NlfIndex, StatTables};
 pub use summary::GraphSummary;

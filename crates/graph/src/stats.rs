@@ -63,39 +63,107 @@ impl LabelIndex {
 ///
 /// Stored as a flat array of `(label, count)` pairs sorted by label per
 /// vertex, so containment tests between a query vertex's signature and a
-/// data vertex's signature are merge scans.
+/// data vertex's signature are merge scans. Each vertex additionally
+/// carries a packed 64-bit summary (see [`NlfIndex::packed`]) checked
+/// branch-free before — and often instead of — the merge scan.
 #[derive(Clone, Debug)]
 pub struct NlfIndex {
     offsets: Vec<u32>,
     entries: Vec<(Label, u32)>,
+    packed: Vec<u64>,
+    exact: Vec<bool>,
 }
+
+/// Per-label thresholds encoded in the packed signature: label `l` with
+/// count `c` sets bits `(l * 4 + t) & 63` for `t < min(c, 4)`.
+const PACKED_THRESHOLDS: u32 = 4;
+
+/// Labels representable without field wraparound: `64 / PACKED_THRESHOLDS`.
+const PACKED_LABELS: usize = 64 / PACKED_THRESHOLDS as usize;
+
+/// Below this label-count, finalizing a vertex scans the whole scratch
+/// counter array (sequential, sorted for free) instead of collecting and
+/// sorting the touched labels.
+const DENSE_LABEL_SCAN: usize = 64;
 
 impl NlfIndex {
     /// Builds NLF signatures in `O(Σ_v d(v))` using a scratch counter array.
     pub fn build(g: &Graph) -> Self {
+        Self::build_with_mnd(g).0
+    }
+
+    /// Builds the NLF index and the per-vertex maximum neighbor degree in
+    /// one adjacency traversal (the two dominate per-query preparation on
+    /// large data graphs, and fused they read each neighbor list once).
+    ///
+    /// Per finished vertex, the `(label, count)` signature is emitted in
+    /// ascending label order either by scanning the scratch counters
+    /// directly (small label universes: sequential and branch-predictable,
+    /// no sort) or by sorting the touched labels (large universes relative
+    /// to the vertex degree).
+    pub fn build_with_mnd(g: &Graph) -> (Self, Vec<u32>) {
         let nl = g.num_labels();
+        let nv = g.num_vertices();
         let mut scratch = vec![0u32; nl];
         let mut touched: Vec<u32> = Vec::new();
-        let mut offsets = Vec::with_capacity(g.num_vertices() + 1);
-        let mut entries = Vec::new();
+        let mut offsets = Vec::with_capacity(nv + 1);
+        let mut entries = Vec::with_capacity((g.num_edges() * 2).min(nv.saturating_mul(nl)));
+        let mut packed = Vec::with_capacity(nv);
+        let mut exact = Vec::with_capacity(nv);
+        let mut mnd = vec![0u32; nv];
         offsets.push(0u32);
+        let exact_possible = nl <= PACKED_LABELS;
         for v in g.vertices() {
+            let dense = nl <= DENSE_LABEL_SCAN || nl <= 4 * g.degree(v);
+            let mut md = 0u32;
             for &w in g.neighbors(v) {
                 let l = g.label(w).0;
-                if scratch[l as usize] == 0 {
+                if !dense && scratch[l as usize] == 0 {
                     touched.push(l);
                 }
                 scratch[l as usize] += 1;
+                md = md.max(g.degree(w) as u32);
             }
-            touched.sort_unstable();
-            for &l in &touched {
-                entries.push((Label(l), scratch[l as usize]));
-                scratch[l as usize] = 0;
+            mnd[v as usize] = md;
+            let mut sig_packed = 0u64;
+            let mut sig_exact = exact_possible;
+            let mut emit = |l: u32, c: u32| {
+                entries.push((Label(l), c));
+                sig_exact &= c <= PACKED_THRESHOLDS;
+                // Threshold fields never straddle the 64-bit wraparound
+                // (field starts are multiples of 4), so the per-threshold
+                // bits collapse to one shifted mask.
+                sig_packed |=
+                    ((1u64 << c.min(PACKED_THRESHOLDS)) - 1) << ((l * PACKED_THRESHOLDS) & 63);
+            };
+            if dense {
+                for l in 0..nl as u32 {
+                    let c = scratch[l as usize];
+                    if c != 0 {
+                        scratch[l as usize] = 0;
+                        emit(l, c);
+                    }
+                }
+            } else {
+                touched.sort_unstable();
+                for &l in &touched {
+                    let c = scratch[l as usize];
+                    scratch[l as usize] = 0;
+                    emit(l, c);
+                }
+                touched.clear();
             }
-            touched.clear();
             offsets.push(entries.len() as u32);
+            packed.push(sig_packed);
+            exact.push(sig_exact);
         }
-        Self { offsets, entries }
+        let nlf = Self {
+            offsets,
+            entries,
+            packed,
+            exact,
+        };
+        (nlf, mnd)
     }
 
     /// The `(label, count)` signature of `v`, sorted by label.
@@ -113,6 +181,37 @@ impl NlfIndex {
         }
     }
 
+    /// Packed 64-bit NLF summary of `v`: label `l` with count `c` sets bits
+    /// `(l * 4 + t) & 63` for thresholds `t < min(c, 4)`.
+    ///
+    /// [`packed_dominates`](Self::packed_dominates) over two summaries is a
+    /// *necessary* condition for [`dominates`](Self::dominates): domination
+    /// implies per-label threshold-bit containment, and the union over
+    /// labels preserves the subset relation even when fields wrap. It is
+    /// also *sufficient* when the query-side signature reports
+    /// [`packed_exact`](Self::packed_exact).
+    #[inline]
+    pub fn packed(&self, v: VertexId) -> u64 {
+        self.packed[v as usize]
+    }
+
+    /// Whether the packed summary of `v` captures its full signature: all
+    /// labels fit disjoint 4-bit fields (≤ 16 labels in the graph) and every
+    /// per-label count is ≤ 4. For such a query vertex,
+    /// [`packed_dominates`](Self::packed_dominates) is exact and the merge
+    /// scan can be skipped entirely.
+    #[inline]
+    pub fn packed_exact(&self, v: VertexId) -> bool {
+        self.exact[v as usize]
+    }
+
+    /// Branch-free necessary condition for NLF domination over packed
+    /// summaries: every threshold bit the query needs, the data vertex has.
+    #[inline]
+    pub const fn packed_dominates(data: u64, query: u64) -> bool {
+        query & !data == 0
+    }
+
     /// NLF containment: `true` iff for every label `l` in the signature of
     /// query vertex (given as `query_sig`), `d(data_v, l) >= d(query_u, l)`.
     ///
@@ -128,6 +227,33 @@ impl NlfIndex {
             }
         }
         true
+    }
+}
+
+/// The three per-graph filter tables — label index, NLF signatures, and
+/// maximum neighbor degrees — bundled so they can be built together and
+/// memoized on the graph they describe (see
+/// [`Graph::stat_tables`](crate::Graph::stat_tables)).
+#[derive(Clone, Debug)]
+pub struct StatTables {
+    /// Per-label sorted vertex lists.
+    pub label_index: LabelIndex,
+    /// Per-vertex neighborhood label frequencies (+ packed summaries).
+    pub nlf: NlfIndex,
+    /// Per-vertex maximum neighbor degree (Definition A.1).
+    pub mnd: Vec<u32>,
+}
+
+impl StatTables {
+    /// Builds all three tables in `O(|V| + |E|)`; the NLF and MND parts
+    /// share one adjacency traversal.
+    pub fn build(g: &Graph) -> Self {
+        let (nlf, mnd) = NlfIndex::build_with_mnd(g);
+        StatTables {
+            label_index: LabelIndex::build(g),
+            nlf,
+            mnd,
+        }
     }
 }
 
@@ -186,6 +312,96 @@ mod tests {
         assert!(!NlfIndex::dominates(&data, &[(Label(3), 1)]));
         assert!(NlfIndex::dominates(&data, &[]));
         assert!(!NlfIndex::dominates(&[], &[(Label(0), 1)]));
+    }
+
+    #[test]
+    fn packed_signature_bits() {
+        let g = star();
+        let nlf = NlfIndex::build(&g);
+        // Center 0: two label-1 neighbors, one label-2 neighbor.
+        // Label 1 → bits 4,5; label 2 → bit 8.
+        assert_eq!(nlf.packed(0), (1 << 4) | (1 << 5) | (1 << 8));
+        // Leaves: one label-0 neighbor → bit 0.
+        assert_eq!(nlf.packed(1), 1);
+        assert!(g.num_labels() <= 16);
+        assert!((0..4).all(|v| nlf.packed_exact(v)));
+    }
+
+    #[test]
+    fn packed_dominates_agrees_with_merge_scan_when_exact() {
+        // Several small vertices with varied neighborhoods; 3 labels ≤ 16
+        // and max count 3 ≤ 4, so the packed test must be exact.
+        let g = graph_from_edges(
+            &[0, 1, 1, 2, 0, 1, 2, 2],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (4, 5),
+                (4, 6),
+                (4, 7),
+                (1, 4),
+                (3, 7),
+            ],
+        )
+        .unwrap();
+        let nlf = NlfIndex::build(&g);
+        for u in g.vertices() {
+            assert!(nlf.packed_exact(u));
+            for v in g.vertices() {
+                let scan = NlfIndex::dominates(nlf.signature(v), nlf.signature(u));
+                let packed = NlfIndex::packed_dominates(nlf.packed(v), nlf.packed(u));
+                assert_eq!(scan, packed, "u={u} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_is_necessary_when_counts_overflow() {
+        // Center with 6 label-1 neighbors: count 6 > 4 thresholds, so the
+        // vertex is not packed-exact, but packed containment must still hold
+        // wherever the merge scan reports domination.
+        let g = graph_from_edges(
+            &[0, 1, 1, 1, 1, 1, 1, 0, 1, 1],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (0, 6),
+                (7, 8),
+                (7, 9),
+            ],
+        )
+        .unwrap();
+        let nlf = NlfIndex::build(&g);
+        assert!(!nlf.packed_exact(0));
+        // Vertex 7 (two label-1 neighbors) is dominated by vertex 0 (six).
+        assert!(NlfIndex::dominates(nlf.signature(0), nlf.signature(7)));
+        assert!(NlfIndex::packed_dominates(nlf.packed(0), nlf.packed(7)));
+        // And not vice versa; the packed test may or may not notice, but
+        // must never reject a true domination.
+        for u in g.vertices() {
+            for v in g.vertices() {
+                if NlfIndex::dominates(nlf.signature(v), nlf.signature(u)) {
+                    assert!(
+                        NlfIndex::packed_dominates(nlf.packed(v), nlf.packed(u)),
+                        "packed test rejected a true domination u={u} v={v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_not_exact_with_many_labels() {
+        // 17 labels force field wraparound: no vertex is packed-exact.
+        let labels: Vec<u32> = (0..17).collect();
+        let edges: Vec<(u32, u32)> = (1..17).map(|i| (0, i)).collect();
+        let g = graph_from_edges(&labels, &edges).unwrap();
+        let nlf = NlfIndex::build(&g);
+        assert!(g.vertices().all(|v| !nlf.packed_exact(v)));
     }
 
     #[test]

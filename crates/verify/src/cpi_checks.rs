@@ -34,6 +34,19 @@ pub trait CpiView {
     /// Adjacency row `N_u^{u.p}(v)` for the parent candidate at
     /// `parent_pos`; entries are positions into `candidates(u)`.
     fn row(&self, u: VertexId, parent_pos: usize) -> &[u32];
+
+    /// Arena totals `(candidate entries, row entries)` as reported by the
+    /// index's flat backing storage, if it has one.
+    ///
+    /// Implementations backed by a single-arena CSR layout should override
+    /// this so [`check_cpi`] can cross-check that the per-vertex views
+    /// (`candidates` / `row`) tile the arenas exactly — catching offset
+    /// tables that skip or double-count arena entries even when every
+    /// individual slice looks internally consistent. The default (`None`)
+    /// skips the check for nested representations.
+    fn arena_totals(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
 /// Which optional invariants to enforce, mirroring the construction mode
@@ -82,6 +95,42 @@ pub fn check_cpi<C: CpiView + ?Sized>(
     check_tree(q, cpi, report);
     check_candidates(q, g, cpi, opts, report);
     check_rows(q, g, cpi, opts, report);
+    check_arena(q, cpi, report);
+}
+
+/// For flat-arena indexes: the per-vertex candidate and row views must tile
+/// the backing arenas exactly (no entry unreachable through the offset
+/// tables, none reachable twice).
+fn check_arena<C: CpiView + ?Sized>(q: &Graph, cpi: &C, report: &mut Report) {
+    let Some((arena_cands, arena_rows)) = cpi.arena_totals() else {
+        return;
+    };
+    let tree = cpi.tree();
+    let mut seen_cands: u64 = 0;
+    let mut seen_rows: u64 = 0;
+    for u in q.vertices() {
+        seen_cands += cpi.candidates(u).len() as u64;
+        let Some(p) = tree.parent(u) else { continue };
+        for parent_pos in 0..cpi.candidates(p).len() {
+            seen_rows += cpi.row(u, parent_pos).len() as u64;
+        }
+    }
+    if seen_cands != arena_cands {
+        report.violation(
+            "arena-size",
+            None,
+            None,
+            format!("candidate views cover {seen_cands} entries, arena holds {arena_cands}"),
+        );
+    }
+    if seen_rows != arena_rows {
+        report.violation(
+            "arena-size",
+            None,
+            None,
+            format!("row views cover {seen_rows} entries, arena holds {arena_rows}"),
+        );
+    }
 }
 
 /// The mirrored BFS tree spans the query and only uses real query edges at
@@ -443,6 +492,48 @@ mod tests {
             &mut unrefined,
         );
         assert!(unrefined.is_clean(), "{unrefined}");
+    }
+
+    /// Mock that claims flat-arena backing of a given size.
+    struct ArenaMock {
+        inner: MockCpi,
+        totals: (u64, u64),
+    }
+
+    impl CpiView for ArenaMock {
+        fn tree(&self) -> &BfsTree {
+            self.inner.tree()
+        }
+        fn candidates(&self, u: VertexId) -> &[VertexId] {
+            self.inner.candidates(u)
+        }
+        fn row(&self, u: VertexId, parent_pos: usize) -> &[u32] {
+            self.inner.row(u, parent_pos)
+        }
+        fn arena_totals(&self) -> Option<(u64, u64)> {
+            Some(self.totals)
+        }
+    }
+
+    #[test]
+    fn arena_totals_cross_check() {
+        let (q, g, inner) = fixture();
+        // The fixture has 3 candidate entries and 2 row entries in total.
+        let ok = ArenaMock {
+            inner,
+            totals: (3, 2),
+        };
+        let mut report = Report::new();
+        check_cpi(&q, &g, &ok, &CpiCheckOptions::default(), &mut report);
+        assert!(report.is_clean(), "{report}");
+
+        let bad = ArenaMock {
+            inner: fixture().2,
+            totals: (4, 1),
+        };
+        let mut report = Report::new();
+        check_cpi(&q, &g, &bad, &CpiCheckOptions::default(), &mut report);
+        assert!(report.has_check("arena-size"), "{report}");
     }
 
     #[test]

@@ -126,6 +126,24 @@ proptest! {
         }
     }
 
+    /// Work-stealing parallel counting is exact: every thread count from 1
+    /// to 8 (including counts exceeding the number of root candidates)
+    /// reproduces the serial embedding count on random (query, data) pairs.
+    #[test]
+    fn parallel_count_equals_serial(
+        q in connected_graph(2..6, 3, 3),
+        g in connected_graph(6..20, 3, 12),
+    ) {
+        let cfg = MatchConfig::exhaustive();
+        let serial = cfl_match::count_embeddings(&q, &g, &cfg).unwrap().embeddings;
+        for threads in 1..=8 {
+            let parallel = cfl_match::count_embeddings_parallel(&q, &g, &cfg, threads)
+                .unwrap();
+            prop_assert_eq!(parallel.embeddings, serial, "threads = {}", threads);
+            prop_assert!(parallel.outcome.is_complete());
+        }
+    }
+
     /// Graph IO round-trips losslessly.
     #[test]
     fn graph_io_roundtrip(g in connected_graph(1..25, 5, 20)) {
