@@ -7,20 +7,30 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use cfl_baselines::{TurboIso, Vf2};
 use cfl_bench::hotpath::{
-    core_match_once, cpi_build_once, end_to_end_once, leaf_match_once, HotpathWorkload,
+    core_match_once, cpi_build_once, end_to_end_once, end_to_end_split_once, leaf_match_once,
+    HotpathWorkload,
 };
 use cfl_match::GraphStats;
 
 fn bench_hotpath(c: &mut Criterion) {
     let quick = std::env::var_os("CFL_BENCH_QUICK").is_some();
+    let threads: usize = std::env::var("CFL_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     let w = HotpathWorkload::standard(quick);
     let g_stats = GraphStats::build(&w.g);
     let cap = if quick { 20_000 } else { 200_000 };
 
     let mut group = c.benchmark_group("hotpath");
-    group.bench_function("cpi_build", |b| b.iter(|| cpi_build_once(&w, &g_stats)));
+    group.bench_function("cpi_build", |b| {
+        b.iter(|| cpi_build_once(&w, &g_stats, threads));
+    });
     group.bench_function("core_match", |b| b.iter(|| core_match_once(&w, cap)));
     group.bench_function("leaf_match", |b| b.iter(|| leaf_match_once(&w, cap)));
+    group.bench_function("end_to_end_cfl", |b| {
+        b.iter(|| end_to_end_split_once(&w, cap, threads));
+    });
     group.bench_function("end_to_end_vf2", |b| {
         b.iter(|| end_to_end_once(&w, &Vf2, cap));
     });

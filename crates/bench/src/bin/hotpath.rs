@@ -3,27 +3,47 @@
 //! recorded baseline and computing per-benchmark speedups.
 //!
 //! ```text
-//! hotpath [--quick] [--out FILE] [--baseline FILE]
+//! hotpath [--quick] [--threads N] [--out FILE] [--baseline FILE]
+//!         [--check-against FILE]
 //!
-//!   --quick           CI smoke mode: tiny workload, few reps
-//!   --out FILE        write JSON here (default: stdout)
-//!   --baseline FILE   a previous --out file; its "current" section is
-//!                     embedded as "baseline" and speedups are computed
+//!   --quick              CI smoke mode: tiny workload, few reps
+//!   --threads N          CPI build threads (default 1)
+//!   --out FILE           write JSON here (default: stdout)
+//!   --baseline FILE      a previous --out file; its "current" section is
+//!                        embedded as "baseline" and speedups are computed
+//!   --check-against FILE a previous --out file; exit 1 if any benchmark
+//!                        present in both runs changed its checksum — the
+//!                        CI gate proving a parallel CPI build produced
+//!                        byte-identical arenas to the serial reference
 //! ```
+//!
+//! The JSON carries a `meta` section (thread count, workload seed,
+//! generator version) so any two tracked files state up front whether they
+//! measured the same workload under the same configuration.
 
 use std::fmt::Write as _;
 
-use cfl_bench::hotpath::{run_suite, Measurement};
+use cfl_bench::hotpath::{run_suite, Measurement, WORKLOAD_SEED};
+use cfl_graph::GENERATOR_VERSION;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut threads = 1usize;
     let mut out: Option<String> = None;
     let mut baseline: Option<String> = None;
+    let mut check_against: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--threads" => {
+                i += 1;
+                threads = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads needs a positive integer");
+                    std::process::exit(2);
+                });
+            }
             "--out" => {
                 i += 1;
                 out = args.get(i).cloned();
@@ -31,6 +51,10 @@ fn main() {
             "--baseline" => {
                 i += 1;
                 baseline = args.get(i).cloned();
+            }
+            "--check-against" => {
+                i += 1;
+                check_against = args.get(i).cloned();
             }
             other => {
                 eprintln!("unknown argument {other}");
@@ -40,7 +64,7 @@ fn main() {
         i += 1;
     }
 
-    let results = run_suite(quick);
+    let results = run_suite(quick, threads.max(1));
     for (name, m) in &results {
         eprintln!(
             "{name:<22} min {:>12} ns   mean {:>12} ns   checksum {}",
@@ -52,7 +76,7 @@ fn main() {
         std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"))
     });
-    let json = render(quick, &results, baseline_json.as_deref());
+    let json = render(quick, threads, &results, baseline_json.as_deref());
     match out {
         Some(path) => {
             std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
@@ -60,15 +84,47 @@ fn main() {
         }
         None => println!("{json}"),
     }
+
+    if let Some(path) = check_against {
+        let reference = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read reference {path}: {e}"));
+        let mut diverged = false;
+        for (name, reference_m) in parse_current(&reference) {
+            let Some((_, m)) = results.iter().find(|(n, _)| *n == name) else {
+                continue;
+            };
+            if m.checksum != reference_m.checksum {
+                eprintln!(
+                    "checksum divergence in {name}: {} (this run) vs {} ({path})",
+                    m.checksum, reference_m.checksum
+                );
+                diverged = true;
+            }
+        }
+        if diverged {
+            std::process::exit(1);
+        }
+        eprintln!("checksums match {path}");
+    }
 }
 
 /// Renders the results (plus the optional baseline's "current" section and
 /// min-time speedups) as a stable, human-diffable JSON document.
-fn render(quick: bool, results: &[(&'static str, Measurement)], baseline: Option<&str>) -> String {
+fn render(
+    quick: bool,
+    threads: usize,
+    results: &[(&'static str, Measurement)],
+    baseline: Option<&str>,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"suite\": \"hotpath\",");
     let _ = writeln!(s, "  \"quick\": {quick},");
+    s.push_str("  \"meta\": {\n");
+    let _ = writeln!(s, "    \"threads\": {threads},");
+    let _ = writeln!(s, "    \"workload_seed\": {WORKLOAD_SEED},");
+    let _ = writeln!(s, "    \"generator_version\": {GENERATOR_VERSION}");
+    s.push_str("  },\n");
     let _ = writeln!(
         s,
         "  \"workload\": \"cached synthetic graph (see cfl_bench::hotpath::HotpathWorkload::standard); min-of-reps wall clock\","

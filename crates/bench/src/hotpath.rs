@@ -9,12 +9,17 @@
 //! the interactive bench agree by construction.
 //!
 //! The data graph and query sets are cached through
-//! [`cfl_datasets::cached_synthetic`] keyed by generator params + seed, so
-//! repeated runs skip regeneration and measure against bit-identical
-//! inputs.
+//! [`cfl_datasets::cached_synthetic`] keyed by generator params + seed +
+//! generator version, so repeated runs skip regeneration and measure
+//! against bit-identical inputs. Every run records its thread count,
+//! workload seed, and [`cfl_graph::GENERATOR_VERSION`] in the JSON so two
+//! `BENCH_*.json` files are comparable by inspection, and the CPI-build
+//! checksum is the flat-arena FNV digest ([`cfl_match::Cpi::checksum`]) so
+//! a parallel build that diverges from the serial reference by even one
+//! byte fails the CI `--check-against` gate.
 
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cfl_baselines::{Matcher, TurboIso, Vf2};
 use cfl_datasets::cached_synthetic;
@@ -45,6 +50,11 @@ pub fn cache_dir() -> PathBuf {
     }
 }
 
+/// Seed of the generated benchmark data graph, recorded in the JSON
+/// alongside [`cfl_graph::GENERATOR_VERSION`] so tracked numbers name the
+/// exact workload they measured.
+pub const WORKLOAD_SEED: u64 = 4242;
+
 impl HotpathWorkload {
     /// The standard tracked workload. `quick` shrinks everything (~20×) for
     /// CI smoke runs; tracked numbers always use `quick = false`.
@@ -56,7 +66,7 @@ impl HotpathWorkload {
                 num_labels: 12,
                 label_exponent: 1.0,
                 twin_fraction: 0.1,
-                seed: 4242,
+                seed: WORKLOAD_SEED,
             }
         } else {
             SyntheticConfig {
@@ -65,7 +75,7 @@ impl HotpathWorkload {
                 num_labels: 24,
                 label_exponent: 1.0,
                 twin_fraction: 0.1,
-                seed: 4242,
+                seed: WORKLOAD_SEED,
             }
         };
         let g = cached_synthetic(cache_dir(), &cfg).unwrap_or_else(|_| {
@@ -80,9 +90,11 @@ impl HotpathWorkload {
 }
 
 /// One pass of the CPI-build measurement: constructs the refined CPI for
-/// every dense query and returns the total candidate count (as a sink the
-/// optimizer cannot remove).
-pub fn cpi_build_once(w: &HotpathWorkload, g_stats: &GraphStats) -> u64 {
+/// every dense query on `threads` build threads and returns a digest of
+/// the flat arenas ([`Cpi::checksum`]) — both an optimizer sink and the
+/// byte-identity witness the CI `--check-against` gate compares across
+/// thread counts.
+pub fn cpi_build_once(w: &HotpathWorkload, g_stats: &GraphStats, threads: usize) -> u64 {
     let mut total = 0u64;
     for q in w.dense.iter().chain(&w.sparse) {
         let q_stats = GraphStats::build(q);
@@ -95,9 +107,11 @@ pub fn cpi_build_once(w: &HotpathWorkload, g_stats: &GraphStats) -> u64 {
         } else {
             (0..q.num_vertices() as u32).collect()
         };
-        let root = cfl_match::select_root(&ctx, &eligible);
-        let cpi = Cpi::build(&ctx, root, CpiMode::TopDownRefined);
-        total = total.wrapping_add(cpi.total_candidates());
+        let (root, root_cands) = cfl_match::select_root_with_candidates(&ctx, &eligible);
+        let cpi = Cpi::build_seeded(&ctx, root, root_cands, CpiMode::TopDownRefined, threads);
+        total = total
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(cpi.checksum());
     }
     total
 }
@@ -124,6 +138,34 @@ pub fn leaf_match_once(w: &HotpathWorkload, cap: u64) -> u64 {
         total = total.wrapping_add(count_embeddings(q, &w.g, &cfg).map_or(0, |r| r.embeddings));
     }
     total
+}
+
+/// One pass of the full CFL pipeline over every query (dense + sparse),
+/// returning the accumulated prepare time (CPI build + ordering) and
+/// enumeration time from [`cfl_match::MatchStats`] plus the embedding
+/// count. Both phase timers tick inside the same run, so the tracked
+/// build/match split always sums to (just under) the end-to-end number
+/// instead of coming from two separately-noisy runs.
+pub fn end_to_end_split_once(
+    w: &HotpathWorkload,
+    cap: u64,
+    threads: usize,
+) -> (Duration, Duration, u64) {
+    let cfg = MatchConfig::exhaustive()
+        .with_budget(Budget::first(cap))
+        .with_build_threads(threads);
+    let mut build = Duration::ZERO;
+    let mut enumerate = Duration::ZERO;
+    let mut total = 0u64;
+    for q in w.dense.iter().chain(&w.sparse) {
+        let Ok(r) = count_embeddings(q, &w.g, &cfg) else {
+            continue;
+        };
+        build += r.stats.total_ordering_time();
+        enumerate += r.stats.enumeration_time;
+        total = total.wrapping_add(r.embeddings);
+    }
+    (build, enumerate, total)
 }
 
 /// One pass of an end-to-end baseline comparison (capped count over the
@@ -171,24 +213,56 @@ pub fn measure(reps: usize, mut f: impl FnMut() -> u64) -> Measurement {
     }
 }
 
-/// A full suite run: every tracked measurement, by name.
-pub fn run_suite(quick: bool) -> Vec<(&'static str, Measurement)> {
+/// Times a phase-split pass for `reps` passes after one warm-up, returning
+/// `[total, build, match]` measurements. The total is wall clock around
+/// each pass; the build/match series are the phase timers that ticked
+/// inside that same pass, each reduced min/mean independently.
+pub fn measure_split(
+    reps: usize,
+    mut f: impl FnMut() -> (Duration, Duration, u64),
+) -> [Measurement; 3] {
+    let (_, _, checksum) = std::hint::black_box(f()); // warm-up
+    let mut totals = Vec::with_capacity(reps);
+    let mut builds = Vec::with_capacity(reps);
+    let mut matches = Vec::with_capacity(reps);
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let (build, enumerate, _) = std::hint::black_box(f());
+        totals.push(start.elapsed().as_nanos() as u64);
+        builds.push(build.as_nanos() as u64);
+        matches.push(enumerate.as_nanos() as u64);
+    }
+    let reduce = |samples: &[u64]| Measurement {
+        min_ns: samples.iter().copied().min().unwrap_or(0),
+        mean_ns: samples.iter().copied().sum::<u64>() / samples.len() as u64,
+        checksum,
+    };
+    [reduce(&totals), reduce(&builds), reduce(&matches)]
+}
+
+/// A full suite run: every tracked measurement, by name. `threads` is the
+/// CPI build-thread count used by `cpi_build` and the end-to-end pipeline
+/// (enumeration itself stays single-threaded here; the parallel matcher
+/// has its own benchmark).
+pub fn run_suite(quick: bool, threads: usize) -> Vec<(&'static str, Measurement)> {
     let w = HotpathWorkload::standard(quick);
     let g_stats = GraphStats::build(&w.g);
     let reps = if quick { 3 } else { 7 };
     let cap = if quick { 20_000 } else { 200_000 };
     let vf2 = Vf2;
     let turbo = TurboIso;
+    let [e2e, e2e_build, e2e_match] =
+        measure_split(reps, || end_to_end_split_once(&w, cap, threads));
     vec![
-        ("cpi_build", measure(reps, || cpi_build_once(&w, &g_stats))),
+        (
+            "cpi_build",
+            measure(reps, || cpi_build_once(&w, &g_stats, threads)),
+        ),
         ("core_match", measure(reps, || core_match_once(&w, cap))),
         ("leaf_match", measure(reps, || leaf_match_once(&w, cap))),
-        (
-            "end_to_end_cfl",
-            measure(reps, || {
-                leaf_match_once(&w, cap).wrapping_add(core_match_once(&w, cap))
-            }),
-        ),
+        ("end_to_end_cfl", e2e),
+        ("end_to_end_cfl_build", e2e_build),
+        ("end_to_end_cfl_match", e2e_match),
         (
             "end_to_end_vf2",
             measure(reps, || end_to_end_once(&w, &vf2, cap)),

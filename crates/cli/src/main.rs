@@ -57,7 +57,7 @@ fn usage() {
          stats <graph> [--top N]\n  \
          workload <hprd|yeast|human|dblp|wordnet|synthetic> [--scale N] [--queries N] -o DIR\n  \
          verify [<query> <data>] [--scale N] [--labels L] [--size N] [--seed S]\n        \
-               [--variant cfl|cf|match|naive|topdown]"
+               [--variant cfl|cf|match|naive|topdown] [--build-threads N]"
     );
 }
 
@@ -358,7 +358,15 @@ fn cmd_workload(args: &[String]) {
 fn cmd_verify(args: &[String]) {
     let f = Flags::parse(
         args,
-        &["scale", "labels", "size", "seed", "density", "variant"],
+        &[
+            "scale",
+            "labels",
+            "size",
+            "seed",
+            "density",
+            "variant",
+            "build-threads",
+        ],
     );
     let (q, g) = match f.positional.len() {
         2 => (
@@ -410,7 +418,8 @@ fn cmd_verify(args: &[String]) {
             eprintln!("unknown variant {other:?} (cfl|cf|match|naive|topdown)");
             exit(2);
         }
-    };
+    }
+    .with_build_threads(f.get_parse("build-threads", 1usize).max(1));
 
     println!(
         "data graph: {} vertices, {} edges, {} labels",

@@ -100,6 +100,10 @@ pub struct MatchConfig {
     pub filters: FilterOptions,
     /// Resource limits.
     pub budget: Budget,
+    /// Worker-pool participants for CPI construction (`1` = serial). The
+    /// count affects only build speed, never results: parallel builds are
+    /// byte-identical to serial ones.
+    pub build_threads: usize,
 }
 
 impl Default for MatchConfig {
@@ -112,6 +116,7 @@ impl Default for MatchConfig {
             order: OrderStrategy::Greedy,
             filters: FilterOptions::default(),
             budget: Budget::first(100_000),
+            build_threads: 1,
         }
     }
 }
@@ -176,6 +181,12 @@ impl MatchConfig {
         self.budget = budget;
         self
     }
+
+    /// Sets the CPI build-phase thread count (clamped to ≥ 1 at use).
+    pub fn with_build_threads(mut self, threads: usize) -> Self {
+        self.build_threads = threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +221,15 @@ mod tests {
         let c = MatchConfig::variant_core_hierarchy();
         assert_eq!(c.order, OrderStrategy::CoreHierarchy);
         assert_eq!(MatchConfig::default().order, OrderStrategy::Greedy);
+    }
+
+    #[test]
+    fn build_threads_default_and_builder() {
+        assert_eq!(MatchConfig::default().build_threads, 1);
+        assert_eq!(
+            MatchConfig::default().with_build_threads(4).build_threads,
+            4
+        );
     }
 
     #[test]

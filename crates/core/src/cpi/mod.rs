@@ -29,17 +29,37 @@
 //! entries; consecutive entries delimit `row_data` slices holding
 //! `N_u^{u.p}(v)` for each parent candidate `v` in order. The root's block
 //! is empty. All four arenas are built once in [`CpiBuilder::freeze`].
+//!
+//! # Ordering invariants
+//!
+//! Two orderings are guaranteed by construction and asserted directly by
+//! `cfl-verify`:
+//!
+//! * every candidate slice `u.C` is in strictly ascending vertex order;
+//! * every adjacency row is in strictly ascending *position* order — rows
+//!   are produced by filtering an ascending CSR neighbor slice against the
+//!   ascending candidate array, so positions inherit the order and carry
+//!   no duplicates.
+//!
+//! Construction may run its per-level phases on the build worker pool
+//! ([`Cpi::build_with`]); the frozen arenas are byte-identical for every
+//! thread count, because each parallel task depends only on state
+//! finalized before its phase began and all task outputs are committed or
+//! spliced in vertex order.
 
 mod naive;
 mod refine;
+pub(crate) mod scratch;
 mod topdown;
 
 pub use naive::build_naive;
 
-use cfl_graph::{BfsTree, Graph, VertexId};
+use cfl_graph::{BfsTree, FixedBitSet, Graph, VertexId};
 
 use crate::config::CpiMode;
 use crate::filters::FilterContext;
+use crate::pool::parallel_map;
+use scratch::with_scratch;
 
 /// The finalized, immutable compact path-index (flat arena layout; see the
 /// module docs for the exact shape).
@@ -62,21 +82,73 @@ pub struct Cpi {
 }
 
 impl Cpi {
-    /// Builds the CPI for `ctx.q` over `ctx.g` with BFS tree rooted at
-    /// `root`, under the requested construction mode.
+    /// Builds the CPI serially. Equivalent to [`Cpi::build_with`] at one
+    /// thread.
     pub fn build(ctx: &FilterContext<'_>, root: VertexId, mode: CpiMode) -> Cpi {
+        Cpi::build_with(ctx, root, mode, 1)
+    }
+
+    /// Builds the CPI for `ctx.q` over `ctx.g` with BFS tree rooted at
+    /// `root`, under the requested construction mode, running the
+    /// per-level construction phases across up to `threads` participants
+    /// on the build worker pool.
+    ///
+    /// The thread count only affects speed: the frozen arenas are
+    /// byte-identical for every value (asserted by the
+    /// `parallel_build_matches_serial` property test and the CI checksum
+    /// gate). The naive mode is a measurement baseline and always builds
+    /// serially.
+    pub fn build_with(
+        ctx: &FilterContext<'_>,
+        root: VertexId,
+        mode: CpiMode,
+        threads: usize,
+    ) -> Cpi {
+        Cpi::build_inner(ctx, root, None, mode, threads)
+    }
+
+    /// Like [`Cpi::build_with`], but seeds the root's candidate set with a
+    /// pre-verified, strictly ascending list — typically the one root
+    /// selection already refined
+    /// ([`crate::root::select_root_with_candidates`]), which saves
+    /// re-filtering the label index for the root. The result is identical
+    /// to [`Cpi::build_with`] whenever the seed equals the root's verified
+    /// candidate set (debug-asserted). The naive measurement baseline
+    /// ignores the seed and recomputes from scratch.
+    pub fn build_seeded(
+        ctx: &FilterContext<'_>,
+        root: VertexId,
+        root_cands: Vec<VertexId>,
+        mode: CpiMode,
+        threads: usize,
+    ) -> Cpi {
+        Cpi::build_inner(ctx, root, Some(root_cands), mode, threads)
+    }
+
+    fn build_inner(
+        ctx: &FilterContext<'_>,
+        root: VertexId,
+        seed: Option<Vec<VertexId>>,
+        mode: CpiMode,
+        threads: usize,
+    ) -> Cpi {
+        let threads = threads.max(1);
+        let top_down = |seed: Option<Vec<VertexId>>| match seed {
+            Some(cands) => topdown::top_down_seeded(ctx, root, cands, threads),
+            None => topdown::top_down_with(ctx, root, threads),
+        };
         match mode {
             CpiMode::Naive => naive::build_naive(ctx, root),
             CpiMode::TopDown => {
-                let mut builder = topdown::top_down(ctx, root);
+                let mut builder = top_down(seed);
                 builder.prune_unreachable();
-                builder.freeze(ctx.q, ctx.g)
+                builder.freeze_with(ctx.q, ctx.g, threads)
             }
             CpiMode::TopDownRefined => {
-                let mut builder = topdown::top_down(ctx, root);
-                refine::bottom_up(ctx, &mut builder);
+                let mut builder = top_down(seed);
+                refine::bottom_up_with(ctx, &mut builder, threads);
                 builder.prune_unreachable();
-                builder.freeze(ctx.q, ctx.g)
+                builder.freeze_with(ctx.q, ctx.g, threads)
             }
         }
     }
@@ -136,6 +208,27 @@ impl Cpi {
     /// storage — cross-checked by `cfl-verify` against the per-vertex views.
     pub fn arena_totals(&self) -> (u64, u64) {
         (self.cand_data.len() as u64, self.row_data.len() as u64)
+    }
+
+    /// Order-sensitive FNV-1a digest over all five arenas (lengths
+    /// included). Two CPIs have equal checksums iff their flat storage is
+    /// byte-identical — the property the bench harness and CI use to gate
+    /// parallel builds against the serial reference.
+    pub fn checksum(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mix = |h: &mut u64, words: &[u32]| {
+            *h = (*h ^ words.len() as u64).wrapping_mul(PRIME);
+            for &w in words {
+                *h = (*h ^ u64::from(w)).wrapping_mul(PRIME);
+            }
+        };
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        mix(&mut h, &self.cand_data);
+        mix(&mut h, &self.cand_offsets);
+        mix(&mut h, &self.row_data);
+        mix(&mut h, &self.row_offsets);
+        mix(&mut h, &self.row_starts);
+        h
     }
 
     /// Estimated heap footprint in bytes (the index-size metric of
@@ -236,6 +329,56 @@ impl Cpi {
             }
         }
     }
+
+    /// Swaps the first two entries of `u`'s adjacency row for `parent_pos`,
+    /// breaking the documented strictly-ascending row ordering while
+    /// keeping the entry set intact. Detected as `row-order`.
+    ///
+    /// # Panics
+    /// When the targeted row has fewer than two entries.
+    pub fn corrupt_swap_row_entries(&mut self, u: VertexId, parent_pos: usize) {
+        let base = self.row_starts[u as usize] as usize + parent_pos;
+        let (start, end) = (
+            self.row_offsets[base] as usize,
+            self.row_offsets[base + 1] as usize,
+        );
+        assert!(end - start >= 2, "row must have ≥ 2 entries to swap");
+        self.row_data.swap(start, start + 1);
+    }
+}
+
+/// Per-vertex adjacency rows in flat form: `data` holds the concatenated
+/// rows (raw data-vertex ids during construction) and `ends[i]` is the
+/// exclusive end of row `i`, which belongs to the parent's `i`-th
+/// candidate in construction order. Two allocations per query vertex
+/// instead of one `Vec` per parent candidate — the nested representation
+/// put `O(Σ|u.p.C|)` allocations on the build hot path.
+#[derive(Clone, Default)]
+pub(crate) struct FlatRows {
+    pub data: Vec<VertexId>,
+    pub ends: Vec<u32>,
+}
+
+impl FlatRows {
+    /// Row `i` (data-vertex ids, ascending).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[VertexId] {
+        let lo = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        &self.data[lo..self.ends[i] as usize]
+    }
+
+    /// Seals the current row: everything appended to `data` since the last
+    /// call becomes row `num_rows()`.
+    #[inline]
+    pub fn close_row(&mut self) {
+        self.ends.push(self.data.len() as u32);
+    }
+
+    /// Number of sealed rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.ends.len()
+    }
 }
 
 /// Mutable CPI under construction: candidates carry alive flags and
@@ -244,14 +387,20 @@ impl Cpi {
 /// candidates and dangling adjacency entries.
 pub(crate) struct CpiBuilder {
     pub tree: BfsTree,
-    /// Per query vertex: candidate vertex ids (construction order; sorted at
-    /// freeze time).
+    /// Per query vertex: candidate vertex ids in strictly ascending order
+    /// (established at generation time and preserved by every pruning
+    /// pass).
     pub candidates: Vec<Vec<VertexId>>,
     /// Parallel alive flags (bottom-up refinement prunes by flipping these).
     pub alive: Vec<Vec<bool>>,
-    /// For non-root `u`: `rows[u][i]` = data vertices of `candidates[u]`
-    /// adjacent to the parent's `i`-th candidate.
-    pub rows: Vec<Vec<Vec<VertexId>>>,
+    /// For non-root `u`: flat adjacency rows, one row per parent candidate.
+    pub rows: Vec<FlatRows>,
+    /// Query vertices whose candidate set lost members *after* their
+    /// adjacency rows and children were generated — i.e. bottom-up
+    /// refinement kills and cascaded unreachable-pruning kills. The clean
+    /// complement lets [`CpiBuilder::prune_unreachable`] skip whole
+    /// subtrees (see there).
+    pub dirty: FixedBitSet,
 }
 
 impl CpiBuilder {
@@ -260,7 +409,8 @@ impl CpiBuilder {
             tree,
             candidates: vec![Vec::new(); n],
             alive: vec![Vec::new(); n],
-            rows: vec![Vec::new(); n],
+            rows: vec![FlatRows::default(); n],
+            dirty: FixedBitSet::new(n),
         }
     }
 
@@ -285,6 +435,16 @@ impl CpiBuilder {
     /// without changing results. Processing in BFS order cascades the
     /// pruning down the tree.
     ///
+    /// The dirty set makes the sweep proportional to what refinement
+    /// actually touched: top-down construction only admits a candidate
+    /// adjacent to a then-alive parent candidate, and a parent level is
+    /// fully finalized before its children's rows are built — so after a
+    /// pure top-down build *no* orphan exists, and orphans can only appear
+    /// under a vertex that lost candidates afterwards. A clean parent
+    /// therefore proves every candidate of `u` is still referenced, and
+    /// `u` is skipped without touching its rows. Kills performed here mark
+    /// `u` dirty so the cascade stays sound.
+    ///
     /// Safety of the sweep: a candidate kept here is referenced by an alive
     /// parent candidate, so removing orphans never deletes the downward
     /// support (Lemma 5.1) of any surviving candidate along tree edges.
@@ -294,107 +454,130 @@ impl CpiBuilder {
             let Some(p) = self.tree.parent(u) else {
                 continue;
             };
+            if !self.dirty.contains(p) {
+                continue;
+            }
+            let ui = u as usize;
             // Data vertices referenced by some alive parent candidate's row.
             let mut referenced: Vec<VertexId> = Vec::new();
+            let rows = &self.rows[ui];
             for (i, &alive) in self.alive[p as usize].iter().enumerate() {
-                if !alive {
-                    continue;
-                }
-                if let Some(row) = self.rows[u as usize].get(i) {
-                    referenced.extend_from_slice(row);
+                if alive && i < rows.num_rows() {
+                    referenced.extend_from_slice(rows.row(i));
                 }
             }
             referenced.sort_unstable();
             referenced.dedup();
-            let cands = &self.candidates[u as usize];
-            let alive_u = &mut self.alive[u as usize];
+            let cands = &self.candidates[ui];
+            let alive_u = &mut self.alive[ui];
+            let mut killed = false;
             for (j, &v) in cands.iter().enumerate() {
                 if alive_u[j] && referenced.binary_search(&v).is_err() {
                     alive_u[j] = false;
+                    killed = true;
                 }
+            }
+            if killed {
+                self.dirty.insert(u);
             }
         }
     }
 
-    /// Freezes the builder into the final flat-arena [`Cpi`].
-    ///
-    /// Single pass per query vertex: sort the surviving candidates, build a
-    /// data-vertex → position lookup in a shared `|V(G)|`-sized scratch
-    /// array (replacing the per-entry binary searches of the nested
-    /// builder), then append every adjacency row to the `row_data` arena in
-    /// final parent order. All allocations are amortized: four arenas total
-    /// instead of `O(|V(q)| · |p.C|)` row vectors.
+    /// Freezes the builder into the final flat-arena [`Cpi`] serially.
     pub(crate) fn freeze(self, q: &Graph, g: &Graph) -> Cpi {
+        self.freeze_with(q, g, 1)
+    }
+
+    /// Freezes the builder into the final flat-arena [`Cpi`], running the
+    /// per-vertex compaction work across up to `threads` participants.
+    ///
+    /// Three phases: (A) per-vertex final candidate slices (sorted,
+    /// alive-only); (B) per-vertex row blocks — each adjacency row
+    /// remapped from data-vertex ids to final positions through a pooled
+    /// `|V(G)|`-sized lookup, dropping entries that point at dead
+    /// candidates, with offsets relative to the vertex's own block; (C) a
+    /// serial splice concatenating the per-vertex results into the four
+    /// arenas in vertex order. Phases A and B are embarrassingly parallel
+    /// (they read only the immutable builder), and the splice is
+    /// deterministic, so the arena bytes never depend on the thread count.
+    pub(crate) fn freeze_with(self, q: &Graph, g: &Graph, threads: usize) -> Cpi {
         let n = q.num_vertices();
+        let final_cands: Vec<Vec<VertexId>> = parallel_map(threads, n, |u| {
+            let mut c: Vec<VertexId> = self.candidates[u]
+                .iter()
+                .zip(&self.alive[u])
+                .filter_map(|(&v, &a)| a.then_some(v))
+                .collect();
+            c.sort_unstable();
+            c
+        });
+
+        // Per-vertex blocks: (offsets relative to the block, row data).
+        type Block = (Vec<u32>, Vec<u32>);
+        let blocks: Vec<Option<Block>> = parallel_map(threads, n, |ui| {
+            let parent = self.tree.parent(ui as VertexId)?;
+            let parent = parent as usize;
+            Some(with_scratch(g.num_vertices(), |scr| {
+                let child_c = &final_cands[ui];
+                for (pos, &v) in child_c.iter().enumerate() {
+                    scr.pos_of[v as usize] = pos as u32;
+                }
+
+                // Rows are indexed by the *original* parent candidate
+                // order; emit them in the final (sorted, alive-only)
+                // parent order.
+                let orig_parent = &self.candidates[parent];
+                let parent_alive = &self.alive[parent];
+                let mut order = std::mem::take(&mut scr.list);
+                order.extend((0..orig_parent.len() as u32).filter(|&i| parent_alive[i as usize]));
+                order.sort_unstable_by_key(|&i| orig_parent[i as usize]);
+                debug_assert_eq!(order.len(), final_cands[parent].len());
+
+                let mut offsets: Vec<u32> = Vec::with_capacity(order.len() + 1);
+                let mut data: Vec<u32> = Vec::new();
+                offsets.push(0);
+                let rows = &self.rows[ui];
+                for &i in &order {
+                    if (i as usize) < rows.num_rows() {
+                        for &v in rows.row(i as usize) {
+                            let pos = scr.pos_of[v as usize];
+                            if pos != u32::MAX {
+                                data.push(pos);
+                            }
+                        }
+                    }
+                    offsets.push(data.len() as u32);
+                }
+
+                for &v in child_c {
+                    scr.pos_of[v as usize] = u32::MAX;
+                }
+                order.clear();
+                scr.list = order;
+                (offsets, data)
+            }))
+        });
+
+        // Deterministic splice, vertex order. Arena bytes depend only on
+        // the per-vertex task outputs, never on scheduling.
         let mut cand_offsets: Vec<u32> = Vec::with_capacity(n + 1);
         let mut cand_data: Vec<VertexId> = Vec::new();
         cand_offsets.push(0);
-        for u in 0..n {
-            cand_data.extend(
-                self.candidates[u]
-                    .iter()
-                    .zip(&self.alive[u])
-                    .filter_map(|(&v, &a)| a.then_some(v)),
-            );
-            let lo = cand_offsets[u] as usize;
-            cand_data[lo..].sort_unstable();
+        for c in &final_cands {
+            cand_data.extend_from_slice(c);
             cand_offsets.push(cand_data.len() as u32);
         }
-
-        // Scratch: data vertex -> final position within the current child's
-        // candidate slice (u32::MAX = not a candidate). One allocation for
-        // the whole freeze; reset per child by walking the child's slice.
-        let mut pos_of: Vec<u32> = vec![u32::MAX; g.num_vertices()];
-
         let mut row_starts: Vec<u32> = Vec::with_capacity(n + 1);
         let mut row_offsets: Vec<u32> = Vec::new();
         let mut row_data: Vec<u32> = Vec::new();
         row_starts.push(0);
-        // Scratch: final parent order (original indices of alive parent
-        // candidates sorted by vertex id), rebuilt per vertex.
-        let mut order: Vec<u32> = Vec::new();
-        for u in 0..n as VertexId {
-            let Some(parent) = self.tree.parent(u) else {
-                row_starts.push(row_offsets.len() as u32);
-                continue;
-            };
-            let parent = parent as usize;
-            let ui = u as usize;
-            let child_lo = cand_offsets[ui] as usize;
-            let child_hi = cand_offsets[ui + 1] as usize;
-            for (pos, &v) in cand_data[child_lo..child_hi].iter().enumerate() {
-                pos_of[v as usize] = pos as u32;
-            }
-
-            // Rows are indexed by the *original* parent candidate order;
-            // emit them in the final (sorted, alive-only) parent order.
-            let orig_parent = &self.candidates[parent];
-            let parent_alive = &self.alive[parent];
-            order.clear();
-            order.extend((0..orig_parent.len() as u32).filter(|&i| parent_alive[i as usize]));
-            order.sort_unstable_by_key(|&i| orig_parent[i as usize]);
-            debug_assert_eq!(
-                order.len(),
-                (cand_offsets[parent + 1] - cand_offsets[parent]) as usize
-            );
-
-            row_offsets.push(row_data.len() as u32);
-            for &i in &order {
-                if let Some(row) = self.rows[ui].get(i as usize) {
-                    for &v in row {
-                        let pos = pos_of[v as usize];
-                        if pos != u32::MAX {
-                            row_data.push(pos);
-                        }
-                    }
-                }
-                row_offsets.push(row_data.len() as u32);
+        for block in &blocks {
+            if let Some((offsets, data)) = block {
+                let base = row_data.len() as u32;
+                row_offsets.extend(offsets.iter().map(|&o| base + o));
+                row_data.extend_from_slice(data);
             }
             row_starts.push(row_offsets.len() as u32);
-
-            for &v in &cand_data[child_lo..child_hi] {
-                pos_of[v as usize] = u32::MAX;
-            }
         }
 
         Cpi {
@@ -449,9 +632,12 @@ impl CpiBuilder {
             let mut offsets = Vec::with_capacity(order.len() + 1);
             let mut data: Vec<u32> = Vec::new();
             offsets.push(0u32);
-            let empty: Vec<VertexId> = Vec::new();
             for &i in &order {
-                let row = self.rows[u as usize].get(i).unwrap_or(&empty);
+                let row = if i < self.rows[u as usize].num_rows() {
+                    self.rows[u as usize].row(i)
+                } else {
+                    &[]
+                };
                 for &v in row {
                     if let Ok(pos) = child_c.binary_search(&v) {
                         data.push(pos as u32);
@@ -563,6 +749,24 @@ mod tests {
     }
 
     #[test]
+    fn rows_are_strictly_ascending() {
+        let (q, g) = figure7();
+        for mode in [CpiMode::Naive, CpiMode::TopDown, CpiMode::TopDownRefined] {
+            let cpi = build(&q, &g, mode);
+            for u in q.vertices() {
+                let Some(p) = cpi.parent(u) else { continue };
+                for i in 0..cpi.candidates(p).len() {
+                    let row = cpi.row(u, i);
+                    assert!(
+                        row.windows(2).all(|w| w[0] < w[1]),
+                        "mode {mode:?}: u{u} row {i} not strictly ascending: {row:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn size_metrics_are_consistent() {
         let (q, g) = figure7();
         let cpi = build(&q, &g, CpiMode::TopDownRefined);
@@ -581,6 +785,16 @@ mod tests {
         let g = graph_from_edges(&[0, 1], &[(0, 1)]).unwrap();
         let cpi = build(&q, &g, CpiMode::TopDownRefined);
         assert!(cpi.has_empty_candidate_set());
+    }
+
+    #[test]
+    fn checksum_distinguishes_arena_changes() {
+        let (q, g) = figure7();
+        let a = build(&q, &g, CpiMode::TopDownRefined);
+        let b = build(&q, &g, CpiMode::TopDownRefined);
+        assert_eq!(a.checksum(), b.checksum(), "deterministic rebuild");
+        let naive = build(&q, &g, CpiMode::Naive);
+        assert_ne!(a.checksum(), naive.checksum(), "different arenas");
     }
 
     /// Nested reference representation: per-vertex candidates, offsets, rows.
@@ -654,6 +868,30 @@ mod tests {
                 let (cands, edges) = cpi.arena_totals();
                 prop_assert_eq!(cands, cpi.total_candidates());
                 prop_assert_eq!(edges, cpi.total_edges());
+            }
+        }
+
+        /// Parallel builds produce byte-identical flat arenas to the serial
+        /// build at every thread count 1–8, in every construction mode.
+        #[test]
+        fn parallel_build_matches_serial(
+            q in connected_graph(2..7, 3, 4),
+            g in connected_graph(7..24, 3, 16),
+        ) {
+            let qs = GraphStats::build(&q);
+            let gs = GraphStats::build(&g);
+            let ctx = FilterContext::new(&q, &g, &qs, &gs);
+            for mode in [CpiMode::TopDown, CpiMode::TopDownRefined] {
+                let serial = Cpi::build(&ctx, 0, mode);
+                for threads in 1..=8usize {
+                    let par = Cpi::build_with(&ctx, 0, mode, threads);
+                    prop_assert_eq!(&par.cand_data, &serial.cand_data);
+                    prop_assert_eq!(&par.cand_offsets, &serial.cand_offsets);
+                    prop_assert_eq!(&par.row_data, &serial.row_data);
+                    prop_assert_eq!(&par.row_offsets, &serial.row_offsets);
+                    prop_assert_eq!(&par.row_starts, &serial.row_starts);
+                    prop_assert_eq!(par.checksum(), serial.checksum());
+                }
             }
         }
     }

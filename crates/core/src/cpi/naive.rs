@@ -30,16 +30,17 @@ pub fn build_naive(ctx: &FilterContext<'_>, root: VertexId) -> Cpi {
     for u in 0..n as VertexId {
         let Some(p) = s.tree.parent(u) else { continue };
         let lu = q.label(u);
-        let rows: Vec<Vec<VertexId>> = s.candidates[p as usize]
-            .iter()
-            .map(|&vp| {
+        let mut rows = super::FlatRows::default();
+        rows.ends.reserve(s.candidates[p as usize].len());
+        for &vp in &s.candidates[p as usize] {
+            rows.data.extend(
                 g.neighbors(vp)
                     .iter()
                     .copied()
-                    .filter(|&v| g.label(v) == lu)
-                    .collect()
-            })
-            .collect();
+                    .filter(|&v| g.label(v) == lu),
+            );
+            rows.close_row();
+        }
         s.rows[u as usize] = rows;
     }
 

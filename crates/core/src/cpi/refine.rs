@@ -1,4 +1,4 @@
-//! Bottom-up CPI refinement — Algorithm 4.
+//! Bottom-up CPI refinement — Algorithm 4, level-synchronous.
 //!
 //! The top-down pass only exploits ancestors, so a candidate may lack any
 //! neighbor among the candidates of its children (downward tree edges and
@@ -7,16 +7,32 @@
 //! by [`CpiBuilder::prune_unreachable`](super::CpiBuilder::prune_unreachable)
 //! plus [`CpiBuilder::freeze`](super::CpiBuilder::freeze), which drops every
 //! entry touching a dead candidate.
+//!
+//! Within a level every vertex's pruning decision reads only the alive
+//! flags of strictly *deeper* vertices — finalized by earlier level
+//! iterations — so the per-vertex kill lists are computed as independent
+//! tasks on the build worker pool and applied serially at a per-level
+//! barrier. The applied flags are therefore identical to the sequential
+//! sweep's for every thread count. Vertices that lose candidates are
+//! recorded in the builder's dirty set, which is what lets
+//! `prune_unreachable` skip untouched subtrees afterwards.
 
 use cfl_graph::VertexId;
 
+use super::scratch::with_scratch;
 use super::CpiBuilder;
 use crate::filters::FilterContext;
+use crate::pool::parallel_map;
 
-/// Runs Algorithm 4 over a top-down builder, flipping alive flags.
+/// Runs Algorithm 4 serially.
+#[cfg(test)]
 pub(crate) fn bottom_up(ctx: &FilterContext<'_>, s: &mut CpiBuilder) {
-    let q = ctx.q;
-    let g = ctx.g;
+    bottom_up_with(ctx, s, 1);
+}
+
+/// Runs Algorithm 4 over a top-down builder, flipping alive flags, with
+/// per-level parallelism across up to `threads` participants.
+pub(crate) fn bottom_up_with(ctx: &FilterContext<'_>, s: &mut CpiBuilder, threads: usize) {
     // The alive bitmaps must stay parallel to the candidate arrays — the
     // flips below index both by the same position.
     debug_assert!(s
@@ -24,54 +40,77 @@ pub(crate) fn bottom_up(ctx: &FilterContext<'_>, s: &mut CpiBuilder) {
         .iter()
         .zip(&s.candidates)
         .all(|(a, c)| a.len() == c.len()));
-    let mut cnt = vec![0u32; g.num_vertices()];
-    let mut touched: Vec<VertexId> = Vec::new();
 
     for lev in (1..=s.tree.num_levels()).rev() {
         let vlev: Vec<VertexId> = s.tree.level_vertices(lev).to_vec();
-        for &u in &vlev {
-            // Lower-level neighbors: tree children and downward C-NTEs.
-            let lower: Vec<VertexId> = q
-                .neighbors(u)
-                .iter()
-                .copied()
-                .filter(|&w| s.tree.level(w) > s.tree.level(u))
-                .collect();
-            if lower.is_empty() {
+        // Kill lists are computed against deeper levels only, so the tasks
+        // of one level never observe each other's flips.
+        let deads: Vec<Vec<u32>> =
+            parallel_map(threads, vlev.len(), |idx| dead_positions(ctx, s, vlev[idx]));
+        for (&u, dead) in vlev.iter().zip(&deads) {
+            if dead.is_empty() {
                 continue;
             }
-
-            let lu = q.label(u);
-            let du = q.degree(u);
-            let mut target = 0u32;
-            for &w in &lower {
-                // Counter pass of Lemma 5.1 over the *alive* candidates of w.
-                let lower_cands: Vec<VertexId> = s.alive_candidates(w).collect();
-                for &vw in &lower_cands {
-                    for &v in g.neighbors(vw) {
-                        if g.label(v) == lu && g.degree(v) >= du && cnt[v as usize] == target {
-                            if target == 0 {
-                                touched.push(v);
-                            }
-                            cnt[v as usize] += 1;
-                        }
-                    }
-                }
-                target += 1;
-            }
-
             let ui = u as usize;
-            for i in 0..s.candidates[ui].len() {
-                if s.alive[ui][i] && cnt[s.candidates[ui][i] as usize] != target {
-                    s.alive[ui][i] = false;
-                }
+            for &i in dead {
+                s.alive[ui][i as usize] = false;
             }
-            for &v in &touched {
-                cnt[v as usize] = 0;
-            }
-            touched.clear();
+            // Candidates died after u's rows and children were built:
+            // orphans may now exist below u (see `prune_unreachable`).
+            s.dirty.insert(u);
         }
     }
+}
+
+/// Candidate positions of `u` that lack a neighbor among the alive
+/// candidates of some lower-level query neighbor (tree child or downward
+/// C-NTE). The label/degree gate of Lemma 5.1's counter pass is already
+/// implied — every candidate of `u` passed it during generation.
+fn dead_positions(ctx: &FilterContext<'_>, s: &CpiBuilder, u: VertexId) -> Vec<u32> {
+    let q = ctx.q;
+    let g = ctx.g;
+    let lev = s.tree.level(u);
+    let lower: Vec<VertexId> = q
+        .neighbors(u)
+        .iter()
+        .copied()
+        .filter(|&w| s.tree.level(w) > lev)
+        .collect();
+    if lower.is_empty() {
+        return Vec::new();
+    }
+
+    let ui = u as usize;
+    let adj = &ctx.g_stats.label_adj;
+    let lu = q.label(u);
+    let mut dead: Vec<u32> = Vec::new();
+    with_scratch(g.num_vertices(), |scr| {
+        let mut live = std::mem::take(&mut scr.list);
+        live.extend((0..s.candidates[ui].len() as u32).filter(|&i| s.alive[ui][i as usize]));
+        for &w in &lower {
+            if live.is_empty() {
+                // Everything already condemned; further constraints can
+                // only agree.
+                break;
+            }
+            // The mask gates candidates of `u` — all labeled `l_q(u)` —
+            // so only the label-matching neighbor groups matter.
+            for vw in s.alive_candidates(w) {
+                scr.mask.insert_all(adj.neighbors_with_label(vw, lu));
+            }
+            live.retain(|&i| {
+                let keep = scr.mask.contains(s.candidates[ui][i as usize]);
+                if !keep {
+                    dead.push(i);
+                }
+                keep
+            });
+            scr.mask.clear();
+        }
+        live.clear();
+        scr.list = live;
+    });
+    dead
 }
 
 #[cfg(test)]

@@ -1,165 +1,106 @@
-//! Top-down CPI construction — Algorithm 3.
+//! Top-down CPI construction — Algorithm 3, level-synchronous.
 //!
-//! Query vertices are processed level-by-level down the BFS tree. For each
-//! level: (1) *forward candidate generation* intersects, for every vertex
-//! `u`, the label/degree-filtered neighborhoods of the candidate sets of
-//! `u`'s already-visited query neighbors (tree parents, upper C-NTE
-//! endpoints, and earlier same-level S-NTE endpoints), via the counter
-//! scheme of Lemma 5.1; (2) *backward candidate pruning* re-applies the
-//! counters against the later same-level S-NTE endpoints in reverse order;
-//! (3) *adjacency list construction* materializes `N_u^{u.p}(v)` for the
-//! tree edge to the parent. Total time `O(|E(G)| · |E(q)|)` (Theorem 5.1).
+//! Query vertices are processed level by level down the BFS tree; within a
+//! level the work runs as independent per-vertex tasks on the build worker
+//! pool ([`crate::pool`]), with a barrier between three phases:
+//!
+//! 1. **Forward candidate generation** (lines 5–17): `C(u)` is the set of
+//!    data vertices passing the label/degree and CandVerify filters that
+//!    have a neighbor in `C(w)` for *every* upper-level query neighbor `w`
+//!    (the BFS parent and upward C-NTE endpoints). Upper-level sets were
+//!    finalized by the previous level iteration, so these tasks are
+//!    independent. Lemma 5.1's per-vertex counter array is replaced by
+//!    neighborhood bitset masks: the initial list comes from the smallest
+//!    upper set's neighborhood, and every further constraint is one
+//!    bit-test per surviving entry.
+//! 2. **Same-level S-NTE pruning** (the interleaving of lines 5–17 with
+//!    the backward pass of lines 18–23; serial): a forward sweep prunes
+//!    each vertex against its *earlier* same-level neighbors and a reverse
+//!    sweep against its *later* ones. Sweeping in index order reproduces
+//!    exactly the candidate-set states the sequential algorithm observes —
+//!    the forward sweep sees each earlier set with its own earlier-neighbor
+//!    constraints already applied, and the reverse sweep sees each later
+//!    set fully pruned — so the resulting sets are identical to the
+//!    interleaved original's. The sweep is skipped outright for levels
+//!    without same-level edges, the common case. (CandVerify commutes with
+//!    all of this: it is a pure per-`(v, u)` predicate.)
+//! 3. **Adjacency-list construction** (lines 24–28): one membership bitset
+//!    over `C(u)`, then each parent candidate's row is its CSR neighbor
+//!    slice filtered through the shared intersection kernel
+//!    ([`cfl_graph::intersect`]) into a per-vertex flat row block — two
+//!    allocations per query vertex instead of one per parent candidate.
+//!
+//! Candidate sets are kept in strictly ascending vertex order from the
+//! start (the ordering invariant the frozen arenas document), and total
+//! work remains `O(|E(G)| · |E(q)|)` (Theorem 5.1).
 
-use cfl_graph::{BfsTree, Graph, VertexId};
+use cfl_graph::intersect::intersect_with_set;
+use cfl_graph::{BfsTree, FixedBitSet, VertexId};
 
-use super::CpiBuilder;
+use super::scratch::with_scratch;
+use super::{CpiBuilder, FlatRows};
 use crate::filters::FilterContext;
+use crate::pool::parallel_map;
 
-/// Counter pass of Lemma 5.1 (Algorithm 3, lines 11–13): for every data
-/// vertex `v` with label `l_q(u)` and degree ≥ `d_q(u)` adjacent to some
-/// candidate in `parent_cands`, increment `cnt[v]` iff `cnt[v] == target`.
-/// Vertices touched at target 0 are recorded so counters can be reset in
-/// time proportional to the touched set.
-fn count_pass(
-    g: &Graph,
-    q: &Graph,
-    u: VertexId,
-    parent_cands: &[VertexId],
-    cnt: &mut [u32],
-    touched: &mut Vec<VertexId>,
-    target: u32,
-) {
-    let lu = q.label(u);
-    let du = q.degree(u);
-    for &vp in parent_cands {
-        for &v in g.neighbors(vp) {
-            if g.label(v) == lu && g.degree(v) >= du && cnt[v as usize] == target {
-                if target == 0 {
-                    touched.push(v);
-                }
-                cnt[v as usize] += 1;
-            }
-        }
-    }
-}
-
-#[inline]
-fn reset(cnt: &mut [u32], touched: &mut Vec<VertexId>) {
-    for &v in touched.iter() {
-        cnt[v as usize] = 0;
-    }
-    touched.clear();
-}
-
-/// Runs Algorithm 3, producing a builder whose candidates are all alive.
+/// Runs Algorithm 3 serially.
+#[cfg(test)]
 pub(crate) fn top_down(ctx: &FilterContext<'_>, root: VertexId) -> CpiBuilder {
+    top_down_with(ctx, root, 1)
+}
+
+/// Runs Algorithm 3 with per-level parallelism across up to `threads`
+/// participants, computing the root candidate set itself (lines 1–2).
+pub(crate) fn top_down_with(ctx: &FilterContext<'_>, root: VertexId, threads: usize) -> CpiBuilder {
+    let mut root_cands: Vec<VertexId> = ctx
+        .light_candidates(root)
+        .filter(|&v| ctx.cand_verify(v, root))
+        .collect();
+    root_cands.sort_unstable();
+    top_down_seeded(ctx, root, root_cands, threads)
+}
+
+/// Runs Algorithm 3 from a pre-verified root candidate set (strictly
+/// ascending — typically the list root selection already refined, see
+/// [`crate::root::select_root_with_candidates`]). The builder contents
+/// are identical for every thread count: each phase's tasks read only
+/// state finalized before the phase began, and results are committed in
+/// vertex order.
+pub(crate) fn top_down_seeded(
+    ctx: &FilterContext<'_>,
+    root: VertexId,
+    root_cands: Vec<VertexId>,
+    threads: usize,
+) -> CpiBuilder {
     let q = ctx.q;
-    let g = ctx.g;
     let n = q.num_vertices();
     let tree = BfsTree::new(q, root);
     debug_assert_eq!(tree.num_reached(), n, "query must be connected");
     let mut s = CpiBuilder::new(tree, n);
 
-    // Root candidates (lines 1–2).
-    for v in ctx.light_candidates(root) {
-        if ctx.cand_verify(v, root) {
-            s.candidates[root as usize].push(v);
-        }
-    }
-
-    let mut visited = vec![false; n];
-    visited[root as usize] = true;
-    let mut cnt = vec![0u32; g.num_vertices()];
-    let mut touched: Vec<VertexId> = Vec::new();
-    let mut member = vec![false; g.num_vertices()];
+    debug_assert!(root_cands.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(root_cands.iter().all(|&v| ctx.is_candidate(v, root)));
+    s.candidates[root as usize] = root_cands;
 
     let num_levels = s.tree.num_levels();
     for lev in 2..=num_levels {
         let vlev: Vec<VertexId> = s.tree.level_vertices(lev).to_vec();
 
-        // --- Forward candidate generation (lines 5–17) ---
-        let mut un: Vec<Vec<VertexId>> = vec![Vec::new(); vlev.len()];
-        for (idx, &u) in vlev.iter().enumerate() {
-            let mut target = 0u32;
-            for &w in q.neighbors(u) {
-                if visited[w as usize] {
-                    count_pass(
-                        g,
-                        q,
-                        u,
-                        &s.candidates[w as usize],
-                        &mut cnt,
-                        &mut touched,
-                        target,
-                    );
-                    target += 1;
-                } else if s.tree.level(w) == s.tree.level(u) {
-                    // Unvisited same-level neighbor: S-NTE, deferred to the
-                    // backward pass.
-                    un[idx].push(w);
-                }
-                // Unvisited lower-level neighbors (tree children / downward
-                // C-NTEs) are exploited by the bottom-up refinement.
-            }
-            debug_assert!(
-                target >= 1,
-                "every non-root vertex has a visited BFS parent"
-            );
-            for &v in &touched {
-                if cnt[v as usize] == target && ctx.cand_verify(v, u) {
-                    s.candidates[u as usize].push(v);
-                }
-            }
-            reset(&mut cnt, &mut touched);
-            visited[u as usize] = true;
+        // Phase 1: forward generation against upper-level sets only.
+        let generated: Vec<Vec<VertexId>> = parallel_map(threads, vlev.len(), |idx| {
+            generate_candidates(ctx, &s, vlev[idx])
+        });
+        for (&u, cands) in vlev.iter().zip(generated) {
+            s.candidates[u as usize] = cands;
         }
 
-        // --- Backward candidate pruning (lines 18–23) ---
-        for (idx, &u) in vlev.iter().enumerate().rev() {
-            if un[idx].is_empty() {
-                continue;
-            }
-            let mut target = 0u32;
-            for &w in &un[idx] {
-                count_pass(
-                    g,
-                    q,
-                    u,
-                    &s.candidates[w as usize],
-                    &mut cnt,
-                    &mut touched,
-                    target,
-                );
-                target += 1;
-            }
-            s.candidates[u as usize].retain(|&v| cnt[v as usize] == target);
-            reset(&mut cnt, &mut touched);
-        }
+        // Phase 2: same-level S-NTE constraints, both directions.
+        same_level_prune(ctx, &mut s, &vlev);
 
-        // --- Adjacency list construction (lines 24–28) ---
-        for &u in &vlev {
-            let Some(p) = s.tree.parent(u) else {
-                unreachable!("level ≥ 2 vertices are never the root");
-            };
-            let p = p as usize;
-            for &v in &s.candidates[u as usize] {
-                member[v as usize] = true;
-            }
-            let lu = q.label(u);
-            let mut rows = Vec::with_capacity(s.candidates[p].len());
-            for &vp in &s.candidates[p] {
-                let row: Vec<VertexId> = g
-                    .neighbors(vp)
-                    .iter()
-                    .copied()
-                    .filter(|&v| g.label(v) == lu && member[v as usize])
-                    .collect();
-                rows.push(row);
-            }
+        // Phase 3: adjacency rows along the tree edge from the parent.
+        let built: Vec<FlatRows> =
+            parallel_map(threads, vlev.len(), |idx| build_rows(ctx, &s, vlev[idx]));
+        for (&u, rows) in vlev.iter().zip(built) {
             s.rows[u as usize] = rows;
-            for &v in &s.candidates[u as usize] {
-                member[v as usize] = false;
-            }
         }
     }
 
@@ -167,19 +108,185 @@ pub(crate) fn top_down(ctx: &FilterContext<'_>, root: VertexId) -> CpiBuilder {
         s.alive[u] = vec![true; s.candidates[u].len()];
     }
     // Every surviving candidate passes the full local filter battery
-    // (label, degree, MND, NLF) — the cheap half of the checks cfl-verify
-    // replays in full.
+    // (label, degree, MND, NLF) and every candidate list is strictly
+    // ascending — the cheap halves of the checks cfl-verify replays in
+    // full.
     debug_assert!((0..n).all(|u| s.candidates[u]
         .iter()
         .all(|&v| ctx.is_candidate(v, u as VertexId))));
+    debug_assert!((0..n).all(|u| s.candidates[u].windows(2).all(|w| w[0] < w[1])));
     s
+}
+
+/// Phase 1 task: the candidate set of `u` constrained by every
+/// *upper-level* query neighbor (finalized in earlier level iterations),
+/// the label/degree filter, and CandVerify. Returns a strictly ascending
+/// list.
+fn generate_candidates(ctx: &FilterContext<'_>, s: &CpiBuilder, u: VertexId) -> Vec<VertexId> {
+    let q = ctx.q;
+    let g = ctx.g;
+    let lev = s.tree.level(u);
+    // The upper-level neighbors (BFS parent and upward C-NTE endpoints)
+    // come straight off the CSR slice — no collection — and the one with
+    // the smallest finalized candidate set seeds the list.
+    let mut seed_w: Option<VertexId> = None;
+    for &w in q.neighbors(u) {
+        if s.tree.level(w) < lev
+            && seed_w
+                .is_none_or(|sw| s.candidates[w as usize].len() < s.candidates[sw as usize].len())
+        {
+            seed_w = Some(w);
+        }
+    }
+    let Some(seed_w) = seed_w else {
+        unreachable!("every non-root vertex has a visited BFS parent");
+    };
+
+    let adj = &ctx.g_stats.label_adj;
+    let lu = q.label(u);
+    let du = q.degree(u);
+    let mut list: Vec<VertexId> = Vec::new();
+    with_scratch(g.num_vertices(), |scr| {
+        // Seed list: distinct degree-qualified neighbors of the smallest
+        // upper candidate set — every further constraint can only shrink
+        // it, so seeding from the smallest bounds the whole task. The
+        // label-grouped adjacency serves only the `l_q(u)`-labeled
+        // neighbors, so the label filter costs nothing and the scan skips
+        // the (vast majority of) wrong-label neighbors outright. Only
+        // qualifying vertices enter the dedup mask; its set bits then
+        // equal `list` exactly, making the restore O(|list|).
+        for &vp in &s.candidates[seed_w as usize] {
+            for &v in adj.neighbors_with_label(vp, lu) {
+                if !scr.seen.contains(v) && g.degree(v) >= du {
+                    scr.seen.insert(v);
+                    list.push(v);
+                }
+            }
+        }
+        scr.seen.remove_all(&list);
+
+        for &w in q.neighbors(u) {
+            if w == seed_w || s.tree.level(w) >= lev || list.is_empty() {
+                continue;
+            }
+            neighborhood_mask(adj, &s.candidates[w as usize], lu, &mut scr.mask);
+            list.retain(|&v| scr.mask.contains(v));
+            scr.mask.clear();
+        }
+    });
+
+    // CandVerify last: MND + NLF are the expensive filters, so they only
+    // run on vertices that already satisfy every adjacency constraint.
+    list.retain(|&v| ctx.cand_verify(v, u));
+    list.sort_unstable();
+    list
+}
+
+/// Phase 2: applies same-level (S-NTE) constraints serially — a forward
+/// sweep pruning each vertex against its earlier same-level neighbors,
+/// then a reverse sweep against its later ones (Algorithm 3's backward
+/// pass). No-op for levels without same-level edges.
+fn same_level_prune(ctx: &FilterContext<'_>, s: &mut CpiBuilder, vlev: &[VertexId]) {
+    let q = ctx.q;
+    let Some(&first) = vlev.first() else {
+        return;
+    };
+    let lev = s.tree.level(first);
+    let has_snte = vlev
+        .iter()
+        .any(|&u| q.neighbors(u).iter().any(|&w| s.tree.level(w) == lev));
+    if !has_snte {
+        return;
+    }
+    let adj = &ctx.g_stats.label_adj;
+    with_scratch(ctx.g.num_vertices(), |scr| {
+        // Pass 0 walks forward constraining against earlier same-level
+        // neighbors; pass 1 walks backward constraining against later ones.
+        for pass in 0..2 {
+            for step in 0..vlev.len() {
+                let idx = if pass == 0 {
+                    step
+                } else {
+                    vlev.len() - 1 - step
+                };
+                let u = vlev[idx];
+                for ni in 0..q.neighbors(u).len() {
+                    let w = q.neighbors(u)[ni];
+                    if s.tree.level(w) != lev {
+                        continue;
+                    }
+                    let Some(widx) = vlev.iter().position(|&x| x == w) else {
+                        continue;
+                    };
+                    if (pass == 0) != (widx < idx) {
+                        continue;
+                    }
+                    neighborhood_mask(adj, &s.candidates[w as usize], q.label(u), &mut scr.mask);
+                    s.candidates[u as usize].retain(|&v| scr.mask.contains(v));
+                    scr.mask.clear();
+                }
+            }
+        }
+    });
+}
+
+/// Phase 3 task: the adjacency rows of `u` along its tree edge — for each
+/// parent candidate `v_p` (in candidate order), `N(v_p) ∩ C(u)`. The
+/// membership bitset over `C(u)` is built once and probed per parent
+/// candidate, so each row costs one bit-test per CSR neighbor; the label
+/// test of the nested builder is subsumed because `C(u)` only contains
+/// vertices labeled `l_q(u)`. Rows inherit the CSR slices' ascending
+/// order.
+fn build_rows(ctx: &FilterContext<'_>, s: &CpiBuilder, u: VertexId) -> FlatRows {
+    let g = ctx.g;
+    let ui = u as usize;
+    let Some(p) = s.tree.parent(u) else {
+        unreachable!("level ≥ 2 vertices are never the root");
+    };
+    let adj = &ctx.g_stats.label_adj;
+    let lu = ctx.q.label(u);
+    let parent_cands = &s.candidates[p as usize];
+    let mut rows = FlatRows::default();
+    rows.ends.reserve(parent_cands.len());
+    with_scratch(g.num_vertices(), |scr| {
+        scr.mask.insert_all(&s.candidates[ui]);
+        for &vp in parent_cands {
+            // C(u) holds only `l_q(u)`-labeled vertices, so intersecting
+            // the label-restricted slice is exact and touches a fraction
+            // of the CSR row.
+            intersect_with_set(adj.neighbors_with_label(vp, lu), &scr.mask, &mut rows.data);
+            rows.close_row();
+        }
+        // The mask holds exactly C(u): restore it by key, not by memset.
+        scr.mask.remove_all(&s.candidates[ui]);
+    });
+    rows
+}
+
+/// Unions the `label`-restricted neighborhoods of `cands` into `mask` —
+/// the `N(C(w))` membership structure every adjacency constraint tests
+/// against. The mask only ever gates vertices carrying `label` (the
+/// candidate label of the query vertex under construction), so the
+/// wrong-label neighbors the full CSR slices would contribute are dead
+/// weight the grouped adjacency never loads.
+#[inline]
+fn neighborhood_mask(
+    adj: &cfl_graph::LabelAdjacency,
+    cands: &[VertexId],
+    label: cfl_graph::Label,
+    mask: &mut FixedBitSet,
+) {
+    for &vp in cands {
+        mask.insert_all(adj.neighbors_with_label(vp, label));
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::config::CpiMode;
     use crate::cpi::Cpi;
-    use crate::filters::{FilterContext, GraphStats};
+    use crate::filters::GraphStats;
     use cfl_graph::{graph_from_edges, Graph};
 
     fn build_td(q: &Graph, g: &Graph, root: u32) -> Cpi {
@@ -285,5 +392,29 @@ mod tests {
         assert!(cpi.candidates(0).contains(&0) && cpi.candidates(0).contains(&3));
         assert!(cpi.candidates(1).contains(&1) && cpi.candidates(1).contains(&4));
         assert!(cpi.candidates(2).contains(&2) && cpi.candidates(2).contains(&5));
+    }
+
+    #[test]
+    fn parallel_threads_produce_identical_builders() {
+        let (q, g) = figure7_graphs();
+        let qs = GraphStats::build(&q);
+        let gs = GraphStats::build(&g);
+        let ctx = FilterContext::new(&q, &g, &qs, &gs);
+        let serial = top_down(&ctx, 0);
+        for threads in 2..=8 {
+            let par = top_down_with(&ctx, 0, threads);
+            assert_eq!(par.candidates, serial.candidates, "{threads} threads");
+            for u in q.vertices() {
+                let ui = u as usize;
+                assert_eq!(
+                    par.rows[ui].data, serial.rows[ui].data,
+                    "{threads} threads, u{u} row data"
+                );
+                assert_eq!(
+                    par.rows[ui].ends, serial.rows[ui].ends,
+                    "{threads} threads, u{u} row ends"
+                );
+            }
+        }
     }
 }

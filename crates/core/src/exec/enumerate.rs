@@ -7,6 +7,12 @@
 //! vertices — are validated by probing `G` (`ValidateNT`), exactly as
 //! Theorem 4.1 prescribes. Once all core and forest vertices are mapped the
 //! leaf phase (§4.4) completes the embedding.
+//!
+//! The set primitives here are shared with CPI construction via
+//! [`cfl_graph::intersect`]: `ValidateNT` probes maintained neighborhood
+//! bitsets (the same bitset-membership strategy `build_rows` uses), and the
+//! leaf phase computes `N_u^{u.p}(v) ∖ visited` with the kernel's
+//! set-difference form.
 
 use std::ops::ControlFlow;
 use std::time::Instant;

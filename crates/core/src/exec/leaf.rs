@@ -18,6 +18,7 @@
 
 use std::ops::ControlFlow;
 
+use cfl_graph::intersect::retain_unset_into;
 use cfl_graph::{Label, VertexId};
 
 use super::enumerate::{Enumerator, Stop, UNMAPPED};
@@ -46,6 +47,8 @@ impl Unit {
 pub(crate) struct LeafPhase {
     units: Vec<Unit>,
     pool: Vec<Unit>,
+    /// Scratch for translating one adjacency row to data-vertex ids.
+    ids: Vec<VertexId>,
 }
 
 impl LeafPhase {
@@ -53,6 +56,7 @@ impl LeafPhase {
         LeafPhase {
             units: Vec::new(),
             pool: Vec::new(),
+            ids: Vec::new(),
         }
     }
 
@@ -109,15 +113,22 @@ impl LeafPhase {
             unit.label = label;
             unit.members.push(u);
             let parent_pos = en.pos[p as usize] as usize;
-            for &cand_pos in cpi.row(u, parent_pos) {
-                let v = cpi.candidates(u)[cand_pos as usize];
-                // Cheap invariant probe: `C(u) = N_u^{u.p}(M(u.p)) ∖ …`, so
-                // every unit candidate is adjacent to the mapped parent.
-                debug_assert!(en.data().has_edge(en.mapping[p as usize], v));
-                if !en.visited.contains(v) {
-                    unit.cands.push(v);
-                }
-            }
+            // `C(u) = N_u^{u.p}(M(u.p)) ∖ visited`: translate the row to
+            // data-vertex ids, then take the set difference with the shared
+            // intersection kernel.
+            self.ids.clear();
+            self.ids.extend(
+                cpi.row(u, parent_pos)
+                    .iter()
+                    .map(|&cand_pos| cpi.candidates(u)[cand_pos as usize]),
+            );
+            // Cheap invariant probe: every unit candidate is adjacent to
+            // the mapped parent.
+            debug_assert!(self
+                .ids
+                .iter()
+                .all(|&v| en.data().has_edge(en.mapping[p as usize], v)));
+            retain_unset_into(&self.ids, &en.visited, &mut unit.cands);
             self.units.push(unit);
         }
 

@@ -19,7 +19,7 @@ use crate::error::Error;
 use crate::filters::{FilterContext, GraphStats};
 use crate::order::{compute_order_with, OrderPlan};
 use crate::result::{Embedding, MatchReport, MatchStats};
-use crate::root::select_root;
+use crate::root::select_root_with_candidates;
 
 use enumerate::Enumerator;
 
@@ -116,10 +116,10 @@ pub fn prepare(q: &Graph, g: &Graph, config: &MatchConfig) -> Result<Prepared, E
         } else {
             (0..q.num_vertices() as VertexId).collect()
         };
-    let root = select_root(&ctx, &eligible);
+    let (root, root_cands) = select_root_with_candidates(&ctx, &eligible);
 
     let decomposition = CflDecomposition::compute(q, root, config.decomposition);
-    let cpi = Cpi::build(&ctx, root, config.cpi);
+    let cpi = Cpi::build_seeded(&ctx, root, root_cands, config.cpi, config.build_threads);
     let build_time = build_start.elapsed();
 
     let mut stats = MatchStats {

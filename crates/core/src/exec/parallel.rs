@@ -48,7 +48,10 @@ pub fn count_embeddings_parallel(
     config: &MatchConfig,
     num_threads: usize,
 ) -> Result<MatchReport, Error> {
-    let prepared = prepare(q, g, config)?;
+    // The enumeration workers exist anyway; let the build phase use them
+    // too (unless the caller already asked for more build parallelism).
+    let build_config = config.with_build_threads(num_threads.max(config.build_threads));
+    let prepared = prepare(q, g, &build_config)?;
     if prepared.provably_empty() {
         return Ok(MatchReport::empty(prepared.stats));
     }
@@ -107,7 +110,9 @@ pub fn collect_embeddings_parallel(
     config: &MatchConfig,
     num_threads: usize,
 ) -> Result<(Vec<Embedding>, MatchReport), Error> {
-    let prepared = prepare(q, g, config)?;
+    // See `count_embeddings_parallel`: build with the same parallelism.
+    let build_config = config.with_build_threads(num_threads.max(config.build_threads));
+    let prepared = prepare(q, g, &build_config)?;
     if prepared.provably_empty() {
         return Ok((Vec::new(), MatchReport::empty(prepared.stats)));
     }

@@ -109,7 +109,9 @@ impl<'a> FilterContext<'a> {
     }
 
     /// The label + degree pre-filter the construction loops apply inline
-    /// (Algorithm 3, lines 1 and 12).
+    /// (Algorithm 3, lines 1 and 12). The label test runs first: it
+    /// rejects most probes against the smaller (hotter) label array
+    /// without touching the CSR offsets the degree test reads.
     #[inline]
     pub fn label_degree_ok(&self, v: VertexId, u: VertexId) -> bool {
         self.g.label(v) == self.q.label(u) && self.g.degree(v) >= self.q.degree(u)
@@ -144,16 +146,28 @@ impl<'a> FilterContext<'a> {
         self.label_degree_ok(v, u) && self.cand_verify(v, u)
     }
 
-    /// The light-weight candidate count used in root selection: vertices of
-    /// `G` with label `l_q(u)` and degree at least `d_q(u)`.
+    /// The light candidates of `u`: vertices of `G` with label `l_q(u)`
+    /// and degree at least `d_q(u)`, yielded in `(degree desc, id asc)`
+    /// order — the matching prefix of the label index's degree-sorted
+    /// span, so iteration costs the result size, not the label frequency.
+    /// Callers needing ascending vertex order must sort.
     pub fn light_candidates(&self, u: VertexId) -> impl Iterator<Item = VertexId> + '_ {
-        let du = self.q.degree(u);
         self.g_stats
             .label_index
-            .vertices_with_label(self.q.label(u))
+            .vertices_with_min_degree(self.q.label(u), self.q.degree(u) as u32)
             .iter()
             .copied()
-            .filter(move |&v| self.g.degree(v) >= du)
+    }
+
+    /// Exact size of [`light_candidates`](Self::light_candidates) without
+    /// iterating it: one binary search over the label index's degree-sorted
+    /// span (root selection ranks every eligible vertex by this count, so
+    /// the scan-free form keeps selection sublinear in label frequency).
+    #[inline]
+    pub fn light_candidate_count(&self, u: VertexId) -> usize {
+        self.g_stats
+            .label_index
+            .count_with_min_degree(self.q.label(u), self.q.degree(u) as u32)
     }
 
     /// Label frequency of `l` in the data graph.
@@ -258,5 +272,20 @@ mod tests {
         // Label-A vertices: {0, 3, 4}; degree ≥ 2 keeps only 0.
         assert_eq!(c, vec![0]);
         assert_eq!(ctx.label_frequency(Label(0)), 3);
+    }
+
+    #[test]
+    fn light_candidate_count_matches_iterator() {
+        let (q, g) = ctx_graphs();
+        let qs = GraphStats::build(&q);
+        let gs = GraphStats::build(&g);
+        let ctx = FilterContext::new(&q, &g, &qs, &gs);
+        for u in q.vertices() {
+            assert_eq!(
+                ctx.light_candidate_count(u),
+                ctx.light_candidates(u).count(),
+                "u{u}"
+            );
+        }
     }
 }

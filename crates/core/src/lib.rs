@@ -48,6 +48,7 @@ pub mod exec;
 pub mod extended;
 pub mod filters;
 pub mod order;
+mod pool;
 pub mod result;
 pub mod root;
 pub mod session;
@@ -70,7 +71,7 @@ pub use extended::{collect_embeddings_extended, find_embeddings_extended};
 pub use filters::{FilterContext, FilterOptions, GraphStats};
 pub use order::{compute_order, compute_order_with, OrderPlan, OrderedVertex};
 pub use result::{Embedding, MatchOutcome, MatchReport, MatchStats};
-pub use root::select_root;
+pub use root::{select_root, select_root_with_candidates};
 pub use session::DataGraph;
 pub use stream::EmbeddingStream;
 #[cfg(feature = "validate")]

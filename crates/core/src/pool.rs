@@ -1,0 +1,327 @@
+//! Persistent worker pool for the CPI build phase.
+//!
+//! CPI construction is level-synchronous: each BFS level runs three short
+//! phases (candidate generation, S-NTE pruning, row construction) with a
+//! barrier between them, so a build issues many small fork/join rounds.
+//! Spawning OS threads per round would cost more than the rounds
+//! themselves; instead a single process-wide pool keeps detached workers
+//! parked on a condvar and wakes them per round. The caller always
+//! participates in the work, so a round on an otherwise-idle machine never
+//! waits on a worker being scheduled.
+//!
+//! [`parallel_map`] is the only entry point the build code uses: it runs a
+//! per-index task over `0..n`, stealing indices from a shared atomic
+//! cursor, and returns the results in index order — output is therefore
+//! independent of how work was interleaved, which is what makes parallel
+//! CPI builds byte-identical to serial ones. It also clamps worker count to
+//! the host's available parallelism: oversubscribing a small machine would
+//! only add wakeup latency, and the thread-count knob must never change
+//! results, only speed.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Upper bound on pool workers, a backstop against absurd `--threads`
+/// values; real clamping happens against available parallelism.
+const MAX_WORKERS: usize = 15;
+
+struct State {
+    /// The job currently offered to workers. `'static` is a lie told under
+    /// lock discipline — see the safety comment in [`Pool::run`].
+    job: Option<&'static (dyn Fn() + Sync)>,
+    /// Worker claims still wanted for the current job.
+    wanted: usize,
+    /// Workers currently inside the job closure.
+    running: usize,
+    /// Workers spawned so far (they never exit).
+    spawned: usize,
+}
+
+struct Pool {
+    state: Mutex<State>,
+    /// Signaled when a job is posted.
+    work_ready: Condvar,
+    /// Signaled when the last running worker leaves a job.
+    work_done: Condvar,
+}
+
+/// Mutex poisoning only happens if a panic escaped a lock region; the state
+/// machine stays consistent (every transition is a single guarded update),
+/// so recover the guard rather than propagating the poison.
+fn lock(m: &Mutex<State>) -> MutexGuard<'_, State> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(State {
+            job: None,
+            wanted: 0,
+            running: 0,
+            spawned: 0,
+        }),
+        work_ready: Condvar::new(),
+        work_done: Condvar::new(),
+    })
+}
+
+/// Extra workers worth engaging beyond the calling thread on this host.
+fn available_extra() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(usize::MAX);
+    let mut v = CACHED.load(Ordering::Relaxed);
+    if v == usize::MAX {
+        v = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZero::get)
+            .saturating_sub(1);
+        CACHED.store(v, Ordering::Relaxed);
+    }
+    v
+}
+
+/// Ensures the cleanup handshake runs even if the caller's own share of the
+/// work panics; otherwise workers could dereference the job pointer after
+/// the caller's stack frame is gone.
+struct JobGuard<'a>(&'a Pool);
+
+impl Drop for JobGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = lock(&self.0.state);
+        st.wanted = 0; // withdraw unclaimed offers
+        st.job = None;
+        while st.running > 0 {
+            st = self
+                .0
+                .work_done
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+impl Pool {
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut st = lock(&self.state);
+                loop {
+                    if st.wanted > 0 {
+                        if let Some(job) = st.job {
+                            st.wanted -= 1;
+                            st.running += 1;
+                            break job;
+                        }
+                    }
+                    st = self
+                        .work_ready
+                        .wait(st)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+            // A panicking task must not wedge the pool: swallow it here and
+            // let the caller detect the missing result (`parallel_map`
+            // asserts completeness).
+            let _ = catch_unwind(AssertUnwindSafe(job));
+            let mut st = lock(&self.state);
+            st.running -= 1;
+            if st.running == 0 {
+                self.work_done.notify_all();
+            }
+        }
+    }
+
+    /// Runs `work` on the calling thread and on up to `extra` pool workers
+    /// concurrently; returns after every participant has left the closure.
+    /// `work` must be a self-contained steal loop: each participant calls
+    /// it once and it exits when the shared cursor runs dry.
+    ///
+    /// If the pool is already serving another caller, this degrades to
+    /// running `work` on the caller alone — correct because every caller's
+    /// closure performs the complete task set by itself if unassisted.
+    fn run(&self, extra: usize, work: &(dyn Fn() + Sync)) {
+        if extra == 0 {
+            work();
+            return;
+        }
+        {
+            let mut st = lock(&self.state);
+            if st.job.is_some() || st.running > 0 {
+                drop(st);
+                work();
+                return;
+            }
+            // SAFETY: the `'static` lifetime is fabricated so the borrow
+            // can sit in the shared state. It never outlives the real
+            // borrow: `JobGuard` (dropped before `run` returns, on panic
+            // too) clears the slot under lock and then blocks until
+            // `running == 0`, and workers only obtain the pointer under
+            // the same lock while the slot is populated.
+            let work_static: &'static (dyn Fn() + Sync) =
+                unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &(dyn Fn() + Sync)>(work) };
+            st.job = Some(work_static);
+            st.wanted = extra.min(MAX_WORKERS);
+            while st.spawned < st.wanted {
+                let spawned = std::thread::Builder::new()
+                    .name(format!("cfl-build-{}", st.spawned))
+                    .spawn(|| pool().worker_loop())
+                    .is_ok();
+                if !spawned {
+                    // Out of threads: offer the job to who we have.
+                    st.wanted = st.spawned;
+                    break;
+                }
+                st.spawned += 1;
+            }
+            self.work_ready.notify_all();
+        }
+        let guard = JobGuard(self);
+        work();
+        drop(guard);
+    }
+}
+
+/// Runs `f(i)` for every `i in 0..n` across `threads` participants
+/// (capped at the host's available parallelism) and returns the results in
+/// index order. Indices are claimed from an atomic cursor, so scheduling
+/// affects only *who* computes a result, never *what* is computed or where
+/// it lands — the property the byte-identical parallel CPI build rests on.
+///
+/// # Panics
+/// Panics if any task panicked (on the caller's thread, with the caller's
+/// task's payload, or via a completeness assertion for worker tasks).
+pub(crate) fn parallel_map<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let extra = threads
+        .saturating_sub(1)
+        .min(n.saturating_sub(1))
+        .min(available_extra());
+    if extra == 0 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    let work = || {
+        let mut local: Vec<(usize, T)> = Vec::new();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            local.push((i, f(i)));
+        }
+        if !local.is_empty() {
+            results
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .append(&mut local);
+        }
+    };
+    pool().run(extra, &work);
+    let mut v = results
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    assert_eq!(v.len(), n, "a worker task panicked");
+    v.sort_unstable_by_key(|&(i, _)| i);
+    v.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Like [`parallel_map`] but without the availability clamp — test hook so
+/// the concurrent claim/steal/cleanup protocol is exercised even on hosts
+/// that report a single core.
+#[cfg(test)]
+pub(crate) fn parallel_map_forced<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let extra = threads.saturating_sub(1);
+    if extra == 0 || n == 0 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    let work = || loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let r = (i, f(i));
+        results
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(r);
+    };
+    pool().run(extra, &work);
+    let mut v = results
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    assert_eq!(v.len(), n, "a worker task panicked");
+    v.sort_unstable_by_key(|&(i, _)| i);
+    v.into_iter().map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_is_in_index_order_serial_and_parallel() {
+        let serial = parallel_map(1, 100, |i| i * i);
+        assert_eq!(serial, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        let par = parallel_map_forced(4, 100, |i| i * i);
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once_under_contention() {
+        // 4 participants racing over tiny tasks across repeated rounds —
+        // exercises claim, steal, cleanup and re-offer paths for real.
+        for _ in 0..50 {
+            let hits: Vec<AtomicU64> = (0..257).map(|_| AtomicU64::new(0)).collect();
+            let out = parallel_map_forced(4, hits.len(), |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+                i
+            });
+            assert_eq!(out, (0..hits.len()).collect::<Vec<_>>());
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn empty_and_single_task_sets() {
+        assert_eq!(parallel_map(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(8, 1, |i| i + 7), vec![7]);
+        assert_eq!(parallel_map_forced(8, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn nested_calls_degrade_to_serial() {
+        // An inner parallel_map issued while the pool serves the outer one
+        // must fall back to the caller-only path, not deadlock.
+        let out = parallel_map_forced(3, 8, |i| parallel_map_forced(3, 4, move |j| i * 10 + j));
+        for (i, inner) in out.iter().enumerate() {
+            assert_eq!(inner, &(0..4).map(|j| i * 10 + j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn caller_panic_leaves_pool_usable() {
+        let boom = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map_forced(4, 64, |i| {
+                if i == 0 {
+                    panic!("task failure");
+                }
+                i
+            })
+        }));
+        assert!(boom.is_err());
+        // Pool must have been cleaned up by the guard and serve new jobs.
+        let ok = parallel_map_forced(4, 64, |i| i);
+        assert_eq!(ok, (0..64).collect::<Vec<_>>());
+    }
+}

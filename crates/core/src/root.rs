@@ -3,45 +3,97 @@
 //! The root is chosen as `argmin_u |C(u)| / d_q(u)`: few candidates (few
 //! partial embeddings) and high degree (early pruning). To keep selection
 //! cheap, a light-weight label+degree candidate count ranks all eligible
-//! vertices, the top-3 are re-scored with the full `CandVerify` filter, and
-//! the best of those wins. When the query has a non-empty 2-core the root is
-//! restricted to core vertices, because core vertices open the matching
-//! order (§3).
+//! vertices, the top-3 are re-scored with the full `CandVerify` filter
+//! (capped sampling, see [`REFINE_SCAN_CAP`]), and the best of those wins.
+//! When the query has a non-empty 2-core the root is restricted to core
+//! vertices, because core vertices open the matching order (§3).
 
 use cfl_graph::VertexId;
 
 use crate::filters::FilterContext;
 
+/// Cap on `CandVerify` probes per refined vertex during root selection.
+/// Refinement only compares *estimated* candidate counts between the
+/// top-ranked vertices, so past this many light candidates the verified
+/// count is extrapolated from the scanned prefix instead of scanned out —
+/// root selection stays O(1)-bounded per query vertex even on labels
+/// whose degree-qualified prefix is huge.
+const REFINE_SCAN_CAP: usize = 128;
+
 /// Selects the BFS root among `eligible` query vertices (non-empty).
 pub fn select_root(ctx: &FilterContext<'_>, eligible: &[VertexId]) -> VertexId {
+    select_root_with_candidates(ctx, eligible).0
+}
+
+/// Like [`select_root`], but also returns the chosen root's verified
+/// candidate set (strictly ascending vertex order).
+///
+/// The refinement pass already runs `CandVerify` over the winner's light
+/// candidates to score it — exactly the computation Algorithm 3 line 1
+/// would repeat to seed the CPI — so materializing the survivors here
+/// lets the build start from them instead of filtering the label index a
+/// second time. The selected root is identical to [`select_root`]'s.
+pub fn select_root_with_candidates(
+    ctx: &FilterContext<'_>,
+    eligible: &[VertexId],
+) -> (VertexId, Vec<VertexId>) {
     assert!(!eligible.is_empty(), "root selection needs candidates");
 
-    // Rank by the light-weight score.
+    // Rank by the light-weight score: the count comes from the label
+    // index's degree-sorted spans (one binary search per vertex), so this
+    // pass never touches the label lists themselves.
     let mut scored: Vec<(f64, VertexId)> = eligible
         .iter()
         .map(|&u| {
-            let cnt = ctx.light_candidates(u).count();
+            let cnt = ctx.light_candidate_count(u);
             (score(cnt, ctx.q.degree(u)), u)
         })
         .collect();
     scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 
-    // Refine the top-3 with CandVerify.
-    let mut best: Option<(f64, VertexId)> = None;
+    // Refine the top-3 with CandVerify, keeping the survivors — the
+    // winner's list doubles as the CPI's root candidate set. Scoring only
+    // needs a selectivity estimate, so each probe scans at most
+    // `REFINE_SCAN_CAP` light candidates and extrapolates the verified
+    // count to the full prefix; vertices whose prefix fits under the cap
+    // (the common case — the top-ranked vertices are ranked *because*
+    // their prefixes are small) are scored exactly.
+    let mut best: Option<(f64, VertexId, Vec<VertexId>, usize)> = None;
     for &(_, u) in scored.iter().take(3) {
-        let refined = ctx
+        let total = ctx.light_candidate_count(u);
+        let scanned = total.min(REFINE_SCAN_CAP);
+        let refined: Vec<VertexId> = ctx
             .light_candidates(u)
+            .take(scanned)
             .filter(|&v| ctx.cand_verify(v, u))
-            .count();
-        let s = score(refined, ctx.q.degree(u));
-        if best.is_none_or(|(bs, bu)| s < bs || (s == bs && u < bu)) {
-            best = Some((s, u));
+            .collect();
+        let est = if scanned == 0 {
+            0.0
+        } else {
+            refined.len() as f64 * (total as f64 / scanned as f64)
+        };
+        let s = est / ctx.q.degree(u).max(1) as f64;
+        if best
+            .as_ref()
+            .is_none_or(|&(bs, bu, _, _)| s < bs || (s == bs && u < bu))
+        {
+            best = Some((s, u, refined, scanned));
         }
     }
-    let Some((_, root)) = best else {
+    let Some((_, root, mut cands, scanned)) = best else {
         unreachable!("eligible set is non-empty");
     };
-    root
+    // Complete the winner's scan past the cap: the seed needs the *full*
+    // verified set, but only for the one vertex that won.
+    cands.extend(
+        ctx.light_candidates(root)
+            .skip(scanned)
+            .filter(|&v| ctx.cand_verify(v, root)),
+    );
+    // Light candidates arrive in (degree desc, id asc) order; the CPI's
+    // ordering invariant wants ascending vertex ids.
+    cands.sort_unstable();
+    (root, cands)
 }
 
 #[inline]
@@ -82,6 +134,29 @@ mod tests {
         let ctx = FilterContext::new(&q, &g, &qs, &gs);
         // Restrict eligibility to vertex 2 only.
         assert_eq!(select_root(&ctx, &[2]), 2);
+    }
+
+    #[test]
+    fn candidates_are_the_verified_ascending_set() {
+        let q = graph_from_edges(&[9, 1, 1, 1], &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let g = graph_from_edges(
+            &[9, 1, 1, 1, 1, 1, 1],
+            &[(0, 1), (0, 2), (0, 3), (4, 5), (5, 6)],
+        )
+        .unwrap();
+        let qs = GraphStats::build(&q);
+        let gs = GraphStats::build(&g);
+        let ctx = FilterContext::new(&q, &g, &qs, &gs);
+        let all: Vec<VertexId> = (0..4).collect();
+        let (root, cands) = select_root_with_candidates(&ctx, &all);
+        assert_eq!(root, select_root(&ctx, &all));
+        let mut want: Vec<VertexId> = ctx
+            .light_candidates(root)
+            .filter(|&v| ctx.cand_verify(v, root))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(cands, want);
+        assert!(cands.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::exec::Prepared;
 use crate::filters::{FilterContext, GraphStats};
 use crate::order::{compute_order_with, OrderPlan};
 use crate::result::{Embedding, MatchReport, MatchStats};
-use crate::root::select_root;
+use crate::root::select_root_with_candidates;
 
 /// A data graph with its matching statistics prebuilt.
 pub struct DataGraph<'g> {
@@ -77,10 +77,10 @@ impl<'g> DataGraph<'g> {
             } else {
                 (0..q.num_vertices() as VertexId).collect()
             };
-        let root = select_root(&ctx, &eligible);
+        let (root, root_cands) = select_root_with_candidates(&ctx, &eligible);
 
         let decomposition = CflDecomposition::compute(q, root, config.decomposition);
-        let cpi = Cpi::build(&ctx, root, config.cpi);
+        let cpi = Cpi::build_seeded(&ctx, root, root_cands, config.cpi, config.build_threads);
         let build_time = build_start.elapsed();
 
         let mut stats = MatchStats {

@@ -11,6 +11,7 @@ use std::path::{Path, PathBuf};
 
 use cfl_graph::{
     read_graph_file, synthetic_graph, write_graph_file, Graph, IoError, SyntheticConfig,
+    GENERATOR_VERSION,
 };
 
 /// Saves `queries` as `<dir>/<name>/q-<i>.graph` with a manifest; returns
@@ -34,8 +35,11 @@ pub fn save_query_set(
     Ok(paths)
 }
 
-/// Filename-safe cache key covering every generator parameter and the
-/// seed, so two configs collide iff they generate the same graph.
+/// Filename-safe cache key covering every generator parameter, the seed,
+/// and the generator procedure version
+/// ([`cfl_graph::GENERATOR_VERSION`]), so two configs collide iff they
+/// generate the same graph — and a cached graph from an older generator
+/// revision is regenerated rather than silently reused.
 ///
 /// Floats are rendered through their full `Debug` form (`6.0`, `0.25`,
 /// `1e-7`) with `.` and `-` mapped to `_`, keeping the key stable and
@@ -43,7 +47,8 @@ pub fn save_query_set(
 pub fn synthetic_cache_key(cfg: &SyntheticConfig) -> String {
     let f = |x: f64| format!("{x:?}").replace('.', "_").replace('-', "m");
     format!(
-        "v{}-d{}-l{}-e{}-t{}-s{}",
+        "gv{}-v{}-d{}-l{}-e{}-t{}-s{}",
+        GENERATOR_VERSION,
         cfg.num_vertices,
         f(cfg.avg_degree),
         cfg.num_labels,

@@ -7,6 +7,13 @@
 
 pub mod query;
 
+/// Version of the synthetic generator's sampling procedure. Bump whenever a
+/// change alters the bytes a given [`SyntheticConfig`] produces (RNG usage,
+/// edge-sampling order, label CDF); benchmark metadata and dataset cache
+/// keys embed it, so stale cached graphs are regenerated instead of
+/// silently reused across incompatible generator revisions.
+pub const GENERATOR_VERSION: u32 = 1;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

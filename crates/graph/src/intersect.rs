@@ -1,0 +1,260 @@
+//! Shared sorted-set intersection kernels.
+//!
+//! CPI construction and enumeration both reduce to one primitive: intersect
+//! a sorted `u32` adjacency slice with a candidate set. This module is the
+//! single tuned implementation both phases call, with three strategies
+//! selected by the shape of the inputs:
+//!
+//! * **merge** — branch-light linear merge, best when the two lists have
+//!   similar lengths (each step advances at least one cursor, `O(m + n)`);
+//! * **gallop** — exponential search of the longer list for each element of
+//!   the shorter, best when the lengths are skewed
+//!   (`O(m · log n)` with `m ≪ n`); engaged when one side is at least
+//!   [`GALLOP_RATIO`] times the other;
+//! * **bitset** — one membership bit-test per element against a
+//!   pre-built [`FixedBitSet`], best when one side is reused across many
+//!   intersections (the CPI build probes the same candidate set once per
+//!   parent candidate, so the `O(|C|)` bitset setup amortizes to nothing).
+//!
+//! The list kernels require strictly ascending duplicate-free inputs — the
+//! invariant CSR adjacency slices and frozen CPI candidate arrays already
+//! guarantee — and produce strictly ascending outputs.
+
+use crate::bitset::FixedBitSet;
+
+/// Length ratio above which [`intersect_into`] switches from the linear
+/// merge to galloping search. 8 is the crossover where `m · log₂(n)`
+/// undercuts `m + n` for the adjacency/candidate sizes seen in practice
+/// (`log₂(n) ≲ 16` for graphs up to 65k vertices, so skew beyond 8× keeps
+/// the galloping side strictly cheaper).
+pub const GALLOP_RATIO: usize = 8;
+
+/// Intersects two strictly ascending slices into `out` (appended, ascending).
+///
+/// Dispatches to galloping search when one input is ≥ [`GALLOP_RATIO`]
+/// times longer than the other, and to the linear merge otherwise.
+pub fn intersect_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    if a.len() > b.len() {
+        return intersect_into(b, a, out);
+    }
+    if a.is_empty() {
+        return;
+    }
+    if a.len().saturating_mul(GALLOP_RATIO) <= b.len() {
+        gallop_intersect(a, b, out);
+    } else {
+        merge_intersect(a, b, out);
+    }
+}
+
+/// Linear merge intersection of two strictly ascending slices.
+///
+/// Exposed (rather than private) so differential tests can pin each
+/// strategy against the oracle independently of the dispatch heuristic.
+pub fn merge_intersect(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        // Cursor bumps compile to conditional increments; the only
+        // hard-to-predict branch is the rare equality push.
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
+        if x == y {
+            out.push(x);
+        }
+    }
+}
+
+/// Galloping intersection: for each element of the shorter slice `a`,
+/// locate it in the longer slice `b` by exponential search from the
+/// previous match position.
+pub fn gallop_intersect(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    let mut lo = 0usize;
+    for &x in a {
+        if lo >= b.len() {
+            break;
+        }
+        // Exponentially widen the window [lo, win_end) until its last
+        // element reaches x (or the window hits the end of b), then binary
+        // search inside it: O(log d) for a match d positions ahead.
+        let mut width = 1usize;
+        let mut win_end = (lo + width).min(b.len());
+        while win_end < b.len() && b[win_end - 1] < x {
+            width *= 2;
+            win_end = (lo + width).min(b.len());
+        }
+        match b[lo..win_end].binary_search(&x) {
+            Ok(at) => {
+                out.push(x);
+                lo += at + 1;
+            }
+            Err(at) => lo += at,
+        }
+    }
+}
+
+/// Intersects `keys` with a set given as a bitset: appends every element of
+/// `keys` contained in `set`. Output order follows `keys`; for ascending
+/// `keys` the output is ascending.
+///
+/// This is the density fallback of the kernel family: when the same set is
+/// probed by many intersections (every parent candidate's adjacency row
+/// against one child candidate set), building the bitset once and paying a
+/// single bit-test per key beats any per-call list walk.
+#[inline]
+pub fn intersect_with_set(keys: &[u32], set: &FixedBitSet, out: &mut Vec<u32>) {
+    for &k in keys {
+        if set.contains(k) {
+            out.push(k);
+        }
+    }
+}
+
+/// Retains the elements of `list` contained in `set`, preserving order.
+/// The in-place pruning form of [`intersect_with_set`], used by the CPI
+/// build to narrow a candidate list against each successive neighbor mask.
+#[inline]
+pub fn retain_in_set(list: &mut Vec<u32>, set: &FixedBitSet) {
+    list.retain(|&k| set.contains(k));
+}
+
+/// Appends the elements of `keys` *not* contained in `set` — the set
+/// difference the leaf phase computes (`N_u^{u.p}(v) ∖ visited`).
+#[inline]
+pub fn retain_unset_into(keys: &[u32], set: &FixedBitSet, out: &mut Vec<u32>) {
+    for &k in keys {
+        if !set.contains(k) {
+            out.push(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The `O(n · m)` reference oracle.
+    fn naive(a: &[u32], b: &[u32]) -> Vec<u32> {
+        a.iter().copied().filter(|x| b.contains(x)).collect()
+    }
+
+    fn run_all(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+        let mut adaptive = Vec::new();
+        intersect_into(a, b, &mut adaptive);
+        let mut merge = Vec::new();
+        merge_intersect(a, b, &mut merge);
+        let mut gallop = Vec::new();
+        gallop_intersect(a, b, &mut gallop);
+        (adaptive, merge, gallop)
+    }
+
+    #[test]
+    fn adversarial_fixed_cases() {
+        // (a, b, expected) over the adversarial shapes: empty, disjoint,
+        // nested, and duplicate-free skewed sets.
+        let big: Vec<u32> = (0..1000).map(|i| i * 3).collect();
+        let cases: Vec<(Vec<u32>, Vec<u32>, Vec<u32>)> = vec![
+            (vec![], vec![], vec![]),
+            (vec![], vec![1, 2, 3], vec![]),
+            (vec![1, 2, 3], vec![], vec![]),
+            // Fully disjoint, interleaved values.
+            (vec![0, 2, 4, 6], vec![1, 3, 5, 7], vec![]),
+            // Disjoint ranges (one exhausts before the other starts).
+            (vec![1, 2, 3], vec![10, 20, 30], vec![]),
+            // Nested: a ⊂ b.
+            (
+                vec![5, 50, 500],
+                vec![5, 6, 7, 50, 51, 499, 500],
+                vec![5, 50, 500],
+            ),
+            // Identical.
+            (vec![2, 4, 8], vec![2, 4, 8], vec![2, 4, 8]),
+            // Heavily skewed: 3 probes into 1000 entries (gallop path).
+            (vec![0, 1500, 2997], big.clone(), vec![0, 1500, 2997]),
+            // Skewed with no hits past the first probe.
+            (vec![1, 2, 4], big.clone(), vec![]),
+            // Boundary values.
+            (vec![0, u32::MAX], vec![0, 1, u32::MAX], vec![0, u32::MAX]),
+        ];
+        for (a, b, expect) in cases {
+            let (adaptive, merge, gallop) = run_all(&a, &b);
+            assert_eq!(adaptive, expect, "adaptive {a:?} ∩ {b:?}");
+            assert_eq!(merge, expect, "merge {a:?} ∩ {b:?}");
+            assert_eq!(gallop, expect, "gallop {a:?} ∩ {b:?}");
+            assert_eq!(naive(&a, &b), expect, "oracle {a:?} ∩ {b:?}");
+        }
+    }
+
+    #[test]
+    fn bitset_kernels_match_oracle() {
+        let keys = [1u32, 3, 64, 65, 120];
+        let mut set = FixedBitSet::new(130);
+        set.insert_all(&[3, 64, 121]);
+        let mut hit = Vec::new();
+        intersect_with_set(&keys, &set, &mut hit);
+        assert_eq!(hit, vec![3, 64]);
+        let mut miss = Vec::new();
+        retain_unset_into(&keys, &set, &mut miss);
+        assert_eq!(miss, vec![1, 65, 120]);
+        let mut list = keys.to_vec();
+        retain_in_set(&mut list, &set);
+        assert_eq!(list, hit);
+    }
+
+    /// Strictly ascending duplicate-free vector strategy.
+    fn sorted_set(max_len: usize, max_val: u32) -> impl Strategy<Value = Vec<u32>> {
+        proptest::collection::vec(0..max_val, 0..max_len).prop_map(|mut v| {
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+    }
+
+    proptest! {
+        /// Every strategy agrees with the naive oracle on random
+        /// similar-sized inputs.
+        #[test]
+        fn kernels_match_oracle(
+            a in sorted_set(40, 120),
+            b in sorted_set(40, 120),
+        ) {
+            let expect = naive(&a, &b);
+            let (adaptive, merge, gallop) = run_all(&a, &b);
+            prop_assert_eq!(&adaptive, &expect);
+            prop_assert_eq!(&merge, &expect);
+            prop_assert_eq!(&gallop, &expect);
+        }
+
+        /// Skewed sizes force the galloping dispatch; result still matches.
+        #[test]
+        fn skewed_kernels_match_oracle(
+            a in sorted_set(5, 5000),
+            b in sorted_set(400, 5000),
+        ) {
+            let expect = naive(&a, &b);
+            let (adaptive, merge, gallop) = run_all(&a, &b);
+            prop_assert_eq!(&adaptive, &expect);
+            prop_assert_eq!(&merge, &expect);
+            prop_assert_eq!(&gallop, &expect);
+        }
+
+        /// The bitset kernels partition `keys` by membership.
+        #[test]
+        fn bitset_partition(
+            keys in sorted_set(50, 300),
+            members in sorted_set(50, 300),
+        ) {
+            let mut set = FixedBitSet::new(300);
+            set.insert_all(&members);
+            let mut inside = Vec::new();
+            let mut outside = Vec::new();
+            intersect_with_set(&keys, &set, &mut inside);
+            retain_unset_into(&keys, &set, &mut outside);
+            prop_assert_eq!(&inside, &naive(&keys, &members));
+            let mut merged = [inside, outside].concat();
+            merged.sort_unstable();
+            prop_assert_eq!(merged, keys);
+        }
+    }
+}

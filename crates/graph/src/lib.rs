@@ -25,6 +25,7 @@ pub mod builder;
 pub mod connect;
 pub mod gen;
 pub mod graph;
+pub mod intersect;
 pub mod io;
 pub mod kcore;
 pub mod label;
@@ -38,11 +39,12 @@ pub use bitset::FixedBitSet;
 pub use builder::{graph_from_edges, BuildError, GraphBuilder};
 pub use connect::{components, induced_subgraph, is_connected};
 pub use gen::query::{query_set, random_walk_query, QueryDensity, QueryGenConfig};
-pub use gen::{synthetic_graph, PowerLawLabels, SyntheticConfig};
+pub use gen::{synthetic_graph, PowerLawLabels, SyntheticConfig, GENERATOR_VERSION};
 pub use graph::{Graph, VertexId};
+pub use intersect::{intersect_into, intersect_with_set};
 pub use io::{read_graph, read_graph_file, write_graph, write_graph_file, IoError};
 pub use kcore::{core_numbers, k_core, two_core};
 pub use label::{Label, LabelMap};
 pub use nec::{nec_equivalent, nec_partition, NecPartition};
-pub use stats::{max_neighbor_degrees, LabelIndex, NlfIndex, StatTables};
+pub use stats::{max_neighbor_degrees, LabelAdjacency, LabelIndex, NlfIndex, StatTables};
 pub use summary::GraphSummary;

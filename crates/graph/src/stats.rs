@@ -15,10 +15,21 @@ use crate::label::Label;
 pub struct LabelIndex {
     offsets: Vec<u32>,
     vertices: Vec<VertexId>,
+    /// Per label, the degrees of its vertices sorted *descending* (spanned
+    /// by the same `offsets`): "how many label-`l` vertices have degree
+    /// ≥ d" — the light candidate count driving root selection — becomes
+    /// one binary search instead of a scan of the whole label list.
+    degrees_desc: Vec<u32>,
+    /// The vertices aligned with `degrees_desc`: per label, sorted by
+    /// `(degree desc, id asc)`. The vertices with degree ≥ d are exactly a
+    /// prefix of the label's span, so enumerating them costs the size of
+    /// the result instead of the size of the label list.
+    by_degree: Vec<VertexId>,
 }
 
 impl LabelIndex {
-    /// Builds the index in `O(|V|)`.
+    /// Builds the index in `O(|V| log |V|)` (the log factor pays for the
+    /// per-label degree sort behind [`count_with_min_degree`](Self::count_with_min_degree)).
     pub fn build(g: &Graph) -> Self {
         let nl = g.num_labels();
         let mut counts = vec![0u32; nl];
@@ -39,7 +50,18 @@ impl LabelIndex {
             vertices[cursor[l] as usize] = v;
             cursor[l] += 1;
         }
-        Self { offsets, vertices }
+        let mut by_degree = vertices.clone();
+        for l in 0..nl {
+            by_degree[offsets[l] as usize..offsets[l + 1] as usize]
+                .sort_unstable_by_key(|&v| (std::cmp::Reverse(g.degree(v) as u32), v));
+        }
+        let degrees_desc: Vec<u32> = by_degree.iter().map(|&v| g.degree(v) as u32).collect();
+        Self {
+            offsets,
+            vertices,
+            degrees_desc,
+            by_degree,
+        }
     }
 
     /// Sorted vertices carrying `label`; empty for out-of-range labels.
@@ -56,6 +78,33 @@ impl LabelIndex {
     #[inline]
     pub fn frequency(&self, label: Label) -> usize {
         self.vertices_with_label(label).len()
+    }
+
+    /// Number of vertices carrying `label` with degree ≥ `min_degree`, in
+    /// `O(log |frequency(label)|)` via the degree-sorted span — exactly
+    /// `vertices_with_label(label).filter(|v| degree(v) >= min_degree).count()`.
+    #[inline]
+    pub fn count_with_min_degree(&self, label: Label, min_degree: u32) -> usize {
+        let i = label.index();
+        if i + 1 >= self.offsets.len() {
+            return 0;
+        }
+        self.degrees_desc[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+            .partition_point(|&d| d >= min_degree)
+    }
+
+    /// The vertices carrying `label` with degree ≥ `min_degree`, as a
+    /// slice ordered by `(degree desc, id asc)` — the matching prefix of
+    /// the label's degree-sorted span, located by one binary search.
+    #[inline]
+    pub fn vertices_with_min_degree(&self, label: Label, min_degree: u32) -> &[VertexId] {
+        let i = label.index();
+        if i + 1 >= self.offsets.len() {
+            return &[];
+        }
+        let lo = self.offsets[i] as usize;
+        let n = self.count_with_min_degree(label, min_degree);
+        &self.by_degree[lo..lo + n]
     }
 }
 
@@ -230,9 +279,92 @@ impl NlfIndex {
     }
 }
 
-/// The three per-graph filter tables — label index, NLF signatures, and
-/// maximum neighbor degrees — bundled so they can be built together and
-/// memoized on the graph they describe (see
+/// Label-grouped adjacency: every vertex's CSR neighbor slice reordered
+/// so neighbors sharing a label sit contiguously — groups in ascending
+/// label order, ascending vertex id within a group.
+///
+/// CPI construction only ever consumes the neighbors carrying *one*
+/// specific label (the candidate label of the query vertex being built):
+/// seed-list generation, candidate neighborhood masks, and adjacency-row
+/// intersections all filter by it immediately. Serving the matching group
+/// as a slice divides those scans by roughly the number of distinct
+/// neighbor labels and drops the per-visit label probe entirely. Group
+/// slices stay ascending, so they feed the shared sorted-set intersection
+/// kernels ([`crate::intersect`]) unchanged.
+#[derive(Clone, Debug)]
+pub struct LabelAdjacency {
+    /// Reordered adjacency arena; vertices tile it in id order exactly
+    /// like the graph's CSR, each slice permuted to (label, id) order.
+    nbr: Vec<VertexId>,
+    /// Distinct neighbor labels per vertex, concatenated (ascending per
+    /// vertex).
+    group_labels: Vec<u32>,
+    /// Start of each label group in `nbr`, aligned with `group_labels`,
+    /// plus one global end sentinel. Groups tile `nbr`, so the entry
+    /// after a vertex's last group — the next vertex's first group or the
+    /// sentinel — is exactly that group's end.
+    group_starts: Vec<u32>,
+    /// Per-vertex spans into `group_labels` (`nv + 1` entries).
+    group_offsets: Vec<u32>,
+}
+
+impl LabelAdjacency {
+    /// Builds the grouped adjacency in `O(Σ_v d(v) log d(v))`.
+    pub fn build(g: &Graph) -> Self {
+        let nv = g.num_vertices();
+        let mut nbr: Vec<VertexId> = Vec::with_capacity(g.num_edges() * 2);
+        let mut group_labels: Vec<u32> = Vec::new();
+        let mut group_starts: Vec<u32> = Vec::new();
+        let mut group_offsets: Vec<u32> = Vec::with_capacity(nv + 1);
+        group_offsets.push(0);
+        let mut buf: Vec<VertexId> = Vec::new();
+        for v in g.vertices() {
+            buf.clear();
+            buf.extend_from_slice(g.neighbors(v));
+            buf.sort_unstable_by_key(|&w| (g.label(w).0, w));
+            let base = nbr.len() as u32;
+            let mut prev: Option<u32> = None;
+            for (i, &w) in buf.iter().enumerate() {
+                let l = g.label(w).0;
+                if prev != Some(l) {
+                    group_labels.push(l);
+                    group_starts.push(base + i as u32);
+                    prev = Some(l);
+                }
+            }
+            nbr.extend_from_slice(&buf);
+            group_offsets.push(group_labels.len() as u32);
+        }
+        group_starts.push(nbr.len() as u32);
+        LabelAdjacency {
+            nbr,
+            group_labels,
+            group_starts,
+            group_offsets,
+        }
+    }
+
+    /// The neighbors of `v` carrying `label`, ascending by vertex id —
+    /// one binary search over `v`'s few distinct neighbor labels, then a
+    /// contiguous slice.
+    #[inline]
+    pub fn neighbors_with_label(&self, v: VertexId, label: Label) -> &[VertexId] {
+        let lo = self.group_offsets[v as usize] as usize;
+        let hi = self.group_offsets[v as usize + 1] as usize;
+        match self.group_labels[lo..hi].binary_search(&label.0) {
+            Ok(i) => {
+                let s = self.group_starts[lo + i] as usize;
+                let e = self.group_starts[lo + i + 1] as usize;
+                &self.nbr[s..e]
+            }
+            Err(_) => &[],
+        }
+    }
+}
+
+/// The per-graph filter tables — label index, NLF signatures, maximum
+/// neighbor degrees, and the label-grouped adjacency — bundled so they
+/// can be built together and memoized on the graph they describe (see
 /// [`Graph::stat_tables`](crate::Graph::stat_tables)).
 #[derive(Clone, Debug)]
 pub struct StatTables {
@@ -242,17 +374,20 @@ pub struct StatTables {
     pub nlf: NlfIndex,
     /// Per-vertex maximum neighbor degree (Definition A.1).
     pub mnd: Vec<u32>,
+    /// Label-grouped adjacency serving single-label neighbor slices.
+    pub label_adj: LabelAdjacency,
 }
 
 impl StatTables {
-    /// Builds all three tables in `O(|V| + |E|)`; the NLF and MND parts
-    /// share one adjacency traversal.
+    /// Builds all tables; the NLF and MND parts share one adjacency
+    /// traversal, the rest are linear to log-linear passes.
     pub fn build(g: &Graph) -> Self {
         let (nlf, mnd) = NlfIndex::build_with_mnd(g);
         StatTables {
             label_index: LabelIndex::build(g),
             nlf,
             mnd,
+            label_adj: LabelAdjacency::build(g),
         }
     }
 }
@@ -291,6 +426,78 @@ mod tests {
         assert_eq!(idx.vertices_with_label(Label(1)), &[1, 2]);
         assert_eq!(idx.frequency(Label(2)), 1);
         assert_eq!(idx.frequency(Label(9)), 0);
+    }
+
+    #[test]
+    fn count_with_min_degree_matches_scan() {
+        let g = graph_from_edges(
+            &[0, 1, 1, 2, 0, 1, 2, 2],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (4, 5),
+                (4, 6),
+                (4, 7),
+                (1, 4),
+                (3, 7),
+            ],
+        )
+        .unwrap();
+        let idx = LabelIndex::build(&g);
+        for l in 0..4u32 {
+            for d in 0..5u32 {
+                let scan = idx
+                    .vertices_with_label(Label(l))
+                    .iter()
+                    .filter(|&&v| g.degree(v) as u32 >= d)
+                    .count();
+                assert_eq!(
+                    idx.count_with_min_degree(Label(l), d),
+                    scan,
+                    "label {l} min degree {d}"
+                );
+            }
+        }
+        assert_eq!(idx.count_with_min_degree(Label(9), 0), 0);
+    }
+
+    #[test]
+    fn vertices_with_min_degree_is_the_filtered_set() {
+        let g = graph_from_edges(
+            &[0, 1, 1, 2, 0, 1, 2, 2],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (4, 5),
+                (4, 6),
+                (4, 7),
+                (1, 4),
+                (3, 7),
+            ],
+        )
+        .unwrap();
+        let idx = LabelIndex::build(&g);
+        for l in 0..4u32 {
+            for d in 0..5u32 {
+                let mut got: Vec<_> = idx.vertices_with_min_degree(Label(l), d).to_vec();
+                got.sort_unstable();
+                let want: Vec<_> = idx
+                    .vertices_with_label(Label(l))
+                    .iter()
+                    .copied()
+                    .filter(|&v| g.degree(v) as u32 >= d)
+                    .collect();
+                assert_eq!(got, want, "label {l} min degree {d}");
+                // The slice itself is (degree desc, id asc)-ordered.
+                let span = idx.vertices_with_min_degree(Label(l), d);
+                assert!(span
+                    .windows(2)
+                    .all(|w| (std::cmp::Reverse(g.degree(w[0])), w[0])
+                        <= (std::cmp::Reverse(g.degree(w[1])), w[1])));
+            }
+        }
     }
 
     #[test]
@@ -402,6 +609,43 @@ mod tests {
         let g = graph_from_edges(&labels, &edges).unwrap();
         let nlf = NlfIndex::build(&g);
         assert!(g.vertices().all(|v| !nlf.packed_exact(v)));
+    }
+
+    #[test]
+    fn label_adjacency_groups_match_filtered_neighbors() {
+        let g = graph_from_edges(
+            &[0, 1, 1, 2, 0, 1, 2, 2],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (4, 5),
+                (4, 6),
+                (4, 7),
+                (1, 4),
+                (3, 7),
+            ],
+        )
+        .unwrap();
+        let adj = LabelAdjacency::build(&g);
+        for v in g.vertices() {
+            for l in 0..5u32 {
+                let got = adj.neighbors_with_label(v, Label(l));
+                let want: Vec<VertexId> = g
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&w| g.label(w) == Label(l))
+                    .collect();
+                assert_eq!(got, want.as_slice(), "v{v} label {l}");
+                assert!(got.windows(2).all(|w| w[0] < w[1]), "ascending v{v} l{l}");
+            }
+        }
+        // An isolated vertex serves empty slices for every label.
+        let lonely = graph_from_edges(&[0, 1], &[]).unwrap();
+        let adj = LabelAdjacency::build(&lonely);
+        assert!(adj.neighbors_with_label(0, Label(1)).is_empty());
+        assert!(adj.neighbors_with_label(1, Label(0)).is_empty());
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! * candidate arrays are strictly sorted (binary-search invariant);
 //! * every row entry is an in-range position whose underlying pair of data
 //!   vertices is a real edge of `G`;
+//! * rows are strictly ascending position sequences (the documented arena
+//!   ordering invariant: enumeration and the leaf phase rely on rows being
+//!   sorted, duplicate-free position lists);
 //! * rows are *complete*: `N_u^{u.p}(v)` holds exactly the candidates of
 //!   `u` adjacent to `v` — no data edge between candidate sets is dropped;
 //! * no candidate is orphaned — unreachable from every surviving parent
@@ -253,8 +256,9 @@ fn check_candidates<C: CpiView + ?Sized>(
     }
 }
 
-/// Row invariants: in-range positions, real data edges, completeness,
-/// no orphans, and (refined mode) downward support.
+/// Row invariants: in-range positions in strictly ascending order, real
+/// data edges, completeness, no orphans, and (refined mode) downward
+/// support.
 fn check_rows<C: CpiView + ?Sized>(
     q: &Graph,
     g: &Graph,
@@ -287,7 +291,23 @@ fn check_rows<C: CpiView + ?Sized>(
         for (parent_pos, &pv) in parent_c.iter().enumerate() {
             let row = cpi.row(u, parent_pos);
             round += 1;
+            let mut prev: Option<u32> = None;
             for &pos in row {
+                // Ordering invariant: each row is a strictly ascending
+                // position sequence. A decreasing adjacent pair is an
+                // ordering violation; an equal pair is already reported as
+                // `row-duplicate` by the stamp below.
+                if let Some(last) = prev {
+                    if last > pos {
+                        report.violation(
+                            "row-order",
+                            Some(u),
+                            Some(pv),
+                            format!("row positions not strictly ascending: {last} then {pos}"),
+                        );
+                    }
+                }
+                prev = Some(pos);
                 let Some(&cv) = child_c.get(pos as usize) else {
                     report.violation(
                         "row-position",
@@ -469,6 +489,20 @@ mod tests {
         cpi.rows[1] = vec![vec![0, 0, 1]];
         let report = run(&q, &g, &cpi);
         assert!(report.has_check("row-duplicate"), "{report}");
+        // Equal adjacent entries are duplicates, not an ordering violation.
+        assert!(!report.has_check("row-order"), "{report}");
+    }
+
+    #[test]
+    fn out_of_order_row_is_flagged() {
+        let (q, g, mut cpi) = fixture();
+        // Same set of positions, wrong order: the row is complete and
+        // duplicate-free, so only the ordering invariant trips.
+        cpi.rows[1] = vec![vec![1, 0]];
+        let report = run(&q, &g, &cpi);
+        assert!(report.has_check("row-order"), "{report}");
+        assert!(!report.has_check("row-duplicate"), "{report}");
+        assert!(!report.has_check("row-complete"), "{report}");
     }
 
     #[test]

@@ -154,6 +154,54 @@ fn dropped_row_entry_is_reported_incomplete() {
     assert_eq!(v.query_vertex, Some(u));
 }
 
+/// Finds a non-root query vertex and parent position whose adjacency row
+/// has at least two entries (so a swap changes the order).
+fn multi_entry_row(q: &Graph, prepared: &Prepared) -> (u32, usize) {
+    for u in q.vertices() {
+        let Some(p) = prepared.cpi.parent(u) else {
+            continue;
+        };
+        for pos in 0..prepared.cpi.candidates(p).len() {
+            if prepared.cpi.row(u, pos).len() >= 2 {
+                return (u, pos);
+            }
+        }
+    }
+    panic!("no row with >= 2 entries in the prepared CPI");
+}
+
+#[test]
+fn swapped_row_entries_are_reported_out_of_order() {
+    let (q, g) = small_pair();
+    let config = MatchConfig::default();
+    let mut prepared = prepared_clean(&q, &g, &config);
+    let (u, pos) = multi_entry_row(&q, &prepared);
+    prepared.cpi.corrupt_swap_row_entries(u, pos);
+    let report = verify_prepared(&q, &g, &prepared, &config);
+    assert!(
+        report.has_check("row-order"),
+        "expected row-order: {report}"
+    );
+    let v = report
+        .violations()
+        .iter()
+        .find(|v| v.check == "row-order")
+        .unwrap();
+    assert_eq!(v.query_vertex, Some(u));
+}
+
+/// Acceptance gate for parallel construction: a CPI built with several
+/// worker threads must pass every checker, exactly like the serial build
+/// (CI runs this via `cargo test` and via `cfl verify --build-threads 4`).
+#[test]
+fn parallel_built_cpi_verifies_clean() {
+    let (q, g) = small_pair();
+    for threads in [2, 4] {
+        let config = MatchConfig::default().with_build_threads(threads);
+        prepared_clean(&q, &g, &config);
+    }
+}
+
 /// One random (data, query) pair from the generators in
 /// `crates/graph/src/gen`, parameterized by seed / query size / density.
 fn random_pair(seed: u64, size: usize, dense: bool) -> Option<(Graph, Graph)> {
