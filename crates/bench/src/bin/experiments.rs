@@ -65,6 +65,24 @@ fn main() {
             .collect();
     }
 
+    // Provenance header: names the commit that produced the numbers and
+    // the exact invocation that reproduces them, so checked-in result
+    // files (bench_results/*.txt) are regenerable without archaeology.
+    println!(
+        "(commit {} | reproduce: experiments {} --scale {} --qscale {} --queries {} \
+         --time-limit {} --max-embeddings {})",
+        env!("CFL_BUILD_COMMIT"),
+        if ids.len() == ALL_EXPERIMENTS.len() {
+            "all".to_string()
+        } else {
+            ids.join(" ")
+        },
+        scale.graph_factor,
+        scale.query_factor,
+        scale.queries_per_set,
+        scale.time_limit.as_secs(),
+        scale.max_embeddings
+    );
     println!(
         "(scale: graphs ÷{}, queries ÷{}, {} queries/set, {:?} limit, {} embeddings cap)\n",
         scale.graph_factor,

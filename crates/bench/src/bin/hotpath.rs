@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! hotpath [--quick] [--threads N] [--out FILE] [--baseline FILE]
-//!         [--check-against FILE]
+//!         [--check-against FILE] [--assert-within FACTOR FILE]
 //!
 //!   --quick              CI smoke mode: tiny workload, few reps
 //!   --threads N          CPI build threads (default 1)
@@ -15,15 +15,22 @@
 //!                        present in both runs changed its checksum — the
 //!                        CI gate proving a parallel CPI build produced
 //!                        byte-identical arenas to the serial reference
+//!   --assert-within FACTOR FILE
+//!                        exit 1 if any benchmark's min time exceeds
+//!                        FACTOR × the reference file's min time — the CI
+//!                        gate bounding instrumentation overhead
 //! ```
 //!
-//! The JSON carries a `meta` section (thread count, workload seed,
+//! The JSON carries a `meta` section (commit, thread count, workload seed,
 //! generator version) so any two tracked files state up front whether they
-//! measured the same workload under the same configuration.
+//! measured the same workload under the same configuration. When the
+//! crate's `trace` feature is on, a `stats` block (the engine's
+//! aggregated [`cfl_match::TraceReport`]) sits next to the checksums;
+//! without the feature it renders as `null`.
 
 use std::fmt::Write as _;
 
-use cfl_bench::hotpath::{run_suite, Measurement, WORKLOAD_SEED};
+use cfl_bench::hotpath::{run_suite, trace_sample, HotpathWorkload, Measurement, WORKLOAD_SEED};
 use cfl_graph::GENERATOR_VERSION;
 
 fn main() {
@@ -33,6 +40,7 @@ fn main() {
     let mut out: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut check_against: Option<String> = None;
+    let mut assert_within: Option<(f64, String)> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -56,6 +64,22 @@ fn main() {
                 i += 1;
                 check_against = args.get(i).cloned();
             }
+            "--assert-within" => {
+                let factor: f64 = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|f| *f >= 1.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--assert-within needs FACTOR (>= 1.0) and FILE");
+                        std::process::exit(2);
+                    });
+                let Some(file) = args.get(i + 2).cloned() else {
+                    eprintln!("--assert-within needs FACTOR (>= 1.0) and FILE");
+                    std::process::exit(2);
+                };
+                assert_within = Some((factor, file));
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -72,11 +96,22 @@ fn main() {
         );
     }
 
+    // Aggregated trace report (JSON `null` unless built with `trace`); a
+    // separate untimed pass so instrumentation never touches the timings.
+    let cap = if quick { 20_000 } else { 200_000 };
+    let stats = trace_sample(&HotpathWorkload::standard(quick), cap, threads.max(1));
+
     let baseline_json = baseline.map(|path| {
         std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"))
     });
-    let json = render(quick, threads, &results, baseline_json.as_deref());
+    let json = render(
+        quick,
+        threads,
+        &results,
+        baseline_json.as_deref(),
+        stats.as_deref(),
+    );
     match out {
         Some(path) => {
             std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
@@ -106,6 +141,29 @@ fn main() {
         }
         eprintln!("checksums match {path}");
     }
+
+    if let Some((factor, path)) = assert_within {
+        let reference = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read reference {path}: {e}"));
+        let mut breached = false;
+        for (name, reference_m) in parse_current(&reference) {
+            let Some((_, m)) = results.iter().find(|(n, _)| *n == name) else {
+                continue;
+            };
+            let bound = (reference_m.min_ns as f64 * factor) as u64;
+            if m.min_ns > bound {
+                eprintln!(
+                    "timing regression in {name}: min {} ns > {factor} x {} ns ({path})",
+                    m.min_ns, reference_m.min_ns
+                );
+                breached = true;
+            }
+        }
+        if breached {
+            std::process::exit(1);
+        }
+        eprintln!("all timings within {factor}x of {path}");
+    }
 }
 
 /// Renders the results (plus the optional baseline's "current" section and
@@ -115,12 +173,14 @@ fn render(
     threads: usize,
     results: &[(&'static str, Measurement)],
     baseline: Option<&str>,
+    stats: Option<&str>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"suite\": \"hotpath\",");
     let _ = writeln!(s, "  \"quick\": {quick},");
     s.push_str("  \"meta\": {\n");
+    let _ = writeln!(s, "    \"commit\": \"{}\",", env!("CFL_BUILD_COMMIT"));
     let _ = writeln!(s, "    \"threads\": {threads},");
     let _ = writeln!(s, "    \"workload_seed\": {WORKLOAD_SEED},");
     let _ = writeln!(s, "    \"generator_version\": {GENERATOR_VERSION}");
@@ -129,6 +189,7 @@ fn render(
         s,
         "  \"workload\": \"cached synthetic graph (see cfl_bench::hotpath::HotpathWorkload::standard); min-of-reps wall clock\","
     );
+    let _ = writeln!(s, "  \"stats\": {},", stats.unwrap_or("null"));
 
     let base = baseline.map(parse_current);
     if let Some(base) = &base {

@@ -182,6 +182,58 @@ pub fn end_to_end_once(w: &HotpathWorkload, matcher: &dyn Matcher, cap: u64) -> 
     total
 }
 
+/// One untimed, fully traced pass over the whole workload, returning the
+/// accumulated trace report as JSON. Returns `None` unless the engine was
+/// built with its `trace` feature (enable via this crate's `trace`
+/// feature) — the hotpath binary embeds the result as the `stats` block
+/// next to its checksums, and `None` renders as JSON `null`.
+///
+/// Build counters accumulate across queries (each query's CPI build adds
+/// its kills into the same sink snapshot — the per-query reports are
+/// summed field-wise), workers concatenate.
+pub fn trace_sample(w: &HotpathWorkload, cap: u64, threads: usize) -> Option<String> {
+    let cfg = MatchConfig::exhaustive()
+        .with_budget(Budget::first(cap))
+        .with_build_threads(threads);
+    let mut sum: Option<cfl_match::TraceReport> = None;
+    for q in w.dense.iter().chain(&w.sparse) {
+        let r = count_embeddings(q, &w.g, &cfg).ok()?;
+        let t = r.stats.trace?;
+        match &mut sum {
+            None => sum = Some(*t),
+            Some(acc) => merge_trace(acc, &t),
+        }
+    }
+    sum.map(|t| t.to_json())
+}
+
+/// Field-wise sum of two trace reports (workers concatenate). Per-vertex
+/// candidate counts are only meaningful per query, so the merged report
+/// clears them — `cfl_verify::check_trace` treats an empty vector as
+/// "not recorded".
+fn merge_trace(acc: &mut cfl_match::TraceReport, t: &cfl_match::TraceReport) {
+    acc.cpi.candidates_per_vertex.clear();
+    let a = &mut acc.build;
+    let b = &t.build;
+    a.topdown_ns += b.topdown_ns;
+    a.refine_ns += b.refine_ns;
+    a.prune_ns += b.prune_ns;
+    a.freeze_ns += b.freeze_ns;
+    a.seeded += b.seeded;
+    a.adjacency_kills += b.adjacency_kills;
+    a.mnd_kills += b.mnd_kills;
+    a.nlf_kills += b.nlf_kills;
+    a.snte_kills += b.snte_kills;
+    a.refine_kills += b.refine_kills;
+    a.unreachable_kills += b.unreachable_kills;
+    a.final_candidates += b.final_candidates;
+    a.accounting_exact &= b.accounting_exact;
+    acc.cpi.arena_bytes += t.cpi.arena_bytes;
+    acc.cpi.total_candidates += t.cpi.total_candidates;
+    acc.cpi.total_edges += t.cpi.total_edges;
+    acc.workers.extend(t.workers.iter().cloned());
+}
+
 /// The result of one timed measurement.
 #[derive(Clone, Copy, Debug)]
 pub struct Measurement {

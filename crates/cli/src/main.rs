@@ -53,7 +53,7 @@ fn usage() {
          dataset <hprd|yeast|human|dblp|wordnet|synthetic> [--scale N] -o FILE\n  \
          query <data> --size N [--density sparse|dense] [--count K] [--seed S] -o PREFIX\n  \
          match <query> <data> [--algorithm cfl|quicksi|turboiso|vf2|ullmann|graphql|spath|boost]\n        \
-               [--limit N] [--time-limit SECS] [--print] [--count-only]\n  \
+               [--limit N] [--time-limit SECS] [--print] [--count-only] [--stats] [--stats-json]\n  \
          stats <graph> [--top N]\n  \
          workload <hprd|yeast|human|dblp|wordnet|synthetic> [--scale N] [--queries N] -o DIR\n  \
          verify [<query> <data>] [--scale N] [--labels L] [--size N] [--seed S]\n        \
@@ -265,6 +265,11 @@ fn cmd_match(args: &[String]) {
     .unwrap_or_else(die);
     let elapsed = start.elapsed();
 
+    if f.has("stats-json") {
+        print_stats_json(&report, elapsed);
+        return;
+    }
+
     println!(
         "{}: {} embeddings ({:?}) in {:.3} ms [{} search nodes]",
         algo.name(),
@@ -272,6 +277,39 @@ fn cmd_match(args: &[String]) {
         report.outcome,
         elapsed.as_secs_f64() * 1e3,
         report.stats.search_nodes
+    );
+
+    if f.has("stats") {
+        match report.stats.trace.as_deref() {
+            Some(trace) => print!("{}", trace.render_table()),
+            None => eprintln!("{NO_TRACE_HINT}"),
+        }
+    }
+}
+
+/// Shown when `--stats`/`--stats-json` find no trace data on the report:
+/// either the binary was built without the `trace` feature, or a baseline
+/// algorithm (which records nothing) was selected.
+const NO_TRACE_HINT: &str = "no trace data recorded: rebuild with `--features trace` \
+     and use `--algorithm cfl` for pruning counters and phase timers";
+
+/// Emits the run outcome plus the full trace report as one JSON object on
+/// stdout. The `"trace"` member is `null` when no counters were recorded
+/// (see [`NO_TRACE_HINT`]); the outer members are always present so
+/// scripts can consume the output without probing for the feature.
+fn print_stats_json(report: &cfl_match::MatchReport, elapsed: Duration) {
+    let trace = report
+        .stats
+        .trace
+        .as_deref()
+        .map_or_else(|| "null".to_string(), cfl_match::TraceReport::to_json);
+    println!(
+        "{{\"embeddings\":{},\"outcome\":\"{:?}\",\"elapsed_ms\":{:.3},\"search_nodes\":{},\"trace\":{}}}",
+        report.embeddings,
+        report.outcome,
+        elapsed.as_secs_f64() * 1e3,
+        report.stats.search_nodes,
+        trace
     );
 }
 

@@ -28,7 +28,7 @@
 //! `row_offsets[row_starts[u] .. row_starts[u+1]]` and has `|p.C| + 1`
 //! entries; consecutive entries delimit `row_data` slices holding
 //! `N_u^{u.p}(v)` for each parent candidate `v` in order. The root's block
-//! is empty. All four arenas are built once in [`CpiBuilder::freeze`].
+//! is empty. All four arenas are built once in `CpiBuilder::freeze`.
 //!
 //! # Ordering invariants
 //!
@@ -137,18 +137,41 @@ impl Cpi {
             Some(cands) => topdown::top_down_seeded(ctx, root, cands, threads),
             None => topdown::top_down_with(ctx, root, threads),
         };
+        // Sub-phase wall clocks only exist under the trace feature; the
+        // default build keeps the exact straight-line phase sequence.
+        macro_rules! timed {
+            ($counter:ident, $e:expr) => {{
+                #[cfg(feature = "trace")]
+                let t = std::time::Instant::now();
+                let r = $e;
+                ctx.rec(cfl_trace::BuildCounter::$counter, {
+                    #[cfg(feature = "trace")]
+                    {
+                        t.elapsed().as_nanos() as u64
+                    }
+                    #[cfg(not(feature = "trace"))]
+                    {
+                        0
+                    }
+                });
+                r
+            }};
+        }
         match mode {
             CpiMode::Naive => naive::build_naive(ctx, root),
             CpiMode::TopDown => {
-                let mut builder = top_down(seed);
-                builder.prune_unreachable();
-                builder.freeze_with(ctx.q, ctx.g, threads)
+                let mut builder = timed!(TopDownNs, top_down(seed));
+                let orphans = timed!(PruneNs, builder.prune_unreachable());
+                ctx.rec(cfl_trace::BuildCounter::UnreachableKills, orphans);
+                timed!(FreezeNs, builder.freeze_with(ctx.q, ctx.g, threads))
             }
             CpiMode::TopDownRefined => {
-                let mut builder = top_down(seed);
-                refine::bottom_up_with(ctx, &mut builder, threads);
-                builder.prune_unreachable();
-                builder.freeze_with(ctx.q, ctx.g, threads)
+                let mut builder = timed!(TopDownNs, top_down(seed));
+                let kills = timed!(RefineNs, refine::bottom_up_with(ctx, &mut builder, threads));
+                ctx.rec(cfl_trace::BuildCounter::RefineKills, kills);
+                let orphans = timed!(PruneNs, builder.prune_unreachable());
+                ctx.rec(cfl_trace::BuildCounter::UnreachableKills, orphans);
+                timed!(FreezeNs, builder.freeze_with(ctx.q, ctx.g, threads))
             }
         }
     }
@@ -208,6 +231,12 @@ impl Cpi {
     /// storage — cross-checked by `cfl-verify` against the per-vertex views.
     pub fn arena_totals(&self) -> (u64, u64) {
         (self.cand_data.len() as u64, self.row_data.len() as u64)
+    }
+
+    /// `|u.C|` for every query vertex, indexed by vertex id (the
+    /// per-vertex CPI size metric the trace layer reports).
+    pub fn candidate_counts(&self) -> Vec<u32> {
+        self.cand_offsets.windows(2).map(|w| w[1] - w[0]).collect()
     }
 
     /// Order-sensitive FNV-1a digest over all five arenas (lengths
@@ -448,7 +477,11 @@ impl CpiBuilder {
     /// Safety of the sweep: a candidate kept here is referenced by an alive
     /// parent candidate, so removing orphans never deletes the downward
     /// support (Lemma 5.1) of any surviving candidate along tree edges.
-    pub(crate) fn prune_unreachable(&mut self) {
+    /// Returns the number of orphans killed (cold path; the count is two
+    /// adds per kill, so it is maintained unconditionally and reported by
+    /// the trace layer when enabled).
+    pub(crate) fn prune_unreachable(&mut self) -> u64 {
+        let mut total: u64 = 0;
         let order: Vec<VertexId> = self.tree.order().collect();
         for &u in &order {
             let Some(p) = self.tree.parent(u) else {
@@ -475,12 +508,14 @@ impl CpiBuilder {
                 if alive_u[j] && referenced.binary_search(&v).is_err() {
                     alive_u[j] = false;
                     killed = true;
+                    total += 1;
                 }
             }
             if killed {
                 self.dirty.insert(u);
             }
         }
+        total
     }
 
     /// Freezes the builder into the final flat-arena [`Cpi`] serially.

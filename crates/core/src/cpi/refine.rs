@@ -31,8 +31,11 @@ pub(crate) fn bottom_up(ctx: &FilterContext<'_>, s: &mut CpiBuilder) {
 }
 
 /// Runs Algorithm 4 over a top-down builder, flipping alive flags, with
-/// per-level parallelism across up to `threads` participants.
-pub(crate) fn bottom_up_with(ctx: &FilterContext<'_>, s: &mut CpiBuilder, threads: usize) {
+/// per-level parallelism across up to `threads` participants. Returns the
+/// number of candidates killed (the refinement-effectiveness counter the
+/// trace layer reports; computing it is two integer adds per kill, so it
+/// is returned unconditionally rather than feature-gated).
+pub(crate) fn bottom_up_with(ctx: &FilterContext<'_>, s: &mut CpiBuilder, threads: usize) -> u64 {
     // The alive bitmaps must stay parallel to the candidate arrays — the
     // flips below index both by the same position.
     debug_assert!(s
@@ -41,6 +44,7 @@ pub(crate) fn bottom_up_with(ctx: &FilterContext<'_>, s: &mut CpiBuilder, thread
         .zip(&s.candidates)
         .all(|(a, c)| a.len() == c.len()));
 
+    let mut killed: u64 = 0;
     for lev in (1..=s.tree.num_levels()).rev() {
         let vlev: Vec<VertexId> = s.tree.level_vertices(lev).to_vec();
         // Kill lists are computed against deeper levels only, so the tasks
@@ -51,6 +55,7 @@ pub(crate) fn bottom_up_with(ctx: &FilterContext<'_>, s: &mut CpiBuilder, thread
             if dead.is_empty() {
                 continue;
             }
+            killed += dead.len() as u64;
             let ui = u as usize;
             for &i in dead {
                 s.alive[ui][i as usize] = false;
@@ -60,6 +65,7 @@ pub(crate) fn bottom_up_with(ctx: &FilterContext<'_>, s: &mut CpiBuilder, thread
             s.dirty.insert(u);
         }
     }
+    killed
 }
 
 /// Candidate positions of `u` that lack a neighbor among the alive

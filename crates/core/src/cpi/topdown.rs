@@ -51,12 +51,14 @@ pub(crate) fn top_down(ctx: &FilterContext<'_>, root: VertexId) -> CpiBuilder {
 /// Runs Algorithm 3 with per-level parallelism across up to `threads`
 /// participants, computing the root candidate set itself (lines 1–2).
 pub(crate) fn top_down_with(ctx: &FilterContext<'_>, root: VertexId, threads: usize) -> CpiBuilder {
-    let mut root_cands: Vec<VertexId> = ctx
-        .light_candidates(root)
-        .filter(|&v| ctx.cand_verify(v, root))
-        .collect();
+    let mut root_cands: Vec<VertexId> = ctx.light_candidates(root).collect();
+    // When tracing, the root's light candidates count as seeded and
+    // CandVerify kills are attributed per stage; `top_down_seeded` below
+    // must then *not* seed-count the already-filtered list again.
+    ctx.rec(cfl_trace::BuildCounter::Seeded, root_cands.len() as u64);
+    ctx.retain_verified(&mut root_cands, root);
     root_cands.sort_unstable();
-    top_down_seeded(ctx, root, root_cands, threads)
+    top_down_seeded_inner(ctx, root, root_cands, threads, false)
 }
 
 /// Runs Algorithm 3 from a pre-verified root candidate set (strictly
@@ -71,6 +73,23 @@ pub(crate) fn top_down_seeded(
     root_cands: Vec<VertexId>,
     threads: usize,
 ) -> CpiBuilder {
+    top_down_seeded_inner(ctx, root, root_cands, threads, true)
+}
+
+/// `count_root_seed` distinguishes the externally-seeded entry point
+/// (the pre-verified root list counts as seeded with zero kills — its
+/// filtering happened during root selection) from [`top_down_with`],
+/// which already recorded the root's seed count and kills itself.
+fn top_down_seeded_inner(
+    ctx: &FilterContext<'_>,
+    root: VertexId,
+    root_cands: Vec<VertexId>,
+    threads: usize,
+    count_root_seed: bool,
+) -> CpiBuilder {
+    if count_root_seed {
+        ctx.rec(cfl_trace::BuildCounter::Seeded, root_cands.len() as u64);
+    }
     let q = ctx.q;
     let n = q.num_vertices();
     let tree = BfsTree::new(q, root);
@@ -164,20 +183,26 @@ fn generate_candidates(ctx: &FilterContext<'_>, s: &CpiBuilder, u: VertexId) -> 
             }
         }
         scr.seen.remove_all(&list);
+        ctx.rec(cfl_trace::BuildCounter::Seeded, list.len() as u64);
 
         for &w in q.neighbors(u) {
             if w == seed_w || s.tree.level(w) >= lev || list.is_empty() {
                 continue;
             }
             neighborhood_mask(adj, &s.candidates[w as usize], lu, &mut scr.mask);
+            let before = list.len();
             list.retain(|&v| scr.mask.contains(v));
+            ctx.rec(
+                cfl_trace::BuildCounter::AdjacencyKills,
+                (before - list.len()) as u64,
+            );
             scr.mask.clear();
         }
     });
 
     // CandVerify last: MND + NLF are the expensive filters, so they only
     // run on vertices that already satisfy every adjacency constraint.
-    list.retain(|&v| ctx.cand_verify(v, u));
+    ctx.retain_verified(&mut list, u);
     list.sort_unstable();
     list
 }
@@ -222,7 +247,12 @@ fn same_level_prune(ctx: &FilterContext<'_>, s: &mut CpiBuilder, vlev: &[VertexI
                         continue;
                     }
                     neighborhood_mask(adj, &s.candidates[w as usize], q.label(u), &mut scr.mask);
+                    let before = s.candidates[u as usize].len();
                     s.candidates[u as usize].retain(|&v| scr.mask.contains(v));
+                    ctx.rec(
+                        cfl_trace::BuildCounter::SnteKills,
+                        (before - s.candidates[u as usize].len()) as u64,
+                    );
                     scr.mask.clear();
                 }
             }

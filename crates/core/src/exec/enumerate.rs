@@ -59,6 +59,12 @@ pub(crate) struct Enumerator<'a, 's> {
     pub emitted: u64,
     pub nodes: u64,
     pub nt_checks: u64,
+    /// Hot-path trace counters (backtracks, steals, depth histogram,
+    /// core/forest split, leaf time). Only present — and only bumped —
+    /// under the `trace` feature, so default builds keep the enumerator's
+    /// exact memory layout and instruction stream.
+    #[cfg(feature = "trace")]
+    tr: cfl_trace::EnumCounters,
 
     max_embeddings: u64,
     deadline: Option<Instant>,
@@ -103,6 +109,8 @@ impl<'a, 's> Enumerator<'a, 's> {
             emitted: 0,
             nodes: 0,
             nt_checks: 0,
+            #[cfg(feature = "trace")]
+            tr: cfl_trace::EnumCounters::default(),
             max_embeddings: budget.max_embeddings.unwrap_or(u64::MAX),
             deadline,
             timed_out: false,
@@ -150,6 +158,10 @@ impl<'a, 's> Enumerator<'a, 's> {
             let pos = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             if pos >= num_roots as u64 {
                 return MatchOutcome::Complete;
+            }
+            #[cfg(feature = "trace")]
+            {
+                self.tr.steals += 1;
             }
             match self.try_candidate(0, pos as u32) {
                 ControlFlow::Continue(()) => {}
@@ -203,6 +215,8 @@ impl<'a, 's> Enumerator<'a, 's> {
     #[inline]
     fn try_candidate(&mut self, depth: usize, cand_pos: u32) -> ControlFlow<Stop> {
         self.nodes += 1;
+        #[cfg(feature = "trace")]
+        self.tr.bump_node(depth, self.plan.core_len);
         if self.out_of_time() {
             return ControlFlow::Break(Stop);
         }
@@ -245,6 +259,10 @@ impl<'a, 's> Enumerator<'a, 's> {
         }
         self.visited.remove(v);
         self.mapping[u as usize] = UNMAPPED;
+        #[cfg(feature = "trace")]
+        {
+            self.tr.backtracks += 1;
+        }
         r
     }
 
@@ -255,7 +273,13 @@ impl<'a, 's> Enumerator<'a, 's> {
             return self.emit();
         }
         let mut leaf = std::mem::replace(&mut self.leaf, LeafPhase::new(0));
+        #[cfg(feature = "trace")]
+        let leaf_start = Instant::now();
         let r = leaf.run(self);
+        #[cfg(feature = "trace")]
+        {
+            self.tr.leaf_ns += leaf_start.elapsed().as_nanos() as u64;
+        }
         self.leaf = leaf;
         r
     }
@@ -291,8 +315,15 @@ impl<'a, 's> Enumerator<'a, 's> {
         self.sink.is_none()
     }
 
+    /// Counts one search node attempted by the leaf phase. Leaf
+    /// assignments sit outside the matching order, so the trace records
+    /// them in `leaf_nodes` rather than the depth histogram.
     pub(crate) fn bump_node(&mut self) -> ControlFlow<Stop> {
         self.nodes += 1;
+        #[cfg(feature = "trace")]
+        {
+            self.tr.leaf_nodes += 1;
+        }
         if self.out_of_time() {
             return ControlFlow::Break(Stop);
         }
@@ -314,6 +345,17 @@ impl<'a, 's> Enumerator<'a, 's> {
 
     pub(crate) fn plan(&self) -> &'a OrderPlan {
         self.plan
+    }
+
+    /// Drains this enumerator's counters into a per-worker trace record.
+    #[cfg(feature = "trace")]
+    pub(crate) fn take_trace(&mut self) -> cfl_trace::WorkerTrace {
+        cfl_trace::WorkerTrace {
+            embeddings: self.emitted,
+            nodes: self.nodes,
+            nt_checks: self.nt_checks,
+            counters: std::mem::take(&mut self.tr),
+        }
     }
 }
 

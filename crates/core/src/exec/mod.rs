@@ -88,6 +88,21 @@ impl Prepared {
 /// Runs validation, root selection, decomposition, CPI construction and
 /// ordering — the paper's "query vertex ordering" phase.
 pub fn prepare(q: &Graph, g: &Graph, config: &MatchConfig) -> Result<Prepared, Error> {
+    // Memoized on the graph, so this is free after the first query.
+    let g_stats = GraphStats::build(g);
+    prepare_with(q, g, &g_stats, config)
+}
+
+/// [`prepare`] against prebuilt data-side statistics — the single
+/// preparation pipeline shared by the one-shot API and
+/// [`DataGraph`](crate::session::DataGraph) sessions (so instrumentation
+/// and validation hooks exist exactly once).
+pub(crate) fn prepare_with(
+    q: &Graph,
+    g: &Graph,
+    g_stats: &GraphStats,
+    config: &MatchConfig,
+) -> Result<Prepared, Error> {
     if q.num_vertices() == 0 {
         return Err(Error::EmptyQuery);
     }
@@ -102,9 +117,14 @@ pub fn prepare(q: &Graph, g: &Graph, config: &MatchConfig) -> Result<Prepared, E
     }
 
     let build_start = Instant::now();
+    #[cfg(feature = "trace")]
+    let build_counters = cfl_trace::BuildCounters::default();
+    #[cfg(feature = "trace")]
+    let build_span = cfl_trace::span::enter(cfl_trace::span::Phase::Build);
     let q_stats = GraphStats::build(q);
-    let g_stats = GraphStats::build(g);
-    let ctx = FilterContext::with_options(q, g, &q_stats, &g_stats, config.filters);
+    let ctx = FilterContext::with_options(q, g, &q_stats, g_stats, config.filters);
+    #[cfg(feature = "trace")]
+    let ctx = ctx.with_trace(&build_counters);
 
     // Root selection (§A.6): from the core when it exists, else anywhere.
     let core_bitmap = cfl_graph::two_core(q);
@@ -121,6 +141,8 @@ pub fn prepare(q: &Graph, g: &Graph, config: &MatchConfig) -> Result<Prepared, E
     let decomposition = CflDecomposition::compute(q, root, config.decomposition);
     let cpi = Cpi::build_seeded(&ctx, root, root_cands, config.cpi, config.build_threads);
     let build_time = build_start.elapsed();
+    #[cfg(feature = "trace")]
+    drop(build_span);
 
     let mut stats = MatchStats {
         build_time,
@@ -129,6 +151,22 @@ pub fn prepare(q: &Graph, g: &Graph, config: &MatchConfig) -> Result<Prepared, E
         cpi_bytes: cpi.memory_bytes(),
         ..Default::default()
     };
+    #[cfg(feature = "trace")]
+    {
+        let mut tr = Box::new(cfl_trace::TraceReport::default());
+        tr.build = build_counters.snapshot();
+        tr.build.final_candidates = cpi.total_candidates();
+        // The top-down modes account every candidate exactly (final =
+        // seeded − Σ kills); the naive baseline records nothing.
+        tr.build.accounting_exact = config.cpi != crate::config::CpiMode::Naive;
+        tr.cpi = cfl_trace::CpiMetrics {
+            arena_bytes: cpi.memory_bytes(),
+            total_candidates: cpi.total_candidates(),
+            total_edges: cpi.total_edges(),
+            candidates_per_vertex: cpi.candidate_counts(),
+        };
+        stats.trace = Some(tr);
+    }
 
     if cpi.has_empty_candidate_set() {
         let prepared = Prepared {
@@ -147,7 +185,11 @@ pub fn prepare(q: &Graph, g: &Graph, config: &MatchConfig) -> Result<Prepared, E
     }
 
     let order_start = Instant::now();
+    #[cfg(feature = "trace")]
+    let order_span = cfl_trace::span::enter(cfl_trace::span::Phase::Order);
     let plan = compute_order_with(q, &cpi, &decomposition, config.order);
+    #[cfg(feature = "trace")]
+    drop(order_span);
     stats.ordering_time = order_start.elapsed();
 
     let prepared = Prepared {
@@ -192,11 +234,19 @@ pub(crate) fn enumerate_prepared(
     } = prepared;
 
     let enum_start = Instant::now();
+    #[cfg(feature = "trace")]
+    let enum_span = cfl_trace::span::enter(cfl_trace::span::Phase::Enumerate);
     let mut enumerator = Enumerator::new(q, g, &cpi, &plan, budget, sink);
     let outcome = enumerator.run();
+    #[cfg(feature = "trace")]
+    drop(enum_span);
     stats.enumeration_time = enum_start.elapsed();
     stats.search_nodes = enumerator.nodes;
     stats.nt_checks = enumerator.nt_checks;
+    #[cfg(feature = "trace")]
+    if let Some(tr) = stats.trace.as_mut() {
+        tr.workers.push(enumerator.take_trace());
+    }
 
     MatchReport {
         outcome,

@@ -25,6 +25,31 @@ use crate::result::{Embedding, MatchOutcome, MatchReport, MatchStats};
 use super::enumerate::Enumerator;
 use super::{prepare, Prepared};
 
+/// One worker's final tally, joined and merged after the scoped threads
+/// finish. The trace record rides along only under the `trace` feature so
+/// the default build moves exactly the four counters it always did.
+struct WorkerResult {
+    outcome: MatchOutcome,
+    emitted: u64,
+    nodes: u64,
+    nt_checks: u64,
+    #[cfg(feature = "trace")]
+    trace: cfl_trace::WorkerTrace,
+}
+
+impl WorkerResult {
+    fn from_enumerator(outcome: MatchOutcome, en: &mut Enumerator<'_, '_>) -> Self {
+        WorkerResult {
+            outcome,
+            emitted: en.emitted,
+            nodes: en.nodes,
+            nt_checks: en.nt_checks,
+            #[cfg(feature = "trace")]
+            trace: en.take_trace(),
+        }
+    }
+}
+
 /// Counts embeddings of `q` in `g` using `num_threads` workers pulling
 /// root candidates from a shared work-stealing cursor.
 ///
@@ -71,8 +96,10 @@ pub fn count_embeddings_parallel(
     // Counting mode passes no sink, so each worker keeps the combinatorial
     // leaf-count shortcut (§4.4); see the doc comment for the cooperative
     // budget's `workers × max` overshoot bound.
+    #[cfg(feature = "trace")]
+    let _enum_span = cfl_trace::span::enter(cfl_trace::span::Phase::Enumerate);
     let enum_start = std::time::Instant::now();
-    let results: Vec<(MatchOutcome, u64, u64, u64)> = std::thread::scope(|scope| {
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let cpi = &cpi;
@@ -82,7 +109,7 @@ pub fn count_embeddings_parallel(
             handles.push(scope.spawn(move || {
                 let mut en = Enumerator::new(q, g, cpi, plan, budget, None);
                 let outcome = en.run_stealing(cursor, num_roots);
-                (outcome, en.emitted, en.nodes, en.nt_checks)
+                WorkerResult::from_enumerator(outcome, &mut en)
             }));
         }
         handles
@@ -132,6 +159,8 @@ pub fn collect_embeddings_parallel(
     let cancelled = AtomicBool::new(false);
     let (tx, rx) = crossbeam::channel::unbounded::<Vec<VertexId>>();
 
+    #[cfg(feature = "trace")]
+    let _enum_span = cfl_trace::span::enter(cfl_trace::span::Phase::Enumerate);
     let enum_start = std::time::Instant::now();
     let (mut collected, results) = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
@@ -148,7 +177,7 @@ pub fn collect_embeddings_parallel(
                 };
                 let mut en = Enumerator::new(q, g, cpi, plan, budget, Some(&mut sink));
                 let outcome = en.run_stealing(cursor, num_roots);
-                (outcome, en.emitted, en.nodes, en.nt_checks)
+                WorkerResult::from_enumerator(outcome, &mut en)
             }));
         }
         drop(tx);
@@ -163,7 +192,7 @@ pub fn collect_embeddings_parallel(
                 cancelled.store(true, Ordering::Relaxed);
             }
         }
-        let results: Vec<(MatchOutcome, u64, u64, u64)> = handles
+        let results: Vec<WorkerResult> = handles
             .into_iter()
             .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect();
@@ -179,7 +208,7 @@ pub fn collect_embeddings_parallel(
 }
 
 fn merge_reports(
-    results: Vec<(MatchOutcome, u64, u64, u64)>,
+    results: Vec<WorkerResult>,
     max: u64,
     cancelled: bool,
     mut stats: MatchStats,
@@ -187,11 +216,15 @@ fn merge_reports(
     let mut total = 0u64;
     let mut timed_out = false;
     let mut limited = cancelled;
-    for (outcome, emitted, nodes, nt) in results {
-        total = total.saturating_add(emitted);
-        stats.search_nodes += nodes;
-        stats.nt_checks += nt;
-        match outcome {
+    for r in results {
+        total = total.saturating_add(r.emitted);
+        stats.search_nodes += r.nodes;
+        stats.nt_checks += r.nt_checks;
+        #[cfg(feature = "trace")]
+        if let Some(tr) = stats.trace.as_mut() {
+            tr.workers.push(r.trace);
+        }
+        match r.outcome {
             MatchOutcome::TimedOut => timed_out = true,
             MatchOutcome::LimitReached => limited = true,
             MatchOutcome::Complete => {}

@@ -66,6 +66,16 @@ impl Default for FilterOptions {
     }
 }
 
+/// Which CandVerify stage rejected a probe — only distinguished when the
+/// `trace` feature classifies kills; the plain [`FilterContext::cand_verify`]
+/// collapses both to `false`.
+#[cfg(feature = "trace")]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FilterStage {
+    Mnd,
+    Nlf,
+}
+
 /// Candidate verification context binding a query to a data graph.
 pub struct FilterContext<'a> {
     /// The query graph.
@@ -78,6 +88,11 @@ pub struct FilterContext<'a> {
     pub g_stats: &'a GraphStats,
     /// Enabled optional filters.
     pub options: FilterOptions,
+    /// Shared sink for construction-time pruning counters; populated by
+    /// `prepare` when tracing a run, `None` otherwise (and absent entirely
+    /// without the `trace` feature).
+    #[cfg(feature = "trace")]
+    pub(crate) build_trace: Option<&'a cfl_trace::BuildCounters>,
 }
 
 impl<'a> FilterContext<'a> {
@@ -105,6 +120,29 @@ impl<'a> FilterContext<'a> {
             q_stats,
             g_stats,
             options,
+            #[cfg(feature = "trace")]
+            build_trace: None,
+        }
+    }
+
+    /// Attaches a construction-counter sink: every kill the CPI build
+    /// performs through this context is recorded into `counters`.
+    #[cfg(feature = "trace")]
+    #[must_use]
+    pub(crate) fn with_trace(mut self, counters: &'a cfl_trace::BuildCounters) -> Self {
+        self.build_trace = Some(counters);
+        self
+    }
+
+    /// Records `v` into build counter `c` when a trace sink is attached.
+    /// Compiles to nothing (arguments discarded) without the `trace`
+    /// feature — call sites stay branch-free on default builds.
+    #[inline(always)]
+    #[allow(clippy::inline_always, unused_variables)]
+    pub(crate) fn rec(&self, c: cfl_trace::BuildCounter, v: u64) {
+        #[cfg(feature = "trace")]
+        if let Some(t) = self.build_trace {
+            t.add(c, v);
         }
     }
 
@@ -139,6 +177,58 @@ impl<'a> FilterContext<'a> {
         }
         q_nlf.packed_exact(u)
             || NlfIndex::dominates(self.g_stats.nlf.signature(v), q_nlf.signature(u))
+    }
+
+    /// Like [`cand_verify`](Self::cand_verify) but reporting *which* stage
+    /// rejected the probe. Trace-only: the stage split exists so kill
+    /// counters can attribute prunes to the MND vs. NLF filter. The keep
+    /// decision is `result.is_ok()`, and the branches mirror `cand_verify`
+    /// exactly, so classification never changes which candidates survive.
+    #[cfg(feature = "trace")]
+    fn cand_verify_stage(&self, v: VertexId, u: VertexId) -> Result<(), FilterStage> {
+        if self.options.use_mnd && self.g_stats.mnd[v as usize] < self.q_stats.mnd[u as usize] {
+            return Err(FilterStage::Mnd);
+        }
+        if !self.options.use_nlf {
+            return Ok(());
+        }
+        let q_nlf = &self.q_stats.nlf;
+        if !NlfIndex::packed_dominates(self.g_stats.nlf.packed(v), q_nlf.packed(u)) {
+            return Err(FilterStage::Nlf);
+        }
+        if q_nlf.packed_exact(u)
+            || NlfIndex::dominates(self.g_stats.nlf.signature(v), q_nlf.signature(u))
+        {
+            Ok(())
+        } else {
+            Err(FilterStage::Nlf)
+        }
+    }
+
+    /// `list.retain(|&v| self.cand_verify(v, u))`, with per-stage kill
+    /// counting when a trace sink is attached. Without the `trace` feature
+    /// this compiles to exactly the plain retain.
+    pub(crate) fn retain_verified(&self, list: &mut Vec<VertexId>, u: VertexId) {
+        #[cfg(feature = "trace")]
+        if let Some(t) = self.build_trace {
+            let mut mnd: u64 = 0;
+            let mut nlf: u64 = 0;
+            list.retain(|&v| match self.cand_verify_stage(v, u) {
+                Ok(()) => true,
+                Err(FilterStage::Mnd) => {
+                    mnd += 1;
+                    false
+                }
+                Err(FilterStage::Nlf) => {
+                    nlf += 1;
+                    false
+                }
+            });
+            t.add(cfl_trace::BuildCounter::MndKills, mnd);
+            t.add(cfl_trace::BuildCounter::NlfKills, nlf);
+            return;
+        }
+        list.retain(|&v| self.cand_verify(v, u));
     }
 
     /// Full candidate test: label, degree, MND, NLF.
@@ -272,6 +362,43 @@ mod tests {
         // Label-A vertices: {0, 3, 4}; degree ≥ 2 keeps only 0.
         assert_eq!(c, vec![0]);
         assert_eq!(ctx.label_frequency(Label(0)), 3);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn retain_verified_matches_cand_verify_and_counts_kills() {
+        let (q, g) = ctx_graphs();
+        let qs = GraphStats::build(&q);
+        let gs = GraphStats::build(&g);
+        let counters = cfl_trace::BuildCounters::default();
+        let traced = FilterContext::new(&q, &g, &qs, &gs).with_trace(&counters);
+        let plain = FilterContext::new(&q, &g, &qs, &gs);
+        for u in q.vertices() {
+            let all: Vec<_> = g
+                .vertices()
+                .filter(|&v| plain.label_degree_ok(v, u))
+                .collect();
+            let mut kept = all.clone();
+            traced.retain_verified(&mut kept, u);
+            let expect: Vec<_> = all
+                .iter()
+                .copied()
+                .filter(|&v| plain.cand_verify(v, u))
+                .collect();
+            assert_eq!(kept, expect, "u{u}");
+        }
+        let snap = counters.snapshot();
+        // Every kill was attributed to exactly one stage, and counts are
+        // bounded by the number of probes.
+        let probes: u64 = q
+            .vertices()
+            .map(|u| {
+                g.vertices()
+                    .filter(|&v| plain.label_degree_ok(v, u))
+                    .count() as u64
+            })
+            .sum();
+        assert!(snap.mnd_kills + snap.nlf_kills <= probes);
     }
 
     #[test]

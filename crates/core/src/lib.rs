@@ -71,6 +71,11 @@ pub use extended::{collect_embeddings_extended, find_embeddings_extended};
 pub use filters::{FilterContext, FilterOptions, GraphStats};
 pub use order::{compute_order, compute_order_with, OrderPlan, OrderedVertex};
 pub use result::{Embedding, MatchOutcome, MatchReport, MatchStats};
+
+// Observability types (`cfl-trace`) surface on `MatchStats::trace`;
+// re-exported so downstream crates can consume reports without naming the
+// leaf crate. Populated only under the `trace` feature.
+pub use cfl_trace::{BuildTrace, CpiMetrics, TraceReport, WorkerTrace};
 pub use root::{select_root, select_root_with_candidates};
 pub use session::DataGraph;
 pub use stream::EmbeddingStream;

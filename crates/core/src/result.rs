@@ -65,6 +65,11 @@ pub struct MatchStats {
     pub search_nodes: u64,
     /// Number of non-tree edge checks probed against `G`.
     pub nt_checks: u64,
+    /// Detailed observability report (phase timers, per-filter pruning
+    /// counters, per-worker enumeration statistics). Filled only when the
+    /// `trace` cargo feature is enabled; always `None` otherwise, so the
+    /// field costs one pointer-sized slot and no work in default builds.
+    pub trace: Option<Box<cfl_trace::TraceReport>>,
 }
 
 impl MatchStats {
@@ -131,6 +136,11 @@ mod tests {
         assert!(r.outcome.is_complete());
         assert_eq!(r.embeddings, 0);
         assert_eq!(r.stats.cpi_candidates, 7, "stats are preserved");
+    }
+
+    #[test]
+    fn trace_defaults_to_none() {
+        assert!(MatchStats::default().trace.is_none());
     }
 
     #[test]

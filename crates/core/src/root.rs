@@ -4,7 +4,7 @@
 //! partial embeddings) and high degree (early pruning). To keep selection
 //! cheap, a light-weight label+degree candidate count ranks all eligible
 //! vertices, the top-3 are re-scored with the full `CandVerify` filter
-//! (capped sampling, see [`REFINE_SCAN_CAP`]), and the best of those wins.
+//! (capped sampling, see `REFINE_SCAN_CAP`), and the best of those wins.
 //! When the query has a non-empty 2-core the root is restricted to core
 //! vertices, because core vertices open the matching order (§3).
 

@@ -8,19 +8,13 @@
 //! costs (CPI construction, ordering, enumeration), matching how the
 //! paper's evaluation treats dataset preprocessing.
 
-use std::time::Instant;
+use cfl_graph::{Graph, VertexId};
 
-use cfl_graph::{is_connected, Graph, VertexId};
-
-use crate::config::{DecompositionMode, MatchConfig};
-use crate::cpi::Cpi;
-use crate::decompose::CflDecomposition;
+use crate::config::MatchConfig;
 use crate::error::Error;
 use crate::exec::Prepared;
-use crate::filters::{FilterContext, GraphStats};
-use crate::order::{compute_order_with, OrderPlan};
-use crate::result::{Embedding, MatchReport, MatchStats};
-use crate::root::select_root_with_candidates;
+use crate::filters::GraphStats;
+use crate::result::{Embedding, MatchReport};
 
 /// A data graph with its matching statistics prebuilt.
 pub struct DataGraph<'g> {
@@ -50,70 +44,13 @@ impl<'g> DataGraph<'g> {
 
     /// Runs the preparation phase (validation, root selection,
     /// decomposition, CPI, ordering) for one query against this session.
+    ///
+    /// Delegates to the same pipeline as the one-shot API — only the
+    /// data-side statistics differ (this session's prebuilt tables are
+    /// passed instead of being fetched per call), so instrumentation and
+    /// validation behave identically on both paths.
     pub fn prepare(&self, q: &Graph, config: &MatchConfig) -> Result<Prepared, Error> {
-        if q.num_vertices() == 0 {
-            return Err(Error::EmptyQuery);
-        }
-        if !is_connected(q) {
-            return Err(Error::DisconnectedQuery);
-        }
-        if q.num_vertices() > self.graph.num_vertices() {
-            return Err(Error::QueryLargerThanData {
-                query_vertices: q.num_vertices(),
-                data_vertices: self.graph.num_vertices(),
-            });
-        }
-
-        let build_start = Instant::now();
-        let q_stats = GraphStats::build(q);
-        let ctx = FilterContext::with_options(q, self.graph, &q_stats, &self.stats, config.filters);
-
-        let core_bitmap = cfl_graph::two_core(q);
-        let eligible: Vec<VertexId> =
-            if core_bitmap.iter().any(|&b| b) && config.decomposition != DecompositionMode::None {
-                (0..q.num_vertices() as VertexId)
-                    .filter(|&v| core_bitmap[v as usize])
-                    .collect()
-            } else {
-                (0..q.num_vertices() as VertexId).collect()
-            };
-        let (root, root_cands) = select_root_with_candidates(&ctx, &eligible);
-
-        let decomposition = CflDecomposition::compute(q, root, config.decomposition);
-        let cpi = Cpi::build_seeded(&ctx, root, root_cands, config.cpi, config.build_threads);
-        let build_time = build_start.elapsed();
-
-        let mut stats = MatchStats {
-            build_time,
-            cpi_candidates: cpi.total_candidates(),
-            cpi_edges: cpi.total_edges(),
-            cpi_bytes: cpi.memory_bytes(),
-            ..Default::default()
-        };
-
-        if cpi.has_empty_candidate_set() {
-            return Ok(Prepared {
-                decomposition,
-                cpi,
-                plan: OrderPlan {
-                    vertices: Vec::new(),
-                    core_len: 0,
-                    leaves: Vec::new(),
-                },
-                stats,
-            });
-        }
-
-        let order_start = Instant::now();
-        let plan = compute_order_with(q, &cpi, &decomposition, config.order);
-        stats.ordering_time = order_start.elapsed();
-
-        Ok(Prepared {
-            decomposition,
-            cpi,
-            plan,
-            stats,
-        })
+        crate::exec::prepare_with(q, self.graph, &self.stats, config)
     }
 
     /// Enumerates embeddings of `q`, streaming each mapping to `sink`.

@@ -1,0 +1,544 @@
+//! # cfl-trace
+//!
+//! Observability types for the CFL-Match engine: phase timers, pruning
+//! counters, per-worker enumeration statistics, and the [`TraceReport`]
+//! the engine attaches to a `MatchReport` when its `trace` cargo feature
+//! is enabled.
+//!
+//! The crate itself is featureless and always compiled — it only defines
+//! plain data types plus two renderers ([`TraceReport::render_table`] and
+//! [`TraceReport::to_json`]) and a minimal span-subscriber hook
+//! ([`span`]). Whether any of it is *filled in* is decided by the engine's
+//! `trace` feature: with the feature off every recording call in the hot
+//! path compiles to nothing and a run's `stats.trace` stays `None`.
+//!
+//! Counters follow the paper's pipeline (see `docs/OBSERVABILITY.md` in
+//! the repository root for the full catalog with paper anchors):
+//!
+//! * [`BuildCounters`] / [`BuildTrace`] — CPI construction: per-phase
+//!   wall time (top-down §5.2 Algorithm 3, bottom-up refinement §5.2
+//!   Algorithm 4, unreachable pruning, freeze) and candidate kills per
+//!   filter (adjacency/Lemma 5.1, MND/Lemma A.1, NLF, S-NTE, refinement,
+//!   orphan pruning).
+//! * [`EnumCounters`] / [`WorkerTrace`] — enumeration (§4.2.2–§4.4):
+//!   per-worker embeddings, backtracks, steal counts, core/forest node
+//!   splits, leaf-phase time and a partial-match depth histogram.
+//! * [`CpiMetrics`] — index size (§4.1, Figure 16(d)): arena bytes and
+//!   candidates per query vertex.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub mod span;
+
+/// Names one cell of [`BuildCounters`]. The engine records through this
+/// enum so its call sites stay one-liners that compile out with the
+/// feature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildCounter {
+    /// Candidates that entered a candidate list after the label/degree
+    /// seed scan (Algorithm 3 lines 5–8; for the root, the pre-verified
+    /// seed list).
+    Seeded,
+    /// Candidates removed by upper-neighbor adjacency masks (Lemma 5.1's
+    /// counter test, realized as bitset retains).
+    AdjacencyKills,
+    /// Candidates removed by the maximum-neighbor-degree filter
+    /// (Lemma A.1, first stage of CandVerify).
+    MndKills,
+    /// Candidates removed by the NLF filter (SAPPER \[24\], second stage
+    /// of CandVerify — packed or full signature).
+    NlfKills,
+    /// Candidates removed by same-level S-NTE pruning (Algorithm 3's
+    /// backward-interleaved pass).
+    SnteKills,
+    /// Candidates killed by bottom-up refinement (Algorithm 4).
+    RefineKills,
+    /// Orphans killed by unreachable-candidate pruning (Algorithm 4
+    /// lines 8–11 as realized by `prune_unreachable`).
+    UnreachableKills,
+    /// Nanoseconds in the top-down construction pass.
+    TopDownNs,
+    /// Nanoseconds in the bottom-up refinement pass.
+    RefineNs,
+    /// Nanoseconds in unreachable-candidate pruning.
+    PruneNs,
+    /// Nanoseconds freezing the builder into the flat arenas.
+    FreezeNs,
+}
+
+/// Shared sink for CPI-construction counters. Build tasks of one level run
+/// concurrently on the worker pool and record through a shared reference,
+/// so the cells are atomics; relaxed ordering suffices because the values
+/// are only read after the build joins.
+#[derive(Debug, Default)]
+pub struct BuildCounters {
+    seeded: AtomicU64,
+    adjacency_kills: AtomicU64,
+    mnd_kills: AtomicU64,
+    nlf_kills: AtomicU64,
+    snte_kills: AtomicU64,
+    refine_kills: AtomicU64,
+    unreachable_kills: AtomicU64,
+    topdown_ns: AtomicU64,
+    refine_ns: AtomicU64,
+    prune_ns: AtomicU64,
+    freeze_ns: AtomicU64,
+}
+
+impl BuildCounters {
+    /// Adds `v` to the named counter.
+    #[inline]
+    pub fn add(&self, c: BuildCounter, v: u64) {
+        let cell = match c {
+            BuildCounter::Seeded => &self.seeded,
+            BuildCounter::AdjacencyKills => &self.adjacency_kills,
+            BuildCounter::MndKills => &self.mnd_kills,
+            BuildCounter::NlfKills => &self.nlf_kills,
+            BuildCounter::SnteKills => &self.snte_kills,
+            BuildCounter::RefineKills => &self.refine_kills,
+            BuildCounter::UnreachableKills => &self.unreachable_kills,
+            BuildCounter::TopDownNs => &self.topdown_ns,
+            BuildCounter::RefineNs => &self.refine_ns,
+            BuildCounter::PruneNs => &self.prune_ns,
+            BuildCounter::FreezeNs => &self.freeze_ns,
+        };
+        cell.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Reads every cell into a plain [`BuildTrace`] (done once, after the
+    /// build joins; `final_candidates` and `accounting_exact` are filled
+    /// by the caller, who knows the frozen index and construction mode).
+    #[must_use]
+    pub fn snapshot(&self) -> BuildTrace {
+        let r = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        BuildTrace {
+            topdown_ns: r(&self.topdown_ns),
+            refine_ns: r(&self.refine_ns),
+            prune_ns: r(&self.prune_ns),
+            freeze_ns: r(&self.freeze_ns),
+            seeded: r(&self.seeded),
+            adjacency_kills: r(&self.adjacency_kills),
+            mnd_kills: r(&self.mnd_kills),
+            nlf_kills: r(&self.nlf_kills),
+            snte_kills: r(&self.snte_kills),
+            refine_kills: r(&self.refine_kills),
+            unreachable_kills: r(&self.unreachable_kills),
+            final_candidates: 0,
+            accounting_exact: false,
+        }
+    }
+}
+
+/// Immutable snapshot of the CPI-construction counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BuildTrace {
+    /// Wall time of the top-down pass (Algorithm 3), nanoseconds.
+    pub topdown_ns: u64,
+    /// Wall time of bottom-up refinement (Algorithm 4), nanoseconds.
+    pub refine_ns: u64,
+    /// Wall time of unreachable-candidate pruning, nanoseconds.
+    pub prune_ns: u64,
+    /// Wall time of the arena freeze, nanoseconds.
+    pub freeze_ns: u64,
+    /// Candidates that entered a candidate list (see
+    /// [`BuildCounter::Seeded`]).
+    pub seeded: u64,
+    /// Kills by upper-neighbor adjacency masks.
+    pub adjacency_kills: u64,
+    /// Kills by the MND filter.
+    pub mnd_kills: u64,
+    /// Kills by the NLF filter.
+    pub nlf_kills: u64,
+    /// Kills by same-level S-NTE pruning.
+    pub snte_kills: u64,
+    /// Kills by bottom-up refinement.
+    pub refine_kills: u64,
+    /// Kills by unreachable-candidate pruning.
+    pub unreachable_kills: u64,
+    /// Candidate entries surviving into the frozen index.
+    pub final_candidates: u64,
+    /// Whether the exact accounting identity
+    /// `final_candidates = seeded − total_kills()` is guaranteed — true
+    /// for the top-down construction modes, false for the naive baseline
+    /// (which records nothing).
+    pub accounting_exact: bool,
+}
+
+impl BuildTrace {
+    /// Sum of all per-filter kill counters.
+    #[must_use]
+    pub fn total_kills(&self) -> u64 {
+        self.adjacency_kills
+            + self.mnd_kills
+            + self.nlf_kills
+            + self.snte_kills
+            + self.refine_kills
+            + self.unreachable_kills
+    }
+}
+
+/// Size metrics of the frozen CPI (§4.1; the Figure 16(d) axes).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CpiMetrics {
+    /// Estimated arena heap footprint in bytes.
+    pub arena_bytes: u64,
+    /// Total candidate entries over all query vertices.
+    pub total_candidates: u64,
+    /// Total adjacency-row entries.
+    pub total_edges: u64,
+    /// `|u.C|` per query vertex, indexed by vertex id.
+    pub candidates_per_vertex: Vec<u32>,
+}
+
+/// Per-enumerator counters, bumped on the search hot path (only when the
+/// engine's `trace` feature is on; the struct exists regardless so the
+/// enumerator's shape does not change with the feature).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EnumCounters {
+    /// Retreats from a mapped vertex (each successful mapping is unwound
+    /// exactly once, so this also counts successful extensions).
+    pub backtracks: u64,
+    /// Root candidates claimed from the work-stealing cursor.
+    pub steals: u64,
+    /// Search nodes attempted at core depths (§4.2.2).
+    pub core_nodes: u64,
+    /// Search nodes attempted at forest depths (§4.3).
+    pub forest_nodes: u64,
+    /// Search nodes attempted inside the leaf phase (§4.4) — leaf
+    /// assignments sit outside the matching order, so they are counted
+    /// here rather than in [`EnumCounters::depth_hist`]. The three splits
+    /// partition the worker's total:
+    /// `core_nodes + forest_nodes + leaf_nodes == nodes`.
+    pub leaf_nodes: u64,
+    /// Nanoseconds inside the leaf phase (§4.4).
+    pub leaf_ns: u64,
+    /// `depth_hist[d]` = search nodes attempted at partial-match depth
+    /// `d` (matching-order position); sums to
+    /// `core_nodes + forest_nodes`.
+    pub depth_hist: Vec<u64>,
+}
+
+impl EnumCounters {
+    /// Bumps the depth histogram (growing it on demand) and the
+    /// core/forest split for one attempted search node.
+    #[inline]
+    pub fn bump_node(&mut self, depth: usize, core_len: usize) {
+        if self.depth_hist.len() <= depth {
+            self.depth_hist.resize(depth + 1, 0);
+        }
+        self.depth_hist[depth] += 1;
+        if depth < core_len {
+            self.core_nodes += 1;
+        } else {
+            self.forest_nodes += 1;
+        }
+    }
+}
+
+/// One enumeration worker's final tally (a single-threaded run reports
+/// exactly one of these).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerTrace {
+    /// Embeddings this worker emitted.
+    pub embeddings: u64,
+    /// Search nodes this worker attempted.
+    pub nodes: u64,
+    /// Non-tree edge checks this worker probed.
+    pub nt_checks: u64,
+    /// Hot-path counters (backtracks, steals, depth histogram, …).
+    pub counters: EnumCounters,
+}
+
+/// Everything the `trace` feature records for one matching run. Attached
+/// to `MatchStats::trace` as `Some(Box<TraceReport>)`; `None` whenever the
+/// feature is off.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceReport {
+    /// CPI-construction timers and per-filter kill counters.
+    pub build: BuildTrace,
+    /// Frozen-index size metrics.
+    pub cpi: CpiMetrics,
+    /// One entry per enumeration worker.
+    pub workers: Vec<WorkerTrace>,
+}
+
+impl TraceReport {
+    /// Sum of per-worker emitted embeddings.
+    #[must_use]
+    pub fn total_worker_embeddings(&self) -> u64 {
+        self.workers.iter().map(|w| w.embeddings).sum()
+    }
+
+    /// Renders the report as an aligned human-readable table (the
+    /// `--stats` form of the CLI).
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let ms = |ns: u64| ns as f64 / 1e6;
+        out.push_str("phase timers (ms)\n");
+        out.push_str(&format!(
+            "  top-down build      {:>10.3}\n",
+            ms(self.build.topdown_ns)
+        ));
+        out.push_str(&format!(
+            "  bottom-up refine    {:>10.3}\n",
+            ms(self.build.refine_ns)
+        ));
+        out.push_str(&format!(
+            "  unreachable prune   {:>10.3}\n",
+            ms(self.build.prune_ns)
+        ));
+        out.push_str(&format!(
+            "  arena freeze        {:>10.3}\n",
+            ms(self.build.freeze_ns)
+        ));
+        let leaf_ns: u64 = self.workers.iter().map(|w| w.counters.leaf_ns).sum();
+        out.push_str(&format!("  leaf match (Σ)      {:>10.3}\n", ms(leaf_ns)));
+        out.push_str("candidate filtering\n");
+        out.push_str(&format!(
+            "  seeded              {:>10}\n",
+            self.build.seeded
+        ));
+        out.push_str(&format!(
+            "  adjacency kills     {:>10}\n",
+            self.build.adjacency_kills
+        ));
+        out.push_str(&format!(
+            "  MND kills           {:>10}\n",
+            self.build.mnd_kills
+        ));
+        out.push_str(&format!(
+            "  NLF kills           {:>10}\n",
+            self.build.nlf_kills
+        ));
+        out.push_str(&format!(
+            "  S-NTE kills         {:>10}\n",
+            self.build.snte_kills
+        ));
+        out.push_str(&format!(
+            "  refinement kills    {:>10}\n",
+            self.build.refine_kills
+        ));
+        out.push_str(&format!(
+            "  unreachable kills   {:>10}\n",
+            self.build.unreachable_kills
+        ));
+        out.push_str(&format!(
+            "  final candidates    {:>10}{}\n",
+            self.build.final_candidates,
+            if self.build.accounting_exact {
+                "  (= seeded − kills)"
+            } else {
+                ""
+            }
+        ));
+        out.push_str("cpi size\n");
+        out.push_str(&format!(
+            "  arena bytes         {:>10}\n",
+            self.cpi.arena_bytes
+        ));
+        out.push_str(&format!(
+            "  candidate entries   {:>10}\n",
+            self.cpi.total_candidates
+        ));
+        out.push_str(&format!(
+            "  adjacency entries   {:>10}\n",
+            self.cpi.total_edges
+        ));
+        out.push_str(&format!("workers ({})\n", self.workers.len()));
+        for (i, w) in self.workers.iter().enumerate() {
+            out.push_str(&format!(
+                "  #{i}: embeddings {} nodes {} backtracks {} steals {} core {} forest {} leaf {}\n",
+                w.embeddings,
+                w.nodes,
+                w.counters.backtracks,
+                w.counters.steals,
+                w.counters.core_nodes,
+                w.counters.forest_nodes,
+                w.counters.leaf_nodes,
+            ));
+        }
+        out
+    }
+
+    /// Renders the report as a JSON object (the `--stats-json` form of the
+    /// CLI and the `stats` block of the bench binaries). Hand-written like
+    /// every other JSON producer in this workspace — the schema is small
+    /// and fixed, and the repository takes no serialization dependency.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"build\": {");
+        s.push_str(&format!(
+            "\"topdown_ns\": {}, \"refine_ns\": {}, \"prune_ns\": {}, \"freeze_ns\": {}, ",
+            self.build.topdown_ns, self.build.refine_ns, self.build.prune_ns, self.build.freeze_ns
+        ));
+        s.push_str(&format!(
+            "\"seeded\": {}, \"adjacency_kills\": {}, \"mnd_kills\": {}, \"nlf_kills\": {}, \"snte_kills\": {}, \"refine_kills\": {}, \"unreachable_kills\": {}, ",
+            self.build.seeded,
+            self.build.adjacency_kills,
+            self.build.mnd_kills,
+            self.build.nlf_kills,
+            self.build.snte_kills,
+            self.build.refine_kills,
+            self.build.unreachable_kills
+        ));
+        s.push_str(&format!(
+            "\"final_candidates\": {}, \"accounting_exact\": {}}},\n",
+            self.build.final_candidates, self.build.accounting_exact
+        ));
+        s.push_str(&format!(
+            "  \"cpi\": {{\"arena_bytes\": {}, \"total_candidates\": {}, \"total_edges\": {}, \"candidates_per_vertex\": {}}},\n",
+            self.cpi.arena_bytes,
+            self.cpi.total_candidates,
+            self.cpi.total_edges,
+            json_u32_array(&self.cpi.candidates_per_vertex)
+        ));
+        s.push_str("  \"workers\": [");
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"embeddings\": {}, \"nodes\": {}, \"nt_checks\": {}, \"backtracks\": {}, \"steals\": {}, \"core_nodes\": {}, \"forest_nodes\": {}, \"leaf_nodes\": {}, \"leaf_ns\": {}, \"depth_hist\": {}}}",
+                w.embeddings,
+                w.nodes,
+                w.nt_checks,
+                w.counters.backtracks,
+                w.counters.steals,
+                w.counters.core_nodes,
+                w.counters.forest_nodes,
+                w.counters.leaf_nodes,
+                w.counters.leaf_ns,
+                json_u64_array(&w.counters.depth_hist)
+            ));
+        }
+        s.push_str("]\n}");
+        s
+    }
+}
+
+fn json_u32_array(xs: &[u32]) -> String {
+    let items: Vec<String> = xs.iter().map(u32::to_string).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn json_u64_array(xs: &[u64]) -> String {
+    let items: Vec<String> = xs.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceReport {
+        let counters = BuildCounters::default();
+        counters.add(BuildCounter::Seeded, 100);
+        counters.add(BuildCounter::AdjacencyKills, 10);
+        counters.add(BuildCounter::MndKills, 5);
+        counters.add(BuildCounter::NlfKills, 15);
+        counters.add(BuildCounter::SnteKills, 3);
+        counters.add(BuildCounter::RefineKills, 6);
+        counters.add(BuildCounter::UnreachableKills, 1);
+        counters.add(BuildCounter::TopDownNs, 1_000_000);
+        let mut build = counters.snapshot();
+        build.final_candidates = 60;
+        build.accounting_exact = true;
+        TraceReport {
+            build,
+            cpi: CpiMetrics {
+                arena_bytes: 4096,
+                total_candidates: 60,
+                total_edges: 200,
+                candidates_per_vertex: vec![20, 25, 15],
+            },
+            workers: vec![WorkerTrace {
+                embeddings: 7,
+                nodes: 40,
+                nt_checks: 12,
+                counters: EnumCounters {
+                    backtracks: 30,
+                    steals: 4,
+                    core_nodes: 25,
+                    forest_nodes: 10,
+                    leaf_nodes: 5,
+                    leaf_ns: 500,
+                    depth_hist: vec![20, 10, 5],
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = BuildCounters::default();
+        c.add(BuildCounter::Seeded, 3);
+        c.add(BuildCounter::Seeded, 4);
+        c.add(BuildCounter::RefineKills, 2);
+        let s = c.snapshot();
+        assert_eq!(s.seeded, 7);
+        assert_eq!(s.refine_kills, 2);
+        assert_eq!(s.total_kills(), 2);
+    }
+
+    #[test]
+    fn accounting_identity_on_sample() {
+        let r = sample();
+        assert!(r.build.accounting_exact);
+        assert_eq!(
+            r.build.final_candidates,
+            r.build.seeded - r.build.total_kills()
+        );
+    }
+
+    #[test]
+    fn depth_histogram_grows_on_demand() {
+        let mut c = EnumCounters::default();
+        c.bump_node(0, 2);
+        c.bump_node(3, 2);
+        c.bump_node(3, 2);
+        assert_eq!(c.depth_hist, vec![1, 0, 0, 2]);
+        assert_eq!(c.core_nodes, 1);
+        assert_eq!(c.forest_nodes, 2);
+    }
+
+    #[test]
+    fn json_contains_every_section() {
+        let j = sample().to_json();
+        for key in [
+            "\"build\"",
+            "\"seeded\": 100",
+            "\"final_candidates\": 60",
+            "\"accounting_exact\": true",
+            "\"cpi\"",
+            "\"candidates_per_vertex\": [20, 25, 15]",
+            "\"workers\"",
+            "\"leaf_nodes\": 5",
+            "\"depth_hist\": [20, 10, 5]",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn table_renders_counters() {
+        let t = sample().render_table();
+        assert!(t.contains("seeded"));
+        assert!(t.contains("100"));
+        assert!(t.contains("(= seeded − kills)"));
+        assert!(t.contains("workers (1)"));
+    }
+
+    #[test]
+    fn worker_embedding_sum() {
+        let mut r = sample();
+        r.workers.push(WorkerTrace {
+            embeddings: 3,
+            ..Default::default()
+        });
+        assert_eq!(r.total_worker_embeddings(), 10);
+    }
+}

@@ -14,10 +14,14 @@
 //! (up to an adjacency-scan factor), so they are cheap enough to run on
 //! every constructed index under the `validate` feature of `cfl-match`.
 //!
-//! The crate deliberately depends only on `cfl-graph`: the engine's types
-//! are mirrored through small specification structs ([`PartClass`],
-//! [`TreeSpec`], [`OrderStep`]) and the [`CpiView`] trait, which `cfl-match`
-//! implements for its `Cpi` behind the `validate` feature.
+//! The crate deliberately depends only on the leaf crates `cfl-graph` and
+//! `cfl-trace`: the engine's types are mirrored through small
+//! specification structs ([`PartClass`], [`TreeSpec`], [`OrderStep`]) and
+//! the [`CpiView`] trait, which `cfl-match` implements for its `Cpi`
+//! behind the `validate` feature. [`check_trace`] closes the loop on the
+//! observability layer, re-verifying the arithmetic identities between
+//! the pruning counters that `cfl-match` records under its `trace`
+//! feature.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
@@ -26,9 +30,11 @@ pub mod decomp_checks;
 pub mod graph_checks;
 pub mod order_checks;
 pub mod report;
+pub mod trace_checks;
 
 pub use cpi_checks::{check_cpi, CpiCheckOptions, CpiView};
 pub use decomp_checks::{check_decomposition, DecompSpec, PartClass, TreeSpec};
 pub use graph_checks::check_graph;
 pub use order_checks::{check_order, OrderSpec, OrderStep};
 pub use report::{Report, Violation};
+pub use trace_checks::check_trace;

@@ -2,8 +2,8 @@
 //! `shims/README.md`).
 //!
 //! Supports the call-site surface the workspace tests use: the
-//! [`Strategy`] trait with `prop_map`/`prop_flat_map`/`boxed`, range and
-//! tuple strategies, [`collection::vec`], `bool::ANY`, [`Just`],
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`/`boxed`, range and
+//! tuple strategies, [`collection::vec`], `bool::ANY`, [`strategy::Just`],
 //! `ProptestConfig::with_cases`, and the `proptest!`/`prop_assert!`/
 //! `prop_assert_eq!`/`prop_assert_ne!` macros. Each generated test runs
 //! `cases` deterministic random cases seeded from the test's name.
@@ -249,7 +249,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specifications accepted by [`vec`].
+    /// Length specifications accepted by [`vec()`].
     pub trait IntoSizeRange {
         /// Inclusive (min, max) lengths.
         fn bounds(&self) -> (usize, usize);
@@ -282,7 +282,7 @@ pub mod collection {
         VecStrategy { element, min, max }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         min: usize,
