@@ -48,9 +48,9 @@
 //! spliced in vertex order.
 
 mod naive;
-mod refine;
+pub(crate) mod refine;
 pub(crate) mod scratch;
-mod topdown;
+pub(crate) mod topdown;
 
 pub use naive::build_naive;
 
@@ -630,8 +630,10 @@ impl CpiBuilder {
     /// that vertex's own row data), and per-vertex row-data vectors.
     ///
     /// Kept as the differential oracle for the flat layout: tests assert
-    /// [`CpiBuilder::freeze`] output is element-for-element equal.
-    #[cfg(test)]
+    /// [`CpiBuilder::freeze`] output is element-for-element equal, and the
+    /// `oracle` feature exposes it to the `cfl-fuzz` differential targets
+    /// (via [`crate::oracle`]).
+    #[cfg(any(test, feature = "oracle"))]
     #[allow(clippy::type_complexity)]
     pub(crate) fn freeze_nested(
         &self,

@@ -25,7 +25,7 @@ use crate::filters::FilterContext;
 use crate::pool::parallel_map;
 
 /// Runs Algorithm 4 serially.
-#[cfg(test)]
+#[cfg(any(test, feature = "oracle"))]
 pub(crate) fn bottom_up(ctx: &FilterContext<'_>, s: &mut CpiBuilder) {
     bottom_up_with(ctx, s, 1);
 }

@@ -9,7 +9,7 @@
 //! it back, so steady-state construction performs no `O(|V(G)|)`
 //! allocations at all and concurrent build tasks never share a buffer.
 
-use std::sync::Mutex;
+use crate::sync::{Mutex, PoisonError};
 
 use cfl_graph::FixedBitSet;
 
@@ -73,16 +73,14 @@ static FREE: Mutex<Vec<BuildScratch>> = Mutex::new(Vec::new());
 pub(crate) fn with_scratch<R>(n: usize, f: impl FnOnce(&mut BuildScratch) -> R) -> R {
     let mut s = FREE
         .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .unwrap_or_else(PoisonError::into_inner)
         .pop()
         .unwrap_or_else(BuildScratch::new);
     s.ensure(n);
     debug_assert!(s.is_clean(), "scratch checked out dirty");
     let r = f(&mut s);
     debug_assert!(s.is_clean(), "scratch returned dirty");
-    let mut free = FREE
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut free = FREE.lock().unwrap_or_else(PoisonError::into_inner);
     if free.len() < MAX_POOLED {
         free.push(s);
     }

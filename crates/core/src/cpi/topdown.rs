@@ -43,7 +43,7 @@ use crate::filters::FilterContext;
 use crate::pool::parallel_map;
 
 /// Runs Algorithm 3 serially.
-#[cfg(test)]
+#[cfg(any(test, feature = "oracle"))]
 pub(crate) fn top_down(ctx: &FilterContext<'_>, root: VertexId) -> CpiBuilder {
     top_down_with(ctx, root, 1)
 }

@@ -141,9 +141,19 @@ impl<'a, 's> Enumerator<'a, 's> {
     /// the next one instead of idling behind a static partition; the search
     /// subtrees rooted at distinct root candidates are disjoint, so no
     /// other coordination is needed.
+    ///
+    /// `Relaxed` suffices for the claim `fetch_add`: an atomic
+    /// read-modify-write yields each participant a distinct value of the
+    /// cursor's modification order at *any* ordering, so no root candidate
+    /// is ever claimed twice or skipped, and the claimed position only
+    /// indexes immutable shared state (the CPI root row). Results flow
+    /// back through channel/join synchronization, not through the cursor.
+    /// The `cursor_claims_exactly_once` and `cursor_overshoot_is_bounded`
+    /// models in `crate::models` check both properties (claim uniqueness,
+    /// and ≤ 1 over-the-end claim per worker) under every schedule.
     pub(crate) fn run_stealing(
         &mut self,
-        cursor: &std::sync::atomic::AtomicU64,
+        cursor: &crate::sync::atomic::AtomicU64,
         num_roots: usize,
     ) -> MatchOutcome {
         if self.max_embeddings == 0 {
@@ -155,7 +165,7 @@ impl<'a, 's> Enumerator<'a, 's> {
             .first()
             .is_none_or(|ov| ov.parent.is_none()));
         loop {
-            let pos = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let pos = cursor.fetch_add(1, crate::sync::atomic::Ordering::Relaxed);
             if pos >= num_roots as u64 {
                 return MatchOutcome::Complete;
             }

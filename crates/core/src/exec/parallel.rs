@@ -14,7 +14,8 @@
 //! that drew cheap subtrees immediately claims the next root instead of
 //! idling behind a fixed stride.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::thread;
 
 use cfl_graph::{Graph, VertexId};
 
@@ -99,7 +100,7 @@ pub fn count_embeddings_parallel(
     #[cfg(feature = "trace")]
     let _enum_span = cfl_trace::span::enter(cfl_trace::span::Phase::Enumerate);
     let enum_start = std::time::Instant::now();
-    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+    let results: Vec<WorkerResult> = thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let cpi = &cpi;
@@ -156,13 +157,19 @@ pub fn collect_embeddings_parallel(
     let max = config.budget.max_embeddings.unwrap_or(u64::MAX);
     let cursor = AtomicU64::new(0);
 
+    // `Relaxed` suffices for the cancellation flag: it is a monotonic
+    // false→true latch used only to stop workers *eventually* — the cap on
+    // returned embeddings is enforced by the draining thread regardless of
+    // when workers observe the flag, and the overshoot bound documented
+    // above already assumes delayed observation. No other state is
+    // published through it.
     let cancelled = AtomicBool::new(false);
     let (tx, rx) = crossbeam::channel::unbounded::<Vec<VertexId>>();
 
     #[cfg(feature = "trace")]
     let _enum_span = cfl_trace::span::enter(cfl_trace::span::Phase::Enumerate);
     let enum_start = std::time::Instant::now();
-    let (mut collected, results) = std::thread::scope(|scope| {
+    let (mut collected, results) = thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let cpi = &cpi;

@@ -47,12 +47,17 @@ pub mod error;
 pub mod exec;
 pub mod extended;
 pub mod filters;
+#[cfg(all(test, feature = "loom-model"))]
+mod models;
+#[cfg(feature = "oracle")]
+pub mod oracle;
 pub mod order;
 mod pool;
 pub mod result;
 pub mod root;
 pub mod session;
 pub mod stream;
+pub(crate) mod sync;
 #[cfg(feature = "validate")]
 pub mod validate;
 

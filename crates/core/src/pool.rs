@@ -17,30 +17,107 @@
 //! the host's available parallelism: oversubscribing a small machine would
 //! only add wakeup latency, and the thread-count knob must never change
 //! results, only speed.
+//!
+//! # Mechanized soundness
+//!
+//! The offer/park/claim/finish protocol below is checked by the loom
+//! models in [`crate::models`] (`cargo test -p cfl-match --features
+//! loom-model`): no lost wakeups, no job-slot dereference after
+//! [`parallel_map`] returns, every index claimed exactly once, and
+//! index-ordered commit determinism. `docs/SOUNDNESS.md` catalogs the
+//! models; every `// SAFETY:` comment here names the model that exercises
+//! its invariant.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{thread, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Upper bound on pool workers, a backstop against absurd `--threads`
 /// values; real clamping happens against available parallelism.
 const MAX_WORKERS: usize = 15;
 
+/// Type- and lifetime-erased pointer to a caller's job closure, parked in
+/// [`State::job`] while workers may still claim it.
+///
+/// This replaces an earlier `transmute` to `&'static dyn Fn()`: a raw
+/// pointer makes the lie explicit — the pointee is a stack-allocated
+/// closure in some caller's [`Pool::run`] frame, and nothing about the
+/// type promises it outlives that frame. The erasure is a thin
+/// `*const ()` plus a monomorphized trampoline (a hand-rolled vtable of
+/// one entry), so no lifetime is ever transmuted; the discipline that
+/// makes the dereference sound lives entirely in the pool protocol (see
+/// [`JobPtr::call`]).
+#[derive(Clone, Copy)]
+struct JobPtr {
+    /// The caller's closure, type-erased to a thin pointer.
+    data: *const (),
+    /// Casts `data` back to the concrete closure type and invokes it.
+    invoke: unsafe fn(*const ()),
+}
+
+// SAFETY: the pointer is only ever (a) written into `State.job` under the
+// state mutex by `Pool::run`, (b) read back under the same mutex by
+// `worker_loop`, and (c) dereferenced between a `running += 1` and a
+// `running -= 1` transition, while `Pool::run`'s `JobGuard` blocks the
+// owning frame from returning until `running == 0` with the slot cleared.
+// The pointee is `Sync` (bound on construction), so concurrent shared
+// calls are fine, and no `&mut` to the closure exists anywhere. The
+// `job_slot_never_outlives_run` loom model drives every interleaving of
+// this handoff and asserts the closure is never entered after `run`
+// returns.
+unsafe impl Send for JobPtr {}
+
+impl JobPtr {
+    fn new<F: Fn() + Sync>(work: &F) -> JobPtr {
+        // SAFETY contract of `trampoline`: `p` must be the `data` pointer
+        // of the `JobPtr` built below, still alive per `JobPtr::call`.
+        unsafe fn trampoline<F: Fn()>(p: *const ()) {
+            // SAFETY: `p` was produced from `&F` in `JobPtr::new` for this
+            // very instantiation of `F` (the pointer and the trampoline
+            // travel together), and `JobPtr::call`'s contract guarantees
+            // the pointee is still alive.
+            unsafe { (*p.cast::<F>())() }
+        }
+        JobPtr {
+            data: std::ptr::from_ref(work).cast(),
+            invoke: trampoline::<F>,
+        }
+    }
+
+    /// Invokes the job.
+    ///
+    /// # Safety
+    /// The caller must hold a `running` registration taken under the state
+    /// mutex while the slot was populated (the worker-claim transition in
+    /// [`Pool::worker_loop`]); that registration is what keeps the
+    /// caller's frame — and thus the pointee — alive until the matching
+    /// `running -= 1`. Checked by the `job_slot_never_outlives_run` loom
+    /// model, which fails if any schedule lets a worker enter the closure
+    /// after [`Pool::run`] has returned.
+    unsafe fn call(self) {
+        unsafe { (self.invoke)(self.data) }
+    }
+}
+
 struct State {
-    /// The job currently offered to workers. `'static` is a lie told under
-    /// lock discipline — see the safety comment in [`Pool::run`].
-    job: Option<&'static (dyn Fn() + Sync)>,
+    /// The job currently offered to workers, if any.
+    job: Option<JobPtr>,
     /// Worker claims still wanted for the current job.
     wanted: usize,
     /// Workers currently inside the job closure.
     running: usize,
-    /// Workers spawned so far (they never exit).
+    /// Workers spawned so far (they never exit in production; model pools
+    /// retire them via `shutdown`).
     spawned: usize,
+    /// Test/model hook: tells parked workers to exit instead of waiting
+    /// for the next job. Never set on the global pool.
+    shutdown: bool,
 }
 
-struct Pool {
+pub(crate) struct Pool {
     state: Mutex<State>,
-    /// Signaled when a job is posted.
+    /// Signaled when a job is posted (or the pool shuts down).
     work_ready: Condvar,
     /// Signaled when the last running worker leaves a job.
     work_done: Condvar,
@@ -50,30 +127,25 @@ struct Pool {
 /// machine stays consistent (every transition is a single guarded update),
 /// so recover the guard rather than propagating the poison.
 fn lock(m: &Mutex<State>) -> MutexGuard<'_, State> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 fn pool() -> &'static Pool {
     static POOL: OnceLock<Pool> = OnceLock::new();
-    POOL.get_or_init(|| Pool {
-        state: Mutex::new(State {
-            job: None,
-            wanted: 0,
-            running: 0,
-            spawned: 0,
-        }),
-        work_ready: Condvar::new(),
-        work_done: Condvar::new(),
-    })
+    POOL.get_or_init(Pool::new)
 }
 
 /// Extra workers worth engaging beyond the calling thread on this host.
 fn available_extra() -> usize {
+    // Relaxed is sufficient: this is a single-variable idempotent cache.
+    // Every writer stores the same host-derived value, readers that race
+    // the first write just recompute it, and no other memory location is
+    // published through this flag.
     static CACHED: AtomicUsize = AtomicUsize::new(usize::MAX);
     let mut v = CACHED.load(Ordering::Relaxed);
     if v == usize::MAX {
-        v = std::thread::available_parallelism()
-            .map_or(1, std::num::NonZero::get)
+        v = thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
             .saturating_sub(1);
         CACHED.store(v, Ordering::Relaxed);
     }
@@ -95,17 +167,34 @@ impl Drop for JobGuard<'_> {
                 .0
                 .work_done
                 .wait(st)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
 
 impl Pool {
+    fn new() -> Pool {
+        Pool {
+            state: Mutex::new(State {
+                job: None,
+                wanted: 0,
+                running: 0,
+                spawned: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+        }
+    }
+
     fn worker_loop(&self) {
         loop {
             let job = {
                 let mut st = lock(&self.state);
                 loop {
+                    if st.shutdown {
+                        return;
+                    }
                     if st.wanted > 0 {
                         if let Some(job) = st.job {
                             st.wanted -= 1;
@@ -116,13 +205,17 @@ impl Pool {
                     st = self
                         .work_ready
                         .wait(st)
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             };
             // A panicking task must not wedge the pool: swallow it here and
             // let the caller detect the missing result (`parallel_map`
             // asserts completeness).
-            let _ = catch_unwind(AssertUnwindSafe(job));
+            //
+            // SAFETY: `running` was incremented for this worker in the same
+            // critical section that read the slot, so the caller's frame is
+            // pinned until the decrement below (see `JobPtr::call`).
+            let _ = catch_unwind(AssertUnwindSafe(|| unsafe { job.call() }));
             let mut st = lock(&self.state);
             st.running -= 1;
             if st.running == 0 {
@@ -139,7 +232,7 @@ impl Pool {
     /// If the pool is already serving another caller, this degrades to
     /// running `work` on the caller alone — correct because every caller's
     /// closure performs the complete task set by itself if unassisted.
-    fn run(&self, extra: usize, work: &(dyn Fn() + Sync)) {
+    fn run<F: Fn() + Sync>(&self, extra: usize, work: &F) {
         if extra == 0 {
             work();
             return;
@@ -151,18 +244,15 @@ impl Pool {
                 work();
                 return;
             }
-            // SAFETY: the `'static` lifetime is fabricated so the borrow
-            // can sit in the shared state. It never outlives the real
-            // borrow: `JobGuard` (dropped before `run` returns, on panic
-            // too) clears the slot under lock and then blocks until
-            // `running == 0`, and workers only obtain the pointer under
-            // the same lock while the slot is populated.
-            let work_static: &'static (dyn Fn() + Sync) =
-                unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &(dyn Fn() + Sync)>(work) };
-            st.job = Some(work_static);
+            // The borrow is erased here and re-scoped by the protocol: the
+            // `JobGuard` below (dropped before `run` returns, on panic too)
+            // clears the slot under the lock and then blocks until
+            // `running == 0`, and workers only obtain the pointer under the
+            // same lock while the slot is populated. See `JobPtr`.
+            st.job = Some(JobPtr::new(work));
             st.wanted = extra.min(MAX_WORKERS);
             while st.spawned < st.wanted {
-                let spawned = std::thread::Builder::new()
+                let spawned = thread::Builder::new()
                     .name(format!("cfl-build-{}", st.spawned))
                     .spawn(|| pool().worker_loop())
                     .is_ok();
@@ -181,11 +271,128 @@ impl Pool {
     }
 }
 
+/// Model hooks: a private pool whose workers are owned (joinable)
+/// threads, so a loom model can create, drive, and fully retire one per
+/// schedule. Production code always goes through the global [`pool()`].
+#[cfg(all(test, feature = "loom-model"))]
+pub(crate) mod hooks {
+    use super::*;
+    use crate::sync::Arc;
+
+    /// An owned pool plus its worker handles.
+    pub(crate) struct OwnedPool {
+        pub(crate) pool: Arc<Pool>,
+        workers: Vec<thread::JoinHandle<()>>,
+    }
+
+    impl OwnedPool {
+        /// Creates a pool with exactly `workers` pre-spawned workers; the
+        /// lazy spawn path in [`Pool::run`] is then never taken (the model
+        /// scheduler must know every participating thread).
+        pub(crate) fn with_workers(workers: usize) -> OwnedPool {
+            let pool = Arc::new(Pool::new());
+            lock(&pool.state).spawned = workers;
+            let handles = (0..workers)
+                .map(|_| {
+                    let p = Arc::clone(&pool);
+                    thread::spawn(move || p.worker_loop())
+                })
+                .collect();
+            OwnedPool {
+                pool,
+                workers: handles,
+            }
+        }
+
+        /// Pre-spawned worker count, for the `extra` cap in
+        /// [`super::parallel_map_model`].
+        pub(crate) fn worker_count(&self) -> usize {
+            self.workers.len()
+        }
+
+        /// Retires the workers: park-exit handshake, then join.
+        pub(crate) fn shutdown(self) {
+            {
+                let mut st = lock(&self.pool.state);
+                st.shutdown = true;
+            }
+            self.pool.work_ready.notify_all();
+            for h in self.workers {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// The steal-loop body shared by [`parallel_map`] and the loom models:
+/// claim indices from `cursor` until it runs dry, buffering `(i, f(i))`
+/// locally and appending to the shared results under the lock on exit.
+///
+/// # Why `Relaxed` suffices for the claim cursor
+///
+/// `fetch_add` is an atomic read-modify-write: every participant observes
+/// a *distinct* value of the cursor's modification order, a guarantee the
+/// C++/Rust memory model gives RMWs at **any** ordering, including
+/// `Relaxed` — so no index can be claimed twice or skipped regardless of
+/// scheduling. The claimed index is only used to (a) read immutable shared
+/// state captured by `f` and (b) tag the locally produced result; the
+/// result itself is published through `results`'s mutex, whose
+/// acquire/release pair provides all the cross-variable ordering the
+/// consumer needs. The cursor therefore orders nothing but itself, which
+/// is exactly what `Relaxed` promises. The `cursor_claims_exactly_once`
+/// loom model checks claim uniqueness, and `cursor_overshoot_is_bounded`
+/// checks the companion bound: each participant performs at most one
+/// over-the-end `fetch_add` before exiting, so the cursor's final value
+/// never exceeds `n + participants`.
+fn steal_loop<T, F>(cursor: &AtomicUsize, results: &Mutex<Vec<(usize, T)>>, n: usize, f: &F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut local: Vec<(usize, T)> = Vec::new();
+    loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        local.push((i, f(i)));
+    }
+    if !local.is_empty() {
+        results
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .append(&mut local);
+    }
+}
+
+/// [`parallel_map`] against an explicit pool: the shared implementation
+/// behind the public clamped entry point, the forced test variant, and the
+/// loom models (which pass an owned model pool).
+fn parallel_map_on<T, F>(pool: &Pool, extra: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if extra == 0 || n == 0 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    let work = || steal_loop(&cursor, &results, n, &f);
+    pool.run(extra, &work);
+    let mut v = results.into_inner().unwrap_or_else(PoisonError::into_inner);
+    assert_eq!(v.len(), n, "a worker task panicked");
+    v.sort_unstable_by_key(|&(i, _)| i);
+    v.into_iter().map(|(_, t)| t).collect()
+}
+
 /// Runs `f(i)` for every `i in 0..n` across `threads` participants
 /// (capped at the host's available parallelism) and returns the results in
 /// index order. Indices are claimed from an atomic cursor, so scheduling
 /// affects only *who* computes a result, never *what* is computed or where
-/// it lands — the property the byte-identical parallel CPI build rests on.
+/// it lands — the property the byte-identical parallel CPI build rests on
+/// (the `commit_order_is_deterministic` loom model asserts it for every
+/// schedule).
 ///
 /// # Panics
 /// Panics if any task panicked (on the caller's thread, with the caller's
@@ -199,34 +406,7 @@ where
         .saturating_sub(1)
         .min(n.saturating_sub(1))
         .min(available_extra());
-    if extra == 0 {
-        return (0..n).map(f).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
-    let work = || {
-        let mut local: Vec<(usize, T)> = Vec::new();
-        loop {
-            let i = cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= n {
-                break;
-            }
-            local.push((i, f(i)));
-        }
-        if !local.is_empty() {
-            results
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .append(&mut local);
-        }
-    };
-    pool().run(extra, &work);
-    let mut v = results
-        .into_inner()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    assert_eq!(v.len(), n, "a worker task panicked");
-    v.sort_unstable_by_key(|&(i, _)| i);
-    v.into_iter().map(|(_, t)| t).collect()
+    parallel_map_on(pool(), extra, n, f)
 }
 
 /// Like [`parallel_map`] but without the availability clamp — test hook so
@@ -238,30 +418,27 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let extra = threads.saturating_sub(1);
-    if extra == 0 || n == 0 {
-        return (0..n).map(f).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
-    let work = || loop {
-        let i = cursor.fetch_add(1, Ordering::Relaxed);
-        if i >= n {
-            break;
-        }
-        let r = (i, f(i));
-        results
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .push(r);
-    };
-    pool().run(extra, &work);
-    let mut v = results
-        .into_inner()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    assert_eq!(v.len(), n, "a worker task panicked");
-    v.sort_unstable_by_key(|&(i, _)| i);
-    v.into_iter().map(|(_, t)| t).collect()
+    parallel_map_on(pool(), threads.saturating_sub(1), n, f)
+}
+
+/// Model hook: [`parallel_map`] against an owned pool (loom models build
+/// one per schedule so the scheduler owns every participating thread).
+/// `extra` must not exceed the pre-spawned worker count: the lazy top-up
+/// in [`Pool::run`] would otherwise spawn workers serving the *global*
+/// pool, which the model scheduler would flag as leaked.
+#[cfg(all(test, feature = "loom-model"))]
+pub(crate) fn parallel_map_model<T, F>(
+    owned: &hooks::OwnedPool,
+    extra: usize,
+    n: usize,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(extra <= owned.worker_count());
+    parallel_map_on(&owned.pool, extra, n, f)
 }
 
 #[cfg(test)]
@@ -284,11 +461,13 @@ mod tests {
         for _ in 0..50 {
             let hits: Vec<AtomicU64> = (0..257).map(|_| AtomicU64::new(0)).collect();
             let out = parallel_map_forced(4, hits.len(), |i| {
-                hits[i].fetch_add(1, Ordering::Relaxed);
+                hits[i].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 i
             });
             assert_eq!(out, (0..hits.len()).collect::<Vec<_>>());
-            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            assert!(hits
+                .iter()
+                .all(|h| h.load(std::sync::atomic::Ordering::Relaxed) == 1));
         }
     }
 
@@ -323,5 +502,62 @@ mod tests {
         // Pool must have been cleaned up by the guard and serve new jobs.
         let ok = parallel_map_forced(4, 64, |i| i);
         assert_eq!(ok, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_deadlock() {
+        // A task that panics on a *pool worker* (not the caller) is
+        // swallowed by the worker's catch_unwind; the caller must then
+        // fail the completeness assertion rather than hang a parked round
+        // or leak it. Caller-run tasks stall (bounded) so a worker gets a
+        // chance to claim an index; if the pool happens to be busy with a
+        // concurrent test and no worker ever joins, the round completes
+        // caller-only and we simply retry.
+        use std::sync::atomic::{AtomicBool, Ordering as StdOrdering};
+        for round in 0..8 {
+            let worker_engaged = AtomicBool::new(false);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                parallel_map_forced(4, 96, |i| {
+                    let on_worker = std::thread::current()
+                        .name()
+                        .is_some_and(|n| n.starts_with("cfl-build-"));
+                    if on_worker {
+                        worker_engaged.store(true, StdOrdering::Relaxed);
+                        panic!("worker task failure (round {round})");
+                    }
+                    // Give workers time to claim at least one index, but
+                    // never wait unboundedly on them showing up.
+                    let mut spins = 0u32;
+                    while !worker_engaged.load(StdOrdering::Relaxed) && spins < 100_000 {
+                        std::hint::spin_loop();
+                        spins += 1;
+                    }
+                    i
+                })
+            }));
+            if worker_engaged.load(StdOrdering::Relaxed) {
+                // The worker's panic was converted into the caller-side
+                // completeness panic — never a deadlock, never silence.
+                let msg = result.err().map(|p| {
+                    p.downcast_ref::<String>().cloned().unwrap_or_else(|| {
+                        p.downcast_ref::<&str>()
+                            .map_or_else(|| "<non-string>".to_owned(), |s| (*s).to_owned())
+                    })
+                });
+                let msg = msg.unwrap_or_default();
+                assert!(
+                    msg.contains("worker task panicked"),
+                    "expected completeness panic, got: {msg}"
+                );
+                // And the pool must serve subsequent rounds.
+                let ok = parallel_map_forced(4, 32, |i| i);
+                assert_eq!(ok, (0..32).collect::<Vec<_>>());
+                return;
+            }
+            // No worker engaged (single-core scheduling fluke): retry.
+        }
+        // Even if contention never materialized, the pool must be healthy.
+        let ok = parallel_map_forced(4, 32, |i| i);
+        assert_eq!(ok, (0..32).collect::<Vec<_>>());
     }
 }

@@ -7,7 +7,7 @@
 //! next send fails and the enumerator unwinds), so `stream.take(5)` does
 //! only slightly more than 5 embeddings' worth of work.
 
-use std::thread::JoinHandle;
+use crate::sync::thread::{self, JoinHandle};
 
 use cfl_graph::Graph;
 
@@ -43,7 +43,7 @@ impl EmbeddingStream {
         }
 
         let (tx, rx) = crossbeam::channel::bounded::<Embedding>(256);
-        let worker = std::thread::spawn(move || {
+        let worker = thread::spawn(move || {
             let report = crate::exec::find_embeddings(&q, &g, &config, |mapping| {
                 tx.send(Embedding {
                     mapping: mapping.to_vec(),

@@ -1,0 +1,60 @@
+//! The crate's single gateway to synchronization primitives.
+//!
+//! Everything in `cfl-match` that locks, parks, spawns, or touches an
+//! atomic imports it from here, **never** from `std::sync`/`std::thread`
+//! directly (`xtask lint` enforces this). The payoff: rebuilding with the
+//! `loom-model` feature swaps the interleaving-sensitive primitives for
+//! the `loom` shim's model-aware versions, so the loom models in
+//! [`crate::models`] exhaustively schedule the *actual* pool and cursor
+//! code, not a parallel re-implementation. Outside a model run the loom
+//! types delegate straight to `std`, so the feature does not change the
+//! behavior of ordinary tests.
+//!
+//! Three groups:
+//!
+//! * **cfg-switched** (`Mutex`, `Condvar`, `MutexGuard`, `atomic::*`,
+//!   `thread::{spawn, Builder, JoinHandle, yield_now}`) — the primitives
+//!   whose interleavings the models check.
+//! * **always-`std`** (`Arc`, `OnceLock`, `PoisonError`, `LockResult`,
+//!   `thread::{scope, available_parallelism}`) — either interleaving-
+//!   insensitive (immutable after publication) or never exercised inside a
+//!   model (scoped enumeration workers; models drive the enumeration
+//!   cursor protocol directly instead).
+//! * the `loom-model`-only re-export of [`loom::model`] for the models.
+
+// Interleaving-insensitive: shared ownership and write-once cells hold
+// immutable data after publication; poison plumbing is error handling.
+pub(crate) use std::sync::{Arc, OnceLock, PoisonError};
+
+#[cfg(not(feature = "loom-model"))]
+pub(crate) use std::sync::{Condvar, Mutex, MutexGuard};
+
+#[cfg(feature = "loom-model")]
+pub(crate) use loom::sync::{Condvar, Mutex, MutexGuard};
+
+// Only the models (a test-only module) run model executions.
+#[cfg(all(test, feature = "loom-model"))]
+pub(crate) use loom::model;
+
+pub(crate) mod atomic {
+    #[cfg(not(feature = "loom-model"))]
+    pub(crate) use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+    #[cfg(feature = "loom-model")]
+    pub(crate) use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+pub(crate) mod thread {
+    // `scope` never runs inside a model (the models exercise the
+    // work-stealing claim protocol on plain spawned threads instead), and
+    // `available_parallelism` is a host query; both stay `std` under every
+    // cfg. This module is the designated shim, so the direct `std::thread`
+    // uses here are the allowlisted ones.
+    pub(crate) use std::thread::{available_parallelism, scope};
+
+    #[cfg(not(feature = "loom-model"))]
+    pub(crate) use std::thread::{spawn, Builder, JoinHandle};
+
+    #[cfg(feature = "loom-model")]
+    pub(crate) use loom::thread::{spawn, Builder, JoinHandle};
+}

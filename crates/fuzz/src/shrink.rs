@@ -1,0 +1,82 @@
+//! A ddmin-lite byte-string shrinker.
+//!
+//! Works on any failing input because decoding is total (see
+//! [`crate::spec`]): removing or zeroing bytes always yields *some* case,
+//! so the shrinker needs no format knowledge. Two passes repeat to a fixed
+//! point (bounded by a predicate-call budget):
+//!
+//! 1. **chunk removal** — delete spans, halving the span size from
+//!    `len/2` down to 1;
+//! 2. **byte minimization** — lower each remaining byte toward zero
+//!    (zero, then halving), which shrinks the decoded graph sizes.
+
+/// Upper bound on predicate invocations per [`shrink`] call; the current
+/// best input is returned when it runs out.
+const MAX_CHECKS: usize = 4_096;
+
+/// Returns a minimal-ish input on which `fails` still returns `true`.
+/// `fails(input)` must hold on entry (asserted).
+pub fn shrink(input: &[u8], fails: &mut dyn FnMut(&[u8]) -> bool) -> Vec<u8> {
+    assert!(fails(input), "shrink requires a failing input");
+    let mut cur = input.to_vec();
+    let mut checks = 0usize;
+    let mut check = |bytes: &[u8], fails: &mut dyn FnMut(&[u8]) -> bool| {
+        if checks >= MAX_CHECKS {
+            return false;
+        }
+        checks += 1;
+        fails(bytes)
+    };
+
+    loop {
+        let mut progress = false;
+
+        // Pass 1: chunk removal.
+        let mut chunk = (cur.len() / 2).max(1);
+        loop {
+            let mut i = 0;
+            while i + chunk <= cur.len() {
+                let mut cand = cur.clone();
+                cand.drain(i..i + chunk);
+                if check(&cand, fails) {
+                    cur = cand;
+                    progress = true;
+                    // Same position now holds the following bytes; retry it.
+                } else {
+                    i += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Pass 2: byte minimization.
+        for i in 0..cur.len() {
+            while cur[i] != 0 {
+                let orig = cur[i];
+                for lower in [0, orig / 2] {
+                    if lower >= cur[i] {
+                        continue;
+                    }
+                    let mut cand = cur.clone();
+                    cand[i] = lower;
+                    if check(&cand, fails) {
+                        cur = cand;
+                        progress = true;
+                        break;
+                    }
+                }
+                if cur[i] == orig {
+                    break;
+                }
+            }
+        }
+
+        if !progress {
+            break;
+        }
+    }
+    cur
+}

@@ -1,0 +1,178 @@
+//! The differential targets.
+//!
+//! Each target takes a decoded [`Case`] and either confirms agreement
+//! (`Ok(Verdict::Checked)`), declines to judge (`Ok(Verdict::Skipped)` —
+//! e.g. a budget cap fired, so result sets are legitimately incomparable),
+//! or reports a divergence (`Err` with a description). An `Err` is always
+//! a real finding: two independent computations of the same quantity
+//! disagreed.
+
+use cfl_baselines::{Matcher, Vf2};
+use cfl_graph::VertexId;
+use cfl_match::{Budget, MatchConfig};
+
+use crate::spec::Case;
+
+/// Embedding budget per engine run. High enough that small cases complete
+/// (comparisons are exact), low enough that a dense 46-vertex data graph
+/// cannot stall the harness.
+const EMB_CAP: u64 = 5_000;
+
+/// Outcome of a target on one case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The differential comparison ran to completion and agreed.
+    Checked,
+    /// The case was not comparable (reason attached); not a finding.
+    Skipped(&'static str),
+}
+
+/// A named differential target.
+pub type Target = fn(&Case) -> Result<Verdict, String>;
+
+/// All targets, by CLI name.
+pub const TARGETS: &[(&str, Target)] = &[
+    ("cfl-vs-vf2", cfl_vs_vf2),
+    ("flat-vs-nested", flat_vs_nested),
+    ("thread-checksum", thread_checksum),
+];
+
+/// Looks up a target by name.
+pub fn by_name(name: &str) -> Option<Target> {
+    TARGETS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, target)| target)
+}
+
+/// Compares two embedding sets (order-insensitive). Factored out so the
+/// comparison itself is unit-testable against seeded divergences.
+pub(crate) fn compare_embedding_sets(
+    mut a: Vec<Vec<VertexId>>,
+    mut b: Vec<Vec<VertexId>>,
+    a_name: &str,
+    b_name: &str,
+) -> Result<(), String> {
+    a.sort_unstable();
+    b.sort_unstable();
+    if a != b {
+        let only_a = a.iter().find(|m| b.binary_search(m).is_err());
+        let only_b = b.iter().find(|m| a.binary_search(m).is_err());
+        return Err(format!(
+            "embedding sets diverge: {a_name} has {} embeddings, {b_name} has {}; \
+             first only-{a_name}: {only_a:?}; first only-{b_name}: {only_b:?}",
+            a.len(),
+            b.len()
+        ));
+    }
+    Ok(())
+}
+
+/// CFL-Match vs VF2: both enumerate the full embedding set of the case
+/// (under a shared budget) and the sets must be identical. VF2 shares no
+/// code with the CFL pipeline past the `Graph` type, so an agreement is
+/// strong evidence the CPI/ordering/enumeration stack is sound for this
+/// case.
+pub fn cfl_vs_vf2(case: &Case) -> Result<Verdict, String> {
+    let budget = Budget::first(EMB_CAP);
+    let cfg = MatchConfig::exhaustive().with_budget(budget);
+
+    let mut cfl = Vec::new();
+    let cfl_report = cfl_match::find_embeddings(&case.q, &case.g, &cfg, |m| {
+        cfl.push(m.to_vec());
+        true
+    });
+    let mut vf2 = Vec::new();
+    let vf2_report = Vf2.find(&case.q, &case.g, budget, &mut |m| {
+        vf2.push(m.to_vec());
+        true
+    });
+
+    match (cfl_report, vf2_report) {
+        (Err(a), Err(b)) => {
+            if a == b {
+                Ok(Verdict::Checked)
+            } else {
+                Err(format!("engines reject differently: cfl={a:?} vf2={b:?}"))
+            }
+        }
+        (Err(a), Ok(_)) => Err(format!("only cfl rejects the case: {a:?}")),
+        (Ok(_), Err(b)) => Err(format!("only vf2 rejects the case: {b:?}")),
+        (Ok(cr), Ok(vr)) => {
+            if !cr.outcome.is_complete() || !vr.outcome.is_complete() {
+                return Ok(Verdict::Skipped("budget cap reached"));
+            }
+            if cr.embeddings != vr.embeddings {
+                return Err(format!(
+                    "embedding counts diverge: cfl={} vf2={}",
+                    cr.embeddings, vr.embeddings
+                ));
+            }
+            compare_embedding_sets(cfl, vf2, "cfl", "vf2")?;
+            Ok(Verdict::Checked)
+        }
+    }
+}
+
+/// Flat-arena CPI freeze vs the naive nested reference freeze (via the
+/// `oracle` feature of `cfl-match`): element-for-element equality, before
+/// and after bottom-up refinement.
+pub fn flat_vs_nested(case: &Case) -> Result<Verdict, String> {
+    cfl_match::oracle::flat_matches_nested(&case.q, &case.g)?;
+    Ok(Verdict::Checked)
+}
+
+/// 1-thread vs N-thread identity: the CPI checksum must be byte-identical
+/// across build thread counts, and the (budgeted) embedding count must
+/// agree between the serial counter and the work-stealing parallel
+/// counter.
+pub fn thread_checksum(case: &Case) -> Result<Verdict, String> {
+    let budget = Budget::first(EMB_CAP);
+    let cfg1 = MatchConfig::exhaustive()
+        .with_budget(budget)
+        .with_build_threads(1);
+    let cfg_n = MatchConfig::exhaustive()
+        .with_budget(budget)
+        .with_build_threads(case.threads);
+
+    let p1 = cfl_match::prepare(&case.q, &case.g, &cfg1);
+    let pn = cfl_match::prepare(&case.q, &case.g, &cfg_n);
+    match (p1, pn) {
+        (Err(a), Err(b)) => {
+            return if a == b {
+                Ok(Verdict::Checked)
+            } else {
+                Err(format!(
+                    "prepare rejects differently: serial={a:?} parallel={b:?}"
+                ))
+            };
+        }
+        (Err(a), Ok(_)) => return Err(format!("only serial prepare rejects: {a:?}")),
+        (Ok(_), Err(b)) => return Err(format!("only parallel prepare rejects: {b:?}")),
+        (Ok(p1), Ok(pn)) => {
+            let (c1, cn) = (p1.cpi.checksum(), pn.cpi.checksum());
+            if c1 != cn {
+                return Err(format!(
+                    "CPI checksum diverges at {} build threads: \
+                     serial={c1:#018x} parallel={cn:#018x}",
+                    case.threads
+                ));
+            }
+        }
+    }
+
+    let serial = cfl_match::count_embeddings(&case.q, &case.g, &cfg1)
+        .map_err(|e| format!("serial count failed after prepare succeeded: {e:?}"))?;
+    let parallel = cfl_match::count_embeddings_parallel(&case.q, &case.g, &cfg_n, case.threads)
+        .map_err(|e| format!("parallel count failed after prepare succeeded: {e:?}"))?;
+    if !serial.outcome.is_complete() || !parallel.outcome.is_complete() {
+        return Ok(Verdict::Skipped("budget cap reached"));
+    }
+    if serial.embeddings != parallel.embeddings {
+        return Err(format!(
+            "embedding counts diverge at {} threads: serial={} parallel={}",
+            case.threads, serial.embeddings, parallel.embeddings
+        ));
+    }
+    Ok(Verdict::Checked)
+}

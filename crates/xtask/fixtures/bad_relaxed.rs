@@ -1,0 +1,9 @@
+// Fixture: uses `Ordering::Relaxed` in a module with no loom model.
+// Must trip the `relaxed-ordering` rule except under the allowlisted
+// loom-modeled paths. Not compiled by cargo.
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,10 @@
+// Fixture: names `std::sync` and `std::thread` directly instead of going
+// through the `crate::sync` gateway. Must trip the `sync-shim` rule when
+// linted under any path except `src/sync.rs`. Not compiled by cargo.
+
+use std::sync::Mutex;
+
+pub fn spawn_and_lock(m: &Mutex<u32>) {
+    std::thread::spawn(|| {});
+    let _ = m.lock();
+}

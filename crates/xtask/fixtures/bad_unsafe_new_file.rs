@@ -1,0 +1,9 @@
+// Fixture: introduces `unsafe` in a file that is not on the allowlist.
+// Must trip the `unsafe-allowlist` rule even though the site carries a
+// SAFETY comment — new files need an allowlist entry (a review event).
+// Not compiled by cargo.
+
+pub fn read_first(v: &[u32]) -> u32 {
+    // SAFETY: the caller promises `v` is non-empty (it does not).
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,20 @@
+// Fixture: an `unsafe` block in an allowlisted file but with no SAFETY
+// comment anywhere near it. Must trip the `unsafe-allowlist` rule's
+// missing-SAFETY arm when linted as `src/pool.rs`. Not compiled by cargo.
+
+pub fn read_first(v: &[u32]) -> u32 {
+    let p = v.as_ptr();
+    let q = p;
+    let r = q;
+    let s = r;
+    let t = s;
+    let u = t;
+    let w = u;
+    let x = w;
+    let y = x;
+    let z = y;
+    let a = z;
+    let b = a;
+    let c = b;
+    unsafe { *c }
+}

@@ -1,0 +1,22 @@
+// Fixture: a `#[cfg(test)]` module may use std primitives, raw `unsafe`,
+// and Relaxed freely — std-only unit tests are exempt from all three
+// rules so they can exercise the shimmed primitives from outside. Must
+// lint clean under any path. Not compiled by cargo.
+
+pub fn production_code() -> u32 {
+    7
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn counts() {
+        let c = AtomicU32::new(0);
+        c.fetch_add(super::production_code(), Ordering::Relaxed);
+        std::thread::yield_now();
+        let v = [1u32];
+        assert_eq!(unsafe { *v.as_ptr() }, 1);
+    }
+}

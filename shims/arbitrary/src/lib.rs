@@ -1,0 +1,188 @@
+//! Offline stand-in for the `arbitrary` crate (API subset; see
+//! `shims/README.md`).
+//!
+//! Provides the [`Arbitrary`] trait and the [`Unstructured`] byte-slice
+//! reader the fuzz targets consume. Semantics mirror the real crate where
+//! the workspace relies on them: integers are read little-endian from the
+//! front of the buffer, an exhausted buffer yields zeros rather than an
+//! error (so every byte string decodes to *some* structured value — the
+//! property shrinking relies on), `int_in_range` is inclusive on both
+//! ends, and `arbitrary_len` caps collection sizes by remaining budget.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+/// Error type of fallible generation. The shim's readers are total (they
+/// zero-fill past the end), so this only surfaces from user impls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// Not enough underlying data to finish constructing a value.
+    NotEnoughData,
+    /// The bytes cannot decode to a value of the requested type.
+    IncorrectFormat,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::NotEnoughData => write!(f, "not enough data"),
+            Error::IncorrectFormat => write!(f, "incorrect format"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// `Result` alias matching the real crate.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// A finite byte buffer structured values are drawn from.
+pub struct Unstructured<'a> {
+    data: &'a [u8],
+    offset: usize,
+}
+
+impl<'a> Unstructured<'a> {
+    pub fn new(data: &'a [u8]) -> Unstructured<'a> {
+        Unstructured { data, offset: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn len(&self) -> usize {
+        self.data.len().saturating_sub(self.offset)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Next raw byte; zero once the buffer is exhausted.
+    fn byte(&mut self) -> u8 {
+        let b = self.data.get(self.offset).copied().unwrap_or(0);
+        self.offset = self.offset.saturating_add(1);
+        b
+    }
+
+    pub fn arbitrary<A: Arbitrary<'a>>(&mut self) -> Result<A> {
+        A::arbitrary(self)
+    }
+
+    /// Uniform-ish value in `range` (inclusive), consuming as many bytes
+    /// as the range width needs.
+    pub fn int_in_range(&mut self, range: std::ops::RangeInclusive<u64>) -> Result<u64> {
+        let (lo, hi) = (*range.start(), *range.end());
+        if lo > hi {
+            return Err(Error::IncorrectFormat);
+        }
+        let width = hi - lo;
+        if width == 0 {
+            return Ok(lo);
+        }
+        let mut bytes = 0usize;
+        let mut w = width;
+        while w > 0 {
+            bytes += 1;
+            w >>= 8;
+        }
+        let mut v: u64 = 0;
+        for _ in 0..bytes {
+            v = (v << 8) | u64::from(self.byte());
+        }
+        Ok(lo + v % (width + 1))
+    }
+
+    /// A length for a collection of `elem_size`-byte elements, bounded by
+    /// the remaining budget so generation always terminates.
+    pub fn arbitrary_len(&mut self, elem_size: usize) -> Result<usize> {
+        let cap = self.len() / elem_size.max(1);
+        Ok(self.int_in_range(0..=cap as u64)? as usize)
+    }
+
+    /// Fills `buf` from the stream (zero-padded past the end).
+    pub fn fill_buffer(&mut self, buf: &mut [u8]) -> Result<()> {
+        for b in buf.iter_mut() {
+            *b = self.byte();
+        }
+        Ok(())
+    }
+}
+
+/// Construct a value of `Self` from a stream of unstructured bytes.
+pub trait Arbitrary<'a>: Sized {
+    fn arbitrary(u: &mut Unstructured<'a>) -> Result<Self>;
+}
+
+macro_rules! int_arbitrary {
+    ($($ty:ty),*) => {$(
+        impl<'a> Arbitrary<'a> for $ty {
+            fn arbitrary(u: &mut Unstructured<'a>) -> Result<Self> {
+                let mut buf = [0u8; std::mem::size_of::<$ty>()];
+                u.fill_buffer(&mut buf)?;
+                Ok(<$ty>::from_le_bytes(buf))
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl<'a> Arbitrary<'a> for bool {
+    fn arbitrary(u: &mut Unstructured<'a>) -> Result<Self> {
+        Ok(u8::arbitrary(u)? & 1 == 1)
+    }
+}
+
+impl<'a, A: Arbitrary<'a>> Arbitrary<'a> for Vec<A> {
+    fn arbitrary(u: &mut Unstructured<'a>) -> Result<Self> {
+        let len = u.arbitrary_len(std::mem::size_of::<A>().max(1))?;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(A::arbitrary(u)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<'a, A: Arbitrary<'a>, B: Arbitrary<'a>> Arbitrary<'a> for (A, B) {
+    fn arbitrary(u: &mut Unstructured<'a>) -> Result<Self> {
+        Ok((A::arbitrary(u)?, B::arbitrary(u)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhausted_buffer_zero_fills() {
+        let mut u = Unstructured::new(&[0xff]);
+        assert_eq!(u8::arbitrary(&mut u).unwrap(), 0xff);
+        assert_eq!(u32::arbitrary(&mut u).unwrap(), 0);
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn int_in_range_is_inclusive_and_total() {
+        let mut u = Unstructured::new(&[0, 1, 2, 255, 254]);
+        for _ in 0..10 {
+            let v = u.int_in_range(3..=9).unwrap();
+            assert!((3..=9).contains(&v));
+        }
+        assert_eq!(u.int_in_range(5..=5).unwrap(), 5);
+        // An inverted range must be rejected, not iterated.
+        #[allow(clippy::reversed_empty_ranges)]
+        let inverted = u.int_in_range(9..=3);
+        assert!(inverted.is_err());
+    }
+
+    #[test]
+    fn same_bytes_same_value() {
+        let data = [7, 1, 9, 3, 200, 41, 12, 0, 3];
+        let decode = || {
+            let mut u = Unstructured::new(&data);
+            let a: u16 = u.arbitrary().unwrap();
+            let b: Vec<u8> = u.arbitrary().unwrap();
+            (a, b)
+        };
+        assert_eq!(decode(), decode());
+    }
+}

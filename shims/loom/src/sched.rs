@@ -1,0 +1,407 @@
+//! The cooperative scheduler behind [`crate::model`].
+//!
+//! One execution runs the model closure and every thread it spawns as real
+//! OS threads, but only **one of them is ever runnable at a time**: each
+//! thread holds a "turn token" and hands it over at every scheduling point
+//! (atomic op, mutex acquire, condvar wait/notify, spawn, join, yield). The
+//! next holder is drawn from a seeded PRNG, so an execution is a pure
+//! function of its seed — a failing schedule replays exactly via
+//! `LOOM_SEED`.
+//!
+//! Because at most one thread executes between scheduling points, plain
+//! `std` primitives give sequentially consistent semantics for the modeled
+//! operations; the scheduler's job is purely to inject interleavings and to
+//! detect protocol bugs as one of:
+//!
+//! * **deadlock** — no thread is runnable but not all have finished
+//!   (a lost wakeup parks its waiter forever, which is exactly this state);
+//! * **leaked thread** — the closure returned but a spawned thread can
+//!   never finish;
+//! * **assertion/panic** — any panic escaping a modeled thread fails the
+//!   whole execution.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Sentinel "thread id" used by the main thread while it waits for every
+/// spawned thread to finish after the model closure returned.
+const ALL: usize = usize::MAX;
+
+/// What a modeled thread is currently waiting for, if anything.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Status {
+    Runnable,
+    /// Parked until the mutex with this identity is released.
+    Mutex(usize),
+    /// Parked until the condvar with this identity is notified (or a
+    /// spurious wakeup is injected).
+    Condvar(usize),
+    /// Parked until thread `tid` (or, for [`ALL`], every spawned thread)
+    /// finishes.
+    Join(usize),
+    Finished,
+}
+
+struct SchedState {
+    threads: Vec<Status>,
+    /// Index of the thread currently holding the turn token.
+    current: usize,
+    rng: u64,
+    /// Set on deadlock / escaped panic; every parked thread observes it and
+    /// unwinds so the execution can be torn down.
+    abort: Option<String>,
+    /// OS handles of modeled threads whose `JoinHandle` was dropped without
+    /// joining; the runner joins them after the execution ends.
+    orphans: Vec<std::thread::JoinHandle<()>>,
+    /// Scheduling points consumed so far (reported on failure).
+    steps: u64,
+}
+
+pub(crate) struct Scheduler {
+    state: Mutex<SchedState>,
+    /// Signalled whenever `current`, a `Status`, or `abort` changes.
+    turn: Condvar,
+    /// Whether to inject rare spurious condvar wakeups.
+    spurious: bool,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The scheduler the current OS thread participates in, if any. `None`
+/// outside a model run — primitives then fall back to plain `std`.
+pub(crate) fn current() -> Option<(Arc<Scheduler>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(sched: Arc<Scheduler>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((sched, tid)));
+}
+
+pub(crate) fn clear_current() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Recover the state guard whether or not a panicking thread poisoned it;
+/// the scheduler's own invariants hold across every unwinding path.
+fn lock(m: &Mutex<SchedState>) -> MutexGuard<'_, SchedState> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Scheduler {
+    pub(crate) fn new(seed: u64, spurious: bool) -> Scheduler {
+        Scheduler {
+            state: Mutex::new(SchedState {
+                threads: vec![Status::Runnable], // tid 0: the model closure
+                current: 0,
+                // SplitMix64 of the seed so consecutive seeds diverge.
+                rng: splitmix64(seed ^ 0x9e37_79b9_7f4a_7c15),
+                abort: None,
+                orphans: Vec::new(),
+                steps: 0,
+            }),
+            turn: Condvar::new(),
+            spurious,
+        }
+    }
+
+    /// A plain scheduling point: optionally hand the turn to another
+    /// runnable thread, then continue when scheduled again.
+    pub(crate) fn switch(&self, me: usize) {
+        let mut st = lock(&self.state);
+        st.steps += 1;
+        self.check_abort(&st);
+        // (`u64::is_multiple_of` postdates the workspace MSRV of 1.75.)
+        #[allow(clippy::manual_is_multiple_of)]
+        if self.spurious && next_u64(&mut st.rng) % 61 == 0 {
+            // Spurious condvar wakeup: promote one random waiter. Condvar
+            // users must re-check their predicate in a loop; code that
+            // doesn't fails the model here.
+            let waiters: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, Status::Condvar(_)))
+                .map(|(i, _)| i)
+                .collect();
+            if !waiters.is_empty() {
+                let w = waiters[(next_u64(&mut st.rng) % waiters.len() as u64) as usize];
+                st.threads[w] = Status::Runnable;
+            }
+        }
+        self.transfer(st, me);
+    }
+
+    /// Park until the mutex identified by `id` is released, then resume
+    /// (the caller retries its `try_lock` loop).
+    pub(crate) fn block_on_mutex(&self, me: usize, id: usize) {
+        let mut st = lock(&self.state);
+        self.check_abort(&st);
+        st.threads[me] = Status::Mutex(id);
+        self.transfer(st, me);
+    }
+
+    /// The mutex identified by `id` was released: every thread parked on it
+    /// becomes runnable again (they re-race for the lock when scheduled).
+    pub(crate) fn mutex_released(&self, id: usize) {
+        let mut st = lock(&self.state);
+        for s in &mut st.threads {
+            if *s == Status::Mutex(id) {
+                *s = Status::Runnable;
+            }
+        }
+        // Not a scheduling point: the releaser keeps the turn until its
+        // next one. Waiters are merely candidates again.
+    }
+
+    /// Begin a condvar wait: the caller must have already released the
+    /// associated mutex. Parks until notified (or woken spuriously).
+    pub(crate) fn condvar_wait(&self, me: usize, cv: usize, mutex: usize) {
+        let mut st = lock(&self.state);
+        self.check_abort(&st);
+        st.threads[me] = Status::Condvar(cv);
+        for s in &mut st.threads {
+            if *s == Status::Mutex(mutex) {
+                *s = Status::Runnable;
+            }
+        }
+        self.transfer(st, me);
+    }
+
+    /// Notify waiters of condvar `cv`. `one` wakes a single random waiter,
+    /// otherwise all. A notify with no waiters is lost, as with a real
+    /// condvar — that is precisely the bug class the models hunt.
+    pub(crate) fn notify(&self, me: usize, cv: usize, one: bool) {
+        // Scheduling point *before* the notify so schedules exist where
+        // waiters park first or haven't parked yet.
+        self.switch(me);
+        let mut st = lock(&self.state);
+        let waiters: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Condvar(cv))
+            .map(|(i, _)| i)
+            .collect();
+        if waiters.is_empty() {
+            return;
+        }
+        if one {
+            let w = waiters[(next_u64(&mut st.rng) % waiters.len() as u64) as usize];
+            st.threads[w] = Status::Runnable;
+        } else {
+            for w in waiters {
+                st.threads[w] = Status::Runnable;
+            }
+        }
+    }
+
+    /// Register a newly spawned modeled thread; it starts runnable but only
+    /// executes once the scheduler hands it the turn.
+    pub(crate) fn register(&self) -> usize {
+        let mut st = lock(&self.state);
+        st.threads.push(Status::Runnable);
+        st.threads.len() - 1
+    }
+
+    /// First wait of a fresh thread: park until scheduled for the first
+    /// time.
+    pub(crate) fn first_turn(&self, me: usize) {
+        let mut st = lock(&self.state);
+        while st.current != me {
+            if let Some(msg) = &st.abort {
+                let msg = msg.clone();
+                drop(st);
+                panic!("loom model aborted: {msg}");
+            }
+            st = self
+                .turn
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Park until thread `tid` finishes.
+    pub(crate) fn block_on_join(&self, me: usize, tid: usize) {
+        let mut st = lock(&self.state);
+        self.check_abort(&st);
+        if st.threads[tid] == Status::Finished {
+            return;
+        }
+        st.threads[me] = Status::Join(tid);
+        self.transfer(st, me);
+    }
+
+    /// Mark `me` finished, wake its joiners, and hand the turn on. If the
+    /// thread is exiting because of an escaped panic the whole execution is
+    /// aborted — an unhandled panic in a modeled thread is a model failure.
+    pub(crate) fn finish(&self, me: usize, panicked: Option<String>) {
+        let mut st = lock(&self.state);
+        st.threads[me] = Status::Finished;
+        if let Some(msg) = panicked {
+            if st.abort.is_none() {
+                st.abort = Some(format!("modeled thread panicked: {msg}"));
+            }
+            self.turn.notify_all();
+            return;
+        }
+        let all_done = st
+            .threads
+            .iter()
+            .enumerate()
+            .all(|(i, s)| i == 0 || *s == Status::Finished);
+        for (i, s) in st.threads.iter_mut().enumerate() {
+            if *s == Status::Join(me) || (all_done && i == 0 && *s == Status::Join(ALL)) {
+                *s = Status::Runnable;
+            }
+        }
+        if st.abort.is_some() {
+            self.turn.notify_all();
+            return;
+        }
+        self.transfer(st, me);
+    }
+
+    /// After the model closure returns: wait until every spawned thread has
+    /// finished, scheduling them as needed. Detects leaked threads that can
+    /// never finish as a deadlock.
+    pub(crate) fn drain(&self, me: usize) {
+        debug_assert_eq!(me, 0);
+        loop {
+            let mut st = lock(&self.state);
+            self.check_abort(&st);
+            let all_done = st
+                .threads
+                .iter()
+                .enumerate()
+                .all(|(i, s)| i == 0 || *s == Status::Finished);
+            if all_done {
+                return;
+            }
+            st.threads[0] = Status::Join(ALL);
+            self.transfer(st, 0);
+        }
+    }
+
+    /// Adopt the OS handle of a modeled thread whose `JoinHandle` was
+    /// dropped unjoined; the runner joins it at teardown.
+    pub(crate) fn adopt_orphan(&self, h: std::thread::JoinHandle<()>) {
+        lock(&self.state).orphans.push(h);
+    }
+
+    /// Abort the execution: every parked thread unwinds with `msg`.
+    pub(crate) fn abort(&self, msg: String) {
+        let mut st = lock(&self.state);
+        if st.abort.is_none() {
+            st.abort = Some(msg);
+        }
+        self.turn.notify_all();
+    }
+
+    /// Tear down after the execution: collect orphan OS handles (the abort
+    /// flag, if set, has already unparked their threads).
+    pub(crate) fn take_orphans(&self) -> Vec<std::thread::JoinHandle<()>> {
+        std::mem::take(&mut lock(&self.state).orphans)
+    }
+
+    pub(crate) fn steps(&self) -> u64 {
+        lock(&self.state).steps
+    }
+
+    fn check_abort(&self, st: &MutexGuard<'_, SchedState>) {
+        if let Some(msg) = &st.abort {
+            panic!("loom model aborted: {msg}");
+        }
+    }
+
+    /// Hand the turn to a random runnable thread (possibly `me` again) and
+    /// wait until `me` holds it next. Declares a deadlock if nobody is
+    /// runnable while unfinished threads remain.
+    fn transfer(&self, mut st: MutexGuard<'_, SchedState>, me: usize) {
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            let unfinished: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s != Status::Finished)
+                .map(|(i, _)| i)
+                .collect();
+            if unfinished.is_empty() {
+                // Everyone done (only reachable from `finish`): nothing to
+                // schedule, the exiting thread just leaves.
+                return;
+            }
+            let states: Vec<String> = unfinished
+                .iter()
+                .map(|&i| format!("t{i}:{:?}", st.threads[i]))
+                .collect();
+            let msg = format!(
+                "deadlock: no runnable thread, blocked = [{}]",
+                states.join(", ")
+            );
+            st.abort = Some(msg.clone());
+            self.turn.notify_all();
+            drop(st);
+            panic!("loom model aborted: {msg}");
+        }
+        let next = runnable[(next_u64(&mut st.rng) % runnable.len() as u64) as usize];
+        st.current = next;
+        self.turn.notify_all();
+        if st.threads[me] == Status::Finished {
+            return; // exiting thread leaves without waiting for a turn
+        }
+        while !(st.current == me && st.threads[me] == Status::Runnable) {
+            if let Some(msg) = &st.abort {
+                let msg = msg.clone();
+                drop(st);
+                panic!("loom model aborted: {msg}");
+            }
+            st = self
+                .turn
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// Marks panics that are scheduler teardown (secondary failures of an
+/// already-aborted execution) rather than the primary model failure.
+pub(crate) fn is_abort_panic(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload_message(payload).contains("loom model aborted:")
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn next_u64(state: &mut u64) -> u64 {
+    // xorshift64*: tiny, full-period, deterministic.
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}

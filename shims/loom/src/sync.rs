@@ -1,0 +1,310 @@
+//! Model-aware drop-ins for `std::sync` primitives.
+//!
+//! Inside a [`crate::model`] execution every operation is a scheduling
+//! point mediated by the seeded scheduler; outside a model each type
+//! delegates straight to its `std` counterpart, so code built against these
+//! types behaves identically in ordinary (non-model) test and production
+//! builds.
+
+use std::sync::{LockResult, PoisonError, TryLockError};
+
+pub use std::sync::Arc;
+
+use crate::sched;
+
+/// Stable identity for a primitive within one model execution: its address.
+fn id_of<T: ?Sized>(x: &T) -> usize {
+    x as *const T as *const () as usize
+}
+
+/// A mutex whose lock acquisition is a scheduling point under a model.
+///
+/// Backed by `std::sync::Mutex`; under a model the lock is taken with
+/// `try_lock` so a descheduled holder never blocks the OS thread of a
+/// waiter — waiters park in the scheduler instead.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match sched::current() {
+            Some((s, me)) => {
+                s.switch(me);
+                loop {
+                    match self.inner.try_lock() {
+                        Ok(g) => return Ok(self.guard(g, true)),
+                        Err(TryLockError::Poisoned(p)) => {
+                            return Err(PoisonError::new(self.guard(p.into_inner(), true)));
+                        }
+                        Err(TryLockError::WouldBlock) => s.block_on_mutex(me, id_of(self)),
+                    }
+                }
+            }
+            None => match self.inner.lock() {
+                Ok(g) => Ok(self.guard(g, false)),
+                Err(p) => Err(PoisonError::new(self.guard(p.into_inner(), false))),
+            },
+        }
+    }
+
+    fn guard<'a>(&'a self, g: std::sync::MutexGuard<'a, T>, model: bool) -> MutexGuard<'a, T> {
+        MutexGuard {
+            mx: self,
+            inner: Some(g),
+            model,
+        }
+    }
+}
+
+/// Guard for [`Mutex`]; releasing it wakes model threads parked on the
+/// mutex.
+pub struct MutexGuard<'a, T: ?Sized> {
+    mx: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    /// Whether the guard was taken under a model (and must notify the
+    /// scheduler on release).
+    model: bool,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        let Some(g) = self.inner.as_ref() else {
+            unreachable!("guard accessed after release")
+        };
+        g
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        let Some(g) = self.inner.as_mut() else {
+            unreachable!("guard accessed after release")
+        };
+        g
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None; // release the std lock first
+        if self.model {
+            if let Some((s, _)) = sched::current() {
+                s.mutex_released(id_of(self.mx));
+            }
+        }
+    }
+}
+
+/// A condition variable whose wait/notify are scheduling points under a
+/// model. Notifies with no parked waiter are lost, exactly like the real
+/// thing — the lost-wakeup bug class the models exist to catch. The
+/// scheduler also injects rare spurious wakeups.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match sched::current() {
+            Some((s, me)) => {
+                let mx = guard.mx;
+                // Atomically (w.r.t. the scheduler): release the mutex,
+                // wake its waiters, park on the condvar. The guard's own
+                // Drop must not run its release hook a second time.
+                guard.inner = None;
+                guard.model = false;
+                drop(guard);
+                s.condvar_wait(me, id_of(self), id_of(mx));
+                mx.lock()
+            }
+            None => {
+                let Some(inner) = guard.inner.take() else {
+                    unreachable!("guard accessed after release")
+                };
+                let mx = guard.mx;
+                guard.model = false;
+                drop(guard);
+                match self.inner.wait(inner) {
+                    Ok(g) => Ok(mx.guard(g, false)),
+                    Err(p) => Err(PoisonError::new(mx.guard(p.into_inner(), false))),
+                }
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match sched::current() {
+            Some((s, me)) => s.notify(me, id_of(self), true),
+            None => self.inner.notify_one(),
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match sched::current() {
+            Some((s, me)) => s.notify(me, id_of(self), false),
+            None => self.inner.notify_all(),
+        }
+    }
+}
+
+pub mod atomic {
+    //! Model-aware atomics. Every operation is a scheduling point; the
+    //! actual access is executed sequentially consistently (the shim's
+    //! scheduler runs one thread at a time), so the `Ordering` argument is
+    //! accepted for API compatibility but not weakened — the shim checks
+    //! protocol logic under interleavings, not relaxed-memory reorderings.
+
+    pub use std::sync::atomic::Ordering;
+
+    use crate::sched;
+
+    fn point() {
+        if let Some((s, me)) = sched::current() {
+            s.switch(me);
+        }
+    }
+
+    macro_rules! int_atomic {
+        ($name:ident, $std:path, $prim:ty) => {
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                pub const fn new(v: $prim) -> Self {
+                    Self {
+                        inner: <$std>::new(v),
+                    }
+                }
+
+                pub fn load(&self, _order: Ordering) -> $prim {
+                    point();
+                    self.inner.load(Ordering::SeqCst)
+                }
+
+                pub fn store(&self, v: $prim, _order: Ordering) {
+                    point();
+                    self.inner.store(v, Ordering::SeqCst);
+                }
+
+                pub fn swap(&self, v: $prim, _order: Ordering) -> $prim {
+                    point();
+                    self.inner.swap(v, Ordering::SeqCst)
+                }
+
+                pub fn fetch_add(&self, v: $prim, _order: Ordering) -> $prim {
+                    point();
+                    self.inner.fetch_add(v, Ordering::SeqCst)
+                }
+
+                pub fn fetch_sub(&self, v: $prim, _order: Ordering) -> $prim {
+                    point();
+                    self.inner.fetch_sub(v, Ordering::SeqCst)
+                }
+
+                pub fn fetch_or(&self, v: $prim, _order: Ordering) -> $prim {
+                    point();
+                    self.inner.fetch_or(v, Ordering::SeqCst)
+                }
+
+                pub fn fetch_and(&self, v: $prim, _order: Ordering) -> $prim {
+                    point();
+                    self.inner.fetch_and(v, Ordering::SeqCst)
+                }
+
+                pub fn fetch_max(&self, v: $prim, _order: Ordering) -> $prim {
+                    point();
+                    self.inner.fetch_max(v, Ordering::SeqCst)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    point();
+                    self.inner
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+
+                pub fn into_inner(self) -> $prim {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    int_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    int_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    int_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+    /// Model-aware `AtomicBool` (no arithmetic ops).
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub const fn new(v: bool) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        pub fn load(&self, _order: Ordering) -> bool {
+            point();
+            self.inner.load(Ordering::SeqCst)
+        }
+
+        pub fn store(&self, v: bool, _order: Ordering) {
+            point();
+            self.inner.store(v, Ordering::SeqCst);
+        }
+
+        pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+            point();
+            self.inner.swap(v, Ordering::SeqCst)
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            _success: Ordering,
+            _failure: Ordering,
+        ) -> Result<bool, bool> {
+            point();
+            self.inner
+                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+        }
+
+        pub fn into_inner(self) -> bool {
+            self.inner.into_inner()
+        }
+    }
+}

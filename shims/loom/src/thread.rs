@@ -1,0 +1,159 @@
+//! Model-aware thread spawning and joining.
+//!
+//! Inside a model, spawned closures run on real OS threads that participate
+//! in the cooperative scheduler: they execute only when handed the turn,
+//! and joining parks the joiner in the scheduler rather than blocking the
+//! OS thread. Outside a model everything delegates to `std::thread`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use crate::sched::{self, Scheduler};
+
+enum Imp<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        sched: Arc<Scheduler>,
+        tid: usize,
+        result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+        os: Option<std::thread::JoinHandle<()>>,
+    },
+}
+
+/// Handle to a spawned thread; mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T>(Option<Imp<T>>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result (`Err` holds
+    /// the panic payload, as with `std`). Under a model this is a
+    /// scheduling point and parks in the scheduler.
+    pub fn join(mut self) -> std::thread::Result<T> {
+        let Some(imp) = self.0.take() else {
+            unreachable!("join called twice")
+        };
+        match imp {
+            Imp::Std(h) => h.join(),
+            Imp::Model {
+                tid, result, os, ..
+            } => {
+                if let Some((s, me)) = sched::current() {
+                    s.block_on_join(me, tid);
+                }
+                if let Some(h) = os {
+                    // The modeled thread has left the scheduler; its OS
+                    // thread exits imminently, so this never parks long.
+                    let _ = h.join();
+                }
+                let taken = result
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take();
+                let Some(r) = taken else {
+                    unreachable!("modeled thread finished without storing a result")
+                };
+                r
+            }
+        }
+    }
+}
+
+impl<T> Drop for JoinHandle<T> {
+    fn drop(&mut self) {
+        // A modeled thread whose handle is dropped unjoined must still be
+        // waited for at execution teardown: hand its OS handle to the
+        // scheduler (the drain phase guarantees the thread finishes).
+        if let Some(Imp::Model { sched, os, .. }) = &mut self.0 {
+            if let Some(h) = os.take() {
+                sched.adopt_orphan(h);
+            }
+        }
+    }
+}
+
+/// Spawns a thread; inside a model it joins the cooperative schedule.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match sched::current() {
+        Some((s, me)) => {
+            s.switch(me);
+            let tid = s.register();
+            let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+            let r2 = Arc::clone(&result);
+            let s2 = Arc::clone(&s);
+            let spawned = std::thread::Builder::new()
+                .name(format!("loom-{tid}"))
+                .spawn(move || {
+                    sched::set_current(Arc::clone(&s2), tid);
+                    s2.first_turn(tid);
+                    let r = catch_unwind(AssertUnwindSafe(f));
+                    // An escaped panic fails the model — unless it is the
+                    // teardown unwind of an execution already aborting.
+                    let failure = match &r {
+                        Err(p) if !sched::is_abort_panic(p.as_ref()) => {
+                            Some(sched::payload_message(p.as_ref()))
+                        }
+                        _ => None,
+                    };
+                    *r2.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
+                    s2.finish(tid, failure);
+                    sched::clear_current();
+                });
+            let os = match spawned {
+                Ok(h) => h,
+                Err(e) => panic!("loom shim: failed to spawn modeled thread: {e}"),
+            };
+            JoinHandle(Some(Imp::Model {
+                sched: s,
+                tid,
+                result,
+                os: Some(os),
+            }))
+        }
+        None => JoinHandle(Some(Imp::Std(std::thread::spawn(f)))),
+    }
+}
+
+/// A scheduling point under a model; `std::thread::yield_now` otherwise.
+pub fn yield_now() {
+    match sched::current() {
+        Some((s, me)) => s.switch(me),
+        None => std::thread::yield_now(),
+    }
+}
+
+/// Mirror of `std::thread::Builder` (the name is dropped under a model —
+/// modeled threads are named `loom-<tid>`).
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    #[must_use]
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        if sched::current().is_some() {
+            return Ok(spawn(f));
+        }
+        let mut b = std::thread::Builder::new();
+        if let Some(name) = self.name {
+            b = b.name(name);
+        }
+        b.spawn(f).map(|h| JoinHandle(Some(Imp::Std(h))))
+    }
+}
