@@ -226,12 +226,143 @@ fn merge_trace(acc: &mut cfl_match::TraceReport, t: &cfl_match::TraceReport) {
     a.snte_kills += b.snte_kills;
     a.refine_kills += b.refine_kills;
     a.unreachable_kills += b.unreachable_kills;
+    a.merge_hits += b.merge_hits;
+    a.gallop_hits += b.gallop_hits;
+    a.bitset_hits += b.bitset_hits;
+    a.simd_hits += b.simd_hits;
     a.final_candidates += b.final_candidates;
     a.accounting_exact &= b.accounting_exact;
     acc.cpi.arena_bytes += t.cpi.arena_bytes;
     acc.cpi.total_candidates += t.cpi.total_candidates;
     acc.cpi.total_edges += t.cpi.total_edges;
     acc.workers.extend(t.workers.iter().cloned());
+}
+
+/// Sorted-list inputs for the kernel microbenchmarks, drawn from the real
+/// adjacency rows of the [`cfl_datasets::kernel_stress_suite`] graphs so
+/// each series exercises the regime its instance was shaped for: hub rows
+/// of the triangle fan (similar lengths → merge / SIMD merge), head-vs-tail
+/// rows of the power-law wedge (skewed lengths → gallop), and circulant
+/// rows against a neighborhood bitset (word-at-a-time kernels).
+pub struct KernelWorkload {
+    merge_pairs: Vec<(Vec<u32>, Vec<u32>)>,
+    gallop_pairs: Vec<(Vec<u32>, Vec<u32>)>,
+    bitset_rows: Vec<Vec<u32>>,
+    set: cfl_graph::FixedBitSet,
+}
+
+impl KernelWorkload {
+    /// Builds the microbenchmark inputs at the same scale the adversarial
+    /// end-to-end series use (`quick` shrinks every instance).
+    pub fn standard(quick: bool) -> Self {
+        let scale = if quick { 1 } else { 4 };
+        let suite = cfl_datasets::kernel_stress_suite(scale);
+        let by_name = |name: &str| -> &Graph {
+            suite.iter().find(|(n, _, _)| *n == name).map_or_else(
+                || unreachable!("suite instance {name} exists"),
+                |(_, _, g)| g,
+            )
+        };
+
+        // Triangle fan: every distinct hub pair (hubs come first in the
+        // builder, so they are the highest-degree vertices).
+        let fan = by_name("tri_fan");
+        let mut hubs: Vec<u32> = fan.vertices().collect();
+        hubs.sort_unstable_by_key(|&v| std::cmp::Reverse(fan.degree(v)));
+        hubs.truncate(16);
+        let mut merge_pairs = Vec::new();
+        for (i, &a) in hubs.iter().enumerate() {
+            for &b in &hubs[i + 1..] {
+                merge_pairs.push((fan.neighbors(a).to_vec(), fan.neighbors(b).to_vec()));
+            }
+        }
+
+        // Power-law wedge: each tail row probed against the longest row.
+        let wedge = by_name("power_law_wedge");
+        let mut probes: Vec<u32> = wedge.vertices().filter(|&v| wedge.degree(v) > 0).collect();
+        probes.sort_unstable_by_key(|&v| std::cmp::Reverse(wedge.degree(v)));
+        let head = wedge.neighbors(probes[0]).to_vec();
+        let gallop_pairs: Vec<(Vec<u32>, Vec<u32>)> = probes
+            .iter()
+            .rev()
+            .take(64)
+            .map(|&v| (wedge.neighbors(v).to_vec(), head.clone()))
+            .collect();
+
+        // Dense circulant: every row against vertex 0's neighborhood set.
+        let circ = by_name("dense_circulant");
+        let mut set = cfl_graph::FixedBitSet::new(circ.num_vertices());
+        set.insert_all(circ.neighbors(0));
+        let bitset_rows: Vec<Vec<u32>> = circ
+            .vertices()
+            .map(|v| circ.neighbors(v).to_vec())
+            .collect();
+
+        KernelWorkload {
+            merge_pairs,
+            gallop_pairs,
+            bitset_rows,
+            set,
+        }
+    }
+}
+
+/// Digest of an intersection result, independent of which kernel ran —
+/// the `--check-against` gate compares it across scalar and SIMD runs.
+fn digest(acc: u64, out: &[u32]) -> u64 {
+    out.iter().fold(
+        acc.wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(out.len() as u64),
+        |h, &x| h.wrapping_mul(0x100_0000_01b3).wrapping_add(u64::from(x)),
+    )
+}
+
+/// One pass of the merge-regime microbenchmark through the adaptive
+/// dispatcher (`CFL_KERNELS=scalar` forces the scalar kernel for the
+/// comparison run; the checksum is identical either way).
+pub fn kernel_merge_once(kw: &KernelWorkload) -> u64 {
+    let mut out = Vec::new();
+    let mut acc = 0u64;
+    for (a, b) in &kw.merge_pairs {
+        out.clear();
+        cfl_graph::intersect_into(a, b, &mut out);
+        acc = digest(acc, &out);
+    }
+    acc
+}
+
+/// One pass of the gallop-regime microbenchmark (short rows probed into
+/// the power-law head row).
+pub fn kernel_gallop_once(kw: &KernelWorkload) -> u64 {
+    let mut out = Vec::new();
+    let mut acc = 0u64;
+    for (a, b) in &kw.gallop_pairs {
+        out.clear();
+        cfl_graph::intersect_into(a, b, &mut out);
+        acc = digest(acc, &out);
+    }
+    acc
+}
+
+/// One pass of the word-at-a-time bitset microbenchmark (every circulant
+/// row intersected with a fixed neighborhood set).
+pub fn kernel_bitset_once(kw: &KernelWorkload) -> u64 {
+    let mut out = Vec::new();
+    let mut acc = 0u64;
+    for row in &kw.bitset_rows {
+        out.clear();
+        cfl_graph::intersect_with_set(row, &kw.set, &mut out);
+        acc = digest(acc, &out);
+    }
+    acc
+}
+
+/// One capped end-to-end count over an adversarial instance.
+pub fn adversarial_once(q: &Graph, g: &Graph, cap: u64, threads: usize) -> u64 {
+    let cfg = MatchConfig::exhaustive()
+        .with_budget(Budget::first(cap))
+        .with_build_threads(threads);
+    count_embeddings(q, g, &cfg).map_or(0, |r| r.embeddings)
 }
 
 /// The result of one timed measurement.
@@ -305,7 +436,7 @@ pub fn run_suite(quick: bool, threads: usize) -> Vec<(&'static str, Measurement)
     let turbo = TurboIso;
     let [e2e, e2e_build, e2e_match] =
         measure_split(reps, || end_to_end_split_once(&w, cap, threads));
-    vec![
+    let mut series = vec![
         (
             "cpi_build",
             measure(reps, || cpi_build_once(&w, &g_stats, threads)),
@@ -323,5 +454,46 @@ pub fn run_suite(quick: bool, threads: usize) -> Vec<(&'static str, Measurement)
             "end_to_end_turboiso",
             measure(reps, || end_to_end_once(&w, &turbo, cap)),
         ),
-    ]
+    ];
+
+    // Kernel microbenchmarks: many passes per sample — a single pass over
+    // the pair lists is microseconds, far below timer noise.
+    let kw = KernelWorkload::standard(quick);
+    let kernel_reps = reps * 3;
+    let passes = if quick { 20 } else { 100 };
+    let many = |f: &dyn Fn(&KernelWorkload) -> u64| {
+        let mut acc = 0u64;
+        for _ in 0..passes {
+            acc = acc.wrapping_add(std::hint::black_box(f(&kw)));
+        }
+        acc
+    };
+    series.push((
+        "kernel_merge",
+        measure(kernel_reps, || many(&kernel_merge_once)),
+    ));
+    series.push((
+        "kernel_gallop",
+        measure(kernel_reps, || many(&kernel_gallop_once)),
+    ));
+    series.push((
+        "kernel_bitset",
+        measure(kernel_reps, || many(&kernel_bitset_once)),
+    ));
+
+    // Adversarial end-to-end sweep (same scale as the kernel inputs).
+    let adv = cfl_datasets::kernel_stress_suite(if quick { 1 } else { 4 });
+    for (name, q, g) in &adv {
+        let series_name = match *name {
+            "tri_fan" => "adv_tri_fan",
+            "power_law_wedge" => "adv_power_law_wedge",
+            "dense_circulant" => "adv_dense_circulant",
+            _ => continue,
+        };
+        series.push((
+            series_name,
+            measure(reps, || adversarial_once(q, g, cap, threads)),
+        ));
+    }
+    series
 }

@@ -34,7 +34,7 @@
 //! start (the ordering invariant the frozen arenas document), and total
 //! work remains `O(|E(G)| · |E(q)|)` (Theorem 5.1).
 
-use cfl_graph::intersect::intersect_with_set;
+use cfl_graph::intersect::{intersect_with_set, retain_in_set};
 use cfl_graph::{BfsTree, FixedBitSet, VertexId};
 
 use super::scratch::with_scratch;
@@ -142,6 +142,7 @@ fn top_down_seeded_inner(
 /// the label/degree filter, and CandVerify. Returns a strictly ascending
 /// list.
 fn generate_candidates(ctx: &FilterContext<'_>, s: &CpiBuilder, u: VertexId) -> Vec<VertexId> {
+    ctx.reset_kernel_tally();
     let q = ctx.q;
     let g = ctx.g;
     let lev = s.tree.level(u);
@@ -191,7 +192,7 @@ fn generate_candidates(ctx: &FilterContext<'_>, s: &CpiBuilder, u: VertexId) -> 
             }
             neighborhood_mask(adj, &s.candidates[w as usize], lu, &mut scr.mask);
             let before = list.len();
-            list.retain(|&v| scr.mask.contains(v));
+            retain_in_set(&mut list, &scr.mask);
             ctx.rec(
                 cfl_trace::BuildCounter::AdjacencyKills,
                 (before - list.len()) as u64,
@@ -204,6 +205,7 @@ fn generate_candidates(ctx: &FilterContext<'_>, s: &CpiBuilder, u: VertexId) -> 
     // run on vertices that already satisfy every adjacency constraint.
     ctx.retain_verified(&mut list, u);
     list.sort_unstable();
+    ctx.rec_kernel_tally();
     list
 }
 
@@ -223,6 +225,7 @@ fn same_level_prune(ctx: &FilterContext<'_>, s: &mut CpiBuilder, vlev: &[VertexI
     if !has_snte {
         return;
     }
+    ctx.reset_kernel_tally();
     let adj = &ctx.g_stats.label_adj;
     with_scratch(ctx.g.num_vertices(), |scr| {
         // Pass 0 walks forward constraining against earlier same-level
@@ -248,7 +251,7 @@ fn same_level_prune(ctx: &FilterContext<'_>, s: &mut CpiBuilder, vlev: &[VertexI
                     }
                     neighborhood_mask(adj, &s.candidates[w as usize], q.label(u), &mut scr.mask);
                     let before = s.candidates[u as usize].len();
-                    s.candidates[u as usize].retain(|&v| scr.mask.contains(v));
+                    retain_in_set(&mut s.candidates[u as usize], &scr.mask);
                     ctx.rec(
                         cfl_trace::BuildCounter::SnteKills,
                         (before - s.candidates[u as usize].len()) as u64,
@@ -258,6 +261,7 @@ fn same_level_prune(ctx: &FilterContext<'_>, s: &mut CpiBuilder, vlev: &[VertexI
             }
         }
     });
+    ctx.rec_kernel_tally();
 }
 
 /// Phase 3 task: the adjacency rows of `u` along its tree edge — for each
@@ -268,6 +272,7 @@ fn same_level_prune(ctx: &FilterContext<'_>, s: &mut CpiBuilder, vlev: &[VertexI
 /// vertices labeled `l_q(u)`. Rows inherit the CSR slices' ascending
 /// order.
 fn build_rows(ctx: &FilterContext<'_>, s: &CpiBuilder, u: VertexId) -> FlatRows {
+    ctx.reset_kernel_tally();
     let g = ctx.g;
     let ui = u as usize;
     let Some(p) = s.tree.parent(u) else {
@@ -290,6 +295,7 @@ fn build_rows(ctx: &FilterContext<'_>, s: &CpiBuilder, u: VertexId) -> FlatRows 
         // The mask holds exactly C(u): restore it by key, not by memset.
         scr.mask.remove_all(&s.candidates[ui]);
     });
+    ctx.rec_kernel_tally();
     rows
 }
 

@@ -94,6 +94,13 @@ impl<'a, 's> Enumerator<'a, 's> {
             .iter()
             .map(|&src| FixedBitSet::new(if src { g.num_vertices() } else { 0 }))
             .collect();
+        // Discard kernel-tally residue left on this (possibly reused pool)
+        // thread by earlier untraced work, so `take_trace` attributes
+        // dispatch counts to this enumeration only.
+        #[cfg(feature = "trace")]
+        {
+            let _ = cfl_graph::intersect::tally::take();
+        }
         Enumerator {
             q,
             g,
@@ -357,14 +364,22 @@ impl<'a, 's> Enumerator<'a, 's> {
         self.plan
     }
 
-    /// Drains this enumerator's counters into a per-worker trace record.
+    /// Drains this enumerator's counters into a per-worker trace record,
+    /// harvesting the thread's kernel-dispatch tally (the intersection
+    /// kernels this worker ran since construction) along the way.
     #[cfg(feature = "trace")]
     pub(crate) fn take_trace(&mut self) -> cfl_trace::WorkerTrace {
+        let tally = cfl_graph::intersect::tally::take();
+        let mut counters = std::mem::take(&mut self.tr);
+        counters.merge_hits += tally.merge;
+        counters.gallop_hits += tally.gallop;
+        counters.bitset_hits += tally.bitset;
+        counters.simd_hits += tally.simd;
         cfl_trace::WorkerTrace {
             embeddings: self.emitted,
             nodes: self.nodes,
             nt_checks: self.nt_checks,
-            counters: std::mem::take(&mut self.tr),
+            counters,
         }
     }
 }

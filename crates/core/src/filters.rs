@@ -146,6 +146,38 @@ impl<'a> FilterContext<'a> {
         }
     }
 
+    /// Discards any kernel-dispatch tally left on this thread by earlier
+    /// untraced work, so the next [`rec_kernel_tally`](Self::rec_kernel_tally)
+    /// harvest covers exactly the section in between. Compiles to nothing
+    /// without the `trace` feature.
+    #[inline(always)]
+    #[allow(clippy::inline_always)]
+    pub(crate) fn reset_kernel_tally(&self) {
+        #[cfg(feature = "trace")]
+        {
+            let _ = cfl_graph::intersect::tally::take();
+        }
+    }
+
+    /// Drains this thread's kernel-dispatch tally into the attached build
+    /// counters. Drains even when no sink is attached, so counts from an
+    /// untraced run never leak into a later traced section on a reused
+    /// pool thread. Compiles to nothing without the `trace` feature.
+    #[inline(always)]
+    #[allow(clippy::inline_always)]
+    pub(crate) fn rec_kernel_tally(&self) {
+        #[cfg(feature = "trace")]
+        {
+            let t = cfl_graph::intersect::tally::take();
+            if let Some(sink) = self.build_trace {
+                sink.add(cfl_trace::BuildCounter::MergeHits, t.merge);
+                sink.add(cfl_trace::BuildCounter::GallopHits, t.gallop);
+                sink.add(cfl_trace::BuildCounter::BitsetHits, t.bitset);
+                sink.add(cfl_trace::BuildCounter::SimdHits, t.simd);
+            }
+        }
+    }
+
     /// The label + degree pre-filter the construction loops apply inline
     /// (Algorithm 3, lines 1 and 12). The label test runs first: it
     /// rejects most probes against the smaller (hotter) label array

@@ -1,4 +1,5 @@
-//! Adversarial instances from the paper's motivating analyses.
+//! Adversarial instances from the paper's motivating analyses, plus
+//! deterministic stress shapes for the intersection-kernel family.
 //!
 //! * [`challenge1`] — Figure 1: the dissimilar-vertex Cartesian-product
 //!   trap that motivates the CFL decomposition (§1, Challenge 1).
@@ -6,6 +7,13 @@
 //!   instance on which TurboISO's materialized path embeddings explode
 //!   exponentially (the authors report the original implementation
 //!   *crashes*), while the CPI stays `O(|E(G)|·|V(q)|)`.
+//! * [`triangle_fan`], [`power_law_wedge`], [`dense_circulant`] — the
+//!   kernel stress sweep ([`kernel_stress_suite`]): instances whose
+//!   adjacency rows land the `cfl_graph::intersect` dispatcher in each of
+//!   its regimes (long similar-length rows → merge/SIMD merge, wildly
+//!   skewed row lengths → gallop, dense single-label candidate sets →
+//!   bitset) so benchmarks and differential tests exercise every kernel
+//!   on CPI-shaped inputs rather than synthetic arrays alone.
 
 use cfl_graph::{Graph, GraphBuilder, Label};
 
@@ -115,6 +123,112 @@ pub fn near_clique_pathology(n_clique: u32, chain_len: u32, with_nt_edge: bool) 
     )
 }
 
+/// Triangle-heavy instance: `num_hubs` A-labeled hubs each fanning over a
+/// shared B-labeled ring of `ring` vertices (consecutive ring vertices
+/// adjacent), so every hub closes `ring − 1` triangles and hub adjacency
+/// rows are long and heavily overlapping. The query is the A–B–B triangle.
+///
+/// CPI construction intersects each hub row with the ring candidates
+/// (long list vs long list — the merge regime), and every enumeration
+/// step closes a triangle through a non-tree-edge bitset probe.
+pub fn triangle_fan(num_hubs: u32, ring: u32) -> (Graph, Graph) {
+    assert!(num_hubs >= 1 && ring >= 3);
+    let q = cfl_graph::graph_from_edges(&[0, 1, 1], &[(0, 1), (1, 2), (2, 0)])
+        .unwrap_or_else(|_| unreachable!("static query"));
+
+    let mut b = GraphBuilder::new();
+    let hubs: Vec<u32> = (0..num_hubs).map(|_| b.add_vertex(A)).collect();
+    let rim: Vec<u32> = (0..ring).map(|_| b.add_vertex(B)).collect();
+    for i in 0..ring as usize {
+        b.add_edge(rim[i], rim[(i + 1) % ring as usize]);
+    }
+    for (hi, &h) in hubs.iter().enumerate() {
+        // Each hub covers a sliding 3/4 window of the ring so hub rows
+        // overlap pairwise without being identical.
+        let span = (ring as usize * 3) / 4;
+        for off in 0..span {
+            b.add_edge(h, rim[(hi + off) % ring as usize]);
+        }
+    }
+    (
+        q,
+        b.build()
+            .unwrap_or_else(|_| unreachable!("static data graph")),
+    )
+}
+
+/// Skewed-degree instance: B-labeled probes whose degrees follow a
+/// harmonic power law (`probe i` connects to `pool / (i + 1)` A vertices
+/// of a shared pool), so candidate adjacency rows range from `pool` long
+/// down to a handful. The query is the B–A–B wedge: matching intersects
+/// the long head rows with the short tail rows — the galloping regime —
+/// while same-label pools keep candidate sets dense.
+pub fn power_law_wedge(num_probes: u32, pool: u32) -> (Graph, Graph) {
+    assert!(num_probes >= 2 && pool >= 2);
+    let q = cfl_graph::graph_from_edges(&[1, 0, 1], &[(0, 1), (1, 2)])
+        .unwrap_or_else(|_| unreachable!("static query"));
+
+    let mut b = GraphBuilder::new();
+    let shared: Vec<u32> = (0..pool).map(|_| b.add_vertex(A)).collect();
+    for i in 0..num_probes {
+        let p = b.add_vertex(B);
+        let deg = (pool / (i + 1)).max(1);
+        // Stride the pool so short rows are spread across the long rows'
+        // value range (worst case for galloping's window widening).
+        let stride = (pool / deg).max(1);
+        for k in 0..deg {
+            b.add_edge(p, shared[((k * stride) % pool) as usize]);
+        }
+    }
+    (
+        q,
+        b.build()
+            .unwrap_or_else(|_| unreachable!("static data graph")),
+    )
+}
+
+/// Dense single-label circulant: `n` A-labeled vertices where `v` is
+/// adjacent to `v ± 1 .. v ± width` (mod `n`). One label means every
+/// vertex is a candidate for every query vertex, and all adjacency rows
+/// have identical length `2·width` — maximal pressure on the bitset
+/// retain/intersect kernels and the word-at-a-time fast paths. The query
+/// is the A–A–A triangle (circulants with `width ≥ 2` are triangle-rich).
+pub fn dense_circulant(n: u32, width: u32) -> (Graph, Graph) {
+    assert!(n >= 5 && width >= 2 && 2 * width < n);
+    let q = cfl_graph::graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2), (2, 0)])
+        .unwrap_or_else(|_| unreachable!("static query"));
+
+    let mut b = GraphBuilder::new();
+    for _ in 0..n {
+        b.add_vertex(A);
+    }
+    for v in 0..n {
+        for d in 1..=width {
+            b.add_edge(v, (v + d) % n);
+        }
+    }
+    (
+        q,
+        b.build()
+            .unwrap_or_else(|_| unreachable!("static data graph")),
+    )
+}
+
+/// The kernel stress sweep: one named instance per dispatcher regime,
+/// sized by `scale` (1 = benchmark size; smaller values shrink every
+/// dimension proportionally for quick runs, floored at valid shapes).
+pub fn kernel_stress_suite(scale: u32) -> Vec<(&'static str, Graph, Graph)> {
+    let s = scale.max(1);
+    let (tq, tg) = triangle_fan(12 * s, (160 * s).max(8));
+    let (pq, pg) = power_law_wedge(48 * s, (256 * s).max(8));
+    let (dq, dg) = dense_circulant((220 * s).max(16), (24 * s).min((220 * s).max(16) / 2 - 1));
+    vec![
+        ("tri_fan", tq, tg),
+        ("power_law_wedge", pq, pg),
+        ("dense_circulant", dq, dg),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +265,56 @@ mod tests {
         // *materialization volume*, not emptiness, that §A.3 analyzes).
         let (q2, g2) = near_clique_pathology(8, 4, true);
         assert!(count_ullmann(&q2, &g2) > 0);
+    }
+
+    #[test]
+    fn triangle_fan_is_triangle_rich() {
+        let (q, g) = triangle_fan(3, 12);
+        assert_eq!(q.num_vertices(), 3);
+        assert_eq!(g.num_vertices(), 3 + 12);
+        // Every hub row spans 3/4 of the ring.
+        for h in 0..3u32 {
+            assert_eq!(g.degree(h), 9);
+        }
+        assert!(cfl_baselines_check::count_ullmann(&q, &g) > 0);
+    }
+
+    #[test]
+    fn power_law_wedge_has_skewed_rows() {
+        let (q, g) = power_law_wedge(8, 64);
+        assert_eq!(q.num_vertices(), 3);
+        let probe_degrees: Vec<usize> = (64..64 + 8).map(|p| g.degree(p)).collect();
+        assert_eq!(probe_degrees[0], 64, "head probe spans the pool");
+        assert!(
+            probe_degrees.last().copied().unwrap() <= 8,
+            "tail probes are short: {probe_degrees:?}"
+        );
+        assert!(cfl_baselines_check::count_ullmann(&q, &g) > 0);
+    }
+
+    #[test]
+    fn dense_circulant_shape_and_embeddings() {
+        let (q, g) = dense_circulant(20, 3);
+        assert_eq!(g.num_vertices(), 20);
+        // Circulant regularity: every row is exactly 2·width long.
+        assert!(g.vertices().all(|v| g.degree(v) == 6));
+        assert!(cfl_baselines_check::count_ullmann(&q, &g) > 0);
+    }
+
+    #[test]
+    fn kernel_stress_suite_is_well_formed() {
+        let suite = kernel_stress_suite(1);
+        assert_eq!(suite.len(), 3);
+        for (name, q, g) in &suite {
+            assert!(q.num_vertices() >= 3, "{name}");
+            assert!(g.num_edges() > 0, "{name}");
+            assert!(
+                cfl_graph::is_connected(q),
+                "{name}: query must be connected"
+            );
+        }
+        // Scaled-down form stays valid (the quick-bench path).
+        assert_eq!(kernel_stress_suite(0).len(), 3);
     }
 
     /// Minimal local oracle to avoid a dev-dependency cycle with

@@ -17,7 +17,10 @@ pub mod persist;
 pub mod registry;
 pub mod workloads;
 
-pub use adversarial::{challenge1, near_clique_pathology};
+pub use adversarial::{
+    challenge1, dense_circulant, kernel_stress_suite, near_clique_pathology, power_law_wedge,
+    triangle_fan,
+};
 pub use persist::{cached_synthetic, load_query_set, save_query_set, synthetic_cache_key};
 pub use registry::{Dataset, DatasetSpec};
 pub use workloads::{QuerySetSpec, Workload};

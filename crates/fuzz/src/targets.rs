@@ -35,6 +35,7 @@ pub const TARGETS: &[(&str, Target)] = &[
     ("cfl-vs-vf2", cfl_vs_vf2),
     ("flat-vs-nested", flat_vs_nested),
     ("thread-checksum", thread_checksum),
+    ("kernel-diff", kernel_diff),
 ];
 
 /// Looks up a target by name.
@@ -120,6 +121,104 @@ pub fn cfl_vs_vf2(case: &Case) -> Result<Verdict, String> {
 pub fn flat_vs_nested(case: &Case) -> Result<Verdict, String> {
     cfl_match::oracle::flat_matches_nested(&case.q, &case.g)?;
     Ok(Verdict::Checked)
+}
+
+/// Every intersection kernel vs a shared-nothing `BTreeSet` oracle, over
+/// the case's real adjacency rows. Covers the whole `cfl_graph::intersect`
+/// family: the adaptive dispatcher, both scalar list kernels, the forced
+/// SIMD merge/gallop hooks (exercised whenever the hardware path engages,
+/// regardless of the global kernel-mode switch), and the three
+/// word-at-a-time bitset kernels. Adjacency rows are exactly the inputs
+/// the CPI build and leaf phase feed these kernels, so a divergence here
+/// is a soundness bug upstream of every embedding count.
+pub fn kernel_diff(case: &Case) -> Result<Verdict, String> {
+    /// Work cap: pairs of rows compared per case (both graphs pooled).
+    const MAX_PAIRS: usize = 128;
+
+    let rows: Vec<&[VertexId]> = case
+        .g
+        .vertices()
+        .map(|v| case.g.neighbors(v))
+        .chain(case.q.vertices().map(|u| case.q.neighbors(u)))
+        .collect();
+    if rows.is_empty() {
+        return Ok(Verdict::Skipped("no adjacency rows"));
+    }
+    let max_key = rows
+        .iter()
+        .flat_map(|r| r.iter().copied())
+        .max()
+        .unwrap_or(0);
+
+    // A fixed-stride walk over the pair grid keeps every case cheap while
+    // still mixing short-vs-long and equal-length row pairs.
+    let stride = (rows.len() * rows.len()).div_ceil(MAX_PAIRS).max(1);
+    let mut set = cfl_graph::FixedBitSet::new(max_key as usize + 1);
+    for pair in (0..rows.len() * rows.len()).step_by(stride) {
+        let (a, b) = (rows[pair / rows.len()], rows[pair % rows.len()]);
+        let oracle: Vec<VertexId> = {
+            let bs: std::collections::BTreeSet<VertexId> = b.iter().copied().collect();
+            a.iter().copied().filter(|x| bs.contains(x)).collect()
+        };
+
+        let mut out = Vec::new();
+        cfl_graph::intersect_into(a, b, &mut out);
+        check_kernel("dispatch", a, b, &out, &oracle)?;
+
+        out.clear();
+        cfl_graph::intersect::merge_intersect(a, b, &mut out);
+        check_kernel("scalar merge", a, b, &out, &oracle)?;
+
+        out.clear();
+        cfl_graph::intersect::gallop_intersect(a, b, &mut out);
+        check_kernel("scalar gallop", a, b, &out, &oracle)?;
+
+        out.clear();
+        if cfl_graph::intersect::merge_intersect_simd(a, b, &mut out) {
+            check_kernel("simd merge", a, b, &out, &oracle)?;
+        }
+        out.clear();
+        if cfl_graph::intersect::gallop_intersect_simd(a, b, &mut out) {
+            check_kernel("simd gallop", a, b, &out, &oracle)?;
+        }
+
+        set.insert_all(b);
+        out.clear();
+        cfl_graph::intersect_with_set(a, &set, &mut out);
+        check_kernel("bitset intersect", a, b, &out, &oracle)?;
+
+        let mut retained = a.to_vec();
+        cfl_graph::intersect::retain_in_set(&mut retained, &set);
+        check_kernel("bitset retain", a, b, &retained, &oracle)?;
+
+        let difference: Vec<VertexId> = a.iter().copied().filter(|x| !oracle.contains(x)).collect();
+        out.clear();
+        cfl_graph::intersect::retain_unset_into(a, &set, &mut out);
+        check_kernel("bitset difference", a, b, &out, &difference)?;
+
+        // Restore by key (the bitset outlives the pair loop).
+        set.remove_all(b);
+    }
+    Ok(Verdict::Checked)
+}
+
+/// One kernel-vs-oracle comparison, with enough context to replay by hand.
+fn check_kernel(
+    kernel: &str,
+    a: &[VertexId],
+    b: &[VertexId],
+    got: &[VertexId],
+    want: &[VertexId],
+) -> Result<(), String> {
+    if got != want {
+        return Err(format!(
+            "{kernel} diverges from oracle: |a|={} |b|={} got {got:?} want {want:?} \
+             (a={a:?} b={b:?})",
+            a.len(),
+            b.len()
+        ));
+    }
+    Ok(())
 }
 
 /// 1-thread vs N-thread identity: the CPI checksum must be byte-identical

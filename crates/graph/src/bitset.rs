@@ -84,6 +84,14 @@ impl FixedBitSet {
     pub fn is_empty(&self) -> bool {
         self.words.iter().all(|&w| w == 0)
     }
+
+    /// The backing words, 64 keys per word (key `k` lives at bit `k % 64`
+    /// of word `k / 64`) — read-only view for the word-at-a-time kernels
+    /// in [`crate::intersect`].
+    #[inline]
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
 }
 
 #[cfg(test)]

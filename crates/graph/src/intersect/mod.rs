@@ -1,0 +1,529 @@
+//! Shared sorted-set intersection kernels.
+//!
+//! CPI construction and enumeration both reduce to one primitive:
+//! intersect a sorted `u32` adjacency slice with a candidate set. This
+//! module is the single tuned implementation both phases call, organized
+//! as a family of kernels behind a shape-adaptive dispatcher:
+//!
+//! * **merge** — branch-light linear merge, best when the two lists have
+//!   similar lengths (`O(m + n)`); served by an 8-lane AVX2 / 4-lane NEON
+//!   block merge when the hardware has it ([`simd_x86`] / [`simd_neon`]),
+//!   by the scalar loop otherwise;
+//! * **gallop** — exponential search of the longer list for each element
+//!   of the shorter (`O(m · log n)`, `m ≪ n`), with a SIMD probe
+//!   replacing the final binary-search levels;
+//! * **bitset** — word-at-a-time membership against a pre-built
+//!   [`FixedBitSet`]: one 64-bit word load answers a whole run of
+//!   same-word keys, and all-zero (or, for set difference, all-one)
+//!   words skip their runs outright; value-sparse key lists (under one
+//!   key per word on average) sidestep the run grouping with a plain
+//!   per-key bit test. Best when one side is reused across
+//!   many intersections — the CPI build probes the same candidate mask
+//!   once per parent candidate, so the `O(|C|)` setup amortizes to
+//!   nothing.
+//!
+//! [`intersect_into`] picks merge vs gallop from the *measured* input
+//! shape: the longer side is first clipped to the shorter side's value
+//! span (two binary searches — disjoint ranges exit immediately and
+//! interleaved ranges yield an honest length ratio), then
+//! [`choose_list_kernel`]'s cost model compares the expected probe work
+//! against the linear merge. This replaces the old hardcoded
+//! `GALLOP_RATIO` cliff. The bitset kernels remain an explicit caller
+//! choice, since only the caller knows the set is reused.
+//!
+//! SIMD paths run only when runtime detection approves
+//! ([`force_scalar_kernels`] and the `CFL_KERNELS=scalar` environment
+//! variable force the scalar tier — the escape hatch CI uses to prove
+//! checksum identity); every SIMD kernel is differential-tested against
+//! the scalar oracle here and in the `kernel-diff` fuzz target. With the
+//! `tally` cargo feature, every call also bumps a per-thread dispatch
+//! counter ([`tally`]) that `cfl-match`'s trace layer drains into its
+//! build/enumeration reports.
+//!
+//! The list kernels require strictly ascending duplicate-free inputs —
+//! the invariant CSR adjacency slices and frozen CPI candidate arrays
+//! already guarantee — and produce strictly ascending outputs.
+
+use crate::bitset::FixedBitSet;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+mod scalar;
+#[cfg(target_arch = "aarch64")]
+mod simd_neon;
+#[cfg(target_arch = "x86_64")]
+mod simd_x86;
+pub mod tally;
+
+pub use scalar::{gallop_intersect, merge_intersect};
+
+/// List-kernel strategies [`choose_list_kernel`] picks between.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// Linear merge of both lists.
+    Merge,
+    /// Exponential (galloping) search of the longer list.
+    Gallop,
+}
+
+/// Picks the list kernel for a `small`-vs-`large` intersection
+/// (`small <= large`, lengths *after* span trimming).
+///
+/// Cost model: the merge costs `small + large` predictable steps; a
+/// gallop probe costs about `2·log2(large/small) + 4` comparisons (the
+/// exponential widening plus the binary search / SIMD probe), each worth
+/// roughly two merge steps because the branches are data-dependent.
+/// Gallop wins when `2 · small · probe_cost < small + large`. Exposed so
+/// unit tests can pin the decisions and callers can introspect dispatch.
+#[must_use]
+pub fn choose_list_kernel(small: usize, large: usize) -> Kernel {
+    if small == 0 || large == 0 {
+        return Kernel::Merge;
+    }
+    let gap = (large / small).max(1);
+    let probe_cost = 2 * (usize::BITS - gap.leading_zeros()) as usize + 4;
+    if small.saturating_mul(2).saturating_mul(probe_cost) < small.saturating_add(large) {
+        Kernel::Gallop
+    } else {
+        Kernel::Merge
+    }
+}
+
+/// Intersects two strictly ascending slices into `out` (appended,
+/// ascending). Trims to the overlapping value span, then dispatches per
+/// [`choose_list_kernel`], with SIMD serving whichever strategy wins when
+/// the hardware supports it (see module docs).
+pub fn intersect_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    let (mut small, mut large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return;
+    }
+    large = trim_to_span(large, small[0], small[small.len() - 1]);
+    if large.is_empty() {
+        return;
+    }
+    if large.len() < small.len() {
+        std::mem::swap(&mut small, &mut large);
+    }
+    match choose_list_kernel(small.len(), large.len()) {
+        Kernel::Merge => {
+            tally::hit_merge();
+            if simd_enabled() && simd_merge(small, large, out) {
+                tally::hit_simd();
+            } else {
+                scalar::merge_intersect(small, large, out);
+            }
+        }
+        Kernel::Gallop => {
+            tally::hit_gallop();
+            if simd_enabled() && simd_gallop(small, large, out) {
+                tally::hit_simd();
+            } else {
+                scalar::gallop_intersect(small, large, out);
+            }
+        }
+    }
+}
+
+/// The sub-slice of ascending `b` whose values lie in `[lo_val, hi_val]`.
+#[inline]
+fn trim_to_span(b: &[u32], lo_val: u32, hi_val: u32) -> &[u32] {
+    let start = b.partition_point(|&y| y < lo_val);
+    let end = b.partition_point(|&y| y <= hi_val);
+    &b[start..end]
+}
+
+/// Intersects `keys` with a set given as a bitset: appends every element
+/// of `keys` contained in `set`. Output order follows `keys`; for
+/// ascending `keys` the output is ascending. Word-at-a-time (see module
+/// docs).
+#[inline]
+pub fn intersect_with_set(keys: &[u32], set: &FixedBitSet, out: &mut Vec<u32>) {
+    tally::hit_bitset();
+    scalar::intersect_with_set_words(keys, set, out);
+}
+
+/// Retains the elements of `list` contained in `set`, preserving order.
+/// The in-place pruning form of [`intersect_with_set`], used by the CPI
+/// build to narrow a candidate list against each successive neighbor
+/// mask. Word-at-a-time (see module docs).
+#[inline]
+pub fn retain_in_set(list: &mut Vec<u32>, set: &FixedBitSet) {
+    tally::hit_bitset();
+    scalar::retain_in_set_words(list, set);
+}
+
+/// Appends the elements of `keys` *not* contained in `set` — the set
+/// difference the leaf phase computes (`N_u^{u.p}(v) ∖ visited`).
+/// Word-at-a-time (see module docs).
+#[inline]
+pub fn retain_unset_into(keys: &[u32], set: &FixedBitSet, out: &mut Vec<u32>) {
+    tally::hit_bitset();
+    scalar::retain_unset_into_words(keys, set, out);
+}
+
+/// Runs the architecture's SIMD merge regardless of the kernel-mode
+/// switch; returns `false` when no SIMD path ran (missing hardware
+/// support or inputs below the profitable cutoff), leaving `out`
+/// untouched. Exists so differential tests and the fuzz target can pin
+/// the SIMD path explicitly; production code goes through
+/// [`intersect_into`].
+pub fn merge_intersect_simd(a: &[u32], b: &[u32], out: &mut Vec<u32>) -> bool {
+    simd_merge(a, b, out)
+}
+
+/// SIMD counterpart of [`merge_intersect_simd`] for the galloping kernel.
+/// `a` must be the shorter (probing) side.
+pub fn gallop_intersect_simd(a: &[u32], b: &[u32], out: &mut Vec<u32>) -> bool {
+    simd_gallop(a, b, out)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn simd_merge(a: &[u32], b: &[u32], out: &mut Vec<u32>) -> bool {
+    simd_x86::merge_intersect(a, b, out)
+}
+#[cfg(target_arch = "aarch64")]
+fn simd_merge(a: &[u32], b: &[u32], out: &mut Vec<u32>) -> bool {
+    simd_neon::merge_intersect(a, b, out)
+}
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+fn simd_merge(_a: &[u32], _b: &[u32], _out: &mut Vec<u32>) -> bool {
+    false
+}
+
+#[cfg(target_arch = "x86_64")]
+fn simd_gallop(a: &[u32], b: &[u32], out: &mut Vec<u32>) -> bool {
+    simd_x86::gallop_intersect(a, b, out)
+}
+#[cfg(target_arch = "aarch64")]
+fn simd_gallop(a: &[u32], b: &[u32], out: &mut Vec<u32>) -> bool {
+    simd_neon::gallop_intersect(a, b, out)
+}
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+fn simd_gallop(_a: &[u32], _b: &[u32], _out: &mut Vec<u32>) -> bool {
+    false
+}
+
+const MODE_UNSET: u8 = 0;
+const MODE_SIMD: u8 = 1;
+const MODE_SCALAR: u8 = 2;
+
+/// Process-wide kernel mode, initialized lazily from `CFL_KERNELS` and
+/// hardware detection. A plain state cell: both decided values are
+/// idempotent re-derivations of the same environment, so racing
+/// initializers agree; Acquire/Release keeps the lint story simple (on
+/// x86 they compile to the same instructions as Relaxed).
+static KERNEL_MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
+
+/// Forces (`true`) or re-enables hardware choice of (`false`) the scalar
+/// kernel tier for the whole process — the escape hatch behind the
+/// `CFL_KERNELS=scalar` environment variable, exposed directly so tests
+/// and benchmarks can flip modes without re-exec. `force==false`
+/// deliberately overrides the environment variable: an explicit API call
+/// outranks ambient configuration.
+pub fn force_scalar_kernels(force: bool) {
+    let mode = if force { MODE_SCALAR } else { hardware_mode() };
+    KERNEL_MODE.store(mode, Ordering::Release);
+}
+
+#[inline]
+fn simd_enabled() -> bool {
+    match KERNEL_MODE.load(Ordering::Acquire) {
+        MODE_SIMD => true,
+        MODE_SCALAR => false,
+        _ => initialize_mode() == MODE_SIMD,
+    }
+}
+
+#[cold]
+fn initialize_mode() -> u8 {
+    let mode = if std::env::var_os("CFL_KERNELS").is_some_and(|v| v == "scalar") {
+        MODE_SCALAR
+    } else {
+        hardware_mode()
+    };
+    KERNEL_MODE.store(mode, Ordering::Release);
+    mode
+}
+
+fn hardware_mode() -> u8 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            MODE_SIMD
+        } else {
+            MODE_SCALAR
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // NEON is a baseline feature of the AArch64 ABI.
+        MODE_SIMD
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        MODE_SCALAR
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The `O(n · m)` reference oracle.
+    fn naive(a: &[u32], b: &[u32]) -> Vec<u32> {
+        a.iter().copied().filter(|x| b.contains(x)).collect()
+    }
+
+    /// Runs every list kernel (adaptive, scalar merge/gallop, and — where
+    /// they engage — the SIMD merge/gallop) on `(a, b)`.
+    fn run_all(a: &[u32], b: &[u32]) -> Vec<(&'static str, Vec<u32>)> {
+        let mut results = Vec::new();
+        let mut v = Vec::new();
+        intersect_into(a, b, &mut v);
+        results.push(("adaptive", v));
+        let mut v = Vec::new();
+        merge_intersect(a, b, &mut v);
+        results.push(("merge", v));
+        let mut v = Vec::new();
+        gallop_intersect(a, b, &mut v);
+        results.push(("gallop", v));
+        let mut v = Vec::new();
+        if merge_intersect_simd(a, b, &mut v) {
+            results.push(("merge-simd", v));
+        }
+        // The gallop probes with the shorter side.
+        let (s, l) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        let mut v = Vec::new();
+        if gallop_intersect_simd(s, l, &mut v) {
+            results.push(("gallop-simd", v));
+        }
+        results
+    }
+
+    fn assert_all_match(a: &[u32], b: &[u32]) {
+        let expect = naive(a, b);
+        for (name, got) in run_all(a, b) {
+            assert_eq!(got, expect, "{name} {a:?} ∩ {b:?}");
+        }
+    }
+
+    #[test]
+    fn adversarial_fixed_cases() {
+        // (a, b, expected) over the adversarial shapes: empty, disjoint,
+        // nested, and duplicate-free skewed sets.
+        let big: Vec<u32> = (0..1000).map(|i| i * 3).collect();
+        let cases: Vec<(Vec<u32>, Vec<u32>, Vec<u32>)> = vec![
+            (vec![], vec![], vec![]),
+            (vec![], vec![1, 2, 3], vec![]),
+            (vec![1, 2, 3], vec![], vec![]),
+            // Fully disjoint, interleaved values.
+            (vec![0, 2, 4, 6], vec![1, 3, 5, 7], vec![]),
+            // Disjoint ranges (span trimming empties the long side).
+            (vec![1, 2, 3], vec![10, 20, 30], vec![]),
+            // Nested: a ⊂ b.
+            (
+                vec![5, 50, 500],
+                vec![5, 6, 7, 50, 51, 499, 500],
+                vec![5, 50, 500],
+            ),
+            // Identical.
+            (vec![2, 4, 8], vec![2, 4, 8], vec![2, 4, 8]),
+            // Heavily skewed: 3 probes into 1000 entries (gallop path).
+            (vec![0, 1500, 2997], big.clone(), vec![0, 1500, 2997]),
+            // Skewed with no hits past the first probe.
+            (vec![1, 2, 4], big.clone(), vec![]),
+            // Boundary values.
+            (vec![0, u32::MAX], vec![0, 1, u32::MAX], vec![0, u32::MAX]),
+        ];
+        for (a, b, expect) in cases {
+            assert_eq!(naive(&a, &b), expect, "oracle {a:?} ∩ {b:?}");
+            assert_all_match(&a, &b);
+        }
+    }
+
+    #[test]
+    fn simd_width_boundaries_match_oracle() {
+        // Forces empty tails, exactly-one-lane blocks, and unaligned
+        // remainders at both SIMD widths (8-lane AVX2, 4-lane NEON), in
+        // the low value range and shifted to the top of the u32 range
+        // (probes the signed-compare bias in the gallop probe).
+        let lens = [0usize, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 24, 31, 32, 33, 40];
+        for &la in &lens {
+            for &lb in &lens {
+                let a: Vec<u32> = (0..la as u32).map(|i| i * 2).collect();
+                let b: Vec<u32> = (0..lb as u32).map(|i| i * 3).collect();
+                assert_all_match(&a, &b);
+                // Same shapes near u32::MAX (max offset 3·39 = 117 < 120,
+                // so the shift keeps values ascending without wrapping).
+                let a_hi: Vec<u32> = a.iter().map(|&v| v + (u32::MAX - 120)).collect();
+                let b_hi: Vec<u32> = b.iter().map(|&v| v + (u32::MAX - 120)).collect();
+                assert_all_match(&a_hi, &b_hi);
+            }
+        }
+        // Exact u32::MAX in both inputs, at a lane-unaligned position.
+        let mut a: Vec<u32> = (0..17u32).map(|i| i * 5).collect();
+        let mut b: Vec<u32> = (0..23u32).map(|i| i * 7).collect();
+        a.push(u32::MAX);
+        b.push(u32::MAX);
+        assert_all_match(&a, &b);
+    }
+
+    #[test]
+    fn dispatch_decisions_are_pinned() {
+        // The cost model's choices at representative shapes. Changing the
+        // model is allowed but must be a conscious, test-visible act.
+        assert_eq!(choose_list_kernel(0, 10), Kernel::Merge);
+        assert_eq!(choose_list_kernel(64, 64), Kernel::Merge);
+        assert_eq!(choose_list_kernel(8, 64), Kernel::Merge);
+        assert_eq!(choose_list_kernel(100, 1000), Kernel::Merge);
+        assert_eq!(choose_list_kernel(1, 100), Kernel::Gallop);
+        assert_eq!(choose_list_kernel(4, 4096), Kernel::Gallop);
+        assert_eq!(choose_list_kernel(10, 10_000), Kernel::Gallop);
+        // Extreme sizes must not overflow the cost arithmetic.
+        assert_eq!(
+            choose_list_kernel(usize::MAX / 2, usize::MAX),
+            Kernel::Merge
+        );
+        assert_eq!(choose_list_kernel(1, usize::MAX), Kernel::Gallop);
+    }
+
+    #[test]
+    fn scalar_escape_hatch_is_equivalent() {
+        let a: Vec<u32> = (0..200u32).map(|i| i * 2).collect();
+        let b: Vec<u32> = (0..300u32).map(|i| i * 3).collect();
+        force_scalar_kernels(false);
+        let mut with_simd = Vec::new();
+        intersect_into(&a, &b, &mut with_simd);
+        force_scalar_kernels(true);
+        let mut forced_scalar = Vec::new();
+        intersect_into(&a, &b, &mut forced_scalar);
+        force_scalar_kernels(false);
+        assert_eq!(with_simd, forced_scalar);
+        assert_eq!(forced_scalar, naive(&a, &b));
+    }
+
+    #[test]
+    fn bitset_kernels_match_oracle() {
+        let keys = [1u32, 3, 64, 65, 120];
+        let mut set = FixedBitSet::new(130);
+        set.insert_all(&[3, 64, 121]);
+        let mut hit = Vec::new();
+        intersect_with_set(&keys, &set, &mut hit);
+        assert_eq!(hit, vec![3, 64]);
+        let mut miss = Vec::new();
+        retain_unset_into(&keys, &set, &mut miss);
+        assert_eq!(miss, vec![1, 65, 120]);
+        let mut list = keys.to_vec();
+        retain_in_set(&mut list, &set);
+        assert_eq!(list, hit);
+    }
+
+    #[test]
+    fn word_at_a_time_boundaries() {
+        // All-zero word (fast-skip in intersect/retain), all-one word
+        // (fast-skip in the difference), and keys straddling word edges.
+        let mut set = FixedBitSet::new(256);
+        let full_word: Vec<u32> = (64..128).collect();
+        set.insert_all(&full_word);
+        set.insert_all(&[1, 255]);
+        let keys = [0u32, 1, 63, 64, 65, 126, 127, 128, 200, 254, 255];
+        let members: Vec<u32> = keys.iter().copied().filter(|&k| set.contains(k)).collect();
+        let outsiders: Vec<u32> = keys.iter().copied().filter(|&k| !set.contains(k)).collect();
+        let mut hit = Vec::new();
+        intersect_with_set(&keys, &set, &mut hit);
+        assert_eq!(hit, members);
+        let mut miss = Vec::new();
+        retain_unset_into(&keys, &set, &mut miss);
+        assert_eq!(miss, outsiders);
+        let mut list = keys.to_vec();
+        retain_in_set(&mut list, &set);
+        assert_eq!(list, members);
+    }
+
+    #[test]
+    fn value_sparse_keys_take_the_per_key_path() {
+        // Keys ≥ 64 apart never share a word, so the density heuristic
+        // routes all three kernels onto the per-key bit tests; results
+        // must match the dense word-run path bit for bit.
+        let keys: Vec<u32> = (0..100u32).map(|i| i * 97).collect();
+        let mut set = FixedBitSet::new(100 * 97);
+        let members: Vec<u32> = keys.iter().copied().step_by(3).collect();
+        set.insert_all(&members);
+        let outsiders: Vec<u32> = keys
+            .iter()
+            .copied()
+            .filter(|k| !members.contains(k))
+            .collect();
+        let mut hit = Vec::new();
+        intersect_with_set(&keys, &set, &mut hit);
+        assert_eq!(hit, members);
+        let mut miss = Vec::new();
+        retain_unset_into(&keys, &set, &mut miss);
+        assert_eq!(miss, outsiders);
+        let mut list = keys.clone();
+        retain_in_set(&mut list, &set);
+        assert_eq!(list, members);
+    }
+
+    /// Strictly ascending duplicate-free vector strategy.
+    fn sorted_set(max_len: usize, max_val: u32) -> impl Strategy<Value = Vec<u32>> {
+        proptest::collection::vec(0..max_val, 0..max_len).prop_map(|mut v| {
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+    }
+
+    proptest! {
+        /// Every strategy agrees with the naive oracle on random
+        /// similar-sized inputs.
+        #[test]
+        fn kernels_match_oracle(
+            a in sorted_set(40, 120),
+            b in sorted_set(40, 120),
+        ) {
+            assert_all_match(&a, &b);
+        }
+
+        /// Skewed sizes force the galloping dispatch; result still matches.
+        #[test]
+        fn skewed_kernels_match_oracle(
+            a in sorted_set(5, 5000),
+            b in sorted_set(400, 5000),
+        ) {
+            assert_all_match(&a, &b);
+        }
+
+        /// Dense same-range inputs long enough to engage the SIMD main
+        /// loops with every remainder length.
+        #[test]
+        fn dense_simd_kernels_match_oracle(
+            a in sorted_set(200, 400),
+            b in sorted_set(200, 400),
+        ) {
+            assert_all_match(&a, &b);
+        }
+
+        /// The bitset kernels partition `keys` by membership.
+        #[test]
+        fn bitset_partition(
+            keys in sorted_set(50, 300),
+            members in sorted_set(50, 300),
+        ) {
+            let mut set = FixedBitSet::new(300);
+            set.insert_all(&members);
+            let mut inside = Vec::new();
+            let mut outside = Vec::new();
+            intersect_with_set(&keys, &set, &mut inside);
+            retain_unset_into(&keys, &set, &mut outside);
+            prop_assert_eq!(&inside, &naive(&keys, &members));
+            let mut retained = keys.clone();
+            retain_in_set(&mut retained, &set);
+            prop_assert_eq!(&retained, &inside);
+            let mut merged = [inside, outside].concat();
+            merged.sort_unstable();
+            prop_assert_eq!(merged, keys);
+        }
+    }
+}

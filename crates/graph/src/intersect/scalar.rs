@@ -1,0 +1,252 @@
+//! Scalar and word-at-a-time kernels: the always-available fallback tier
+//! and the differential oracle every SIMD path is tested against.
+//!
+//! Everything here is safe code. The list kernels require strictly
+//! ascending duplicate-free inputs; the bitset kernels accept keys in any
+//! order (they are bit-parallel already: one 64-bit word load answers up
+//! to 64 membership queries, see the `*_words` functions).
+
+use crate::bitset::FixedBitSet;
+
+/// Linear merge intersection of two strictly ascending slices.
+///
+/// Exposed (rather than private) so differential tests can pin each
+/// strategy against the oracle independently of the dispatch heuristic,
+/// and so the SIMD paths have a scalar tail to fall back on.
+pub fn merge_intersect(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        // Cursor bumps compile to conditional increments; the only
+        // hard-to-predict branch is the rare equality push.
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
+        if x == y {
+            out.push(x);
+        }
+    }
+}
+
+/// Galloping intersection: for each element of the shorter slice `a`,
+/// locate it in the longer slice `b` by exponential search from the
+/// previous match position.
+pub fn gallop_intersect(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    let mut lo = 0usize;
+    for &x in a {
+        if lo >= b.len() {
+            break;
+        }
+        let win_end = widen_window(b, lo, x);
+        match b[lo..win_end].binary_search(&x) {
+            Ok(at) => {
+                out.push(x);
+                lo += at + 1;
+            }
+            Err(at) => lo += at,
+        }
+    }
+}
+
+/// Exponentially widens the window `[lo, win_end)` until its last element
+/// reaches `x` (or the window hits the end of `b`), returning `win_end`.
+///
+/// After return, either `win_end == b.len()` or `b[win_end - 1] >= x`; in
+/// both cases the position of `x` (match or insertion point) lies in
+/// `[lo, win_end]`. The doubling saturates so no width or end computation
+/// can overflow `usize`, even for windows wider than `isize::MAX`.
+#[inline]
+pub(super) fn widen_window(b: &[u32], lo: usize, x: u32) -> usize {
+    let mut width = 1usize;
+    let mut win_end = window_end(lo, width, b.len());
+    while win_end < b.len() && b[win_end - 1] < x {
+        width = width.saturating_mul(2);
+        win_end = window_end(lo, width, b.len());
+    }
+    win_end
+}
+
+/// Saturating end-of-window computation: `min(lo + width, len)` without the
+/// `lo + width` overflow the unsaturated form hits once `width` has doubled
+/// past `usize::MAX - lo`.
+#[inline]
+fn window_end(lo: usize, width: usize, len: usize) -> usize {
+    lo.saturating_add(width).min(len)
+}
+
+/// Whether `keys` averages at least one element per 64-key word of its
+/// value span. The word-run kernels below pay two extra branches per key
+/// to group same-word runs; on value-sparse keys (runs of length 1 —
+/// e.g. one label's vertices spread over all of `V(G)`) that grouping is
+/// pure overhead and a straight per-key bit test wins. The kernels are
+/// correct for keys in any order, and some callers (the CPI build's
+/// in-place retain) do pass unordered lists, so the span estimate must
+/// not assume `first <= last`: when the endpoints run backwards the
+/// run structure is unknown, and the per-key path is the safe choice
+/// between two equally correct ones (`checked_sub`, not a raw
+/// subtraction that would underflow).
+#[inline]
+fn dense_runs(keys: &[u32]) -> bool {
+    match (keys.first(), keys.last()) {
+        (Some(&first), Some(&last)) => match (last >> 6).checked_sub(first >> 6) {
+            Some(word_gap) => keys.len() as u64 > u64::from(word_gap),
+            None => false,
+        },
+        _ => false,
+    }
+}
+
+/// Word-at-a-time `keys ∩ set`: appends every element of `keys` contained
+/// in `set`. A run of keys falling in the same 64-key word shares a single
+/// word load, and an all-zero word skips its whole run without per-key
+/// bit tests; value-sparse keys (see [`dense_runs`]) take a plain
+/// load-and-test per key instead.
+#[inline]
+pub(super) fn intersect_with_set_words(keys: &[u32], set: &FixedBitSet, out: &mut Vec<u32>) {
+    let words = set.words();
+    if !dense_runs(keys) {
+        out.extend(
+            keys.iter()
+                .filter(|&&k| words[(k >> 6) as usize] >> (k & 63) & 1 != 0),
+        );
+        return;
+    }
+    let mut i = 0usize;
+    while i < keys.len() {
+        let w = (keys[i] >> 6) as usize;
+        let word = words[w];
+        if word == 0 {
+            while i < keys.len() && (keys[i] >> 6) as usize == w {
+                i += 1;
+            }
+            continue;
+        }
+        while i < keys.len() && (keys[i] >> 6) as usize == w {
+            let k = keys[i];
+            if word >> (k & 63) & 1 != 0 {
+                out.push(k);
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Word-at-a-time in-place retain: keeps the elements of `list` contained
+/// in `set`, preserving order. Two-cursor compaction over the same run
+/// grouping as [`intersect_with_set_words`], with the same per-key path
+/// for value-sparse lists.
+#[inline]
+pub(super) fn retain_in_set_words(list: &mut Vec<u32>, set: &FixedBitSet) {
+    let words = set.words();
+    if !dense_runs(list) {
+        list.retain(|&k| words[(k >> 6) as usize] >> (k & 63) & 1 != 0);
+        return;
+    }
+    let (mut read, mut write) = (0usize, 0usize);
+    while read < list.len() {
+        let w = (list[read] >> 6) as usize;
+        let word = words[w];
+        if word == 0 {
+            while read < list.len() && (list[read] >> 6) as usize == w {
+                read += 1;
+            }
+            continue;
+        }
+        while read < list.len() && (list[read] >> 6) as usize == w {
+            let k = list[read];
+            if word >> (k & 63) & 1 != 0 {
+                list[write] = k;
+                write += 1;
+            }
+            read += 1;
+        }
+    }
+    list.truncate(write);
+}
+
+/// Word-at-a-time `keys ∖ set`: appends every element of `keys` *not*
+/// contained in `set`. The fast-skip word here is the all-ones word (every
+/// key in the run is a member, so none survives the difference); the
+/// value-sparse path mirrors [`intersect_with_set_words`].
+#[inline]
+pub(super) fn retain_unset_into_words(keys: &[u32], set: &FixedBitSet, out: &mut Vec<u32>) {
+    let words = set.words();
+    if !dense_runs(keys) {
+        out.extend(
+            keys.iter()
+                .filter(|&&k| words[(k >> 6) as usize] >> (k & 63) & 1 == 0),
+        );
+        return;
+    }
+    let mut i = 0usize;
+    while i < keys.len() {
+        let w = (keys[i] >> 6) as usize;
+        let word = words[w];
+        if word == !0u64 {
+            while i < keys.len() && (keys[i] >> 6) as usize == w {
+                i += 1;
+            }
+            continue;
+        }
+        while i < keys.len() && (keys[i] >> 6) as usize == w {
+            let k = keys[i];
+            if word >> (k & 63) & 1 == 0 {
+                out.push(k);
+            }
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widen_window_saturates_at_extreme_sizes() {
+        // Regression for the unsaturated `width *= 2` / `lo + width`
+        // arithmetic: with `lo` near `usize::MAX`, the first few doublings
+        // already push `lo + width` past the integer range. The slice is
+        // tiny; only the arithmetic operates at extreme magnitudes.
+        let b = [10u32, 20, 30];
+        assert_eq!(
+            window_end(usize::MAX - 1, usize::MAX, usize::MAX),
+            usize::MAX
+        );
+        assert_eq!(window_end(usize::MAX, 1, usize::MAX), usize::MAX);
+        assert_eq!(window_end(0, usize::MAX, 7), 7);
+        assert_eq!(widen_window(&b, 0, 31), 3);
+        assert_eq!(widen_window(&b, 0, 5), 1);
+        assert_eq!(widen_window(&b, 2, 25), 3);
+    }
+
+    #[test]
+    fn bitset_kernels_accept_unordered_keys() {
+        // Regression: the CPI build retains *unordered* candidate lists, and
+        // the density heuristic's span estimate used to underflow (debug
+        // panic) whenever `last < first`. Descending and shuffled inputs
+        // must classify without panicking and preserve input order.
+        let mut set = FixedBitSet::new(1 << 12);
+        set.insert_all(&[5, 64, 70, 4000]);
+        let keys = [4000u32, 3999, 70, 5, 64];
+        let mut hit = Vec::new();
+        intersect_with_set_words(&keys, &set, &mut hit);
+        assert_eq!(hit, vec![4000, 70, 5, 64]);
+        let mut miss = Vec::new();
+        retain_unset_into_words(&keys, &set, &mut miss);
+        assert_eq!(miss, vec![3999]);
+        let mut list = keys.to_vec();
+        retain_in_set_words(&mut list, &set);
+        assert_eq!(list, hit);
+    }
+
+    #[test]
+    fn gallop_widening_survives_many_doublings() {
+        // A probe beyond every element forces the window to double all the
+        // way to the end of a large slice without overflow or misses.
+        let b: Vec<u32> = (0..(1u32 << 20)).map(|i| i * 2).collect();
+        let a = [1u32, (1 << 21) - 2, u32::MAX];
+        let mut out = Vec::new();
+        gallop_intersect(&a, &b, &mut out);
+        assert_eq!(out, vec![(1 << 21) - 2]);
+    }
+}

@@ -1,0 +1,137 @@
+//! NEON (aarch64) intersection kernels: a 4-lane block merge and a 4-lane
+//! galloping probe, mirroring the AVX2 strategy at half the width. NEON
+//! is a baseline feature of the AArch64 ABI, so "runtime detection" is a
+//! compile-target check; the entry points still return `bool` so the
+//! dispatcher treats both architectures uniformly.
+//!
+//! Lane strategy (merge): compare the `a`-block against the `b`-block and
+//! its 3 `vext` rotations, extract a 4-bit equality mask via a per-lane
+//! powers-of-two AND plus horizontal add, and push matching `a`-lanes in
+//! lane order (no compress LUT at this width — a 4-iteration bit loop is
+//! cheaper than the table).
+//!
+//! Lane strategy (gallop): scalar exponential widening, binary narrowing
+//! to a ≤4-element window, then one broadcast-compare probe. `vcltq_u32`
+//! is natively unsigned, so no sign-bias is needed.
+//!
+//! Correctness arguments (single emission per match, ascending output,
+//! clamped probe windows) are identical to `simd_x86`; see its module
+//! docs. Differentially tested against the scalar oracle on aarch64 CI
+//! hosts; on other architectures this module does not compile.
+
+use core::arch::aarch64::*;
+
+/// SIMD width in `u32` lanes.
+const LANES: usize = 4;
+
+/// Minimum shorter-side length for the block merge to beat scalar setup.
+const MERGE_CUTOFF: usize = 8;
+
+/// Per-lane mask bits for [`mask4`].
+const LANE_BITS: [u32; LANES] = [1, 2, 4, 8];
+
+/// NEON block-merge intersection; returns `false` (without touching
+/// `out`) when the inputs are too small to profit.
+pub(super) fn merge_intersect(a: &[u32], b: &[u32], out: &mut Vec<u32>) -> bool {
+    if a.len().min(b.len()) < MERGE_CUTOFF {
+        return false;
+    }
+    // SAFETY: NEON is mandatory on aarch64 (this module only compiles
+    // there), so the target-feature precondition always holds.
+    unsafe { merge_neon(a, b, out) };
+    true
+}
+
+/// NEON galloping intersection; returns `false` when `b` is too short to
+/// hold one full probe window.
+pub(super) fn gallop_intersect(a: &[u32], b: &[u32], out: &mut Vec<u32>) -> bool {
+    if b.len() < LANES {
+        return false;
+    }
+    // SAFETY: NEON is mandatory on aarch64, and `b.len() >= LANES` was
+    // checked above — the preconditions of `gallop_neon`.
+    unsafe { gallop_neon(a, b, out) };
+    true
+}
+
+/// Collapses a lane-wise all-ones/all-zeros compare result into a 4-bit
+/// mask (bit k set ⟺ lane k matched).
+///
+/// # Safety
+/// Caller must ensure the `neon` target feature is available (always true
+/// on aarch64).
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn mask4(m: uint32x4_t) -> u32 {
+    vaddvq_u32(vandq_u32(m, vld1q_u32(LANE_BITS.as_ptr())))
+}
+
+/// 4-lane block merge over strictly ascending slices (see module docs).
+///
+/// # Safety
+/// Caller must ensure the `neon` target feature is available (always true
+/// on aarch64). Vector loads read `LANES` elements at offsets guarded by
+/// the loop condition, so every access is in bounds.
+#[target_feature(enable = "neon")]
+unsafe fn merge_neon(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i + LANES <= a.len() && j + LANES <= b.len() {
+        let va = vld1q_u32(a.as_ptr().add(i));
+        let vb = vld1q_u32(b.as_ptr().add(j));
+        // a-lane vs every b-lane: direct compare plus the 3 rotations.
+        let mut eq = vceqq_u32(va, vb);
+        eq = vorrq_u32(eq, vceqq_u32(va, vextq_u32::<1>(vb, vb)));
+        eq = vorrq_u32(eq, vceqq_u32(va, vextq_u32::<2>(vb, vb)));
+        eq = vorrq_u32(eq, vceqq_u32(va, vextq_u32::<3>(vb, vb)));
+        let mut m = mask4(eq);
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            out.push(a[i + lane]);
+            m &= m - 1;
+        }
+        // Advance whichever side's block maximum is smaller (both on tie).
+        let a_max = a[i + LANES - 1];
+        let b_max = b[j + LANES - 1];
+        i += LANES * usize::from(a_max <= b_max);
+        j += LANES * usize::from(b_max <= a_max);
+    }
+    super::scalar::merge_intersect(&a[i..], &b[j..], out);
+}
+
+/// Galloping intersection with a 4-lane final-window probe.
+///
+/// # Safety
+/// Caller must ensure the `neon` target feature is available (always true
+/// on aarch64) and that `b.len() >= LANES` (the probe loads a full window
+/// clamped to the end of `b`).
+#[target_feature(enable = "neon")]
+unsafe fn gallop_neon(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    let mut lo = 0usize;
+    for &x in a {
+        if lo >= b.len() {
+            break;
+        }
+        // Shared exponential widening, then binary narrowing until the
+        // candidate window fits one probe (same invariants as simd_x86).
+        let mut whi = super::scalar::widen_window(b, lo, x);
+        let mut wlo = lo;
+        while whi - wlo > LANES {
+            let mid = wlo + (whi - wlo) / 2;
+            if b[mid] < x {
+                wlo = mid + 1;
+            } else {
+                whi = mid + 1;
+            }
+        }
+        let start = wlo.min(b.len() - LANES);
+        let vb = vld1q_u32(b.as_ptr().add(start));
+        let vx = vdupq_n_u32(x);
+        let eq = mask4(vceqq_u32(vb, vx));
+        if eq != 0 {
+            out.push(x);
+            lo = start + eq.trailing_zeros() as usize + 1;
+        } else {
+            lo = start + mask4(vcltq_u32(vb, vx)).count_ones() as usize;
+        }
+    }
+}

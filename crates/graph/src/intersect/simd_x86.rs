@@ -1,0 +1,198 @@
+//! AVX2 (x86_64) intersection kernels: an 8-lane block merge and an
+//! 8-lane galloping probe. Both verify `avx2` availability at runtime and
+//! report `false` (caller falls back to scalar) when it is missing, so
+//! every entry point here is safe to call unconditionally.
+//!
+//! Lane strategy (merge): load one 8-lane block from each side, compare
+//! the `a`-block against all 8 rotations of the `b`-block (`cmpeq` ×
+//! `permutevar8x32`), OR the equality masks, then compress-store the
+//! matching `a`-lanes through a 256-entry shuffle LUT. Strictly ascending
+//! duplicate-free inputs guarantee each match is emitted exactly once and
+//! the output stays ascending: a retained block is only re-compared
+//! against *later* opposite blocks, whose values are all strictly greater
+//! than the consumed block's maximum.
+//!
+//! Lane strategy (gallop): scalar exponential widening (shared with the
+//! scalar kernel), binary narrowing to an ≤8-element window, then one
+//! broadcast-compare probe replaces the final three binary-search levels.
+//! `cmpgt` is signed, so both sides are sign-biased (`XOR 0x8000_0000`)
+//! to order full-range `u32` values correctly.
+//!
+//! Differential guarantees: every path here is tested against the scalar
+//! oracle by proptests in the parent module and the `kernel-diff` fuzz
+//! target; CI additionally gates end-to-end embedding checksums
+//! scalar-vs-SIMD.
+
+use core::arch::x86_64::*;
+
+/// SIMD width in `u32` lanes.
+const LANES: usize = 8;
+
+/// Minimum shorter-side length for the block merge to beat scalar setup.
+const MERGE_CUTOFF: usize = 16;
+
+/// For each 8-bit keep-mask, the `permutevar8x32` index vector that
+/// compresses the kept lanes to the front; built at compile time.
+static COMPRESS: [[u32; LANES]; 256] = build_compress();
+
+const fn build_compress() -> [[u32; LANES]; 256] {
+    let mut lut = [[0u32; LANES]; 256];
+    let mut m = 0usize;
+    while m < 256 {
+        let mut k = 0usize;
+        let mut lane = 0usize;
+        while lane < LANES {
+            if m & (1 << lane) != 0 {
+                lut[m][k] = lane as u32;
+                k += 1;
+            }
+            lane += 1;
+        }
+        m += 1;
+    }
+    lut
+}
+
+/// AVX2 block-merge intersection; returns `false` (without touching `out`)
+/// when AVX2 is unavailable or the inputs are too small to profit.
+pub(super) fn merge_intersect(a: &[u32], b: &[u32], out: &mut Vec<u32>) -> bool {
+    if a.len().min(b.len()) < MERGE_CUTOFF || !std::arch::is_x86_feature_detected!("avx2") {
+        return false;
+    }
+    // SAFETY: `merge_avx2`'s only precondition is runtime AVX2 support,
+    // verified by the feature detection directly above.
+    unsafe { merge_avx2(a, b, out) };
+    true
+}
+
+/// AVX2 galloping intersection; returns `false` when AVX2 is unavailable
+/// or `b` is too short to hold one full probe window.
+pub(super) fn gallop_intersect(a: &[u32], b: &[u32], out: &mut Vec<u32>) -> bool {
+    if b.len() < LANES || !std::arch::is_x86_feature_detected!("avx2") {
+        return false;
+    }
+    // SAFETY: `gallop_avx2`'s preconditions are runtime AVX2 support
+    // (verified directly above) and `b.len() >= LANES` (checked above).
+    unsafe { gallop_avx2(a, b, out) };
+    true
+}
+
+/// 8-lane block merge over strictly ascending slices (see module docs).
+///
+/// # Safety
+/// Caller must ensure the `avx2` target feature is available at runtime.
+/// All memory accesses are within-bounds by construction: vector loads
+/// read `LANES` elements at offsets guarded by the loop condition, and
+/// vector stores write into `Vec` spare capacity reserved up front.
+#[target_feature(enable = "avx2")]
+unsafe fn merge_avx2(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    // Every store below writes LANES lanes at `out.len()`, but `len` only
+    // advances by the popcount; total matches are bounded by the shorter
+    // side, so one reservation covers the whole loop.
+    out.reserve(a.len().min(b.len()) + LANES);
+    let r1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+    let r2 = _mm256_setr_epi32(2, 3, 4, 5, 6, 7, 0, 1);
+    let r3 = _mm256_setr_epi32(3, 4, 5, 6, 7, 0, 1, 2);
+    let r4 = _mm256_setr_epi32(4, 5, 6, 7, 0, 1, 2, 3);
+    let r5 = _mm256_setr_epi32(5, 6, 7, 0, 1, 2, 3, 4);
+    let r6 = _mm256_setr_epi32(6, 7, 0, 1, 2, 3, 4, 5);
+    let r7 = _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i + LANES <= a.len() && j + LANES <= b.len() {
+        let va = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+        let vb = _mm256_loadu_si256(b.as_ptr().add(j).cast());
+        // a-lane vs every b-lane: direct compare plus the 7 rotations.
+        let mut eq = _mm256_cmpeq_epi32(va, vb);
+        eq = _mm256_or_si256(
+            eq,
+            _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, r1)),
+        );
+        eq = _mm256_or_si256(
+            eq,
+            _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, r2)),
+        );
+        eq = _mm256_or_si256(
+            eq,
+            _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, r3)),
+        );
+        eq = _mm256_or_si256(
+            eq,
+            _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, r4)),
+        );
+        eq = _mm256_or_si256(
+            eq,
+            _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, r5)),
+        );
+        eq = _mm256_or_si256(
+            eq,
+            _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, r6)),
+        );
+        eq = _mm256_or_si256(
+            eq,
+            _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, r7)),
+        );
+        let mask = _mm256_movemask_ps(_mm256_castsi256_ps(eq)) as usize;
+        if mask != 0 {
+            let idx = _mm256_loadu_si256(COMPRESS[mask].as_ptr().cast());
+            let packed = _mm256_permutevar8x32_epi32(va, idx);
+            let len = out.len();
+            // Unconditional 8-lane store into the spare capacity reserved
+            // above; set_len exposes only the popcount-many real matches
+            // (u32 is Copy, no drop obligations).
+            _mm256_storeu_si256(out.as_mut_ptr().add(len).cast(), packed);
+            out.set_len(len + mask.count_ones() as usize);
+        }
+        // Advance whichever side's block maximum is smaller (both on tie);
+        // the consumed block cannot match anything later on the other side.
+        let a_max = *a.get_unchecked(i + LANES - 1);
+        let b_max = *b.get_unchecked(j + LANES - 1);
+        i += LANES * usize::from(a_max <= b_max);
+        j += LANES * usize::from(b_max <= a_max);
+    }
+    super::scalar::merge_intersect(&a[i..], &b[j..], out);
+}
+
+/// Galloping intersection with an 8-lane final-window probe.
+///
+/// # Safety
+/// Caller must ensure the `avx2` target feature is available at runtime
+/// and that `b.len() >= LANES` (the probe loads a full window clamped to
+/// the end of `b`, so every load stays in bounds).
+#[target_feature(enable = "avx2")]
+unsafe fn gallop_avx2(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    let bias = _mm256_set1_epi32(i32::MIN);
+    let mut lo = 0usize;
+    for &x in a {
+        if lo >= b.len() {
+            break;
+        }
+        // Shared exponential widening: afterwards the match/insertion
+        // point of x lies in [wlo, whi), everything before wlo is < x and
+        // everything from whi on is > x.
+        let mut whi = super::scalar::widen_window(b, lo, x);
+        let mut wlo = lo;
+        while whi - wlo > LANES {
+            let mid = wlo + (whi - wlo) / 2;
+            if b[mid] < x {
+                wlo = mid + 1;
+            } else {
+                whi = mid + 1;
+            }
+        }
+        // One probe of the ≤8-element window, clamped so the load ends at
+        // b's last element; the extra lanes on the left are all < x and
+        // only shift the insertion count by their (counted) number.
+        let start = wlo.min(b.len() - LANES);
+        let vb = _mm256_loadu_si256(b.as_ptr().add(start).cast());
+        let vx = _mm256_set1_epi32(x as i32);
+        let eq = _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(vb, vx))) as u32;
+        if eq != 0 {
+            out.push(x);
+            lo = start + eq.trailing_zeros() as usize + 1;
+        } else {
+            let gt = _mm256_cmpgt_epi32(_mm256_xor_si256(vx, bias), _mm256_xor_si256(vb, bias));
+            let n_lt = (_mm256_movemask_ps(_mm256_castsi256_ps(gt)) as u32).count_ones() as usize;
+            lo = start + n_lt;
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Per-thread kernel-dispatch tally.
+//!
+//! Each public kernel entry point bumps one counter per *call* (not per
+//! element): which list strategy the dispatcher picked (`merge` /
+//! `gallop`), whether a bitset kernel ran (`bitset`), and whether the call
+//! was served by a SIMD path (`simd` — always accompanied by a `merge` or
+//! `gallop` hit, so `simd <= merge + gallop + bitset` is an invariant the
+//! trace verifier re-checks).
+//!
+//! The counters are thread-local [`Cell`]s behind the `tally` cargo
+//! feature; without the feature every bump is a no-op and [`take`] returns
+//! zeros, so untraced builds pay nothing. Consumers (the `trace` feature
+//! of `cfl-match`) drain with [`take`] at task boundaries: once at the
+//! start of a traced section to discard residue left on a reused worker
+//! thread, and once at the end to harvest the section's counts.
+
+#[cfg(feature = "tally")]
+use std::cell::Cell;
+
+/// Snapshot of one thread's kernel-dispatch counts since the last [`take`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelTally {
+    /// Calls served by the linear merge strategy (scalar or SIMD).
+    pub merge: u64,
+    /// Calls served by the galloping strategy (scalar or SIMD).
+    pub gallop: u64,
+    /// Calls served by a word-at-a-time bitset kernel.
+    pub bitset: u64,
+    /// Calls whose body ran on an explicit SIMD path (subset of the above).
+    pub simd: u64,
+}
+
+#[cfg(feature = "tally")]
+thread_local! {
+    static TALLY: Cell<KernelTally> = const {
+        Cell::new(KernelTally { merge: 0, gallop: 0, bitset: 0, simd: 0 })
+    };
+}
+
+#[cfg(feature = "tally")]
+#[inline]
+fn bump(f: impl FnOnce(&mut KernelTally)) {
+    TALLY.with(|t| {
+        let mut v = t.get();
+        f(&mut v);
+        t.set(v);
+    });
+}
+
+#[inline(always)]
+pub(super) fn hit_merge() {
+    #[cfg(feature = "tally")]
+    bump(|t| t.merge += 1);
+}
+
+#[inline(always)]
+pub(super) fn hit_gallop() {
+    #[cfg(feature = "tally")]
+    bump(|t| t.gallop += 1);
+}
+
+#[inline(always)]
+pub(super) fn hit_bitset() {
+    #[cfg(feature = "tally")]
+    bump(|t| t.bitset += 1);
+}
+
+#[inline(always)]
+pub(super) fn hit_simd() {
+    #[cfg(feature = "tally")]
+    bump(|t| t.simd += 1);
+}
+
+/// Drains and resets the calling thread's tally. Without the `tally`
+/// feature this always returns zeros.
+pub fn take() -> KernelTally {
+    #[cfg(feature = "tally")]
+    {
+        TALLY.with(|t| t.replace(KernelTally::default()))
+    }
+    #[cfg(not(feature = "tally"))]
+    {
+        KernelTally::default()
+    }
+}
+
+#[cfg(all(test, feature = "tally"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_drains_and_resets() {
+        let _ = take();
+        hit_merge();
+        hit_merge();
+        hit_gallop();
+        hit_bitset();
+        hit_simd();
+        let t = take();
+        assert_eq!(
+            t,
+            KernelTally {
+                merge: 2,
+                gallop: 1,
+                bitset: 1,
+                simd: 1
+            }
+        );
+        assert_eq!(take(), KernelTally::default(), "drained");
+    }
+}

@@ -58,6 +58,19 @@ pub enum BuildCounter {
     /// Orphans killed by unreachable-candidate pruning (Algorithm 4
     /// lines 8–11 as realized by `prune_unreachable`).
     UnreachableKills,
+    /// Intersection calls served by the merge kernel during the build
+    /// (scalar or SIMD; see `cfl_graph::intersect`).
+    MergeHits,
+    /// Intersection calls served by the galloping kernel during the build.
+    GallopHits,
+    /// Intersection calls served by a word-at-a-time bitset kernel during
+    /// the build.
+    BitsetHits,
+    /// Build intersection calls whose body ran on an explicit SIMD path —
+    /// always a subset of the other three
+    /// (`simd_hits <= merge_hits + gallop_hits + bitset_hits`, an identity
+    /// `cfl_verify::check_trace` re-checks).
+    SimdHits,
     /// Nanoseconds in the top-down construction pass.
     TopDownNs,
     /// Nanoseconds in the bottom-up refinement pass.
@@ -81,6 +94,10 @@ pub struct BuildCounters {
     snte_kills: AtomicU64,
     refine_kills: AtomicU64,
     unreachable_kills: AtomicU64,
+    merge_hits: AtomicU64,
+    gallop_hits: AtomicU64,
+    bitset_hits: AtomicU64,
+    simd_hits: AtomicU64,
     topdown_ns: AtomicU64,
     refine_ns: AtomicU64,
     prune_ns: AtomicU64,
@@ -99,6 +116,10 @@ impl BuildCounters {
             BuildCounter::SnteKills => &self.snte_kills,
             BuildCounter::RefineKills => &self.refine_kills,
             BuildCounter::UnreachableKills => &self.unreachable_kills,
+            BuildCounter::MergeHits => &self.merge_hits,
+            BuildCounter::GallopHits => &self.gallop_hits,
+            BuildCounter::BitsetHits => &self.bitset_hits,
+            BuildCounter::SimdHits => &self.simd_hits,
             BuildCounter::TopDownNs => &self.topdown_ns,
             BuildCounter::RefineNs => &self.refine_ns,
             BuildCounter::PruneNs => &self.prune_ns,
@@ -125,6 +146,10 @@ impl BuildCounters {
             snte_kills: r(&self.snte_kills),
             refine_kills: r(&self.refine_kills),
             unreachable_kills: r(&self.unreachable_kills),
+            merge_hits: r(&self.merge_hits),
+            gallop_hits: r(&self.gallop_hits),
+            bitset_hits: r(&self.bitset_hits),
+            simd_hits: r(&self.simd_hits),
             final_candidates: 0,
             accounting_exact: false,
         }
@@ -157,6 +182,15 @@ pub struct BuildTrace {
     pub refine_kills: u64,
     /// Kills by unreachable-candidate pruning.
     pub unreachable_kills: u64,
+    /// Build intersection calls served by the merge kernel.
+    pub merge_hits: u64,
+    /// Build intersection calls served by the galloping kernel.
+    pub gallop_hits: u64,
+    /// Build intersection calls served by a word-at-a-time bitset kernel.
+    pub bitset_hits: u64,
+    /// Build intersection calls served by an explicit SIMD path (subset of
+    /// the other three dispatch counters).
+    pub simd_hits: u64,
     /// Candidate entries surviving into the frozen index.
     pub final_candidates: u64,
     /// Whether the exact accounting identity
@@ -214,6 +248,17 @@ pub struct EnumCounters {
     pub leaf_nodes: u64,
     /// Nanoseconds inside the leaf phase (§4.4).
     pub leaf_ns: u64,
+    /// Enumeration intersection calls served by the merge kernel (see
+    /// `cfl_graph::intersect`; drained from the per-thread kernel tally).
+    pub merge_hits: u64,
+    /// Enumeration intersection calls served by the galloping kernel.
+    pub gallop_hits: u64,
+    /// Enumeration intersection calls served by a word-at-a-time bitset
+    /// kernel (the leaf phase's visited-set difference).
+    pub bitset_hits: u64,
+    /// Enumeration intersection calls served by an explicit SIMD path
+    /// (subset of the other three dispatch counters).
+    pub simd_hits: u64,
     /// `depth_hist[d]` = search nodes attempted at partial-match depth
     /// `d` (matching-order position); sums to
     /// `core_nodes + forest_nodes`.
@@ -325,6 +370,27 @@ impl TraceReport {
             "  unreachable kills   {:>10}\n",
             self.build.unreachable_kills
         ));
+        out.push_str("kernel dispatch (build + Σ workers)\n");
+        let wsum = |f: fn(&EnumCounters) -> u64| -> u64 {
+            self.workers.iter().map(|w| f(&w.counters)).sum()
+        };
+        out.push_str(&format!(
+            "  merge hits          {:>10}\n",
+            self.build.merge_hits + wsum(|c| c.merge_hits)
+        ));
+        out.push_str(&format!(
+            "  gallop hits         {:>10}\n",
+            self.build.gallop_hits + wsum(|c| c.gallop_hits)
+        ));
+        out.push_str(&format!(
+            "  bitset hits         {:>10}\n",
+            self.build.bitset_hits + wsum(|c| c.bitset_hits)
+        ));
+        out.push_str(&format!(
+            "  simd hits           {:>10}\n",
+            self.build.simd_hits + wsum(|c| c.simd_hits)
+        ));
+        out.push_str("candidate accounting\n");
         out.push_str(&format!(
             "  final candidates    {:>10}{}\n",
             self.build.final_candidates,
@@ -386,6 +452,13 @@ impl TraceReport {
             self.build.unreachable_kills
         ));
         s.push_str(&format!(
+            "\"merge_hits\": {}, \"gallop_hits\": {}, \"bitset_hits\": {}, \"simd_hits\": {}, ",
+            self.build.merge_hits,
+            self.build.gallop_hits,
+            self.build.bitset_hits,
+            self.build.simd_hits
+        ));
+        s.push_str(&format!(
             "\"final_candidates\": {}, \"accounting_exact\": {}}},\n",
             self.build.final_candidates, self.build.accounting_exact
         ));
@@ -402,7 +475,7 @@ impl TraceReport {
                 s.push_str(", ");
             }
             s.push_str(&format!(
-                "{{\"embeddings\": {}, \"nodes\": {}, \"nt_checks\": {}, \"backtracks\": {}, \"steals\": {}, \"core_nodes\": {}, \"forest_nodes\": {}, \"leaf_nodes\": {}, \"leaf_ns\": {}, \"depth_hist\": {}}}",
+                "{{\"embeddings\": {}, \"nodes\": {}, \"nt_checks\": {}, \"backtracks\": {}, \"steals\": {}, \"core_nodes\": {}, \"forest_nodes\": {}, \"leaf_nodes\": {}, \"leaf_ns\": {}, \"merge_hits\": {}, \"gallop_hits\": {}, \"bitset_hits\": {}, \"simd_hits\": {}, \"depth_hist\": {}}}",
                 w.embeddings,
                 w.nodes,
                 w.nt_checks,
@@ -412,6 +485,10 @@ impl TraceReport {
                 w.counters.forest_nodes,
                 w.counters.leaf_nodes,
                 w.counters.leaf_ns,
+                w.counters.merge_hits,
+                w.counters.gallop_hits,
+                w.counters.bitset_hits,
+                w.counters.simd_hits,
                 json_u64_array(&w.counters.depth_hist)
             ));
         }
@@ -443,6 +520,10 @@ mod tests {
         counters.add(BuildCounter::SnteKills, 3);
         counters.add(BuildCounter::RefineKills, 6);
         counters.add(BuildCounter::UnreachableKills, 1);
+        counters.add(BuildCounter::MergeHits, 8);
+        counters.add(BuildCounter::GallopHits, 2);
+        counters.add(BuildCounter::BitsetHits, 50);
+        counters.add(BuildCounter::SimdHits, 6);
         counters.add(BuildCounter::TopDownNs, 1_000_000);
         let mut build = counters.snapshot();
         build.final_candidates = 60;
@@ -466,6 +547,10 @@ mod tests {
                     forest_nodes: 10,
                     leaf_nodes: 5,
                     leaf_ns: 500,
+                    merge_hits: 0,
+                    gallop_hits: 0,
+                    bitset_hits: 9,
+                    simd_hits: 0,
                     depth_hist: vec![20, 10, 5],
                 },
             }],
@@ -517,6 +602,11 @@ mod tests {
             "\"candidates_per_vertex\": [20, 25, 15]",
             "\"workers\"",
             "\"leaf_nodes\": 5",
+            "\"merge_hits\": 8",
+            "\"gallop_hits\": 2",
+            "\"bitset_hits\": 50",
+            "\"simd_hits\": 6",
+            "\"bitset_hits\": 9",
             "\"depth_hist\": [20, 10, 5]",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
@@ -530,6 +620,10 @@ mod tests {
         assert!(t.contains("100"));
         assert!(t.contains("(= seeded − kills)"));
         assert!(t.contains("workers (1)"));
+        assert!(t.contains("kernel dispatch"));
+        // Build 50 + worker 9 bitset hits are summed in the table.
+        assert!(t.contains("bitset hits"));
+        assert!(t.contains("59"));
     }
 
     #[test]

@@ -31,6 +31,11 @@ use crate::report::Report;
 ///   reported embedding total, the per-worker embedding counts sum to it.
 /// - `trace-worker-nodes`: per worker, the depth histogram sums to the
 ///   worker's search-node count, and the core/forest split partitions it.
+/// - `trace-kernel-dispatch`: SIMD kernel hits never exceed the total
+///   kernel dispatches (`simd_hits ≤ merge + gallop + bitset hits`) — a
+///   SIMD hit is recorded only when a dispatched merge or gallop takes
+///   the vector path, so the identity holds for the build counters and
+///   for every worker independently.
 ///
 /// `total_embeddings` is the embedding count from the engine's
 /// `MatchReport` when available; pass `None` for reports captured before
@@ -91,6 +96,20 @@ pub fn check_trace(report: &TraceReport, total_embeddings: Option<u64>) -> Repor
         );
     }
 
+    let dispatched = b.merge_hits + b.gallop_hits + b.bitset_hits;
+    if b.simd_hits > dispatched {
+        out.violation(
+            "trace-kernel-dispatch",
+            None,
+            None,
+            format!(
+                "build recorded {} SIMD kernel hits but only {dispatched} dispatches \
+                 (merge {} + gallop {} + bitset {})",
+                b.simd_hits, b.merge_hits, b.gallop_hits, b.bitset_hits
+            ),
+        );
+    }
+
     if let Some(total) = total_embeddings {
         let worker_sum = report.total_worker_embeddings();
         if worker_sum != total {
@@ -137,6 +156,22 @@ fn check_worker(out: &mut Report, index: usize, w: &WorkerTrace) {
             ),
         );
     }
+    let dispatched = w.counters.merge_hits + w.counters.gallop_hits + w.counters.bitset_hits;
+    if w.counters.simd_hits > dispatched {
+        out.violation(
+            "trace-kernel-dispatch",
+            None,
+            None,
+            format!(
+                "worker {index}: {} SIMD kernel hits but only {dispatched} dispatches \
+                 (merge {} + gallop {} + bitset {})",
+                w.counters.simd_hits,
+                w.counters.merge_hits,
+                w.counters.gallop_hits,
+                w.counters.bitset_hits
+            ),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +189,10 @@ mod tests {
                 snte_kills: 3,
                 refine_kills: 2,
                 unreachable_kills: 0,
+                merge_hits: 6,
+                gallop_hits: 1,
+                bitset_hits: 40,
+                simd_hits: 5,
                 final_candidates: 60,
                 accounting_exact: true,
                 ..BuildTrace::default()
@@ -177,6 +216,10 @@ mod tests {
                 forest_nodes: 4,
                 leaf_nodes: 0,
                 leaf_ns: 0,
+                merge_hits: 0,
+                gallop_hits: 0,
+                bitset_hits: 10,
+                simd_hits: 0,
                 depth_hist: vec![5, 4, 3],
             },
         });
@@ -229,6 +272,22 @@ mod tests {
         r.workers[0].counters.depth_hist = vec![5, 4, 2];
         let checked = check_trace(&r, Some(7));
         assert!(checked.has_check("trace-worker-nodes"), "{checked}");
+    }
+
+    #[test]
+    fn build_kernel_dispatch_identity_checked() {
+        let mut r = consistent_report();
+        r.build.simd_hits = r.build.merge_hits + r.build.gallop_hits + r.build.bitset_hits + 1;
+        let checked = check_trace(&r, Some(7));
+        assert!(checked.has_check("trace-kernel-dispatch"), "{checked}");
+    }
+
+    #[test]
+    fn worker_kernel_dispatch_identity_checked() {
+        let mut r = consistent_report();
+        r.workers[0].counters.simd_hits = 11;
+        let checked = check_trace(&r, Some(7));
+        assert!(checked.has_check("trace-kernel-dispatch"), "{checked}");
     }
 
     #[test]

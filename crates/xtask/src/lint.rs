@@ -4,18 +4,26 @@
 //! source), not semantic — cheap enough to run on every CI push and
 //! impossible to silence with an inline attribute.
 //!
-//! 1. **sync-shim** — no `std::sync` / `std::thread` in `cfl-match`
-//!    outside the [`SYNC_SHIM`] gateway module. Everything else must go
-//!    through `crate::sync`, which is what lets the loom models swap the
-//!    primitives under the exact code production runs.
-//! 2. **unsafe-allowlist** — `unsafe` appears only in
-//!    [`UNSAFE_ALLOWLIST`] files, and every site (block, `impl`, or fn
+//! 1. **sync-shim** — no `std::sync` / `std::thread` outside the crate's
+//!    configured gateway module. Everything else must go through
+//!    `crate::sync`, which is what lets the loom models swap the
+//!    primitives under the exact code production runs. Only enforced for
+//!    crates that *have* a loom shim (`cfl-match`).
+//! 2. **unsafe-allowlist** — `unsafe` appears only in the crate's
+//!    allowlisted files, and every site (block, `impl`, or fn
 //!    definition) must have a `SAFETY` comment or a `# Safety` doc
 //!    section in the lines right above it.
 //! 3. **relaxed-ordering** — `Ordering::Relaxed` appears only in
-//!    [`RELAXED_ALLOWLIST`] files, i.e. modules whose protocols are
-//!    driven by a loom model; anywhere else the default is the stronger
-//!    ordering until a model exists.
+//!    allowlisted files, i.e. modules whose protocols are driven by a
+//!    loom model; anywhere else the default is the stronger ordering
+//!    until a model exists.
+//!
+//! The rules apply per crate (see [`CRATES`]): `cfl-match` carries all
+//! three; `cfl-graph` joined the pass when its SIMD intersection kernels
+//! introduced the workspace's only other sanctioned `unsafe` — it has no
+//! loom shim (no sync-shim rule) and an *empty* Relaxed allowlist, so any
+//! `Ordering::Relaxed` there is a violation (the kernel-mode switch uses
+//! Acquire/Release).
 //!
 //! `#[cfg(test)]` modules are exempt from all three rules: std-only unit
 //! tests intentionally use `std::thread`/`std::sync` directly so they
@@ -27,24 +35,51 @@ use std::path::{Path, PathBuf};
 /// Number of rules, for the "clean" summary line.
 pub const RULE_COUNT: usize = 3;
 
-/// The one file in `cfl-match` allowed to name `std::sync`/`std::thread`:
-/// the cfg-switched gateway the rest of the crate imports from.
-const SYNC_SHIM: &str = "src/sync.rs";
+/// Per-crate lint configuration: which crate directory to walk and which
+/// allowlists gate each rule inside it.
+pub struct CrateRules {
+    /// Crate directory relative to the workspace root.
+    pub dir: &'static str,
+    /// The one file allowed to name `std::sync`/`std::thread` (the
+    /// cfg-switched loom gateway). `None` disables the sync-shim rule —
+    /// the crate has no shim, so there is nothing to route through.
+    pub sync_shim: Option<&'static str>,
+    /// Files (relative to the crate root) allowed to contain `unsafe`.
+    /// Adding a file here is a review event: the new site needs a written
+    /// SAFETY invariant and, if it involves a concurrent protocol, a loom
+    /// model.
+    pub unsafe_allowlist: &'static [&'static str],
+    /// Loom-modeled modules allowed to use `Ordering::Relaxed`. Each file
+    /// documents, at the use site, why Relaxed suffices and which model
+    /// exercises the claim.
+    pub relaxed_allowlist: &'static [&'static str],
+}
 
-/// Files (relative to `crates/core`) allowed to contain `unsafe`. Adding
-/// a file here is a review event: the new site needs a written SAFETY
-/// invariant and, if it involves the pool protocol, a loom model.
-const UNSAFE_ALLOWLIST: &[&str] = &["src/pool.rs"];
+/// `cfl-match`: the concurrency-bearing crate — all three rules.
+const CORE_RULES: CrateRules = CrateRules {
+    dir: "crates/core",
+    sync_shim: Some("src/sync.rs"),
+    unsafe_allowlist: &["src/pool.rs"],
+    relaxed_allowlist: &[
+        "src/pool.rs",
+        "src/exec/enumerate.rs",
+        "src/exec/parallel.rs",
+        "src/models.rs",
+    ],
+};
 
-/// Loom-modeled modules allowed to use `Ordering::Relaxed`. Each file
-/// documents, at the use site, why Relaxed suffices and which model in
-/// `src/models.rs` exercises the claim.
-const RELAXED_ALLOWLIST: &[&str] = &[
-    "src/pool.rs",
-    "src/exec/enumerate.rs",
-    "src/exec/parallel.rs",
-    "src/models.rs",
-];
+/// `cfl-graph`: `unsafe` is confined to the SIMD kernel backends, whose
+/// intrinsics carry per-site SAFETY comments and a scalar differential
+/// oracle; no loom shim, and no Relaxed anywhere.
+const GRAPH_RULES: CrateRules = CrateRules {
+    dir: "crates/graph",
+    sync_shim: None,
+    unsafe_allowlist: &["src/intersect/simd_x86.rs", "src/intersect/simd_neon.rs"],
+    relaxed_allowlist: &[],
+};
+
+/// Every crate the lint pass walks.
+pub const CRATES: &[&CrateRules] = &[&CORE_RULES, &GRAPH_RULES];
 
 /// How many lines above an `unsafe` site may hold its SAFETY comment.
 const SAFETY_WINDOW: usize = 12;
@@ -71,26 +106,29 @@ impl fmt::Display for Violation {
     }
 }
 
-/// Runs every rule over `cfl-match` (`<root>/crates/core`). Returns all
-/// violations; I/O trouble (missing tree) is an error, not a violation.
+/// Runs every rule over every configured crate (see [`CRATES`]). Returns
+/// all violations; I/O trouble (missing tree) is an error, not a
+/// violation.
 pub fn run(root: &Path) -> Result<Vec<Violation>, String> {
-    let core = root.join("crates/core");
-    let mut files = Vec::new();
-    collect_rs(&core.join("src"), &mut files)?;
-    if files.is_empty() {
-        return Err(format!("no .rs files under {}", core.display()));
-    }
-    files.sort();
     let mut violations = Vec::new();
-    for path in files {
-        let source = std::fs::read_to_string(&path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let rel = path
-            .strip_prefix(&core)
-            .map_err(|_| "file escaped crate root".to_owned())?
-            .to_string_lossy()
-            .replace('\\', "/");
-        lint_file(&rel, &source, &path, &mut violations);
+    for rules in CRATES {
+        let crate_root = root.join(rules.dir);
+        let mut files = Vec::new();
+        collect_rs(&crate_root.join("src"), &mut files)?;
+        if files.is_empty() {
+            return Err(format!("no .rs files under {}", crate_root.display()));
+        }
+        files.sort();
+        for path in files {
+            let source = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(&crate_root)
+                .map_err(|_| "file escaped crate root".to_owned())?
+                .to_string_lossy()
+                .replace('\\', "/");
+            lint_file(&rel, &source, &path, rules, &mut violations);
+        }
     }
     Ok(violations)
 }
@@ -109,41 +147,50 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
-/// Applies the three rules to one file. `rel` is the path relative to the
-/// crate root (forward slashes), used against the allowlists; `display` is
-/// what violations print.
-pub fn lint_file(rel: &str, source: &str, display: &Path, out: &mut Vec<Violation>) {
+/// Applies the three rules to one file under `rules`' crate. `rel` is the
+/// path relative to the crate root (forward slashes), used against the
+/// allowlists; `display` is what violations print.
+pub fn lint_file(
+    rel: &str,
+    source: &str,
+    display: &Path,
+    rules: &CrateRules,
+    out: &mut Vec<Violation>,
+) {
     // Comments and string literals can legally mention anything; blank
     // them first (newlines preserved, so line numbers survive). Then
     // blank `#[cfg(test)]` modules — the exemption shared by all rules.
     let code = strip_test_modules(&strip_comments_and_strings(source));
     let original_lines: Vec<&str> = source.lines().collect();
 
-    if rel != SYNC_SHIM {
-        for (line, token) in find_tokens(&code, &["std::sync", "std::thread"]) {
-            out.push(Violation {
-                file: display.to_path_buf(),
-                line,
-                rule: "sync-shim",
-                message: format!(
-                    "`{token}` outside the `crate::sync` gateway ({SYNC_SHIM}); \
-                     import the primitive through `crate::sync` so loom models \
-                     cover this code"
-                ),
-            });
+    if let Some(shim) = rules.sync_shim {
+        if rel != shim {
+            for (line, token) in find_tokens(&code, &["std::sync", "std::thread"]) {
+                out.push(Violation {
+                    file: display.to_path_buf(),
+                    line,
+                    rule: "sync-shim",
+                    message: format!(
+                        "`{token}` outside the `crate::sync` gateway ({shim}); \
+                         import the primitive through `crate::sync` so loom models \
+                         cover this code"
+                    ),
+                });
+            }
         }
     }
 
     for (line, kind) in find_unsafe_sites(&code) {
-        if !UNSAFE_ALLOWLIST.contains(&rel) {
+        if !rules.unsafe_allowlist.contains(&rel) {
             out.push(Violation {
                 file: display.to_path_buf(),
                 line,
                 rule: "unsafe-allowlist",
                 message: format!(
                     "`unsafe` ({kind}) in a file not on the allowlist \
-                     {UNSAFE_ALLOWLIST:?}; new unsafe needs a written SAFETY \
-                     invariant and an allowlist entry"
+                     {:?}; new unsafe needs a written SAFETY \
+                     invariant and an allowlist entry",
+                    rules.unsafe_allowlist
                 ),
             });
         } else if !has_safety_comment(&original_lines, line) {
@@ -159,7 +206,7 @@ pub fn lint_file(rel: &str, source: &str, display: &Path, out: &mut Vec<Violatio
         }
     }
 
-    if !RELAXED_ALLOWLIST.contains(&rel) {
+    if !rules.relaxed_allowlist.contains(&rel) {
         for (line, _) in find_tokens(&code, &["Ordering::Relaxed"]) {
             out.push(Violation {
                 file: display.to_path_buf(),
@@ -167,8 +214,9 @@ pub fn lint_file(rel: &str, source: &str, display: &Path, out: &mut Vec<Violatio
                 rule: "relaxed-ordering",
                 message: format!(
                     "`Ordering::Relaxed` outside the loom-modeled modules \
-                     {RELAXED_ALLOWLIST:?}; use a stronger ordering or add a \
-                     model that exercises the protocol"
+                     {:?}; use a stronger ordering or add a \
+                     model that exercises the protocol",
+                    rules.relaxed_allowlist
                 ),
             });
         }
@@ -452,8 +500,12 @@ mod tests {
     use super::*;
 
     fn lint_str(rel: &str, source: &str) -> Vec<Violation> {
+        lint_str_with(rel, source, &CORE_RULES)
+    }
+
+    fn lint_str_with(rel: &str, source: &str, rules: &CrateRules) -> Vec<Violation> {
         let mut out = Vec::new();
-        lint_file(rel, source, Path::new(rel), &mut out);
+        lint_file(rel, source, Path::new(rel), rules, &mut out);
         out
     }
 
@@ -528,6 +580,33 @@ mod tests {
         // Allowed in a loom-modeled module.
         let v = lint_str("src/exec/parallel.rs", &fixture("bad_relaxed.rs"));
         assert!(v.iter().all(|v| v.rule != "relaxed-ordering"));
+    }
+
+    #[test]
+    fn graph_rules_gate_unsafe_and_relaxed() {
+        // The SIMD backends may hold commented unsafe; any other graph
+        // file may not hold unsafe at all.
+        let good = "/// # Safety\n/// Caller checked AVX2.\nunsafe fn k() {}\n";
+        let v = lint_str_with("src/intersect/simd_x86.rs", good, &GRAPH_RULES);
+        assert!(v.is_empty(), "commented unsafe in a SIMD backend: {v:?}");
+        let v = lint_str_with("src/bitset.rs", good, &GRAPH_RULES);
+        assert!(
+            v.iter().any(|v| v.rule == "unsafe-allowlist"),
+            "expected an allowlist violation, got {v:?}"
+        );
+        // No graph file is loom-modeled, so Relaxed is banned everywhere.
+        let v = lint_str_with(
+            "src/intersect/mod.rs",
+            &fixture("bad_relaxed.rs"),
+            &GRAPH_RULES,
+        );
+        assert!(
+            v.iter().any(|v| v.rule == "relaxed-ordering"),
+            "expected a relaxed-ordering violation, got {v:?}"
+        );
+        // ... and without a shim, `std::sync` is fine (the kernel-mode
+        // switch is a plain atomic at Acquire/Release).
+        assert!(v.iter().all(|v| v.rule != "sync-shim"));
     }
 
     #[test]

@@ -35,7 +35,11 @@ fn main() -> ExitCode {
                 }
             };
             if violations.is_empty() {
-                println!("lint: clean ({} rules over cfl-match)", lint::RULE_COUNT);
+                println!(
+                    "lint: clean ({} rules over {} crate(s))",
+                    lint::RULE_COUNT,
+                    lint::CRATES.len()
+                );
                 ExitCode::SUCCESS
             } else {
                 for v in &violations {
