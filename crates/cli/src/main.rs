@@ -7,7 +7,8 @@
 //! cfl query    <data.graph> --size N [--density sparse|dense]
 //!              [--count K] [--seed S] -o PREFIX       # writes PREFIX-<i>.graph
 //! cfl match    <query.graph> <data.graph> [--algorithm NAME] [--limit N]
-//!              [--time-limit SECS] [--print] [--count-only]
+//!              [--time-limit SECS] [--repeat N] [--plan-cache]
+//!              [--print] [--count-only]
 //! cfl stats    <graph>
 //! ```
 
@@ -53,7 +54,8 @@ fn usage() {
          dataset <hprd|yeast|human|dblp|wordnet|synthetic> [--scale N] -o FILE\n  \
          query <data> --size N [--density sparse|dense] [--count K] [--seed S] -o PREFIX\n  \
          match <query> <data> [--algorithm cfl|quicksi|turboiso|vf2|ullmann|graphql|spath|boost]\n        \
-               [--limit N] [--time-limit SECS] [--print] [--count-only] [--stats] [--stats-json]\n  \
+               [--limit N] [--time-limit SECS] [--repeat N] [--plan-cache]\n        \
+               [--print] [--count-only] [--stats] [--stats-json]\n  \
          stats <graph> [--top N]\n  \
          workload <hprd|yeast|human|dblp|wordnet|synthetic> [--scale N] [--queries N] -o DIR\n  \
          verify [<query> <data>] [--scale N] [--labels L] [--size N] [--seed S]\n        \
@@ -218,7 +220,7 @@ fn cmd_query(args: &[String]) {
 }
 
 fn cmd_match(args: &[String]) {
-    let f = Flags::parse(args, &["algorithm", "limit", "time-limit"]);
+    let f = Flags::parse(args, &["algorithm", "limit", "time-limit", "repeat"]);
     if f.positional.len() != 2 {
         eprintln!("usage: cfl match <query.graph> <data.graph> [flags]");
         exit(2);
@@ -226,20 +228,13 @@ fn cmd_match(args: &[String]) {
     let q = read_graph_file(&f.positional[0]).unwrap_or_else(die);
     let g = read_graph_file(&f.positional[1]).unwrap_or_else(die);
 
-    let algo: Box<dyn Matcher> = match f.get("algorithm").unwrap_or("cfl") {
-        "cfl" | "cfl-match" => Box::new(CflMatcher::full()),
-        "quicksi" => Box::new(QuickSi),
-        "turboiso" => Box::new(TurboIso),
-        "vf2" => Box::new(Vf2),
-        "ullmann" => Box::new(Ullmann),
-        "graphql" => Box::new(cfl_baselines::GraphQl),
-        "spath" => Box::new(cfl_baselines::SPath),
-        "boost" => Box::new(BoostedMatcher::default()),
-        other => {
-            eprintln!("unknown algorithm {other:?}");
-            exit(2);
-        }
-    };
+    let algo_name = f.get("algorithm").unwrap_or("cfl");
+    let repeat = f.get_parse("repeat", 1usize).max(1);
+    let use_cache = f.has("plan-cache");
+    if use_cache && !matches!(algo_name, "cfl" | "cfl-match") {
+        eprintln!("--plan-cache requires --algorithm cfl");
+        exit(2);
+    }
 
     let mut budget = Budget::first(f.get_parse("limit", 100_000u64));
     if let Some(tl) = f.get("time-limit") {
@@ -251,19 +246,68 @@ fn cmd_match(args: &[String]) {
     }
 
     let print_embeddings = f.has("print");
-    let start = Instant::now();
-    let report = if f.has("count-only") {
-        algo.count(&q, &g, budget)
-    } else {
-        algo.find(&q, &g, budget, &mut |m| {
-            if print_embeddings {
-                println!("{m:?}");
+    let count_only = f.has("count-only");
+    let quiet = f.has("stats-json");
+    let mut sink = |m: &[cfl_graph::VertexId]| {
+        if print_embeddings {
+            println!("{m:?}");
+        }
+        true
+    };
+
+    // `--plan-cache` routes repeats through a cached session: run 1 is a
+    // cold build and a cache miss, runs 2..N hit the stored plan and skip
+    // CPI construction (their reported build time is the cache lookup).
+    // Without it every repeat pays the full cold pipeline.
+    let (display_name, report, elapsed) = if use_cache {
+        let config = cfl_match::MatchConfig::exhaustive().with_budget(budget);
+        let session = cfl_match::DataGraph::with_cache(&g);
+        let mut last = None;
+        for i in 0..repeat {
+            let start = Instant::now();
+            let report = if count_only {
+                session.count_embeddings(&q, &config)
+            } else {
+                session.find_embeddings(&q, &config, &mut sink)
             }
-            true
-        })
-    }
-    .unwrap_or_else(die);
-    let elapsed = start.elapsed();
+            .unwrap_or_else(die);
+            let elapsed = start.elapsed();
+            per_run_line(quiet, repeat, i, &report, elapsed);
+            last = Some((report, elapsed));
+        }
+        let (report, elapsed) = last.unwrap_or_else(|| unreachable!("repeat >= 1"));
+        ("CFL-Match (plan cache)", report, elapsed)
+    } else {
+        let algo: Box<dyn Matcher> = match algo_name {
+            "cfl" | "cfl-match" => Box::new(CflMatcher::full()),
+            "quicksi" => Box::new(QuickSi),
+            "turboiso" => Box::new(TurboIso),
+            "vf2" => Box::new(Vf2),
+            "ullmann" => Box::new(Ullmann),
+            "graphql" => Box::new(cfl_baselines::GraphQl),
+            "spath" => Box::new(cfl_baselines::SPath),
+            "boost" => Box::new(BoostedMatcher::default()),
+            other => {
+                eprintln!("unknown algorithm {other:?}");
+                exit(2);
+            }
+        };
+        let mut last = None;
+        for i in 0..repeat {
+            let start = Instant::now();
+            let report = if count_only {
+                algo.count(&q, &g, budget)
+            } else {
+                algo.find(&q, &g, budget, &mut sink)
+            }
+            .unwrap_or_else(die);
+            let elapsed = start.elapsed();
+            per_run_line(quiet, repeat, i, &report, elapsed);
+            last = Some((report, elapsed));
+        }
+        let (report, elapsed) = last.unwrap_or_else(|| unreachable!("repeat >= 1"));
+        (algo.name(), report, elapsed)
+    };
 
     if f.has("stats-json") {
         print_stats_json(&report, elapsed);
@@ -272,7 +316,7 @@ fn cmd_match(args: &[String]) {
 
     println!(
         "{}: {} embeddings ({:?}) in {:.3} ms [{} search nodes]",
-        algo.name(),
+        display_name,
         report.embeddings,
         report.outcome,
         elapsed.as_secs_f64() * 1e3,
@@ -285,6 +329,28 @@ fn cmd_match(args: &[String]) {
             None => eprintln!("{NO_TRACE_HINT}"),
         }
     }
+}
+
+/// One line per repeat run (suppressed for single runs and `--stats-json`,
+/// whose stdout must stay a single JSON object). Build time distinguishes
+/// the cold pipeline from a plan-cache lookup at a glance.
+fn per_run_line(
+    quiet: bool,
+    repeat: usize,
+    i: usize,
+    report: &cfl_match::MatchReport,
+    elapsed: Duration,
+) {
+    if quiet || repeat <= 1 {
+        return;
+    }
+    println!(
+        "run {:>3}: {} embeddings in {:.3} ms (build {:.3} ms)",
+        i + 1,
+        report.embeddings,
+        elapsed.as_secs_f64() * 1e3,
+        report.stats.build_time.as_secs_f64() * 1e3
+    );
 }
 
 /// Shown when `--stats`/`--stats-json` find no trace data on the report:

@@ -1,0 +1,354 @@
+//! Canonical query-fingerprint plan cache.
+//!
+//! Repeat-query workloads (the paper's evaluation issues query *sets*
+//! drawn from a few templates) rebuild structurally identical CPIs over
+//! and over. A [`PlanCache`] amortizes that: each prepared query is keyed
+//! by `(data-graph epoch, canonical fingerprint, config signature)`, where
+//! the fingerprint comes from [`cfl_graph::canonical_query`] — equal for
+//! any two queries that are label-preserving isomorphic, regardless of
+//! vertex numbering. A hit hands back the frozen CPI arenas (`Arc`-shared,
+//! never copied), the matching order and the decomposition; the only
+//! per-hit work is composing the two canonical permutations so embeddings
+//! stream out indexed by the *caller's* vertex numbering.
+//!
+//! Safety of a hit rests on two checks layered over the 128-bit hash:
+//! the stored [`CanonicalQuery`] concrete form must be equal (so neither
+//! hash collisions nor label-renamed variants alias — renamed labels mean
+//! different data-side candidates), and the entry's epoch and config
+//! signature must match (a [`GraphDelta`](cfl_graph::GraphDelta) bumps the
+//! epoch, so stale plans miss naturally; budget and thread-count knobs are
+//! excluded from the signature because they don't affect preparation).
+//!
+//! Eviction is LRU with a bounded entry count. Counters (lookups, hits,
+//! misses, evictions) are always-on atomics surfaced through
+//! [`PlanCache::snapshot`]; lookups = hits + misses is an accounting
+//! identity `cfl-verify` checks.
+
+use cfl_graph::{canonical_query, CanonicalQuery, Graph};
+
+use crate::config::{CpiMode, DecompositionMode, MatchConfig, OrderStrategy};
+use crate::cpi::Cpi;
+use crate::decompose::CflDecomposition;
+use crate::exec::Prepared;
+use crate::filters::FilterOptions;
+use crate::order::OrderPlan;
+use crate::result::MatchStats;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex, PoisonError};
+
+/// Default bound on cached plans per [`PlanCache`]. Workloads rarely use
+/// more than a few dozen query templates; beyond that LRU recency keeps
+/// the hot ones resident.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
+
+/// The preparation-relevant slice of a [`MatchConfig`]: two configs with
+/// equal signatures produce identical CPIs, orders and decompositions.
+/// `budget` (enumeration-only) and `build_threads` (the build is
+/// thread-count invariant — CI gates on it) are deliberately excluded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct ConfigSig {
+    cpi: CpiMode,
+    decomposition: DecompositionMode,
+    order: OrderStrategy,
+    filters: FilterOptions,
+}
+
+impl ConfigSig {
+    fn of(config: &MatchConfig) -> Self {
+        ConfigSig {
+            cpi: config.cpi,
+            decomposition: config.decomposition,
+            order: config.order,
+            filters: config.filters,
+        }
+    }
+}
+
+/// A frozen preparation in the *cached* query's vertex numbering, plus
+/// everything needed to serve it to an isomorphic caller.
+pub(crate) struct CachedPlan {
+    /// The query the plan was built for (owned clone; queries are tiny).
+    pub(crate) q: Graph,
+    pub(crate) decomposition: CflDecomposition,
+    pub(crate) cpi: Arc<Cpi>,
+    pub(crate) plan: OrderPlan,
+    pub(crate) stats: MatchStats,
+    /// `order[p]` = cached-query vertex at canonical position `p`; the
+    /// remap for a hit composes this with the caller's `perm`.
+    pub(crate) canon_order: Vec<u32>,
+}
+
+impl CachedPlan {
+    /// Embedding remap serving a caller whose canonicalization is `canon`:
+    /// `remap[v]` is the cached-query vertex playing caller vertex `v`'s
+    /// role, so `emb_caller[v] = emb_cached[remap[v]]`.
+    pub(crate) fn remap_for(&self, canon: &CanonicalQuery) -> Vec<u32> {
+        canon
+            .perm
+            .iter()
+            .map(|&p| self.canon_order[p as usize])
+            .collect()
+    }
+}
+
+/// Counter snapshot; `lookups == hits + misses` always holds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Cache consultations (one per prepare attempt through a cached
+    /// session, including queries the canonicalizer gave up on).
+    pub lookups: u64,
+    /// Lookups served from a stored plan.
+    pub hits: u64,
+    /// Lookups that fell through to a cold preparation.
+    pub misses: u64,
+    /// Entries displaced by LRU capacity pressure.
+    pub evictions: u64,
+}
+
+struct Entry {
+    epoch: u64,
+    sig: ConfigSig,
+    canon: CanonicalQuery,
+    plan: Arc<CachedPlan>,
+}
+
+/// A bounded LRU of prepared query plans, keyed by canonical fingerprint.
+///
+/// Shareable (`Arc`) across [`DataGraph`](crate::session::DataGraph)
+/// sessions, but only across versions of the *same* data graph lineage:
+/// entries are distinguished by graph epoch, which delta application
+/// bumps, not by graph identity.
+pub struct PlanCache {
+    capacity: usize,
+    /// LRU order: front = coldest, back = hottest.
+    entries: Mutex<Vec<Entry>>,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            entries: Mutex::new(Vec::new()),
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache with the [default capacity](DEFAULT_PLAN_CACHE_CAPACITY).
+    pub fn with_default_capacity() -> Self {
+        Self::new(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            lookups: self.lookups.load(Ordering::Acquire),
+            hits: self.hits.load(Ordering::Acquire),
+            misses: self.misses.load(Ordering::Acquire),
+            evictions: self.evictions.load(Ordering::Acquire),
+        }
+    }
+
+    /// Number of resident plans.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no plans are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every resident plan (counters keep accumulating).
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    fn lock(&self) -> crate::sync::MutexGuard<'_, Vec<Entry>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Canonicalizes `q` and consults the cache. Returns the caller's
+    /// canonicalization (for a later [`insert`](Self::insert)) and the
+    /// stored plan on a hit. Every call counts as one lookup; a `None`
+    /// canonicalization (budget bailout on a pathological query) counts
+    /// as a miss with nothing to store.
+    pub(crate) fn lookup(
+        &self,
+        q: &Graph,
+        epoch: u64,
+        config: &MatchConfig,
+    ) -> (Option<CanonicalQuery>, Option<Arc<CachedPlan>>) {
+        self.lookups.fetch_add(1, Ordering::AcqRel);
+        let Some(canon) = canonical_query(q) else {
+            self.misses.fetch_add(1, Ordering::AcqRel);
+            return (None, None);
+        };
+        let sig = ConfigSig::of(config);
+        let mut entries = self.lock();
+        let found = entries.iter().position(|e| {
+            e.epoch == epoch
+                && e.sig == sig
+                && e.canon.fingerprint == canon.fingerprint
+                && e.canon.same_concrete_form(&canon)
+        });
+        match found {
+            Some(i) => {
+                self.hits.fetch_add(1, Ordering::AcqRel);
+                // Refresh recency: move to the back.
+                let entry = entries.remove(i);
+                let plan = Arc::clone(&entry.plan);
+                entries.push(entry);
+                (Some(canon), Some(plan))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::AcqRel);
+                (Some(canon), None)
+            }
+        }
+    }
+
+    /// Stores the plan a miss just prepared. Racing inserts of the same
+    /// key keep the newest; capacity pressure evicts the coldest entry.
+    pub(crate) fn insert(
+        &self,
+        epoch: u64,
+        config: &MatchConfig,
+        canon: CanonicalQuery,
+        plan: Arc<CachedPlan>,
+    ) {
+        let sig = ConfigSig::of(config);
+        let mut entries = self.lock();
+        if let Some(i) = entries.iter().position(|e| {
+            e.epoch == epoch
+                && e.sig == sig
+                && e.canon.fingerprint == canon.fingerprint
+                && e.canon.same_concrete_form(&canon)
+        }) {
+            entries.remove(i);
+        } else if entries.len() >= self.capacity {
+            entries.remove(0);
+            self.evictions.fetch_add(1, Ordering::AcqRel);
+        }
+        entries.push(Entry {
+            epoch,
+            sig,
+            canon,
+            plan,
+        });
+    }
+}
+
+/// Builds the cacheable snapshot of a preparation: `Arc`-shares the CPI,
+/// clones the small plan structures and the query itself.
+pub(crate) fn cacheable_plan(q: &Graph, prepared: &Prepared, canon: &CanonicalQuery) -> CachedPlan {
+    CachedPlan {
+        q: q.clone(),
+        decomposition: prepared.decomposition.clone(),
+        cpi: Arc::clone(&prepared.cpi),
+        plan: prepared.plan.clone(),
+        stats: prepared.stats.clone(),
+        canon_order: canon.order.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfl_graph::graph_from_edges;
+
+    fn entry_for(q: &Graph, g: &Graph, config: &MatchConfig) -> (CanonicalQuery, Arc<CachedPlan>) {
+        let prepared = crate::exec::prepare(q, g, config).unwrap();
+        let canon = canonical_query(q).unwrap();
+        let plan = Arc::new(cacheable_plan(q, &prepared, &canon));
+        (canon, plan)
+    }
+
+    fn data_graph() -> Graph {
+        graph_from_edges(
+            &[0, 1, 2, 0, 1, 2],
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 4)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn isomorphic_queries_hit_distinct_labels_miss() {
+        let g = data_graph();
+        let config = MatchConfig::exhaustive();
+        let cache = PlanCache::new(8);
+        let q = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let (canon, plan) = entry_for(&q, &g, &config);
+        cache.insert(g.epoch(), &config, canon, plan);
+
+        // Vertex-renumbered variant of the same labeled triangle: hit.
+        let iso = graph_from_edges(&[2, 0, 1], &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let (_, hit) = cache.lookup(&iso, g.epoch(), &config);
+        assert!(hit.is_some());
+
+        // Same shape, different labels: the fingerprints collide (renaming
+        // invariance) but the concrete-form check rejects reuse.
+        let relabeled = graph_from_edges(&[0, 1, 5], &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let (_, miss) = cache.lookup(&relabeled, g.epoch(), &config);
+        assert!(miss.is_none());
+
+        // Stale epoch: miss.
+        let (_, stale) = cache.lookup(&q, g.epoch() + 1, &config);
+        assert!(stale.is_none());
+
+        // Different config signature: miss.
+        let other = MatchConfig::variant_naive_cpi();
+        let (_, other_cfg) = cache.lookup(&q, g.epoch(), &other);
+        assert!(other_cfg.is_none());
+
+        let snap = cache.snapshot();
+        assert_eq!(snap.lookups, snap.hits + snap.misses);
+        assert_eq!(snap.hits, 1);
+        assert_eq!(snap.misses, 3);
+    }
+
+    #[test]
+    fn lru_evicts_coldest_and_counts() {
+        let g = data_graph();
+        let config = MatchConfig::exhaustive();
+        let cache = PlanCache::new(2);
+        let queries = [
+            graph_from_edges(&[0, 1], &[(0, 1)]).unwrap(),
+            graph_from_edges(&[1, 2], &[(0, 1)]).unwrap(),
+            graph_from_edges(&[0, 2], &[(0, 1)]).unwrap(),
+        ];
+        for q in &queries {
+            let (canon, plan) = entry_for(q, &g, &config);
+            cache.insert(g.epoch(), &config, canon, plan);
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.snapshot().evictions, 1);
+        // The first-inserted (coldest) entry is gone; the later two live.
+        assert!(cache.lookup(&queries[0], g.epoch(), &config).1.is_none());
+        assert!(cache.lookup(&queries[1], g.epoch(), &config).1.is_some());
+        assert!(cache.lookup(&queries[2], g.epoch(), &config).1.is_some());
+    }
+
+    #[test]
+    fn remap_composes_permutations() {
+        let g = data_graph();
+        let config = MatchConfig::exhaustive();
+        // Path A-B-C, then its reversal C-B-A: vertex v plays role 2-v.
+        let q = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2)]).unwrap();
+        let rev = graph_from_edges(&[2, 1, 0], &[(0, 1), (1, 2)]).unwrap();
+        let (canon_q, plan) = entry_for(&q, &g, &config);
+        let canon_rev = canonical_query(&rev).unwrap();
+        assert!(canon_q.same_concrete_form(&canon_rev));
+        let remap = plan.remap_for(&canon_rev);
+        assert_eq!(remap, vec![2, 1, 0]);
+        // Self-remap is the identity.
+        assert_eq!(plan.remap_for(&canon_q), vec![0, 1, 2]);
+    }
+}

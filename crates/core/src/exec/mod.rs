@@ -16,10 +16,11 @@ use crate::config::{DecompositionMode, MatchConfig};
 use crate::cpi::Cpi;
 use crate::decompose::CflDecomposition;
 use crate::error::Error;
-use crate::filters::{FilterContext, GraphStats};
+use crate::filters::{FilterContext, GraphStats, VerdictCache};
 use crate::order::{compute_order_with, OrderPlan};
 use crate::result::{Embedding, MatchReport, MatchStats};
 use crate::root::select_root_with_candidates;
+use crate::sync::Arc;
 
 use enumerate::Enumerator;
 
@@ -69,8 +70,9 @@ pub fn collect_embeddings(
 pub struct Prepared {
     /// The decomposition of the query.
     pub decomposition: CflDecomposition,
-    /// The constructed CPI.
-    pub cpi: Cpi,
+    /// The constructed CPI, shared so the plan cache can hand the same
+    /// arenas to many logically-distinct preparations.
+    pub cpi: Arc<Cpi>,
     /// The matching order.
     pub plan: OrderPlan,
     /// Phase timings and CPI size counters filled so far.
@@ -103,6 +105,36 @@ pub(crate) fn prepare_with(
     g_stats: &GraphStats,
     config: &MatchConfig,
 ) -> Result<Prepared, Error> {
+    prepare_with_verdicts(q, g, g_stats, config, None)
+}
+
+/// [`prepare_with`] with an optional memoized CandVerify cache attached —
+/// the entry point incremental refresh ([`crate::refresh`]) uses so a
+/// rebuild after a [`GraphDelta`](cfl_graph::GraphDelta) replays stored
+/// filter verdicts instead of recomputing them. With `verdicts: None` this
+/// *is* `prepare_with`.
+/// The root-selection candidate pool (§A.6): the query's 2-core when it is
+/// nonempty and decomposition is enabled, every vertex otherwise. Factored
+/// out so incremental refresh ([`crate::refresh`]) replays root selection
+/// over exactly the pool `prepare` would use.
+pub(crate) fn root_eligible(q: &Graph, mode: DecompositionMode) -> Vec<VertexId> {
+    let core_bitmap = cfl_graph::two_core(q);
+    if core_bitmap.iter().any(|&b| b) && mode != DecompositionMode::None {
+        (0..q.num_vertices() as VertexId)
+            .filter(|&v| core_bitmap[v as usize])
+            .collect()
+    } else {
+        (0..q.num_vertices() as VertexId).collect()
+    }
+}
+
+pub(crate) fn prepare_with_verdicts(
+    q: &Graph,
+    g: &Graph,
+    g_stats: &GraphStats,
+    config: &MatchConfig,
+    verdicts: Option<&VerdictCache>,
+) -> Result<Prepared, Error> {
     if q.num_vertices() == 0 {
         return Err(Error::EmptyQuery);
     }
@@ -123,23 +155,25 @@ pub(crate) fn prepare_with(
     let build_span = cfl_trace::span::enter(cfl_trace::span::Phase::Build);
     let q_stats = GraphStats::build(q);
     let ctx = FilterContext::with_options(q, g, &q_stats, g_stats, config.filters);
+    let ctx = match verdicts {
+        Some(cache) => ctx.with_verdicts(cache),
+        None => ctx,
+    };
     #[cfg(feature = "trace")]
     let ctx = ctx.with_trace(&build_counters);
 
     // Root selection (§A.6): from the core when it exists, else anywhere.
-    let core_bitmap = cfl_graph::two_core(q);
-    let eligible: Vec<VertexId> =
-        if core_bitmap.iter().any(|&b| b) && config.decomposition != DecompositionMode::None {
-            (0..q.num_vertices() as VertexId)
-                .filter(|&v| core_bitmap[v as usize])
-                .collect()
-        } else {
-            (0..q.num_vertices() as VertexId).collect()
-        };
+    let eligible = root_eligible(q, config.decomposition);
     let (root, root_cands) = select_root_with_candidates(&ctx, &eligible);
 
     let decomposition = CflDecomposition::compute(q, root, config.decomposition);
-    let cpi = Cpi::build_seeded(&ctx, root, root_cands, config.cpi, config.build_threads);
+    let cpi = Arc::new(Cpi::build_seeded(
+        &ctx,
+        root,
+        root_cands,
+        config.cpi,
+        config.build_threads,
+    ));
     let build_time = build_start.elapsed();
     #[cfg(feature = "trace")]
     drop(build_span);
@@ -210,33 +244,37 @@ fn run(
     sink: SinkRef<'_>,
 ) -> Result<MatchReport, Error> {
     let prepared = prepare(q, g, config)?;
-    Ok(enumerate_prepared(q, g, prepared, config.budget, sink))
+    Ok(enumerate_prepared(q, g, &prepared, config.budget, sink))
 }
 
-/// Runs the enumeration phase over an already-prepared query. Shared by the
-/// one-shot API and [`DataGraph`](crate::session::DataGraph) sessions.
+/// Runs the enumeration phase over an already-prepared query. Shared by
+/// the one-shot API, [`DataGraph`](crate::session::DataGraph) sessions and
+/// [`Maintained`](crate::refresh::Maintained) handles. Borrows the
+/// preparation (cloning its stats into the report) so an amortized caller
+/// can enumerate the same CPI repeatedly.
 pub(crate) fn enumerate_prepared(
     q: &Graph,
     g: &Graph,
-    prepared: Prepared,
+    prepared: &Prepared,
     budget: crate::config::Budget,
     sink: SinkRef<'_>,
 ) -> MatchReport {
     if prepared.provably_empty() {
         // Some candidate set is empty: zero embeddings, proven sound.
-        return MatchReport::empty(prepared.stats);
+        return MatchReport::empty(prepared.stats.clone());
     }
     let Prepared {
         cpi,
         plan,
-        mut stats,
+        ref stats,
         ..
     } = prepared;
+    let mut stats = stats.clone();
 
     let enum_start = Instant::now();
     #[cfg(feature = "trace")]
     let enum_span = cfl_trace::span::enter(cfl_trace::span::Phase::Enumerate);
-    let mut enumerator = Enumerator::new(q, g, &cpi, &plan, budget, sink);
+    let mut enumerator = Enumerator::new(q, g, cpi, plan, budget, sink);
     let outcome = enumerator.run();
     #[cfg(feature = "trace")]
     drop(enum_span);

@@ -39,6 +39,7 @@
 //! ```
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+pub mod cache;
 pub mod config;
 pub mod cost;
 pub mod cpi;
@@ -53,6 +54,7 @@ mod models;
 pub mod oracle;
 pub mod order;
 mod pool;
+pub mod refresh;
 pub mod result;
 pub mod root;
 pub mod session;
@@ -61,6 +63,7 @@ pub(crate) mod sync;
 #[cfg(feature = "validate")]
 pub mod validate;
 
+pub use cache::{PlanCache, PlanCacheStats, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use config::{Budget, CpiMode, DecompositionMode, MatchConfig, OrderStrategy};
 pub use cost::{evaluate_cost, CostBreakdown};
 pub use cpi::Cpi;
@@ -73,8 +76,9 @@ pub use exec::{
     find_embeddings, prepare, Prepared,
 };
 pub use extended::{collect_embeddings_extended, find_embeddings_extended};
-pub use filters::{FilterContext, FilterOptions, GraphStats};
+pub use filters::{FilterContext, FilterOptions, GraphStats, VerdictCache};
 pub use order::{compute_order, compute_order_with, OrderPlan, OrderedVertex};
+pub use refresh::{Maintained, RefreshKind, RefreshStats, DAMAGE_THRESHOLD};
 pub use result::{Embedding, MatchOutcome, MatchReport, MatchStats};
 
 // Observability types (`cfl-trace`) surface on `MatchStats::trace`;

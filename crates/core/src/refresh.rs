@@ -1,0 +1,672 @@
+//! Incremental CPI maintenance under data-graph deltas.
+//!
+//! A [`Maintained`] handle keeps a query's preparation (decomposition, CPI,
+//! matching order) alive across [`GraphDelta`](cfl_graph::GraphDelta)
+//! applications. After a delta, [`Maintained::refresh`] brings the CPI up
+//! to date *without* redoing the full CandVerify work of a cold
+//! [`prepare`](crate::prepare):
+//!
+//! * **Unchanged** — no vertex in the delta's dirty frontier carries a
+//!   label the query uses. Candidate sets, CPI adjacency and the matching
+//!   order are provably identical, so the old preparation is kept as-is.
+//! * **Refiltered** — only the dirty frontier was re-verified, and a
+//!   *retention proof* (below) established that the old CPI is
+//!   bit-identical to a rebuild against the new graph, so it was kept.
+//!   This is the delta fast path: cost is `O(|dirty| · |V(q)|)` filter
+//!   probes plus a root-selection replay — no arena is reconstructed.
+//! * **Rebuilt** — the pipeline reran in full: through the surviving
+//!   memoized verdicts when the handle is in sync and damage is bounded
+//!   but the retention proof failed, or against a fresh [`VerdictCache`]
+//!   when the damage exceeds [`DAMAGE_THRESHOLD`] or the delta's epoch
+//!   does not extend the handle's.
+//!
+//! All three paths yield a CPI bit-identical to a cold rebuild against the
+//! new graph. CandVerify is a pure function of a data vertex's statistics
+//! (MND, NLF signature) and a query vertex's statistics, and the dirty
+//! frontier ([`AppliedDelta::dirty`]) is exactly the set of data vertices
+//! whose statistics a delta may change — so replayed verdicts equal
+//! recomputed ones, and the construction recursion (which is deterministic
+//! given the verdicts) produces the same arenas.
+//!
+//! ## The retention proof
+//!
+//! With the NLF filter on, a CandVerify pass implies the degree pre-filter
+//! passes too (per-label neighbor counts dominate, and they sum to the
+//! degree), so every candidate set is a closed-form function of verdicts
+//! and candidate-adjacent edges: `C(u) = {v : label ∧ verify(u, v) ∧
+//! adjacency constraints against the other C-sets}`. The old CPI is
+//! therefore bit-identical to a rebuild when
+//!
+//! 1. **no verdict flipped** — for every dirty vertex `v` carrying a query
+//!    label and every label-matching query vertex `u`, the verdict under
+//!    the previous epoch's statistics equals the verdict under the new
+//!    ones (the handle retains the old [`GraphStats`] so *both* sides are
+//!    computable for pairs the old build never consulted);
+//! 2. **no delta edge bridges candidates** — for every inserted or deleted
+//!    edge `(x, y)` and every query edge `(u, w)`, not both `verify(u, x)`
+//!    and `verify(w, y)` hold (in either orientation). Candidate
+//!    membership implies verify-pass, so no changed edge can enter or
+//!    leave a CPI adjacency row, a same-level S-NTE test, or a seeding /
+//!    neighborhood-mask scan *between surviving candidates*; and
+//! 3. **the root is stable** — root selection replayed over the new
+//!    statistics picks the same vertex. (Root scoring reads label+degree
+//!    counts, which a delta can shift even when no verdict flips, so this
+//!    is checked by replay rather than implied.)
+//!
+//! The `Unchanged` proof is one step stronger: candidates all carry query
+//! labels, so if no dirty vertex does, no candidate's statistics changed
+//! *and* no edge incident to a candidate changed (the delta's endpoints
+//! are in the frontier), leaving every CPI arena untouched. The
+//! differential tests in this module and the `delta_identity` fuzz target
+//! check the identity end-to-end via
+//! [`Cpi::checksum`](crate::cpi::Cpi::checksum).
+
+use cfl_graph::{AppliedDelta, Graph, VertexId};
+
+use crate::config::MatchConfig;
+use crate::error::Error;
+use crate::exec::{prepare_with_verdicts, root_eligible, Prepared, SinkRef};
+use crate::filters::{cand_verify_stats, FilterContext, GraphStats, VerdictCache};
+use crate::result::{Embedding, MatchReport};
+use crate::root::select_root_with_candidates;
+
+/// Dirty-frontier fraction above which [`Maintained::refresh`] abandons
+/// memoized refiltering for a cold rebuild: past this point most verdict
+/// columns are invalid, so replaying the survivors no longer amortizes
+/// the cache probes. 25% is conservative — refiltering wins comfortably
+/// below it and a rebuild is never *worse* than refiltering above it.
+pub const DAMAGE_THRESHOLD: f64 = 0.25;
+
+/// Cumulative refresh accounting for one [`Maintained`] handle, surfaced
+/// through [`Maintained::refresh_stats`] and copied into
+/// [`TraceReport::cache`](cfl_trace::TraceReport) by the handle's
+/// enumeration entry points when the `trace` feature is on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// Σ dirty-frontier sizes over every refresh this handle has run.
+    pub dirty_frontier: u64,
+    /// Refreshes resolved as [`RefreshKind::Unchanged`].
+    pub unchanged: u64,
+    /// Refreshes resolved as [`RefreshKind::Refiltered`].
+    pub refiltered: u64,
+    /// Refreshes resolved as [`RefreshKind::Rebuilt`].
+    pub rebuilt: u64,
+}
+
+/// How a [`Maintained::refresh`] brought the preparation up to date.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefreshKind {
+    /// The dirty frontier touches no query label: the old preparation is
+    /// provably identical to a rebuild and was kept verbatim.
+    Unchanged,
+    /// Only the dirty frontier was re-verified; the retention proof (see
+    /// the module docs) established the old CPI bit-identical to a
+    /// rebuild, so it was kept without reconstructing any arena.
+    Refiltered,
+    /// The pipeline reran in full — through the surviving memoized
+    /// CandVerify verdicts when the retention proof failed on an in-sync
+    /// handle, or against a fresh cache (damage above
+    /// [`DAMAGE_THRESHOLD`], or an epoch gap).
+    Rebuilt,
+}
+
+/// A query preparation maintained incrementally across data-graph deltas.
+///
+/// Borrows the query for its lifetime; the data graph is passed to each
+/// call because deltas produce *successor* graphs (the handle tracks which
+/// version it is synchronized with via [`epoch`](Self::epoch)).
+pub struct Maintained<'q> {
+    q: &'q Graph,
+    config: MatchConfig,
+    /// `has_label[l]` ⇔ some query vertex carries label `l` (indexed up to
+    /// the query's label universe; larger data labels are never queried).
+    q_has_label: Vec<bool>,
+    prepared: Prepared,
+    verdicts: VerdictCache,
+    /// Query-side statistics (the query never changes under this handle).
+    q_stats: GraphStats,
+    /// Statistics of the data-graph version the handle is synchronized
+    /// with. Retained across refreshes so the retention proof can evaluate
+    /// the *previous* epoch's CandVerify verdict for any pair — including
+    /// pairs the old build never consulted (a shared [`StatTables`]
+    /// handle, so this keeps the old tables alive, not a copy).
+    ///
+    /// [`StatTables`]: cfl_graph::StatTables
+    g_stats: GraphStats,
+    /// |V(G)| the cache rows were sized for (edge-only deltas preserve it;
+    /// a mismatch signals a foreign graph and forces a rebuild).
+    num_data_vertices: usize,
+    epoch: u64,
+    stats: RefreshStats,
+}
+
+impl<'q> Maintained<'q> {
+    /// Prepares `q` against `g` and attaches an empty verdict cache that
+    /// fills as CandVerify runs, priming future [`refresh`](Self::refresh)
+    /// calls.
+    pub fn prepare(q: &'q Graph, g: &Graph, config: &MatchConfig) -> Result<Self, Error> {
+        let verdicts = VerdictCache::new(q.num_vertices(), g.num_vertices());
+        let g_stats = GraphStats::build(g);
+        let prepared = prepare_with_verdicts(q, g, &g_stats, config, Some(&verdicts))?;
+        let mut q_has_label = vec![false; q.num_labels()];
+        for u in q.vertices() {
+            q_has_label[q.label(u).0 as usize] = true;
+        }
+        Ok(Maintained {
+            q,
+            config: *config,
+            q_has_label,
+            prepared,
+            verdicts,
+            q_stats: GraphStats::build(q),
+            g_stats,
+            num_data_vertices: g.num_vertices(),
+            epoch: g.epoch(),
+            stats: RefreshStats::default(),
+        })
+    }
+
+    /// The query this handle maintains.
+    pub fn query(&self) -> &'q Graph {
+        self.q
+    }
+
+    /// The data-graph epoch the preparation is synchronized with.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The current preparation (CPI, matching order, phase stats).
+    pub fn prepared(&self) -> &Prepared {
+        &self.prepared
+    }
+
+    /// Cumulative refresh accounting since [`prepare`](Self::prepare).
+    pub fn refresh_stats(&self) -> RefreshStats {
+        self.stats
+    }
+
+    /// Whether `v` (in the data graph) carries a label the query uses.
+    #[inline]
+    fn carries_query_label(&self, g: &Graph, v: VertexId) -> bool {
+        let l = g.label(v).0 as usize;
+        l < self.q_has_label.len() && self.q_has_label[l]
+    }
+
+    /// Synchronizes the preparation with `applied` (the result of
+    /// [`Graph::apply_delta`]) and reports which path ran. The refreshed
+    /// CPI is bit-identical to a cold rebuild against `applied.graph`.
+    ///
+    /// The handle must currently be synchronized with the graph the delta
+    /// was applied to; if deltas were skipped (`applied.graph.epoch() !=
+    /// self.epoch() + 1`) the dirty frontier no longer bounds the damage,
+    /// and the refresh conservatively rebuilds from scratch.
+    pub fn refresh(&mut self, applied: &AppliedDelta) -> Result<RefreshKind, Error> {
+        let kind = self.refresh_inner(applied)?;
+        self.stats.dirty_frontier += applied.dirty.len() as u64;
+        match kind {
+            RefreshKind::Unchanged => self.stats.unchanged += 1,
+            RefreshKind::Refiltered => self.stats.refiltered += 1,
+            RefreshKind::Rebuilt => self.stats.rebuilt += 1,
+        }
+        Ok(kind)
+    }
+
+    fn refresh_inner(&mut self, applied: &AppliedDelta) -> Result<RefreshKind, Error> {
+        let g = &applied.graph;
+        if g.epoch() != self.epoch + 1 || g.num_vertices() != self.num_data_vertices {
+            // Desynchronized handle: the frontier no longer bounds the
+            // damage, so nothing memoized can be trusted.
+            self.verdicts = VerdictCache::new(self.q.num_vertices(), g.num_vertices());
+            self.num_data_vertices = g.num_vertices();
+            return self.rebuild(g, RefreshKind::Rebuilt);
+        }
+        if !applied
+            .dirty
+            .iter()
+            .any(|&v| self.carries_query_label(g, v))
+        {
+            // The CPI is already correct, but the frontier's memoized
+            // verdicts are stale relative to the new statistics: drop them
+            // so the *next* refresh replays only valid entries. Stats of
+            // query-labeled vertices are untouched (their neighbors would
+            // be in the frontier), yet the handle still tracks the synced
+            // epoch's tables for future retention proofs.
+            self.verdicts.invalidate(&applied.dirty);
+            self.g_stats = GraphStats::build(g);
+            self.epoch = g.epoch();
+            return Ok(RefreshKind::Unchanged);
+        }
+        if applied.dirty.len() as f64 > DAMAGE_THRESHOLD * g.num_vertices() as f64 {
+            // Most verdict columns are invalid: replaying the survivors no
+            // longer amortizes the cache probes, start cold.
+            self.verdicts = VerdictCache::new(self.q.num_vertices(), g.num_vertices());
+            return self.rebuild(g, RefreshKind::Rebuilt);
+        }
+
+        // Bounded damage: re-verify exactly the dirty frontier and try to
+        // prove the old CPI still exact.
+        self.verdicts.invalidate(&applied.dirty);
+        let g_stats = GraphStats::build(g);
+        if self.cpi_provably_unchanged(applied, &g_stats) {
+            self.g_stats = g_stats;
+            self.epoch = g.epoch();
+            return Ok(RefreshKind::Refiltered);
+        }
+        // The delta reaches into the CPI's structure: rerun the pipeline
+        // through the surviving memoized verdicts (the frontier's columns
+        // are already invalidated and partially re-recorded above).
+        self.prepared =
+            prepare_with_verdicts(self.q, g, &g_stats, &self.config, Some(&self.verdicts))?;
+        self.g_stats = g_stats;
+        self.epoch = g.epoch();
+        Ok(RefreshKind::Rebuilt)
+    }
+
+    /// Full pipeline rerun against `g` (the caller has reset or
+    /// invalidated the verdict cache as appropriate), returning `kind`.
+    fn rebuild(&mut self, g: &Graph, kind: RefreshKind) -> Result<RefreshKind, Error> {
+        let g_stats = GraphStats::build(g);
+        self.prepared =
+            prepare_with_verdicts(self.q, g, &g_stats, &self.config, Some(&self.verdicts))?;
+        self.g_stats = g_stats;
+        self.epoch = g.epoch();
+        Ok(kind)
+    }
+
+    /// The retention proof behind [`RefreshKind::Refiltered`] (see the
+    /// module docs): recomputes the dirty frontier's verdicts (recording
+    /// them into the invalidated cache columns), then checks that no
+    /// verdict flipped across the delta, that no delta edge connects
+    /// verify-passing endpoints across any query edge, and that root
+    /// selection replayed over the new statistics is stable. All three
+    /// together prove the retained CPI bit-identical to a cold rebuild
+    /// against `applied.graph`.
+    ///
+    /// Soundness leans on CandVerify subsuming the degree pre-filter,
+    /// which holds only with the NLF filter enabled — ablation configs
+    /// without it always rebuild.
+    fn cpi_provably_unchanged(&self, applied: &AppliedDelta, new_stats: &GraphStats) -> bool {
+        if !self.config.filters.use_nlf {
+            return false;
+        }
+        let g = &applied.graph;
+        let old_stats = &self.g_stats;
+        let ctx =
+            FilterContext::with_options(self.q, g, &self.q_stats, new_stats, self.config.filters)
+                .with_verdicts(&self.verdicts);
+
+        // (1) No verdict may flip. The old side comes from the retained
+        // previous-epoch tables, so pairs the old build never consulted
+        // are evaluated too, not guessed at.
+        for &v in &applied.dirty {
+            if !self.carries_query_label(g, v) {
+                continue;
+            }
+            for u in self.q.vertices() {
+                if self.q.label(u) != g.label(v) {
+                    continue;
+                }
+                let old =
+                    cand_verify_stats(&self.q_stats, old_stats, self.config.filters, v, u).passed;
+                if ctx.cand_verify(v, u) != old {
+                    return false;
+                }
+            }
+        }
+
+        // (2) No delta edge may bridge verify-passing endpoints across a
+        // query edge, in either orientation. With (1) established the old
+        // and new verdicts agree, so probing the new side covers both
+        // builds; the endpoints are touched (⊆ dirty), so these probes
+        // replay the verdicts just recorded.
+        let delta = &applied.delta;
+        for &(x, y) in delta.inserts().iter().chain(delta.deletes().iter()) {
+            for (a, b) in [(x, y), (y, x)] {
+                for u in self.q.vertices() {
+                    if self.q.label(u) != g.label(a) || !ctx.cand_verify(a, u) {
+                        continue;
+                    }
+                    for &w in self.q.neighbors(u) {
+                        if self.q.label(w) == g.label(b) && ctx.cand_verify(b, w) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+
+        // (3) Root selection must be stable: its score reads label+degree
+        // counts, which the delta can shift without flipping any verdict.
+        // The replay runs over memoized verdicts, so it costs one pass
+        // over the winner's light candidates, not a re-verification.
+        let eligible = root_eligible(self.q, self.config.decomposition);
+        let (root, _) = select_root_with_candidates(&ctx, &eligible);
+        root == self.prepared.cpi.root()
+    }
+
+    /// Enumerates embeddings against `g`, which must be the graph version
+    /// this handle is synchronized with (same [`epoch`](Self::epoch)).
+    pub fn find_embeddings(
+        &self,
+        g: &Graph,
+        mut sink: impl FnMut(&[VertexId]) -> bool,
+    ) -> MatchReport {
+        self.run(g, Some(&mut sink))
+    }
+
+    /// Counts embeddings against `g` (same epoch requirement as
+    /// [`find_embeddings`](Self::find_embeddings)).
+    pub fn count_embeddings(&self, g: &Graph) -> MatchReport {
+        self.run(g, None)
+    }
+
+    /// Collects up to the budget's embeddings against `g`.
+    pub fn collect_embeddings(&self, g: &Graph) -> (Vec<Embedding>, MatchReport) {
+        let mut out = Vec::new();
+        let report = self.find_embeddings(g, |m| {
+            out.push(Embedding {
+                mapping: m.to_vec(),
+            });
+            true
+        });
+        (out, report)
+    }
+
+    fn run(&self, g: &Graph, sink: SinkRef<'_>) -> MatchReport {
+        debug_assert_eq!(
+            g.epoch(),
+            self.epoch,
+            "Maintained::run against a graph version the handle is not \
+             synchronized with (call refresh first)"
+        );
+        #[allow(unused_mut)]
+        let mut report =
+            crate::exec::enumerate_prepared(self.q, g, &self.prepared, self.config.budget, sink);
+        #[cfg(feature = "trace")]
+        if let Some(trace) = report.stats.trace.as_deref_mut() {
+            trace.cache.dirty_frontier = self.stats.dirty_frontier;
+            trace.cache.refresh_unchanged = self.stats.unchanged;
+            trace.cache.refresh_refiltered = self.stats.refiltered;
+            trace.cache.refresh_rebuilt = self.stats.rebuilt;
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MatchConfig;
+    use cfl_graph::{graph_from_edges, GraphDelta};
+
+    /// The 8-vertex base motif: two label-{0,1,2} triangles bridged by
+    /// label-3 vertices.
+    const MOTIF_LABELS: [u32; 8] = [0, 1, 2, 0, 1, 2, 3, 3];
+    const MOTIF_EDGES: [(u32, u32); 10] = [
+        (0, 1),
+        (1, 2),
+        (2, 0),
+        (3, 4),
+        (4, 5),
+        (5, 3),
+        (0, 6),
+        (6, 3),
+        (2, 7),
+        (7, 5),
+    ];
+
+    /// `copies` disjoint copies of the motif — large enough that one
+    /// edge's dirty frontier stays under the damage threshold.
+    fn motif_copies(copies: u32) -> Graph {
+        let mut labels = Vec::new();
+        let mut edges = Vec::new();
+        for c in 0..copies {
+            let base = c * 8;
+            labels.extend_from_slice(&MOTIF_LABELS);
+            edges.extend(MOTIF_EDGES.iter().map(|&(u, v)| (base + u, base + v)));
+        }
+        graph_from_edges(&labels, &edges).unwrap()
+    }
+
+    fn data_graph() -> Graph {
+        motif_copies(4)
+    }
+
+    fn triangle_query() -> Graph {
+        graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    fn fresh_checksum(q: &Graph, g: &Graph, config: &MatchConfig) -> u64 {
+        crate::exec::prepare(q, g, config).unwrap().cpi.checksum()
+    }
+
+    #[track_caller]
+    fn assert_in_sync(m: &Maintained<'_>, g: &Graph, config: &MatchConfig) {
+        assert_eq!(m.epoch(), g.epoch());
+        assert_eq!(
+            m.prepared().cpi.checksum(),
+            fresh_checksum(m.query(), g, config),
+            "maintained CPI diverged from a cold rebuild"
+        );
+        let (mut a, _) = m.collect_embeddings(g);
+        let (mut b, _) = crate::exec::collect_embeddings(m.query(), g, config).unwrap();
+        a.sort_by(|x, y| x.mapping.cmp(&y.mapping));
+        b.sort_by(|x, y| x.mapping.cmp(&y.mapping));
+        assert_eq!(
+            a.iter().map(|e| &e.mapping).collect::<Vec<_>>(),
+            b.iter().map(|e| &e.mapping).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn memoized_prepare_matches_cold_prepare() {
+        let g = data_graph();
+        let q = triangle_query();
+        let config = MatchConfig::exhaustive();
+        let m = Maintained::prepare(&q, &g, &config).unwrap();
+        assert_in_sync(&m, &g, &config);
+    }
+
+    #[test]
+    fn bridging_insert_rebuilds_through_memoized_cache() {
+        let g0 = data_graph();
+        let q = triangle_query();
+        let config = MatchConfig::exhaustive();
+        let mut m = Maintained::prepare(&q, &g0, &config).unwrap();
+
+        // Insert an edge between the two triangles: both endpoints are
+        // verify-passing candidates across a query edge, so the CPI's
+        // adjacency genuinely changes — the retention proof must refuse
+        // and the pipeline rerun (through memoized verdicts).
+        let mut d = GraphDelta::new();
+        d.insert(1, 3);
+        let applied = g0.apply_delta(&d).unwrap();
+        assert_eq!(m.refresh(&applied).unwrap(), RefreshKind::Rebuilt);
+        assert_in_sync(&m, &applied.graph, &config);
+
+        // And delete it again — back to the original edge set.
+        let mut d = GraphDelta::new();
+        d.delete(1, 3);
+        let applied2 = applied.graph.apply_delta(&d).unwrap();
+        assert_eq!(m.refresh(&applied2).unwrap(), RefreshKind::Rebuilt);
+        assert_in_sync(&m, &applied2.graph, &config);
+        assert_eq!(
+            m.prepared().cpi.checksum(),
+            fresh_checksum(&q, &g0, &config)
+        );
+    }
+
+    #[test]
+    fn retention_proof_keeps_cpi_without_rebuilding() {
+        let g0 = data_graph();
+        let q = triangle_query();
+        let config = MatchConfig::exhaustive();
+        let mut m = Maintained::prepare(&q, &g0, &config).unwrap();
+        let before = std::sync::Arc::clone(&m.prepared().cpi);
+
+        // Insert an edge between the two label-3 bridge vertices of the
+        // first motif. Their frontier reaches query-labeled vertices (so
+        // the Unchanged proof does not apply), but no verdict can flip —
+        // the query-labeled frontier vertices keep their neighbor sets,
+        // and MND only grows — and the delta edge's endpoints carry a
+        // non-query label, so it cannot bridge candidates. The retention
+        // proof must keep the CPI: same arenas, not merely equal ones.
+        let mut d = GraphDelta::new();
+        d.insert(6, 7);
+        let applied = g0.apply_delta(&d).unwrap();
+        assert!(applied.dirty.iter().any(|&v| applied.graph.label(v).0 != 3));
+        assert_eq!(m.refresh(&applied).unwrap(), RefreshKind::Refiltered);
+        assert!(std::sync::Arc::ptr_eq(&before, &m.prepared().cpi));
+        assert_in_sync(&m, &applied.graph, &config);
+
+        // Deleting it again retains as well and round-trips exactly.
+        let mut d = GraphDelta::new();
+        d.delete(6, 7);
+        let applied2 = applied.graph.apply_delta(&d).unwrap();
+        assert_eq!(m.refresh(&applied2).unwrap(), RefreshKind::Refiltered);
+        assert!(std::sync::Arc::ptr_eq(&before, &m.prepared().cpi));
+        assert_in_sync(&m, &applied2.graph, &config);
+        assert_eq!(
+            m.prepared().cpi.checksum(),
+            fresh_checksum(&q, &g0, &config)
+        );
+    }
+
+    #[test]
+    fn unchanged_refresh_skips_rebuild_and_stays_correct() {
+        // data_graph() plus an isolated label-3 path 32-33-34.
+        let mut labels = data_graph()
+            .labels()
+            .iter()
+            .map(|l| l.0)
+            .collect::<Vec<_>>();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for c in 0..4u32 {
+            let base = c * 8;
+            edges.extend(MOTIF_EDGES.iter().map(|&(u, v)| (base + u, base + v)));
+        }
+        labels.extend_from_slice(&[3, 3, 3]);
+        edges.extend_from_slice(&[(32, 33), (33, 34)]);
+        let g0 = graph_from_edges(&labels, &edges).unwrap();
+        let q = triangle_query();
+        let config = MatchConfig::exhaustive();
+        let mut m = Maintained::prepare(&q, &g0, &config).unwrap();
+        let before = m.prepared().cpi.checksum();
+
+        // The pocket 32-33-34 is all label 3 (unused by the query) and
+        // isolated from the motifs, so the dirty frontier of an insert
+        // inside it — endpoints plus their neighbors — never reaches a
+        // query-labeled vertex.
+        let mut d = GraphDelta::new();
+        d.insert(32, 34);
+        let applied = g0.apply_delta(&d).unwrap();
+        assert!(applied.dirty.iter().all(|&v| applied.graph.label(v).0 == 3));
+        assert_eq!(m.refresh(&applied).unwrap(), RefreshKind::Unchanged);
+        assert_eq!(m.prepared().cpi.checksum(), before);
+        assert_in_sync(&m, &applied.graph, &config);
+    }
+
+    #[test]
+    fn large_damage_falls_back_to_rebuild() {
+        let g0 = data_graph();
+        let q = triangle_query();
+        let config = MatchConfig::exhaustive();
+        let mut m = Maintained::prepare(&q, &g0, &config).unwrap();
+
+        // One insert per motif copy dirties most of the graph: the
+        // frontier fraction clears the 25% threshold.
+        let mut d = GraphDelta::new();
+        d.insert(1, 3).insert(9, 11).insert(17, 19).insert(25, 27);
+        let applied = g0.apply_delta(&d).unwrap();
+        assert!(applied.dirty.len() as f64 > DAMAGE_THRESHOLD * g0.num_vertices() as f64);
+        assert_eq!(m.refresh(&applied).unwrap(), RefreshKind::Rebuilt);
+        assert_in_sync(&m, &applied.graph, &config);
+    }
+
+    #[test]
+    fn epoch_gap_forces_rebuild() {
+        let g0 = data_graph();
+        let q = triangle_query();
+        let config = MatchConfig::exhaustive();
+        let mut m = Maintained::prepare(&q, &g0, &config).unwrap();
+
+        // Apply two deltas but only refresh with the second: the handle
+        // never saw the first frontier, so it must not trust the second.
+        let mut d1 = GraphDelta::new();
+        d1.insert(1, 3);
+        let a1 = g0.apply_delta(&d1).unwrap();
+        let mut d2 = GraphDelta::new();
+        d2.insert(6, 7);
+        let a2 = a1.graph.apply_delta(&d2).unwrap();
+        assert_eq!(m.refresh(&a2).unwrap(), RefreshKind::Rebuilt);
+        assert_in_sync(&m, &a2.graph, &config);
+    }
+
+    #[test]
+    fn successive_refreshes_replay_only_valid_verdicts() {
+        // A longer random-ish walk of deltas, checking the identity after
+        // every step — exercises verdict invalidation across generations
+        // (a stale "passed" bit surviving would flip a checksum here).
+        let q = triangle_query();
+        let config = MatchConfig::exhaustive();
+        let mut g = data_graph();
+        let mut m = Maintained::prepare(&q, &g, &config).unwrap();
+        let steps: &[(bool, u32, u32)] = &[
+            (true, 1, 3),
+            (true, 0, 4),
+            (false, 0, 1),
+            (true, 0, 1),
+            (false, 1, 3),
+            (true, 1, 7),
+            (false, 2, 7),
+        ];
+        for &(ins, u, v) in steps {
+            let mut d = GraphDelta::new();
+            if ins {
+                d.insert(u, v);
+            } else {
+                d.delete(u, v);
+            }
+            let applied = g.apply_delta(&d).unwrap();
+            m.refresh(&applied).unwrap();
+            assert_in_sync(&m, &applied.graph, &config);
+            g = applied.graph;
+        }
+    }
+
+    #[test]
+    fn refresh_works_across_configs() {
+        let g0 = data_graph();
+        let q = triangle_query();
+        for config in [
+            MatchConfig::exhaustive(),
+            MatchConfig::variant_cf_match().with_budget(crate::config::Budget::UNLIMITED),
+            MatchConfig::variant_topdown_cpi().with_budget(crate::config::Budget::UNLIMITED),
+        ] {
+            let mut m = Maintained::prepare(&q, &g0, &config).unwrap();
+            let mut d = GraphDelta::new();
+            d.insert(1, 3);
+            let applied = g0.apply_delta(&d).unwrap();
+            m.refresh(&applied).unwrap();
+            assert_in_sync(&m, &applied.graph, &config);
+        }
+    }
+
+    #[test]
+    fn empty_candidate_queries_survive_refresh() {
+        // Query label 9 is absent from the data graph: preparation proves
+        // emptiness, and refreshes must keep working.
+        let g0 = data_graph();
+        let q = graph_from_edges(&[9, 9], &[(0, 1)]).unwrap();
+        let config = MatchConfig::exhaustive();
+        let mut m = Maintained::prepare(&q, &g0, &config).unwrap();
+        assert!(m.prepared().provably_empty());
+        let mut d = GraphDelta::new();
+        d.insert(1, 3);
+        let applied = g0.apply_delta(&d).unwrap();
+        m.refresh(&applied).unwrap();
+        assert!(m.prepared().provably_empty());
+        assert_eq!(m.count_embeddings(&applied.graph).embeddings, 0);
+    }
+}

@@ -102,7 +102,13 @@ pub fn verify_prepared(q: &Graph, g: &Graph, prepared: &Prepared, config: &Match
     let mut report = Report::new();
     check_graph(q, &mut report);
     check_graph(g, &mut report);
-    check_cpi(q, g, &prepared.cpi, &cpi_check_options(config), &mut report);
+    check_cpi(
+        q,
+        g,
+        prepared.cpi.as_ref(),
+        &cpi_check_options(config),
+        &mut report,
+    );
     check_decomposition(
         q,
         &decomp_spec(

@@ -92,7 +92,10 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 
 fn cmd_run(target_name: &str, iters: usize, seed: u64) -> ExitCode {
     let Some(targets) = selected_targets(target_name) else {
-        eprintln!("unknown target {target_name:?}; known: all, cfl-vs-vf2, flat-vs-nested, thread-checksum");
+        eprintln!(
+            "unknown target {target_name:?}; known: all, cfl-vs-vf2, flat-vs-nested, \
+             thread-checksum, kernel-diff, canon-fingerprint, delta-identity"
+        );
         return ExitCode::FAILURE;
     };
     let corpus = read_inputs(&corpus_dir());

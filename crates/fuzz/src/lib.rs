@@ -1,6 +1,6 @@
 //! # cfl-fuzz
 //!
-//! Differential fuzzing harness for the CFL-Match engine. Three targets
+//! Differential fuzzing harness for the CFL-Match engine. The targets
 //! cross-check independent computations of the same quantity:
 //!
 //! * **cfl-vs-vf2** — the full engine's embedding set vs the VF2 baseline
@@ -8,7 +8,15 @@
 //! * **flat-vs-nested** — the production flat-arena CPI freeze vs the
 //!   naive nested reference freeze (`cfl-match`'s `oracle` feature);
 //! * **thread-checksum** — CPI checksum and embedding-count identity
-//!   between 1-thread and N-thread execution.
+//!   between 1-thread and N-thread execution;
+//! * **kernel-diff** — every intersection kernel vs a `BTreeSet` oracle
+//!   over the case's real adjacency rows;
+//! * **canon-fingerprint** — canonical-fingerprint invariance under
+//!   vertex permutation and label renaming, plus plan-cache-hit vs
+//!   cold-run embedding identity;
+//! * **delta-identity** — incrementally maintained CPIs vs fresh rebuilds
+//!   (checksum and embedding-count identity) across random edge-toggle
+//!   [`cfl_graph::GraphDelta`] batches.
 //!
 //! Inputs are byte strings decoded by a total, direct encoding
 //! ([`spec`]); failures are minimized by a format-oblivious ddmin

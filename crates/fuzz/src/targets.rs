@@ -8,8 +8,8 @@
 //! disagreed.
 
 use cfl_baselines::{Matcher, Vf2};
-use cfl_graph::VertexId;
-use cfl_match::{Budget, MatchConfig};
+use cfl_graph::{canonical_query, graph_from_edges, Graph, GraphDelta, VertexId};
+use cfl_match::{Budget, DataGraph, Maintained, MatchConfig};
 
 use crate::spec::Case;
 
@@ -36,6 +36,8 @@ pub const TARGETS: &[(&str, Target)] = &[
     ("flat-vs-nested", flat_vs_nested),
     ("thread-checksum", thread_checksum),
     ("kernel-diff", kernel_diff),
+    ("canon-fingerprint", canon_fingerprint),
+    ("delta-identity", delta_identity),
 ];
 
 /// Looks up a target by name.
@@ -219,6 +221,279 @@ fn check_kernel(
         ));
     }
     Ok(())
+}
+
+/// One splitmix64 step: the per-case deterministic randomness source for
+/// the canonicalization and delta targets. Seeded from the case content
+/// (not wall-clock or a global counter), so every replay of a persisted
+/// input exercises the exact same permutations and edge toggles.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn fnv_mix(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(0x100_0000_01b3)
+}
+
+/// FNV-1a over the case's structure: the seed for [`splitmix`].
+fn case_seed(case: &Case) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    h = fnv_mix(h, case.q.num_vertices() as u64);
+    for v in case.q.vertices() {
+        h = fnv_mix(h, u64::from(case.q.label(v).0));
+    }
+    for (a, b) in case.q.edges() {
+        h = fnv_mix(h, (u64::from(a) << 32) | u64::from(b));
+    }
+    h = fnv_mix(h, case.g.num_vertices() as u64);
+    h = fnv_mix(h, case.g.num_edges() as u64);
+    h = fnv_mix(h, case.threads as u64);
+    h
+}
+
+/// Rebuilds `q` under a seed-derived vertex permutation (same labels and
+/// edges, renumbered vertices).
+fn permuted_query(q: &Graph, seed: u64) -> Result<Graph, String> {
+    let n = q.num_vertices();
+    let mut state = seed | 1;
+    // Fisher-Yates: perm[v] is the new id of original vertex v.
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = (splitmix(&mut state) % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    let mut labels = vec![0u32; n];
+    for v in q.vertices() {
+        labels[perm[v as usize] as usize] = q.label(v).0;
+    }
+    let edges: Vec<(VertexId, VertexId)> = q
+        .edges()
+        .map(|(a, b)| (perm[a as usize], perm[b as usize]))
+        .collect();
+    graph_from_edges(&labels, &edges)
+        .map_err(|e| format!("permuted query failed to rebuild: {e:?}"))
+}
+
+/// Rebuilds `q` with every label shifted by one (an injective label
+/// renaming that cannot be label-preserving-isomorphic to the original).
+fn relabeled_query(q: &Graph) -> Result<Graph, String> {
+    let labels: Vec<u32> = q.vertices().map(|v| q.label(v).0 + 1).collect();
+    let edges: Vec<(VertexId, VertexId)> = q.edges().collect();
+    graph_from_edges(&labels, &edges)
+        .map_err(|e| format!("relabeled query failed to rebuild: {e:?}"))
+}
+
+/// Canonicalization and plan-cache identity under vertex permutation.
+///
+/// A seed-derived permutation of the query must produce (a) the same
+/// 128-bit fingerprint, (b) the same concrete canonical form, and (c) on
+/// a cache-enabled session primed with the original query, a guaranteed
+/// plan-cache hit whose remapped embedding set is identical to a cold
+/// uncached run. An injective *label* renaming must keep the fingerprint
+/// (it hashes first-occurrence-renamed labels) while breaking
+/// `same_concrete_form`, which is exactly the split the cache key relies
+/// on to keep relabeled isomorphs from aliasing.
+pub fn canon_fingerprint(case: &Case) -> Result<Verdict, String> {
+    let qp = permuted_query(&case.q, case_seed(case))?;
+    let (c0, cp) = match (canonical_query(&case.q), canonical_query(&qp)) {
+        (None, None) => return Ok(Verdict::Skipped("canonicalization budget exhausted")),
+        (Some(a), Some(b)) => (a, b),
+        (a, b) => {
+            return Err(format!(
+                "canonicalization bailout is not permutation-invariant: \
+                 original={} permuted={}",
+                a.is_some(),
+                b.is_some()
+            ));
+        }
+    };
+    if c0.fingerprint != cp.fingerprint {
+        return Err(format!(
+            "fingerprint diverges under vertex permutation: \
+             original={:#034x} permuted={:#034x}",
+            c0.fingerprint, cp.fingerprint
+        ));
+    }
+    if !c0.same_concrete_form(&cp) {
+        return Err("permuted query lost its concrete canonical form".to_owned());
+    }
+    for (p, &v) in c0.order.iter().enumerate() {
+        if c0.perm[v as usize] != p as u32 {
+            return Err(format!(
+                "canonical order/perm are not inverse witnesses at position {p}"
+            ));
+        }
+        if case.q.label(v).0 != c0.canon_labels[p] {
+            return Err(format!(
+                "canon_labels[{p}] does not match the witnessed vertex label"
+            ));
+        }
+    }
+
+    let shifted = relabeled_query(&case.q)?;
+    let Some(cs) = canonical_query(&shifted) else {
+        return Err("canonicalization bailout is not label-renaming-invariant".to_owned());
+    };
+    if cs.fingerprint != c0.fingerprint {
+        return Err(format!(
+            "fingerprint is not label-renaming-invariant: \
+             original={:#034x} relabeled={:#034x}",
+            c0.fingerprint, cs.fingerprint
+        ));
+    }
+    if cs.same_concrete_form(&c0) {
+        return Err("relabeled query aliases the original's concrete form".to_owned());
+    }
+
+    // End-to-end: prime a cache-enabled session with the original query,
+    // then run the permuted isomorph (a guaranteed hit — canonicalization
+    // succeeded for both) against an uncached run of the same query.
+    let cfg = MatchConfig::exhaustive().with_budget(Budget::first(EMB_CAP));
+    let cached = DataGraph::with_cache(&case.g);
+    let uncached = DataGraph::new(&case.g);
+    let prime = cached.collect_embeddings(&case.q, &cfg);
+    let hit = cached.collect_embeddings(&qp, &cfg);
+    let cold = uncached.collect_embeddings(&qp, &cfg);
+    match (prime, hit, cold) {
+        (Err(_), Err(b), Err(c)) => {
+            if b == c {
+                Ok(Verdict::Checked)
+            } else {
+                Err(format!(
+                    "cached and uncached sessions reject differently: \
+                     cached={b:?} uncached={c:?}"
+                ))
+            }
+        }
+        (Ok((_, prime_rep)), Ok((hit_embs, hit_rep)), Ok((cold_embs, cold_rep))) => {
+            let stats = cached
+                .plan_cache()
+                .ok_or("cache-enabled session lost its plan cache")?
+                .snapshot();
+            if stats.lookups != 2 || stats.hits + stats.misses != stats.lookups {
+                return Err(format!(
+                    "plan-cache accounting broken: lookups={} hits={} misses={}",
+                    stats.lookups, stats.hits, stats.misses
+                ));
+            }
+            if stats.hits != 1 {
+                return Err(format!(
+                    "isomorphic repeat failed to hit the plan cache \
+                     (hits={}, misses={})",
+                    stats.hits, stats.misses
+                ));
+            }
+            if !prime_rep.outcome.is_complete()
+                || !hit_rep.outcome.is_complete()
+                || !cold_rep.outcome.is_complete()
+            {
+                return Ok(Verdict::Skipped("budget cap reached"));
+            }
+            compare_embedding_sets(
+                hit_embs.into_iter().map(|e| e.mapping).collect(),
+                cold_embs.into_iter().map(|e| e.mapping).collect(),
+                "cache-hit",
+                "cold",
+            )?;
+            Ok(Verdict::Checked)
+        }
+        _ => Err("plan cache changes which queries are rejected".to_owned()),
+    }
+}
+
+/// Incremental CPI maintenance vs rebuild-from-scratch.
+///
+/// Drives a [`Maintained`] handle through a seed-derived sequence of edge
+/// toggles (existing edge → delete, absent pair → insert) applied as
+/// [`GraphDelta`] batches. After every refresh — whichever path it takes
+/// (unchanged, re-filtered, or full rebuild) — the maintained CPI checksum
+/// must equal a fresh one-shot build on the successor graph, and the
+/// budgeted embedding counts must agree.
+pub fn delta_identity(case: &Case) -> Result<Verdict, String> {
+    /// Refresh steps per case and toggle attempts per batch.
+    const STEPS: usize = 4;
+    const OPS_PER_STEP: usize = 3;
+
+    let cfg = MatchConfig::exhaustive().with_budget(Budget::first(EMB_CAP));
+    let mut maintained = match Maintained::prepare(&case.q, &case.g, &cfg) {
+        Ok(m) => m,
+        Err(e) => {
+            return match cfl_match::prepare(&case.q, &case.g, &cfg) {
+                Err(f) if e == f => Ok(Verdict::Checked),
+                Err(f) => Err(format!(
+                    "maintained and one-shot prepare reject differently: \
+                     {e:?} vs {f:?}"
+                )),
+                Ok(_) => Err(format!("only the maintained prepare rejects: {e:?}")),
+            };
+        }
+    };
+
+    let nv = case.g.num_vertices() as u64;
+    if nv < 2 {
+        return Ok(Verdict::Skipped("data graph too small for edge toggles"));
+    }
+    let mut state = case_seed(case) ^ 0x0005_eedd_e17a_5eed_u64;
+    let mut g = case.g.clone();
+    for _ in 0..STEPS {
+        let mut delta = GraphDelta::new();
+        let mut used: Vec<(VertexId, VertexId)> = Vec::new();
+        for _ in 0..OPS_PER_STEP {
+            let a = (splitmix(&mut state) % nv) as VertexId;
+            let b = (splitmix(&mut state) % nv) as VertexId;
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            if used.contains(&key) {
+                continue;
+            }
+            used.push(key);
+            if g.neighbors(key.0).contains(&key.1) {
+                delta.delete(key.0, key.1);
+            } else {
+                delta.insert(key.0, key.1);
+            }
+        }
+        if delta.is_empty() {
+            continue;
+        }
+        let applied = g
+            .apply_delta(&delta)
+            .map_err(|e| format!("toggle batch rejected: {e:?}"))?;
+        let kind = maintained
+            .refresh(&applied)
+            .map_err(|e| format!("refresh failed: {e:?}"))?;
+        g = applied.graph;
+
+        let fresh = cfl_match::prepare(&case.q, &g, &cfg)
+            .map_err(|e| format!("fresh prepare fails where refresh succeeded: {e:?}"))?;
+        let (mc, fc) = (maintained.prepared().cpi.checksum(), fresh.cpi.checksum());
+        if mc != fc {
+            return Err(format!(
+                "incremental CPI diverges from fresh rebuild at epoch {} \
+                 after a {kind:?} refresh: maintained={mc:#018x} fresh={fc:#018x}",
+                g.epoch()
+            ));
+        }
+        let inc = maintained.count_embeddings(&g);
+        let one = cfl_match::count_embeddings(&case.q, &g, &cfg)
+            .map_err(|e| format!("one-shot count fails where refresh succeeded: {e:?}"))?;
+        if inc.embeddings != one.embeddings {
+            return Err(format!(
+                "embedding counts diverge at epoch {} after a {kind:?} refresh: \
+                 maintained={} one-shot={}",
+                g.epoch(),
+                inc.embeddings,
+                one.embeddings
+            ));
+        }
+    }
+    Ok(Verdict::Checked)
 }
 
 /// 1-thread vs N-thread identity: the CPI checksum must be byte-identical

@@ -162,6 +162,7 @@ impl GraphBuilder {
             offsets: new_offsets,
             adjacency: dedup_adjacency,
             num_labels: self.max_label + 1,
+            epoch: 0,
             stats: Default::default(),
         })
     }

@@ -1,0 +1,525 @@
+//! Canonical forms and 128-bit fingerprints for (small) query graphs.
+//!
+//! The CPI cache keys prepared structures on a *canonical* description of
+//! the query so that isomorphic repeat queries hit the same entry no
+//! matter how their vertices happen to be numbered. Canonicalization runs
+//! in three stages:
+//!
+//! 1. **Color refinement** seeded with renaming-invariant vertex keys
+//!    (degree plus invariants of the vertex's label class: class size and
+//!    sorted degree multiset — never the label *value*, so renaming the
+//!    alphabet cannot change the colors).
+//! 2. A bounded **individualization search**: depth-first over vertex
+//!    orders, at every step branching only on the vertices minimizing the
+//!    invariant key `(adjacency to already-placed positions, refined
+//!    color)`. Tied candidates that are NEC-equivalent
+//!    ([`crate::nec`]) are pruned to one representative — a transposition
+//!    of NEC twins is a label-preserving automorphism, so their branches
+//!    produce identical strings; this is what keeps same-label stars and
+//!    uniform cliques linear instead of factorial.
+//! 3. Among explored complete orders, the canonical one minimizes the
+//!    **renamed string** (labels renamed by first occurrence along the
+//!    order, then the sorted edge list); ties are broken by the minimal
+//!    **concrete string** (actual label values), so the chosen order is a
+//!    genuine label-preserving witness usable as a remapping permutation.
+//!
+//! The branching restriction and the NEC pruning are both isomorphism
+//! invariants, so the set of explored orders — and therefore the minimum,
+//! the total node count, and even a budget bailout — are identical for
+//! isomorphic inputs: [`canonical_query`] returning `None` (budget
+//! exceeded, e.g. on highly regular unlabeled graphs with trivial NEC) is
+//! itself invariant, which callers rely on to keep cache behavior
+//! deterministic under vertex permutation.
+
+use crate::graph::{Graph, VertexId};
+use crate::nec::nec_partition;
+
+/// Default individualization budget: search-tree nodes explored before
+/// canonicalization gives up. Real query graphs (tens of vertices, labels
+/// breaking most symmetry) finish in well under a hundred nodes; the cap
+/// exists for adversarially regular inputs.
+pub const DEFAULT_CANON_BUDGET: usize = 4096;
+
+/// Marker for "not yet placed" in the search's position array.
+const UNPLACED: u32 = u32::MAX;
+
+/// The canonical description of a query graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CanonicalQuery {
+    /// 128-bit FNV-1a over the *renamed* canonical string (vertex/edge
+    /// counts, first-occurrence-renamed labels, canonical edge list).
+    /// Equal for isomorphic-up-to-label-renaming graphs; cache lookups
+    /// use it as the hash key and then compare the concrete form below,
+    /// so neither hash collisions nor renamed-but-unequal-label queries
+    /// can alias.
+    pub fingerprint: u128,
+    /// The canonical order as a witness: `order[p]` is the original vertex
+    /// placed at canonical position `p`.
+    pub order: Vec<VertexId>,
+    /// Inverse witness: `perm[v]` is the canonical position of original
+    /// vertex `v`. Embedding remapping between two queries with equal
+    /// concrete forms composes their `perm`/`order` arrays.
+    pub perm: Vec<u32>,
+    /// Actual label values by canonical position (the concrete form,
+    /// together with `canon_edges`).
+    pub canon_labels: Vec<u32>,
+    /// Edges in canonical positions, each `(min, max)`, sorted ascending.
+    pub canon_edges: Vec<(u32, u32)>,
+}
+
+impl CanonicalQuery {
+    /// Whether `other` describes the *same concrete graph*: equal actual
+    /// labels and edges in canonical positions. This is exact
+    /// label-preserving isomorphism of the underlying graphs — the
+    /// condition under which a CPI built for one is valid for the other.
+    pub fn same_concrete_form(&self, other: &CanonicalQuery) -> bool {
+        self.canon_labels == other.canon_labels && self.canon_edges == other.canon_edges
+    }
+}
+
+/// Canonicalizes `g` with the [default budget](DEFAULT_CANON_BUDGET).
+pub fn canonical_query(g: &Graph) -> Option<CanonicalQuery> {
+    canonical_query_with_budget(g, DEFAULT_CANON_BUDGET)
+}
+
+/// Canonicalizes `g`, giving up (returns `None`) once the
+/// individualization search has explored `budget` nodes. `None` is
+/// isomorphism-invariant: permuting vertices or renaming labels cannot
+/// change the outcome.
+pub fn canonical_query_with_budget(g: &Graph, budget: usize) -> Option<CanonicalQuery> {
+    let n = g.num_vertices();
+    let colors = refined_colors(g);
+    let nec = nec_partition(g);
+    let mut search = Search {
+        g,
+        colors,
+        class_of: nec.class_of,
+        budget,
+        nodes: 0,
+        order: Vec::with_capacity(n),
+        pos: vec![UNPLACED; n],
+        best: None,
+    };
+    if !search.dfs() {
+        return None;
+    }
+    let best = search.best?;
+    let mut perm = vec![0u32; n];
+    for (p, &v) in best.order.iter().enumerate() {
+        perm[v as usize] = p as u32;
+    }
+    let fingerprint = fingerprint_of(n, &best.renamed_labels, &best.edges);
+    Some(CanonicalQuery {
+        fingerprint,
+        order: best.order,
+        perm,
+        canon_labels: best.concrete_labels,
+        canon_edges: best.edges,
+    })
+}
+
+/// One complete explored order and its comparison strings.
+struct Leaf {
+    renamed_labels: Vec<u32>,
+    concrete_labels: Vec<u32>,
+    edges: Vec<(u32, u32)>,
+    order: Vec<VertexId>,
+}
+
+struct Search<'a> {
+    g: &'a Graph,
+    colors: Vec<u32>,
+    class_of: Vec<u32>,
+    budget: usize,
+    nodes: usize,
+    order: Vec<VertexId>,
+    pos: Vec<u32>,
+    best: Option<Leaf>,
+}
+
+impl Search<'_> {
+    /// Explores the restricted order tree. Returns `false` on budget
+    /// exhaustion (the caller must then discard any partial best).
+    fn dfs(&mut self) -> bool {
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            return false;
+        }
+        let n = self.g.num_vertices();
+        if self.order.len() == n {
+            self.record_leaf();
+            return true;
+        }
+        // Invariant candidate key: adjacency to already-placed positions
+        // (ascending), then the refined color. Branch on every vertex
+        // attaining the minimum, modulo one representative per NEC class.
+        let mut best_key: Option<(Vec<u32>, u32)> = None;
+        let mut cands: Vec<VertexId> = Vec::new();
+        for v in self.g.vertices() {
+            if self.pos[v as usize] != UNPLACED {
+                continue;
+            }
+            let mut adj: Vec<u32> = self
+                .g
+                .neighbors(v)
+                .iter()
+                .filter_map(|&w| {
+                    let p = self.pos[w as usize];
+                    (p != UNPLACED).then_some(p)
+                })
+                .collect();
+            adj.sort_unstable();
+            let key = (adj, self.colors[v as usize]);
+            match &best_key {
+                Some(k) if *k < key => {}
+                Some(k) if *k == key => cands.push(v),
+                _ => {
+                    best_key = Some(key);
+                    cands.clear();
+                    cands.push(v);
+                }
+            }
+        }
+        let mut seen_classes: Vec<u32> = Vec::with_capacity(cands.len());
+        cands.retain(|&v| {
+            let c = self.class_of[v as usize];
+            if seen_classes.contains(&c) {
+                false
+            } else {
+                seen_classes.push(c);
+                true
+            }
+        });
+        for &v in &cands {
+            self.pos[v as usize] = self.order.len() as u32;
+            self.order.push(v);
+            let ok = self.dfs();
+            self.order.pop();
+            self.pos[v as usize] = UNPLACED;
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn record_leaf(&mut self) {
+        let n = self.g.num_vertices();
+        // First-occurrence renaming of the actual labels along the order.
+        let mut rename: Vec<u32> = vec![u32::MAX; self.g.num_labels()];
+        let mut next = 0u32;
+        let mut renamed_labels = Vec::with_capacity(n);
+        let mut concrete_labels = Vec::with_capacity(n);
+        for &v in &self.order {
+            let l = self.g.label(v).0;
+            concrete_labels.push(l);
+            if rename[l as usize] == u32::MAX {
+                rename[l as usize] = next;
+                next += 1;
+            }
+            renamed_labels.push(rename[l as usize]);
+        }
+        let mut edges: Vec<(u32, u32)> = self
+            .g
+            .edges()
+            .map(|(u, v)| {
+                let (a, b) = (self.pos[u as usize], self.pos[v as usize]);
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        edges.sort_unstable();
+        let better = match &self.best {
+            None => true,
+            Some(b) => match (&renamed_labels, &edges).cmp(&(&b.renamed_labels, &b.edges)) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                // Equal renamed string: keep the minimal concrete form so
+                // the witness order composes into a label-preserving
+                // isomorphism between equal-concrete-form queries.
+                std::cmp::Ordering::Equal => concrete_labels < b.concrete_labels,
+            },
+        };
+        if better {
+            self.best = Some(Leaf {
+                renamed_labels,
+                concrete_labels,
+                edges,
+                order: self.order.clone(),
+            });
+        }
+    }
+}
+
+/// Color refinement (1-WL) seeded with renaming-invariant keys.
+fn refined_colors(g: &Graph) -> Vec<u32> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let nl = g.num_labels();
+    let mut class_size = vec![0u32; nl];
+    let mut class_degs: Vec<Vec<u32>> = vec![Vec::new(); nl];
+    for v in g.vertices() {
+        let l = g.label(v).index();
+        class_size[l] += 1;
+        class_degs[l].push(g.degree(v) as u32);
+    }
+    for d in &mut class_degs {
+        d.sort_unstable();
+    }
+    let keyed: Vec<(Vec<u32>, VertexId)> = g
+        .vertices()
+        .map(|v| {
+            let l = g.label(v).index();
+            let mut k = vec![g.degree(v) as u32, class_size[l]];
+            k.extend_from_slice(&class_degs[l]);
+            (k, v)
+        })
+        .collect();
+    let mut colors = dense_rank(keyed, n);
+    let mut distinct = colors.iter().copied().max().map_or(0, |m| m + 1);
+    loop {
+        let keyed: Vec<(Vec<u32>, VertexId)> = g
+            .vertices()
+            .map(|v| {
+                let mut k = vec![colors[v as usize]];
+                let mut ns: Vec<u32> = g.neighbors(v).iter().map(|&w| colors[w as usize]).collect();
+                ns.sort_unstable();
+                k.extend(ns);
+                (k, v)
+            })
+            .collect();
+        let next = dense_rank(keyed, n);
+        let next_distinct = next.iter().copied().max().map_or(0, |m| m + 1);
+        if next_distinct == distinct {
+            return colors;
+        }
+        colors = next;
+        distinct = next_distinct;
+    }
+}
+
+/// Ranks vertices by their keys: equal keys share one dense color id,
+/// colors ascend with key order (so they are invariant functions of the
+/// key multiset, never of vertex numbering).
+fn dense_rank(mut keyed: Vec<(Vec<u32>, VertexId)>, n: usize) -> Vec<u32> {
+    keyed.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    let mut colors = vec![0u32; n];
+    let mut rank = 0u32;
+    for i in 0..keyed.len() {
+        if i > 0 && keyed[i].0 != keyed[i - 1].0 {
+            rank += 1;
+        }
+        colors[keyed[i].1 as usize] = rank;
+    }
+    colors
+}
+
+/// 128-bit FNV-1a over the renamed canonical string.
+fn fingerprint_of(n: usize, renamed_labels: &[u32], edges: &[(u32, u32)]) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut h = OFFSET;
+    let mut mix = |w: u32| {
+        for b in w.to_le_bytes() {
+            h ^= u128::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(n as u32);
+    mix(edges.len() as u32);
+    for &l in renamed_labels {
+        mix(l);
+    }
+    for &(a, b) in edges {
+        mix(a);
+        mix(b);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use proptest::prelude::*;
+    use proptest::test_runner::TestRng;
+
+    /// Applies a vertex permutation: vertex `v` of `g` becomes `pi[v]`.
+    fn permute(g: &Graph, pi: &[VertexId]) -> Graph {
+        let mut labels = vec![0u32; g.num_vertices()];
+        for v in g.vertices() {
+            labels[pi[v as usize] as usize] = g.label(v).0;
+        }
+        let edges: Vec<(VertexId, VertexId)> = g
+            .edges()
+            .map(|(u, v)| (pi[u as usize], pi[v as usize]))
+            .collect();
+        graph_from_edges(&labels, &edges).unwrap()
+    }
+
+    /// Applies a label renaming `rho` (a permutation of the alphabet).
+    fn relabel(g: &Graph, rho: &[u32]) -> Graph {
+        let labels: Vec<u32> = g.labels().iter().map(|l| rho[l.index()]).collect();
+        let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+        graph_from_edges(&labels, &edges).unwrap()
+    }
+
+    fn random_graph(rng: &mut TestRng) -> Graph {
+        let nv = 1 + rng.below(12) as usize;
+        let nl = 1 + rng.below(4) as u32;
+        let labels: Vec<u32> = (0..nv).map(|_| rng.below(u64::from(nl)) as u32).collect();
+        let mut edges = Vec::new();
+        for u in 0..nv as VertexId {
+            for v in (u + 1)..nv as VertexId {
+                if rng.below(100) < 30 {
+                    edges.push((u, v));
+                }
+            }
+        }
+        graph_from_edges(&labels, &edges).unwrap()
+    }
+
+    fn random_perm(rng: &mut TestRng, n: usize) -> Vec<VertexId> {
+        let mut pi: Vec<VertexId> = (0..n as VertexId).collect();
+        for i in (1..n).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            pi.swap(i, j);
+        }
+        pi
+    }
+
+    #[test]
+    fn witness_reconstructs_the_graph() {
+        let g = graph_from_edges(&[2, 0, 1, 0], &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let c = canonical_query(&g).unwrap();
+        assert_eq!(c.order.len(), 4);
+        for v in g.vertices() {
+            assert_eq!(c.order[c.perm[v as usize] as usize], v);
+            assert_eq!(c.canon_labels[c.perm[v as usize] as usize], g.label(v).0);
+        }
+        let mut edges: Vec<(u32, u32)> = g
+            .edges()
+            .map(|(u, v)| {
+                let (a, b) = (c.perm[u as usize], c.perm[v as usize]);
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        edges.sort_unstable();
+        assert_eq!(edges, c.canon_edges);
+    }
+
+    #[test]
+    fn uniform_star_and_clique_stay_cheap() {
+        // Both collapse under NEC; a tiny budget must suffice.
+        let star_labels = vec![0u32; 17];
+        let star_edges: Vec<(u32, u32)> = (1..17).map(|i| (0, i)).collect();
+        let star = graph_from_edges(&star_labels, &star_edges).unwrap();
+        assert!(canonical_query_with_budget(&star, 64).is_some());
+
+        let clique_labels = vec![0u32; 9];
+        let mut clique_edges = Vec::new();
+        for u in 0..9u32 {
+            for v in (u + 1)..9 {
+                clique_edges.push((u, v));
+            }
+        }
+        let clique = graph_from_edges(&clique_labels, &clique_edges).unwrap();
+        assert!(canonical_query_with_budget(&clique, 64).is_some());
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        // Petersen graph: vertex-transitive, 3-regular, trivial NEC — the
+        // classic symmetric stressor. With a budget of one node the search
+        // cannot even place the first vertex.
+        let outer = [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 0)];
+        let inner = [(5u32, 7u32), (7, 9), (9, 6), (6, 8), (8, 5)];
+        let spokes = [(0u32, 5u32), (1, 6), (2, 7), (3, 8), (4, 9)];
+        let edges: Vec<(u32, u32)> = outer
+            .iter()
+            .chain(inner.iter())
+            .chain(spokes.iter())
+            .copied()
+            .collect();
+        let g = graph_from_edges(&[0; 10], &edges).unwrap();
+        assert!(canonical_query_with_budget(&g, 1).is_none());
+        assert!(canonical_query(&g).is_some());
+    }
+
+    #[test]
+    fn non_isomorphic_corpus_has_distinct_fingerprints() {
+        let corpus: Vec<Graph> = vec![
+            // Path and star on 4 uniform vertices.
+            graph_from_edges(&[0; 4], &[(0, 1), (1, 2), (2, 3)]).unwrap(),
+            graph_from_edges(&[0; 4], &[(0, 1), (0, 2), (0, 3)]).unwrap(),
+            // Cycle and cycle-with-chord.
+            graph_from_edges(&[0; 4], &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap(),
+            graph_from_edges(&[0; 4], &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap(),
+            // Six-cycle vs two triangles: same degree sequence.
+            graph_from_edges(&[0; 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap(),
+            graph_from_edges(&[0; 6], &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap(),
+            // Same structure, different label *pattern* (not just names):
+            // alternating vs blocked labels on a path.
+            graph_from_edges(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3)]).unwrap(),
+            graph_from_edges(&[0, 0, 1, 1], &[(0, 1), (1, 2), (2, 3)]).unwrap(),
+            // Triangle with a pendant on vertices of different labels.
+            graph_from_edges(&[0, 0, 1, 0], &[(0, 1), (1, 2), (2, 0), (0, 3)]).unwrap(),
+            graph_from_edges(&[0, 0, 1, 0], &[(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap(),
+        ];
+        let prints: Vec<u128> = corpus
+            .iter()
+            .map(|g| canonical_query(g).unwrap().fingerprint)
+            .collect();
+        for i in 0..prints.len() {
+            for j in (i + 1)..prints.len() {
+                assert_ne!(prints[i], prints[j], "graphs {i} and {j} collide");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn fingerprint_invariant_under_vertex_permutation(case in 0u32..10_000) {
+            let mut rng = TestRng::for_test(&format!("canon-perm-{case}"));
+            let g = random_graph(&mut rng);
+            let pi = random_perm(&mut rng, g.num_vertices());
+            let h = permute(&g, &pi);
+            let (cg, ch) = (canonical_query(&g), canonical_query(&h));
+            match (cg, ch) {
+                (Some(cg), Some(ch)) => {
+                    prop_assert_eq!(cg.fingerprint, ch.fingerprint);
+                    // Permutation preserves labels, so the full concrete
+                    // form must agree too.
+                    prop_assert!(cg.same_concrete_form(&ch));
+                }
+                // Budget bailout must be invariant.
+                (None, None) => {}
+                _ => panic!("budget outcome differed between isomorphic graphs"),
+            }
+        }
+
+        #[test]
+        fn fingerprint_invariant_under_label_renaming(case in 0u32..10_000) {
+            let mut rng = TestRng::for_test(&format!("canon-relabel-{case}"));
+            let g = random_graph(&mut rng);
+            let nl = g.num_labels();
+            let rho: Vec<u32> = {
+                let mut r: Vec<u32> = (0..nl as u32).collect();
+                for i in (1..nl).rev() {
+                    let j = rng.below(i as u64 + 1) as usize;
+                    r.swap(i, j);
+                }
+                r
+            };
+            let h = relabel(&g, &rho);
+            match (canonical_query(&g), canonical_query(&h)) {
+                (Some(cg), Some(ch)) => prop_assert_eq!(cg.fingerprint, ch.fingerprint),
+                (None, None) => {}
+                _ => panic!("budget outcome differed under label renaming"),
+            }
+        }
+    }
+}

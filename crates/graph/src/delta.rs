@@ -1,0 +1,547 @@
+//! Batched edge insertions/deletions over the immutable CSR graph.
+//!
+//! The CSR representation stays immutable: applying a [`GraphDelta`]
+//! produces a *successor* [`Graph`] with the epoch bumped by one, leaving
+//! the original untouched (readers holding the old graph keep a coherent
+//! snapshot). The application is incremental where it pays off:
+//!
+//! * the new CSR is assembled by a per-vertex merge — neighbor lists of
+//!   vertices no delta edge touches are copied verbatim;
+//! * if the old graph's [`StatTables`](crate::stats::StatTables) were
+//!   already built, they are patched (see
+//!   [`StatTables::patched`](crate::stats::StatTables::patched)) and
+//!   pre-seeded into the successor, so the per-vertex filter rows of clean
+//!   vertices never get recomputed;
+//! * the [`AppliedDelta`] reports the **dirty frontier** — every vertex
+//!   whose filter-relevant statistics (degree, NLF, MND, label-grouped
+//!   adjacency) may differ from the old graph — which downstream CPI
+//!   maintenance uses to invalidate exactly the affected candidate
+//!   verdicts instead of rebuilding from scratch.
+
+use std::sync::OnceLock;
+
+use crate::graph::{Graph, VertexId};
+
+/// A batch of undirected edge insertions and deletions.
+///
+/// Edges are normalized to `(min, max)` on entry. Validation is strict and
+/// happens in [`apply`](Self::apply): inserting an existing edge, deleting
+/// a missing one, self-loops, out-of-range endpoints, and mentioning the
+/// same edge twice in one batch are all rejected — a delta is a precise
+/// statement about the graph it applies to, not an idempotent upsert.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    inserts: Vec<(VertexId, VertexId)>,
+    deletes: Vec<(VertexId, VertexId)>,
+}
+
+/// Errors reported by [`GraphDelta::apply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// An edge endpoint is not a vertex of the graph.
+    VertexOutOfRange {
+        vertex: VertexId,
+        num_vertices: usize,
+    },
+    /// An operation names the same vertex twice.
+    SelfLoop { vertex: VertexId },
+    /// An insertion targets an edge the graph already has.
+    EdgeExists { u: VertexId, v: VertexId },
+    /// A deletion targets an edge the graph does not have.
+    EdgeMissing { u: VertexId, v: VertexId },
+    /// The same (normalized) edge appears in more than one operation of
+    /// the batch.
+    DuplicateInBatch { u: VertexId, v: VertexId },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DeltaError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "delta endpoint {vertex} out of range (graph has {num_vertices} vertices)"
+            ),
+            DeltaError::SelfLoop { vertex } => write!(f, "delta self-loop on vertex {vertex}"),
+            DeltaError::EdgeExists { u, v } => {
+                write!(f, "inserted edge ({u}, {v}) already exists")
+            }
+            DeltaError::EdgeMissing { u, v } => {
+                write!(f, "deleted edge ({u}, {v}) does not exist")
+            }
+            DeltaError::DuplicateInBatch { u, v } => {
+                write!(f, "edge ({u}, {v}) appears twice in one delta batch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// The result of applying a [`GraphDelta`]: the successor graph plus the
+/// vertex sets incremental consumers need.
+#[derive(Clone, Debug)]
+pub struct AppliedDelta {
+    /// The successor graph: same vertices and labels, edited edge set,
+    /// epoch bumped by one. If the source graph's stat tables were built,
+    /// the successor carries incrementally patched tables already.
+    pub graph: Graph,
+    /// Sorted, deduplicated endpoints of the delta edges — the vertices
+    /// whose incident edge sets changed.
+    pub touched: Vec<VertexId>,
+    /// Sorted, deduplicated **dirty frontier**: every vertex whose
+    /// filter-relevant statistics (degree, NLF signature, MND, grouped
+    /// adjacency row) may differ from the source graph. This is
+    /// `touched ∪ N_new(touched)` — current neighbors pick up MND drift
+    /// from a touched vertex's degree change, and former neighbors lost
+    /// through deletions are endpoints themselves.
+    pub dirty: Vec<VertexId>,
+    /// The batch that produced this application (edges normalized to
+    /// `(min, max)`). Incremental CPI maintenance consults the individual
+    /// edits to prove whether any of them can reach a candidate pair.
+    pub delta: GraphDelta,
+}
+
+impl GraphDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues insertion of the undirected edge `(u, v)`.
+    pub fn insert(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.inserts.push((u.min(v), u.max(v)));
+        self
+    }
+
+    /// Queues deletion of the undirected edge `(u, v)`.
+    pub fn delete(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.deletes.push((u.min(v), u.max(v)));
+        self
+    }
+
+    /// Queued insertions, normalized to `(min, max)`.
+    pub fn inserts(&self) -> &[(VertexId, VertexId)] {
+        &self.inserts
+    }
+
+    /// Queued deletions, normalized to `(min, max)`.
+    pub fn deletes(&self) -> &[(VertexId, VertexId)] {
+        &self.deletes
+    }
+
+    /// Total number of queued operations.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// Whether the batch holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Validates the batch against `g` and produces the successor graph.
+    ///
+    /// Cost is `O(|V| + |E| + |Δ| log |Δ|)` dominated by the CSR copy;
+    /// vertices untouched by the delta have their neighbor lists (and, if
+    /// the stat tables were built, their filter rows) copied rather than
+    /// recomputed. An empty batch is valid and yields a structurally
+    /// identical graph at the next epoch.
+    pub fn apply(&self, g: &Graph) -> Result<AppliedDelta, DeltaError> {
+        let nv = g.num_vertices();
+        let mut all: Vec<(VertexId, VertexId)> = Vec::with_capacity(self.len());
+        all.extend_from_slice(&self.inserts);
+        all.extend_from_slice(&self.deletes);
+        all.sort_unstable();
+        if let Some(w) = all.windows(2).find(|w| w[0] == w[1]) {
+            return Err(DeltaError::DuplicateInBatch {
+                u: w[0].0,
+                v: w[0].1,
+            });
+        }
+        for (&(u, v), inserting) in self
+            .inserts
+            .iter()
+            .zip(std::iter::repeat(true))
+            .chain(self.deletes.iter().zip(std::iter::repeat(false)))
+        {
+            for w in [u, v] {
+                if w as usize >= nv {
+                    return Err(DeltaError::VertexOutOfRange {
+                        vertex: w,
+                        num_vertices: nv,
+                    });
+                }
+            }
+            if u == v {
+                return Err(DeltaError::SelfLoop { vertex: u });
+            }
+            if inserting && g.has_edge(u, v) {
+                return Err(DeltaError::EdgeExists { u, v });
+            }
+            if !inserting && !g.has_edge(u, v) {
+                return Err(DeltaError::EdgeMissing { u, v });
+            }
+        }
+
+        // Directed half-edges, sorted so each vertex's additions/removals
+        // form contiguous runs consumed in one pass below.
+        let mut adds: Vec<(VertexId, VertexId)> = Vec::with_capacity(self.inserts.len() * 2);
+        for &(u, v) in &self.inserts {
+            adds.push((u, v));
+            adds.push((v, u));
+        }
+        adds.sort_unstable();
+        let mut dels: Vec<(VertexId, VertexId)> = Vec::with_capacity(self.deletes.len() * 2);
+        for &(u, v) in &self.deletes {
+            dels.push((u, v));
+            dels.push((v, u));
+        }
+        dels.sort_unstable();
+
+        let mut touched: Vec<VertexId> = all.iter().flat_map(|&(u, v)| [u, v]).collect();
+        touched.sort_unstable();
+        touched.dedup();
+
+        // Per-vertex merge: copy clean neighbor lists, merge-edit touched
+        // ones (the validation above guarantees additions are absent from
+        // and removals present in the old list).
+        let new_len = g.adjacency_len() + adds.len() - dels.len();
+        let mut offsets = Vec::with_capacity(nv + 1);
+        let mut adjacency: Vec<VertexId> = Vec::with_capacity(new_len);
+        offsets.push(0u32);
+        let (mut ai, mut di) = (0usize, 0usize);
+        for v in g.vertices() {
+            let old = g.neighbors(v);
+            let a_lo = ai;
+            while ai < adds.len() && adds[ai].0 == v {
+                ai += 1;
+            }
+            let d_lo = di;
+            while di < dels.len() && dels[di].0 == v {
+                di += 1;
+            }
+            if a_lo == ai && d_lo == di {
+                adjacency.extend_from_slice(old);
+            } else {
+                let add_ws = &adds[a_lo..ai];
+                let del_ws = &dels[d_lo..di];
+                let (mut oi, mut aj, mut dj) = (0usize, 0usize, 0usize);
+                while oi < old.len() || aj < add_ws.len() {
+                    let next = if aj >= add_ws.len() || (oi < old.len() && old[oi] < add_ws[aj].1) {
+                        let w = old[oi];
+                        oi += 1;
+                        w
+                    } else {
+                        let w = add_ws[aj].1;
+                        aj += 1;
+                        w
+                    };
+                    if dj < del_ws.len() && del_ws[dj].1 == next {
+                        dj += 1;
+                        continue;
+                    }
+                    adjacency.push(next);
+                }
+            }
+            offsets.push(adjacency.len() as u32);
+        }
+        debug_assert_eq!(adjacency.len(), new_len);
+
+        let graph = Graph {
+            labels: g.labels.clone(),
+            offsets,
+            adjacency,
+            num_labels: g.num_labels,
+            epoch: g.epoch + 1,
+            stats: OnceLock::new(),
+        };
+        if let Some(old_stats) = g.stats.get() {
+            let patched = std::sync::Arc::new(old_stats.patched(&graph, &touched));
+            let _ = graph.stats.set(patched);
+        }
+
+        let mut dirty: Vec<VertexId> = touched.clone();
+        for &v in &touched {
+            dirty.extend_from_slice(graph.neighbors(v));
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+
+        Ok(AppliedDelta {
+            graph,
+            touched,
+            dirty,
+            delta: self.clone(),
+        })
+    }
+}
+
+impl Graph {
+    /// Applies a [`GraphDelta`] to this graph, producing the epoch-bumped
+    /// successor. Convenience for [`GraphDelta::apply`].
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Result<AppliedDelta, DeltaError> {
+        delta.apply(self)
+    }
+
+    /// Length of the flat adjacency arena (`2 |E|`), used by delta
+    /// application to pre-size the successor's arrays.
+    pub(crate) fn adjacency_len(&self) -> usize {
+        self.adjacency.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::label::Label;
+    use crate::stats::StatTables;
+    use proptest::prelude::*;
+    use proptest::test_runner::TestRng;
+
+    fn path4() -> Graph {
+        // 0-1-2-3 path, labels 0,1,1,2.
+        graph_from_edges(&[0, 1, 1, 2], &[(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    /// Behavioral equality of two stat-table bundles over `g`: every
+    /// accessor answers identically, including tie-order-sensitive slices.
+    fn assert_stats_equal(g: &Graph, got: &StatTables, want: &StatTables) {
+        assert_eq!(got.mnd, want.mnd);
+        let max_deg = g.max_degree() as u32 + 2;
+        for l in 0..g.num_labels() as u32 + 1 {
+            let l = Label(l);
+            assert_eq!(
+                got.label_index.vertices_with_label(l),
+                want.label_index.vertices_with_label(l)
+            );
+            for d in 0..max_deg {
+                assert_eq!(
+                    got.label_index.vertices_with_min_degree(l, d),
+                    want.label_index.vertices_with_min_degree(l, d),
+                    "label {l:?} min degree {d}"
+                );
+            }
+        }
+        for v in g.vertices() {
+            assert_eq!(got.nlf.signature(v), want.nlf.signature(v), "nlf sig {v}");
+            assert_eq!(got.nlf.packed(v), want.nlf.packed(v), "packed {v}");
+            assert_eq!(
+                got.nlf.packed_exact(v),
+                want.nlf.packed_exact(v),
+                "exact {v}"
+            );
+            for l in 0..g.num_labels() as u32 {
+                assert_eq!(
+                    got.label_adj.neighbors_with_label(v, Label(l)),
+                    want.label_adj.neighbors_with_label(v, Label(l)),
+                    "label adj {v} {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insert_and_delete_edit_the_edge_set() {
+        let g = path4();
+        let mut d = GraphDelta::new();
+        d.insert(0, 3).delete(1, 2);
+        let applied = g.apply_delta(&d).unwrap();
+        let ng = &applied.graph;
+        assert_eq!(ng.num_vertices(), 4);
+        assert_eq!(ng.num_edges(), 3);
+        assert!(ng.has_edge(0, 3) && !ng.has_edge(1, 2));
+        assert!(ng.has_edge(0, 1) && ng.has_edge(2, 3));
+        assert_eq!(ng.neighbors(0), &[1, 3]);
+        assert_eq!(ng.neighbors(1), &[0]);
+        // Labels are carried over unchanged; the old graph is untouched.
+        assert_eq!(ng.labels(), g.labels());
+        assert!(g.has_edge(1, 2) && !g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn epoch_bumps_per_application() {
+        let g = path4();
+        assert_eq!(g.epoch(), 0);
+        let mut d = GraphDelta::new();
+        d.insert(0, 2);
+        let a1 = g.apply_delta(&d).unwrap();
+        assert_eq!(a1.graph.epoch(), 1);
+        let mut d2 = GraphDelta::new();
+        d2.delete(0, 2);
+        let a2 = a1.graph.apply_delta(&d2).unwrap();
+        assert_eq!(a2.graph.epoch(), 2);
+        // Same edge set as the original, but a distinct revision.
+        assert_eq!(
+            a2.graph.edges().collect::<Vec<_>>(),
+            g.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_delta_is_a_plain_epoch_bump() {
+        let g = path4();
+        let applied = g.apply_delta(&GraphDelta::new()).unwrap();
+        assert_eq!(applied.graph.epoch(), 1);
+        assert!(applied.touched.is_empty());
+        assert!(applied.dirty.is_empty());
+        assert_eq!(
+            applied.graph.edges().collect::<Vec<_>>(),
+            g.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn touched_and_dirty_sets() {
+        // Star 0-{1,2,3} plus isolated 4; insert (1,2): touched {1,2},
+        // dirty additionally picks up their neighbor 0 but not 3 or 4.
+        let g = graph_from_edges(&[0, 1, 1, 2, 3], &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let mut d = GraphDelta::new();
+        d.insert(1, 2);
+        let applied = g.apply_delta(&d).unwrap();
+        assert_eq!(applied.touched, vec![1, 2]);
+        assert_eq!(applied.dirty, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let g = path4();
+        let mut d = GraphDelta::new();
+        d.insert(0, 1);
+        assert_eq!(
+            d.apply(&g).unwrap_err(),
+            DeltaError::EdgeExists { u: 0, v: 1 }
+        );
+        let mut d = GraphDelta::new();
+        d.delete(0, 3);
+        assert_eq!(
+            d.apply(&g).unwrap_err(),
+            DeltaError::EdgeMissing { u: 0, v: 3 }
+        );
+        let mut d = GraphDelta::new();
+        d.insert(2, 2);
+        assert_eq!(d.apply(&g).unwrap_err(), DeltaError::SelfLoop { vertex: 2 });
+        let mut d = GraphDelta::new();
+        d.insert(0, 9);
+        assert_eq!(
+            d.apply(&g).unwrap_err(),
+            DeltaError::VertexOutOfRange {
+                vertex: 9,
+                num_vertices: 4
+            }
+        );
+        // Same edge twice — insert+insert, delete+delete, insert+delete.
+        let mut d = GraphDelta::new();
+        d.insert(0, 2).insert(2, 0);
+        assert_eq!(
+            d.apply(&g).unwrap_err(),
+            DeltaError::DuplicateInBatch { u: 0, v: 2 }
+        );
+        let mut d = GraphDelta::new();
+        d.insert(0, 2).delete(0, 2);
+        assert_eq!(
+            d.apply(&g).unwrap_err(),
+            DeltaError::DuplicateInBatch { u: 0, v: 2 }
+        );
+    }
+
+    #[test]
+    fn patched_stats_preseeded_and_identical_to_fresh() {
+        let g = path4();
+        let _ = g.stat_tables(); // force the memoized build
+        let mut d = GraphDelta::new();
+        d.insert(0, 2).delete(2, 3);
+        let applied = g.apply_delta(&d).unwrap();
+        // The successor carries patched tables without another build.
+        assert!(applied.graph.stats.get().is_some());
+        let fresh = StatTables::build(&applied.graph);
+        assert_stats_equal(&applied.graph, &applied.graph.stat_tables(), &fresh);
+    }
+
+    #[test]
+    fn unbuilt_stats_stay_lazy() {
+        let g = path4();
+        let mut d = GraphDelta::new();
+        d.insert(0, 2);
+        let applied = g.apply_delta(&d).unwrap();
+        assert!(applied.graph.stats.get().is_none());
+    }
+
+    /// Random graph + random valid delta; checks the successor CSR against
+    /// a from-scratch rebuild and the patched stat tables against a fresh
+    /// build.
+    fn random_graph_and_delta(seed_name: &str, case: u32) -> (Graph, GraphDelta) {
+        let mut rng = TestRng::for_test(&format!("{seed_name}-{case}"));
+        let nv = 2 + rng.below(24) as usize;
+        let nl = 1 + rng.below(6) as u32;
+        let labels: Vec<u32> = (0..nv).map(|_| rng.below(u64::from(nl)) as u32).collect();
+        let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+        for u in 0..nv as VertexId {
+            for v in (u + 1)..nv as VertexId {
+                if rng.below(100) < 25 {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = graph_from_edges(&labels, &edges).unwrap();
+        let mut delta = GraphDelta::new();
+        let mut used: Vec<(VertexId, VertexId)> = Vec::new();
+        for u in 0..nv as VertexId {
+            for v in (u + 1)..nv as VertexId {
+                let roll = rng.below(100);
+                if roll < 12 && !used.contains(&(u, v)) {
+                    used.push((u, v));
+                    if g.has_edge(u, v) {
+                        delta.delete(u, v);
+                    } else {
+                        delta.insert(u, v);
+                    }
+                }
+            }
+        }
+        (g, delta)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn applied_delta_matches_rebuild(case in 0u32..10_000) {
+            let (g, delta) = random_graph_and_delta("applied_delta_matches_rebuild", case);
+            let _ = g.stat_tables();
+            let applied = g.apply_delta(&delta).unwrap();
+            // Reference: rebuild the edited edge set from scratch.
+            let mut edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+            edges.retain(|e| !delta.deletes().contains(e));
+            edges.extend_from_slice(delta.inserts());
+            let labels: Vec<u32> = g.labels().iter().map(|l| l.0).collect();
+            let want = graph_from_edges(&labels, &edges).unwrap();
+            prop_assert_eq!(
+                applied.graph.edges().collect::<Vec<_>>(),
+                want.edges().collect::<Vec<_>>()
+            );
+            for v in want.vertices() {
+                prop_assert_eq!(applied.graph.neighbors(v), want.neighbors(v));
+            }
+            // Patched tables must agree with a fresh build on the successor.
+            let fresh = StatTables::build(&applied.graph);
+            assert_stats_equal(&applied.graph, &applied.graph.stat_tables(), &fresh);
+            // Dirty frontier covers every vertex whose stats changed.
+            let old_stats = g.stat_tables();
+            for v in g.vertices() {
+                let changed = old_stats.mnd[v as usize] != fresh.mnd[v as usize]
+                    || old_stats.nlf.signature(v) != fresh.nlf.signature(v)
+                    || g.neighbors(v) != applied.graph.neighbors(v);
+                if changed {
+                    prop_assert!(
+                        applied.dirty.binary_search(&v).is_ok(),
+                        "vertex {} changed but is not dirty", v
+                    );
+                }
+            }
+        }
+    }
+}

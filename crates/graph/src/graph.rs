@@ -30,6 +30,12 @@ pub struct Graph {
     pub(crate) offsets: Vec<u32>,
     pub(crate) adjacency: Vec<VertexId>,
     pub(crate) num_labels: u32,
+    /// Structural version counter. Freshly built graphs start at epoch 0;
+    /// every [`GraphDelta`](crate::delta::GraphDelta) application produces
+    /// a successor graph with the epoch bumped by one. Consumers that key
+    /// derived structures (CPIs, caches) on a graph use the epoch to tell
+    /// revisions of the "same" logical graph apart.
+    pub(crate) epoch: u64,
     /// Lazily built, shared filter tables (see [`Graph::stat_tables`]).
     /// Cloning the graph shares the already-built tables.
     pub(crate) stats: OnceLock<Arc<StatTables>>,
@@ -131,6 +137,13 @@ impl Graph {
             .map(|v| self.degree(v))
             .max()
             .unwrap_or(0)
+    }
+
+    /// The structural version of this graph: 0 for freshly built graphs,
+    /// incremented by every applied [`GraphDelta`](crate::delta::GraphDelta).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The filter statistics tables of this graph (label index, NLF, MND),

@@ -7,7 +7,8 @@
 //!
 //! * **merge** — branch-light linear merge, best when the two lists have
 //!   similar lengths (`O(m + n)`); served by an 8-lane AVX2 / 4-lane NEON
-//!   block merge when the hardware has it ([`simd_x86`] / [`simd_neon`]),
+//!   block merge when the hardware has it (the `simd_x86` / `simd_neon`
+//!   submodules),
 //!   by the scalar loop otherwise;
 //! * **gallop** — exponential search of the longer list for each element
 //!   of the shorter (`O(m · log n)`, `m ≪ n`), with a SIMD probe

@@ -7,8 +7,8 @@
 //! `gallop` hit, so `simd <= merge + gallop + bitset` is an invariant the
 //! trace verifier re-checks).
 //!
-//! The counters are thread-local [`Cell`]s behind the `tally` cargo
-//! feature; without the feature every bump is a no-op and [`take`] returns
+//! The counters are thread-local [`std::cell::Cell`]s behind the `tally`
+//! cargo feature; without the feature every bump is a no-op and [`take`] returns
 //! zeros, so untraced builds pay nothing. Consumers (the `trace` feature
 //! of `cfl-match`) drain with [`take`] at task boundaries: once at the
 //! start of a traced section to discard residue left on a reused worker

@@ -22,7 +22,9 @@
 pub mod bfs;
 pub mod bitset;
 pub mod builder;
+pub mod canon;
 pub mod connect;
+pub mod delta;
 pub mod gen;
 pub mod graph;
 pub mod intersect;
@@ -37,7 +39,9 @@ pub mod transform;
 pub use bfs::{classify_edge, BfsTree, EdgeKind, NO_PARENT};
 pub use bitset::FixedBitSet;
 pub use builder::{graph_from_edges, BuildError, GraphBuilder};
+pub use canon::{canonical_query, canonical_query_with_budget, CanonicalQuery};
 pub use connect::{components, induced_subgraph, is_connected};
+pub use delta::{AppliedDelta, DeltaError, GraphDelta};
 pub use gen::query::{query_set, random_walk_query, QueryDensity, QueryGenConfig};
 pub use gen::{synthetic_graph, PowerLawLabels, SyntheticConfig, GENERATOR_VERSION};
 pub use graph::{Graph, VertexId};

@@ -64,6 +64,35 @@ impl LabelIndex {
         }
     }
 
+    /// Re-derives the index for `g` after an edge-only delta. Labels are
+    /// immutable, so per-label membership (`offsets`/`vertices`) is reused
+    /// verbatim; only the degree-sorted spans of labels carried by a
+    /// `touched` vertex (one whose incident edge set changed) are
+    /// re-sorted against the new degrees.
+    pub(crate) fn patched(&self, g: &Graph, touched: &[VertexId]) -> Self {
+        let mut degrees_desc = self.degrees_desc.clone();
+        let mut by_degree = self.by_degree.clone();
+        let mut labels: Vec<usize> = touched.iter().map(|&v| g.label(v).index()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        for l in labels {
+            let lo = self.offsets[l] as usize;
+            let hi = self.offsets[l + 1] as usize;
+            let span = &mut by_degree[lo..hi];
+            span.copy_from_slice(&self.vertices[lo..hi]);
+            span.sort_unstable_by_key(|&v| (std::cmp::Reverse(g.degree(v) as u32), v));
+            for (i, &v) in span.iter().enumerate() {
+                degrees_desc[lo + i] = g.degree(v) as u32;
+            }
+        }
+        Self {
+            offsets: self.offsets.clone(),
+            vertices: self.vertices.clone(),
+            degrees_desc,
+            by_degree,
+        }
+    }
+
     /// Sorted vertices carrying `label`; empty for out-of-range labels.
     #[inline]
     pub fn vertices_with_label(&self, label: Label) -> &[VertexId] {
@@ -215,6 +244,58 @@ impl NlfIndex {
         (nlf, mnd)
     }
 
+    /// Re-derives the NLF index for `g` after an edge-only delta: clean
+    /// vertices have their signature slices (and packed summaries) copied
+    /// through, `touched` vertices are recounted from their new neighbor
+    /// lists. Both emission paths of [`build_with_mnd`](Self::build_with_mnd)
+    /// produce ascending-label signatures, so the spliced result is
+    /// identical to a fresh build.
+    pub(crate) fn patched(&self, g: &Graph, touched: &[VertexId]) -> Self {
+        let nl = g.num_labels();
+        let nv = g.num_vertices();
+        let mut is_touched = vec![false; nv];
+        for &v in touched {
+            is_touched[v as usize] = true;
+        }
+        let mut scratch = vec![0u32; nl];
+        let exact_possible = nl <= PACKED_LABELS;
+        let mut offsets = Vec::with_capacity(nv + 1);
+        let mut entries = Vec::with_capacity(self.entries.len());
+        let mut packed = self.packed.clone();
+        let mut exact = self.exact.clone();
+        offsets.push(0u32);
+        for v in g.vertices() {
+            if is_touched[v as usize] {
+                for &w in g.neighbors(v) {
+                    scratch[g.label(w).index()] += 1;
+                }
+                let mut sig_packed = 0u64;
+                let mut sig_exact = exact_possible;
+                for l in 0..nl as u32 {
+                    let c = scratch[l as usize];
+                    if c != 0 {
+                        scratch[l as usize] = 0;
+                        entries.push((Label(l), c));
+                        sig_exact &= c <= PACKED_THRESHOLDS;
+                        sig_packed |= ((1u64 << c.min(PACKED_THRESHOLDS)) - 1)
+                            << ((l * PACKED_THRESHOLDS) & 63);
+                    }
+                }
+                packed[v as usize] = sig_packed;
+                exact[v as usize] = sig_exact;
+            } else {
+                entries.extend_from_slice(self.signature(v));
+            }
+            offsets.push(entries.len() as u32);
+        }
+        Self {
+            offsets,
+            entries,
+            packed,
+            exact,
+        }
+    }
+
     /// The `(label, count)` signature of `v`, sorted by label.
     #[inline]
     pub fn signature(&self, v: VertexId) -> &[(Label, u32)] {
@@ -344,6 +425,63 @@ impl LabelAdjacency {
         }
     }
 
+    /// Re-derives the grouped adjacency for `g` after an edge-only delta:
+    /// rows of clean vertices are copied with their group starts rebased
+    /// (row sizes upstream may have shifted the absolute offsets), rows of
+    /// `touched` vertices are re-grouped from their new neighbor lists.
+    pub(crate) fn patched(&self, g: &Graph, touched: &[VertexId]) -> Self {
+        let nv = g.num_vertices();
+        let mut is_touched = vec![false; nv];
+        for &v in touched {
+            is_touched[v as usize] = true;
+        }
+        let mut nbr: Vec<VertexId> = Vec::with_capacity(g.num_edges() * 2);
+        let mut group_labels: Vec<u32> = Vec::with_capacity(self.group_labels.len());
+        let mut group_starts: Vec<u32> = Vec::with_capacity(self.group_starts.len());
+        let mut group_offsets: Vec<u32> = Vec::with_capacity(nv + 1);
+        group_offsets.push(0);
+        let mut buf: Vec<VertexId> = Vec::new();
+        for v in g.vertices() {
+            let base = nbr.len() as u32;
+            if is_touched[v as usize] {
+                buf.clear();
+                buf.extend_from_slice(g.neighbors(v));
+                buf.sort_unstable_by_key(|&w| (g.label(w).0, w));
+                let mut prev: Option<u32> = None;
+                for (i, &w) in buf.iter().enumerate() {
+                    let l = g.label(w).0;
+                    if prev != Some(l) {
+                        group_labels.push(l);
+                        group_starts.push(base + i as u32);
+                        prev = Some(l);
+                    }
+                }
+                nbr.extend_from_slice(&buf);
+            } else {
+                let glo = self.group_offsets[v as usize] as usize;
+                let ghi = self.group_offsets[v as usize + 1] as usize;
+                // Groups tile `nbr`, so the old row spans from this
+                // vertex's first group start to the next group start (or
+                // the sentinel).
+                let s = self.group_starts[glo];
+                let e = self.group_starts[ghi];
+                nbr.extend_from_slice(&self.nbr[s as usize..e as usize]);
+                for gi in glo..ghi {
+                    group_labels.push(self.group_labels[gi]);
+                    group_starts.push(base + (self.group_starts[gi] - s));
+                }
+            }
+            group_offsets.push(group_labels.len() as u32);
+        }
+        group_starts.push(nbr.len() as u32);
+        Self {
+            nbr,
+            group_labels,
+            group_starts,
+            group_offsets,
+        }
+    }
+
     /// The neighbors of `v` carrying `label`, ascending by vertex id —
     /// one binary search over `v`'s few distinct neighbor labels, then a
     /// contiguous slice.
@@ -388,6 +526,42 @@ impl StatTables {
             nlf,
             mnd,
             label_adj: LabelAdjacency::build(g),
+        }
+    }
+
+    /// Re-derives the tables for `g` after an edge-only delta, reusing
+    /// every per-vertex row that provably did not change.
+    ///
+    /// `touched` must be the sorted, deduplicated set of vertices whose
+    /// incident edge set differs between the graph these tables were built
+    /// on and `g`; vertex labels must be identical in both graphs (deltas
+    /// never relabel). Degree, NLF signature, and the grouped-adjacency row
+    /// change only for touched vertices; MND can additionally change for
+    /// their current neighbors (a neighbor's degree moved), and former
+    /// neighbors lost through deletions are themselves touched. The result
+    /// is bit-identical to `StatTables::build(g)` — the differential tests
+    /// in `crate::delta` hold the two equal under randomized deltas.
+    pub fn patched(&self, g: &Graph, touched: &[VertexId]) -> Self {
+        let mut mnd = self.mnd.clone();
+        let mut mnd_set: Vec<VertexId> = touched.to_vec();
+        for &v in touched {
+            mnd_set.extend_from_slice(g.neighbors(v));
+        }
+        mnd_set.sort_unstable();
+        mnd_set.dedup();
+        for &v in &mnd_set {
+            mnd[v as usize] = g
+                .neighbors(v)
+                .iter()
+                .map(|&w| g.degree(w) as u32)
+                .max()
+                .unwrap_or(0);
+        }
+        StatTables {
+            label_index: self.label_index.patched(g, touched),
+            nlf: self.nlf.patched(g, touched),
+            mnd,
+            label_adj: self.label_adj.patched(g, touched),
         }
     }
 }

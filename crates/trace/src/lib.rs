@@ -213,6 +213,40 @@ impl BuildTrace {
     }
 }
 
+/// Plan-cache and incremental-maintenance counters (always-on atomics in
+/// the engine, so these fill even without the `trace` feature when the
+/// caller copies a `PlanCache` snapshot in). `plan_lookups = plan_hits +
+/// plan_misses` is an accounting identity `cfl_verify::check_trace`
+/// re-checks.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheTrace {
+    /// Plan-cache consultations (one per prepare through a cached session).
+    pub plan_lookups: u64,
+    /// Lookups served from a stored plan (CPI construction skipped).
+    pub plan_hits: u64,
+    /// Lookups that fell through to a cold preparation.
+    pub plan_misses: u64,
+    /// Entries displaced by LRU capacity pressure.
+    pub plan_evictions: u64,
+    /// Σ dirty-frontier sizes over the refreshes this report covers.
+    pub dirty_frontier: u64,
+    /// Refreshes that proved the CPI untouched and kept it verbatim.
+    pub refresh_unchanged: u64,
+    /// Refreshes whose dirty-frontier retention proof kept the CPI
+    /// without reconstructing any arena.
+    pub refresh_refiltered: u64,
+    /// Refreshes that fell back to a cold rebuild.
+    pub refresh_rebuilt: u64,
+}
+
+impl CacheTrace {
+    /// Total refreshes observed.
+    #[must_use]
+    pub fn total_refreshes(&self) -> u64 {
+        self.refresh_unchanged + self.refresh_refiltered + self.refresh_rebuilt
+    }
+}
+
 /// Size metrics of the frozen CPI (§4.1; the Figure 16(d) axes).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CpiMetrics {
@@ -305,6 +339,9 @@ pub struct TraceReport {
     pub build: BuildTrace,
     /// Frozen-index size metrics.
     pub cpi: CpiMetrics,
+    /// Plan-cache and incremental-refresh counters (zero when the run used
+    /// no cache or maintenance handle).
+    pub cache: CacheTrace,
     /// One entry per enumeration worker.
     pub workers: Vec<WorkerTrace>,
 }
@@ -400,6 +437,31 @@ impl TraceReport {
                 ""
             }
         ));
+        out.push_str("plan cache / maintenance\n");
+        out.push_str(&format!(
+            "  plan lookups        {:>10}\n",
+            self.cache.plan_lookups
+        ));
+        out.push_str(&format!(
+            "  plan hits           {:>10}\n",
+            self.cache.plan_hits
+        ));
+        out.push_str(&format!(
+            "  plan misses         {:>10}\n",
+            self.cache.plan_misses
+        ));
+        out.push_str(&format!(
+            "  plan evictions      {:>10}\n",
+            self.cache.plan_evictions
+        ));
+        out.push_str(&format!(
+            "  dirty frontier (Σ)  {:>10}\n",
+            self.cache.dirty_frontier
+        ));
+        out.push_str(&format!(
+            "  refreshes u/f/r     {:>4}/{:>4}/{:>4}\n",
+            self.cache.refresh_unchanged, self.cache.refresh_refiltered, self.cache.refresh_rebuilt
+        ));
         out.push_str("cpi size\n");
         out.push_str(&format!(
             "  arena bytes         {:>10}\n",
@@ -469,6 +531,17 @@ impl TraceReport {
             self.cpi.total_edges,
             json_u32_array(&self.cpi.candidates_per_vertex)
         ));
+        s.push_str(&format!(
+            "  \"cache\": {{\"plan_lookups\": {}, \"plan_hits\": {}, \"plan_misses\": {}, \"plan_evictions\": {}, \"dirty_frontier\": {}, \"refresh_unchanged\": {}, \"refresh_refiltered\": {}, \"refresh_rebuilt\": {}}},\n",
+            self.cache.plan_lookups,
+            self.cache.plan_hits,
+            self.cache.plan_misses,
+            self.cache.plan_evictions,
+            self.cache.dirty_frontier,
+            self.cache.refresh_unchanged,
+            self.cache.refresh_refiltered,
+            self.cache.refresh_rebuilt
+        ));
         s.push_str("  \"workers\": [");
         for (i, w) in self.workers.iter().enumerate() {
             if i > 0 {
@@ -535,6 +608,16 @@ mod tests {
                 total_candidates: 60,
                 total_edges: 200,
                 candidates_per_vertex: vec![20, 25, 15],
+            },
+            cache: CacheTrace {
+                plan_lookups: 12,
+                plan_hits: 9,
+                plan_misses: 3,
+                plan_evictions: 1,
+                dirty_frontier: 17,
+                refresh_unchanged: 2,
+                refresh_refiltered: 3,
+                refresh_rebuilt: 1,
             },
             workers: vec![WorkerTrace {
                 embeddings: 7,
@@ -608,6 +691,11 @@ mod tests {
             "\"simd_hits\": 6",
             "\"bitset_hits\": 9",
             "\"depth_hist\": [20, 10, 5]",
+            "\"cache\"",
+            "\"plan_lookups\": 12",
+            "\"plan_hits\": 9",
+            "\"dirty_frontier\": 17",
+            "\"refresh_refiltered\": 3",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
@@ -624,6 +712,21 @@ mod tests {
         // Build 50 + worker 9 bitset hits are summed in the table.
         assert!(t.contains("bitset hits"));
         assert!(t.contains("59"));
+    }
+
+    #[test]
+    fn cache_section_renders_and_accounts() {
+        let r = sample();
+        assert_eq!(
+            r.cache.plan_lookups,
+            r.cache.plan_hits + r.cache.plan_misses
+        );
+        assert_eq!(r.cache.total_refreshes(), 6);
+        let t = r.render_table();
+        assert!(t.contains("plan cache / maintenance"));
+        assert!(t.contains("plan lookups"));
+        assert!(t.contains("dirty frontier"));
+        assert!(t.contains("refreshes u/f/r"));
     }
 
     #[test]

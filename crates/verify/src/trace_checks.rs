@@ -36,6 +36,10 @@ use crate::report::Report;
 ///   SIMD hit is recorded only when a dispatched merge or gallop takes
 ///   the vector path, so the identity holds for the build counters and
 ///   for every worker independently.
+/// - `trace-cache-accounting`: every plan-cache consultation resolves to
+///   exactly one of hit or miss (`plan_lookups == plan_hits +
+///   plan_misses`), and evictions never exceed the insertions misses can
+///   have caused (`plan_evictions ≤ plan_misses`).
 ///
 /// `total_embeddings` is the embedding count from the engine's
 /// `MatchReport` when available; pass `None` for reports captured before
@@ -110,6 +114,30 @@ pub fn check_trace(report: &TraceReport, total_embeddings: Option<u64>) -> Repor
         );
     }
 
+    let c = &report.cache;
+    if c.plan_lookups != c.plan_hits + c.plan_misses {
+        out.violation(
+            "trace-cache-accounting",
+            None,
+            None,
+            format!(
+                "plan-cache lookups {} != hits {} + misses {}",
+                c.plan_lookups, c.plan_hits, c.plan_misses
+            ),
+        );
+    }
+    if c.plan_evictions > c.plan_misses {
+        out.violation(
+            "trace-cache-accounting",
+            None,
+            None,
+            format!(
+                "plan-cache evictions {} exceed misses {} (only a miss can insert,                  only an insert can evict)",
+                c.plan_evictions, c.plan_misses
+            ),
+        );
+    }
+
     if let Some(total) = total_embeddings {
         let worker_sum = report.total_worker_embeddings();
         if worker_sum != total {
@@ -177,7 +205,7 @@ fn check_worker(out: &mut Report, index: usize, w: &WorkerTrace) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cfl_trace::{BuildTrace, CpiMetrics, EnumCounters};
+    use cfl_trace::{BuildTrace, CacheTrace, CpiMetrics, EnumCounters};
 
     fn consistent_report() -> TraceReport {
         let mut r = TraceReport {
@@ -202,6 +230,16 @@ mod tests {
                 total_candidates: 60,
                 total_edges: 90,
                 candidates_per_vertex: vec![20, 30, 10],
+            },
+            cache: CacheTrace {
+                plan_lookups: 10,
+                plan_hits: 6,
+                plan_misses: 4,
+                plan_evictions: 2,
+                dirty_frontier: 12,
+                refresh_unchanged: 1,
+                refresh_refiltered: 2,
+                refresh_rebuilt: 0,
             },
             ..TraceReport::default()
         };
@@ -288,6 +326,22 @@ mod tests {
         r.workers[0].counters.simd_hits = 11;
         let checked = check_trace(&r, Some(7));
         assert!(checked.has_check("trace-kernel-dispatch"), "{checked}");
+    }
+
+    #[test]
+    fn cache_accounting_identity_checked() {
+        let mut r = consistent_report();
+        r.cache.plan_hits = 7;
+        let checked = check_trace(&r, Some(7));
+        assert!(checked.has_check("trace-cache-accounting"), "{checked}");
+    }
+
+    #[test]
+    fn cache_eviction_bound_checked() {
+        let mut r = consistent_report();
+        r.cache.plan_evictions = 5;
+        let checked = check_trace(&r, Some(7));
+        assert!(checked.has_check("trace-cache-accounting"), "{checked}");
     }
 
     #[test]

@@ -87,6 +87,12 @@ fn non_empty_row(q: &Graph, prepared: &Prepared) -> (u32, usize) {
     panic!("no non-empty row in the prepared CPI");
 }
 
+/// Mutable access to the prepared CPI for corruption tests: right after
+/// `prepare` the `Arc` is uniquely owned, so `get_mut` always succeeds.
+fn cpi_mut(prepared: &mut Prepared) -> &mut cfl_match::Cpi {
+    std::sync::Arc::get_mut(&mut prepared.cpi).expect("CPI uniquely owned after prepare")
+}
+
 #[test]
 fn injected_candidate_is_reported_as_orphan() {
     let (q, g) = small_pair();
@@ -98,7 +104,7 @@ fn injected_candidate_is_reported_as_orphan() {
         .vertices()
         .find(|v| prepared.cpi.candidates(u).binary_search(v).is_err())
         .expect("some non-candidate data vertex");
-    prepared.cpi.corrupt_inject_candidate(u, intruder);
+    cpi_mut(&mut prepared).corrupt_inject_candidate(u, intruder);
     let report = verify_prepared(&q, &g, &prepared, &config);
     assert!(
         report.has_check("cand-orphan"),
@@ -120,7 +126,7 @@ fn corrupted_row_position_is_reported() {
     let config = MatchConfig::default();
     let mut prepared = prepared_clean(&q, &g, &config);
     let (u, pos) = non_empty_row(&q, &prepared);
-    prepared.cpi.corrupt_row_position(u, pos);
+    cpi_mut(&mut prepared).corrupt_row_position(u, pos);
     let report = verify_prepared(&q, &g, &prepared, &config);
     assert!(
         report.has_check("row-position"),
@@ -140,7 +146,7 @@ fn dropped_row_entry_is_reported_incomplete() {
     let config = MatchConfig::default();
     let mut prepared = prepared_clean(&q, &g, &config);
     let (u, pos) = non_empty_row(&q, &prepared);
-    prepared.cpi.corrupt_drop_row_entry(u, pos);
+    cpi_mut(&mut prepared).corrupt_drop_row_entry(u, pos);
     let report = verify_prepared(&q, &g, &prepared, &config);
     assert!(
         report.has_check("row-complete"),
@@ -176,7 +182,7 @@ fn swapped_row_entries_are_reported_out_of_order() {
     let config = MatchConfig::default();
     let mut prepared = prepared_clean(&q, &g, &config);
     let (u, pos) = multi_entry_row(&q, &prepared);
-    prepared.cpi.corrupt_swap_row_entries(u, pos);
+    cpi_mut(&mut prepared).corrupt_swap_row_entries(u, pos);
     let report = verify_prepared(&q, &g, &prepared, &config);
     assert!(
         report.has_check("row-order"),
