@@ -3,11 +3,17 @@
 //! recorded baseline and computing per-benchmark speedups.
 //!
 //! ```text
-//! hotpath [--quick] [--threads N] [--out FILE] [--baseline FILE]
+//! hotpath [--quick] [--threads N] [--order static|adaptive]
+//!         [--pruning plain|failing-set] [--out FILE] [--baseline FILE]
 //!         [--check-against FILE] [--assert-within FACTOR FILE]
 //!
 //!   --quick              CI smoke mode: tiny workload, few reps
 //!   --threads N          CPI build threads (default 1)
+//!   --order KIND         pin the engine-driven series to an ordering
+//!                        strategy (default static); every embedding-fold
+//!                        checksum is strategy-independent, so a
+//!                        --check-against gate across strategies must pass
+//!   --pruning KIND       pin the backtracking strategy (default plain)
 //!   --out FILE           write JSON here (default: stdout)
 //!   --baseline FILE      a previous --out file; its "current" section is
 //!                        embedded as "baseline" and speedups are computed
@@ -30,13 +36,18 @@
 
 use std::fmt::Write as _;
 
-use cfl_bench::hotpath::{run_suite, trace_sample, HotpathWorkload, Measurement, WORKLOAD_SEED};
+use cfl_bench::hotpath::{
+    run_suite_with, trace_sample, HotpathWorkload, Measurement, WORKLOAD_SEED,
+};
 use cfl_graph::GENERATOR_VERSION;
+use cfl_match::{OrderingKind, PruningKind};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut threads = 1usize;
+    let mut ordering = OrderingKind::StaticPath;
+    let mut pruning = PruningKind::Plain;
     let mut out: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut check_against: Option<String> = None;
@@ -51,6 +62,28 @@ fn main() {
                     eprintln!("--threads needs a positive integer");
                     std::process::exit(2);
                 });
+            }
+            "--order" => {
+                i += 1;
+                ordering = match args.get(i).map(String::as_str) {
+                    Some("static") => OrderingKind::StaticPath,
+                    Some("adaptive") => OrderingKind::Adaptive,
+                    other => {
+                        eprintln!("--order needs static or adaptive (got {other:?})");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--pruning" => {
+                i += 1;
+                pruning = match args.get(i).map(String::as_str) {
+                    Some("plain") => PruningKind::Plain,
+                    Some("failing-set") => PruningKind::FailingSet,
+                    other => {
+                        eprintln!("--pruning needs plain or failing-set (got {other:?})");
+                        std::process::exit(2);
+                    }
+                };
             }
             "--out" => {
                 i += 1;
@@ -88,7 +121,7 @@ fn main() {
         i += 1;
     }
 
-    let results = run_suite(quick, threads.max(1));
+    let results = run_suite_with(quick, threads.max(1), ordering, pruning);
     for (name, m) in &results {
         eprintln!(
             "{name:<22} min {:>12} ns   mean {:>12} ns   checksum {}",
@@ -108,6 +141,7 @@ fn main() {
     let json = render(
         quick,
         threads,
+        (ordering, pruning),
         &results,
         baseline_json.as_deref(),
         stats.as_deref(),
@@ -171,6 +205,7 @@ fn main() {
 fn render(
     quick: bool,
     threads: usize,
+    strategies: (OrderingKind, PruningKind),
     results: &[(&'static str, Measurement)],
     baseline: Option<&str>,
     stats: Option<&str>,
@@ -183,6 +218,8 @@ fn render(
     let _ = writeln!(s, "    \"commit\": \"{}\",", env!("CFL_BUILD_COMMIT"));
     let _ = writeln!(s, "    \"threads\": {threads},");
     let _ = writeln!(s, "    \"workload_seed\": {WORKLOAD_SEED},");
+    let _ = writeln!(s, "    \"ordering\": \"{:?}\",", strategies.0);
+    let _ = writeln!(s, "    \"pruning\": \"{:?}\",", strategies.1);
     let _ = writeln!(s, "    \"generator_version\": {GENERATOR_VERSION}");
     s.push_str("  },\n");
     let _ = writeln!(

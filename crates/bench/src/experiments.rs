@@ -652,6 +652,7 @@ pub fn filters(scale: &Scale) {
             FilterOptions {
                 use_mnd: false,
                 use_nlf: false,
+                use_label_pair: false,
             },
         ),
         (
@@ -659,6 +660,7 @@ pub fn filters(scale: &Scale) {
             FilterOptions {
                 use_mnd: true,
                 use_nlf: false,
+                use_label_pair: false,
             },
         ),
         (
@@ -666,9 +668,18 @@ pub fn filters(scale: &Scale) {
             FilterOptions {
                 use_mnd: false,
                 use_nlf: true,
+                use_label_pair: false,
             },
         ),
         ("+MND+NLF (paper)", FilterOptions::default()),
+        (
+            "+LabelPair (l2Match)",
+            FilterOptions {
+                use_mnd: true,
+                use_nlf: true,
+                use_label_pair: true,
+            },
+        ),
     ];
     let matchers: Vec<Box<dyn Matcher>> = variants
         .into_iter()

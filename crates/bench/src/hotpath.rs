@@ -26,7 +26,7 @@ use cfl_datasets::cached_synthetic;
 use cfl_graph::{query_set, Graph, GraphDelta, QueryDensity, SyntheticConfig};
 use cfl_match::{
     count_embeddings, Budget, Cpi, CpiMode, DataGraph, FilterContext, GraphStats, Maintained,
-    MatchConfig, RefreshKind,
+    MatchConfig, OrderingKind, PruningKind, RefreshKind,
 };
 
 /// The fixed benchmark inputs: one cached synthetic data graph plus dense
@@ -123,7 +123,23 @@ pub fn cpi_build_once(w: &HotpathWorkload, g_stats: &GraphStats, threads: usize)
 /// query (capped), exercising row walks, visited checks, and non-tree-edge
 /// validation.
 pub fn core_match_once(w: &HotpathWorkload, cap: u64) -> u64 {
-    let cfg = MatchConfig::exhaustive().with_budget(Budget::first(cap));
+    core_match_with(w, cap, OrderingKind::StaticPath, PruningKind::Plain)
+}
+
+/// The core-match pass under an explicit (ordering × pruning) strategy
+/// pair. The embedding-count fold is strategy-independent, so every
+/// variant of this series shares `core_match`'s checksum — `run_suite`
+/// asserts it.
+pub fn core_match_with(
+    w: &HotpathWorkload,
+    cap: u64,
+    ordering: OrderingKind,
+    pruning: PruningKind,
+) -> u64 {
+    let cfg = MatchConfig::exhaustive()
+        .with_budget(Budget::first(cap))
+        .with_ordering(ordering)
+        .with_pruning(pruning);
     let mut total = 0u64;
     for q in &w.dense {
         total = total.wrapping_add(count_embeddings(q, &w.g, &cfg).map_or(0, |r| r.embeddings));
@@ -135,7 +151,20 @@ pub fn core_match_once(w: &HotpathWorkload, cap: u64) -> u64 {
 /// sparse query (capped), exercising forest-match and the combinatorial
 /// leaf phase.
 pub fn leaf_match_once(w: &HotpathWorkload, cap: u64) -> u64 {
-    let cfg = MatchConfig::exhaustive().with_budget(Budget::first(cap));
+    leaf_match_with(w, cap, OrderingKind::StaticPath, PruningKind::Plain)
+}
+
+/// The leaf-match pass under an explicit strategy pair.
+pub fn leaf_match_with(
+    w: &HotpathWorkload,
+    cap: u64,
+    ordering: OrderingKind,
+    pruning: PruningKind,
+) -> u64 {
+    let cfg = MatchConfig::exhaustive()
+        .with_budget(Budget::first(cap))
+        .with_ordering(ordering)
+        .with_pruning(pruning);
     let mut total = 0u64;
     for q in &w.sparse {
         total = total.wrapping_add(count_embeddings(q, &w.g, &cfg).map_or(0, |r| r.embeddings));
@@ -154,9 +183,28 @@ pub fn end_to_end_split_once(
     cap: u64,
     threads: usize,
 ) -> (Duration, Duration, u64) {
+    end_to_end_split_with(
+        w,
+        cap,
+        threads,
+        OrderingKind::StaticPath,
+        PruningKind::Plain,
+    )
+}
+
+/// The phase-split end-to-end pass under an explicit strategy pair.
+pub fn end_to_end_split_with(
+    w: &HotpathWorkload,
+    cap: u64,
+    threads: usize,
+    ordering: OrderingKind,
+    pruning: PruningKind,
+) -> (Duration, Duration, u64) {
     let cfg = MatchConfig::exhaustive()
         .with_budget(Budget::first(cap))
-        .with_build_threads(threads);
+        .with_build_threads(threads)
+        .with_ordering(ordering)
+        .with_pruning(pruning);
     let mut build = Duration::ZERO;
     let mut enumerate = Duration::ZERO;
     let mut total = 0u64;
@@ -531,10 +579,52 @@ pub fn delta_rebuild_round(q: &Graph, round: &[cfl_graph::AppliedDelta], cfg: &M
 
 /// One capped end-to-end count over an adversarial instance.
 pub fn adversarial_once(q: &Graph, g: &Graph, cap: u64, threads: usize) -> u64 {
+    adversarial_with(
+        q,
+        g,
+        cap,
+        threads,
+        OrderingKind::StaticPath,
+        PruningKind::Plain,
+    )
+}
+
+/// The adversarial end-to-end count under an explicit strategy pair.
+pub fn adversarial_with(
+    q: &Graph,
+    g: &Graph,
+    cap: u64,
+    threads: usize,
+    ordering: OrderingKind,
+    pruning: PruningKind,
+) -> u64 {
     let cfg = MatchConfig::exhaustive()
         .with_budget(Budget::first(cap))
-        .with_build_threads(threads);
+        .with_build_threads(threads)
+        .with_ordering(ordering)
+        .with_pruning(pruning);
     count_embeddings(q, g, &cfg).map_or(0, |r| r.embeddings)
+}
+
+/// One capped count over a pruning-adversarial instance under an explicit
+/// strategy pair, returning the **search-node count** rather than the
+/// embedding count: the quantity the pruning race tracks is how much of
+/// the search tree each backtracking strategy visits, and reporting it as
+/// the measurement checksum makes the tracked JSON itself witness the
+/// failing-set reduction (the node count is deterministic for a serial
+/// run, so it doubles as the workload-identity guard).
+pub fn strategy_race_once(
+    q: &Graph,
+    g: &Graph,
+    cap: u64,
+    ordering: OrderingKind,
+    pruning: PruningKind,
+) -> u64 {
+    let cfg = MatchConfig::exhaustive()
+        .with_budget(Budget::first(cap))
+        .with_ordering(ordering)
+        .with_pruning(pruning);
+    count_embeddings(q, g, &cfg).map_or(0, |r| r.stats.search_nodes)
 }
 
 /// The result of one timed measurement.
@@ -600,21 +690,52 @@ pub fn measure_split(
 /// (enumeration itself stays single-threaded here; the parallel matcher
 /// has its own benchmark).
 pub fn run_suite(quick: bool, threads: usize) -> Vec<(&'static str, Measurement)> {
+    run_suite_with(quick, threads, OrderingKind::StaticPath, PruningKind::Plain)
+}
+
+/// The full suite with the engine-driven series pinned to an explicit
+/// (ordering × pruning) strategy pair — the hotpath binary's `--order` /
+/// `--pruning` overrides land here. Build-side series (CPI construction,
+/// kernels, plan cache, delta maintenance) are strategy-independent and
+/// keep their defaults; the `core_match_adaptive` contrast series and the
+/// pruning race keep their own pinned strategies. Every embedding-fold
+/// checksum is strategy-independent, so a `--check-against` gate between
+/// two runs of this suite under *different* strategies must still pass —
+/// that is exactly the CI identity matrix.
+pub fn run_suite_with(
+    quick: bool,
+    threads: usize,
+    ordering: OrderingKind,
+    pruning: PruningKind,
+) -> Vec<(&'static str, Measurement)> {
     let w = HotpathWorkload::standard(quick);
     let g_stats = GraphStats::build(&w.g);
     let reps = if quick { 3 } else { 7 };
     let cap = if quick { 20_000 } else { 200_000 };
     let vf2 = Vf2;
     let turbo = TurboIso;
-    let [e2e, e2e_build, e2e_match] =
-        measure_split(reps, || end_to_end_split_once(&w, cap, threads));
+    let [e2e, e2e_build, e2e_match] = measure_split(reps, || {
+        end_to_end_split_with(&w, cap, threads, ordering, pruning)
+    });
     let mut series = vec![
         (
             "cpi_build",
             measure(reps, || cpi_build_once(&w, &g_stats, threads)),
         ),
-        ("core_match", measure(reps, || core_match_once(&w, cap))),
-        ("leaf_match", measure(reps, || leaf_match_once(&w, cap))),
+        (
+            "core_match",
+            measure(reps, || core_match_with(&w, cap, ordering, pruning)),
+        ),
+        (
+            "core_match_adaptive",
+            measure(reps, || {
+                core_match_with(&w, cap, OrderingKind::Adaptive, PruningKind::FailingSet)
+            }),
+        ),
+        (
+            "leaf_match",
+            measure(reps, || leaf_match_with(&w, cap, ordering, pruning)),
+        ),
         ("end_to_end_cfl", e2e),
         ("end_to_end_cfl_build", e2e_build),
         ("end_to_end_cfl_match", e2e_match),
@@ -723,8 +844,54 @@ pub fn run_suite(quick: bool, threads: usize) -> Vec<(&'static str, Measurement)
         };
         series.push((
             series_name,
-            measure(reps, || adversarial_once(q, g, cap, threads)),
+            measure(reps, || {
+                adversarial_with(q, g, cap, threads, ordering, pruning)
+            }),
         ));
+    }
+
+    // The strategy series' embedding fold is strategy-independent, so the
+    // adaptive variant must reproduce core_match's checksum exactly.
+    let core = series
+        .iter()
+        .find(|(n, _)| *n == "core_match")
+        .unwrap_or_else(|| unreachable!("core_match series exists"));
+    let adaptive = series
+        .iter()
+        .find(|(n, _)| *n == "core_match_adaptive")
+        .unwrap_or_else(|| unreachable!("core_match_adaptive series exists"));
+    assert_eq!(
+        core.1.checksum, adaptive.1.checksum,
+        "adaptive ordering changed the core-match embedding fold"
+    );
+
+    // Pruning race: plain vs failing-set backtracking over the
+    // pruning-adversarial shapes. Both series report search-node counts
+    // as their checksum, so the tracked JSON directly quantifies the
+    // pruning win — and the suite asserts the ≥2× reduction the shapes
+    // are constructed to exhibit.
+    let stress = cfl_datasets::pruning_stress_suite(if quick { 1 } else { 2 });
+    for (name, q, g) in &stress {
+        let (plain_name, failset_name) = match *name {
+            "deep_chain_trap" => ("adv_chain_trap_plain", "adv_chain_trap_failset"),
+            "conflict_forest" => ("adv_conflict_forest_plain", "adv_conflict_forest_failset"),
+            _ => continue,
+        };
+        let plain = measure(reps, || {
+            strategy_race_once(q, g, cap, OrderingKind::StaticPath, PruningKind::Plain)
+        });
+        let failset = measure(reps, || {
+            strategy_race_once(q, g, cap, OrderingKind::StaticPath, PruningKind::FailingSet)
+        });
+        assert!(
+            plain.checksum >= 2 * failset.checksum,
+            "failing-set pruning must at least halve the search on {name}: \
+             plain {} vs failing-set {} nodes",
+            plain.checksum,
+            failset.checksum
+        );
+        series.push((plain_name, plain));
+        series.push((failset_name, failset));
     }
     series
 }

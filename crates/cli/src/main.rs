@@ -8,7 +8,8 @@
 //!              [--count K] [--seed S] -o PREFIX       # writes PREFIX-<i>.graph
 //! cfl match    <query.graph> <data.graph> [--algorithm NAME] [--limit N]
 //!              [--time-limit SECS] [--repeat N] [--plan-cache]
-//!              [--print] [--count-only]
+//!              [--order static|adaptive] [--pruning plain|failing-set]
+//!              [--label-pair] [--print] [--count-only]
 //! cfl stats    <graph>
 //! ```
 
@@ -55,6 +56,7 @@ fn usage() {
          query <data> --size N [--density sparse|dense] [--count K] [--seed S] -o PREFIX\n  \
          match <query> <data> [--algorithm cfl|quicksi|turboiso|vf2|ullmann|graphql|spath|boost]\n        \
                [--limit N] [--time-limit SECS] [--repeat N] [--plan-cache]\n        \
+               [--order static|adaptive] [--pruning plain|failing-set] [--label-pair]\n        \
                [--print] [--count-only] [--stats] [--stats-json]\n  \
          stats <graph> [--top N]\n  \
          workload <hprd|yeast|human|dblp|wordnet|synthetic> [--scale N] [--queries N] -o DIR\n  \
@@ -219,8 +221,47 @@ fn cmd_query(args: &[String]) {
     }
 }
 
+/// Builds the engine configuration from the strategy flags: `--order`
+/// picks the ordering strategy, `--pruning` the backtracking strategy,
+/// and `--label-pair` turns on the optional label-pair candidate filter.
+fn strategy_config(f: &Flags) -> cfl_match::MatchConfig {
+    let mut cfg = cfl_match::MatchConfig::exhaustive();
+    match f.get("order") {
+        None | Some("static") => {}
+        Some("adaptive") => cfg = cfg.with_ordering(cfl_match::OrderingKind::Adaptive),
+        Some(other) => {
+            eprintln!("unknown --order {other:?} (expected static or adaptive)");
+            exit(2);
+        }
+    }
+    match f.get("pruning") {
+        None | Some("plain") => {}
+        Some("failing-set") => cfg = cfg.with_pruning(cfl_match::PruningKind::FailingSet),
+        Some(other) => {
+            eprintln!("unknown --pruning {other:?} (expected plain or failing-set)");
+            exit(2);
+        }
+    }
+    if f.has("label-pair") {
+        let mut filters = cfg.filters;
+        filters.use_label_pair = true;
+        cfg = cfg.with_filters(filters);
+    }
+    cfg
+}
+
 fn cmd_match(args: &[String]) {
-    let f = Flags::parse(args, &["algorithm", "limit", "time-limit", "repeat"]);
+    let f = Flags::parse(
+        args,
+        &[
+            "algorithm",
+            "limit",
+            "time-limit",
+            "repeat",
+            "order",
+            "pruning",
+        ],
+    );
     if f.positional.len() != 2 {
         eprintln!("usage: cfl match <query.graph> <data.graph> [flags]");
         exit(2);
@@ -235,6 +276,13 @@ fn cmd_match(args: &[String]) {
         eprintln!("--plan-cache requires --algorithm cfl");
         exit(2);
     }
+    let strategy_flags =
+        f.get("order").is_some() || f.get("pruning").is_some() || f.has("label-pair");
+    if strategy_flags && !matches!(algo_name, "cfl" | "cfl-match") {
+        eprintln!("--order/--pruning/--label-pair require --algorithm cfl");
+        exit(2);
+    }
+    let engine_config = strategy_config(&f);
 
     let mut budget = Budget::first(f.get_parse("limit", 100_000u64));
     if let Some(tl) = f.get("time-limit") {
@@ -260,7 +308,7 @@ fn cmd_match(args: &[String]) {
     // CPI construction (their reported build time is the cache lookup).
     // Without it every repeat pays the full cold pipeline.
     let (display_name, report, elapsed) = if use_cache {
-        let config = cfl_match::MatchConfig::exhaustive().with_budget(budget);
+        let config = engine_config.with_budget(budget);
         let session = cfl_match::DataGraph::with_cache(&g);
         let mut last = None;
         for i in 0..repeat {
@@ -279,7 +327,7 @@ fn cmd_match(args: &[String]) {
         ("CFL-Match (plan cache)", report, elapsed)
     } else {
         let algo: Box<dyn Matcher> = match algo_name {
-            "cfl" | "cfl-match" => Box::new(CflMatcher::full()),
+            "cfl" | "cfl-match" => Box::new(CflMatcher::with_config("CFL-Match", engine_config)),
             "quicksi" => Box::new(QuickSi),
             "turboiso" => Box::new(TurboIso),
             "vf2" => Box::new(Vf2),

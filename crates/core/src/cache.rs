@@ -24,15 +24,16 @@
 //! [`PlanCache::snapshot`]; lookups = hits + misses is an accounting
 //! identity `cfl-verify` checks.
 
-use cfl_graph::{canonical_query, CanonicalQuery, Graph};
+use cfl_graph::{canonical_query, AppliedDelta, CanonicalQuery, Graph, VertexId};
 
 use crate::config::{CpiMode, DecompositionMode, MatchConfig, OrderStrategy};
 use crate::cpi::Cpi;
 use crate::decompose::CflDecomposition;
-use crate::exec::Prepared;
-use crate::filters::FilterOptions;
+use crate::exec::{root_eligible, Prepared};
+use crate::filters::{cand_verify_stats, FilterContext, FilterOptions, GraphStats};
 use crate::order::OrderPlan;
 use crate::result::MatchStats;
+use crate::root::select_root_with_candidates;
 use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::{Arc, Mutex, PoisonError};
 
@@ -103,6 +104,9 @@ pub struct PlanCacheStats {
     pub misses: u64,
     /// Entries displaced by LRU capacity pressure.
     pub evictions: u64,
+    /// Entries refreshed in place across a delta by
+    /// [`PlanCache::refresh`] instead of going stale with the epoch bump.
+    pub refreshes: u64,
 }
 
 struct Entry {
@@ -126,6 +130,7 @@ pub struct PlanCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    refreshes: AtomicU64,
 }
 
 impl PlanCache {
@@ -138,6 +143,7 @@ impl PlanCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            refreshes: AtomicU64::new(0),
         }
     }
 
@@ -153,6 +159,7 @@ impl PlanCache {
             hits: self.hits.load(Ordering::Acquire),
             misses: self.misses.load(Ordering::Acquire),
             evictions: self.evictions.load(Ordering::Acquire),
+            refreshes: self.refreshes.load(Ordering::Acquire),
         }
     }
 
@@ -244,6 +251,127 @@ impl PlanCache {
             plan,
         });
     }
+
+    /// Carries resident plans across a delta instead of letting the epoch
+    /// bump orphan them. For each entry keyed to the pre-delta epoch the
+    /// cache replays the [`Maintained`](crate::refresh::Maintained)
+    /// retention proof — no CandVerify verdict flips on the dirty
+    /// frontier, no delta edge bridges verify-passing endpoints across a
+    /// query edge, root selection stable — and on success stamps the entry
+    /// with the new epoch in place (`Arc`-shared arenas untouched), so the
+    /// next lookup against the successor graph hits without a cold
+    /// prepare. Entries the proof cannot cover are dropped (not counted as
+    /// evictions); entries at other epochs are left alone. Returns the
+    /// number of plans refreshed; the cumulative count is surfaced as
+    /// [`PlanCacheStats::refreshes`].
+    ///
+    /// `old` must be the graph the delta was applied to (the retention
+    /// proof evaluates the previous epoch's statistics through it); a
+    /// mismatched lineage or a vertex-set change refreshes nothing.
+    pub fn refresh(&self, old: &Graph, applied: &AppliedDelta) -> usize {
+        let g = &applied.graph;
+        if g.epoch() != old.epoch() + 1 || g.num_vertices() != old.num_vertices() {
+            return 0;
+        }
+        let old_epoch = old.epoch();
+        let new_epoch = g.epoch();
+        let mut refreshed = 0usize;
+        let mut entries = self.lock();
+        entries.retain_mut(|e| {
+            if e.epoch != old_epoch {
+                return true;
+            }
+            if plan_survives_delta(&e.plan, &e.sig, old, applied) {
+                e.epoch = new_epoch;
+                refreshed += 1;
+                true
+            } else {
+                false
+            }
+        });
+        drop(entries);
+        self.refreshes.fetch_add(refreshed as u64, Ordering::AcqRel);
+        refreshed
+    }
+}
+
+/// The per-entry retention proof behind [`PlanCache::refresh`] — the
+/// [`Maintained`](crate::refresh::Maintained) proof replayed against a
+/// cached plan's own query and config signature (see `refresh.rs` for the
+/// soundness argument). The **Unchanged** short-circuit applies when the
+/// dirty frontier carries no query label; otherwise the three-part
+/// retention proof runs, which is only sound with the NLF filter on
+/// (CandVerify must subsume the degree pre-filter) and never with the
+/// label-pair blooms on (their 2-hop reach exceeds the frontier).
+fn plan_survives_delta(
+    plan: &CachedPlan,
+    sig: &ConfigSig,
+    old: &Graph,
+    applied: &AppliedDelta,
+) -> bool {
+    if sig.filters.use_label_pair {
+        return false;
+    }
+    let q = &plan.q;
+    let g = &applied.graph;
+    let mut q_has_label = vec![false; q.num_labels()];
+    for u in q.vertices() {
+        q_has_label[q.label(u).0 as usize] = true;
+    }
+    let carries = |v: VertexId| {
+        let l = g.label(v).0 as usize;
+        l < q_has_label.len() && q_has_label[l]
+    };
+    if !applied.dirty.iter().any(|&v| carries(v)) {
+        return true;
+    }
+    if !sig.filters.use_nlf {
+        return false;
+    }
+    let q_stats = GraphStats::build(q);
+    let old_stats = GraphStats::build(old);
+    let new_stats = GraphStats::build(g);
+
+    // (1) No verdict may flip across the delta, over the dirty frontier.
+    for &v in &applied.dirty {
+        if !carries(v) {
+            continue;
+        }
+        for u in q.vertices() {
+            if q.label(u) != g.label(v) {
+                continue;
+            }
+            let was = cand_verify_stats(&q_stats, &old_stats, sig.filters, v, u).passed;
+            let now = cand_verify_stats(&q_stats, &new_stats, sig.filters, v, u).passed;
+            if was != now {
+                return false;
+            }
+        }
+    }
+
+    // (2) No delta edge may bridge verify-passing endpoints across a
+    // query edge, in either orientation.
+    let ctx = FilterContext::with_options(q, g, &q_stats, &new_stats, sig.filters);
+    let delta = &applied.delta;
+    for &(x, y) in delta.inserts().iter().chain(delta.deletes().iter()) {
+        for (a, b) in [(x, y), (y, x)] {
+            for u in q.vertices() {
+                if q.label(u) != g.label(a) || !ctx.cand_verify(a, u) {
+                    continue;
+                }
+                for &w in q.neighbors(u) {
+                    if q.label(w) == g.label(b) && ctx.cand_verify(b, w) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+
+    // (3) Root selection replayed over the new statistics must be stable.
+    let eligible = root_eligible(q, sig.decomposition);
+    let (root, _) = select_root_with_candidates(&ctx, &eligible);
+    root == plan.cpi.root()
 }
 
 /// Builds the cacheable snapshot of a preparation: `Arc`-shares the CPI,
@@ -334,6 +462,74 @@ mod tests {
         assert!(cache.lookup(&queries[0], g.epoch(), &config).1.is_none());
         assert!(cache.lookup(&queries[1], g.epoch(), &config).1.is_some());
         assert!(cache.lookup(&queries[2], g.epoch(), &config).1.is_some());
+    }
+
+    #[test]
+    fn refresh_carries_plans_across_deltas() {
+        use cfl_graph::GraphDelta;
+        // Two label-{0,1,2} triangles bridged by label-3 vertices (the
+        // refresh-module motif).
+        let g0 = graph_from_edges(
+            &[0, 1, 2, 0, 1, 2, 3, 3],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (0, 6),
+                (6, 3),
+                (2, 7),
+                (7, 5),
+            ],
+        )
+        .unwrap();
+        let config = MatchConfig::exhaustive();
+        let cache = PlanCache::new(8);
+        let q = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let (canon, plan) = entry_for(&q, &g0, &config);
+        let arenas = Arc::clone(&plan.cpi);
+        cache.insert(g0.epoch(), &config, canon, plan);
+
+        // Edge between the two label-3 bridges: the retention proof holds
+        // (no verdict flips, non-query-label endpoints cannot bridge
+        // candidates, root stable), so the entry is restamped in place and
+        // the next lookup at the successor epoch hits the same arenas.
+        let mut d = GraphDelta::new();
+        d.insert(6, 7);
+        let applied = g0.apply_delta(&d).unwrap();
+        assert_eq!(cache.refresh(&g0, &applied), 1);
+        assert_eq!(cache.snapshot().refreshes, 1);
+        let (_, hit) = cache.lookup(&q, applied.graph.epoch(), &config);
+        let hit = hit.expect("refreshed plan must hit at the new epoch");
+        assert!(Arc::ptr_eq(&hit.cpi, &arenas));
+        // The carried plan is exact: bit-identical to a cold prepare
+        // against the successor graph.
+        assert_eq!(
+            hit.cpi.checksum(),
+            crate::exec::prepare(&q, &applied.graph, &config)
+                .unwrap()
+                .cpi
+                .checksum()
+        );
+
+        // Edge between the two triangles bridges verify-passing endpoints
+        // across a query edge: the proof refuses and the entry is dropped
+        // (a stale plan served here would be wrong, not just cold).
+        let g1 = applied.graph;
+        let mut d = GraphDelta::new();
+        d.insert(1, 3);
+        let applied2 = g1.apply_delta(&d).unwrap();
+        assert_eq!(cache.refresh(&g1, &applied2), 0);
+        assert!(cache.is_empty());
+        assert_eq!(cache.snapshot().refreshes, 1);
+
+        // Mismatched lineage (epoch gap): nothing provable, no-op.
+        let (canon, plan) = entry_for(&q, &g1, &config);
+        cache.insert(g1.epoch(), &config, canon, plan);
+        assert_eq!(cache.refresh(&g0, &applied2), 0);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

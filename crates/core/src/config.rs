@@ -52,6 +52,35 @@ pub enum OrderStrategy {
     Arbitrary,
 }
 
+/// Which runtime vertex-selection rule the enumerator follows — the
+/// [`OrderingStrategy`](crate::exec::strategy::OrderingStrategy) plugged
+/// into the search. Distinct from [`OrderStrategy`], which ranks
+/// root-to-leaf paths when the *static* plan is computed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OrderingKind {
+    /// Follow the precomputed path-based plan (§4.2.1) verbatim. Default,
+    /// and the oracle the other strategies are differential-tested against.
+    #[default]
+    StaticPath,
+    /// DAF-style adaptive order: at every depth extend the unmatched
+    /// CPI-tree vertex whose parent is mapped and whose candidate row for
+    /// the current prefix is smallest.
+    Adaptive,
+}
+
+/// Which backtracking rule prunes the search tree — the
+/// [`PruningStrategy`](crate::exec::strategy::PruningStrategy) plugged
+/// into the search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PruningKind {
+    /// Plain chronological backtracking (the paper's Algorithm 5). Default.
+    #[default]
+    Plain,
+    /// DAF-style failing-set backtracking: track why each subtree failed
+    /// and skip sibling candidates that provably reproduce the failure.
+    FailingSet,
+}
+
 /// Resource limits for one matching invocation.
 ///
 /// The paper reports up to a fixed number of embeddings (default `10^5`)
@@ -96,6 +125,14 @@ pub struct MatchConfig {
     pub decomposition: DecompositionMode,
     /// Path-ordering strategy.
     pub order: OrderStrategy,
+    /// Runtime vertex-selection strategy used during enumeration. Does not
+    /// affect preparation (the CPI and static plan are built regardless),
+    /// so it is deliberately excluded from the plan-cache signature — like
+    /// `budget` and `build_threads`.
+    pub ordering: OrderingKind,
+    /// Backtrack-pruning strategy used during enumeration. Excluded from
+    /// the plan-cache signature for the same reason as `ordering`.
+    pub pruning: PruningKind,
     /// Optional candidate filters (§A.6 ablation knobs).
     pub filters: FilterOptions,
     /// Resource limits.
@@ -114,6 +151,8 @@ impl Default for MatchConfig {
             cpi: CpiMode::TopDownRefined,
             decomposition: DecompositionMode::CoreForestLeaf,
             order: OrderStrategy::Greedy,
+            ordering: OrderingKind::StaticPath,
+            pruning: PruningKind::Plain,
             filters: FilterOptions::default(),
             budget: Budget::first(100_000),
             build_threads: 1,
@@ -187,6 +226,18 @@ impl MatchConfig {
         self.build_threads = threads;
         self
     }
+
+    /// Replaces the runtime enumeration-ordering strategy.
+    pub fn with_ordering(mut self, ordering: OrderingKind) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Replaces the backtrack-pruning strategy.
+    pub fn with_pruning(mut self, pruning: PruningKind) -> Self {
+        self.pruning = pruning;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +281,18 @@ mod tests {
             MatchConfig::default().with_build_threads(4).build_threads,
             4
         );
+    }
+
+    #[test]
+    fn strategy_defaults_and_builders() {
+        let c = MatchConfig::default();
+        assert_eq!(c.ordering, OrderingKind::StaticPath);
+        assert_eq!(c.pruning, PruningKind::Plain);
+        let c = c
+            .with_ordering(OrderingKind::Adaptive)
+            .with_pruning(PruningKind::FailingSet);
+        assert_eq!(c.ordering, OrderingKind::Adaptive);
+        assert_eq!(c.pruning, PruningKind::FailingSet);
     }
 
     #[test]

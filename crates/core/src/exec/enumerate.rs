@@ -8,6 +8,15 @@
 //! Theorem 4.1 prescribes. Once all core and forest vertices are mapped the
 //! leaf phase (§4.4) completes the embedding.
 //!
+//! The enumerator is generic over the two strategy traits of
+//! [`super::strategy`]: which vertex to extend at each depth
+//! ([`OrderingStrategy`]) and which sibling candidates to skip when a
+//! subtree fails ([`PruningStrategy`]). The default combination
+//! ([`StaticOrder`](super::strategy::StaticOrder),
+//! [`PlainBacktrack`](super::strategy::PlainBacktrack)) monomorphizes every
+//! hook to an inlined no-op, so it compiles to the paper's Algorithm 5
+//! exactly; every combination enumerates the identical embedding set.
+//!
 //! The set primitives here are shared with CPI construction via
 //! [`cfl_graph::intersect`]: `ValidateNT` probes maintained neighborhood
 //! bitsets (the same bitset-membership strategy `build_rows` uses), and the
@@ -20,6 +29,7 @@ use std::time::Instant;
 use cfl_graph::{FixedBitSet, Graph, VertexId};
 
 use super::leaf::LeafPhase;
+use super::strategy::{OrderingStrategy, PruningStrategy};
 use crate::config::Budget;
 use crate::cpi::Cpi;
 use crate::order::OrderPlan;
@@ -31,13 +41,15 @@ pub(crate) const UNMAPPED: VertexId = VertexId::MAX;
 /// How many search nodes between deadline checks.
 const DEADLINE_STRIDE: u64 = 4096;
 
-pub(crate) struct Enumerator<'a, 's> {
+pub(crate) struct Enumerator<'a, 's, O: OrderingStrategy, P: PruningStrategy> {
     q: &'a Graph,
     g: &'a Graph,
     cpi: &'a Cpi,
     plan: &'a OrderPlan,
     sink: super::SinkRef<'s>,
     leaf: LeafPhase,
+    ordering: O,
+    pruning: P,
 
     /// mapping[u] = data vertex for query vertex u, or UNMAPPED.
     pub mapping: Vec<VertexId>,
@@ -48,7 +60,8 @@ pub(crate) struct Enumerator<'a, 's> {
     /// byte access over a `|V(G)|`-sized `Vec<bool>`.
     pub visited: FixedBitSet,
     /// Whether query vertex `u` is the source of some `ValidateNT` check
-    /// (appears in a later order step's `checks` list).
+    /// (decided by the ordering strategy: with the static plan, whether
+    /// `u` appears in a later step's `checks` list).
     is_check_source: Vec<bool>,
     /// For each check source `u`: the data-graph neighborhood of `mapping[u]`
     /// as a bitset, maintained while `u` is mapped. Turns every non-tree
@@ -74,7 +87,7 @@ pub(crate) struct Enumerator<'a, 's> {
 /// Inner control signal: stop the whole search.
 pub(crate) struct Stop;
 
-impl<'a, 's> Enumerator<'a, 's> {
+impl<'a, 's, O: OrderingStrategy, P: PruningStrategy> Enumerator<'a, 's, O, P> {
     pub(crate) fn new(
         q: &'a Graph,
         g: &'a Graph,
@@ -84,12 +97,9 @@ impl<'a, 's> Enumerator<'a, 's> {
         sink: super::SinkRef<'s>,
     ) -> Self {
         let deadline = budget.time_limit.map(|d| Instant::now() + d);
-        let mut is_check_source = vec![false; q.num_vertices()];
-        for ov in &plan.vertices {
-            for &w in &ov.checks {
-                is_check_source[w as usize] = true;
-            }
-        }
+        let ordering = O::new(q, cpi, plan);
+        let pruning = P::new(q, g, plan);
+        let is_check_source = ordering.check_sources(q, plan);
         let nt_mask = is_check_source
             .iter()
             .map(|&src| FixedBitSet::new(if src { g.num_vertices() } else { 0 }))
@@ -108,6 +118,8 @@ impl<'a, 's> Enumerator<'a, 's> {
             plan,
             sink,
             leaf: LeafPhase::new(q.num_vertices()),
+            ordering,
+            pruning,
             mapping: vec![UNMAPPED; q.num_vertices()],
             pos: vec![0; q.num_vertices()],
             visited: FixedBitSet::new(g.num_vertices()),
@@ -147,7 +159,9 @@ impl<'a, 's> Enumerator<'a, 's> {
     /// candidate, so workers that finish cheap subtrees immediately steal
     /// the next one instead of idling behind a static partition; the search
     /// subtrees rooted at distinct root candidates are disjoint, so no
-    /// other coordination is needed.
+    /// other coordination is needed. (Failing sets never span roots either:
+    /// the root is in every deeper failing set, so a backjump cannot cross
+    /// depth 0 — all pruning state stays worker-private.)
     ///
     /// `Relaxed` suffices for the claim `fetch_add`: an atomic
     /// read-modify-write yields each participant a distinct value of the
@@ -180,8 +194,12 @@ impl<'a, 's> Enumerator<'a, 's> {
             {
                 self.tr.steals += 1;
             }
-            match self.try_candidate(0, pos as u32) {
-                ControlFlow::Continue(()) => {}
+            // Slot 0 is always the root; a sibling-skip signal at depth 0
+            // is ignored — root subtrees are partitioned by the cursor,
+            // and root-level skips never fire (the root is in every
+            // failing set below it).
+            match self.try_candidate(0, 0, pos as u32) {
+                ControlFlow::Continue(_) => {}
                 ControlFlow::Break(Stop) => {
                     return if self.timed_out {
                         MatchOutcome::TimedOut
@@ -207,37 +225,60 @@ impl<'a, 's> Enumerator<'a, 's> {
 
     fn extend(&mut self, depth: usize) -> ControlFlow<Stop> {
         if depth == self.plan.vertices.len() {
+            self.pruning.on_complete(depth);
             return self.complete();
         }
         let cpi = self.cpi;
-        let ov = &self.plan.vertices[depth];
+        let plan = self.plan;
+        let slot = self
+            .ordering
+            .select(depth, cpi, plan, &self.mapping, &self.pos);
+        let ov = &plan.vertices[slot];
         let u = ov.vertex;
+        {
+            let constraints = self.ordering.constraints(ov);
+            self.pruning
+                .enter(depth, u, ov.parent, constraints, &self.mapping);
+        }
         match ov.parent {
             None => {
                 // The root: iterate its full candidate set.
                 for i in 0..cpi.candidates(u).len() {
-                    self.try_candidate(depth, i as u32)?;
+                    if self.try_candidate(depth, slot, i as u32)? {
+                        break;
+                    }
                 }
             }
             Some(p) => {
                 let row = cpi.row(u, self.pos[p as usize] as usize);
                 for &cand_pos in row {
-                    self.try_candidate(depth, cand_pos)?;
+                    if self.try_candidate(depth, slot, cand_pos)? {
+                        break;
+                    }
                 }
             }
         }
+        self.pruning.exit(depth, u);
         ControlFlow::Continue(())
     }
 
+    /// Tries one candidate of the vertex at `slot` (chosen for `depth`).
+    /// `Continue(true)` tells the caller's loop to skip the remaining
+    /// sibling candidates (a pruning backjump).
     #[inline]
-    fn try_candidate(&mut self, depth: usize, cand_pos: u32) -> ControlFlow<Stop> {
+    fn try_candidate(
+        &mut self,
+        depth: usize,
+        slot: usize,
+        cand_pos: u32,
+    ) -> ControlFlow<Stop, bool> {
         self.nodes += 1;
         #[cfg(feature = "trace")]
         self.tr.bump_node(depth, self.plan.core_len);
         if self.out_of_time() {
             return ControlFlow::Break(Stop);
         }
-        let ov = &self.plan.vertices[depth];
+        let ov = &self.plan.vertices[slot];
         let u = ov.vertex;
         let v = self.cpi.candidates(u)[cand_pos as usize];
         // Cheap invariant probes (§4.1): every CPI candidate carries the
@@ -248,28 +289,39 @@ impl<'a, 's> Enumerator<'a, 's> {
             .parent
             .is_none_or(|p| self.g.has_edge(self.mapping[p as usize], v)));
         if self.visited.contains(v) {
-            return ControlFlow::Continue(());
+            self.pruning.on_conflict(depth, u, v);
+            return ControlFlow::Continue(false);
         }
         // ValidateNT: probe the maintained neighborhood bitset of every
-        // earlier non-tree endpoint — one bit test per check instead of a
-        // binary search over the mapped vertex's adjacency list.
-        for &w in &ov.checks {
+        // mapped non-tree endpoint — one bit test per check instead of a
+        // binary search over the mapped vertex's adjacency list. Static
+        // constraint lists only hold earlier-ordered (mapped) vertices, so
+        // the mapped test compiles out; dynamic orders validate each
+        // non-tree edge from whichever endpoint is mapped second.
+        let constraints = self.ordering.constraints(ov);
+        for &w in constraints {
+            if O::DYNAMIC && self.mapping[w as usize] == UNMAPPED {
+                continue;
+            }
             self.nt_checks += 1;
             debug_assert_eq!(
                 self.nt_mask[w as usize].contains(v),
                 self.g.has_edge(self.mapping[w as usize], v)
             );
             if !self.nt_mask[w as usize].contains(v) {
-                return ControlFlow::Continue(());
+                self.pruning.on_check_fail(depth, u, w);
+                return ControlFlow::Continue(false);
             }
         }
         self.mapping[u as usize] = v;
         self.pos[u as usize] = cand_pos;
         self.visited.insert(v);
+        self.pruning.on_mapped(u, v);
         let check_source = self.is_check_source[u as usize];
         if check_source {
             self.nt_mask[u as usize].insert_all(self.g.neighbors(v));
         }
+        let emitted_before = self.emitted;
         let r = self.extend(depth + 1);
         if check_source {
             self.nt_mask[u as usize].remove_all(self.g.neighbors(v));
@@ -280,7 +332,11 @@ impl<'a, 's> Enumerator<'a, 's> {
         {
             self.tr.backtracks += 1;
         }
-        r
+        let skip = self
+            .pruning
+            .after_child(depth, u, self.emitted > emitted_before);
+        r?;
+        ControlFlow::Continue(skip)
     }
 
     /// All core + forest vertices are mapped: run the leaf phase (or emit
@@ -375,6 +431,7 @@ impl<'a, 's> Enumerator<'a, 's> {
         counters.gallop_hits += tally.gallop;
         counters.bitset_hits += tally.bitset;
         counters.simd_hits += tally.simd;
+        counters.backjumps += self.pruning.backjumps();
         cfl_trace::WorkerTrace {
             embeddings: self.emitted,
             nodes: self.nodes,

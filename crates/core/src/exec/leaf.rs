@@ -22,6 +22,7 @@ use cfl_graph::intersect::retain_unset_into;
 use cfl_graph::{Label, VertexId};
 
 use super::enumerate::{Enumerator, Stop, UNMAPPED};
+use super::strategy::{OrderingStrategy, PruningStrategy};
 
 /// One NEC unit: leaves sharing a parent and a label.
 struct Unit {
@@ -61,7 +62,10 @@ impl LeafPhase {
     }
 
     /// Runs the leaf phase for the current core+forest embedding in `en`.
-    pub(crate) fn run(&mut self, en: &mut Enumerator<'_, '_>) -> ControlFlow<Stop> {
+    pub(crate) fn run<O: OrderingStrategy, P: PruningStrategy>(
+        &mut self,
+        en: &mut Enumerator<'_, '_, O, P>,
+    ) -> ControlFlow<Stop> {
         if !self.build_units(en) {
             self.recycle();
             return ControlFlow::Continue(());
@@ -88,7 +92,10 @@ impl LeafPhase {
 
     /// Computes `C(u)` for every leaf and groups leaves into NEC units;
     /// returns `false` when some unit cannot be satisfied.
-    fn build_units(&mut self, en: &mut Enumerator<'_, '_>) -> bool {
+    fn build_units<O: OrderingStrategy, P: PruningStrategy>(
+        &mut self,
+        en: &mut Enumerator<'_, '_, O, P>,
+    ) -> bool {
         let cpi = en.cpi();
         let q = en.query();
         debug_assert!(self.units.is_empty());
@@ -148,7 +155,12 @@ impl LeafPhase {
     }
 
     /// Enumeration mode: assign member `mi` of unit `ui`, then recurse.
-    fn assign(&self, en: &mut Enumerator<'_, '_>, ui: usize, mi: usize) -> ControlFlow<Stop> {
+    fn assign<O: OrderingStrategy, P: PruningStrategy>(
+        &self,
+        en: &mut Enumerator<'_, '_, O, P>,
+        ui: usize,
+        mi: usize,
+    ) -> ControlFlow<Stop> {
         if ui == self.units.len() {
             return en.emit();
         }
@@ -180,7 +192,11 @@ impl LeafPhase {
     /// Units of different labels never conflict, so this product could be
     /// factorized per label class; the visited-marking recursion realizes
     /// the same result because cross-class choices never block each other.
-    fn count_all(&self, en: &mut Enumerator<'_, '_>, ui: usize) -> ControlFlow<Stop, u64> {
+    fn count_all<O: OrderingStrategy, P: PruningStrategy>(
+        &self,
+        en: &mut Enumerator<'_, '_, O, P>,
+        ui: usize,
+    ) -> ControlFlow<Stop, u64> {
         if ui == self.units.len() {
             return ControlFlow::Continue(1);
         }
@@ -193,9 +209,9 @@ impl LeafPhase {
     /// Chooses `remaining` distinct candidates for unit `ui` with indices
     /// starting at `start` (combinations, not permutations), then recurses
     /// into the next unit.
-    fn count_combinations(
+    fn count_combinations<O: OrderingStrategy, P: PruningStrategy>(
         &self,
-        en: &mut Enumerator<'_, '_>,
+        en: &mut Enumerator<'_, '_, O, P>,
         ui: usize,
         start: usize,
         remaining: usize,

@@ -7,6 +7,7 @@
 mod enumerate;
 mod leaf;
 pub mod parallel;
+pub mod strategy;
 
 use std::time::Instant;
 
@@ -23,6 +24,7 @@ use crate::root::select_root_with_candidates;
 use crate::sync::Arc;
 
 use enumerate::Enumerator;
+use strategy::dispatch_strategies;
 
 pub use parallel::{collect_embeddings_parallel, count_embeddings_parallel};
 
@@ -244,19 +246,22 @@ fn run(
     sink: SinkRef<'_>,
 ) -> Result<MatchReport, Error> {
     let prepared = prepare(q, g, config)?;
-    Ok(enumerate_prepared(q, g, &prepared, config.budget, sink))
+    Ok(enumerate_prepared(q, g, &prepared, config, sink))
 }
 
 /// Runs the enumeration phase over an already-prepared query. Shared by
 /// the one-shot API, [`DataGraph`](crate::session::DataGraph) sessions and
 /// [`Maintained`](crate::refresh::Maintained) handles. Borrows the
 /// preparation (cloning its stats into the report) so an amortized caller
-/// can enumerate the same CPI repeatedly.
+/// can enumerate the same CPI repeatedly. Only `config`'s enumeration-side
+/// knobs (budget, ordering, pruning) are consulted: a preparation is
+/// strategy-independent, so the same `Prepared` can be raced under every
+/// strategy combination.
 pub(crate) fn enumerate_prepared(
     q: &Graph,
     g: &Graph,
     prepared: &Prepared,
-    budget: crate::config::Budget,
+    config: &MatchConfig,
     sink: SinkRef<'_>,
 ) -> MatchReport {
     if prepared.provably_empty() {
@@ -274,23 +279,25 @@ pub(crate) fn enumerate_prepared(
     let enum_start = Instant::now();
     #[cfg(feature = "trace")]
     let enum_span = cfl_trace::span::enter(cfl_trace::span::Phase::Enumerate);
-    let mut enumerator = Enumerator::new(q, g, cpi, plan, budget, sink);
-    let outcome = enumerator.run();
-    #[cfg(feature = "trace")]
-    drop(enum_span);
-    stats.enumeration_time = enum_start.elapsed();
-    stats.search_nodes = enumerator.nodes;
-    stats.nt_checks = enumerator.nt_checks;
-    #[cfg(feature = "trace")]
-    if let Some(tr) = stats.trace.as_mut() {
-        tr.workers.push(enumerator.take_trace());
-    }
+    dispatch_strategies!(config.ordering, config.pruning, O, P, {
+        let mut enumerator = Enumerator::<O, P>::new(q, g, cpi, plan, config.budget, sink);
+        let outcome = enumerator.run();
+        #[cfg(feature = "trace")]
+        drop(enum_span);
+        stats.enumeration_time = enum_start.elapsed();
+        stats.search_nodes = enumerator.nodes;
+        stats.nt_checks = enumerator.nt_checks;
+        #[cfg(feature = "trace")]
+        if let Some(tr) = stats.trace.as_mut() {
+            tr.workers.push(enumerator.take_trace());
+        }
 
-    MatchReport {
-        outcome,
-        embeddings: enumerator.emitted,
-        stats,
-    }
+        MatchReport {
+            outcome,
+            embeddings: enumerator.emitted,
+            stats,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -365,6 +372,34 @@ mod tests {
         ] {
             let (embs, _) = collect_embeddings(&q, &g, &cfg).unwrap();
             assert_eq!(embs.len(), 3, "config {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn all_strategy_combinations_agree_on_figure3() {
+        use crate::config::{OrderingKind, PruningKind};
+        let (q, g) = figure3();
+        for ordering in [OrderingKind::StaticPath, OrderingKind::Adaptive] {
+            for pruning in [PruningKind::Plain, PruningKind::FailingSet] {
+                let cfg = MatchConfig::exhaustive()
+                    .with_ordering(ordering)
+                    .with_pruning(pruning);
+                let (embs, report) = collect_embeddings(&q, &g, &cfg).unwrap();
+                let mut maps: Vec<Vec<u32>> = embs.into_iter().map(|e| e.mapping).collect();
+                maps.sort();
+                assert_eq!(
+                    maps,
+                    vec![
+                        vec![0, 2, 1, 5, 4],
+                        vec![0, 2, 1, 5, 6],
+                        vec![0, 2, 3, 5, 6],
+                    ],
+                    "ordering {ordering:?} pruning {pruning:?}"
+                );
+                assert!(report.outcome.is_complete());
+                let count = count_embeddings(&q, &g, &cfg).unwrap();
+                assert_eq!(count.embeddings, 3, "{ordering:?}/{pruning:?}");
+            }
         }
     }
 

@@ -24,6 +24,7 @@ use crate::error::Error;
 use crate::result::{Embedding, MatchOutcome, MatchReport, MatchStats};
 
 use super::enumerate::Enumerator;
+use super::strategy::{dispatch_strategies, OrderingStrategy, PruningStrategy};
 use super::{prepare, Prepared};
 
 /// One worker's final tally, joined and merged after the scoped threads
@@ -39,7 +40,10 @@ struct WorkerResult {
 }
 
 impl WorkerResult {
-    fn from_enumerator(outcome: MatchOutcome, en: &mut Enumerator<'_, '_>) -> Self {
+    fn from_enumerator<O: OrderingStrategy, P: PruningStrategy>(
+        outcome: MatchOutcome,
+        en: &mut Enumerator<'_, '_, O, P>,
+    ) -> Self {
         WorkerResult {
             outcome,
             emitted: en.emitted,
@@ -100,23 +104,25 @@ pub fn count_embeddings_parallel(
     #[cfg(feature = "trace")]
     let _enum_span = cfl_trace::span::enter(cfl_trace::span::Phase::Enumerate);
     let enum_start = std::time::Instant::now();
-    let results: Vec<WorkerResult> = thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let cpi = &cpi;
-            let plan = &plan;
-            let cursor = &cursor;
-            let budget = config.budget;
-            handles.push(scope.spawn(move || {
-                let mut en = Enumerator::new(q, g, cpi, plan, budget, None);
-                let outcome = en.run_stealing(cursor, num_roots);
-                WorkerResult::from_enumerator(outcome, &mut en)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-            .collect()
+    let results: Vec<WorkerResult> = dispatch_strategies!(config.ordering, config.pruning, O, P, {
+        thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let cpi = &cpi;
+                let plan = &plan;
+                let cursor = &cursor;
+                let budget = config.budget;
+                handles.push(scope.spawn(move || {
+                    let mut en = Enumerator::<O, P>::new(q, g, cpi, plan, budget, None);
+                    let outcome = en.run_stealing(cursor, num_roots);
+                    WorkerResult::from_enumerator(outcome, &mut en)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        })
     });
     stats.enumeration_time = enum_start.elapsed();
 
@@ -169,41 +175,43 @@ pub fn collect_embeddings_parallel(
     #[cfg(feature = "trace")]
     let _enum_span = cfl_trace::span::enter(cfl_trace::span::Phase::Enumerate);
     let enum_start = std::time::Instant::now();
-    let (mut collected, results) = thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let cpi = &cpi;
-            let plan = &plan;
-            let cursor = &cursor;
-            let cancelled = &cancelled;
-            let tx = tx.clone();
-            let budget = config.budget;
-            handles.push(scope.spawn(move || {
-                let mut sink = |m: &[VertexId]| {
-                    tx.send(m.to_vec()).is_ok() && !cancelled.load(Ordering::Relaxed)
-                };
-                let mut en = Enumerator::new(q, g, cpi, plan, budget, Some(&mut sink));
-                let outcome = en.run_stealing(cursor, num_roots);
-                WorkerResult::from_enumerator(outcome, &mut en)
-            }));
-        }
-        drop(tx);
+    let (mut collected, results) = dispatch_strategies!(config.ordering, config.pruning, O, P, {
+        thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let cpi = &cpi;
+                let plan = &plan;
+                let cursor = &cursor;
+                let cancelled = &cancelled;
+                let tx = tx.clone();
+                let budget = config.budget;
+                handles.push(scope.spawn(move || {
+                    let mut sink = |m: &[VertexId]| {
+                        tx.send(m.to_vec()).is_ok() && !cancelled.load(Ordering::Relaxed)
+                    };
+                    let mut en = Enumerator::<O, P>::new(q, g, cpi, plan, budget, Some(&mut sink));
+                    let outcome = en.run_stealing(cursor, num_roots);
+                    WorkerResult::from_enumerator(outcome, &mut en)
+                }));
+            }
+            drop(tx);
 
-        // Drain on this thread, enforcing the global cap.
-        let mut collected: Vec<Embedding> = Vec::new();
-        for mapping in &rx {
-            if (collected.len() as u64) < max {
-                collected.push(Embedding { mapping });
+            // Drain on this thread, enforcing the global cap.
+            let mut collected: Vec<Embedding> = Vec::new();
+            for mapping in &rx {
+                if (collected.len() as u64) < max {
+                    collected.push(Embedding { mapping });
+                }
+                if collected.len() as u64 >= max {
+                    cancelled.store(true, Ordering::Relaxed);
+                }
             }
-            if collected.len() as u64 >= max {
-                cancelled.store(true, Ordering::Relaxed);
-            }
-        }
-        let results: Vec<WorkerResult> = handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-            .collect();
-        (collected, results)
+            let results: Vec<WorkerResult> = handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect();
+            (collected, results)
+        })
     });
     stats.enumeration_time = enum_start.elapsed();
 

@@ -55,25 +55,31 @@ pub struct FilterOptions {
     pub use_mnd: bool,
     /// Apply the neighborhood-label-frequency filter (SAPPER \[24\]).
     pub use_nlf: bool,
+    /// Apply the 2-hop label-ball / label-pair bloom filter (l2Match's
+    /// neighboring-label index). Off by default: it pays off on workloads
+    /// with diverse label pairs and is a no-op on label-sparse graphs.
+    pub use_label_pair: bool,
 }
 
 impl Default for FilterOptions {
-    /// Both filters on — the paper's configuration.
+    /// MND + NLF on — the paper's configuration; label-pair off.
     fn default() -> Self {
         FilterOptions {
             use_mnd: true,
             use_nlf: true,
+            use_label_pair: false,
         }
     }
 }
 
 /// Which CandVerify stage rejected a probe — only distinguished when the
 /// `trace` feature classifies kills; the plain [`FilterContext::cand_verify`]
-/// collapses both to `false`.
+/// collapses all to `false`.
 #[cfg(feature = "trace")]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum FilterStage {
     Mnd,
+    LabelPair,
     Nlf,
 }
 
@@ -82,10 +88,13 @@ enum FilterStage {
 pub(crate) struct CachedVerdict {
     /// Whether `(v, u)` passed CandVerify.
     pub(crate) passed: bool,
-    /// When `!passed`: whether the MND stage (rather than NLF) rejected it.
-    /// Preserved so traced refreshes attribute kills to the same stage the
-    /// original computation did.
+    /// When `!passed`: whether the MND stage rejected it.
+    /// Preserved (with `failed_at_lp`) so traced refreshes attribute kills
+    /// to the same stage the original computation did.
     pub(crate) failed_at_mnd: bool,
+    /// When `!passed`: whether the label-pair stage (rather than NLF)
+    /// rejected it.
+    pub(crate) failed_at_lp: bool,
 }
 
 /// CandVerify (Algorithm 6) evaluated purely from stat tables — no graph
@@ -105,6 +114,16 @@ pub(crate) fn cand_verify_stats(
         return CachedVerdict {
             passed: false,
             failed_at_mnd: true,
+            failed_at_lp: false,
+        };
+    }
+    // Label-pair blooms between the constant-time MND probe and the NLF
+    // merge scan: two AND-compares against the 2-hop masks.
+    if options.use_label_pair && !g_stats.label_pairs.dominates(v, &q_stats.label_pairs, u) {
+        return CachedVerdict {
+            passed: false,
+            failed_at_mnd: false,
+            failed_at_lp: true,
         };
     }
     let passed = if !options.use_nlf {
@@ -118,6 +137,7 @@ pub(crate) fn cand_verify_stats(
     CachedVerdict {
         passed,
         failed_at_mnd: false,
+        failed_at_lp: false,
     }
 }
 
@@ -154,6 +174,8 @@ pub struct VerdictCache {
     passed: Vec<AtomicU64>,
     /// Bit `(u, v)` set ⇔ the stored verdict failed at the MND stage.
     failed_mnd: Vec<AtomicU64>,
+    /// Bit `(u, v)` set ⇔ the stored verdict failed at the label-pair stage.
+    failed_lp: Vec<AtomicU64>,
 }
 
 impl VerdictCache {
@@ -167,6 +189,7 @@ impl VerdictCache {
             checked: zeroed(),
             passed: zeroed(),
             failed_mnd: zeroed(),
+            failed_lp: zeroed(),
         }
     }
 
@@ -191,6 +214,7 @@ impl VerdictCache {
         Some(CachedVerdict {
             passed: self.passed[idx].load(Ordering::Acquire) & bit != 0,
             failed_at_mnd: self.failed_mnd[idx].load(Ordering::Acquire) & bit != 0,
+            failed_at_lp: self.failed_lp[idx].load(Ordering::Acquire) & bit != 0,
         })
     }
 
@@ -203,6 +227,8 @@ impl VerdictCache {
             self.passed[idx].fetch_or(bit, Ordering::Release);
         } else if verdict.failed_at_mnd {
             self.failed_mnd[idx].fetch_or(bit, Ordering::Release);
+        } else if verdict.failed_at_lp {
+            self.failed_lp[idx].fetch_or(bit, Ordering::Release);
         }
         // Publish last: readers Acquire-load this word first.
         self.checked[idx].fetch_or(bit, Ordering::Release);
@@ -237,6 +263,7 @@ impl VerdictCache {
                 *self.checked[idx].get_mut() &= mask;
                 *self.passed[idx].get_mut() &= mask;
                 *self.failed_mnd[idx].get_mut() &= mask;
+                *self.failed_lp[idx].get_mut() &= mask;
             }
         }
     }
@@ -435,6 +462,9 @@ impl<'a> FilterContext<'a> {
                 failed_at_mnd: true,
                 ..
             } => Err(FilterStage::Mnd),
+            CachedVerdict {
+                failed_at_lp: true, ..
+            } => Err(FilterStage::LabelPair),
             _ => Err(FilterStage::Nlf),
         }
     }
@@ -446,11 +476,16 @@ impl<'a> FilterContext<'a> {
         #[cfg(feature = "trace")]
         if let Some(t) = self.build_trace {
             let mut mnd: u64 = 0;
+            let mut lp: u64 = 0;
             let mut nlf: u64 = 0;
             list.retain(|&v| match self.cand_verify_stage(v, u) {
                 Ok(()) => true,
                 Err(FilterStage::Mnd) => {
                     mnd += 1;
+                    false
+                }
+                Err(FilterStage::LabelPair) => {
+                    lp += 1;
                     false
                 }
                 Err(FilterStage::Nlf) => {
@@ -459,6 +494,7 @@ impl<'a> FilterContext<'a> {
                 }
             });
             t.add(cfl_trace::BuildCounter::MndKills, mnd);
+            t.add(cfl_trace::BuildCounter::LabelPairKills, lp);
             t.add(cfl_trace::BuildCounter::NlfKills, nlf);
             return;
         }
@@ -526,6 +562,7 @@ mod tests {
         let off = FilterOptions {
             use_mnd: false,
             use_nlf: false,
+            use_label_pair: false,
         };
         let ctx = FilterContext::with_options(&q, &g, &qs, &gs, off);
         // With both optional filters off, CandVerify accepts anything that
@@ -587,6 +624,32 @@ mod tests {
     }
 
     #[test]
+    fn label_pair_filter_rejects_missing_pair() {
+        // Query: triangle with labels 0,1,2. Data: the same triangle plus a
+        // label-2 pendant on vertex 0. The pendant's 1-hop edge set lacks
+        // the (1,2) label pair the query's label-2 vertex requires.
+        let q = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let g = graph_from_edges(&[0, 1, 2, 2], &[(0, 1), (1, 2), (0, 2), (3, 0)]).unwrap();
+        let qs = GraphStats::build(&q);
+        let gs = GraphStats::build(&g);
+        let lp_only = FilterOptions {
+            use_mnd: false,
+            use_nlf: false,
+            use_label_pair: true,
+        };
+        let ctx = FilterContext::with_options(&q, &g, &qs, &gs, lp_only);
+        let v = cand_verify_stats(&qs, &gs, lp_only, 3, 2);
+        assert!(!v.passed && v.failed_at_lp && !v.failed_at_mnd);
+        assert!(ctx.cand_verify(2, 2), "true image must survive");
+        // With the filter off the pendant sails through.
+        let off = FilterOptions {
+            use_label_pair: false,
+            ..lp_only
+        };
+        assert!(cand_verify_stats(&qs, &gs, off, 3, 2).passed);
+    }
+
+    #[test]
     fn light_candidates_filter_by_label_and_degree() {
         let (q, g) = ctx_graphs();
         let qs = GraphStats::build(&q);
@@ -645,6 +708,7 @@ mod tests {
             CachedVerdict {
                 passed: false,
                 failed_at_mnd: true,
+                failed_at_lp: false,
             },
         );
         cache.record(
@@ -653,6 +717,7 @@ mod tests {
             CachedVerdict {
                 passed: true,
                 failed_at_mnd: false,
+                failed_at_lp: false,
             },
         );
         assert_eq!(
@@ -660,6 +725,7 @@ mod tests {
             Some(CachedVerdict {
                 passed: false,
                 failed_at_mnd: true,
+                failed_at_lp: false,
             })
         );
         assert_eq!(
@@ -667,6 +733,7 @@ mod tests {
             Some(CachedVerdict {
                 passed: true,
                 failed_at_mnd: false,
+                failed_at_lp: false,
             })
         );
         // Same data vertex, other rows untouched.
@@ -682,6 +749,7 @@ mod tests {
             CachedVerdict {
                 passed: false,
                 failed_at_mnd: false,
+                failed_at_lp: true,
             },
         );
         assert_eq!(
@@ -689,6 +757,7 @@ mod tests {
             Some(CachedVerdict {
                 passed: false,
                 failed_at_mnd: false,
+                failed_at_lp: true,
             })
         );
     }

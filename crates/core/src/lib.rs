@@ -64,7 +64,9 @@ pub(crate) mod sync;
 pub mod validate;
 
 pub use cache::{PlanCache, PlanCacheStats, DEFAULT_PLAN_CACHE_CAPACITY};
-pub use config::{Budget, CpiMode, DecompositionMode, MatchConfig, OrderStrategy};
+pub use config::{
+    Budget, CpiMode, DecompositionMode, MatchConfig, OrderStrategy, OrderingKind, PruningKind,
+};
 pub use cost::{evaluate_cost, CostBreakdown};
 pub use cpi::Cpi;
 pub use decompose::{

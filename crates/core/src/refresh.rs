@@ -221,6 +221,15 @@ impl<'q> Maintained<'q> {
             self.num_data_vertices = g.num_vertices();
             return self.rebuild(g, RefreshKind::Rebuilt);
         }
+        if self.config.filters.use_label_pair {
+            // Label-pair blooms summarize a 2-hop neighborhood, so a
+            // delta's statistics damage reaches beyond the dirty frontier —
+            // and beyond the verdict columns the frontier bounds. Neither
+            // the Unchanged proof nor the retention proof applies, and the
+            // memoized verdicts cannot be trusted: start cold.
+            self.verdicts = VerdictCache::new(self.q.num_vertices(), g.num_vertices());
+            return self.rebuild(g, RefreshKind::Rebuilt);
+        }
         if !applied
             .dirty
             .iter()
@@ -382,7 +391,7 @@ impl<'q> Maintained<'q> {
         );
         #[allow(unused_mut)]
         let mut report =
-            crate::exec::enumerate_prepared(self.q, g, &self.prepared, self.config.budget, sink);
+            crate::exec::enumerate_prepared(self.q, g, &self.prepared, &self.config, sink);
         #[cfg(feature = "trace")]
         if let Some(trace) = report.stats.trace.as_deref_mut() {
             trace.cache.dirty_frontier = self.stats.dirty_frontier;
@@ -651,6 +660,27 @@ mod tests {
             m.refresh(&applied).unwrap();
             assert_in_sync(&m, &applied.graph, &config);
         }
+    }
+
+    #[test]
+    fn label_pair_filter_always_rebuilds() {
+        // With the 2-hop label-pair blooms on, the dirty frontier no
+        // longer bounds the statistics damage, so even the delta that the
+        // retention proof would keep (see
+        // `retention_proof_keeps_cpi_without_rebuilding`) must rebuild —
+        // and still land bit-identical to a cold prepare.
+        let g0 = data_graph();
+        let q = triangle_query();
+        let config = MatchConfig::exhaustive().with_filters(crate::filters::FilterOptions {
+            use_label_pair: true,
+            ..Default::default()
+        });
+        let mut m = Maintained::prepare(&q, &g0, &config).unwrap();
+        let mut d = GraphDelta::new();
+        d.insert(6, 7);
+        let applied = g0.apply_delta(&d).unwrap();
+        assert_eq!(m.refresh(&applied).unwrap(), RefreshKind::Rebuilt);
+        assert_in_sync(&m, &applied.graph, &config);
     }
 
     #[test]

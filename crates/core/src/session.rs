@@ -143,6 +143,7 @@ impl<'g> DataGraph<'g> {
             trace.cache.plan_hits = snap.hits;
             trace.cache.plan_misses = snap.misses;
             trace.cache.plan_evictions = snap.evictions;
+            trace.cache.plan_refreshes = snap.refreshes;
         }
         Ok(report)
     }
@@ -155,11 +156,7 @@ impl<'g> DataGraph<'g> {
     ) -> Result<MatchReport, Error> {
         match self.plan(q, config)? {
             Planned::Cold(prepared) => Ok(crate::exec::enumerate_prepared(
-                q,
-                self.graph,
-                &prepared,
-                config.budget,
-                sink,
+                q, self.graph, &prepared, config, sink,
             )),
             Planned::Hit {
                 plan,
@@ -177,11 +174,7 @@ impl<'g> DataGraph<'g> {
                 prepared.stats.build_time = lookup_time;
                 Ok(match sink {
                     None => crate::exec::enumerate_prepared(
-                        &plan.q,
-                        self.graph,
-                        &prepared,
-                        config.budget,
-                        None,
+                        &plan.q, self.graph, &prepared, config, None,
                     ),
                     Some(s) => {
                         let mut buf = vec![0 as VertexId; remap.len()];
@@ -195,7 +188,7 @@ impl<'g> DataGraph<'g> {
                             &plan.q,
                             self.graph,
                             &prepared,
-                            config.budget,
+                            config,
                             Some(&mut remapped),
                         )
                     }

@@ -214,6 +214,194 @@ pub fn dense_circulant(n: u32, width: u32) -> (Graph, Graph) {
     )
 }
 
+/// Deep-core-chain trap: a query cycle (all core) over a layered data
+/// grid with `fanout^depth` partial embeddings, plus one forest branch
+/// `r–t1(C)–t2(A)–t3(E)` whose `t2` can only map to the very vertex the
+/// root already occupies — an injectivity conflict invisible to every
+/// build-time filter (the CPI rows are all non-empty), discovered only
+/// after the entire core product is materialized.
+///
+/// Plain backtracking re-enumerates the full core product for the doomed
+/// root candidate, failing at `t2` every time. Failing-set pruning sees a
+/// conflict class `{r, t1, t2}` that excludes every chain vertex and
+/// backjumps from `t2` across the whole core straight to the root. A
+/// second block (`a2`) keeps the instance satisfiable: its `t1` candidate
+/// reaches a spare `A` vertex (`a3`, excluded from the root's candidates
+/// by its missing `B` neighbor), yielding exactly two embeddings (the two
+/// cycle orientations).
+pub fn deep_chain_trap(depth: u32, fanout: u32) -> (Graph, Graph) {
+    assert!(depth >= 2 && fanout >= 2);
+    // Query: cycle r(A)–c1(B)–…–c_depth(B)–r, branch r–t1(C)–t2(A)–t3(E).
+    let mut qb = GraphBuilder::new();
+    let r = qb.add_vertex(A);
+    let chain: Vec<u32> = (0..depth).map(|_| qb.add_vertex(B)).collect();
+    qb.add_edge(r, chain[0]);
+    for w in chain.windows(2) {
+        qb.add_edge(w[0], w[1]);
+    }
+    qb.add_edge(chain[depth as usize - 1], r);
+    let t1 = qb.add_vertex(C);
+    let t2 = qb.add_vertex(A);
+    let t3 = qb.add_vertex(E);
+    qb.add_edge(r, t1);
+    qb.add_edge(t1, t2);
+    qb.add_edge(t2, t3);
+    let q = qb.build().unwrap_or_else(|_| unreachable!("static query"));
+
+    let mut b = GraphBuilder::new();
+    // Trap block: root candidate `a` over a complete-bipartite B grid
+    // (levels 1..depth, first and last level closing the cycle on `a`).
+    let va = b.add_vertex(A);
+    let mut prev: Vec<u32> = Vec::new();
+    for level in 0..depth {
+        let layer: Vec<u32> = (0..fanout).map(|_| b.add_vertex(B)).collect();
+        if level == 0 {
+            for &v in &layer {
+                b.add_edge(va, v);
+            }
+        } else {
+            for &p in &prev {
+                for &v in &layer {
+                    b.add_edge(p, v);
+                }
+            }
+        }
+        prev = layer;
+    }
+    for &v in &prev {
+        b.add_edge(va, v);
+    }
+    // `fanout` C vertices feed t1. Each needs *two* A neighbors to clear
+    // t1's NLF signature (t1 touches both r and t2 in the query), so each
+    // sees `a` plus a decoy A vertex `x` — but `x` has no E neighbor, so
+    // the NLF filter (and, failing that, the t3 leaf) rules it out for
+    // t2, leaving t2's effective row exactly {a}: non-empty for every
+    // build-time filter, doomed by injectivity at runtime.
+    let decoy = b.add_vertex(A);
+    for _ in 0..fanout {
+        let c = b.add_vertex(C);
+        b.add_edge(va, c);
+        b.add_edge(c, decoy);
+    }
+    // Pendant E keeps `a` inside C(t2) under the NLF filter.
+    let ea = b.add_vertex(E);
+    b.add_edge(va, ea);
+
+    // Satisfying block: a2 with a single data cycle, whose C vertex also
+    // reaches a spare A vertex a3 (with the E pendant t3 needs).
+    let va2 = b.add_vertex(A);
+    let cyc: Vec<u32> = (0..depth).map(|_| b.add_vertex(B)).collect();
+    b.add_edge(va2, cyc[0]);
+    for w in cyc.windows(2) {
+        b.add_edge(w[0], w[1]);
+    }
+    b.add_edge(cyc[depth as usize - 1], va2);
+    let t1p = b.add_vertex(C);
+    b.add_edge(va2, t1p);
+    let va3 = b.add_vertex(A);
+    b.add_edge(t1p, va3);
+    let e3 = b.add_vertex(E);
+    b.add_edge(va3, e3);
+    (
+        q,
+        b.build()
+            .unwrap_or_else(|_| unreachable!("static data graph")),
+    )
+}
+
+/// High-fanout forest with a shared conflict vertex: the query hangs a
+/// cheap "grabber" tree `r–p1(C)–p2(E)`, `num_filler` filler trees
+/// `r–f(B)–leaf(F)` drawing from a shared `fanout`-sized B pool, and a
+/// trapped tree `r–t1(D)–t2(C)–t3(E)` off one root. On the adversarial
+/// block the grabber's and the trap's C candidates are the **same single
+/// data vertex** `s`: the grabber (smallest tree estimate, ordered first)
+/// takes it, the trap (largest estimate — `2·fanout` D candidates — so
+/// the ascending tree order places it last) conflicts on it after every
+/// filler combination.
+///
+/// Plain backtracking walks all `fanout ⋅ (fanout−1) ⋯` filler
+/// assignments between grabber and trap, re-failing identically. The
+/// failing set of the conflict, `{r, p1, t1, t2}`, excludes every filler
+/// vertex, so failing-set pruning backjumps across the whole forest to
+/// the grabber. A second block with disjoint C vertices for grabber and
+/// trap stays satisfiable (`num_filler!` embeddings from the
+/// interchangeable fillers).
+pub fn conflict_forest(num_filler: u32, fanout: u32) -> (Graph, Graph) {
+    assert!(num_filler >= 1 && fanout >= num_filler);
+    let wide = 2 * fanout;
+    let mut qb = GraphBuilder::new();
+    let r = qb.add_vertex(A);
+    let p1 = qb.add_vertex(C);
+    let p2 = qb.add_vertex(E);
+    qb.add_edge(r, p1);
+    qb.add_edge(p1, p2);
+    for _ in 0..num_filler {
+        let f1 = qb.add_vertex(B);
+        let f2 = qb.add_vertex(F);
+        qb.add_edge(r, f1);
+        qb.add_edge(f1, f2);
+    }
+    let t1 = qb.add_vertex(D);
+    let t2 = qb.add_vertex(C);
+    let t3 = qb.add_vertex(E);
+    qb.add_edge(r, t1);
+    qb.add_edge(t1, t2);
+    qb.add_edge(t2, t3);
+    let q = qb.build().unwrap_or_else(|_| unreachable!("static query"));
+
+    let mut b = GraphBuilder::new();
+    // Adversarial block: one shared C vertex `s` serving both p1 and t2.
+    let va = b.add_vertex(A);
+    let s = b.add_vertex(C);
+    b.add_edge(va, s);
+    let es = b.add_vertex(E);
+    b.add_edge(s, es);
+    for _ in 0..fanout {
+        let bv = b.add_vertex(B);
+        b.add_edge(va, bv);
+        let fv = b.add_vertex(F);
+        b.add_edge(bv, fv);
+    }
+    for _ in 0..wide {
+        let d = b.add_vertex(D);
+        b.add_edge(va, d);
+        b.add_edge(d, s);
+    }
+
+    // Satisfiable block: grabber and trap resolve to distinct C vertices.
+    let va2 = b.add_vertex(A);
+    let sp = b.add_vertex(C);
+    b.add_edge(va2, sp);
+    let ep = b.add_vertex(E);
+    b.add_edge(sp, ep);
+    for _ in 0..num_filler {
+        let bv = b.add_vertex(B);
+        b.add_edge(va2, bv);
+        let fv = b.add_vertex(F);
+        b.add_edge(bv, fv);
+    }
+    let dp = b.add_vertex(D);
+    b.add_edge(va2, dp);
+    let spp = b.add_vertex(C);
+    b.add_edge(dp, spp);
+    let epp = b.add_vertex(E);
+    b.add_edge(spp, epp);
+    (
+        q,
+        b.build()
+            .unwrap_or_else(|_| unreachable!("static data graph")),
+    )
+}
+
+/// The pruning stress sweep: the two failing-set adversaries at bench
+/// size, scaled like [`kernel_stress_suite`].
+pub fn pruning_stress_suite(scale: u32) -> Vec<(&'static str, Graph, Graph)> {
+    let s = scale.max(1);
+    let (cq, cg) = deep_chain_trap(4 + s.min(2), (3 * s).clamp(3, 6));
+    let (fq, fg) = conflict_forest((3 * s).min(6), (6 * s).min(12));
+    vec![("deep_chain_trap", cq, cg), ("conflict_forest", fq, fg)]
+}
+
 /// The kernel stress sweep: one named instance per dispatcher regime,
 /// sized by `scale` (1 = benchmark size; smaller values shrink every
 /// dimension proportionally for quick runs, floored at valid shapes).
@@ -299,6 +487,48 @@ mod tests {
         // Circulant regularity: every row is exactly 2·width long.
         assert!(g.vertices().all(|v| g.degree(v) == 6));
         assert!(cfl_baselines_check::count_ullmann(&q, &g) > 0);
+    }
+
+    #[test]
+    fn deep_chain_trap_shape_and_embeddings() {
+        let (q, g) = deep_chain_trap(3, 3);
+        // Query: root + 3-chain cycle + 3 trap vertices.
+        assert_eq!(q.num_vertices(), 7);
+        assert_eq!(q.num_edges(), 7, "cycle (4 edges) + trap path (3)");
+        // The doomed root candidate (vertex 0) sees fanout C vertices but
+        // its trap resolves only back to itself; the satisfying block
+        // yields exactly the two cycle orientations.
+        assert_eq!(cfl_baselines_check::count_ullmann(&q, &g), 2);
+    }
+
+    #[test]
+    fn conflict_forest_shape_and_embeddings() {
+        let (q, g) = conflict_forest(2, 3);
+        // Query: root + grabber(2) + 2 fillers(2 each) + trap(3).
+        assert_eq!(q.num_vertices(), 1 + 2 + 4 + 3);
+        assert!(cfl_graph::is_connected(&q));
+        // Adversarial block: grabber and trap funnel into one shared C
+        // vertex (id 1) — its A neighbor is the root candidate and its D
+        // neighbors are the widened trap pool.
+        assert_eq!(g.label(1), C);
+        let d_neighbors = g.neighbors(1).iter().filter(|&&v| g.label(v) == D).count();
+        assert_eq!(d_neighbors, 6, "trap pool is 2·fanout wide");
+        // Satisfiable block: the interchangeable fillers give 2! embeddings.
+        assert_eq!(cfl_baselines_check::count_ullmann(&q, &g), 2);
+    }
+
+    #[test]
+    fn pruning_stress_suite_is_well_formed() {
+        let suite = pruning_stress_suite(1);
+        assert_eq!(suite.len(), 2);
+        for (name, q, g) in &suite {
+            assert!(cfl_graph::is_connected(q), "{name}");
+            assert!(
+                cfl_baselines_check::count_ullmann(q, g) > 0,
+                "{name}: adversaries must stay satisfiable"
+            );
+        }
+        assert_eq!(pruning_stress_suite(0).len(), 2);
     }
 
     #[test]

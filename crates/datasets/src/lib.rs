@@ -18,8 +18,8 @@ pub mod registry;
 pub mod workloads;
 
 pub use adversarial::{
-    challenge1, dense_circulant, kernel_stress_suite, near_clique_pathology, power_law_wedge,
-    triangle_fan,
+    challenge1, conflict_forest, deep_chain_trap, dense_circulant, kernel_stress_suite,
+    near_clique_pathology, power_law_wedge, pruning_stress_suite, triangle_fan,
 };
 pub use persist::{cached_synthetic, load_query_set, save_query_set, synthetic_cache_key};
 pub use registry::{Dataset, DatasetSpec};

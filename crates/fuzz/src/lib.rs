@@ -16,7 +16,11 @@
 //!   cold-run embedding identity;
 //! * **delta-identity** — incrementally maintained CPIs vs fresh rebuilds
 //!   (checksum and embedding-count identity) across random edge-toggle
-//!   [`cfl_graph::GraphDelta`] batches.
+//!   [`cfl_graph::GraphDelta`] batches;
+//! * **strategy-identity** — every (ordering × pruning) enumeration
+//!   strategy combination vs the default static-order / plain-backtracking
+//!   pair: identical embedding sets serially and identical counts under
+//!   the work-stealing pool.
 //!
 //! Inputs are byte strings decoded by a total, direct encoding
 //! ([`spec`]); failures are minimized by a format-oblivious ddmin

@@ -9,7 +9,7 @@
 
 use cfl_baselines::{Matcher, Vf2};
 use cfl_graph::{canonical_query, graph_from_edges, Graph, GraphDelta, VertexId};
-use cfl_match::{Budget, DataGraph, Maintained, MatchConfig};
+use cfl_match::{Budget, DataGraph, Maintained, MatchConfig, OrderingKind, PruningKind};
 
 use crate::spec::Case;
 
@@ -38,6 +38,7 @@ pub const TARGETS: &[(&str, Target)] = &[
     ("kernel-diff", kernel_diff),
     ("canon-fingerprint", canon_fingerprint),
     ("delta-identity", delta_identity),
+    ("strategy-identity", strategy_identity),
 ];
 
 /// Looks up a target by name.
@@ -491,6 +492,89 @@ pub fn delta_identity(case: &Case) -> Result<Verdict, String> {
                 inc.embeddings,
                 one.embeddings
             ));
+        }
+    }
+    Ok(Verdict::Checked)
+}
+
+/// Every (ordering × pruning) strategy combination vs the default pair.
+///
+/// Failing-set pruning and adaptive ordering change which parts of the
+/// search tree are visited, never what is emitted: each of the four
+/// combinations must produce exactly the embedding set of the
+/// static-order / plain-backtracking reference, serially, and the
+/// parallel counter must agree at the case's thread count. Budgeted runs
+/// that hit the cap are skipped — under a cap the strategies legitimately
+/// emit different prefixes of the full set.
+pub fn strategy_identity(case: &Case) -> Result<Verdict, String> {
+    const COMBOS: [(OrderingKind, PruningKind); 4] = [
+        (OrderingKind::StaticPath, PruningKind::Plain),
+        (OrderingKind::StaticPath, PruningKind::FailingSet),
+        (OrderingKind::Adaptive, PruningKind::Plain),
+        (OrderingKind::Adaptive, PruningKind::FailingSet),
+    ];
+    let base = MatchConfig::exhaustive().with_budget(Budget::first(EMB_CAP));
+
+    // Reference run: the default strategies. Every other combination is
+    // compared against it, including how it *rejects* malformed cases.
+    let mut reference = Vec::new();
+    let ref_report = cfl_match::find_embeddings(&case.q, &case.g, &base, |m| {
+        reference.push(m.to_vec());
+        true
+    });
+
+    for (ordering, pruning) in COMBOS {
+        let cfg = base.with_ordering(ordering).with_pruning(pruning);
+        let mut embs = Vec::new();
+        let report = cfl_match::find_embeddings(&case.q, &case.g, &cfg, |m| {
+            embs.push(m.to_vec());
+            true
+        });
+        match (&ref_report, report) {
+            (Err(a), Err(b)) => {
+                if *a != b {
+                    return Err(format!(
+                        "strategies reject differently: default={a:?} \
+                         {ordering:?}/{pruning:?}={b:?}"
+                    ));
+                }
+            }
+            (Err(a), Ok(_)) => {
+                return Err(format!(
+                    "only the default strategies reject the case: {a:?} \
+                     (accepted by {ordering:?}/{pruning:?})"
+                ));
+            }
+            (Ok(_), Err(b)) => {
+                return Err(format!(
+                    "only {ordering:?}/{pruning:?} rejects the case: {b:?}"
+                ));
+            }
+            (Ok(rr), Ok(cr)) => {
+                if !rr.outcome.is_complete() || !cr.outcome.is_complete() {
+                    return Ok(Verdict::Skipped("budget cap reached"));
+                }
+                compare_embedding_sets(embs, reference.clone(), "combo", "default")
+                    .map_err(|e| format!("{ordering:?}/{pruning:?}: {e}"))?;
+                let par =
+                    cfl_match::count_embeddings_parallel(&case.q, &case.g, &cfg, case.threads)
+                        .map_err(|e| {
+                            format!(
+                                "parallel {ordering:?}/{pruning:?} fails where serial \
+                                 succeeded: {e:?}"
+                            )
+                        })?;
+                if !par.outcome.is_complete() {
+                    return Ok(Verdict::Skipped("budget cap reached"));
+                }
+                if par.embeddings != cr.embeddings {
+                    return Err(format!(
+                        "parallel count diverges for {ordering:?}/{pruning:?} at {} \
+                         threads: serial={} parallel={}",
+                        case.threads, cr.embeddings, par.embeddings
+                    ));
+                }
+            }
         }
     }
     Ok(Verdict::Checked)

@@ -92,6 +92,28 @@ impl FixedBitSet {
     pub(crate) fn words(&self) -> &[u64] {
         &self.words
     }
+
+    /// Adds every key of `other` (same capacity) — word-wise OR.
+    #[inline]
+    pub fn union_with(&mut self, other: &FixedBitSet) {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Replaces this set's contents with `other`'s (same capacity).
+    #[inline]
+    pub fn assign_from(&mut self, other: &FixedBitSet) {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Inserts every key `0..capacity` in `O(capacity / 64)`.
+    #[inline]
+    pub fn fill_all(&mut self) {
+        self.words.fill(u64::MAX);
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +155,22 @@ mod tests {
         assert_eq!(FixedBitSet::new(64).capacity(), 64);
         assert_eq!(FixedBitSet::new(65).capacity(), 128);
         assert_eq!(FixedBitSet::new(0).capacity(), 0);
+    }
+
+    #[test]
+    fn union_assign_fill() {
+        let mut a = FixedBitSet::new(100);
+        let mut b = FixedBitSet::new(100);
+        a.insert_all(&[1, 70]);
+        b.insert_all(&[2, 70, 99]);
+        a.union_with(&b);
+        assert!(a.contains(1) && a.contains(2) && a.contains(70) && a.contains(99));
+        assert_eq!(a.len(), 4);
+        a.assign_from(&b);
+        assert!(!a.contains(1));
+        assert_eq!(a.len(), 3);
+        a.fill_all();
+        assert!((0..100).all(|k| a.contains(k)));
     }
 
     #[test]

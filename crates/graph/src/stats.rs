@@ -500,9 +500,112 @@ impl LabelAdjacency {
     }
 }
 
+/// Bloom summaries of each vertex's 2-hop label neighborhood (after
+/// l2Match's neighboring-label and label-pair filters).
+///
+/// Two 64-bit masks per vertex:
+///
+/// * [`ball`](Self::ball) — one bit per label (mod 64) appearing within
+///   distance ≤ 2 of `v`, `v`'s own label included;
+/// * [`pairs`](Self::pairs) — one bit per unordered label *pair* (hashed
+///   into 64 bits) of an edge incident to `v`'s closed neighborhood.
+///
+/// A subgraph-isomorphism embedding contracts distances and preserves
+/// edges, so for any query vertex `u` mapped to data vertex `v` both label
+/// sets of `u` are subsets of `v`'s — which the masks witness as bitwise
+/// containment ([`dominates`](Self::dominates)). Hash collisions merge
+/// bits and can only *weaken* the test, never reject a true embedding.
+#[derive(Clone, Debug)]
+pub struct LabelPairIndex {
+    ball: Vec<u64>,
+    pairs: Vec<u64>,
+}
+
+impl LabelPairIndex {
+    /// Builds both masks in four linear adjacency passes.
+    pub fn build(g: &Graph) -> Self {
+        let nv = g.num_vertices();
+        // Pass 1: labels at distance ≤ 1 (closed neighborhood).
+        let mut near = vec![0u64; nv];
+        for v in g.vertices() {
+            let mut m = label_bit(g.label(v));
+            for &w in g.neighbors(v) {
+                m |= label_bit(g.label(w));
+            }
+            near[v as usize] = m;
+        }
+        // Pass 2: OR the neighbors' distance-1 masks → distance ≤ 2.
+        let mut ball = near.clone();
+        for v in g.vertices() {
+            let mut m = ball[v as usize];
+            for &w in g.neighbors(v) {
+                m |= near[w as usize];
+            }
+            ball[v as usize] = m;
+        }
+        // Pass 3: label pairs of the edges incident to each vertex.
+        let mut incident = vec![0u64; nv];
+        for v in g.vertices() {
+            let lv = g.label(v);
+            let mut m = 0u64;
+            for &w in g.neighbors(v) {
+                m |= pair_bit(lv, g.label(w));
+            }
+            incident[v as usize] = m;
+        }
+        // Pass 4: OR the neighbors' incident-pair masks → pairs of every
+        // edge incident to the closed neighborhood.
+        let mut pairs = incident.clone();
+        for v in g.vertices() {
+            let mut m = pairs[v as usize];
+            for &w in g.neighbors(v) {
+                m |= incident[w as usize];
+            }
+            pairs[v as usize] = m;
+        }
+        LabelPairIndex { ball, pairs }
+    }
+
+    /// Labels within distance ≤ 2 of `v`, one bit per label mod 64.
+    #[inline]
+    pub fn ball(&self, v: VertexId) -> u64 {
+        self.ball[v as usize]
+    }
+
+    /// Label pairs of edges incident to `N[v]`, hashed into 64 bits.
+    #[inline]
+    pub fn pairs(&self, v: VertexId) -> u64 {
+        self.pairs[v as usize]
+    }
+
+    /// Necessary condition for `query_u ↦ data_v`: every ball and pair bit
+    /// the query vertex needs, the data vertex has.
+    #[inline]
+    pub fn dominates(&self, data_v: VertexId, query: &LabelPairIndex, query_u: VertexId) -> bool {
+        query.ball[query_u as usize] & !self.ball[data_v as usize] == 0
+            && query.pairs[query_u as usize] & !self.pairs[data_v as usize] == 0
+    }
+}
+
+/// One bloom bit per label, folded mod 64.
+#[inline]
+fn label_bit(l: Label) -> u64 {
+    1u64 << (l.0 & 63)
+}
+
+/// One bloom bit per *unordered* label pair: the pair is canonicalized to
+/// `(min, max)` and mixed so nearby pairs spread over the 64-bit range.
+#[inline]
+fn pair_bit(a: Label, b: Label) -> u64 {
+    let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+    let mixed = (u64::from(lo) << 32 | u64::from(hi)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    1u64 << (mixed >> 58)
+}
+
 /// The per-graph filter tables — label index, NLF signatures, maximum
-/// neighbor degrees, and the label-grouped adjacency — bundled so they
-/// can be built together and memoized on the graph they describe (see
+/// neighbor degrees, the label-grouped adjacency, and the 2-hop
+/// label-pair blooms — bundled so they can be built together and memoized
+/// on the graph they describe (see
 /// [`Graph::stat_tables`](crate::Graph::stat_tables)).
 #[derive(Clone, Debug)]
 pub struct StatTables {
@@ -514,6 +617,8 @@ pub struct StatTables {
     pub mnd: Vec<u32>,
     /// Label-grouped adjacency serving single-label neighbor slices.
     pub label_adj: LabelAdjacency,
+    /// 2-hop label-ball and label-pair bloom masks (l2Match).
+    pub label_pairs: LabelPairIndex,
 }
 
 impl StatTables {
@@ -526,6 +631,7 @@ impl StatTables {
             nlf,
             mnd,
             label_adj: LabelAdjacency::build(g),
+            label_pairs: LabelPairIndex::build(g),
         }
     }
 
@@ -562,6 +668,10 @@ impl StatTables {
             nlf: self.nlf.patched(g, touched),
             mnd,
             label_adj: self.label_adj.patched(g, touched),
+            // An edge delta dirties label-pair masks two hops out from the
+            // touched vertices — a wider frontier than `touched` covers —
+            // and the build is four linear passes, so recompute in full.
+            label_pairs: LabelPairIndex::build(g),
         }
     }
 }
@@ -820,6 +930,40 @@ mod tests {
         let adj = LabelAdjacency::build(&lonely);
         assert!(adj.neighbors_with_label(0, Label(1)).is_empty());
         assert!(adj.neighbors_with_label(1, Label(0)).is_empty());
+    }
+
+    #[test]
+    fn label_pair_masks_cover_two_hop_labels() {
+        // Path 0-1-2-3 with labels 0,1,2,3: vertex 0 sees labels {0,1,2}
+        // within distance 2 but not label 3.
+        let g = graph_from_edges(&[0, 1, 2, 3], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let idx = LabelPairIndex::build(&g);
+        let bit = |l: u32| 1u64 << (l & 63);
+        assert_eq!(idx.ball(0), bit(0) | bit(1) | bit(2));
+        assert_eq!(idx.ball(1), bit(0) | bit(1) | bit(2) | bit(3));
+        // Pairs incident to N[0] = {0,1}: edges (0,1) and (1,2).
+        assert_eq!(
+            idx.pairs(0),
+            pair_bit(Label(0), Label(1)) | pair_bit(Label(1), Label(2))
+        );
+        // pair_bit is symmetric.
+        assert_eq!(pair_bit(Label(3), Label(7)), pair_bit(Label(7), Label(3)));
+    }
+
+    #[test]
+    fn label_pair_dominates_is_necessary_for_embeddings() {
+        // Query: triangle 0-1-2 labeled 0,1,2. Data: the same triangle plus
+        // a pendant. Every query vertex must dominate its image (identity
+        // embedding), and the label-2 query vertex must *not* dominate the
+        // pendant data vertex 3 (label 2 but no 0-1 pair within one hop).
+        let q = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let g = graph_from_edges(&[0, 1, 2, 2], &[(0, 1), (1, 2), (0, 2), (3, 0)]).unwrap();
+        let qi = LabelPairIndex::build(&q);
+        let gi = LabelPairIndex::build(&g);
+        for u in q.vertices() {
+            assert!(gi.dominates(u, &qi, u), "identity image of {u}");
+        }
+        assert!(!gi.dominates(3, &qi, 2), "pendant lacks the 1-2 edge pair");
     }
 
     #[test]

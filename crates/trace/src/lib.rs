@@ -47,6 +47,10 @@ pub enum BuildCounter {
     /// Candidates removed by the maximum-neighbor-degree filter
     /// (Lemma A.1, first stage of CandVerify).
     MndKills,
+    /// Candidates removed by the 2-hop label-ball / label-pair bloom
+    /// filter (l2Match's neighboring-label index; only populated when
+    /// `FilterOptions::use_label_pair` is on).
+    LabelPairKills,
     /// Candidates removed by the NLF filter (SAPPER \[24\], second stage
     /// of CandVerify — packed or full signature).
     NlfKills,
@@ -90,6 +94,7 @@ pub struct BuildCounters {
     seeded: AtomicU64,
     adjacency_kills: AtomicU64,
     mnd_kills: AtomicU64,
+    lp_kills: AtomicU64,
     nlf_kills: AtomicU64,
     snte_kills: AtomicU64,
     refine_kills: AtomicU64,
@@ -112,6 +117,7 @@ impl BuildCounters {
             BuildCounter::Seeded => &self.seeded,
             BuildCounter::AdjacencyKills => &self.adjacency_kills,
             BuildCounter::MndKills => &self.mnd_kills,
+            BuildCounter::LabelPairKills => &self.lp_kills,
             BuildCounter::NlfKills => &self.nlf_kills,
             BuildCounter::SnteKills => &self.snte_kills,
             BuildCounter::RefineKills => &self.refine_kills,
@@ -142,6 +148,7 @@ impl BuildCounters {
             seeded: r(&self.seeded),
             adjacency_kills: r(&self.adjacency_kills),
             mnd_kills: r(&self.mnd_kills),
+            label_pair_kills: r(&self.lp_kills),
             nlf_kills: r(&self.nlf_kills),
             snte_kills: r(&self.snte_kills),
             refine_kills: r(&self.refine_kills),
@@ -174,6 +181,8 @@ pub struct BuildTrace {
     pub adjacency_kills: u64,
     /// Kills by the MND filter.
     pub mnd_kills: u64,
+    /// Kills by the label-pair bloom filter (zero unless enabled).
+    pub label_pair_kills: u64,
     /// Kills by the NLF filter.
     pub nlf_kills: u64,
     /// Kills by same-level S-NTE pruning.
@@ -206,6 +215,7 @@ impl BuildTrace {
     pub fn total_kills(&self) -> u64 {
         self.adjacency_kills
             + self.mnd_kills
+            + self.label_pair_kills
             + self.nlf_kills
             + self.snte_kills
             + self.refine_kills
@@ -228,6 +238,10 @@ pub struct CacheTrace {
     pub plan_misses: u64,
     /// Entries displaced by LRU capacity pressure.
     pub plan_evictions: u64,
+    /// Cached plans restamped in place across a delta by the plan cache's
+    /// retention proof (`PlanCache::refresh`) instead of going stale with
+    /// the epoch bump.
+    pub plan_refreshes: u64,
     /// Σ dirty-frontier sizes over the refreshes this report covers.
     pub dirty_frontier: u64,
     /// Refreshes that proved the CPI untouched and kept it verbatim.
@@ -268,6 +282,11 @@ pub struct EnumCounters {
     /// Retreats from a mapped vertex (each successful mapping is unwound
     /// exactly once, so this also counts successful extensions).
     pub backtracks: u64,
+    /// Sibling candidates skipped wholesale by failing-set backjumps (DAF
+    /// \[2\]; zero under the plain backtracking strategy). Each unit is one
+    /// *decision* to abandon the remaining candidates of a search-tree
+    /// node, not one skipped candidate.
+    pub backjumps: u64,
     /// Root candidates claimed from the work-stealing cursor.
     pub steals: u64,
     /// Search nodes attempted at core depths (§4.2.2).
@@ -392,6 +411,10 @@ impl TraceReport {
             self.build.mnd_kills
         ));
         out.push_str(&format!(
+            "  label-pair kills    {:>10}\n",
+            self.build.label_pair_kills
+        ));
+        out.push_str(&format!(
             "  NLF kills           {:>10}\n",
             self.build.nlf_kills
         ));
@@ -455,6 +478,10 @@ impl TraceReport {
             self.cache.plan_evictions
         ));
         out.push_str(&format!(
+            "  plan refreshes      {:>10}\n",
+            self.cache.plan_refreshes
+        ));
+        out.push_str(&format!(
             "  dirty frontier (Σ)  {:>10}\n",
             self.cache.dirty_frontier
         ));
@@ -478,10 +505,11 @@ impl TraceReport {
         out.push_str(&format!("workers ({})\n", self.workers.len()));
         for (i, w) in self.workers.iter().enumerate() {
             out.push_str(&format!(
-                "  #{i}: embeddings {} nodes {} backtracks {} steals {} core {} forest {} leaf {}\n",
+                "  #{i}: embeddings {} nodes {} backtracks {} backjumps {} steals {} core {} forest {} leaf {}\n",
                 w.embeddings,
                 w.nodes,
                 w.counters.backtracks,
+                w.counters.backjumps,
                 w.counters.steals,
                 w.counters.core_nodes,
                 w.counters.forest_nodes,
@@ -504,10 +532,11 @@ impl TraceReport {
             self.build.topdown_ns, self.build.refine_ns, self.build.prune_ns, self.build.freeze_ns
         ));
         s.push_str(&format!(
-            "\"seeded\": {}, \"adjacency_kills\": {}, \"mnd_kills\": {}, \"nlf_kills\": {}, \"snte_kills\": {}, \"refine_kills\": {}, \"unreachable_kills\": {}, ",
+            "\"seeded\": {}, \"adjacency_kills\": {}, \"mnd_kills\": {}, \"label_pair_kills\": {}, \"nlf_kills\": {}, \"snte_kills\": {}, \"refine_kills\": {}, \"unreachable_kills\": {}, ",
             self.build.seeded,
             self.build.adjacency_kills,
             self.build.mnd_kills,
+            self.build.label_pair_kills,
             self.build.nlf_kills,
             self.build.snte_kills,
             self.build.refine_kills,
@@ -532,11 +561,12 @@ impl TraceReport {
             json_u32_array(&self.cpi.candidates_per_vertex)
         ));
         s.push_str(&format!(
-            "  \"cache\": {{\"plan_lookups\": {}, \"plan_hits\": {}, \"plan_misses\": {}, \"plan_evictions\": {}, \"dirty_frontier\": {}, \"refresh_unchanged\": {}, \"refresh_refiltered\": {}, \"refresh_rebuilt\": {}}},\n",
+            "  \"cache\": {{\"plan_lookups\": {}, \"plan_hits\": {}, \"plan_misses\": {}, \"plan_evictions\": {}, \"plan_refreshes\": {}, \"dirty_frontier\": {}, \"refresh_unchanged\": {}, \"refresh_refiltered\": {}, \"refresh_rebuilt\": {}}},\n",
             self.cache.plan_lookups,
             self.cache.plan_hits,
             self.cache.plan_misses,
             self.cache.plan_evictions,
+            self.cache.plan_refreshes,
             self.cache.dirty_frontier,
             self.cache.refresh_unchanged,
             self.cache.refresh_refiltered,
@@ -548,11 +578,12 @@ impl TraceReport {
                 s.push_str(", ");
             }
             s.push_str(&format!(
-                "{{\"embeddings\": {}, \"nodes\": {}, \"nt_checks\": {}, \"backtracks\": {}, \"steals\": {}, \"core_nodes\": {}, \"forest_nodes\": {}, \"leaf_nodes\": {}, \"leaf_ns\": {}, \"merge_hits\": {}, \"gallop_hits\": {}, \"bitset_hits\": {}, \"simd_hits\": {}, \"depth_hist\": {}}}",
+                "{{\"embeddings\": {}, \"nodes\": {}, \"nt_checks\": {}, \"backtracks\": {}, \"backjumps\": {}, \"steals\": {}, \"core_nodes\": {}, \"forest_nodes\": {}, \"leaf_nodes\": {}, \"leaf_ns\": {}, \"merge_hits\": {}, \"gallop_hits\": {}, \"bitset_hits\": {}, \"simd_hits\": {}, \"depth_hist\": {}}}",
                 w.embeddings,
                 w.nodes,
                 w.nt_checks,
                 w.counters.backtracks,
+                w.counters.backjumps,
                 w.counters.steals,
                 w.counters.core_nodes,
                 w.counters.forest_nodes,
@@ -589,6 +620,7 @@ mod tests {
         counters.add(BuildCounter::Seeded, 100);
         counters.add(BuildCounter::AdjacencyKills, 10);
         counters.add(BuildCounter::MndKills, 5);
+        counters.add(BuildCounter::LabelPairKills, 4);
         counters.add(BuildCounter::NlfKills, 15);
         counters.add(BuildCounter::SnteKills, 3);
         counters.add(BuildCounter::RefineKills, 6);
@@ -599,7 +631,7 @@ mod tests {
         counters.add(BuildCounter::SimdHits, 6);
         counters.add(BuildCounter::TopDownNs, 1_000_000);
         let mut build = counters.snapshot();
-        build.final_candidates = 60;
+        build.final_candidates = 56;
         build.accounting_exact = true;
         TraceReport {
             build,
@@ -614,6 +646,7 @@ mod tests {
                 plan_hits: 9,
                 plan_misses: 3,
                 plan_evictions: 1,
+                plan_refreshes: 2,
                 dirty_frontier: 17,
                 refresh_unchanged: 2,
                 refresh_refiltered: 3,
@@ -625,6 +658,7 @@ mod tests {
                 nt_checks: 12,
                 counters: EnumCounters {
                     backtracks: 30,
+                    backjumps: 2,
                     steals: 4,
                     core_nodes: 25,
                     forest_nodes: 10,
@@ -679,12 +713,14 @@ mod tests {
         for key in [
             "\"build\"",
             "\"seeded\": 100",
-            "\"final_candidates\": 60",
+            "\"label_pair_kills\": 4",
+            "\"final_candidates\": 56",
             "\"accounting_exact\": true",
             "\"cpi\"",
             "\"candidates_per_vertex\": [20, 25, 15]",
             "\"workers\"",
             "\"leaf_nodes\": 5",
+            "\"backjumps\": 2",
             "\"merge_hits\": 8",
             "\"gallop_hits\": 2",
             "\"bitset_hits\": 50",
@@ -694,6 +730,7 @@ mod tests {
             "\"cache\"",
             "\"plan_lookups\": 12",
             "\"plan_hits\": 9",
+            "\"plan_refreshes\": 2",
             "\"dirty_frontier\": 17",
             "\"refresh_refiltered\": 3",
         ] {

@@ -31,6 +31,9 @@ use crate::report::Report;
 ///   reported embedding total, the per-worker embedding counts sum to it.
 /// - `trace-worker-nodes`: per worker, the depth histogram sums to the
 ///   worker's search-node count, and the core/forest split partitions it.
+/// - `trace-backjump-bound`: per worker, failing-set backjump decisions
+///   never exceed backtracks — a backjump is only taken after the unwind
+///   of a mapped child, and each unwind records one backtrack.
 /// - `trace-kernel-dispatch`: SIMD kernel hits never exceed the total
 ///   kernel dispatches (`simd_hits ≤ merge + gallop + bitset hits`) — a
 ///   SIMD hit is recorded only when a dispatched merge or gallop takes
@@ -184,6 +187,18 @@ fn check_worker(out: &mut Report, index: usize, w: &WorkerTrace) {
             ),
         );
     }
+    if w.counters.backjumps > w.counters.backtracks {
+        out.violation(
+            "trace-backjump-bound",
+            None,
+            None,
+            format!(
+                "worker {index}: {} failing-set backjumps but only {} backtracks \
+                 (a backjump decision follows the unwind of a mapped child)",
+                w.counters.backjumps, w.counters.backtracks
+            ),
+        );
+    }
     let dispatched = w.counters.merge_hits + w.counters.gallop_hits + w.counters.bitset_hits;
     if w.counters.simd_hits > dispatched {
         out.violation(
@@ -236,6 +251,7 @@ mod tests {
                 plan_hits: 6,
                 plan_misses: 4,
                 plan_evictions: 2,
+                plan_refreshes: 1,
                 dirty_frontier: 12,
                 refresh_unchanged: 1,
                 refresh_refiltered: 2,
@@ -249,6 +265,7 @@ mod tests {
             nt_checks: 4,
             counters: EnumCounters {
                 backtracks: 12,
+                backjumps: 2,
                 steals: 3,
                 core_nodes: 8,
                 forest_nodes: 4,
@@ -326,6 +343,14 @@ mod tests {
         r.workers[0].counters.simd_hits = 11;
         let checked = check_trace(&r, Some(7));
         assert!(checked.has_check("trace-kernel-dispatch"), "{checked}");
+    }
+
+    #[test]
+    fn backjump_bound_checked() {
+        let mut r = consistent_report();
+        r.workers[0].counters.backjumps = 13;
+        let checked = check_trace(&r, Some(7));
+        assert!(checked.has_check("trace-backjump-bound"), "{checked}");
     }
 
     #[test]

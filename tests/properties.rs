@@ -247,12 +247,17 @@ proptest! {
         g in connected_graph(5..12, 2, 6),
         use_mnd in proptest::bool::ANY,
         use_nlf in proptest::bool::ANY,
+        use_label_pair in proptest::bool::ANY,
     ) {
         use cfl_match::FilterOptions;
         let base = cfl_match::count_embeddings(&q, &g, &MatchConfig::exhaustive())
             .unwrap()
             .embeddings;
-        let cfg = MatchConfig::exhaustive().with_filters(FilterOptions { use_mnd, use_nlf });
+        let cfg = MatchConfig::exhaustive().with_filters(FilterOptions {
+            use_mnd,
+            use_nlf,
+            use_label_pair,
+        });
         let alt = cfl_match::count_embeddings(&q, &g, &cfg).unwrap().embeddings;
         prop_assert_eq!(base, alt);
     }
