@@ -93,12 +93,12 @@ impl Matcher for CflMatcher {
         budget: Budget,
         sink: &mut dyn FnMut(&[VertexId]) -> bool,
     ) -> Result<MatchReport, Error> {
-        let cfg = self.config.with_budget(budget);
+        let cfg = self.config.clone().with_budget(budget);
         cfl_match::find_embeddings(q, g, &cfg, sink)
     }
 
     fn count(&self, q: &Graph, g: &Graph, budget: Budget) -> Result<MatchReport, Error> {
-        let cfg = self.config.with_budget(budget);
+        let cfg = self.config.clone().with_budget(budget);
         cfl_match::count_embeddings(q, g, &cfg)
     }
 }

@@ -58,7 +58,7 @@ impl Matcher for TurboIso {
     ) -> Result<MatchReport, Error> {
         validate(q, g)?;
         let total_start = Instant::now();
-        let mut ctl = Ctl::new(budget, sink);
+        let mut ctl = Ctl::new(budget.clone(), sink);
         if ctl.exhausted_before_start() {
             return Ok(ctl.into_report(ControlFlow::Break(Stop), total_start.elapsed()));
         }

@@ -34,7 +34,7 @@ fn bench_algorithms(c: &mut Criterion) {
             b.iter(|| {
                 let mut total = 0u64;
                 for q in qs {
-                    total += m.count(q, &g, budget).unwrap().embeddings;
+                    total += m.count(q, &g, budget.clone()).unwrap().embeddings;
                 }
                 total
             });

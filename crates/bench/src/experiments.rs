@@ -569,7 +569,7 @@ pub fn fig22(scale: &Scale) {
         let mut frequent = Vec::new();
         let mut infrequent = Vec::new();
         for q in &pool {
-            match cfl.count(q, &g, classify_budget) {
+            match cfl.count(q, &g, classify_budget.clone()) {
                 Ok(r) if r.embeddings >= threshold => frequent.push(q.clone()),
                 Ok(_) => infrequent.push(q.clone()),
                 Err(_) => {}

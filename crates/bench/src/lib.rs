@@ -9,6 +9,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod experiments;
 pub mod hotpath;
+pub mod loadgen;
 pub mod runner;
 pub mod table;
 

@@ -9,7 +9,9 @@
 //! cfl match    <query.graph> <data.graph> [--algorithm NAME] [--limit N]
 //!              [--time-limit SECS] [--repeat N] [--plan-cache]
 //!              [--order static|adaptive] [--pruning plain|failing-set]
-//!              [--label-pair] [--print] [--count-only]
+//!              [--label-pair] [--print] [--count-only] [--checksum]
+//! cfl serve    <data.graph> [--listen HOST:PORT] [--workers N]
+//!              [--queue-depth N] [--batch N] [--plan-cache]
 //! cfl stats    <graph>
 //! ```
 
@@ -35,6 +37,7 @@ fn main() {
         "dataset" => cmd_dataset(rest),
         "query" => cmd_query(rest),
         "match" => cmd_match(rest),
+        "serve" => cmd_serve(rest),
         "stats" => cmd_stats(rest),
         "workload" => cmd_workload(rest),
         "verify" => cmd_verify(rest),
@@ -57,7 +60,10 @@ fn usage() {
          match <query> <data> [--algorithm cfl|quicksi|turboiso|vf2|ullmann|graphql|spath|boost]\n        \
                [--limit N] [--time-limit SECS] [--repeat N] [--plan-cache]\n        \
                [--order static|adaptive] [--pruning plain|failing-set] [--label-pair]\n        \
-               [--print] [--count-only] [--stats] [--stats-json]\n  \
+               [--print] [--count-only] [--checksum] [--stats] [--stats-json]\n  \
+         serve <data> [--listen HOST:PORT] [--name GRAPH] [--workers N] [--queue-depth N]\n        \
+               [--batch N] [--default-limit N] [--default-deadline-ms N]\n        \
+               [--plan-cache] [--build-threads N]\n  \
          stats <graph> [--top N]\n  \
          workload <hprd|yeast|human|dblp|wordnet|synthetic> [--scale N] [--queries N] -o DIR\n  \
          verify [<query> <data>] [--scale N] [--labels L] [--size N] [--seed S]\n        \
@@ -296,9 +302,25 @@ fn cmd_match(args: &[String]) {
     let print_embeddings = f.has("print");
     let count_only = f.has("count-only");
     let quiet = f.has("stats-json");
+    // `--checksum` folds every emitted embedding into the same FNV-1a
+    // digest the serving protocol reports, so scripts can compare a
+    // one-shot run against `cfl serve` output byte-for-byte.
+    let do_checksum = f.has("checksum");
+    if do_checksum && repeat > 1 {
+        eprintln!("--checksum requires --repeat 1 (the digest covers a single run)");
+        exit(2);
+    }
+    if do_checksum && count_only {
+        eprintln!("--checksum needs emitted embeddings; drop --count-only");
+        exit(2);
+    }
+    let mut checksum = cfl_match::EmbeddingChecksum::new();
     let mut sink = |m: &[cfl_graph::VertexId]| {
         if print_embeddings {
             println!("{m:?}");
+        }
+        if do_checksum {
+            checksum.update(m);
         }
         true
     };
@@ -344,9 +366,9 @@ fn cmd_match(args: &[String]) {
         for i in 0..repeat {
             let start = Instant::now();
             let report = if count_only {
-                algo.count(&q, &g, budget)
+                algo.count(&q, &g, budget.clone())
             } else {
-                algo.find(&q, &g, budget, &mut sink)
+                algo.find(&q, &g, budget.clone(), &mut sink)
             }
             .unwrap_or_else(die);
             let elapsed = start.elapsed();
@@ -357,8 +379,9 @@ fn cmd_match(args: &[String]) {
         (algo.name(), report, elapsed)
     };
 
+    let digest = do_checksum.then(|| checksum.digest());
     if f.has("stats-json") {
-        print_stats_json(&report, elapsed);
+        print_stats_json(&report, elapsed, digest);
         return;
     }
 
@@ -370,6 +393,10 @@ fn cmd_match(args: &[String]) {
         elapsed.as_secs_f64() * 1e3,
         report.stats.search_nodes
     );
+    if let Some(d) = digest {
+        // Same format the serve protocol's `done` frame uses.
+        println!("checksum: 0x{d:016x}");
+    }
 
     if f.has("stats") {
         match report.stats.trace.as_deref() {
@@ -410,21 +437,82 @@ const NO_TRACE_HINT: &str = "no trace data recorded: rebuild with `--features tr
 /// Emits the run outcome plus the full trace report as one JSON object on
 /// stdout. The `"trace"` member is `null` when no counters were recorded
 /// (see [`NO_TRACE_HINT`]); the outer members are always present so
-/// scripts can consume the output without probing for the feature.
-fn print_stats_json(report: &cfl_match::MatchReport, elapsed: Duration) {
+/// scripts can consume the output without probing for the feature. A
+/// `"checksum"` member is appended only under `--checksum`, in the same
+/// `0x`-prefixed format the serve protocol uses.
+fn print_stats_json(report: &cfl_match::MatchReport, elapsed: Duration, digest: Option<u64>) {
     let trace = report
         .stats
         .trace
         .as_deref()
         .map_or_else(|| "null".to_string(), cfl_match::TraceReport::to_json);
+    let checksum = digest.map_or_else(String::new, |d| format!(",\"checksum\":\"0x{d:016x}\""));
     println!(
-        "{{\"embeddings\":{},\"outcome\":\"{:?}\",\"elapsed_ms\":{:.3},\"search_nodes\":{},\"trace\":{}}}",
+        "{{\"embeddings\":{},\"outcome\":\"{:?}\",\"elapsed_ms\":{:.3},\"search_nodes\":{},\"trace\":{}{}}}",
         report.embeddings,
         report.outcome,
         elapsed.as_secs_f64() * 1e3,
         report.stats.search_nodes,
-        trace
+        trace,
+        checksum
     );
+}
+
+/// `cfl serve`: long-lived serving endpoint. Loads one data graph,
+/// registers it under `--name` (default `"default"`), and speaks the
+/// framed JSON protocol from `cfl_match::serve` on `--listen` until a
+/// client sends the `shutdown` op (see `docs/SERVING.md`).
+///
+/// Mirroring `cfl match`, the plan cache is opt-in via `--plan-cache`
+/// even though embedded [`cfl_match::EngineConfig`] users get it by
+/// default.
+fn cmd_serve(args: &[String]) {
+    let f = Flags::parse(
+        args,
+        &[
+            "listen",
+            "name",
+            "workers",
+            "queue-depth",
+            "batch",
+            "default-limit",
+            "default-deadline-ms",
+            "build-threads",
+        ],
+    );
+    let Some(path) = f.positional.first() else {
+        eprintln!("usage: cfl serve <data.graph> [--listen HOST:PORT] [flags]");
+        exit(2);
+    };
+    let g = read_graph_file(path).unwrap_or_else(die);
+    let default_deadline = f
+        .get("default-deadline-ms")
+        .map(|_| Duration::from_millis(f.get_parse("default-deadline-ms", 0u64)));
+    let default_limit = f
+        .get("default-limit")
+        .map(|_| f.get_parse("default-limit", 0u64));
+    let config = cfl_match::EngineConfig {
+        workers: f.get_parse("workers", 2usize).max(1),
+        queue_depth: f.get_parse("queue-depth", 64usize),
+        batch_size: f.get_parse("batch", 64usize).max(1),
+        default_limit,
+        default_deadline,
+        plan_cache: f.has("plan-cache"),
+        build_threads: f.get_parse("build-threads", 1usize).max(1),
+    };
+    let name = f.get("name").unwrap_or("default").to_string();
+    let workers = config.workers;
+    let engine = cfl_match::Engine::new(config);
+    engine.add_graph(name.clone(), g);
+    let listen = f.get("listen").unwrap_or("127.0.0.1:7878");
+    let server = cfl_match::Server::start(std::sync::Arc::new(engine), listen).unwrap_or_else(die);
+    // One parseable line so scripts can pick up an ephemeral port
+    // (`--listen 127.0.0.1:0`).
+    println!(
+        "listening on {} ({workers} workers, graph {name:?})",
+        server.addr()
+    );
+    server.wait();
 }
 
 fn cmd_stats(args: &[String]) {

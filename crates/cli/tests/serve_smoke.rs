@@ -1,0 +1,210 @@
+//! End-to-end smoke of the `cfl serve` binary over loopback TCP: protocol
+//! round trips (submit / stream / cancel / apply-delta / stats /
+//! shutdown) and the checksum identity between served queries and
+//! one-shot `cfl match --checksum` runs, at 1 and at 4 workers.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use cfl_graph::read_graph_file;
+use cfl_match::serve::{submit_payload, Client};
+
+fn cfl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cfl"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cfl-serve-test-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Generates a data graph and one query into `dir`, returning their paths.
+fn make_inputs(dir: &Path) -> (PathBuf, PathBuf) {
+    let data = dir.join("data.graph");
+    let status = cfl()
+        .args(["generate", "--vertices", "500", "--degree", "6"])
+        .args(["--labels", "5", "--seed", "9", "-o"])
+        .arg(&data)
+        .status()
+        .unwrap();
+    assert!(status.success());
+    let prefix = dir.join("q");
+    let status = cfl()
+        .arg("query")
+        .arg(&data)
+        .args(["--size", "5", "--count", "1", "--seed", "4", "-o"])
+        .arg(&prefix)
+        .status()
+        .unwrap();
+    assert!(status.success());
+    (dir.join("q-0.graph"), data)
+}
+
+/// Runs `cfl match --checksum` and extracts the digest line.
+fn one_shot_checksum(query: &Path, data: &Path) -> String {
+    let out = cfl()
+        .arg("match")
+        .arg(query)
+        .arg(data)
+        .arg("--checksum")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("checksum: "))
+        .unwrap_or_else(|| panic!("no checksum line in {stdout:?}"))
+        .to_string()
+}
+
+/// A `cfl serve` child process bound to an ephemeral port.
+struct ServerProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServerProc {
+    fn start(data: &Path, extra: &[&str]) -> ServerProc {
+        let mut child = cfl()
+            .arg("serve")
+            .arg(data)
+            .args(["--listen", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .spawn()
+            .unwrap();
+        // The first stdout line announces the bound address.
+        let stdout = child.stdout.take().unwrap();
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).unwrap();
+        let addr = line
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .to_string();
+        ServerProc { child, addr }
+    }
+
+    fn client(&self) -> Client {
+        let c = Client::connect(&self.addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        c
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        // Ask for a clean shutdown; fall back to kill if the protocol
+        // path is what just failed.
+        if let Ok(mut c) = Client::connect(&self.addr) {
+            let _ = c.set_read_timeout(Some(Duration::from_secs(5)));
+            let _ = c.request(r#"{"op":"shutdown"}"#);
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn serve_round_trips_and_matches_one_shot() {
+    let dir = tmpdir("round-trip");
+    let (query_path, data_path) = make_inputs(&dir);
+    let expected = one_shot_checksum(&query_path, &data_path);
+    let query = read_graph_file(&query_path).unwrap();
+    let data = read_graph_file(&data_path).unwrap();
+
+    let server = ServerProc::start(&data_path, &["--workers", "1"]);
+    let mut c = server.client();
+
+    // stats: a fresh server has admitted nothing.
+    let stats = c.request(r#"{"op":"stats"}"#).unwrap();
+    let counter = |s: &cfl_match::serve::json::Json, k: &str| {
+        s.get("stats")
+            .and_then(|t| t.get(k))
+            .and_then(cfl_match::serve::json::Json::as_u64)
+            .unwrap_or_else(|| panic!("stats missing {k}"))
+    };
+    assert_eq!(counter(&stats, "submitted"), 0);
+
+    // submit + stream: the served digest equals the one-shot CLI digest,
+    // and the client-side recomputation over the batches agrees.
+    let payload = submit_payload("default", &query, None, None, false);
+    let served = c.run_query(&payload).unwrap().unwrap();
+    assert_eq!(served.outcome, "complete");
+    assert_eq!(served.checksum, served.received_checksum);
+    assert_eq!(
+        format!("checksum: {}", served.checksum),
+        format!("checksum: {expected}")
+    );
+
+    // cancel: unknown id round-trips as not-cancelled.
+    let cancelled = c.request(r#"{"op":"cancel","id":999999}"#).unwrap();
+    assert_eq!(
+        cancelled
+            .get("cancelled")
+            .and_then(cfl_match::serve::json::Json::as_bool),
+        Some(false)
+    );
+
+    // apply-delta: delete one edge and reinsert it. Two epochs advance,
+    // and the restored graph serves the original result again.
+    let (u, v) = data.edges().next().unwrap();
+    let del = c
+        .request(&format!(r#"{{"op":"apply-delta","delete":[[{u},{v}]]}}"#))
+        .unwrap();
+    assert_eq!(
+        del.get("epoch")
+            .and_then(cfl_match::serve::json::Json::as_u64),
+        Some(1)
+    );
+    let ins = c
+        .request(&format!(r#"{{"op":"apply-delta","insert":[[{u},{v}]]}}"#))
+        .unwrap();
+    assert_eq!(
+        ins.get("epoch")
+            .and_then(cfl_match::serve::json::Json::as_u64),
+        Some(2)
+    );
+    let again = c.run_query(&payload).unwrap().unwrap();
+    assert_eq!(again.checksum, served.checksum);
+
+    // stats again: both queries are accounted for and finished.
+    let stats = c.request(r#"{"op":"stats"}"#).unwrap();
+    assert_eq!(counter(&stats, "submitted"), 2);
+    assert_eq!(counter(&stats, "completed"), 2);
+    drop(c);
+    // Drop sends the shutdown op and reaps the child.
+}
+
+#[test]
+fn concurrent_served_queries_match_one_shot_at_four_workers() {
+    let dir = tmpdir("four-workers");
+    let (query_path, data_path) = make_inputs(&dir);
+    let expected = one_shot_checksum(&query_path, &data_path);
+    let query = read_graph_file(&query_path).unwrap();
+
+    let server = ServerProc::start(&data_path, &["--workers", "4"]);
+    let payload = submit_payload("default", &query, None, None, false);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut c = server.client();
+                    c.run_query(&payload).unwrap().unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            let served = h.join().unwrap();
+            assert_eq!(served.outcome, "complete");
+            assert_eq!(served.checksum, served.received_checksum);
+            assert_eq!(served.checksum, expected);
+        }
+    });
+}

@@ -3,6 +3,44 @@
 use std::time::Duration;
 
 use crate::filters::FilterOptions;
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::Arc;
+
+/// A shared cooperative-cancellation handle.
+///
+/// Cloning yields another handle to the same flag; [`cancel`](Self::cancel)
+/// is a monotonic `false → true` latch that the enumerator polls at its
+/// backtrack-quantum boundary (every [`crate::exec::CANCEL_QUANTUM`] search
+/// nodes), so a cancelled search stops within one quantum of additional
+/// work and reports [`MatchOutcome::Cancelled`](crate::MatchOutcome::Cancelled).
+/// This is the serving layer's cancellation primitive, but it is plain
+/// library API: attach one to a [`Budget`] and keep a clone to cancel any
+/// in-flight run from another thread.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Latches the token. Idempotent; never un-cancels.
+    pub fn cancel(&self) {
+        // SeqCst: not on the hot path (one store per cancellation), and
+        // exempt from the Relaxed-allowlist bookkeeping.
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called on any clone.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
 
 /// How the CPI auxiliary structure is constructed (§4.1, §5).
 ///
@@ -85,13 +123,16 @@ pub enum PruningKind {
 ///
 /// The paper reports up to a fixed number of embeddings (default `10^5`)
 /// under a wall-clock limit, plotting "INF" on timeout; both knobs live
-/// here.
-#[derive(Clone, Copy, Debug, Default)]
+/// here, alongside the serving layer's cooperative [`CancelToken`].
+#[derive(Clone, Debug, Default)]
 pub struct Budget {
     /// Stop after this many embeddings have been emitted (`None` = all).
     pub max_embeddings: Option<u64>,
     /// Stop after this much wall-clock time (`None` = unlimited).
     pub time_limit: Option<Duration>,
+    /// Stop when this token is cancelled (`None` = not cancellable).
+    /// Checked at the same backtrack-quantum stride as `time_limit`.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Budget {
@@ -99,13 +140,14 @@ impl Budget {
     pub const UNLIMITED: Budget = Budget {
         max_embeddings: None,
         time_limit: None,
+        cancel: None,
     };
 
     /// Limit only the number of embeddings.
     pub fn first(n: u64) -> Self {
         Budget {
             max_embeddings: Some(n),
-            time_limit: None,
+            ..Self::UNLIMITED
         }
     }
 
@@ -114,10 +156,16 @@ impl Budget {
         self.time_limit = Some(limit);
         self
     }
+
+    /// Attaches a cancellation token (keep a clone to trigger it).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
 }
 
 /// Full configuration of a CFL-Match run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct MatchConfig {
     /// CPI construction mode.
     pub cpi: CpiMode,

@@ -30,7 +30,7 @@ use cfl_graph::{FixedBitSet, Graph, VertexId};
 
 use super::leaf::LeafPhase;
 use super::strategy::{OrderingStrategy, PruningStrategy};
-use crate::config::Budget;
+use crate::config::{Budget, CancelToken};
 use crate::cpi::Cpi;
 use crate::order::OrderPlan;
 use crate::result::MatchOutcome;
@@ -38,8 +38,11 @@ use crate::result::MatchOutcome;
 /// Sentinel for unmapped query vertices.
 pub(crate) const UNMAPPED: VertexId = VertexId::MAX;
 
-/// How many search nodes between deadline checks.
-const DEADLINE_STRIDE: u64 = 4096;
+/// The backtrack quantum: how many search nodes may pass between
+/// deadline/cancellation checks. A cancelled or expired search stops within
+/// this many additional node expansions (the serving layer's cancellation
+/// latency bound; `serve` tests pin it).
+pub const CANCEL_QUANTUM: u64 = 4096;
 
 pub(crate) struct Enumerator<'a, 's, O: OrderingStrategy, P: PruningStrategy> {
     q: &'a Graph,
@@ -81,7 +84,9 @@ pub(crate) struct Enumerator<'a, 's, O: OrderingStrategy, P: PruningStrategy> {
 
     max_embeddings: u64,
     deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
     timed_out: bool,
+    cancelled: bool,
 }
 
 /// Inner control signal: stop the whole search.
@@ -132,7 +137,22 @@ impl<'a, 's, O: OrderingStrategy, P: PruningStrategy> Enumerator<'a, 's, O, P> {
             tr: cfl_trace::EnumCounters::default(),
             max_embeddings: budget.max_embeddings.unwrap_or(u64::MAX),
             deadline,
+            cancel: budget.cancel,
             timed_out: false,
+            cancelled: false,
+        }
+    }
+
+    /// Why a `Stop` break happened, in precedence order: an explicit
+    /// cancellation wins over a deadline expiry, which wins over the
+    /// embedding cap / sink stop.
+    fn stop_outcome(&self) -> MatchOutcome {
+        if self.cancelled {
+            MatchOutcome::Cancelled
+        } else if self.timed_out {
+            MatchOutcome::TimedOut
+        } else {
+            MatchOutcome::LimitReached
         }
     }
 
@@ -143,13 +163,7 @@ impl<'a, 's, O: OrderingStrategy, P: PruningStrategy> Enumerator<'a, 's, O, P> {
         }
         match self.extend(0) {
             ControlFlow::Continue(()) => MatchOutcome::Complete,
-            ControlFlow::Break(Stop) => {
-                if self.timed_out {
-                    MatchOutcome::TimedOut
-                } else {
-                    MatchOutcome::LimitReached
-                }
-            }
+            ControlFlow::Break(Stop) => self.stop_outcome(),
         }
     }
 
@@ -200,19 +214,23 @@ impl<'a, 's, O: OrderingStrategy, P: PruningStrategy> Enumerator<'a, 's, O, P> {
             // failing set below it).
             match self.try_candidate(0, 0, pos as u32) {
                 ControlFlow::Continue(_) => {}
-                ControlFlow::Break(Stop) => {
-                    return if self.timed_out {
-                        MatchOutcome::TimedOut
-                    } else {
-                        MatchOutcome::LimitReached
-                    };
-                }
+                ControlFlow::Break(Stop) => return self.stop_outcome(),
             }
         }
     }
 
+    /// Polls the cooperative stop signals (cancellation token, wall-clock
+    /// deadline) once per [`CANCEL_QUANTUM`] search nodes. Both are
+    /// monotonic latches, so observing them a quantum late only delays the
+    /// stop — it never changes results that were already emitted.
     fn out_of_time(&mut self) -> bool {
-        if self.nodes.is_multiple_of(DEADLINE_STRIDE) {
+        if self.nodes.is_multiple_of(CANCEL_QUANTUM) {
+            if let Some(token) = &self.cancel {
+                if token.is_cancelled() {
+                    self.cancelled = true;
+                    return true;
+                }
+            }
             if let Some(d) = self.deadline {
                 if Instant::now() >= d {
                     self.timed_out = true;

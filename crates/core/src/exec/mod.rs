@@ -26,6 +26,7 @@ use crate::sync::Arc;
 use enumerate::Enumerator;
 use strategy::dispatch_strategies;
 
+pub use enumerate::CANCEL_QUANTUM;
 pub use parallel::{collect_embeddings_parallel, count_embeddings_parallel};
 
 /// A borrowed embedding sink: receives each mapping (indexed by query
@@ -280,7 +281,7 @@ pub(crate) fn enumerate_prepared(
     #[cfg(feature = "trace")]
     let enum_span = cfl_trace::span::enter(cfl_trace::span::Phase::Enumerate);
     dispatch_strategies!(config.ordering, config.pruning, O, P, {
-        let mut enumerator = Enumerator::<O, P>::new(q, g, cpi, plan, config.budget, sink);
+        let mut enumerator = Enumerator::<O, P>::new(q, g, cpi, plan, config.budget.clone(), sink);
         let outcome = enumerator.run();
         #[cfg(feature = "trace")]
         drop(enum_span);

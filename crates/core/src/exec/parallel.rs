@@ -80,7 +80,9 @@ pub fn count_embeddings_parallel(
 ) -> Result<MatchReport, Error> {
     // The enumeration workers exist anyway; let the build phase use them
     // too (unless the caller already asked for more build parallelism).
-    let build_config = config.with_build_threads(num_threads.max(config.build_threads));
+    let build_config = config
+        .clone()
+        .with_build_threads(num_threads.max(config.build_threads));
     let prepared = prepare(q, g, &build_config)?;
     if prepared.provably_empty() {
         return Ok(MatchReport::empty(prepared.stats));
@@ -111,7 +113,7 @@ pub fn count_embeddings_parallel(
                 let cpi = &cpi;
                 let plan = &plan;
                 let cursor = &cursor;
-                let budget = config.budget;
+                let budget = config.budget.clone();
                 handles.push(scope.spawn(move || {
                     let mut en = Enumerator::<O, P>::new(q, g, cpi, plan, budget, None);
                     let outcome = en.run_stealing(cursor, num_roots);
@@ -145,7 +147,9 @@ pub fn collect_embeddings_parallel(
     num_threads: usize,
 ) -> Result<(Vec<Embedding>, MatchReport), Error> {
     // See `count_embeddings_parallel`: build with the same parallelism.
-    let build_config = config.with_build_threads(num_threads.max(config.build_threads));
+    let build_config = config
+        .clone()
+        .with_build_threads(num_threads.max(config.build_threads));
     let prepared = prepare(q, g, &build_config)?;
     if prepared.provably_empty() {
         return Ok((Vec::new(), MatchReport::empty(prepared.stats)));
@@ -184,7 +188,7 @@ pub fn collect_embeddings_parallel(
                 let cursor = &cursor;
                 let cancelled = &cancelled;
                 let tx = tx.clone();
-                let budget = config.budget;
+                let budget = config.budget.clone();
                 handles.push(scope.spawn(move || {
                     let mut sink = |m: &[VertexId]| {
                         tx.send(m.to_vec()).is_ok() && !cancelled.load(Ordering::Relaxed)
@@ -230,6 +234,7 @@ fn merge_reports(
 ) -> Result<MatchReport, Error> {
     let mut total = 0u64;
     let mut timed_out = false;
+    let mut was_cancelled = false;
     let mut limited = cancelled;
     for r in results {
         total = total.saturating_add(r.emitted);
@@ -240,12 +245,15 @@ fn merge_reports(
             tr.workers.push(r.trace);
         }
         match r.outcome {
+            MatchOutcome::Cancelled => was_cancelled = true,
             MatchOutcome::TimedOut => timed_out = true,
             MatchOutcome::LimitReached => limited = true,
             MatchOutcome::Complete => {}
         }
     }
-    let outcome = if timed_out {
+    let outcome = if was_cancelled {
+        MatchOutcome::Cancelled
+    } else if timed_out {
         MatchOutcome::TimedOut
     } else if limited || total > max {
         MatchOutcome::LimitReached

@@ -57,6 +57,7 @@ mod pool;
 pub mod refresh;
 pub mod result;
 pub mod root;
+pub mod serve;
 pub mod session;
 pub mod stream;
 pub(crate) mod sync;
@@ -65,7 +66,8 @@ pub mod validate;
 
 pub use cache::{PlanCache, PlanCacheStats, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use config::{
-    Budget, CpiMode, DecompositionMode, MatchConfig, OrderStrategy, OrderingKind, PruningKind,
+    Budget, CancelToken, CpiMode, DecompositionMode, MatchConfig, OrderStrategy, OrderingKind,
+    PruningKind,
 };
 pub use cost::{evaluate_cost, CostBreakdown};
 pub use cpi::Cpi;
@@ -81,7 +83,8 @@ pub use extended::{collect_embeddings_extended, find_embeddings_extended};
 pub use filters::{FilterContext, FilterOptions, GraphStats, VerdictCache};
 pub use order::{compute_order, compute_order_with, OrderPlan, OrderedVertex};
 pub use refresh::{Maintained, RefreshKind, RefreshStats, DAMAGE_THRESHOLD};
-pub use result::{Embedding, MatchOutcome, MatchReport, MatchStats};
+pub use result::{Embedding, EmbeddingChecksum, MatchOutcome, MatchReport, MatchStats};
+pub use serve::{Engine, EngineConfig, QueryEvent, QueryHandle, QuerySpec, Server, SubmitError};
 
 // Observability types (`cfl-trace`) surface on `MatchStats::trace`;
 // re-exported so downstream crates can consume reports without naming the

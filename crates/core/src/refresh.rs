@@ -154,7 +154,7 @@ impl<'q> Maintained<'q> {
         }
         Ok(Maintained {
             q,
-            config: *config,
+            config: config.clone(),
             q_has_label,
             prepared,
             verdicts,

@@ -31,6 +31,9 @@ pub enum MatchOutcome {
     LimitReached,
     /// The wall-clock budget was exceeded (the paper's "INF" points).
     TimedOut,
+    /// The run's [`CancelToken`](crate::CancelToken) was cancelled; the
+    /// search stopped within one backtrack quantum of the latch.
+    Cancelled,
 }
 
 impl MatchOutcome {
@@ -38,6 +41,81 @@ impl MatchOutcome {
     #[must_use]
     pub fn is_complete(self) -> bool {
         matches!(self, MatchOutcome::Complete)
+    }
+
+    /// Stable lowercase tag for wire formats and JSON reports
+    /// (`"complete"`, `"limit"`, `"deadline"`, `"cancelled"`).
+    #[must_use]
+    pub fn as_tag(self) -> &'static str {
+        match self {
+            MatchOutcome::Complete => "complete",
+            MatchOutcome::LimitReached => "limit",
+            MatchOutcome::TimedOut => "deadline",
+            MatchOutcome::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Incremental FNV-1a digest over a stream of embeddings.
+///
+/// The digest is a function of the embedding *sequence* — values and
+/// order — so two runs agree iff they emitted the same embeddings in the
+/// same order. The serving engine uses it to prove that a query answered
+/// over a shared [`DataGraph`](crate::DataGraph) by an executor worker is
+/// byte-identical to a serial one-shot run (`cfl match --checksum` prints
+/// the same digest). Each mapping is folded as its length (u32 LE)
+/// followed by its vertex ids (u32 LE), so embedding boundaries are
+/// unambiguous.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EmbeddingChecksum {
+    hash: u64,
+    count: u64,
+}
+
+impl Default for EmbeddingChecksum {
+    fn default() -> Self {
+        EmbeddingChecksum {
+            hash: 0xcbf2_9ce4_8422_2325, // FNV-1a 64-bit offset basis
+            count: 0,
+        }
+    }
+}
+
+impl EmbeddingChecksum {
+    /// Fresh digest (FNV-1a offset basis, zero embeddings).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn fold(&mut self, word: u32) {
+        for b in word.to_le_bytes() {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Folds one embedding into the digest.
+    #[inline]
+    pub fn update(&mut self, mapping: &[VertexId]) {
+        self.fold(mapping.len() as u32);
+        for &v in mapping {
+            self.fold(v);
+        }
+        self.count += 1;
+    }
+
+    /// The digest so far.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.hash
+    }
+
+    /// Embeddings folded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
     }
 }
 
@@ -124,6 +202,7 @@ mod tests {
         assert!(MatchOutcome::Complete.is_complete());
         assert!(!MatchOutcome::LimitReached.is_complete());
         assert!(!MatchOutcome::TimedOut.is_complete());
+        assert!(!MatchOutcome::Cancelled.is_complete());
     }
 
     #[test]
@@ -136,6 +215,38 @@ mod tests {
         assert!(r.outcome.is_complete());
         assert_eq!(r.embeddings, 0);
         assert_eq!(r.stats.cpi_candidates, 7, "stats are preserved");
+    }
+
+    #[test]
+    fn outcome_tags_are_stable() {
+        assert_eq!(MatchOutcome::Complete.as_tag(), "complete");
+        assert_eq!(MatchOutcome::LimitReached.as_tag(), "limit");
+        assert_eq!(MatchOutcome::TimedOut.as_tag(), "deadline");
+        assert_eq!(MatchOutcome::Cancelled.as_tag(), "cancelled");
+    }
+
+    #[test]
+    fn checksum_is_order_and_boundary_sensitive() {
+        let digest = |embs: &[&[u32]]| {
+            let mut c = EmbeddingChecksum::new();
+            for e in embs {
+                c.update(e);
+            }
+            (c.digest(), c.count())
+        };
+        let (a, na) = digest(&[&[1, 2], &[3, 4]]);
+        let (b, nb) = digest(&[&[3, 4], &[1, 2]]);
+        assert_ne!(a, b, "order must matter");
+        assert_eq!((na, nb), (2, 2));
+        let (c, _) = digest(&[&[1, 2, 3], &[4]]);
+        let (d, _) = digest(&[&[1], &[2, 3, 4]]);
+        assert_ne!(c, d, "boundaries must matter");
+        assert_eq!(digest(&[&[1, 2], &[3, 4]]), (a, 2), "deterministic");
+        assert_ne!(
+            EmbeddingChecksum::new().digest(),
+            a,
+            "empty digest is distinct"
+        );
     }
 
     #[test]

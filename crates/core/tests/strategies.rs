@@ -48,13 +48,14 @@ fn embedding_checksum(mut embeddings: Vec<Embedding>) -> u64 {
 fn assert_all_combos_identical(name: &str, q: &Graph, g: &Graph, base: &MatchConfig) {
     let reference = {
         let cfg = base
+            .clone()
             .with_ordering(OrderingKind::StaticPath)
             .with_pruning(PruningKind::Plain);
         let (embs, _) = collect_embeddings(q, g, &cfg).unwrap();
         embedding_checksum(embs)
     };
     for (ordering, pruning) in COMBOS {
-        let cfg = base.with_ordering(ordering).with_pruning(pruning);
+        let cfg = base.clone().with_ordering(ordering).with_pruning(pruning);
         let (serial, _) = collect_embeddings(q, g, &cfg).unwrap();
         assert_eq!(
             embedding_checksum(serial),

@@ -23,4 +23,4 @@ pub use adversarial::{
 };
 pub use persist::{cached_synthetic, load_query_set, save_query_set, synthetic_cache_key};
 pub use registry::{Dataset, DatasetSpec};
-pub use workloads::{QuerySetSpec, Workload};
+pub use workloads::{QueryMixSpec, QuerySetSpec, Workload};

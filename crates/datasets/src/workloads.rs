@@ -103,9 +103,91 @@ impl Workload {
     }
 }
 
+/// A heterogeneous query mix for the serving load generator: several
+/// sizes in both density classes, interleaved deterministically so
+/// consecutive requests exercise different plan shapes — and so a plan
+/// cache still sees each shape recur every `sizes.len() × 2` requests.
+#[derive(Clone, Debug)]
+pub struct QueryMixSpec {
+    /// Query sizes in the mix (each appears in both density classes).
+    pub sizes: Vec<usize>,
+    /// Queries generated per (size, density) class.
+    pub per_class: usize,
+    /// Generation seed (each class derives its own sub-seed).
+    pub seed: u64,
+}
+
+impl QueryMixSpec {
+    /// The serving-bench default: sizes {4, 6, 8} × {sparse, non-sparse},
+    /// four queries each — 24 distinct queries, small enough that one
+    /// request is dominated by round-trip and scheduling cost rather than
+    /// enumeration.
+    pub fn standard() -> Self {
+        QueryMixSpec {
+            sizes: vec![4, 6, 8],
+            per_class: 4,
+            seed: 0xC41,
+        }
+    }
+
+    /// A human-readable tag for bench metadata, e.g. `"q{4,6,8}{S,N}x4"`.
+    pub fn name(&self) -> String {
+        let sizes: Vec<String> = self.sizes.iter().map(ToString::to_string).collect();
+        format!("q{{{}}}{{S,N}}x{}", sizes.join(","), self.per_class)
+    }
+
+    /// Generates the mix against `g`, round-robin interleaved across the
+    /// classes. Classes the data graph cannot populate contribute fewer
+    /// queries; the result is empty only if every class is unsatisfiable.
+    pub fn generate(&self, g: &Graph) -> Vec<Graph> {
+        let mut classes: Vec<Vec<Graph>> = Vec::new();
+        for (i, &size) in self.sizes.iter().enumerate() {
+            for (j, density) in [QueryDensity::Sparse, QueryDensity::NonSparse]
+                .into_iter()
+                .enumerate()
+            {
+                let seed = self.seed.wrapping_add((i * 2 + j) as u64 * 104_729);
+                classes.push(query_set(g, size, density, self.per_class, seed));
+            }
+        }
+        let mut out = Vec::with_capacity(classes.iter().map(Vec::len).sum());
+        for round in 0..self.per_class {
+            for class in &classes {
+                if let Some(q) = class.get(round) {
+                    out.push(q.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn query_mix_is_deterministic_and_interleaved() {
+        let g = Dataset::SyntheticDefault.build_scaled(100);
+        let mix = QueryMixSpec {
+            sizes: vec![4, 6],
+            per_class: 2,
+            seed: 7,
+        };
+        let qs = mix.generate(&g);
+        assert!(!qs.is_empty());
+        assert!(qs.len() <= 8);
+        // Round-robin interleaving: some adjacent pair differs in size.
+        let sizes: Vec<usize> = qs.iter().map(Graph::num_vertices).collect();
+        assert!(sizes.windows(2).any(|w| w[0] != w[1]));
+        // Same spec, same graph, same mix.
+        let again = mix.generate(&g);
+        assert_eq!(sizes.len(), again.len());
+        for (a, b) in qs.iter().zip(&again) {
+            assert_eq!(a.labels(), b.labels());
+        }
+        assert_eq!(QueryMixSpec::standard().name(), "q{4,6,8}{S,N}x4");
+    }
 
     #[test]
     fn naming_matches_paper() {

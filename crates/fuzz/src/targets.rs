@@ -79,7 +79,7 @@ pub(crate) fn compare_embedding_sets(
 /// case.
 pub fn cfl_vs_vf2(case: &Case) -> Result<Verdict, String> {
     let budget = Budget::first(EMB_CAP);
-    let cfg = MatchConfig::exhaustive().with_budget(budget);
+    let cfg = MatchConfig::exhaustive().with_budget(budget.clone());
 
     let mut cfl = Vec::new();
     let cfl_report = cfl_match::find_embeddings(&case.q, &case.g, &cfg, |m| {
@@ -524,7 +524,7 @@ pub fn strategy_identity(case: &Case) -> Result<Verdict, String> {
     });
 
     for (ordering, pruning) in COMBOS {
-        let cfg = base.with_ordering(ordering).with_pruning(pruning);
+        let cfg = base.clone().with_ordering(ordering).with_pruning(pruning);
         let mut embs = Vec::new();
         let report = cfl_match::find_embeddings(&case.q, &case.g, &cfg, |m| {
             embs.push(m.to_vec());
@@ -587,7 +587,7 @@ pub fn strategy_identity(case: &Case) -> Result<Verdict, String> {
 pub fn thread_checksum(case: &Case) -> Result<Verdict, String> {
     let budget = Budget::first(EMB_CAP);
     let cfg1 = MatchConfig::exhaustive()
-        .with_budget(budget)
+        .with_budget(budget.clone())
         .with_build_threads(1);
     let cfg_n = MatchConfig::exhaustive()
         .with_budget(budget)

@@ -601,6 +601,112 @@ impl TraceReport {
     }
 }
 
+/// Lifetime counters of a serving engine (`cfl serve`), snapshotted by
+/// the engine's `stats` operation. Unlike [`TraceReport`] these are not
+/// per-run: they account for every query the engine has seen since it
+/// started, and they obey two exact identities that
+/// `cfl_verify::check_serve_trace` re-checks:
+///
+/// * **admission**: `submitted = admitted + rejected` — every submission
+///   is either queued or refused, never dropped silently;
+/// * **completion**: every admitted query is in exactly one terminal or
+///   in-flight state —
+///   `admitted = completed + cancelled + deadline_expired + limit_reached + failed + active + queued`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeTrace {
+    /// Queries offered to the engine (admitted or rejected).
+    pub submitted: u64,
+    /// Queries that entered the admission queue.
+    pub admitted: u64,
+    /// Queries refused because the admission queue was full.
+    pub rejected: u64,
+    /// Queries that enumerated every embedding.
+    pub completed: u64,
+    /// Queries stopped by their [`CancelToken`] (client cancel or
+    /// disconnect).
+    ///
+    /// [`CancelToken`]: https://docs.rs/cfl-match
+    pub cancelled: u64,
+    /// Queries stopped by their per-query deadline.
+    pub deadline_expired: u64,
+    /// Queries stopped by their `max_embeddings` budget.
+    pub limit_reached: u64,
+    /// Queries that errored before enumeration (invalid query graph,
+    /// unknown data graph).
+    pub failed: u64,
+    /// Queries currently executing on a worker (gauge).
+    pub active: u64,
+    /// Queries admitted but not yet claimed by a worker (gauge).
+    pub queued: u64,
+    /// Embedding batches streamed to clients.
+    pub batches: u64,
+    /// Embeddings streamed inside those batches.
+    pub embeddings_streamed: u64,
+    /// Graph deltas applied through the serving engine.
+    pub deltas_applied: u64,
+    /// Cached plans the plan cache restamped across those deltas.
+    pub plans_refreshed: u64,
+}
+
+impl ServeTrace {
+    /// Sum of the terminal states (the completion identity's fixed part).
+    #[must_use]
+    pub fn finished(&self) -> u64 {
+        self.completed + self.cancelled + self.deadline_expired + self.limit_reached + self.failed
+    }
+
+    /// Renders the snapshot as a JSON object (the `stats` response body
+    /// of the wire protocol). Hand-written like every JSON producer in
+    /// this workspace.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"submitted\": {}, \"admitted\": {}, \"rejected\": {}, \"completed\": {}, \
+             \"cancelled\": {}, \"deadline_expired\": {}, \"limit_reached\": {}, \
+             \"failed\": {}, \"active\": {}, \"queued\": {}, \"batches\": {}, \
+             \"embeddings_streamed\": {}, \"deltas_applied\": {}, \"plans_refreshed\": {}}}",
+            self.submitted,
+            self.admitted,
+            self.rejected,
+            self.completed,
+            self.cancelled,
+            self.deadline_expired,
+            self.limit_reached,
+            self.failed,
+            self.active,
+            self.queued,
+            self.batches,
+            self.embeddings_streamed,
+            self.deltas_applied,
+            self.plans_refreshed,
+        )
+    }
+
+    /// Renders the snapshot as an aligned table (the human form used by
+    /// the load generator's final summary).
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("serving counters\n");
+        let mut row = |k: &str, v: u64| out.push_str(&format!("  {k:<20}{v:>10}\n"));
+        row("submitted", self.submitted);
+        row("admitted", self.admitted);
+        row("rejected", self.rejected);
+        row("completed", self.completed);
+        row("cancelled", self.cancelled);
+        row("deadline expired", self.deadline_expired);
+        row("limit reached", self.limit_reached);
+        row("failed", self.failed);
+        row("active", self.active);
+        row("queued", self.queued);
+        row("batches", self.batches);
+        row("embeddings streamed", self.embeddings_streamed);
+        row("deltas applied", self.deltas_applied);
+        row("plans refreshed", self.plans_refreshed);
+        out
+    }
+}
+
 fn json_u32_array(xs: &[u32]) -> String {
     let items: Vec<String> = xs.iter().map(u32::to_string).collect();
     format!("[{}]", items.join(", "))
@@ -764,6 +870,42 @@ mod tests {
         assert!(t.contains("plan lookups"));
         assert!(t.contains("dirty frontier"));
         assert!(t.contains("refreshes u/f/r"));
+    }
+
+    #[test]
+    fn serve_trace_identities_and_renderers() {
+        let s = ServeTrace {
+            submitted: 10,
+            admitted: 8,
+            rejected: 2,
+            completed: 4,
+            cancelled: 1,
+            deadline_expired: 1,
+            limit_reached: 1,
+            failed: 0,
+            active: 1,
+            queued: 0,
+            batches: 12,
+            embeddings_streamed: 300,
+            deltas_applied: 2,
+            plans_refreshed: 1,
+        };
+        assert_eq!(s.submitted, s.admitted + s.rejected);
+        assert_eq!(s.admitted, s.finished() + s.active + s.queued);
+        let j = s.to_json();
+        for key in [
+            "\"submitted\": 10",
+            "\"rejected\": 2",
+            "\"deadline_expired\": 1",
+            "\"embeddings_streamed\": 300",
+            "\"plans_refreshed\": 1",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        let t = s.render_table();
+        assert!(t.contains("serving counters"));
+        assert!(t.contains("deadline expired"));
+        assert!(t.contains("300"));
     }
 
     #[test]

@@ -37,4 +37,4 @@ pub use decomp_checks::{check_decomposition, DecompSpec, PartClass, TreeSpec};
 pub use graph_checks::check_graph;
 pub use order_checks::{check_order, OrderSpec, OrderStep};
 pub use report::{Report, Violation};
-pub use trace_checks::check_trace;
+pub use trace_checks::{check_serve_trace, check_trace};

@@ -217,6 +217,86 @@ fn check_worker(out: &mut Report, index: usize, w: &WorkerTrace) {
     }
 }
 
+/// Verifies the accounting identities of a serving-engine counter
+/// snapshot ([`cfl_trace::ServeTrace`], the `stats` response of
+/// `cfl serve`).
+///
+/// Checks performed (stable check identifiers in brackets):
+///
+/// - `serve-admission`: every submission is admitted or rejected, never
+///   both and never neither (`submitted == admitted + rejected`).
+/// - `serve-completion`: every admitted query is in exactly one state —
+///   a terminal outcome, actively executing, or queued
+///   (`admitted == finished + active + queued`).
+/// - `serve-batch-consistency`: a non-zero streamed-embedding count
+///   implies at least one batch was sent (embeddings only travel inside
+///   batches).
+/// - `serve-refresh-bound`: plan refreshes require deltas
+///   (`deltas_applied == 0` implies `plans_refreshed == 0`).
+///
+/// The two gauge fields (`active`, `queued`) make the completion identity
+/// exact at *any* snapshot instant, not only at quiescence: the engine
+/// moves a query between states under its admission lock, so no query is
+/// ever double-counted or unaccounted.
+#[must_use]
+pub fn check_serve_trace(s: &cfl_trace::ServeTrace) -> Report {
+    let mut out = Report::new();
+    if s.submitted != s.admitted + s.rejected {
+        out.violation(
+            "serve-admission",
+            None,
+            None,
+            format!(
+                "submitted {} != admitted {} + rejected {}",
+                s.submitted, s.admitted, s.rejected
+            ),
+        );
+    }
+    let accounted = s.finished() + s.active + s.queued;
+    if s.admitted != accounted {
+        out.violation(
+            "serve-completion",
+            None,
+            None,
+            format!(
+                "admitted {} != completed {} + cancelled {} + deadline {} + limit {} \
+                 + failed {} + active {} + queued {} (= {accounted})",
+                s.admitted,
+                s.completed,
+                s.cancelled,
+                s.deadline_expired,
+                s.limit_reached,
+                s.failed,
+                s.active,
+                s.queued
+            ),
+        );
+    }
+    if s.embeddings_streamed > 0 && s.batches == 0 {
+        out.violation(
+            "serve-batch-consistency",
+            None,
+            None,
+            format!(
+                "{} embeddings streamed but zero batches sent",
+                s.embeddings_streamed
+            ),
+        );
+    }
+    if s.deltas_applied == 0 && s.plans_refreshed > 0 {
+        out.violation(
+            "serve-refresh-bound",
+            None,
+            None,
+            format!(
+                "{} plans refreshed without any delta applied",
+                s.plans_refreshed
+            ),
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,5 +457,54 @@ mod tests {
         // Only the exact identity is waived; overflow is still checked.
         let checked = check_trace(&r, Some(7));
         assert!(!checked.has_check("trace-accounting"), "{checked}");
+    }
+
+    #[test]
+    fn serve_trace_clean_snapshot_passes() {
+        let s = cfl_trace::ServeTrace {
+            submitted: 6,
+            admitted: 5,
+            rejected: 1,
+            completed: 3,
+            cancelled: 1,
+            deadline_expired: 0,
+            limit_reached: 0,
+            failed: 0,
+            active: 1,
+            queued: 0,
+            batches: 4,
+            embeddings_streamed: 90,
+            deltas_applied: 1,
+            plans_refreshed: 1,
+        };
+        let r = check_serve_trace(&s);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn serve_trace_violations_are_detected() {
+        let mut s = cfl_trace::ServeTrace {
+            submitted: 6,
+            admitted: 5,
+            rejected: 1,
+            completed: 5,
+            ..Default::default()
+        };
+        assert!(check_serve_trace(&s).is_clean());
+        s.rejected = 0;
+        let r = check_serve_trace(&s);
+        assert!(r.has_check("serve-admission"), "{r}");
+        s.rejected = 1;
+        s.completed = 4;
+        let r = check_serve_trace(&s);
+        assert!(r.has_check("serve-completion"), "{r}");
+        s.completed = 5;
+        s.embeddings_streamed = 10;
+        let r = check_serve_trace(&s);
+        assert!(r.has_check("serve-batch-consistency"), "{r}");
+        s.batches = 1;
+        s.plans_refreshed = 2;
+        let r = check_serve_trace(&s);
+        assert!(r.has_check("serve-refresh-bound"), "{r}");
     }
 }

@@ -63,7 +63,7 @@ fn main() {
         for algo in &algorithms {
             let start = Instant::now();
             let report = algo
-                .count(&motif, &network, budget)
+                .count(&motif, &network, budget.clone())
                 .expect("valid motif query");
             let elapsed = start.elapsed();
             println!(

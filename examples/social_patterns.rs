@@ -66,6 +66,9 @@ fn main() {
         MatchOutcome::TimedOut => {
             println!("time limit hit after {} occurrences", report.embeddings);
         }
+        MatchOutcome::Cancelled => {
+            println!("cancelled after {} occurrences", report.embeddings);
+        }
     }
     println!(
         "index built in {:?}, ordered in {:?}, searched in {:?}",

@@ -20,6 +20,16 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Sender::try_send`]; carries the unsent message
+    /// like crossbeam's.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// A bounded channel is at capacity.
+        Full(T),
+        /// The receiver has been dropped.
+        Disconnected(T),
+    }
+
     enum SenderInner<T> {
         Unbounded(mpsc::Sender<T>),
         Bounded(mpsc::SyncSender<T>),
@@ -50,6 +60,22 @@ pub mod channel {
                     s.send(value).map_err(|mpsc::SendError(v)| SendError(v))
                 }
                 SenderInner::Bounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            }
+        }
+
+        /// Attempts to send `value` without blocking: fails with
+        /// [`TrySendError::Full`] when a bounded channel is at capacity
+        /// (the admission-control path) and [`TrySendError::Disconnected`]
+        /// when the receiver is gone. Unbounded channels are never full.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.inner {
+                SenderInner::Unbounded(s) => s
+                    .send(value)
+                    .map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v)),
+                SenderInner::Bounded(s) => s.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
             }
         }
     }
@@ -152,6 +178,23 @@ mod tests {
         let got: Vec<u32> = rx.iter().collect();
         producer.join().unwrap();
         assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnect() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(channel::TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(channel::TrySendError::Disconnected(4)));
+
+        let (utx, urx) = channel::unbounded::<u32>();
+        utx.try_send(7).unwrap();
+        assert_eq!(urx.recv(), Ok(7));
+        drop(urx);
+        assert_eq!(utx.try_send(8), Err(channel::TrySendError::Disconnected(8)));
     }
 
     #[test]

@@ -40,9 +40,12 @@ fn algorithms_agree_on_scaled_dataset_queries() {
     let queries = spec.generate(&g);
     let budget = Budget::first(5000);
     for q in &queries {
-        let cfl = CflMatcher::full().count(q, &g, budget).unwrap().embeddings;
-        let quicksi = QuickSi.count(q, &g, budget).unwrap().embeddings;
-        let turbo = TurboIso.count(q, &g, budget).unwrap().embeddings;
+        let cfl = CflMatcher::full()
+            .count(q, &g, budget.clone())
+            .unwrap()
+            .embeddings;
+        let quicksi = QuickSi.count(q, &g, budget.clone()).unwrap().embeddings;
+        let turbo = TurboIso.count(q, &g, budget.clone()).unwrap().embeddings;
         assert_eq!(cfl, quicksi, "CFL vs QuickSI");
         assert_eq!(cfl, turbo, "CFL vs TurboISO");
     }
